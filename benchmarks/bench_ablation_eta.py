@@ -1,0 +1,94 @@
+"""Ablation — choosing the delta threshold eta (Section 6.3).
+
+The paper sizes eta (the delta-table share of capacity that triggers a
+merge) from two pressures:
+
+* larger eta  -> slower worst-case queries (more data in the slow delta
+  structure); the paper derives eta <= 0.15 from the 1.5x slowdown budget
+  and picks 0.1;
+* smaller eta -> more frequent merges (each merge costs a partition-bound
+  rebuild), raising the ingest overhead fraction.
+
+This bench sweeps eta and reports both sides of the trade-off: worst-case
+query time (delta full) relative to fully-static, and total merge count /
+merge seconds for ingesting a fixed stream.  Shape to check: query penalty
+grows with eta, merge overhead falls with eta — the knee sits around the
+paper's 0.1-0.15.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure_median
+from repro.streaming.node import StreamingPLSH
+from repro import PLSHIndex
+
+
+def test_ablation_eta(benchmark, twitter, scale):
+    params = scale.params()
+    vectors = twitter.vectors
+    queries = twitter.queries.slice_rows(0, min(50, twitter.queries.n_rows))
+    capacity = vectors.n_rows
+    stream_rows = capacity // 2  # the stream ingested in every configuration
+    batch = max(stream_rows // 50, 1)
+
+    static = PLSHIndex(vectors.n_cols, params)
+    static.build(vectors.slice_rows(0, capacity))
+    engine = static.engine
+    assert engine is not None
+    static_s = measure_median(
+        lambda: engine.query_batch(queries), repeats=2, warmup=1
+    )
+
+    rows = []
+    for eta in (0.02, 0.05, 0.1, 0.15, 0.25):
+        node = StreamingPLSH(
+            vectors.n_cols,
+            params,
+            capacity,
+            delta_fraction=eta,
+            auto_merge=True,
+        )
+        # Ingest a fixed-size stream; auto-merge fires per the threshold.
+        for start in range(0, stream_rows, batch):
+            node.insert_batch(
+                vectors.slice_rows(start, min(start + batch, stream_rows))
+            )
+        merge_s = node.times["merge"] if "merge" in node.times else 0.0
+        # Worst case: refill the delta right up to the threshold.
+        refill = min(node.delta_threshold - 1, capacity - node.n_total)
+        if refill > 0:
+            node.insert_batch(
+                vectors.slice_rows(stream_rows, stream_rows + refill)
+            )
+        worst_s = measure_median(
+            lambda: node.query_batch(queries), repeats=2, warmup=1
+        )
+        rows.append(
+            [
+                f"{eta:.2f}",
+                node.n_merges,
+                merge_s,
+                worst_s * 1e3,
+                worst_s / static_s,
+            ]
+        )
+
+    benchmark.pedantic(
+        lambda: engine.query_batch(queries), rounds=2, iterations=1
+    )
+
+    print_section(
+        f"Ablation — delta threshold eta (C={capacity:,}, stream="
+        f"{stream_rows:,} rows, static ref {static_s * 1e3:.1f} ms)",
+        format_table(
+            ["eta", "merges", "merge s total", "worst query ms", "vs static"],
+            rows,
+        )
+        + "\npaper: eta <= 0.15 keeps worst-case within 1.5x; eta = 0.1"
+          " balances merge overhead (Section 6.3)",
+    )
+
+    merges = [r[1] for r in rows]
+    # Merge frequency must fall as eta grows.
+    assert merges[0] > merges[-1]

@@ -1,0 +1,57 @@
+"""Figure 10 — latency vs throughput for batched query processing.
+
+Paper: sweeping the batch size from 10 to 1000 queries, throughput rises
+then saturates around 700 queries/second once ~30 queries are processed
+together; latency keeps growing linearly with batch size past that point.
+
+This bench sweeps the batch size, measuring batch latency and the implied
+throughput with the worker pool sized to the host.  Shape to check:
+throughput grows with small batches then flattens; latency grows ~linearly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure_median
+
+
+def test_fig10_latency_throughput(benchmark, twitter, flagship_index):
+    engine = flagship_index.engine
+    assert engine is not None
+    workers = min(4, os.cpu_count() or 1)
+    max_batch = twitter.queries.n_rows
+    batch_sizes = [b for b in (10, 20, 30, 50, 100, 200, 500, 1000)
+                   if b <= max_batch]
+
+    rows = []
+    for batch in batch_sizes:
+        qs = twitter.queries.slice_rows(0, batch)
+        secs = measure_median(
+            lambda q=qs: engine.query_batch(q, workers=workers),
+            repeats=2,
+            warmup=1,
+        )
+        rows.append([batch, secs * 1e3, batch / secs])
+
+    benchmark.pedantic(
+        lambda: engine.query_batch(
+            twitter.queries.slice_rows(0, batch_sizes[-1]), workers=workers
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    print_section(
+        f"Figure 10 — latency vs throughput (workers={workers}, "
+        f"N={twitter.n:,})",
+        format_table(["batch size", "latency ms", "throughput q/s"], rows)
+        + "\npaper: throughput saturates ~700 q/s at batch ~30, latency grows",
+    )
+
+    # Shape: throughput at the largest batch must be at least that of the
+    # smallest batch (saturation, not collapse), and latency must increase
+    # with batch size overall.
+    assert rows[-1][2] >= rows[0][2] * 0.8
+    assert rows[-1][1] > rows[0][1]

@@ -1,0 +1,86 @@
+"""Figure 4 — PLSH creation optimization breakdown.
+
+Paper: starting from an unoptimized implementation (one-level partitioning,
+separate handling per table), "+2-level hashtable", "+shared tables" and
+"+vectorization" give a cumulative 3.7x construction speedup (16 threads).
+
+Rungs here (same pipeline slots, Python realization):
+
+1. ``no optimizations``  — one-level partitioning with the literal
+   three-step Python partition loop per table (2^k-bucket passes).
+2. ``+2-level hashtable`` — two k/2-bit passes per table (Python kernel).
+3. ``+shared tables``     — first-level pass shared across tables: L + m
+   passes instead of 2L (Python kernel).
+4. ``+vectorization``     — same shared pass structure on the numpy radix
+   kernel (the production path).
+
+Shape to check: monotone decrease, step 4 largest (SIMD analogue).
+The Python rungs run on a subsample so the bench stays in seconds; all
+rungs use identical hash values so outputs are bitwise comparable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure
+from repro.core.tables import StaticTableSet
+
+
+def _rung_times(u_values, params):
+    subsample = int(os.environ.get("PLSH_BENCH_FIG4_N", "8000"))
+    u_small = u_values[:subsample]
+    rungs = [
+        ("no optimizations", "one_level", False, u_small),
+        ("+2-level hashtable", "two_level", False, u_small),
+        ("+shared tables", "shared", False, u_small),
+        ("+vectorization", "shared", True, u_small),
+    ]
+    times = []
+    for label, strategy, vectorized, u in rungs:
+        _, secs = measure(
+            lambda s=strategy, v=vectorized, uu=u: StaticTableSet.build(
+                uu, params, strategy=s, vectorized=v
+            )
+        )
+        times.append((label, secs, u.shape[0]))
+    return times
+
+
+def test_fig4_creation_breakdown(benchmark, twitter, flagship_index, scale):
+    params = scale.params()
+    assert flagship_index.u_values is not None
+    times = _rung_times(flagship_index.u_values, params)
+
+    # The production path at full scale, timed by pytest-benchmark.
+    benchmark.pedantic(
+        lambda: StaticTableSet.build(
+            flagship_index.u_values, params, strategy="shared", vectorized=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    base = times[0][1]
+    rows = [
+        [label, n, secs * 1e3, base / secs]
+        for label, secs, n in times
+    ]
+    print_section(
+        f"Figure 4 — creation breakdown (L={params.n_tables}, k={params.k})",
+        format_table(
+            ["rung", "n docs", "time ms", "cumulative speedup"], rows
+        )
+        + "\npaper: cumulative speedup 3.7x at the final rung",
+    )
+
+    labels = [t[0] for t in times]
+    secs = [t[1] for t in times]
+    # Monotone improvement and a substantial final speedup.
+    assert secs[1] < secs[0], f"{labels[1]} not faster than {labels[0]}"
+    assert secs[2] < secs[1], f"{labels[2]} not faster than {labels[1]}"
+    assert secs[3] < secs[2], f"{labels[3]} not faster than {labels[2]}"
+    assert secs[0] / secs[3] > 3.0

@@ -1,0 +1,93 @@
+"""Figure 5 — PLSH query optimization breakdown (1000 queries).
+
+Paper rungs: no optimizations → +bitvector → +optimized sparse DP →
++sw prefetch → +large pages, cumulative speedup 8.3x.
+
+Rungs here (same pipeline slots):
+
+1. ``no optimizations``   — tree/hash *set* dedup + naive per-candidate
+   index-intersection dots (the paper's STL-set baseline).
+2. ``+bitvector``         — histogram/bitvector dedup (Section 5.2.1).
+3. ``+optimized sparse DP`` — dense query lookup vector for O(1)
+   per-term matches (Section 5.2.3), still per-candidate.
+4. ``+sw prefetch``       — batched gather + one vectorized reduction over
+   all candidates (latency hiding analogue, Section 5.2.2).
+5. ``+large pages``       — persistent preallocated query buffer / dedup
+   mask (one large allocation instead of per-query churn).
+
+Shape to check: monotone decrease; steps 3-4 dominate (they vectorize the
+distance computation, which is where the paper's traffic lives).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure, measure_median
+from repro.core.query import QueryEngine
+
+
+RUNGS = [
+    ("no optimizations", dict(dedup="set", dots="naive", reuse_buffers=False)),
+    ("+bitvector", dict(dedup="bitvector", dots="naive", reuse_buffers=False)),
+    ("+optimized sparse DP", dict(dedup="bitvector", dots="lookup", reuse_buffers=False)),
+    ("+sw prefetch", dict(dedup="bitvector", dots="batched", reuse_buffers=False)),
+    ("+large pages", dict(dedup="bitvector", dots="batched", reuse_buffers=True)),
+]
+
+
+def test_fig5_query_breakdown(benchmark, twitter, flagship_index, scale):
+    n_queries = int(os.environ.get("PLSH_BENCH_FIG5_QUERIES", "100"))
+    queries = twitter.queries.slice_rows(
+        0, min(n_queries, twitter.queries.n_rows)
+    )
+
+    times = []
+    reference = None
+    for label, options in RUNGS:
+        engine = QueryEngine(
+            flagship_index.tables,
+            flagship_index.data,
+            flagship_index.hasher,
+            flagship_index.params,
+            **options,
+        )
+        results, _ = measure(lambda e=engine: e.query_batch(queries))
+        secs = measure_median(
+            lambda e=engine: e.query_batch(queries), repeats=2, warmup=0
+        )
+        times.append((label, secs))
+        sets = [frozenset(r.indices.tolist()) for r in results]
+        if reference is None:
+            reference = sets
+        else:
+            assert sets == reference, f"rung {label!r} changed the answers"
+
+    # Production configuration timed by pytest-benchmark.
+    engine = flagship_index.engine
+    assert engine is not None
+    benchmark.pedantic(
+        lambda: engine.query_batch(queries), rounds=3, iterations=1
+    )
+
+    base = times[0][1]
+    rows = [
+        [label, secs * 1e3, secs / queries.n_rows * 1e3, base / secs]
+        for label, secs in times
+    ]
+    print_section(
+        f"Figure 5 — query breakdown ({queries.n_rows} queries, "
+        f"N={twitter.n:,})",
+        format_table(
+            ["rung", "total ms", "ms/query", "cumulative speedup"], rows
+        )
+        + "\npaper: cumulative speedup 8.3x at the final rung",
+    )
+
+    secs = [t[1] for t in times]
+    assert secs[-1] < secs[0] / 3.0, "final rung must be >3x the baseline"
+    # Each rung must not regress beyond measurement noise (the batched-dot
+    # rung carries most of the win; earlier rungs may be modest in Python).
+    for prev, cur in zip(secs, secs[1:]):
+        assert cur <= prev * 1.25

@@ -1,0 +1,97 @@
+"""Figure 6 — estimated vs actual runtimes for PLSH creation & querying.
+
+Paper: the Section 7 model predicts per-stage creation times (hashing, I1,
+I2, I3) and per-stage query times (Q2 bitvector, Q3 search) within 15 %
+(Twitter) / 25 % (Wikipedia).
+
+This bench does the same experiment with the host-calibrated model:
+constants are fit on a *calibration slice* of the corpus, the model then
+predicts the *full-scale* run, and both stage-level estimates and actuals
+are printed with their error.  Shape to check: errors within a few tens of
+percent, and the model correctly ranks the expensive stages.
+"""
+
+from __future__ import annotations
+
+from repro import PLSHIndex
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure
+from repro.perfmodel.calibrate import calibrate_host
+from repro.perfmodel.collisions import estimate_collision_stats
+
+
+def test_fig6_model_validation(benchmark, twitter, scale):
+    params = scale.params()
+    vectors = twitter.vectors
+    queries = twitter.queries
+
+    # Calibrate on a quarter-scale slice.
+    calib = calibrate_host(
+        vectors.slice_rows(0, max(vectors.n_rows // 4, 1000)),
+        params,
+        n_calibration_queries=40,
+        seed=7,
+    )
+
+    # --- creation: predict, then measure at full scale
+    nnz = vectors.nnz / vectors.n_rows
+    predicted_creation = calib.creation_cost(
+        vectors.n_rows, nnz, params.k, params.m
+    )
+    index = PLSHIndex(vectors.n_cols, params)
+    _, actual_creation_s = measure(lambda: index.build(vectors))
+    actual_hash = index.build_times["hashing"]
+    actual_insert = index.build_times["insertion"]
+
+    # --- query: predict from sampled collision stats, then measure
+    stats = estimate_collision_stats(
+        vectors, queries, params.k, params.m,
+        n_query_sample=min(200, queries.n_rows), n_data_sample=1000, seed=7,
+    )
+    predicted_query = calib.query_cost(
+        vectors.n_rows,
+        stats.expected_collisions,
+        stats.expected_unique,
+        n_tables=params.n_tables,
+    )
+    engine = index.engine
+    assert engine is not None
+    results = benchmark.pedantic(
+        lambda: engine.query_batch(queries), rounds=3, iterations=1
+    )
+    _, actual_query_s = measure(lambda: engine.query_batch(queries))
+    per_query_actual = actual_query_s / queries.n_rows
+    st = engine.stats.stage_times
+    total_stage = max(st["q2_dedup"] + st["q3_distance"], 1e-12)
+    actual_q2 = per_query_actual * st["q2_dedup"] / total_stage
+    actual_q3 = per_query_actual * st["q3_distance"] / total_stage
+
+    def err(est, act):
+        return abs(est - act) / max(act, 1e-12) * 100
+
+    rows = [
+        ["creation: hashing", predicted_creation.hashing_s, actual_hash,
+         err(predicted_creation.hashing_s, actual_hash)],
+        ["creation: insertion (I1-I3)", predicted_creation.insertion_s,
+         actual_insert, err(predicted_creation.insertion_s, actual_insert)],
+        ["creation: total", predicted_creation.total_s, actual_creation_s,
+         err(predicted_creation.total_s, actual_creation_s)],
+        ["query: Q2 bitvector (per q)", predicted_query.q2_bitvector_s,
+         actual_q2, err(predicted_query.q2_bitvector_s, actual_q2)],
+        ["query: Q3 search (per q)", predicted_query.q3_search_s, actual_q3,
+         err(predicted_query.q3_search_s, actual_q3)],
+        ["query: total (per q)", predicted_query.total_s, per_query_actual,
+         err(predicted_query.total_s, per_query_actual)],
+    ]
+    print_section(
+        f"Figure 6 — estimated vs actual (N={vectors.n_rows:,}, "
+        f"{queries.n_rows} queries)",
+        format_table(["component", "estimated s", "actual s", "error %"], rows)
+        + "\npaper: model within 15-25 % of actual",
+    )
+
+    # Shape: total predictions within 2x at this scale (the paper's native
+    # constants achieve 15-25 %; a Python stack is noisier but must stay in
+    # the same magnitude).
+    assert err(predicted_creation.total_s, actual_creation_s) < 100
+    assert err(predicted_query.total_s, per_query_actual) < 100

@@ -1,0 +1,115 @@
+"""Figure 8 — scaling with threads on a single node.
+
+Paper: 7.2x initialization and 7.8x query speedup at 16 SMT threads on an
+8-core Xeon.
+
+This bench sweeps worker counts for construction (thread-parallel per-table
+partitioning) and for batch querying with BOTH parallel backends:
+
+* ``thread``  — the paper's literal design (shared tables, per-thread
+  bitvectors).  On CPython the GIL serializes the small numpy calls that
+  dominate a per-query pipeline, so this column *documents the negative
+  result* the reproduction notes predicted: threads do not reproduce the
+  paper's query scaling and can regress.
+* ``process`` — fork()ed workers sharing the index copy-on-write, the
+  closest Python analogue of true multithreading.  This column carries the
+  reproduction of the paper's claim, bounded by the host's core count.
+
+Shape to check: the process backend improves (or at least holds) as workers
+approach the core count; the thread column is reported for the record.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import PLSHIndex
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure_median
+
+
+def _worker_counts() -> list[int]:
+    n_cpu = os.cpu_count() or 1
+    counts = [1, 2, 4, 8, 16]
+    return [c for c in counts if c <= max(n_cpu, 2)]
+
+
+def test_fig8_thread_scaling(benchmark, twitter, scale):
+    params = scale.params()
+    vectors = twitter.vectors
+    # Parallelism only pays once the batch carries real work (the paper
+    # amortizes over 1000 queries x ~1.4 ms); draw a paper-sized query set
+    # from the corpus.
+    n_q = int(os.environ.get("PLSH_BENCH_FIG8_QUERIES", "1000"))
+    ids = twitter.corpus.sample_query_ids(n_q, seed=97)
+    queries = vectors.gather_rows(ids)
+
+    index = PLSHIndex(vectors.n_cols, params).build(vectors)
+    engine = index.engine
+    assert engine is not None
+
+    rows = []
+    base_init = base_query = None
+    for workers in _worker_counts():
+        init_s = measure_median(
+            lambda w=workers: PLSHIndex(vectors.n_cols, params).build(
+                vectors, workers=w
+            ),
+            repeats=1,
+            warmup=0,
+        )
+        thread_s = measure_median(
+            lambda w=workers: engine.query_batch(queries, workers=w),
+            repeats=2,
+            warmup=1,
+        )
+        process_s = measure_median(
+            lambda w=workers: engine.query_batch(
+                queries, workers=w, backend="process"
+            ),
+            repeats=2,
+            warmup=1,
+        )
+        if base_init is None:
+            base_init, base_query = init_s, thread_s
+        rows.append(
+            [
+                workers,
+                init_s * 1e3,
+                base_init / init_s,
+                thread_s * 1e3,
+                base_query / thread_s,
+                process_s * 1e3,
+                base_query / process_s,
+            ]
+        )
+
+    benchmark.pedantic(
+        lambda: engine.query_batch(queries), rounds=3, iterations=1
+    )
+
+    print_section(
+        f"Figure 8 — parallel scaling (host has {os.cpu_count()} cpus; "
+        f"N={vectors.n_rows:,}, {queries.n_rows} queries)",
+        format_table(
+            ["workers", "init ms", "init spd", "thread q ms", "thread spd",
+             "process q ms", "process spd"],
+            rows,
+        )
+        + "\npaper: 7.2x init / 7.8x query at 16 threads on 8 cores"
+        + "\nthread column: CPython GIL serializes per-query numpy calls —"
+          " the documented negative result; process column: fork-shared"
+          " index, the faithful analogue (bounded by host cores)",
+    )
+
+    # The process backend must not regress catastrophically.  Its fixed
+    # cost is a fork of the parent (page-table copy scales with resident
+    # set, which in a full bench session holds several indexes), so on a
+    # small shared host the bound is generous; on a many-core machine with
+    # paper-sized batches this backend is where the speedup appears.
+    base = rows[0][3]
+    for row in rows[1:]:
+        assert row[5] < base * 2.5, (
+            f"process backend at {row[0]} workers regressed: "
+            f"{row[5]:.1f} ms vs serial {base:.1f} ms"
+        )

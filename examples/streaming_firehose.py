@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Streaming ingest: a single node riding a tweet firehose (Section 6).
+
+Simulates the paper's streaming deployment on one node: batches of new
+tweets arrive continuously, land in the insert-optimized delta table, and
+are periodically merged into the static structure when the delta reaches
+eta = 10 % of capacity.  Queries are served throughout — including between
+merges, when part of the data lives in the delta — and a deletion shows the
+tombstone bitvector at work.
+
+Run:  python examples/streaming_firehose.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import PLSHParams, SyntheticCorpus
+from repro.streaming.node import StreamingPLSH
+
+CAPACITY = 40_000
+BATCH = 2_000
+SEED = 11
+
+
+def main() -> None:
+    corpus = SyntheticCorpus.generate(CAPACITY, seed=SEED)
+    vectors = corpus.vectors()
+    params = PLSHParams(k=16, m=16, radius=0.9, seed=SEED)
+
+    node = StreamingPLSH(
+        corpus.vocab_size,
+        params,
+        capacity=CAPACITY,
+        delta_fraction=0.1,  # eta: merge when delta reaches 10 % of C
+    )
+    print(
+        f"streaming node: capacity {CAPACITY:,}, merge threshold "
+        f"{node.delta_threshold:,} (eta=10%)"
+    )
+
+    query_ids, queries = corpus.query_vectors(5, seed=SEED + 1)
+    n_batches = CAPACITY // BATCH
+    for b in range(n_batches):
+        start = time.perf_counter()
+        merges_before = node.n_merges
+        node.insert_batch(vectors.slice_rows(b * BATCH, (b + 1) * BATCH))
+        elapsed = (time.perf_counter() - start) * 1e3
+        merged = " [merged delta into static]" if node.n_merges > merges_before else ""
+        if b % 4 == 0 or merged:
+            print(
+                f"batch {b + 1:>3}/{n_batches}: insert {BATCH} docs in "
+                f"{elapsed:6.1f} ms; static={node.n_static:>6,} "
+                f"delta={node.n_delta:>5,}{merged}"
+            )
+        if b == n_batches // 2:
+            # Mid-stream query: answers span static + delta seamlessly.
+            res = node.query(*queries.row(0))
+            print(
+                f"    mid-stream query -> {len(res)} neighbors "
+                f"(static+delta combined)"
+            )
+
+    print(
+        f"\ningest complete: {node.n_total:,} docs, {node.n_merges} merges, "
+        f"insert time {node.times['insert']:.2f}s, "
+        f"merge time {node.times['merge']:.2f}s"
+    )
+
+    # Deletion: tombstone a document and show it disappears from results.
+    target = int(query_ids[1])
+    before = node.query(*queries.row(1))
+    node.delete(np.asarray([target]))
+    after = node.query(*queries.row(1))
+    print(
+        f"\ndeleted doc {target}: in results before={target in before.indices}, "
+        f"after={target in after.indices} "
+        f"({node.deletions.n_deleted} tombstone)"
+    )
+
+    # Steady-state query benchmark.
+    start = time.perf_counter()
+    node.query_batch(queries)
+    per_query = (time.perf_counter() - start) / queries.n_rows * 1e3
+    print(f"steady-state query latency: {per_query:.2f} ms/query")
+
+
+if __name__ == "__main__":
+    main()

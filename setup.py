@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline, so PEP 517 editable builds cannot
+fetch build dependencies).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""PLSH — Parallel Locality-Sensitive Hashing for streaming similarity search.
+
+A from-scratch Python reproduction of Sundaram et al., "Streaming Similarity
+Search over one Billion Tweets using Parallel Locality-Sensitive Hashing"
+(VLDB 2013).
+
+Quickstart::
+
+    from repro import PLSHParams, PLSHIndex, SyntheticCorpus
+
+    corpus = SyntheticCorpus.generate(100_000, seed=7)
+    params = PLSHParams(k=16, m=24, radius=0.9, delta=0.1, seed=7)
+    index = PLSHIndex(corpus.vocab_size, params).build(corpus.vectors())
+    ids, queries = corpus.query_vectors(10)
+    for qid, result in zip(ids, index.query_batch(queries)):
+        print(qid, result.top(5).indices)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured reproduction log.
+"""
+
+from repro.params import PLSHParams, PAPER_TWITTER_PARAMS
+from repro.core.index import PLSHIndex
+from repro.core.query import QueryResult, QueryStats
+from repro.cluster.cluster import PLSHCluster
+from repro.persistence import load_index, save_index
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.vectorizer import IDFVectorizer
+from repro.streaming.node import StreamingPLSH
+from repro.text.corpus import CorpusSpec, SyntheticCorpus, TWITTER_SPEC, WIKIPEDIA_SPEC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "CorpusSpec",
+    "IDFVectorizer",
+    "PAPER_TWITTER_PARAMS",
+    "PLSHCluster",
+    "PLSHIndex",
+    "PLSHParams",
+    "QueryResult",
+    "QueryStats",
+    "StreamingPLSH",
+    "SyntheticCorpus",
+    "TWITTER_SPEC",
+    "WIKIPEDIA_SPEC",
+    "__version__",
+    "load_index",
+    "save_index",
+]

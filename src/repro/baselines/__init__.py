@@ -1,0 +1,15 @@
+"""Comparison baselines from the paper's evaluation.
+
+* :mod:`repro.baselines.exhaustive` — linear-scan exact search (Table 2).
+* :mod:`repro.baselines.inverted_index` — inverted-index candidate
+  generation + distance filter (Table 2).
+* :mod:`repro.baselines.basic_lsh` — a deliberately unoptimized LSH
+  implementation (per-table dict buckets, set dedup, naive dots): the
+  "no optimizations" rung of Figures 4 and 5.
+"""
+
+from repro.baselines.basic_lsh import BasicLSHIndex
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.baselines.inverted_index import InvertedIndex
+
+__all__ = ["BasicLSHIndex", "ExhaustiveSearch", "InvertedIndex"]

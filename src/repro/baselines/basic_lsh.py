@@ -1,0 +1,102 @@
+"""Unoptimized LSH — the paper's "basic implementation" baseline.
+
+This is the strawman PLSH is measured against ("table construction times up
+to 3.7x faster and query times 8.3x faster than a basic implementation"):
+
+* construction: every table built independently by hashing into a dict of
+  Python-list buckets (the "linked list of collisions" design the paper
+  calls naive), one full k-bit key per table;
+* querying: bucket contents merged with a tree/hash *set* (the C++ STL set
+  of Section 8.2) and distances computed with the naive per-candidate
+  index-intersection dot product.
+
+It returns exactly the same result set as :class:`repro.core.index.PLSHIndex`
+built with the same parameters and seed — only slower — which the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import angular_distance, candidate_dots_naive
+from repro.core.hashing import AllPairsHasher
+from repro.core.query import QueryResult
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BasicLSHIndex"]
+
+
+class BasicLSHIndex:
+    """Dict-of-buckets LSH with unoptimized construction and querying."""
+
+    def __init__(
+        self,
+        dim: int,
+        params: PLSHParams,
+        *,
+        hasher: AllPairsHasher | None = None,
+    ) -> None:
+        self.params = params
+        self.dim = dim
+        self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
+        self.data: CSRMatrix | None = None
+        #: One dict per table: key -> Python list of data indexes.
+        self.tables: list[dict[int, list[int]]] = []
+
+    def build(self, data: CSRMatrix) -> "BasicLSHIndex":
+        """Insert every item into every table, one at a time."""
+        if data.n_cols != self.dim:
+            raise ValueError(
+                f"data has {data.n_cols} columns, index expects {self.dim}"
+            )
+        self.data = data
+        u = self.hasher.hash_functions(data)
+        self.tables = []
+        for l in range(self.params.n_tables):
+            keys = self.hasher.table_key(u, l).tolist()
+            table: dict[int, list[int]] = {}
+            for idx, key in enumerate(keys):
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [idx]
+                else:
+                    bucket.append(idx)
+            self.tables.append(table)
+        return self
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> QueryResult:
+        """Set-dedup + naive-dot query over the dict tables."""
+        if self.data is None:
+            raise RuntimeError("index must be built before querying")
+        radius = self.params.radius if radius is None else radius
+        q_cols = np.asarray(q_cols, dtype=np.int64)
+        q_vals = np.asarray(q_vals, dtype=np.float32)
+        q = CSRMatrix(
+            np.asarray([0, q_cols.size], dtype=np.int64),
+            q_cols.astype(np.int32),
+            q_vals,
+            self.dim,
+            check=False,
+        )
+        u_row = self.hasher.hash_functions(q)[0]
+        keys = self.hasher.table_keys_for_query(u_row)
+
+        seen: set[int] = set()
+        for l in range(self.params.n_tables):
+            bucket = self.tables[l].get(int(keys[l]))
+            if bucket:
+                seen.update(bucket)
+        unique = np.asarray(sorted(seen), dtype=np.int64)
+        dots = candidate_dots_naive(self.data, unique, q_cols, q_vals)
+        dists = angular_distance(dots)
+        within = dists <= radius
+        return QueryResult(unique[within], dists[within])
+
+    def query_batch(self, queries: CSRMatrix, *, radius: float | None = None) -> list[QueryResult]:
+        return [
+            self.query(*queries.row(r), radius=radius) for r in range(queries.n_rows)
+        ]

@@ -1,0 +1,51 @@
+"""Exhaustive R-near-neighbor search (Table 2's "Exhaustive search").
+
+"Calculates the distance from a query point to all the points in the input
+data and reports only those points that lie within a distance R."
+Deterministic; performs exactly N distance computations per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import angular_distance
+from repro.core.query import QueryResult
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+
+__all__ = ["ExhaustiveSearch"]
+
+
+class ExhaustiveSearch:
+    """Linear scan over the corpus; the exact-answer oracle."""
+
+    def __init__(self, data: CSRMatrix, radius: float) -> None:
+        if not 0 < radius <= np.pi:
+            raise ValueError(f"radius must be in (0, pi], got {radius}")
+        self.data = data
+        self.radius = radius
+        self.n_distance_computations = 0
+        self._all_rows = np.arange(data.n_rows, dtype=np.int64)
+        self._q_dense = np.zeros(data.n_cols, dtype=np.float32)
+
+    def query(self, q_cols: np.ndarray, q_vals: np.ndarray) -> QueryResult:
+        """All data items within ``radius`` of the query."""
+        q_cols = np.asarray(q_cols, dtype=np.int64)
+        q_vals = np.asarray(q_vals, dtype=np.float32)
+        self._q_dense[q_cols] = q_vals
+        dots = row_dots_dense(self.data, self._all_rows, self._q_dense)
+        self._q_dense[q_cols] = 0.0
+        self.n_distance_computations += self.data.n_rows
+        dists = angular_distance(dots)
+        within = dists <= self.radius
+        return QueryResult(self._all_rows[within], dists[within])
+
+    def query_batch(self, queries: CSRMatrix) -> list[QueryResult]:
+        return [
+            self.query(*queries.row(r)) for r in range(queries.n_rows)
+        ]
+
+    def ground_truth_sets(self, queries: CSRMatrix) -> list[set[int]]:
+        """Exact neighbor id sets (recall denominators for the evaluation)."""
+        return [set(res.indices.tolist()) for res in self.query_batch(queries)]

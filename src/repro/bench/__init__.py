@@ -1,0 +1,16 @@
+"""Benchmark harness support: standard workloads, timing, reporting."""
+
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure, measure_median
+from repro.bench.workloads import BenchScale, Workload, twitter_workload, wikipedia_workload
+
+__all__ = [
+    "BenchScale",
+    "Workload",
+    "format_table",
+    "measure",
+    "measure_median",
+    "print_section",
+    "twitter_workload",
+    "wikipedia_workload",
+]

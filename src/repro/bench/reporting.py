@@ -1,0 +1,63 @@
+"""Paper-style plain-text tables for bench output.
+
+Every bench prints the rows/series the corresponding paper table or figure
+reports, so EXPERIMENTS.md can be filled in by reading the bench logs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+__all__ = ["format_table", "print_section"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    return "\n".join(lines)
+
+
+#: Sections recorded for re-emission in pytest's terminal summary, which is
+#: never captured (pytest's default capture replaces fd 1 itself, so even
+#: sys.__stdout__ is swallowed for passing tests).
+_SECTIONS: list[str] = []
+
+
+def print_section(title: str, body: str = "") -> None:
+    """Banner + optional body: printed immediately and recorded for the
+    bench conftest to replay in the terminal summary."""
+    bar = "=" * max(len(title), 8)
+    text = f"\n{bar}\n{title}\n{bar}"
+    if body:
+        text += f"\n{body}"
+    _SECTIONS.append(text)
+    out = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
+    print(text, file=out, flush=True)
+
+
+def consume_sections() -> list[str]:
+    """Drain and return every section recorded since the last call."""
+    out = list(_SECTIONS)
+    _SECTIONS.clear()
+    return out
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

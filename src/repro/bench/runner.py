@@ -1,0 +1,33 @@
+"""Tiny measurement helpers for the paper-style benches."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["measure", "measure_median"]
+
+
+def measure(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run once; return (result, seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def measure_median(fn: Callable[[], object], *, repeats: int = 3,
+                   warmup: int = 1) -> float:
+    """Median wall-clock seconds over ``repeats`` runs after ``warmup``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)

@@ -1,0 +1,127 @@
+"""Standard benchmark workloads (shared and cached across bench modules).
+
+Scale is controlled by environment variables so the same harness runs as a
+quick CI smoke or a paper-shaped evaluation:
+
+=================  =========  ==============================================
+variable           default    meaning
+=================  =========  ==============================================
+``PLSH_BENCH_N``   100000     corpus size per node
+``PLSH_BENCH_VOCAB``  50000   vocabulary size (paper: 500 000)
+``PLSH_BENCH_QUERIES``  200   query-set size (paper: 1000)
+``PLSH_BENCH_K``   16         k for the flagship configuration
+``PLSH_BENCH_M``   24         m for the flagship configuration (paper: 40)
+=================  =========  ==============================================
+
+The flagship default (k=16, m=24, L=276) keeps table memory proportionate
+to the scaled-down N; pass ``PLSH_BENCH_M=40`` to run the paper's exact
+(k=16, m=40, L=780) shape.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.text.corpus import SyntheticCorpus, TWITTER_SPEC, WIKIPEDIA_SPEC, CorpusSpec
+
+__all__ = ["BenchScale", "Workload", "twitter_workload", "wikipedia_workload"]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Resolved benchmark scale knobs."""
+
+    n: int
+    vocab: int
+    n_queries: int
+    k: int
+    m: int
+
+    @classmethod
+    def from_env(cls) -> "BenchScale":
+        return cls(
+            n=_env_int("PLSH_BENCH_N", 100_000),
+            vocab=_env_int("PLSH_BENCH_VOCAB", 50_000),
+            n_queries=_env_int("PLSH_BENCH_QUERIES", 200),
+            k=_env_int("PLSH_BENCH_K", 16),
+            m=_env_int("PLSH_BENCH_M", 24),
+        )
+
+    def params(self, *, seed: int = 42) -> PLSHParams:
+        return PLSHParams(k=self.k, m=self.m, radius=0.9, delta=0.1, seed=seed)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A materialized corpus + query set ready for benchmarking."""
+
+    name: str
+    corpus: SyntheticCorpus
+    vectors: CSRMatrix
+    query_ids: np.ndarray
+    queries: CSRMatrix
+    scale: BenchScale
+
+    @property
+    def n(self) -> int:
+        return self.vectors.n_rows
+
+    @property
+    def mean_nnz(self) -> float:
+        return self.vectors.nnz / max(self.vectors.n_rows, 1)
+
+
+@lru_cache(maxsize=8)
+def _build_workload(
+    name: str, spec: CorpusSpec, n: int, vocab: int, n_queries: int, seed: int
+) -> Workload:
+    spec = CorpusSpec(
+        vocab_size=vocab,
+        mean_doc_length=spec.mean_doc_length,
+        zipf_exponent=spec.zipf_exponent,
+        near_duplicate_fraction=spec.near_duplicate_fraction,
+        duplicate_keep_probability=spec.duplicate_keep_probability,
+        duplicate_extra_tokens=spec.duplicate_extra_tokens,
+    )
+    corpus = SyntheticCorpus.generate(n, spec, seed=seed)
+    vectors = corpus.vectors()
+    query_ids, queries = corpus.query_vectors(n_queries, seed=seed + 1)
+    scale = BenchScale.from_env()
+    return Workload(name, corpus, vectors, query_ids, queries, scale)
+
+
+def twitter_workload(scale: BenchScale | None = None, *, seed: int = 42) -> Workload:
+    """The tweet-shaped benchmark corpus (cached per scale)."""
+    scale = scale if scale is not None else BenchScale.from_env()
+    return _build_workload(
+        "twitter", TWITTER_SPEC, scale.n, scale.vocab, scale.n_queries, seed
+    )
+
+
+def wikipedia_workload(scale: BenchScale | None = None, *, seed: int = 43) -> Workload:
+    """The Wikipedia-abstract-shaped corpus (Figure 7's second dataset)."""
+    scale = scale if scale is not None else BenchScale.from_env()
+    # Wikipedia runs are heavier per document; use a quarter of N.
+    return _build_workload(
+        "wikipedia", WIKIPEDIA_SPEC, max(scale.n // 4, 1000), scale.vocab,
+        scale.n_queries, seed,
+    )

@@ -1,0 +1,29 @@
+"""Multi-node PLSH (Sections 4 and 5.3), as an in-process simulation.
+
+The paper runs 100 nodes over Infiniband/MPI; here each node is a real
+:class:`repro.streaming.StreamingPLSH` instance living in one process, a
+:class:`Coordinator` broadcasts queries and concatenates partial answers,
+and a :class:`NetworkModel` charges every message for bytes and latency so
+the paper's "communication is <1 % of runtime" claim can be checked.
+
+Partitioning follows the paper's chosen scheme: every node holds *all* L
+tables over a shard of the data (scheme 2 of Section 5.3); data is
+distributed in arrival order to a rolling window of M insert nodes; when all
+nodes are full, the window wraps and the oldest M nodes are retired
+wholesale (Figure 1).
+"""
+
+from repro.cluster.cluster import PLSHCluster
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.network import NetworkModel, NetworkStats
+from repro.cluster.node import ClusterNode
+from repro.cluster.stats import load_imbalance
+
+__all__ = [
+    "ClusterNode",
+    "Coordinator",
+    "NetworkModel",
+    "NetworkStats",
+    "PLSHCluster",
+    "load_imbalance",
+]

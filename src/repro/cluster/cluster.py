@@ -1,0 +1,162 @@
+"""``PLSHCluster`` — the full multi-node system of Figure 1.
+
+Policy, per Sections 4 and 6:
+
+* Data is sharded by item: every node holds all L tables over its shard.
+* Inserts go to a **rolling window of M nodes** in round-robin order; when
+  the window's nodes reach capacity the window advances by M.
+* When every node is full, the window wraps to the *oldest* M nodes, whose
+  contents are retired (erased) wholesale — this is the paper's graceful
+  expiration: no per-item timestamps, oldest data lives on known nodes.
+* Queries are broadcast to all non-empty nodes via the coordinator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.coordinator import BroadcastOutcome, Coordinator
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.core.hashing import AllPairsHasher
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PLSHCluster"]
+
+
+class PLSHCluster:
+    """A simulated multi-node PLSH deployment."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        node_capacity: int,
+        dim: int,
+        params: PLSHParams,
+        *,
+        insert_window: int = 4,
+        delta_fraction: float = 0.1,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        if not 1 <= insert_window <= n_nodes:
+            raise ValueError(
+                f"insert_window must be in [1, {n_nodes}], got {insert_window}"
+            )
+        self.params = params
+        self.dim = dim
+        self.insert_window = insert_window
+        self.network = network if network is not None else NetworkModel()
+        self.hasher = AllPairsHasher(params, dim)
+        self.nodes = [
+            ClusterNode(
+                i, dim, params, node_capacity, self.hasher,
+                delta_fraction=delta_fraction,
+            )
+            for i in range(n_nodes)
+        ]
+        self.coordinator = Coordinator(self.nodes, self.network)
+        #: index of the first node of the current insert window
+        self._window_start = 0
+        #: round-robin cursor within the window
+        self._window_cursor = 0
+        self._next_global_id = 0
+        self.n_retirements = 0
+        self.retired_ids: list[np.ndarray] = []
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_items(self) -> int:
+        return sum(node.n_items for node in self.nodes)
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(node.capacity for node in self.nodes)
+
+    def window_nodes(self) -> list[ClusterNode]:
+        """The M nodes currently accepting inserts."""
+        return [
+            self.nodes[(self._window_start + i) % self.n_nodes]
+            for i in range(self.insert_window)
+        ]
+
+    # -- inserts -----------------------------------------------------------
+
+    def insert(self, vectors: CSRMatrix) -> np.ndarray:
+        """Stream rows into the cluster; returns their global ids.
+
+        Rows are spread over the insert window round-robin in sub-batches;
+        the window advances (retiring old nodes once the cluster has
+        wrapped) whenever its nodes fill up.
+        """
+        n = vectors.n_rows
+        global_ids = np.arange(
+            self._next_global_id, self._next_global_id + n, dtype=np.int64
+        )
+        self._next_global_id += n
+        # Round-robin sub-batches across the window, as in Figure 1.
+        per_node = max(1, -(-n // self.insert_window))
+        pos = 0
+        while pos < n:
+            node = self._next_insert_node()
+            take = min(node.free_capacity, n - pos, per_node)
+            if take > 0:
+                node.insert_batch(
+                    vectors.slice_rows(pos, pos + take),
+                    global_ids[pos : pos + take],
+                )
+                pos += take
+            self._window_cursor = (self._window_cursor + 1) % self.insert_window
+        return global_ids
+
+    def _next_insert_node(self) -> ClusterNode:
+        """Pick the next window node with space, advancing windows as needed."""
+        for _ in range(2 * self.n_nodes):  # bounded: must terminate
+            window = self.window_nodes()
+            candidates = window[self._window_cursor :] + window[: self._window_cursor]
+            for node in candidates:
+                if not node.is_full:
+                    return node
+            self._advance_window()
+        raise RuntimeError("no insert capacity found after full rotation")
+
+    def _advance_window(self) -> None:
+        """Move the window forward by M, retiring its target if occupied."""
+        self._window_start = (self._window_start + self.insert_window) % self.n_nodes
+        self._window_cursor = 0
+        incoming = self.window_nodes()
+        if any(node.n_items > 0 for node in incoming):
+            # Wrapped onto the oldest data: retire those nodes (Figure 1).
+            dropped = [node.retire() for node in incoming]
+            self.retired_ids.append(
+                np.concatenate(dropped) if dropped else np.empty(0, dtype=np.int64)
+            )
+            self.n_retirements += 1
+
+    # -- deletes / queries ----------------------------------------------------
+
+    def delete(self, global_ids: np.ndarray) -> int:
+        """Tombstone by global id across all nodes; returns deleted count."""
+        return sum(node.delete_global(global_ids) for node in self.nodes)
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> BroadcastOutcome:
+        return self.coordinator.query(q_cols, q_vals, radius=radius)
+
+    def query_batch(
+        self, queries: CSRMatrix, *, radius: float | None = None
+    ) -> list[BroadcastOutcome]:
+        return self.coordinator.query_batch(queries, radius=radius)
+
+    def merge_all(self) -> None:
+        """Force-merge every node's delta (used by benches for steady state)."""
+        for node in self.nodes:
+            node.plsh.merge_now()

@@ -1,0 +1,95 @@
+"""A cluster node: a streaming PLSH instance plus the global-id mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashing import AllPairsHasher
+from repro.core.query import QueryResult
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.streaming.node import StreamingPLSH
+
+__all__ = ["ClusterNode"]
+
+
+class ClusterNode:
+    """Wraps :class:`StreamingPLSH` and translates local ↔ global ids.
+
+    All nodes share one :class:`AllPairsHasher` (same seed): the paper's
+    broadcast querying requires every node to hash a query identically.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        dim: int,
+        params: PLSHParams,
+        capacity: int,
+        hasher: AllPairsHasher,
+        *,
+        delta_fraction: float = 0.1,
+    ) -> None:
+        self.node_id = node_id
+        self.plsh = StreamingPLSH(
+            dim,
+            params,
+            capacity,
+            delta_fraction=delta_fraction,
+            hasher=hasher,
+        )
+        self._global_ids = np.empty(0, dtype=np.int64)
+
+    @property
+    def n_items(self) -> int:
+        return self.plsh.n_total
+
+    @property
+    def capacity(self) -> int:
+        return self.plsh.capacity
+
+    @property
+    def free_capacity(self) -> int:
+        return self.capacity - self.n_items
+
+    @property
+    def is_full(self) -> bool:
+        return self.plsh.is_full
+
+    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+        """Insert rows carrying their cluster-wide ids."""
+        if vectors.n_rows != global_ids.size:
+            raise ValueError(
+                f"{vectors.n_rows} rows but {global_ids.size} global ids"
+            )
+        local = self.plsh.insert_batch(vectors)
+        # Local ids are dense and increasing (stable under merge), so the
+        # map is a simple append.
+        expected = np.arange(self._global_ids.size, self._global_ids.size + local.size)
+        if not np.array_equal(local, expected):
+            raise AssertionError("local ids not contiguous — id map would corrupt")
+        self._global_ids = np.concatenate(
+            [self._global_ids, np.asarray(global_ids, dtype=np.int64)]
+        )
+
+    def delete_global(self, global_ids: np.ndarray) -> int:
+        """Tombstone rows by global id (ignores ids not on this node)."""
+        mask = np.isin(self._global_ids, np.asarray(global_ids, dtype=np.int64))
+        local = np.nonzero(mask)[0]
+        if local.size == 0:
+            return 0
+        return self.plsh.delete(local)
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> QueryResult:
+        """Node-local query with results translated to global ids."""
+        res = self.plsh.query(q_cols, q_vals, radius=radius)
+        return QueryResult(self._global_ids[res.indices], res.distances)
+
+    def retire(self) -> np.ndarray:
+        """Erase the node; returns the global ids that were dropped."""
+        dropped = self._global_ids
+        self.plsh.retire()
+        self._global_ids = np.empty(0, dtype=np.int64)
+        return dropped

@@ -1,0 +1,35 @@
+"""Cluster-level metrics: load imbalance and communication fraction."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["load_imbalance", "communication_fraction", "aggregate_node_seconds"]
+
+
+def load_imbalance(per_node_seconds: Sequence[float]) -> float:
+    """The paper's load-balance metric: max / average runtime (ideal 1.0)."""
+    values = [s for s in per_node_seconds if s >= 0]
+    if not values:
+        return 1.0
+    avg = sum(values) / len(values)
+    if avg == 0:
+        return 1.0
+    return max(values) / avg
+
+
+def communication_fraction(network_seconds: float, compute_seconds: float) -> float:
+    """Share of modeled runtime spent in communication (paper: < 1 %)."""
+    total = network_seconds + compute_seconds
+    if total == 0:
+        return 0.0
+    return network_seconds / total
+
+
+def aggregate_node_seconds(outcomes: Iterable) -> dict[int, float]:
+    """Sum per-node seconds across a batch of BroadcastOutcomes."""
+    totals: dict[int, float] = {}
+    for outcome in outcomes:
+        for node_id, secs in outcome.node_seconds.items():
+            totals[node_id] = totals.get(node_id, 0.0) + secs
+    return totals

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: static PLSH (Sections 3-5).
+
+* :mod:`repro.core.hyperplanes` — the angular (sign-random-projection) hash
+  family of Charikar, evaluated over CSR input.
+* :mod:`repro.core.hashing` — all-pairs LSH hashing: ``m`` functions of
+  ``k/2`` bits combined into ``L = m(m-1)/2`` table keys.
+* :mod:`repro.core.partition` — histogram/prefix-sum/scatter partitioning,
+  one-level / two-level / shared-first-level construction strategies.
+* :mod:`repro.core.tables` — contiguous static hash tables.
+* :mod:`repro.core.query` — the Q1-Q4 query pipeline with pluggable
+  optimization rungs (dedup strategy, sparse-dot strategy, gather batching).
+* :mod:`repro.core.index` — :class:`PLSHIndex`, the public static facade.
+"""
+
+from repro.core.hashing import AllPairsHasher
+from repro.core.hyperplanes import HyperplaneBank
+from repro.core.index import PLSHIndex
+from repro.core.query import QueryEngine, QueryResult, QueryStats
+from repro.core.tables import StaticTableSet
+
+__all__ = [
+    "AllPairsHasher",
+    "HyperplaneBank",
+    "PLSHIndex",
+    "QueryEngine",
+    "QueryResult",
+    "QueryStats",
+    "StaticTableSet",
+]

@@ -1,0 +1,82 @@
+"""Duplicate elimination strategies for Step Q2 (Section 5.2.1).
+
+The paper weighs three designs and picks the histogram/bitvector:
+
+1. sort-and-scan               — O(Q log Q)
+2. a tree set (C++ ``std::set``) — O(Q log Q), pointer-chasing
+3. histogram over data indexes — O(Q), realized as a bitvector
+
+All three are implemented so the Figure 5 ablation and equivalence property
+tests can run.  The bitvector backend keeps a persistent mask per engine and
+clears only the touched positions after each query, so per-query cost stays
+O(collisions) rather than O(N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitvector import DedupMask
+
+__all__ = ["Deduplicator", "SetDeduplicator", "SortDeduplicator", "BitvectorDeduplicator", "make_deduplicator"]
+
+
+class Deduplicator:
+    """Interface: return unique data indexes from a collision list."""
+
+    def unique(self, collisions: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SetDeduplicator(Deduplicator):
+    """Python-set dedup: the paper's unoptimized STL-set baseline."""
+
+    def unique(self, collisions: np.ndarray) -> np.ndarray:
+        seen: set[int] = set()
+        out: list[int] = []
+        for idx in collisions.tolist():
+            if idx not in seen:
+                seen.add(idx)
+                out.append(idx)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+
+class SortDeduplicator(Deduplicator):
+    """Sort-based dedup (design (1) in Section 5.2.1)."""
+
+    def unique(self, collisions: np.ndarray) -> np.ndarray:
+        return np.unique(collisions).astype(np.int64)
+
+
+class BitvectorDeduplicator(Deduplicator):
+    """Histogram/bitvector dedup (design (3); the production path).
+
+    Marks collision indexes in a boolean mask, scans the touched range for
+    set positions (the paper's "scan the bitvector and store the non-zero
+    items into a separate array" — which also yields the sorted order that
+    the prefetch-friendly gather wants), then resets only the touched bits.
+    """
+
+    def __init__(self, n_items: int) -> None:
+        self._mask = DedupMask(n_items)
+
+    def unique(self, collisions: np.ndarray) -> np.ndarray:
+        if collisions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self._mask.set(collisions)
+        unique = self._mask.scan()  # full-vector scan, as in the paper
+        self._mask.clear(unique)
+        return unique
+
+
+def make_deduplicator(strategy: str, n_items: int) -> Deduplicator:
+    """Factory over the three Section 5.2.1 designs."""
+    if strategy == "set":
+        return SetDeduplicator()
+    if strategy == "sort":
+        return SortDeduplicator()
+    if strategy == "bitvector":
+        return BitvectorDeduplicator(n_items)
+    raise ValueError(
+        f"unknown dedup strategy {strategy!r}; expected 'set', 'sort' or 'bitvector'"
+    )

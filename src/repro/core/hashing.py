@@ -1,0 +1,117 @@
+"""All-pairs LSH hashing (Section 3, "All-pairs LSH hashing").
+
+Instead of drawing ``L`` independent ``k``-bit functions (cost
+``O(NNZ * k * L)`` per point), PLSH draws ``m ≈ sqrt(2L)`` functions
+``u_1..u_m`` of ``k/2`` bits each and forms every table key as the
+concatenation of a pair: ``g_{i,j}(v) = (u_i(v), u_j(v))`` for ``i < j``,
+giving ``L = m(m-1)/2`` tables at hashing cost ``O(NNZ * k * m/2 + L)``.
+
+This module turns sign bits from the hyperplane bank into packed ``u``
+values and per-table keys.  ``u`` values are stored as one ``(n, m)``
+uint16 array (``k/2 <= 16`` bits each); these are exactly the values the
+two-level table construction partitions on, and they are cached by the
+index so streaming merges never re-hash (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import PLSHParams
+from repro.core.hyperplanes import HyperplaneBank
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["AllPairsHasher", "pack_bits", "pack_bits_reference"]
+
+
+def pack_bits(bits: np.ndarray, bits_per_function: int) -> np.ndarray:
+    """Pack ``(n, m * b)`` hash bits into ``(n, m)`` uint16 function values.
+
+    Bit 0 of each group is the most significant, matching the paper's
+    notation ``u_i = (h_1, ..., h_{k/2})``.
+    """
+    n, total = bits.shape
+    if total % bits_per_function != 0:
+        raise ValueError(
+            f"{total} bit columns do not divide into groups of {bits_per_function}"
+        )
+    if bits_per_function > 16:
+        raise ValueError(f"bits_per_function must be <= 16, got {bits_per_function}")
+    m = total // bits_per_function
+    weights = (
+        1 << np.arange(bits_per_function - 1, -1, -1, dtype=np.uint32)
+    ).astype(np.uint32)
+    grouped = bits.reshape(n, m, bits_per_function).astype(np.uint32)
+    return (grouped * weights).sum(axis=2).astype(np.uint16)
+
+
+def pack_bits_reference(bits: np.ndarray, bits_per_function: int) -> np.ndarray:
+    """Pure-Python bit packing (ground truth for property tests)."""
+    n, total = bits.shape
+    m = total // bits_per_function
+    out = np.zeros((n, m), dtype=np.uint16)
+    for row in range(n):
+        for func in range(m):
+            value = 0
+            for b in range(bits_per_function):
+                value = (value << 1) | int(bits[row, func * bits_per_function + b])
+            out[row, func] = value
+    return out
+
+
+class AllPairsHasher:
+    """Computes ``u`` function values and per-table keys for PLSH.
+
+    Construction draws the full hyperplane bank from ``params.seed``; two
+    hashers with equal ``(params, dim)`` produce identical hashes, which the
+    distributed design relies on (every node must agree on the functions so
+    a broadcast query hashes identically everywhere).
+    """
+
+    def __init__(self, params: PLSHParams, dim: int) -> None:
+        self.params = params
+        self.dim = dim
+        self.bank = HyperplaneBank(dim, params.n_hash_bits, seed=params.seed)
+        #: The L (i, j) pairs, row-major; table l uses functions pairs[l].
+        self.pairs = params.table_pairs()
+        self._pair_index = {pair: l for l, pair in enumerate(self.pairs)}
+
+    @property
+    def n_tables(self) -> int:
+        return self.params.n_tables
+
+    def hash_functions(self, vectors: CSRMatrix, *, vectorized: bool = True) -> np.ndarray:
+        """Evaluate ``u_1..u_m`` for every row → ``(n, m)`` uint16."""
+        bits = self.bank.sign_bits(vectors, vectorized=vectorized)
+        return pack_bits(bits, self.params.bits_per_function)
+
+    def table_key(self, u_values: np.ndarray, table: int) -> np.ndarray:
+        """``g_l`` keys for one table from cached ``u`` values → uint32."""
+        i, j = self.pairs[table]
+        b = self.params.bits_per_function
+        return (u_values[:, i].astype(np.uint32) << b) | u_values[:, j].astype(
+            np.uint32
+        )
+
+    def table_keys_for_query(self, u_row: np.ndarray) -> np.ndarray:
+        """All ``L`` table keys of a single hashed query → ``(L,)`` uint32.
+
+        Vectorized pair expansion: for the row-major pair order the first
+        and second function index arrays are precomputed once.
+        """
+        i_idx, j_idx = self._pair_arrays()
+        b = self.params.bits_per_function
+        u = u_row.astype(np.uint32)
+        return (u[i_idx] << b) | u[j_idx]
+
+    def table_index(self, i: int, j: int) -> int:
+        """Table number for function pair ``(i, j)``, ``i < j``."""
+        return self._pair_index[(i, j)]
+
+    def _pair_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        cached = getattr(self, "_pair_arrays_cache", None)
+        if cached is None:
+            pairs = np.asarray(self.pairs, dtype=np.int64)
+            cached = (pairs[:, 0], pairs[:, 1])
+            self._pair_arrays_cache = cached
+        return cached

@@ -1,0 +1,60 @@
+"""Random hyperplane bank: the angular LSH family (Section 3).
+
+Each hash function ``h_a(v) = sign(a . v)`` is defined by a random unit-less
+Gaussian vector ``a``; for two unit vectors at angle ``t`` the collision
+probability is ``P[h_a(p) = h_a(q)] = 1 - t/pi`` (Charikar).  A bank holds
+all ``m * k/2`` hyperplanes as one dense ``(D, H)`` matrix so evaluating all
+functions over a CSR corpus is a single sparse × dense matmul
+(Section 5.1.1: "evaluating the hash functions over all data points can be
+treated as a matrix multiply").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import sparse_dense_matmul, sparse_dense_matmul_reference
+from repro.utils.rng import rng_for
+
+__all__ = ["HyperplaneBank"]
+
+
+class HyperplaneBank:
+    """A ``(dim, n_planes)`` bank of Gaussian hyperplanes."""
+
+    def __init__(self, dim: int, n_planes: int, seed: int | None = 0) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if n_planes <= 0:
+            raise ValueError(f"n_planes must be positive, got {n_planes}")
+        self.dim = dim
+        self.n_planes = n_planes
+        self.seed = seed
+        rng = rng_for(seed, "hyperplanes")
+        # float32 halves memory; sign() is insensitive to the precision loss.
+        self.planes = rng.standard_normal((dim, n_planes), dtype=np.float32)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.planes.nbytes)
+
+    def projections(self, vectors: CSRMatrix, *, vectorized: bool = True) -> np.ndarray:
+        """Raw dot products ``vectors @ planes`` → ``(n, n_planes)`` float32."""
+        if vectors.n_cols != self.dim:
+            raise ValueError(
+                f"dimension mismatch: vectors have {vectors.n_cols} cols, "
+                f"bank has {self.dim}"
+            )
+        if vectorized:
+            return sparse_dense_matmul(vectors, self.planes)
+        return sparse_dense_matmul_reference(vectors, self.planes)
+
+    def sign_bits(self, vectors: CSRMatrix, *, vectorized: bool = True) -> np.ndarray:
+        """Hash bits ``(n, n_planes)`` uint8 in {0, 1}.
+
+        The sign convention maps ``a . v > 0`` to bit 1 and ``<= 0`` to 0;
+        any fixed tie-break works because ties have measure zero for
+        continuous data and consistency is all that collision analysis needs.
+        """
+        return (self.projections(vectors, vectorized=vectorized) > 0).astype(np.uint8)

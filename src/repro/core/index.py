@@ -1,0 +1,172 @@
+"""``PLSHIndex`` — the static PLSH structure (Sections 3-5), public facade.
+
+Construction (Section 5.1): hash every row with the all-pairs scheme, then
+build the L contiguous tables with the shared two-level partitioner.  Both
+phases are timed per stage so Figure 4/6 benches can read the breakdown.
+
+Querying (Section 5.2) delegates to :class:`repro.core.query.QueryEngine`.
+
+The computed ``(n, m)`` hash-function values are cached on the index — the
+streaming merge (Section 6.2) rebuilds tables from cached hashes without
+re-hashing, which is what makes merge cost partition-bound and lets the
+paper argue no merge can beat it by more than ~3x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashing import AllPairsHasher
+from repro.core.query import QueryEngine, QueryResult
+from repro.core.tables import StaticTableSet
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.utils.timing import StageTimes
+
+__all__ = ["PLSHIndex"]
+
+
+class PLSHIndex:
+    """Static in-memory PLSH index over IDF-weighted unit CSR rows."""
+
+    def __init__(
+        self,
+        dim: int,
+        params: PLSHParams,
+        *,
+        hasher: AllPairsHasher | None = None,
+        dedup: str = "bitvector",
+        dots: str = "batched",
+    ) -> None:
+        self.params = params
+        self.dim = dim
+        self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
+        if self.hasher.dim != dim:
+            raise ValueError(
+                f"hasher dimension {self.hasher.dim} != index dimension {dim}"
+            )
+        self._dedup = dedup
+        self._dots = dots
+        self.data: CSRMatrix | None = None
+        self.u_values: np.ndarray | None = None
+        self.tables: StaticTableSet | None = None
+        self.engine: QueryEngine | None = None
+        self.build_times = StageTimes()
+
+    # -- construction --------------------------------------------------------
+
+    def build(
+        self,
+        data: CSRMatrix,
+        *,
+        strategy: str = "shared",
+        vectorized: bool = True,
+        workers: int = 1,
+        u_values: np.ndarray | None = None,
+    ) -> "PLSHIndex":
+        """Construct the static structure over ``data``.
+
+        ``u_values`` may carry pre-computed hash-function values (the merge
+        path passes the concatenation of cached static + delta hashes).
+        """
+        if data.n_cols != self.dim:
+            raise ValueError(
+                f"data has {data.n_cols} columns, index expects {self.dim}"
+            )
+        self.build_times.reset()
+        self.data = data
+        if u_values is None:
+            with self.build_times.stage("hashing"):
+                u_values = self.hasher.hash_functions(data, vectorized=vectorized)
+        elif u_values.shape != (data.n_rows, self.params.m):
+            raise ValueError(
+                f"u_values shape {u_values.shape} != "
+                f"{(data.n_rows, self.params.m)}"
+            )
+        self.u_values = u_values
+        with self.build_times.stage("insertion"):
+            self.tables = StaticTableSet.build(
+                u_values,
+                self.params,
+                strategy=strategy,
+                vectorized=vectorized,
+                workers=workers,
+            )
+        self.engine = QueryEngine(
+            self.tables,
+            data,
+            self.hasher,
+            self.params,
+            dedup=self._dedup,
+            dots=self._dots,
+        )
+        return self
+
+    @property
+    def n_items(self) -> int:
+        return 0 if self.data is None else self.data.n_rows
+
+    @property
+    def is_built(self) -> bool:
+        return self.engine is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Table memory (Equation 7.4 accounting)."""
+        return 0 if self.tables is None else self.tables.nbytes
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        exclude: np.ndarray | None = None,
+        keys: np.ndarray | None = None,
+    ) -> QueryResult:
+        """R-near neighbors of one sparse query (see QueryEngine.query)."""
+        self._require_built()
+        assert self.engine is not None
+        return self.engine.query(
+            q_cols, q_vals, radius=radius, exclude=exclude, keys=keys
+        )
+
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        workers: int = 1,
+        exclude: np.ndarray | None = None,
+        backend: str = "thread",
+    ) -> list[QueryResult]:
+        """Batch querying with optional parallelism (see QueryEngine)."""
+        self._require_built()
+        assert self.engine is not None
+        return self.engine.query_batch(
+            queries, radius=radius, workers=workers, exclude=exclude,
+            backend=backend,
+        )
+
+    def nearest(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        n: int,
+        *,
+        radius: float | None = None,
+    ) -> QueryResult:
+        """The ``n`` nearest R-near neighbors, sorted by distance.
+
+        Convenience over :meth:`query`: LSH retrieves the R-near candidate
+        set; this keeps the closest ``n``.  Like all LSH answers it is
+        approximate — a true neighbor missing from the candidate set cannot
+        be ranked.
+        """
+        return self.query(q_cols, q_vals, radius=radius).top(n)
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise RuntimeError("index must be built before querying")

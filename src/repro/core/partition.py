@@ -1,0 +1,223 @@
+"""Partitioning primitives and table-construction strategies (Section 5.1.2).
+
+A static PLSH table is a permutation of the data indexes grouped by table
+key (``entries``) plus bucket boundaries (``offsets``).  Building it is a
+stable counting partition; the paper's contribution is *how* the L
+partitions are produced:
+
+* ``one_level``   — each table independently partitions on its full k-bit
+  key (the paper's unoptimized baseline; suffers TLB pressure from 2^k
+  buckets, modeled here by the 2^k-bucket bookkeeping cost).
+* ``two_level``   — each table partitions on the first k/2 bits, then each
+  first-level bucket on the second k/2 bits (MSB-radix style; 2^{k/2}
+  buckets per pass).
+* ``shared``      — the production strategy: because tables (i, j) and
+  (i, j') share the function u_i, first-level work is shared.  We realize
+  the sharing as an LSD radix: the pass over the *second* function u_j is
+  computed once per function and reused by every table that uses u_j,
+  leaving one k/2-bit pass per table.  Total passes fall from 2L to L + m,
+  the economics of Section 5.1.2.
+
+Each strategy exists in a vectorized (numpy radix) and a reference
+(pure-Python histogram → prefix-sum → scatter, literally the paper's
+three-step loop) flavor; the Figure 4 ablation runs
+``one_level/two_level/shared`` on the reference kernel and then switches the
+shared strategy to the vectorized kernel as its "+vectorization" rung.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "partition_stable",
+    "partition_reference",
+    "bucket_offsets",
+    "build_tables_one_level",
+    "build_tables_two_level",
+    "build_tables_shared",
+    "BUILD_STRATEGIES",
+]
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+def bucket_offsets(keys: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Bucket start offsets (length ``n_buckets + 1``) via histogram+prefix."""
+    counts = np.bincount(keys, minlength=n_buckets)
+    if counts.size > n_buckets:
+        raise ValueError(
+            f"key {int(keys.max())} out of range for {n_buckets} buckets"
+        )
+    offsets = np.zeros(n_buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def partition_stable(
+    keys: np.ndarray, n_buckets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable counting partition, vectorized.
+
+    Returns ``(order, offsets)`` where ``order`` lists item indexes grouped
+    by key (ties in original order) and ``offsets[b]:offsets[b+1]`` bounds
+    bucket ``b``.  numpy's stable argsort on integer keys is a radix sort,
+    so this is O(N) per key byte — the vectorized analogue of the paper's
+    histogram/prefix-sum/scatter.
+    """
+    offsets = bucket_offsets(keys, n_buckets)
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    return order, offsets
+
+
+def partition_reference(
+    keys: np.ndarray, n_buckets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's literal three-step partition, in pure Python.
+
+    Step 1: scan and histogram.  Step 2: prefix-sum for bucket starts.
+    Step 3: re-scan and scatter each item to its bucket cursor.  Note the
+    cost has an ``n_buckets`` term (the prefix sum) — this is the knob that
+    makes one-level partitioning with 2^k buckets pay the way TLB misses do
+    in the paper's native implementation.
+    """
+    key_list = keys.tolist()
+    counts = [0] * n_buckets
+    for key in key_list:  # Step 1: histogram
+        counts[key] += 1
+    offsets = [0] * (n_buckets + 1)
+    for b in range(n_buckets):  # Step 2: prefix sum
+        offsets[b + 1] = offsets[b] + counts[b]
+    cursors = offsets[:-1].copy()
+    order = [0] * len(key_list)
+    for idx, key in enumerate(key_list):  # Step 3: scatter
+        order[cursors[key]] = idx
+        cursors[key] += 1
+    return (
+        np.asarray(order, dtype=np.int64),
+        np.asarray(offsets, dtype=np.int64),
+    )
+
+
+_PARTITION_KERNELS: dict[bool, Callable[[np.ndarray, int], tuple[np.ndarray, np.ndarray]]] = {
+    True: partition_stable,
+    False: partition_reference,
+}
+
+
+# ---------------------------------------------------------------------------
+# construction strategies
+# ---------------------------------------------------------------------------
+#
+# All three return (entries, offsets):
+#   entries : int32 (L, N)      — data indexes grouped by table key
+#   offsets : int32 (L, 2^k+1)  — per-table bucket boundaries
+
+
+def _combined_key(u: np.ndarray, i: int, j: int, b: int) -> np.ndarray:
+    return (u[:, i].astype(np.uint32) << b) | u[:, j].astype(np.uint32)
+
+
+def _pairs(m: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(m) for j in range(i + 1, m)]
+
+
+def build_tables_one_level(
+    u: np.ndarray, k: int, *, vectorized: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unoptimized construction: one full-k-bit partition per table."""
+    partition = _PARTITION_KERNELS[vectorized]
+    n, m = u.shape
+    b = k // 2
+    pairs = _pairs(m)
+    entries = np.empty((len(pairs), n), dtype=np.int32)
+    offsets = np.empty((len(pairs), (1 << k) + 1), dtype=np.int32)
+    for l, (i, j) in enumerate(pairs):
+        keys = _combined_key(u, i, j, b)
+        order, offs = partition(keys, 1 << k)
+        entries[l] = order
+        offsets[l] = offs
+    return entries, offsets
+
+
+def build_tables_two_level(
+    u: np.ndarray, k: int, *, vectorized: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two-level construction without sharing: 2 k/2-bit passes per table.
+
+    Realized as an LSD radix: stable-partition by the second function, then
+    stable-partition that ordering by the first.  Equivalent to the paper's
+    MSB formulation (first level u_i, buckets refined by u_j) because both
+    passes are stable.
+    """
+    partition = _PARTITION_KERNELS[vectorized]
+    n, m = u.shape
+    b = k // 2
+    pairs = _pairs(m)
+    entries = np.empty((len(pairs), n), dtype=np.int32)
+    offsets = np.empty((len(pairs), (1 << k) + 1), dtype=np.int32)
+    for l, (i, j) in enumerate(pairs):
+        low_order, _ = partition(u[:, j], 1 << b)
+        high_order, _ = partition(u[low_order, i], 1 << b)
+        order = low_order[high_order]
+        entries[l] = order
+        offsets[l] = bucket_offsets(_combined_key(u, i, j, b), 1 << k)
+    return entries, offsets
+
+
+def build_tables_shared(
+    u: np.ndarray, k: int, *, vectorized: bool = True, workers: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Production construction: shared passes, L + m partitions total.
+
+    The low-significance pass for function ``u_j`` is computed once (Step I1
+    of the paper — m partitions) and reused by every table whose second
+    function is ``u_j``; each table then needs a single k/2-bit pass on the
+    first function (Steps I2+I3 — L partitions).
+
+    ``workers > 1`` parallelizes the per-table work over a thread pool (the
+    paper parallelizes Step I3 over first-level partitions with
+    work-stealing task queues; tables are the coarser unit that suits
+    numpy's GIL-releasing kernels).  Output tables are bitwise identical
+    regardless of ``workers``.
+    """
+    partition = _PARTITION_KERNELS[vectorized]
+    n, m = u.shape
+    b = k // 2
+    pairs = _pairs(m)
+    entries = np.empty((len(pairs), n), dtype=np.int32)
+    offsets = np.empty((len(pairs), (1 << k) + 1), dtype=np.int32)
+    # Step I1: one shared partition per function (used as the LSD low pass).
+    shared_low: list[np.ndarray | None] = [None] * m
+    for j in range(1, m):  # j = 0 is never a second function
+        shared_low[j], _ = partition(u[:, j], 1 << b)
+
+    def build_one(l: int) -> None:
+        i, j = pairs[l]
+        low_order = shared_low[j]
+        assert low_order is not None
+        # Steps I2+I3: rearrange the first-function hashes into the shared
+        # order, then one k/2-bit partition.
+        high_order, _ = partition(u[low_order, i], 1 << b)
+        entries[l] = low_order[high_order]
+        offsets[l] = bucket_offsets(_combined_key(u, i, j, b), 1 << k)
+
+    if workers <= 1:
+        for l in range(len(pairs)):
+            build_one(l)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(build_one, range(len(pairs))))
+    return entries, offsets
+
+
+BUILD_STRATEGIES: dict[str, Callable[..., tuple[np.ndarray, np.ndarray]]] = {
+    "one_level": build_tables_one_level,
+    "two_level": build_tables_two_level,
+    "shared": build_tables_shared,
+}

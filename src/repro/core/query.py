@@ -1,0 +1,346 @@
+"""The PLSH query pipeline, Steps Q1-Q4 (Section 5.2).
+
+Q1  hash the query with all m k/2-bit functions and form the L table keys;
+Q2  gather bucket contents from every table and deduplicate;
+Q3  compute the true distance to each unique candidate;
+Q4  emit candidates within radius R.
+
+The engine exposes every optimization as a switch so the Figure 5 ablation
+can walk the paper's rungs:
+
+====================  =======================================================
+engine option          paper optimization
+====================  =======================================================
+``dedup``              Q2 bitvector vs sort vs set (Section 5.2.1)
+``dots``               Q3 dense-lookup sparse dot product (Section 5.2.3)
+``batched_gather``     Q3 software prefetching analogue (Section 5.2.2)
+``reuse_buffers``      large-pages analogue: persistent dense query buffer
+                       and dedup mask instead of per-query allocations
+====================  =======================================================
+
+Batch queries run through a thread pool (Section 5.2 "Parallelism":
+independent queries, work-stealing tasks).  numpy kernels release the GIL
+for large operations; EXPERIMENTS.md reports the scaling actually achieved
+in Python.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import make_deduplicator
+from repro.core.distance import (
+    angular_distance,
+    candidate_dots_batched,
+    candidate_dots_lookup,
+    candidate_dots_naive,
+)
+from repro.core.hashing import AllPairsHasher
+from repro.core.tables import StaticTableSet
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query
+from repro.utils.timing import StageTimes
+
+__all__ = ["QueryEngine", "QueryResult", "QueryStats"]
+
+
+@dataclass
+class QueryResult:
+    """R-near neighbors of one query: parallel id/distance arrays."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+    def sorted_by_distance(self) -> "QueryResult":
+        order = np.argsort(self.distances, kind="stable")
+        return QueryResult(self.indices[order], self.distances[order])
+
+    def top(self, n: int) -> "QueryResult":
+        s = self.sorted_by_distance()
+        return QueryResult(s.indices[:n], s.distances[:n])
+
+
+@dataclass
+class QueryStats:
+    """Aggregate counters across queries (drives the performance model)."""
+
+    n_queries: int = 0
+    n_collisions: int = 0
+    n_unique: int = 0
+    n_matches: int = 0
+    stage_times: StageTimes = field(default_factory=StageTimes)
+
+    def mean_collisions(self) -> float:
+        return self.n_collisions / max(self.n_queries, 1)
+
+    def mean_unique(self) -> float:
+        return self.n_unique / max(self.n_queries, 1)
+
+    def mean_matches(self) -> float:
+        return self.n_matches / max(self.n_queries, 1)
+
+
+class QueryEngine:
+    """Executes Q1-Q4 against a static table set."""
+
+    def __init__(
+        self,
+        tables: StaticTableSet,
+        data: CSRMatrix,
+        hasher: AllPairsHasher,
+        params: PLSHParams,
+        *,
+        dedup: str = "bitvector",
+        dots: str = "batched",
+        reuse_buffers: bool = True,
+    ) -> None:
+        if tables.n_items != data.n_rows:
+            raise ValueError(
+                f"tables index {tables.n_items} items but data has "
+                f"{data.n_rows} rows"
+            )
+        if dots not in ("naive", "lookup", "batched"):
+            raise ValueError(f"unknown dots strategy {dots!r}")
+        self.tables = tables
+        self.data = data
+        self.hasher = hasher
+        self.params = params
+        self.dedup_strategy = dedup
+        self.dots_strategy = dots
+        self.reuse_buffers = reuse_buffers
+        self.stats = QueryStats()
+        self._dedup = make_deduplicator(dedup, tables.n_items)
+        self._q_dense: np.ndarray | None = (
+            np.zeros(data.n_cols, dtype=np.float32) if reuse_buffers else None
+        )
+
+    # -- single query -------------------------------------------------------
+
+    def query(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        exclude: np.ndarray | None = None,
+        keys: np.ndarray | None = None,
+    ) -> QueryResult:
+        """R-near neighbors of a sparse unit query vector.
+
+        ``exclude`` is an optional boolean mask over data indexes (True =
+        drop); the streaming node passes its deletion filter here, applied
+        before the distance computation as in Section 6.2.  ``keys`` may
+        carry the precomputed L table keys of the query (the streaming node
+        hashes each query once and shares the keys between the static and
+        delta structures).
+        """
+        radius = self.params.radius if radius is None else radius
+        q_cols = np.asarray(q_cols, dtype=np.int64)
+        q_vals = np.asarray(q_vals, dtype=np.float32)
+        st = self.stats.stage_times
+
+        with st.stage("q1_hash"):
+            if keys is None:
+                keys = self._hash_query(q_cols, q_vals)
+        with st.stage("q2_dedup"):
+            collisions = self.tables.collisions(keys)
+            unique = self._dedup.unique(collisions)
+            if exclude is not None and unique.size:
+                unique = unique[~exclude[unique]]
+        with st.stage("q3_distance"):
+            dots = self._candidate_dots(unique, q_cols, q_vals)
+        with st.stage("q4_filter"):
+            dists = angular_distance(dots)
+            within = dists <= radius
+            result = QueryResult(unique[within], dists[within])
+
+        self.stats.n_queries += 1
+        self.stats.n_collisions += int(collisions.size)
+        self.stats.n_unique += int(unique.size)
+        self.stats.n_matches += len(result)
+        return result
+
+    def query_row(self, queries: CSRMatrix, row: int, **kw) -> QueryResult:
+        cols, vals = queries.row(row)
+        return self.query(cols, vals, **kw)
+
+    # -- batch queries --------------------------------------------------------
+
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        workers: int = 1,
+        exclude: np.ndarray | None = None,
+        backend: str = "thread",
+    ) -> list[QueryResult]:
+        """Process a query batch, optionally in parallel.
+
+        Workers get independent engines sharing the read-only tables/data
+        (the paper's "multiple cores concurrently access the same set of
+        hash tables"), each with private dedup masks and buffers, mirroring
+        the per-thread private bitvectors of Section 5.2.1.
+
+        ``backend``:
+
+        * ``"thread"``  — a thread pool.  On CPython the GIL serializes the
+          small numpy calls that dominate a per-query pipeline, so threads
+          only help when individual queries are kernel-heavy; at tweet
+          scale they can even regress (the reproduction's honest finding —
+          see EXPERIMENTS.md).
+        * ``"process"`` — fork()ed workers sharing the index copy-on-write
+          (Linux).  This sidesteps the GIL and is the closest Python
+          analogue of the paper's multithreaded query engine; per-batch
+          fork overhead means it pays off for larger batches.
+        """
+        n = queries.n_rows
+        if workers <= 1:
+            return [
+                self.query_row(queries, r, radius=radius, exclude=exclude)
+                for r in range(n)
+            ]
+        if backend == "process":
+            return self._query_batch_fork(queries, radius, workers, exclude)
+        if backend != "thread":
+            raise ValueError(f"unknown backend {backend!r}")
+        engines = [self._clone() for _ in range(workers)]
+        chunks = np.array_split(np.arange(n), workers)
+
+        def run(worker: int) -> list[tuple[int, QueryResult]]:
+            eng = engines[worker]
+            return [
+                (int(r), eng.query_row(queries, int(r), radius=radius, exclude=exclude))
+                for r in chunks[worker]
+            ]
+
+        results: list[QueryResult | None] = [None] * n
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for part in pool.map(run, range(workers)):
+                for r, res in part:
+                    results[r] = res
+        for eng in engines:
+            self._absorb_stats(eng)
+        return results  # type: ignore[return-value]
+
+    def _query_batch_fork(
+        self,
+        queries: CSRMatrix,
+        radius: float | None,
+        workers: int,
+        exclude: np.ndarray | None,
+    ) -> list[QueryResult]:
+        """Fork-based parallel batch (see ``query_batch``)."""
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: fall back to threads
+            return self.query_batch(
+                queries, radius=radius, workers=workers, exclude=exclude,
+                backend="thread",
+            )
+        n = queries.n_rows
+        global _FORK_STATE
+        _FORK_STATE = (self, queries, radius, exclude)
+        chunks = [c.tolist() for c in np.array_split(np.arange(n), workers)]
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                parts = pool.map(_fork_query_chunk, chunks)
+        finally:
+            _FORK_STATE = None
+        results: list[QueryResult] = []
+        n_coll = n_uniq = n_match = 0
+        for part, (coll, uniq, match) in parts:
+            for indices, distances in part:
+                results.append(QueryResult(indices, distances))
+            n_coll += coll
+            n_uniq += uniq
+            n_match += match
+        self.stats.n_queries += n
+        self.stats.n_collisions += n_coll
+        self.stats.n_unique += n_uniq
+        self.stats.n_matches += n_match
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _hash_query(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
+        """Step Q1: u values then the L table keys for one query."""
+        q = CSRMatrix(
+            np.asarray([0, q_cols.size], dtype=np.int64),
+            q_cols.astype(np.int32),
+            q_vals,
+            self.data.n_cols,
+            check=False,
+        )
+        u = self.hasher.hash_functions(q)[0]
+        return self.hasher.table_keys_for_query(u)
+
+    def _candidate_dots(
+        self, unique: np.ndarray, q_cols: np.ndarray, q_vals: np.ndarray
+    ) -> np.ndarray:
+        if unique.size == 0:
+            return np.empty(0, dtype=np.float32)
+        if self.dots_strategy == "naive":
+            return candidate_dots_naive(self.data, unique, q_cols, q_vals)
+        if self.dots_strategy == "lookup":
+            return candidate_dots_lookup(self.data, unique, q_cols, q_vals)
+        q_dense = self._densify(q_cols, q_vals)
+        try:
+            return candidate_dots_batched(self.data, unique, q_dense)
+        finally:
+            if self._q_dense is not None:
+                # Reset only the touched positions of the persistent buffer.
+                self._q_dense[q_cols] = 0.0
+
+    def _densify(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
+        if self._q_dense is not None:
+            self._q_dense[q_cols] = q_vals
+            return self._q_dense
+        return densify_query(q_cols, q_vals, self.data.n_cols)
+
+    def _clone(self) -> "QueryEngine":
+        return QueryEngine(
+            self.tables,
+            self.data,
+            self.hasher,
+            self.params,
+            dedup=self.dedup_strategy,
+            dots=self.dots_strategy,
+            reuse_buffers=self.reuse_buffers,
+        )
+
+    def _absorb_stats(self, other: "QueryEngine") -> None:
+        self.stats.n_queries += other.stats.n_queries
+        self.stats.n_collisions += other.stats.n_collisions
+        self.stats.n_unique += other.stats.n_unique
+        self.stats.n_matches += other.stats.n_matches
+        for name, secs in other.stats.stage_times.as_dict().items():
+            self.stats.stage_times.add(name, secs)
+
+
+#: (engine, queries, radius, exclude) visible to fork()ed workers — set just
+#: before the pool is created so children inherit it copy-on-write.
+_FORK_STATE: tuple | None = None
+
+
+def _fork_query_chunk(rows: list[int]):
+    """Worker entry point: run a chunk of queries against the inherited
+    engine and return plain arrays (QueryResult objects re-wrap them in the
+    parent; keeping the payload primitive keeps pickling cheap)."""
+    assert _FORK_STATE is not None, "fork state missing in worker"
+    engine, queries, radius, exclude = _FORK_STATE
+    worker_engine = engine._clone()
+    out = []
+    for r in rows:
+        res = worker_engine.query_row(queries, r, radius=radius, exclude=exclude)
+        out.append((res.indices, res.distances))
+    stats = worker_engine.stats
+    return out, (stats.n_collisions, stats.n_unique, stats.n_matches)

@@ -1,0 +1,143 @@
+"""Contiguous static hash tables (Section 5.1).
+
+A :class:`StaticTableSet` holds all ``L`` tables in two dense allocations:
+
+* ``entries`` — int32 ``(L, N)``: data indexes grouped by table key, the
+  paper's "contiguous arrays with exactly enough space".
+* ``offsets`` — int32 ``(L, 2^k + 1)``: bucket boundaries.
+
+The single large allocations are the library's "large pages" analogue — one
+mapping per structure instead of per-bucket linked nodes.  Memory matches
+the paper's Equation 7.4: ``(L*N + 2^k * L) * 4`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import BUILD_STRATEGIES
+from repro.params import PLSHParams
+
+__all__ = ["StaticTableSet"]
+
+
+class StaticTableSet:
+    """All ``L`` static hash tables of one PLSH node."""
+
+    def __init__(self, entries: np.ndarray, offsets: np.ndarray, params: PLSHParams):
+        if entries.ndim != 2 or offsets.ndim != 2:
+            raise ValueError("entries and offsets must be 2-D")
+        if entries.shape[0] != params.n_tables:
+            raise ValueError(
+                f"expected {params.n_tables} tables, got {entries.shape[0]}"
+            )
+        if offsets.shape != (params.n_tables, params.n_buckets + 1):
+            raise ValueError(
+                f"offsets shape {offsets.shape} != "
+                f"{(params.n_tables, params.n_buckets + 1)}"
+            )
+        self.entries = entries
+        self.offsets = offsets
+        self.params = params
+
+    @classmethod
+    def build(
+        cls,
+        u_values: np.ndarray,
+        params: PLSHParams,
+        *,
+        strategy: str = "shared",
+        vectorized: bool = True,
+        workers: int = 1,
+    ) -> "StaticTableSet":
+        """Construct from cached ``(n, m)`` hash-function values.
+
+        ``strategy`` is one of ``one_level`` / ``two_level`` / ``shared``
+        (see :mod:`repro.core.partition`); production code uses the default.
+        ``workers`` parallelizes per-table construction (shared strategy
+        only; other strategies are ablation rungs and stay serial).
+        """
+        if u_values.ndim != 2 or u_values.shape[1] != params.m:
+            raise ValueError(
+                f"u_values must be (n, {params.m}), got {u_values.shape}"
+            )
+        try:
+            build = BUILD_STRATEGIES[strategy]
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{sorted(BUILD_STRATEGIES)}"
+            ) from None
+        if strategy == "shared":
+            entries, offsets = build(
+                u_values, params.k, vectorized=vectorized, workers=workers
+            )
+        else:
+            entries, offsets = build(u_values, params.k, vectorized=vectorized)
+        return cls(entries, offsets, params)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.entries.shape[1])
+
+    @property
+    def n_tables(self) -> int:
+        return int(self.entries.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.entries.nbytes + self.offsets.nbytes)
+
+    def bucket(self, table: int, key: int) -> np.ndarray:
+        """View of the data indexes in one bucket."""
+        start = int(self.offsets[table, key])
+        stop = int(self.offsets[table, key + 1])
+        return self.entries[table, start:stop]
+
+    def collisions(self, query_keys: np.ndarray) -> np.ndarray:
+        """Concatenated bucket contents across all L tables for one query.
+
+        ``query_keys`` is the length-L key vector ``g_1(q)..g_L(q)``.  The
+        result may contain duplicates — Step Q2's dedup runs downstream.
+        Gathering is fully vectorized across tables (the prefetch-friendly
+        batched access of Section 5.2.2).
+        """
+        query_keys = np.asarray(query_keys, dtype=np.int64)
+        if query_keys.shape != (self.n_tables,):
+            raise ValueError(
+                f"expected {self.n_tables} keys, got shape {query_keys.shape}"
+            )
+        tables = np.arange(self.n_tables)
+        starts = self.offsets[tables, query_keys].astype(np.int64)
+        stops = self.offsets[tables, query_keys + 1].astype(np.int64)
+        lengths = stops - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Flatten (table, position) pairs into indexes of the 2-D entries.
+        ends = np.cumsum(lengths)
+        table_of = np.repeat(tables, lengths)
+        within = np.arange(total) - np.repeat(
+            np.concatenate(([0], ends[:-1])), lengths
+        )
+        flat = table_of * self.n_items + starts[table_of] + within
+        return self.entries.ravel()[flat].astype(np.int64)
+
+    def collisions_per_table(self, query_keys: np.ndarray) -> list[np.ndarray]:
+        """Per-table bucket views (the unbatched access pattern; used by the
+        Figure 5 "no prefetch" ablation and by tests)."""
+        return [
+            self.bucket(l, int(query_keys[l])) for l in range(self.n_tables)
+        ]
+
+    def validate(self) -> None:
+        """Check structural invariants (each table is a permutation)."""
+        n = self.n_items
+        for l in range(self.n_tables):
+            if self.offsets[l, 0] != 0 or self.offsets[l, -1] != n:
+                raise ValueError(f"table {l}: offsets do not span 0..{n}")
+            if np.any(np.diff(self.offsets[l]) < 0):
+                raise ValueError(f"table {l}: offsets not monotone")
+            perm = np.sort(self.entries[l])
+            if not np.array_equal(perm, np.arange(n, dtype=perm.dtype)):
+                raise ValueError(f"table {l}: entries are not a permutation")

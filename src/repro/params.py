@@ -1,0 +1,102 @@
+"""PLSH algorithm parameters (Section 3 and Section 7 of the paper).
+
+The data structure is parameterized by:
+
+* ``k``  — number of bits indexing a single hash table (must be even: each
+  table key is the concatenation of two ``k/2``-bit function values).
+* ``m``  — number of ``k/2``-bit hash functions ``u_1..u_m``; all unordered
+  pairs are combined, giving ``L = m(m-1)/2`` tables.
+* ``radius`` — angular query radius R (radians in ``[0, pi]``).
+* ``delta`` — failure probability: each R-near neighbor is reported with
+  probability at least ``1 - delta``.
+
+The paper's flagship configuration is ``k=16, m=40`` (hence ``L=780``),
+``R=0.9``, ``delta=0.1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from math import pi
+
+__all__ = ["PLSHParams", "PAPER_TWITTER_PARAMS"]
+
+
+@dataclass(frozen=True)
+class PLSHParams:
+    """Immutable bundle of LSH parameters with validation.
+
+    Raises :class:`ValueError` on construction if the parameters are not a
+    valid PLSH configuration (odd ``k``, fewer than two hash functions, a
+    radius outside ``[0, pi]``, ...).
+    """
+
+    k: int = 16
+    m: int = 40
+    radius: float = 0.9
+    delta: float = 0.1
+    seed: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError(f"k must be >= 2, got {self.k}")
+        if self.k % 2 != 0:
+            raise ValueError(
+                f"k must be even (tables concatenate two k/2-bit functions), got {self.k}"
+            )
+        if self.k > 32:
+            raise ValueError(f"k must be <= 32 so table keys fit in uint32, got {self.k}")
+        if self.m < 2:
+            raise ValueError(f"m must be >= 2 (need at least one pair), got {self.m}")
+        if not 0.0 < self.radius <= pi:
+            raise ValueError(f"radius must be in (0, pi], got {self.radius}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+
+    @property
+    def bits_per_function(self) -> int:
+        """Number of bits per hash function ``u_i`` (``k/2``)."""
+        return self.k // 2
+
+    @property
+    def n_tables(self) -> int:
+        """``L = m(m-1)/2`` — number of hash tables."""
+        return self.m * (self.m - 1) // 2
+
+    @property
+    def n_hash_bits(self) -> int:
+        """Total hyperplanes needed: ``m * k/2`` sign bits."""
+        return self.m * self.bits_per_function
+
+    @property
+    def n_buckets_per_level(self) -> int:
+        """Buckets in one partitioning level: ``2^(k/2)``."""
+        return 1 << self.bits_per_function
+
+    @property
+    def n_buckets(self) -> int:
+        """Buckets per table: ``2^k``."""
+        return 1 << self.k
+
+    def table_pairs(self) -> list[tuple[int, int]]:
+        """The ``L`` ordered pairs ``(i, j)`` with ``i < j`` defining tables.
+
+        Table ``l`` uses key ``g_l(v) = (u_i(v) << k/2) | u_j(v)``.  Pairs are
+        enumerated in row-major order ``(0,1), (0,2), ..., (m-2, m-1)`` so the
+        first-level function changes slowest — this is the order in which the
+        shared-first-level construction reuses partitions.
+        """
+        return [(i, j) for i in range(self.m) for j in range(i + 1, self.m)]
+
+    def table_memory_bytes(self, n: int) -> int:
+        """Memory for the hash tables per Equation 7.4: ``(L*N + 2^k * L) * 4``."""
+        return (self.n_tables * n + self.n_buckets * self.n_tables) * 4
+
+    def with_seed(self, seed: int | None) -> "PLSHParams":
+        """Return a copy with a different seed (hash functions re-drawn)."""
+        return replace(self, seed=seed)
+
+
+#: The configuration the paper uses for the billion-tweet evaluation
+#: (Section 8): k=16, m=40 (L=780), R=0.9, delta=0.1.
+PAPER_TWITTER_PARAMS = PLSHParams(k=16, m=40, radius=0.9, delta=0.1)

@@ -1,0 +1,41 @@
+"""The Section 7 performance model.
+
+Three layers:
+
+* :mod:`repro.perfmodel.collisions` — the probability theory: ``p(t)``,
+  ``P'(t, k, m)`` and the sampled estimators of ``E[#collisions]`` and
+  ``E[#unique]`` (Equations 7.1/7.2).
+* :mod:`repro.perfmodel.cost` — the hardware cost model: per-phase
+  cycles/item on a :class:`HardwareSpec` (the paper's Xeon E5-2670 constants
+  are shipped), combined with collision statistics into predicted query and
+  construction times.
+* :mod:`repro.perfmodel.calibrate` + :mod:`repro.perfmodel.tuner` — host
+  calibration of the same constants in seconds (because this implementation
+  runs on Python/numpy, not AVX C++), and the (k, m) enumeration of
+  Section 7.3 that minimizes predicted query time subject to the recall and
+  memory constraints.
+"""
+
+from repro.perfmodel.calibrate import HostCostModel, calibrate_host
+from repro.perfmodel.collisions import (
+    collision_probability,
+    estimate_collision_stats,
+    pair_collision_probability,
+    recall_probability,
+)
+from repro.perfmodel.cost import HardwareSpec, PAPER_HARDWARE, PaperCostModel
+from repro.perfmodel.tuner import ParameterTuner, TuningCandidate
+
+__all__ = [
+    "HardwareSpec",
+    "HostCostModel",
+    "PAPER_HARDWARE",
+    "PaperCostModel",
+    "ParameterTuner",
+    "TuningCandidate",
+    "calibrate_host",
+    "collision_probability",
+    "estimate_collision_stats",
+    "pair_collision_probability",
+    "recall_probability",
+]

@@ -1,0 +1,141 @@
+"""Collision probability theory and sampled statistics (Sections 3 & 7).
+
+For the angular family, two unit vectors at angle ``t`` collide under one
+hash bit with probability ``p(t) = 1 - t/pi``.  A point is *retrieved* by
+the all-pairs scheme iff it collides with the query on at least two of the
+``m`` half-functions ``u_i`` (then some table ``g = (u_a, u_b)`` sees both
+halves collide), giving Section 7.2's
+
+    P'(t, k, m) = 1 - (1 - p^{k/2})^m - m p^{k/2} (1 - p^{k/2})^{m-1}
+
+The cost model needs two data-dependent expectations, estimated from
+samples exactly as Section 7.3 prescribes ("a random set of 1000 queries
+and 1000 data points"):
+
+    E[#collisions] = L * sum_v p(d(q,v))^k        (Equation 7.1)
+    E[#unique]     = sum_v P'(d(q,v), k, m)       (Equation 7.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import pi
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+from repro.utils.rng import rng_for
+
+__all__ = [
+    "collision_probability",
+    "pair_collision_probability",
+    "recall_probability",
+    "CollisionStats",
+    "estimate_collision_stats",
+    "sample_pairwise_distances",
+]
+
+
+def collision_probability(t: np.ndarray | float) -> np.ndarray | float:
+    """``p(t) = 1 - t/pi`` — single-bit collision probability at angle t."""
+    return 1.0 - np.asarray(t) / pi
+
+
+def pair_collision_probability(t: np.ndarray | float, k: int) -> np.ndarray | float:
+    """``p(t)^k`` — probability a full k-bit table key collides."""
+    return collision_probability(t) ** k
+
+
+def recall_probability(t: np.ndarray | float, k: int, m: int) -> np.ndarray | float:
+    """``P'(t, k, m)`` — probability a point at angle t is retrieved.
+
+    The complement is the probability of colliding on zero or exactly one of
+    the m half-functions.
+    """
+    q = collision_probability(t) ** (k // 2)
+    miss = (1.0 - q) ** m + m * q * (1.0 - q) ** (m - 1)
+    return 1.0 - miss
+
+
+@dataclass(frozen=True)
+class CollisionStats:
+    """Sampled expectations scaled to the full dataset size N."""
+
+    expected_collisions: float  # E[#collisions] per query (Eq 7.1)
+    expected_unique: float      # E[#unique]     per query (Eq 7.2)
+    n_data: int
+    n_query_sample: int
+    n_data_sample: int
+
+
+def sample_pairwise_distances(
+    data: CSRMatrix,
+    queries: CSRMatrix,
+    *,
+    n_query_sample: int = 1000,
+    n_data_sample: int = 1000,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Angular distances between sampled query rows and sampled data rows.
+
+    Returns a ``(q_sample, d_sample)`` matrix.  Rows of both inputs must be
+    unit vectors (as produced by the vectorizer).
+    """
+    rng = rng_for(seed, "collision-sampling")
+    q_ids = rng.choice(
+        queries.n_rows, size=min(n_query_sample, queries.n_rows), replace=False
+    )
+    d_ids = rng.choice(
+        data.n_rows, size=min(n_data_sample, data.n_rows), replace=False
+    )
+    sample = data.gather_rows(d_ids)
+    out = np.empty((q_ids.size, d_ids.size), dtype=np.float64)
+    dense = np.zeros(data.n_cols, dtype=np.float32)
+    all_rows = np.arange(sample.n_rows, dtype=np.int64)
+    for row, qid in enumerate(q_ids.tolist()):
+        cols, vals = queries.row(int(qid))
+        dense[cols] = vals
+        dots = row_dots_dense(sample, all_rows, dense)
+        dense[cols] = 0.0
+        out[row] = np.arccos(np.clip(dots, -1.0, 1.0))
+    return out
+
+
+def estimate_collision_stats(
+    data: CSRMatrix,
+    queries: CSRMatrix,
+    k: int,
+    m: int,
+    *,
+    n_query_sample: int = 1000,
+    n_data_sample: int = 1000,
+    seed: int | None = 0,
+    distances: np.ndarray | None = None,
+) -> CollisionStats:
+    """Estimate Equations 7.1 and 7.2 by sampling.
+
+    Pass ``distances`` (from :func:`sample_pairwise_distances`) to reuse one
+    distance sample across many (k, m) candidates — that is what makes the
+    Section 7.3 enumeration cheap.
+    """
+    if distances is None:
+        distances = sample_pairwise_distances(
+            data,
+            queries,
+            n_query_sample=n_query_sample,
+            n_data_sample=n_data_sample,
+            seed=seed,
+        )
+    n = data.n_rows
+    scale = n / distances.shape[1]
+    L = m * (m - 1) // 2
+    per_pair_collisions = pair_collision_probability(distances, k)
+    per_pair_unique = recall_probability(distances, k, m)
+    return CollisionStats(
+        expected_collisions=float(L * per_pair_collisions.sum(axis=1).mean() * scale),
+        expected_unique=float(per_pair_unique.sum(axis=1).mean() * scale),
+        n_data=n,
+        n_query_sample=distances.shape[0],
+        n_data_sample=distances.shape[1],
+    )

@@ -1,0 +1,163 @@
+"""The paper's hardware cost model (Section 7.1), in cycles and seconds.
+
+Every constant below is lifted from the paper's derivation for the Xeon
+E5-2670 testbed (2.6 GHz, 32 GB/s ≈ 12.3 bytes/cycle, 8 cores, 8-wide AVX):
+
+Query (per query):
+* Step Q2 — bitvector update: ~11 ops per collision, parallelized over T
+  cores → ``11/T`` cycles per collision; plus a bitvector scan of
+  ``14/T`` cycles per 32 bits of N.
+* Step Q3 — candidate load + sparse dot: ~256 bytes of traffic per unique
+  candidate → ``256 / bw_bytes_per_cycle`` ≈ 20.8, +1 cycle compute
+  → ≈ 21.8 cycles per unique candidate.
+
+Construction (per tweet):
+* Hashing — 11 ops per (non-zero, hash bit), parallelized over T cores and
+  S SIMD lanes: ``NNZ * m * k/2 * 11 / (T * S)`` cycles.
+* Step I1 — 24 bytes of traffic per item per first-level partition:
+  ``24 * m / bw`` cycles.
+* Steps I2/I3 — 16 bytes per item per table each: ``16 * L / bw`` cycles.
+
+The paper validates this model to 15-25 % (Figures 6/7); our benches do the
+same against the *calibrated host* model (see calibrate.py), and ship this
+paper model for parameter studies on the paper's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareSpec", "PAPER_HARDWARE", "PaperCostModel", "QueryCostBreakdown", "CreationCostBreakdown"]
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Machine constants feeding the cycle model."""
+
+    frequency_hz: float = 2.6e9
+    bandwidth_bytes_per_s: float = 32e9
+    n_cores: int = 8
+    simd_width: int = 8  # float32 lanes of AVX
+
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        return self.bandwidth_bytes_per_s / self.frequency_hz
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+#: The paper's evaluation machine: Intel Xeon E5-2670.
+PAPER_HARDWARE = HardwareSpec()
+
+
+@dataclass(frozen=True)
+class QueryCostBreakdown:
+    """Predicted per-query cost (seconds), by pipeline stage."""
+
+    q2_bitvector_s: float
+    q3_search_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.q2_bitvector_s + self.q3_search_s
+
+
+@dataclass(frozen=True)
+class CreationCostBreakdown:
+    """Predicted construction cost (seconds), by stage, for N items."""
+
+    hashing_s: float
+    i1_s: float
+    i2_s: float
+    i3_s: float
+
+    @property
+    def insertion_s(self) -> float:
+        return self.i1_s + self.i2_s + self.i3_s
+
+    @property
+    def total_s(self) -> float:
+        return self.hashing_s + self.insertion_s
+
+
+class PaperCostModel:
+    """Section 7.1's cycle model over a :class:`HardwareSpec`."""
+
+    #: ops per collision for the bitvector update (Section 7.1.1)
+    OPS_PER_COLLISION = 11.0
+    #: ops per 32 bits of the bitvector scan
+    OPS_PER_SCAN_WORD = 14.0
+    #: bytes of memory traffic per unique candidate (4 cache lines)
+    BYTES_PER_UNIQUE = 256.0
+    #: extra compute cycles per unique candidate (dot product)
+    COMPUTE_PER_UNIQUE = 1.0
+    #: ops per (hash bit x non-zero) during hashing
+    OPS_PER_HASH_NNZ = 11.0
+    #: bytes per item per first-level partition (Step I1)
+    I1_BYTES = 24.0
+    #: bytes per item per table for Steps I2 and I3, each
+    I23_BYTES = 16.0
+
+    def __init__(self, hardware: HardwareSpec = PAPER_HARDWARE) -> None:
+        self.hw = hardware
+
+    # -- per-unit costs ------------------------------------------------------
+
+    def tq2_cycles_per_collision(self) -> float:
+        """Bitvector update cycles per (duplicated) collision."""
+        return self.OPS_PER_COLLISION / self.hw.n_cores
+
+    def tq2_scan_cycles(self, n: int) -> float:
+        """Bitvector scan cycles (depends on N only)."""
+        return self.OPS_PER_SCAN_WORD / self.hw.n_cores * (n / 32.0)
+
+    def tq3_cycles_per_unique(self) -> float:
+        """Candidate load + sparse-dot cycles per unique candidate."""
+        return (
+            self.BYTES_PER_UNIQUE / self.hw.bandwidth_bytes_per_cycle
+            + self.COMPUTE_PER_UNIQUE
+        )
+
+    # -- query ---------------------------------------------------------------
+
+    def query_cost(
+        self, n: int, expected_collisions: float, expected_unique: float
+    ) -> QueryCostBreakdown:
+        """Predicted per-query cost from the sampled collision statistics."""
+        q2 = self.tq2_cycles_per_collision() * expected_collisions
+        q2 += self.tq2_scan_cycles(n)
+        q3 = self.tq3_cycles_per_unique() * expected_unique
+        return QueryCostBreakdown(
+            q2_bitvector_s=self.hw.seconds(q2),
+            q3_search_s=self.hw.seconds(q3),
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    def hashing_cycles_per_item(self, nnz: float, k: int, m: int) -> float:
+        ops = nnz * m * (k / 2) * self.OPS_PER_HASH_NNZ
+        return ops / (self.hw.n_cores * self.hw.simd_width)
+
+    def creation_cost(self, n: int, nnz: float, k: int, m: int) -> CreationCostBreakdown:
+        """Predicted construction cost for N items of mean sparsity NNZ."""
+        L = m * (m - 1) // 2
+        bw = self.hw.bandwidth_bytes_per_cycle
+        hashing = self.hashing_cycles_per_item(nnz, k, m) * n
+        i1 = self.I1_BYTES * m / bw * n
+        i2 = self.I23_BYTES * L / bw * n
+        i3 = self.I23_BYTES * L / bw * n
+        return CreationCostBreakdown(
+            hashing_s=self.hw.seconds(hashing),
+            i1_s=self.hw.seconds(i1),
+            i2_s=self.hw.seconds(i2),
+            i3_s=self.hw.seconds(i3),
+        )
+
+    def merge_optimality_bound(self) -> float:
+        """Section 6.2's bound: rebuild traffic / minimal merge traffic.
+
+        Rebuild writes ~32 bytes per entry per table; any merge must move at
+        least 12 → no merge beats the rebuild by more than ~2.67x.
+        """
+        return 32.0 / 12.0

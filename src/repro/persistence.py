@@ -1,0 +1,105 @@
+"""Saving and loading built PLSH indexes.
+
+The paper's system is memory-resident and rebuilt from the firehose, but an
+adoptable library needs restartability: a built static index (tables,
+cached hash values, data, hyperplanes) round-trips through one ``.npz``
+archive.  Loading restores an index that answers queries identically —
+including the hash functions, which are stored rather than re-drawn so a
+reloaded index agrees with peers built from the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import AllPairsHasher
+from repro.core.index import PLSHIndex
+from repro.core.tables import StaticTableSet
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: PLSHIndex, path: str | Path) -> None:
+    """Serialize a built index to ``path`` (an ``.npz`` archive)."""
+    if not index.is_built:
+        raise ValueError("cannot save an index that has not been built")
+    assert index.data is not None
+    assert index.u_values is not None
+    assert index.tables is not None
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "dim": index.dim,
+        "params": {
+            "k": index.params.k,
+            "m": index.params.m,
+            "radius": index.params.radius,
+            "delta": index.params.delta,
+            "seed": index.params.seed,
+        },
+        "dedup": index._dedup,
+        "dots": index._dots,
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        data_indptr=index.data.indptr,
+        data_indices=index.data.indices,
+        data_values=index.data.data,
+        u_values=index.u_values,
+        entries=index.tables.entries,
+        offsets=index.tables.offsets,
+        hyperplanes=index.hasher.bank.planes,
+    )
+
+
+def load_index(path: str | Path) -> PLSHIndex:
+    """Restore an index saved by :func:`save_index`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {meta['format_version']} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        params = PLSHParams(**meta["params"])
+        dim = int(meta["dim"])
+        data = CSRMatrix(
+            archive["data_indptr"],
+            archive["data_indices"],
+            archive["data_values"],
+            dim,
+            check=False,
+        )
+        hasher = AllPairsHasher(params, dim)
+        # Restore the exact hyperplanes (seeds may legitimately be None).
+        hasher.bank.planes = np.ascontiguousarray(
+            archive["hyperplanes"], dtype=np.float32
+        )
+        index = PLSHIndex(
+            dim, params, hasher=hasher, dedup=meta["dedup"], dots=meta["dots"]
+        )
+        index.data = data
+        index.u_values = np.ascontiguousarray(archive["u_values"])
+        index.tables = StaticTableSet(
+            np.ascontiguousarray(archive["entries"]),
+            np.ascontiguousarray(archive["offsets"]),
+            params,
+        )
+        from repro.core.query import QueryEngine
+
+        index.engine = QueryEngine(
+            index.tables,
+            data,
+            hasher,
+            params,
+            dedup=meta["dedup"],
+            dots=meta["dots"],
+        )
+        return index

@@ -1,0 +1,25 @@
+"""Sparse-vector substrate: CSR storage, kernels, and the IDF vectorizer.
+
+The paper stores tweets as IDF-weighted unit vectors in Compressed Row
+Storage (CRS/CSR) form and treats both hashing (sparse × dense matmul) and
+candidate filtering (sparse row · dense query) as CSR kernels.  This package
+implements that substrate from scratch on numpy.
+"""
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    row_dots_dense,
+    row_dots_dense_reference,
+    sparse_dense_matmul,
+    sparse_dense_matmul_reference,
+)
+from repro.sparse.vectorizer import IDFVectorizer
+
+__all__ = [
+    "CSRMatrix",
+    "IDFVectorizer",
+    "row_dots_dense",
+    "row_dots_dense_reference",
+    "sparse_dense_matmul",
+    "sparse_dense_matmul_reference",
+]

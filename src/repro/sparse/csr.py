@@ -1,0 +1,255 @@
+"""A from-scratch CSR (Compressed Row Storage) matrix on numpy arrays.
+
+This is the paper's storage format for the tweet corpus (Section 5.1.1):
+``indptr`` (row boundaries), ``indices`` (vocabulary ids per row) and
+``data`` (IDF scores).  Rows are the sparse documents; the matrix is
+generally very sparse (≈7.2 non-zeros per 500k-dimensional tweet row).
+
+Only the operations the system needs are implemented — row slicing and
+gathering, concatenation, and conversions — with validation on construction
+so downstream kernels can assume well-formed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Immutable-ish CSR matrix of shape ``(n_rows, n_cols)``.
+
+    Attributes
+    ----------
+    indptr : int64 array of length ``n_rows + 1``
+    indices : int32 array of length ``nnz`` (column ids, per-row sorted order
+        is *not* required but per-row duplicates are rejected by
+        :meth:`validate`)
+    data : float32 array of length ``nnz``
+    """
+
+    __slots__ = ("indptr", "indices", "data", "n_cols")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        n_cols: int,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        self.n_cols = int(n_cols)
+        if check:
+            self.validate()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[tuple[Sequence[int], Sequence[float]]],
+        n_cols: int,
+    ) -> "CSRMatrix":
+        """Build from an iterable of ``(column_ids, values)`` pairs."""
+        indptr = [0]
+        all_cols: list[np.ndarray] = []
+        all_vals: list[np.ndarray] = []
+        for cols, vals in rows:
+            cols = np.asarray(cols, dtype=np.int32)
+            vals = np.asarray(vals, dtype=np.float32)
+            if cols.shape != vals.shape:
+                raise ValueError(
+                    f"row has {cols.size} column ids but {vals.size} values"
+                )
+            all_cols.append(cols)
+            all_vals.append(vals)
+            indptr.append(indptr[-1] + cols.size)
+        indices = (
+            np.concatenate(all_cols) if all_cols else np.empty(0, dtype=np.int32)
+        )
+        data = np.concatenate(all_vals) if all_vals else np.empty(0, dtype=np.float32)
+        return cls(np.asarray(indptr, dtype=np.int64), indices, data, n_cols)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a 2-D dense array (test/debug helper)."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {dense.shape}")
+        rows = []
+        for r in range(dense.shape[0]):
+            cols = np.nonzero(dense[r])[0]
+            rows.append((cols, dense[r, cols]))
+        return cls.from_rows(rows, dense.shape[1])
+
+    @classmethod
+    def empty(cls, n_cols: int) -> "CSRMatrix":
+        """A matrix with zero rows."""
+        return cls(
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.float32),
+            n_cols,
+        )
+
+    @classmethod
+    def vstack(cls, blocks: Sequence["CSRMatrix"]) -> "CSRMatrix":
+        """Concatenate matrices row-wise. All blocks must share ``n_cols``."""
+        if not blocks:
+            raise ValueError("vstack needs at least one block")
+        n_cols = blocks[0].n_cols
+        for b in blocks:
+            if b.n_cols != n_cols:
+                raise ValueError(
+                    f"column mismatch in vstack: {b.n_cols} != {n_cols}"
+                )
+        indptrs = [blocks[0].indptr]
+        for b in blocks[1:]:
+            indptrs.append(b.indptr[1:] + (indptrs[-1][-1] - b.indptr[0]))
+        return cls(
+            np.concatenate(indptrs),
+            np.concatenate([b.indices for b in blocks]),
+            np.concatenate([b.data for b in blocks]),
+            n_cols,
+            check=False,
+        )
+
+    # -- shape / inspection ------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return self.indices.size
+
+    def row_lengths(self) -> np.ndarray:
+        """Non-zero count per row."""
+        return np.diff(self.indptr)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    def validate(self) -> None:
+        """Raise ValueError if the structure is inconsistent."""
+        if self.indptr.size < 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError(
+                f"indptr[-1]={int(self.indptr[-1])} != nnz={self.indices.size}"
+            )
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data lengths differ")
+        if self.indices.size:
+            if int(self.indices.min()) < 0 or int(self.indices.max()) >= self.n_cols:
+                raise ValueError("column index out of range")
+
+    # -- row access ---------------------------------------------------------
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of ``(column_ids, values)`` for row ``i``."""
+        s, e = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[s:e], self.data[s:e]
+
+    def gather_rows(self, row_ids: np.ndarray) -> "CSRMatrix":
+        """A new CSRMatrix containing the given rows (in the given order).
+
+        This is the Step-Q3 "load candidate data items" operation: the rows
+        are copied into a fresh contiguous block, mirroring the cache-line
+        reads of the paper.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        starts = self.indptr[row_ids]
+        lengths = self.indptr[row_ids + 1] - starts
+        new_indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_indptr[1:])
+        take = _ranges_to_indices(starts, lengths)
+        return CSRMatrix(
+            new_indptr, self.indices[take], self.data[take], self.n_cols, check=False
+        )
+
+    def slice_rows(self, start: int, stop: int) -> "CSRMatrix":
+        """Contiguous row slice ``[start, stop)`` (zero-copy for indices/data)."""
+        if not 0 <= start <= stop <= self.n_rows:
+            raise IndexError(f"slice [{start}, {stop}) out of range 0..{self.n_rows}")
+        s, e = int(self.indptr[start]), int(self.indptr[stop])
+        return CSRMatrix(
+            self.indptr[start : stop + 1] - s,
+            self.indices[s:e],
+            self.data[s:e],
+            self.n_cols,
+            check=False,
+        )
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Dense float32 array (test/debug helper; beware memory)."""
+        out = np.zeros(self.shape, dtype=np.float32)
+        row_ids = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        # += handles duplicate columns within a row like scipy does.
+        np.add.at(out, (row_ids, self.indices), self.data)
+        return out
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (for cross-checks in tests)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def row_norms(self) -> np.ndarray:
+        """L2 norm of each row."""
+        sq = self.data.astype(np.float64) ** 2
+        sums = np.zeros(self.n_rows, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), self.row_lengths())
+        np.add.at(sums, row_ids, sq)
+        return np.sqrt(sums)
+
+    def normalized(self) -> "CSRMatrix":
+        """Return a copy with each non-empty row scaled to unit L2 norm."""
+        norms = self.row_norms()
+        scale = np.ones(self.n_rows, dtype=np.float64)
+        nonzero = norms > 0
+        scale[nonzero] = 1.0 / norms[nonzero]
+        per_nnz = np.repeat(scale, self.row_lengths())
+        return CSRMatrix(
+            self.indptr,
+            self.indices,
+            (self.data.astype(np.float64) * per_nnz).astype(np.float32),
+            self.n_cols,
+            check=False,
+        )
+
+
+def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ranges ``[starts[i], starts[i]+lengths[i])`` vectorized.
+
+    Standard trick: cumulative offsets + per-position corrections, avoiding a
+    Python-level loop over rows.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    row_ids = np.repeat(np.arange(lengths.size), lengths)
+    within = np.arange(total) - np.repeat(np.concatenate(([0], ends[:-1])), lengths)
+    return starts[row_ids] + within

@@ -1,0 +1,16 @@
+"""Streaming PLSH (Section 6): delta tables, merge, deletion, node policy.
+
+New data is buffered in an insert-optimized **delta table**; queries consult
+both static and delta structures and combine answers.  When the delta
+reaches a fraction ``eta`` of node capacity it is merged into the static
+structure (a partition-bound rebuild over cached hash codes).  Deletions are
+a bitvector consulted before the distance computation.  The node enforces a
+hard capacity; retirement (wholesale erase) is driven by the cluster layer.
+"""
+
+from repro.streaming.delta import DeltaTable
+from repro.streaming.deletion import DeletionFilter
+from repro.streaming.merge import merge_into_static
+from repro.streaming.node import StreamingPLSH
+
+__all__ = ["DeletionFilter", "DeltaTable", "StreamingPLSH", "merge_into_static"]

@@ -1,0 +1,169 @@
+"""The rejected streaming alternative: circular-queue buckets (Section 6).
+
+The paper discusses (and rejects) the expiration scheme of Petrovic et
+al. [28]: "use circular queues to store LSH buckets, overwriting elements
+when buckets overflow.  In this scenario, there is no guarantee that the
+same data item is deleted from all buckets; this can also affect accuracy
+of results" — i.e. a point half-evicted from its buckets is found with
+reduced probability, and its expiration time is undefined.
+
+This module implements that scheme faithfully so the trade-off can be
+measured (see ``benchmarks/bench_ablation_streaming.py``): constant-memory
+fixed-size bins with overwrite-on-overflow, against PLSH's delta+retirement
+design with well-defined semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import angular_distance
+from repro.core.hashing import AllPairsHasher
+from repro.core.query import QueryResult
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import row_dots_dense
+
+__all__ = ["CircularBucketLSH"]
+
+
+class CircularBucketLSH:
+    """Streaming LSH with fixed-capacity circular buckets.
+
+    Every bucket holds at most ``bucket_capacity`` entries; a new insert
+    into a full bucket overwrites the oldest entry *of that bucket only*.
+    Memory is bounded by ``L * 2^k * bucket_capacity`` occupied slots, but:
+
+    * old points decay out of individual buckets rather than expiring at a
+      well-defined time, and
+    * a point still resident in only some of its L buckets is retrieved
+      with reduced probability (the accuracy loss the paper calls out).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        params: PLSHParams,
+        *,
+        bucket_capacity: int = 8,
+        hasher: AllPairsHasher | None = None,
+    ) -> None:
+        if bucket_capacity <= 0:
+            raise ValueError(
+                f"bucket_capacity must be positive, got {bucket_capacity}"
+            )
+        self.dim = dim
+        self.params = params
+        self.bucket_capacity = bucket_capacity
+        self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
+        #: per-table: key -> (list of ids, cursor) circular buffer
+        self._bins: list[dict[int, tuple[list[int], int]]] = [
+            {} for _ in range(params.n_tables)
+        ]
+        self._blocks: list[CSRMatrix] = []
+        self._vectors_cache: CSRMatrix | None = None
+        self._n_rows = 0
+        self.n_overwrites = 0
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def vectors(self) -> CSRMatrix:
+        if self._vectors_cache is None:
+            if not self._blocks:
+                self._vectors_cache = CSRMatrix.empty(self.dim)
+            else:
+                self._vectors_cache = CSRMatrix.vstack(self._blocks)
+        return self._vectors_cache
+
+    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
+        """Insert rows, overwriting the oldest entry of any full bucket."""
+        if vectors.n_cols != self.dim:
+            raise ValueError(
+                f"batch has {vectors.n_cols} columns, expected {self.dim}"
+            )
+        n = vectors.n_rows
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        base = self._n_rows
+        u = self.hasher.hash_functions(vectors)
+        ids = np.arange(base, base + n, dtype=np.int64)
+        for l in range(self.params.n_tables):
+            keys = self.hasher.table_key(u, l).tolist()
+            bins = self._bins[l]
+            for local, key in enumerate(keys):
+                slot = bins.get(key)
+                if slot is None:
+                    bins[key] = ([int(ids[local])], 0)
+                else:
+                    bucket, cursor = slot
+                    if len(bucket) < self.bucket_capacity:
+                        bucket.append(int(ids[local]))
+                    else:
+                        bucket[cursor] = int(ids[local])  # overwrite oldest
+                        bins[key] = (bucket, (cursor + 1) % self.bucket_capacity)
+                        self.n_overwrites += 1
+        self._blocks.append(vectors)
+        self._n_rows += n
+        self._vectors_cache = None
+        return ids
+
+    def residency(self, item: int) -> float:
+        """Fraction of this item's L buckets it still occupies.
+
+        1.0 right after insertion; decays toward 0 as later inserts
+        overwrite it bucket by bucket — the paper's "no guarantee that the
+        same data item is deleted from all buckets", quantified.
+        """
+        present = 0
+        vectors = self.vectors()
+        row = vectors.slice_rows(item, item + 1)
+        u = self.hasher.hash_functions(row)
+        keys = self.hasher.table_keys_for_query(u[0])
+        for l in range(self.params.n_tables):
+            slot = self._bins[l].get(int(keys[l]))
+            if slot is not None and item in slot[0]:
+                present += 1
+        return present / self.params.n_tables
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> QueryResult:
+        """Standard Q1-Q4 over whatever survives in the circular buckets."""
+        radius = self.params.radius if radius is None else radius
+        q_cols = np.asarray(q_cols, dtype=np.int64)
+        q_vals = np.asarray(q_vals, dtype=np.float32)
+        q = CSRMatrix(
+            np.asarray([0, q_cols.size], dtype=np.int64),
+            q_cols.astype(np.int32),
+            q_vals,
+            self.dim,
+            check=False,
+        )
+        u = self.hasher.hash_functions(q)[0]
+        keys = self.hasher.table_keys_for_query(u)
+        found: list[int] = []
+        for l in range(self.params.n_tables):
+            slot = self._bins[l].get(int(keys[l]))
+            if slot is not None:
+                found.extend(slot[0])
+        if not found:
+            return QueryResult(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+            )
+        unique = np.unique(np.asarray(found, dtype=np.int64))
+        vectors = self.vectors()
+        q_dense = np.zeros(self.dim, dtype=np.float32)
+        q_dense[q_cols] = q_vals
+        dots = row_dots_dense(vectors, unique, q_dense)
+        dists = angular_distance(dots)
+        within = dists <= radius
+        return QueryResult(unique[within], dists[within])
+
+    def query_batch(
+        self, queries: CSRMatrix, *, radius: float | None = None
+    ) -> list[QueryResult]:
+        return [
+            self.query(*queries.row(r), radius=radius)
+            for r in range(queries.n_rows)
+        ]

@@ -1,0 +1,65 @@
+"""Deletion filter (Section 6.2, "Deleting Entries").
+
+"Deletions of arbitrary tweets can be handled through the use of a
+bitvector ... Before performing the sparse dot product computation, we
+check this bitvector to see if the corresponding entry is 'live' and
+proceed accordingly.  This bitvector gets reset to all-zeros when the data
+in the node is retired."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bitvector import BitVector
+
+__all__ = ["DeletionFilter"]
+
+
+class DeletionFilter:
+    """Packed bitvector of tombstones over a node's local row ids."""
+
+    def __init__(self, capacity: int) -> None:
+        self._bits = BitVector(capacity)
+        self._n_deleted = 0
+
+    @property
+    def n_deleted(self) -> int:
+        return self._n_deleted
+
+    @property
+    def capacity(self) -> int:
+        return len(self._bits)
+
+    def delete(self, ids: np.ndarray | int) -> int:
+        """Mark rows deleted; returns how many were newly deleted."""
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        already = self._bits.test(ids)
+        fresh = np.unique(ids[~already])
+        if fresh.size:
+            self._bits.set(fresh)
+        self._n_deleted += int(fresh.size)
+        return int(fresh.size)
+
+    def is_deleted(self, ids: np.ndarray | int) -> np.ndarray:
+        """Boolean mask: True where the row is tombstoned."""
+        return self._bits.test(np.atleast_1d(np.asarray(ids, dtype=np.int64)))
+
+    def filter_live(self, ids: np.ndarray) -> np.ndarray:
+        """Drop tombstoned ids from a candidate list (the pre-dot check)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return ids
+        return ids[~self._bits.test(ids)]
+
+    def mask(self, n: int) -> np.ndarray | None:
+        """Dense boolean exclude-mask over ``0..n`` or None if no deletions."""
+        if self._n_deleted == 0:
+            return None
+        idx = np.arange(n, dtype=np.int64)
+        return self._bits.test(idx)
+
+    def reset(self) -> None:
+        """Forget all tombstones (node retirement)."""
+        self._bits.reset()
+        self._n_deleted = 0

@@ -1,0 +1,136 @@
+"""Insert-optimized delta tables (Section 6.1).
+
+"For delta tables, we use a streaming variant of LSH that has a set of
+``2^k x L`` resizeable vectors.  Every new tweet is hashed and inserted into
+L of these bins."
+
+Representation: one dict per table mapping bucket key -> Python list of
+local row indexes.  Only non-empty bins exist (the paper applies the same
+standard-hashing trick to static tables), so memory stays proportional to
+insertions, and appends are amortized O(1) — the insert-optimized tradeoff
+that makes delta queries slower than static ones (every lookup walks a dict
+and materializes a list instead of slicing one contiguous array).
+
+The delta table also keeps the inserted rows (CSR blocks) and their cached
+hash-function values, so the periodic merge can rebuild the static structure
+without re-hashing anything (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashing import AllPairsHasher
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["DeltaTable"]
+
+
+class DeltaTable:
+    """The streaming (insert-optimized) LSH structure of one node."""
+
+    def __init__(self, dim: int, params: PLSHParams, hasher: AllPairsHasher) -> None:
+        self.dim = dim
+        self.params = params
+        self.hasher = hasher
+        #: per-table bucket map: key -> list of delta-local row ids
+        self._bins: list[dict[int, list[int]]] = [
+            {} for _ in range(params.n_tables)
+        ]
+        self._blocks: list[CSRMatrix] = []
+        self._u_blocks: list[np.ndarray] = []
+        self._n_rows = 0
+        self._vectors_cache: CSRMatrix | None = None
+
+    # -- state ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def vectors(self) -> CSRMatrix:
+        """All inserted rows as one CSR matrix (cached between inserts)."""
+        if self._vectors_cache is None:
+            if not self._blocks:
+                self._vectors_cache = CSRMatrix.empty(self.dim)
+            else:
+                self._vectors_cache = CSRMatrix.vstack(self._blocks)
+        return self._vectors_cache
+
+    def u_values(self) -> np.ndarray:
+        """Cached hash-function values ``(n_rows, m)`` for all inserted rows."""
+        if not self._u_blocks:
+            return np.empty((0, self.params.m), dtype=np.uint16)
+        return np.concatenate(self._u_blocks, axis=0)
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
+        """Insert a batch of rows; returns their delta-local ids.
+
+        Insertion is batched (the paper buffers ~100 k tweets per insert
+        call): the batch is hashed in one matmul, then each table groups the
+        batch by key with one stable partition and extends its bins — L
+        passes over the batch, not L passes per tweet.
+        """
+        if vectors.n_cols != self.dim:
+            raise ValueError(
+                f"batch has {vectors.n_cols} columns, delta expects {self.dim}"
+            )
+        n = vectors.n_rows
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        base = self._n_rows
+        u = self.hasher.hash_functions(vectors)
+        local_ids = np.arange(base, base + n, dtype=np.int64)
+        for l in range(self.params.n_tables):
+            keys = self.hasher.table_key(u, l)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            # Group boundaries of equal keys within the sorted batch.
+            boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [n]))
+            bins = self._bins[l]
+            for s, e in zip(starts.tolist(), stops.tolist()):
+                key = int(sorted_keys[s])
+                ids = local_ids[order[s:e]].tolist()
+                bucket = bins.get(key)
+                if bucket is None:
+                    bins[key] = ids
+                else:
+                    bucket.extend(ids)
+        self._blocks.append(vectors)
+        self._u_blocks.append(u)
+        self._n_rows += n
+        self._vectors_cache = None
+        return local_ids
+
+    # -- querying -----------------------------------------------------------------
+
+    def collisions(self, query_keys: np.ndarray) -> np.ndarray:
+        """Concatenated bucket contents across tables (with duplicates)."""
+        out: list[list[int]] = []
+        for l in range(self.params.n_tables):
+            bucket = self._bins[l].get(int(query_keys[l]))
+            if bucket:
+                out.append(bucket)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray([i for bucket in out for i in bucket], dtype=np.int64)
+
+    def bucket_sizes(self) -> dict[int, int]:
+        """Histogram: number of non-empty bins per table (diagnostics)."""
+        return {l: len(bins) for l, bins in enumerate(self._bins)}
+
+    def clear(self) -> None:
+        """Drop all contents (after a merge into the static structure)."""
+        self._bins = [{} for _ in range(self.params.n_tables)]
+        self._blocks = []
+        self._u_blocks = []
+        self._n_rows = 0
+        self._vectors_cache = None

@@ -1,0 +1,55 @@
+"""Merging delta tables into the static structure (Section 6.2).
+
+"One way to perform the merge is simply to reinitialize the static LSH
+structure, but with the streamed data added.  We can easily show that
+although this is unoptimized, no merge algorithm can be more than 3x
+better" — because initialization is bandwidth-bound and any merge must at
+least read the old static tables and write the combined ones.
+
+The implementation follows the paper exactly: concatenate the static rows
+with the delta rows, concatenate their *cached* hash-function values (so no
+re-hashing happens), and run the shared two-level table construction over
+the union.  The merge is therefore partition-bound, the quantity the
+paper's TI2/TI3 model prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import PLSHIndex
+from repro.sparse.csr import CSRMatrix
+from repro.streaming.delta import DeltaTable
+
+__all__ = ["merge_into_static"]
+
+
+def merge_into_static(static: PLSHIndex, delta: DeltaTable) -> PLSHIndex:
+    """Rebuild ``static`` to include everything in ``delta``.
+
+    Returns a new :class:`PLSHIndex` sharing the hasher (and thus the hash
+    functions) of the old one.  Delta rows receive local ids following the
+    static rows: static row ids are stable across merges, delta-local id
+    ``d`` becomes ``n_static + d`` — the mapping the streaming node relies
+    on when translating to global ids.
+    """
+    if static.data is None or static.u_values is None:
+        raise ValueError("static index must be built before merging")
+    if delta.dim != static.dim:
+        raise ValueError(
+            f"dimension mismatch: delta {delta.dim} != static {static.dim}"
+        )
+    if len(delta) == 0:
+        return static
+
+    combined_data = CSRMatrix.vstack([static.data, delta.vectors()])
+    combined_u = np.concatenate([static.u_values, delta.u_values()], axis=0)
+    merged = PLSHIndex(
+        static.dim,
+        static.params,
+        hasher=static.hasher,
+        dedup=static._dedup,
+        dots=static._dots,
+    )
+    merged.build(combined_data, u_values=combined_u)
+    return merged

@@ -1,0 +1,218 @@
+"""``StreamingPLSH`` — one node's full streaming stack (Sections 4 & 6).
+
+A node owns a static :class:`PLSHIndex`, a :class:`DeltaTable`, and a
+:class:`DeletionFilter`.  Inserts append to the delta; when the delta
+reaches ``eta x capacity`` it is merged into the static structure (queries
+arriving during a merge are buffered by the caller — the merge here is
+synchronous).  Queries run against both structures and the answers are
+combined; candidates from either side are screened against the deletion
+bitvector before the distance computation.
+
+Local id space: static rows occupy ``[0, n_static)``; delta row ``d`` is
+addressed as ``n_static + d``.  A merge folds delta rows into the static
+range in insertion order, so local ids are *stable under merge* — a
+property the cluster's global-id mapping and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import angular_distance
+from repro.core.hashing import AllPairsHasher
+from repro.core.index import PLSHIndex
+from repro.core.query import QueryResult
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import row_dots_dense
+from repro.streaming.deletion import DeletionFilter
+from repro.streaming.delta import DeltaTable
+from repro.streaming.merge import merge_into_static
+from repro.utils.timing import StageTimes
+
+__all__ = ["StreamingPLSH", "CapacityError"]
+
+
+class CapacityError(RuntimeError):
+    """Raised when an insert would exceed the node's capacity."""
+
+
+class StreamingPLSH:
+    """A capacity-bounded streaming PLSH node."""
+
+    def __init__(
+        self,
+        dim: int,
+        params: PLSHParams,
+        capacity: int,
+        *,
+        delta_fraction: float = 0.1,
+        auto_merge: bool = True,
+        hasher: AllPairsHasher | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 < delta_fraction <= 1.0:
+            raise ValueError(
+                f"delta_fraction must be in (0, 1], got {delta_fraction}"
+            )
+        self.dim = dim
+        self.params = params
+        self.capacity = capacity
+        self.delta_fraction = delta_fraction
+        self.auto_merge = auto_merge
+        self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
+        self.static = PLSHIndex(dim, params, hasher=self.hasher)
+        self.static.build(CSRMatrix.empty(dim))
+        self.delta = DeltaTable(dim, params, self.hasher)
+        self.deletions = DeletionFilter(capacity)
+        self.n_merges = 0
+        self.times = StageTimes()
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def n_static(self) -> int:
+        return self.static.n_items
+
+    @property
+    def n_delta(self) -> int:
+        return len(self.delta)
+
+    @property
+    def n_total(self) -> int:
+        return self.n_static + self.n_delta
+
+    @property
+    def n_live(self) -> int:
+        return self.n_total - self.deletions.n_deleted
+
+    @property
+    def is_full(self) -> bool:
+        return self.n_total >= self.capacity
+
+    @property
+    def delta_threshold(self) -> int:
+        """Delta size that triggers a merge: ``eta * capacity``."""
+        return max(1, int(self.delta_fraction * self.capacity))
+
+    # -- updates ------------------------------------------------------------
+
+    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
+        """Insert rows; returns their node-local ids.
+
+        Raises :class:`CapacityError` if the batch does not fit — the
+        cluster layer is responsible for advancing the insert window and
+        retiring old nodes (Section 6), a node never evicts by itself.
+        """
+        if self.n_total + vectors.n_rows > self.capacity:
+            raise CapacityError(
+                f"insert of {vectors.n_rows} rows exceeds capacity "
+                f"{self.capacity} (current {self.n_total})"
+            )
+        with self.times.stage("insert"):
+            local = self.delta.insert_batch(vectors) + self.n_static
+        if self.auto_merge and self.n_delta >= self.delta_threshold:
+            self.merge_now()
+        return local
+
+    def merge_now(self) -> None:
+        """Merge the delta table into the static structure."""
+        if self.n_delta == 0:
+            return
+        with self.times.stage("merge"):
+            self.static = merge_into_static(self.static, self.delta)
+            self.delta.clear()
+            self.n_merges += 1
+
+    def delete(self, local_ids: np.ndarray | int) -> int:
+        """Tombstone rows by node-local id; returns newly deleted count."""
+        return self.deletions.delete(local_ids)
+
+    def retire(self) -> None:
+        """Erase the node wholesale (the paper's expiration mechanism)."""
+        self.static = PLSHIndex(self.dim, self.params, hasher=self.hasher)
+        self.static.build(CSRMatrix.empty(self.dim))
+        self.delta.clear()
+        self.deletions.reset()
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+    ) -> QueryResult:
+        """R-near neighbors across static + delta, minus deletions."""
+        radius = self.params.radius if radius is None else radius
+        q_cols = np.asarray(q_cols, dtype=np.int64)
+        q_vals = np.asarray(q_vals, dtype=np.float32)
+        keys = self._query_keys(q_cols, q_vals)  # hash once, use twice
+
+        with self.times.stage("query_static"):
+            exclude = self.deletions.mask(self.n_static) if self.n_static else None
+            static_res = (
+                self.static.query(
+                    q_cols, q_vals, radius=radius, exclude=exclude, keys=keys
+                )
+                if self.n_static
+                else QueryResult(
+                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+                )
+            )
+        with self.times.stage("query_delta"):
+            delta_res = self._query_delta(q_cols, q_vals, radius, keys)
+        return QueryResult(
+            np.concatenate([static_res.indices, delta_res.indices]),
+            np.concatenate([static_res.distances, delta_res.distances]),
+        )
+
+    def query_batch(
+        self, queries: CSRMatrix, *, radius: float | None = None
+    ) -> list[QueryResult]:
+        return [
+            self.query(*queries.row(r), radius=radius) for r in range(queries.n_rows)
+        ]
+
+    def _query_keys(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
+        """Step Q1 for this node: the L table keys of the query."""
+        q = CSRMatrix(
+            np.asarray([0, q_cols.size], dtype=np.int64),
+            q_cols.astype(np.int32),
+            q_vals,
+            self.dim,
+            check=False,
+        )
+        u_row = self.hasher.hash_functions(q)[0]
+        return self.hasher.table_keys_for_query(u_row)
+
+    def _query_delta(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        radius: float,
+        keys: np.ndarray,
+    ) -> QueryResult:
+        """Q2-Q4 against the delta bins (ids offset by ``n_static``)."""
+        if self.n_delta == 0:
+            return QueryResult(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+            )
+        collisions = self.delta.collisions(keys)
+        if collisions.size == 0:
+            return QueryResult(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+            )
+        unique = np.unique(collisions)
+        # Deletion screen (delta rows live at n_static + local in id space).
+        live = ~self.deletions.is_deleted(unique + self.n_static)
+        unique = unique[live]
+        vectors = self.delta.vectors()
+        q_dense = np.zeros(self.dim, dtype=np.float32)
+        q_dense[q_cols] = q_vals
+        dots = row_dots_dense(vectors, unique, q_dense)
+        dists = angular_distance(dots)
+        within = dists <= radius
+        return QueryResult(unique[within] + self.n_static, dists[within])

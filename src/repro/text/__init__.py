@@ -1,0 +1,23 @@
+"""Text substrate: preprocessing and synthetic corpora.
+
+The paper's corpus is 1.05 B real tweets "cleaned by removing non-alphabet
+characters, duplicates and stop words", vocab ≈ 500 k, ≈ 7.2 words per tweet.
+We cannot ship that data, so :mod:`repro.text.corpus` synthesizes corpora
+with the same statistical profile (Zipf term skew, matched document-length
+distributions, planted near-duplicate clusters so R-near neighbors exist),
+while :mod:`repro.text.tokenizer` implements the paper's cleaning pipeline
+for real text input in the examples.
+"""
+
+from repro.text.corpus import CorpusSpec, SyntheticCorpus, TWITTER_SPEC, WIKIPEDIA_SPEC
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "CorpusSpec",
+    "SyntheticCorpus",
+    "TWITTER_SPEC",
+    "WIKIPEDIA_SPEC",
+    "Tokenizer",
+    "Vocabulary",
+]

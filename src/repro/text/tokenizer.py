@@ -1,0 +1,63 @@
+"""Tweet cleaning pipeline (Section 8 preprocessing).
+
+"These tweets were cleaned by removing non-alphabet characters, duplicates
+and stop words." — implemented as: lowercase, strip every non-alphabetic
+character, split on whitespace, drop stop words, and drop repeated tokens
+within a document (tweets are effectively token sets).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Tokenizer", "DEFAULT_STOP_WORDS"]
+
+#: A compact English stop-word list: enough to exercise the paper's cleaning
+#: step on real text without shipping a corpus-derived resource.
+DEFAULT_STOP_WORDS = frozenset(
+    """a about above after again all am an and any are as at be because been
+    before being below between both but by did do does doing down during each
+    few for from further had has have having he her here hers him his how i
+    if in into is it its just me more most my no nor not now of off on once
+    only or other our ours out over own rt same she so some such than that
+    the their theirs them then there these they this those through to too
+    under until up very was we were what when where which while who whom why
+    will with you your yours""".split()
+)
+
+_NON_ALPHA = re.compile(r"[^a-z\s]+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+class Tokenizer:
+    """Cleans raw text into a deduplicated token list."""
+
+    def __init__(
+        self,
+        stop_words: frozenset[str] | set[str] = DEFAULT_STOP_WORDS,
+        min_token_length: int = 2,
+    ) -> None:
+        self.stop_words = frozenset(stop_words)
+        if min_token_length < 1:
+            raise ValueError(
+                f"min_token_length must be >= 1, got {min_token_length}"
+            )
+        self.min_token_length = min_token_length
+
+    def tokenize(self, text: str) -> list[str]:
+        """Lowercase, strip non-alphabetic chars, split, de-stop, dedupe."""
+        cleaned = _NON_ALPHA.sub(" ", text.lower())
+        seen: set[str] = set()
+        out: list[str] = []
+        for token in _WHITESPACE.split(cleaned):
+            if len(token) < self.min_token_length:
+                continue
+            if token in self.stop_words or token in seen:
+                continue
+            seen.add(token)
+            out.append(token)
+        return out
+
+    def tokenize_many(self, texts: list[str]) -> list[list[str]]:
+        """Tokenize a batch of documents."""
+        return [self.tokenize(t) for t in texts]

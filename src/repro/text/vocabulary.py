@@ -1,0 +1,83 @@
+"""Vocabulary: token <-> id mapping with document frequencies."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Mutable token registry assigning dense integer ids.
+
+    Supports a frozen mode so query-time encoding cannot silently grow the
+    vocabulary: after :meth:`freeze`, unknown tokens map to ``None`` and are
+    dropped by :meth:`encode` (the paper's "words that are not part of the
+    vocabulary" yielding possibly-empty queries).
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._doc_freq: list[int] = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Vocabulary":
+        """Stop admitting new tokens."""
+        self._frozen = True
+        return self
+
+    def add_document(self, tokens: Sequence[str]) -> list[int]:
+        """Register a document's tokens; returns their ids.
+
+        Updates document frequencies (each distinct token counted once per
+        document).  Raises if frozen.
+        """
+        if self._frozen:
+            raise RuntimeError("cannot add documents to a frozen vocabulary")
+        ids = []
+        seen: set[int] = set()
+        for token in tokens:
+            tid = self._token_to_id.get(token)
+            if tid is None:
+                tid = len(self._id_to_token)
+                self._token_to_id[token] = tid
+                self._id_to_token.append(token)
+                self._doc_freq.append(0)
+            ids.append(tid)
+            if tid not in seen:
+                seen.add(tid)
+                self._doc_freq[tid] += 1
+        return ids
+
+    def build(self, documents: Iterable[Sequence[str]]) -> list[list[int]]:
+        """Register a corpus; returns the encoded documents."""
+        return [self.add_document(doc) for doc in documents]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Map tokens to ids, dropping unknown tokens (for frozen vocabs)."""
+        out = []
+        for token in tokens:
+            tid = self._token_to_id.get(token)
+            if tid is not None:
+                out.append(tid)
+        return out
+
+    def token(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    def doc_frequency(self, token_id: int) -> int:
+        return self._doc_freq[token_id]

@@ -1,0 +1,17 @@
+"""Shared utilities: seeded RNG streams, timers, bitvectors, chunking."""
+
+from repro.utils.bitvector import BitVector, DedupMask
+from repro.utils.chunking import iter_chunks, chunk_bounds
+from repro.utils.rng import rng_for, spawn_rngs
+from repro.utils.timing import StageTimes, Timer
+
+__all__ = [
+    "BitVector",
+    "DedupMask",
+    "StageTimes",
+    "Timer",
+    "chunk_bounds",
+    "iter_chunks",
+    "rng_for",
+    "spawn_rngs",
+]

@@ -1,0 +1,23 @@
+"""Chunk iteration helpers for bounded-memory vectorized kernels."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["chunk_bounds", "iter_chunks"]
+
+
+def chunk_bounds(n: int, chunk_size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open ranges covering ``0..n``."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, n, chunk_size):
+        yield start, min(start + chunk_size, n)
+
+
+def iter_chunks(items, chunk_size: int):
+    """Yield successive slices of a sequence of length ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]

@@ -1,0 +1,41 @@
+"""Deterministic random-number streams.
+
+Every random structure in the library (hyperplanes, corpora, workloads)
+derives its generator from an explicit seed plus a *purpose* string, so two
+components seeded from the same root never consume each other's stream and
+results are reproducible regardless of call order.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["rng_for", "spawn_rngs"]
+
+
+def _purpose_key(purpose: str) -> int:
+    """Stable 32-bit key for a purpose label (crc32 is stable across runs)."""
+    return zlib.crc32(purpose.encode("utf-8"))
+
+
+def rng_for(seed: int | None, purpose: str) -> np.random.Generator:
+    """Return a Generator keyed by ``(seed, purpose)``.
+
+    ``seed=None`` yields a nondeterministic generator (fresh OS entropy), for
+    callers that explicitly opt out of reproducibility.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence([seed, _purpose_key(purpose)]))
+
+
+def spawn_rngs(seed: int | None, purpose: str, n: int) -> list[np.random.Generator]:
+    """Return ``n`` independent generators keyed by ``(seed, purpose, index)``."""
+    if seed is None:
+        return [np.random.default_rng() for _ in range(n)]
+    key = _purpose_key(purpose)
+    return [
+        np.random.default_rng(np.random.SeedSequence([seed, key, i])) for i in range(n)
+    ]

@@ -1,0 +1,70 @@
+"""Wall-clock timing helpers used by the index, benches and the perf model.
+
+``StageTimes`` mirrors the paper's per-phase accounting (hashing, I1, I2, I3
+for construction; Q1..Q4 for queries) so Figure 6 can compare model
+predictions against measured per-stage times.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Timer", "StageTimes"]
+
+
+class Timer:
+    """Minimal context-manager stopwatch; ``elapsed`` in seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+class StageTimes:
+    """Accumulates wall-clock seconds per named pipeline stage."""
+
+    def __init__(self) -> None:
+        self._times: dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._times[name] += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        self._times[name] += seconds
+
+    def __getitem__(self, name: str) -> float:
+        return self._times[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._times
+
+    @property
+    def total(self) -> float:
+        return sum(self._times.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._times)
+
+    def reset(self) -> None:
+        self._times.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in sorted(self._times.items()))
+        return f"StageTimes({parts})"

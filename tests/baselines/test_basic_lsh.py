@@ -1,0 +1,63 @@
+"""Basic (unoptimized) LSH tests: exact equivalence with PLSHIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.basic_lsh import BasicLSHIndex
+
+
+@pytest.fixture(scope="module")
+def basic(built_index, small_vectors):
+    # Share the hasher so both indexes use identical hash functions.
+    return BasicLSHIndex(
+        small_vectors.n_cols, built_index.params, hasher=built_index.hasher
+    ).build(small_vectors)
+
+
+def test_identical_results_to_plsh(basic, built_index, small_queries):
+    """Same hash functions + same algorithm semantics = same answers.
+    The optimized PLSH differs only in data layout and kernels."""
+    _, queries = small_queries
+    for r in range(10):
+        a = basic.query(*queries.row(r))
+        b = built_index.engine.query_row(queries, r)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+        np.testing.assert_allclose(
+            np.sort(a.distances), np.sort(b.distances), rtol=1e-4, atol=1e-5
+        )
+
+
+def test_bucket_contents_match_static_tables(basic, built_index):
+    """Every dict bucket must equal the corresponding static-table bucket."""
+    tables = built_index.tables
+    for l in (0, 7, built_index.params.n_tables - 1):
+        for key, members in list(basic.tables[l].items())[:50]:
+            static_bucket = tables.bucket(l, key)
+            assert sorted(members) == sorted(static_bucket.tolist())
+
+
+def test_query_before_build_raises(small_params):
+    idx = BasicLSHIndex(100, small_params)
+    with pytest.raises(RuntimeError):
+        idx.query(np.asarray([0]), np.asarray([1.0], np.float32))
+
+
+def test_build_wrong_dim_raises(small_params, small_vectors):
+    idx = BasicLSHIndex(small_vectors.n_cols + 3, small_params)
+    with pytest.raises(ValueError):
+        idx.build(small_vectors)
+
+
+def test_radius_override(basic, small_queries):
+    _, queries = small_queries
+    tight = basic.query(*queries.row(0), radius=0.05)
+    loose = basic.query(*queries.row(0), radius=1.2)
+    assert len(tight) <= len(loose)
+
+
+def test_query_batch(basic, small_queries):
+    _, queries = small_queries
+    out = basic.query_batch(queries.slice_rows(0, 3))
+    assert len(out) == 3

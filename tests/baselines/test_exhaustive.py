@@ -1,0 +1,64 @@
+"""Exhaustive search baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSearch
+
+
+def test_counts_every_distance_computation(small_vectors, small_queries):
+    _, queries = small_queries
+    search = ExhaustiveSearch(small_vectors, 0.9)
+    search.query(*queries.row(0))
+    search.query(*queries.row(1))
+    assert search.n_distance_computations == 2 * small_vectors.n_rows
+
+
+def test_finds_self_at_zero(small_vectors):
+    search = ExhaustiveSearch(small_vectors, 0.9)
+    cols, vals = small_vectors.row(42)
+    res = search.query(cols.astype(np.int64), vals)
+    pos = res.indices.tolist().index(42)
+    assert res.distances[pos] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_all_within_radius(small_vectors, small_queries):
+    _, queries = small_queries
+    search = ExhaustiveSearch(small_vectors, 0.7)
+    for r in range(5):
+        res = search.query(*queries.row(r))
+        assert (res.distances <= 0.7 + 1e-6).all()
+
+
+def test_radius_monotonicity(small_vectors, small_queries):
+    _, queries = small_queries
+    tight = ExhaustiveSearch(small_vectors, 0.5)
+    loose = ExhaustiveSearch(small_vectors, 1.1)
+    for r in range(3):
+        nt = len(tight.query(*queries.row(r)))
+        nl = len(loose.query(*queries.row(r)))
+        assert nt <= nl
+
+
+def test_query_batch(small_vectors, small_queries):
+    _, queries = small_queries
+    search = ExhaustiveSearch(small_vectors, 0.9)
+    batch = search.query_batch(queries.slice_rows(0, 4))
+    assert len(batch) == 4
+
+
+def test_ground_truth_sets(small_vectors, small_queries):
+    _, queries = small_queries
+    search = ExhaustiveSearch(small_vectors, 0.9)
+    sets = search.ground_truth_sets(queries.slice_rows(0, 3))
+    assert len(sets) == 3
+    assert all(isinstance(s, set) for s in sets)
+
+
+def test_invalid_radius():
+    import repro.sparse.csr as csr
+
+    with pytest.raises(ValueError):
+        ExhaustiveSearch(csr.CSRMatrix.empty(5), 0.0)

@@ -1,0 +1,86 @@
+"""Inverted index baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.baselines.inverted_index import InvertedIndex
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def tiny_index():
+    # doc0: {0,1}, doc1: {1,2}, doc2: {3}, doc3: {0,3}
+    rows = [
+        ([0, 1], [0.8, 0.6]),
+        ([1, 2], [0.6, 0.8]),
+        ([3], [1.0]),
+        ([0, 3], [0.6, 0.8]),
+    ]
+    data = CSRMatrix.from_rows(rows, 4)
+    return InvertedIndex(data, radius=1.2), data
+
+
+class TestPostings:
+    def test_posting_lists(self, tiny_index):
+        idx, _ = tiny_index
+        np.testing.assert_array_equal(idx.posting_list(0), [0, 3])
+        np.testing.assert_array_equal(idx.posting_list(1), [0, 1])
+        np.testing.assert_array_equal(idx.posting_list(2), [1])
+        np.testing.assert_array_equal(idx.posting_list(3), [2, 3])
+
+    def test_candidates_are_union(self, tiny_index):
+        idx, _ = tiny_index
+        np.testing.assert_array_equal(
+            idx.candidates(np.asarray([0, 2])), [0, 1, 3]
+        )
+
+    def test_candidates_empty_query(self, tiny_index):
+        idx, _ = tiny_index
+        assert idx.candidates(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_candidate_count_tracks_distance_computations(self, tiny_index):
+        idx, _ = tiny_index
+        before = idx.n_distance_computations
+        idx.query(np.asarray([0]), np.asarray([1.0], np.float32))
+        assert idx.n_distance_computations - before == 2  # docs 0 and 3
+
+
+class TestAgainstExhaustive:
+    def test_same_results_when_terms_overlap(self, small_vectors, small_queries):
+        """For corpus-drawn queries every true neighbor shares >= 1 term
+        (dot > 0 requires an overlapping term), so the inverted index is
+        exact here and must match exhaustive search."""
+        _, queries = small_queries
+        inv = InvertedIndex(small_vectors, 0.9)
+        exact = ExhaustiveSearch(small_vectors, 0.9)
+        for r in range(8):
+            a = inv.query(*queries.row(r))
+            b = exact.query(*queries.row(r))
+            # Neighbors at dist < pi/2 share a term; at R=0.9 < pi/2 the
+            # candidate union covers all of them.
+            np.testing.assert_array_equal(
+                np.sort(a.indices), np.sort(b.indices)
+            )
+
+    def test_fewer_distance_computations_than_exhaustive(
+        self, small_vectors, small_queries
+    ):
+        _, queries = small_queries
+        inv = InvertedIndex(small_vectors, 0.9)
+        inv.query_batch(queries.slice_rows(0, 10))
+        assert inv.n_distance_computations < 10 * small_vectors.n_rows
+
+    def test_stage_times_populated(self, small_vectors, small_queries):
+        _, queries = small_queries
+        inv = InvertedIndex(small_vectors, 0.9)
+        inv.query(*queries.row(0))
+        assert inv.stage_times["candidate_generation"] >= 0
+        assert inv.stage_times["distance_filter"] > 0
+
+
+def test_invalid_radius(small_vectors):
+    with pytest.raises(ValueError):
+        InvertedIndex(small_vectors, -1.0)

@@ -1,0 +1,25 @@
+"""Section recording/replay used by the bench terminal-summary hook."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import consume_sections, print_section
+
+
+def test_sections_recorded_and_drained(capsys):
+    consume_sections()  # drain anything earlier tests left behind
+    print_section("Title A", "body A")
+    print_section("Title B")
+    sections = consume_sections()
+    assert len(sections) == 2
+    assert "Title A" in sections[0] and "body A" in sections[0]
+    assert "Title B" in sections[1]
+    # Drained: a second call returns nothing.
+    assert consume_sections() == []
+
+
+def test_print_section_writes_through(capsys):
+    consume_sections()
+    print_section("Visible", "now")
+    # Written to the real stdout (pytest capsys sees sys.stdout level
+    # capture only when capture mode is sys; we at least must not raise).
+    consume_sections()

@@ -1,0 +1,81 @@
+"""Bench-harness support tests (workloads, runner, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import measure, measure_median
+from repro.bench.workloads import BenchScale, twitter_workload, wikipedia_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return BenchScale(n=500, vocab=2000, n_queries=10, k=8, m=6)
+
+
+def test_twitter_workload_shapes(tiny_scale):
+    w = twitter_workload(tiny_scale)
+    assert w.n == 500
+    assert w.vectors.n_cols == 2000
+    assert w.queries.n_rows == 10
+    assert 3 < w.mean_nnz < 9
+
+
+def test_workload_is_cached(tiny_scale):
+    assert twitter_workload(tiny_scale) is twitter_workload(tiny_scale)
+
+
+def test_wikipedia_workload_longer_docs(tiny_scale):
+    tw = twitter_workload(tiny_scale)
+    wk = wikipedia_workload(tiny_scale)
+    assert wk.mean_nnz > 3 * tw.mean_nnz
+
+
+def test_scale_params(tiny_scale):
+    p = tiny_scale.params()
+    assert p.k == 8 and p.m == 6
+
+
+def test_env_parsing(monkeypatch):
+    monkeypatch.setenv("PLSH_BENCH_N", "1234")
+    assert BenchScale.from_env().n == 1234
+    monkeypatch.setenv("PLSH_BENCH_N", "abc")
+    with pytest.raises(ValueError):
+        BenchScale.from_env()
+    monkeypatch.setenv("PLSH_BENCH_N", "-1")
+    with pytest.raises(ValueError):
+        BenchScale.from_env()
+
+
+def test_measure_returns_result_and_time():
+    out, secs = measure(lambda: 42)
+    assert out == 42
+    assert secs >= 0
+
+
+def test_measure_median_runs():
+    calls = []
+    t = measure_median(lambda: calls.append(1), repeats=3, warmup=2)
+    assert len(calls) == 5
+    assert t >= 0
+
+
+def test_measure_median_validates():
+    with pytest.raises(ValueError):
+        measure_median(lambda: None, repeats=0)
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"], [["plsh", 1.42], ["exhaustive", 115.35]]
+    )
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "plsh" in lines[2]
+    assert "115.35" in lines[3]
+
+
+def test_format_table_large_numbers_get_commas():
+    table = format_table(["n"], [[10_579_994]])
+    assert "10,579,994" in table

@@ -1,0 +1,137 @@
+"""PLSHCluster tests: sharding, rolling window, retirement, equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.cluster.cluster import PLSHCluster
+from repro.cluster.stats import communication_fraction, load_imbalance
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=61)
+
+
+def make_cluster(small_vectors, **kw):
+    defaults = dict(
+        n_nodes=4,
+        node_capacity=600,
+        dim=small_vectors.n_cols,
+        params=PARAMS,
+        insert_window=2,
+    )
+    defaults.update(kw)
+    return PLSHCluster(**defaults)
+
+
+class TestInsertAndShard:
+    def test_global_ids_sequential(self, small_vectors):
+        cluster = make_cluster(small_vectors)
+        g1 = cluster.insert(small_vectors.slice_rows(0, 100))
+        g2 = cluster.insert(small_vectors.slice_rows(100, 150))
+        np.testing.assert_array_equal(g1, np.arange(100))
+        np.testing.assert_array_equal(g2, np.arange(100, 150))
+        assert cluster.n_items == 150
+
+    def test_inserts_spread_over_window(self, small_vectors):
+        cluster = make_cluster(small_vectors)
+        cluster.insert(small_vectors.slice_rows(0, 200))
+        sizes = [n.n_items for n in cluster.nodes]
+        # Window is nodes {0, 1}: both must hold data, the others none.
+        assert sizes[0] > 0 and sizes[1] > 0
+        assert sizes[2] == 0 and sizes[3] == 0
+
+    def test_window_advances_when_full(self, small_vectors):
+        cluster = make_cluster(small_vectors)
+        cluster.insert(small_vectors.slice_rows(0, 1400))
+        sizes = [n.n_items for n in cluster.nodes]
+        assert sizes[0] == 600 and sizes[1] == 600  # first window full
+        assert sizes[2] + sizes[3] == 200           # overflow into next window
+
+
+class TestRetirement:
+    def test_oldest_window_retired_on_wrap(self, small_vectors):
+        cluster = make_cluster(small_vectors, node_capacity=400)
+        # Fill the entire cluster (4 * 400 = 1600), then 200 more.
+        cluster.insert(small_vectors.slice_rows(0, 1600))
+        assert cluster.n_retirements == 0
+        cluster.insert(small_vectors.slice_rows(1600, 1800))
+        assert cluster.n_retirements == 1
+        # The oldest window (nodes 0, 1) was erased and partially refilled.
+        assert cluster.nodes[2].n_items == 400
+        assert cluster.nodes[3].n_items == 400
+        assert cluster.nodes[0].n_items + cluster.nodes[1].n_items == 200
+
+    def test_retired_ids_are_the_oldest(self, small_vectors):
+        cluster = make_cluster(small_vectors, node_capacity=400)
+        cluster.insert(small_vectors.slice_rows(0, 1800))
+        assert len(cluster.retired_ids) == 1
+        retired = set(cluster.retired_ids[0].tolist())
+        # The first window held global ids 0..799 (two nodes x 400).
+        assert retired == set(range(800))
+
+    def test_retired_data_not_returned_by_queries(self, small_vectors):
+        cluster = make_cluster(small_vectors, node_capacity=400)
+        cluster.insert(small_vectors.slice_rows(0, 1800))
+        retired = set(cluster.retired_ids[0].tolist())
+        for r in range(40, 44):
+            cols, vals = small_vectors.row(r)
+            out = cluster.query(cols.astype(np.int64), vals)
+            assert not (set(out.result.indices.tolist()) & retired)
+
+
+class TestQueryEquivalence:
+    def test_union_of_shards_equals_single_node(
+        self, small_vectors, small_queries
+    ):
+        _, queries = small_queries
+        cluster = make_cluster(small_vectors)
+        cluster.insert(small_vectors)
+        cluster.merge_all()
+        reference = PLSHIndex(
+            small_vectors.n_cols, PARAMS, hasher=cluster.hasher
+        )
+        reference.build(small_vectors)
+        for r in range(8):
+            out = cluster.query(*queries.row(r))
+            ref = reference.engine.query_row(queries, r)
+            np.testing.assert_array_equal(
+                np.sort(out.result.indices), np.sort(ref.indices)
+            )
+
+    def test_delete_across_nodes(self, small_vectors):
+        cluster = make_cluster(small_vectors)
+        gids = cluster.insert(small_vectors.slice_rows(0, 1000))
+        assert cluster.delete(np.asarray([5, 700])) == 2
+        cols, vals = small_vectors.row(5)
+        out = cluster.query(cols.astype(np.int64), vals)
+        assert 5 not in out.result.indices.tolist()
+
+
+class TestStats:
+    def test_load_imbalance(self):
+        assert load_imbalance([1.0, 1.0, 1.0]) == 1.0
+        assert load_imbalance([2.0, 1.0, 1.0]) == pytest.approx(1.5)
+        assert load_imbalance([]) == 1.0
+
+    def test_communication_fraction(self):
+        assert communication_fraction(1.0, 99.0) == pytest.approx(0.01)
+        assert communication_fraction(0.0, 0.0) == 0.0
+
+    def test_network_accounting_on_queries(self, small_vectors, small_queries):
+        _, queries = small_queries
+        cluster = make_cluster(small_vectors)
+        cluster.insert(small_vectors.slice_rows(0, 500))
+        cluster.query_batch(queries.slice_rows(0, 5))
+        assert cluster.network.stats.n_messages > 0
+        assert cluster.network.stats.seconds > 0
+
+
+class TestValidation:
+    def test_bad_node_count(self, small_vectors):
+        with pytest.raises(ValueError):
+            make_cluster(small_vectors, n_nodes=0)
+
+    def test_bad_window(self, small_vectors):
+        with pytest.raises(ValueError):
+            make_cluster(small_vectors, insert_window=9)

@@ -1,0 +1,65 @@
+"""ClusterNode tests: global-id translation, deletion routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import ClusterNode
+from repro.core.hashing import AllPairsHasher
+from repro.params import PLSHParams
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=41)
+
+
+@pytest.fixture(scope="module")
+def node(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(0, small_vectors.n_cols, PARAMS, 1000, hasher)
+    node.insert_batch(
+        small_vectors.slice_rows(0, 300),
+        np.arange(5000, 5300),  # global ids offset from local
+    )
+    return node
+
+
+def test_query_returns_global_ids(node, small_vectors):
+    cols, vals = small_vectors.row(42)
+    res = node.query(cols.astype(np.int64), vals)
+    assert 5042 in res.indices.tolist()
+    assert all(5000 <= g < 5300 for g in res.indices.tolist())
+
+
+def test_insert_size_mismatch_raises(node, small_vectors):
+    with pytest.raises(ValueError):
+        node.insert_batch(small_vectors.slice_rows(0, 5), np.arange(4))
+
+
+def test_delete_by_global_id(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(1, small_vectors.n_cols, PARAMS, 1000, hasher)
+    node.insert_batch(small_vectors.slice_rows(0, 100), np.arange(900, 1000))
+    assert node.delete_global(np.asarray([950, 999])) == 2
+    # Unknown ids are ignored.
+    assert node.delete_global(np.asarray([1, 2])) == 0
+    cols, vals = small_vectors.row(50)
+    res = node.query(cols.astype(np.int64), vals)
+    assert 950 not in res.indices.tolist()
+
+
+def test_retire_returns_dropped_ids(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(2, small_vectors.n_cols, PARAMS, 1000, hasher)
+    node.insert_batch(small_vectors.slice_rows(0, 40), np.arange(40))
+    dropped = node.retire()
+    np.testing.assert_array_equal(dropped, np.arange(40))
+    assert node.n_items == 0
+    assert node.free_capacity == 1000
+
+
+def test_capacity_properties(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(3, small_vectors.n_cols, PARAMS, 50, hasher)
+    node.insert_batch(small_vectors.slice_rows(0, 50), np.arange(50))
+    assert node.is_full
+    assert node.free_capacity == 0

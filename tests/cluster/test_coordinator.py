@@ -1,0 +1,79 @@
+"""Coordinator tests: broadcast, concatenation, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.core.hashing import AllPairsHasher
+from repro.params import PLSHParams
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=51)
+
+
+@pytest.fixture(scope="module")
+def setup(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    nodes = [
+        ClusterNode(i, small_vectors.n_cols, PARAMS, 1000, hasher)
+        for i in range(4)
+    ]
+    # Shard 1800 rows over 3 nodes; node 3 stays empty.
+    for i in range(3):
+        nodes[i].insert_batch(
+            small_vectors.slice_rows(600 * i, 600 * (i + 1)),
+            np.arange(600 * i, 600 * (i + 1)),
+        )
+    net = NetworkModel()
+    return Coordinator(nodes, net), nodes, net, hasher
+
+
+def test_broadcast_merges_all_shards(setup, small_vectors, small_queries):
+    coordinator, nodes, _, hasher = setup
+    _, queries = small_queries
+    from repro import PLSHIndex
+
+    reference = PLSHIndex(small_vectors.n_cols, PARAMS, hasher=hasher)
+    reference.build(small_vectors.slice_rows(0, 1800))
+    for r in range(6):
+        merged = coordinator.query(*queries.row(r))
+        ref = reference.engine.query_row(queries, r)
+        np.testing.assert_array_equal(
+            np.sort(merged.result.indices), np.sort(ref.indices)
+        )
+
+
+def test_empty_nodes_are_skipped(setup, small_queries):
+    coordinator, nodes, _, _ = setup
+    _, queries = small_queries
+    out = coordinator.query(*queries.row(0))
+    assert set(out.node_seconds) == {0, 1, 2}  # node 3 empty, not queried
+
+
+def test_network_charged_per_node(setup, small_queries):
+    coordinator, _, net, _ = setup
+    _, queries = small_queries
+    before = net.stats.n_messages
+    coordinator.query(*queries.row(1))
+    # 3 non-empty nodes, one request + one response each.
+    assert net.stats.n_messages - before == 6
+
+
+def test_critical_path_is_slowest_node_plus_network(setup, small_queries):
+    coordinator, _, _, _ = setup
+    _, queries = small_queries
+    out = coordinator.query(*queries.row(2))
+    slowest = max(out.node_seconds.values())
+    assert out.critical_path_seconds == pytest.approx(
+        slowest + out.network_seconds
+    )
+
+
+def test_query_batch(setup, small_queries):
+    coordinator, _, _, _ = setup
+    _, queries = small_queries
+    outs = coordinator.query_batch(queries.slice_rows(0, 4))
+    assert len(outs) == 4

@@ -1,0 +1,43 @@
+"""NetworkModel accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+
+
+def test_send_charges_latency_plus_bytes():
+    net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+    cost = net.send(1000)
+    assert cost == pytest.approx(1e-6 + 1000 / 1e9)
+    assert net.stats.n_messages == 1
+    assert net.stats.bytes_sent == 1000
+    assert net.stats.seconds == pytest.approx(cost)
+
+
+def test_broadcast_is_n_sends():
+    net = NetworkModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+    cost = net.broadcast(5, 100)
+    assert net.stats.n_messages == 5
+    assert net.stats.bytes_sent == 500
+    assert cost == pytest.approx(5 * (1e-6 + 100 / 1e9))
+
+
+def test_zero_byte_message_is_latency_only():
+    net = NetworkModel(latency_s=3e-6, bandwidth_bytes_per_s=1e9)
+    assert net.send(0) == pytest.approx(3e-6)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        NetworkModel().send(-1)
+
+
+def test_stats_reset():
+    net = NetworkModel()
+    net.send(10)
+    net.stats.reset()
+    assert net.stats.n_messages == 0
+    assert net.stats.bytes_sent == 0
+    assert net.stats.seconds == 0.0

@@ -1,0 +1,54 @@
+"""Cluster stats helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.coordinator import BroadcastOutcome
+from repro.cluster.stats import (
+    aggregate_node_seconds,
+    communication_fraction,
+    load_imbalance,
+)
+from repro.core.query import QueryResult
+
+import numpy as np
+
+
+def _outcome(node_seconds, net=0.001):
+    empty = QueryResult(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32))
+    return BroadcastOutcome(empty, node_seconds, net)
+
+
+def test_aggregate_node_seconds_sums_per_node():
+    outcomes = [
+        _outcome({0: 1.0, 1: 2.0}),
+        _outcome({0: 0.5, 2: 3.0}),
+    ]
+    totals = aggregate_node_seconds(outcomes)
+    assert totals == {0: 1.5, 1: 2.0, 2: 3.0}
+
+
+def test_aggregate_empty():
+    assert aggregate_node_seconds([]) == {}
+
+
+def test_load_imbalance_ideal_and_skewed():
+    assert load_imbalance([2.0, 2.0]) == 1.0
+    assert load_imbalance([4.0, 2.0, 0.0]) == pytest.approx(2.0)
+
+
+def test_load_imbalance_zero_times():
+    assert load_imbalance([0.0, 0.0]) == 1.0
+
+
+def test_communication_fraction_bounds():
+    assert communication_fraction(0.5, 0.5) == pytest.approx(0.5)
+    assert 0.0 <= communication_fraction(1e-9, 1.0) < 0.001
+
+
+def test_critical_path():
+    o = _outcome({0: 1.0, 1: 3.0}, net=0.25)
+    assert o.critical_path_seconds == pytest.approx(3.25)
+    empty = _outcome({}, net=0.1)
+    assert empty.critical_path_seconds == pytest.approx(0.1)

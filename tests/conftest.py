@@ -1,0 +1,53 @@
+"""Shared fixtures: a small deterministic corpus and a built index.
+
+Session-scoped because corpus generation and index construction dominate
+test wall-clock; tests must not mutate these fixtures (engines that need
+private state clone their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams, SyntheticCorpus
+from repro.text.corpus import CorpusSpec
+
+SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> CorpusSpec:
+    return CorpusSpec(vocab_size=5000, mean_doc_length=7.2)
+
+
+@pytest.fixture(scope="session")
+def small_corpus(small_spec) -> SyntheticCorpus:
+    return SyntheticCorpus.generate(2000, small_spec, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def small_vectors(small_corpus):
+    return small_corpus.vectors()
+
+
+@pytest.fixture(scope="session")
+def small_params() -> PLSHParams:
+    # k=8 keeps 2^k = 256 buckets per table; m=8 gives L=28 tables.
+    return PLSHParams(k=8, m=8, radius=0.9, delta=0.1, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def built_index(small_vectors, small_params) -> PLSHIndex:
+    return PLSHIndex(small_vectors.n_cols, small_params).build(small_vectors)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_corpus):
+    ids, queries = small_corpus.query_vectors(25, seed=SEED + 1)
+    return ids, queries
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(SEED)

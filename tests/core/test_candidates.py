@@ -1,0 +1,64 @@
+"""Dedup strategy tests: the three Section 5.2.1 designs must agree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import (
+    BitvectorDeduplicator,
+    SetDeduplicator,
+    SortDeduplicator,
+    make_deduplicator,
+)
+
+STRATEGIES = ["set", "sort", "bitvector"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestDedup:
+    def test_removes_duplicates(self, strategy):
+        d = make_deduplicator(strategy, 100)
+        out = d.unique(np.asarray([5, 3, 5, 5, 7, 3]))
+        np.testing.assert_array_equal(out, [3, 5, 7])
+
+    def test_empty_input(self, strategy):
+        d = make_deduplicator(strategy, 10)
+        assert d.unique(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_no_duplicates_passthrough(self, strategy):
+        d = make_deduplicator(strategy, 10)
+        np.testing.assert_array_equal(d.unique(np.asarray([2, 0, 9])), [0, 2, 9])
+
+    def test_reusable_across_queries(self, strategy):
+        """State (e.g. the persistent bitvector) must reset between calls."""
+        d = make_deduplicator(strategy, 50)
+        first = d.unique(np.asarray([1, 2, 2]))
+        second = d.unique(np.asarray([2, 3]))
+        np.testing.assert_array_equal(first, [1, 2])
+        np.testing.assert_array_equal(second, [2, 3])
+
+
+def test_factory_types():
+    assert isinstance(make_deduplicator("set", 5), SetDeduplicator)
+    assert isinstance(make_deduplicator("sort", 5), SortDeduplicator)
+    assert isinstance(make_deduplicator("bitvector", 5), BitvectorDeduplicator)
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_deduplicator("bloom", 5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(0, 199), max_size=300))
+def test_strategies_agree_property(values):
+    arr = np.asarray(values, dtype=np.int64)
+    outputs = [
+        make_deduplicator(s, 200).unique(arr.copy()) for s in STRATEGIES
+    ]
+    expected = np.unique(arr)
+    for s, out in zip(STRATEGIES, outputs):
+        np.testing.assert_array_equal(out, expected, err_msg=s)

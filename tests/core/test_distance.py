@@ -1,0 +1,96 @@
+"""Distance kernel tests: all three Q3 strategies must agree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    angular_distance,
+    candidate_dots_batched,
+    candidate_dots_lookup,
+    candidate_dots_naive,
+    exhaustive_dots,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    dense = (rng.random((30, 50)) < 0.2) * rng.standard_normal((30, 50))
+    dense = dense.astype(np.float32)
+    norms = np.linalg.norm(dense, axis=1, keepdims=True)
+    norms[norms == 0] = 1
+    dense /= norms
+    return CSRMatrix.from_dense(dense), dense
+
+
+def query_of(data_dense, row):
+    cols = np.nonzero(data_dense[row])[0].astype(np.int64)
+    return cols, data_dense[row, cols]
+
+
+class TestAngularDistance:
+    def test_zero_angle(self):
+        assert angular_distance(np.asarray([1.0]))[0] == 0.0
+
+    def test_orthogonal(self):
+        np.testing.assert_allclose(
+            angular_distance(np.asarray([0.0])), np.pi / 2
+        )
+
+    def test_clipping_handles_rounding(self):
+        out = angular_distance(np.asarray([1.0000001, -1.0000001]))
+        np.testing.assert_allclose(out, [0.0, np.pi])
+
+
+class TestDotStrategies:
+    def test_all_strategies_agree(self, data):
+        csr, dense = data
+        q_cols, q_vals = query_of(dense, 4)
+        q_dense = densify_query(q_cols, q_vals, csr.n_cols)
+        cands = np.asarray([0, 4, 7, 12, 29])
+        naive = candidate_dots_naive(csr, cands, q_cols, q_vals)
+        lookup = candidate_dots_lookup(csr, cands, q_cols, q_vals)
+        batched = candidate_dots_batched(csr, cands, q_dense)
+        np.testing.assert_allclose(naive, lookup, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(naive, batched, rtol=1e-4, atol=1e-6)
+
+    def test_against_dense_ground_truth(self, data):
+        csr, dense = data
+        q_cols, q_vals = query_of(dense, 9)
+        q_dense = densify_query(q_cols, q_vals, csr.n_cols)
+        cands = np.arange(30)
+        expected = dense @ dense[9]
+        np.testing.assert_allclose(
+            candidate_dots_batched(csr, cands, q_dense),
+            expected,
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_empty_candidates(self, data):
+        csr, dense = data
+        q_cols, q_vals = query_of(dense, 0)
+        q_dense = densify_query(q_cols, q_vals, csr.n_cols)
+        assert candidate_dots_batched(csr, np.empty(0, np.int64), q_dense).size == 0
+        assert candidate_dots_naive(csr, np.empty(0, np.int64), q_cols, q_vals).size == 0
+
+    def test_self_dot_is_one(self, data):
+        csr, dense = data
+        q_cols, q_vals = query_of(dense, 11)
+        q_dense = densify_query(q_cols, q_vals, csr.n_cols)
+        dot = candidate_dots_batched(csr, np.asarray([11]), q_dense)
+        np.testing.assert_allclose(dot, 1.0, rtol=1e-5)
+
+
+class TestExhaustive:
+    def test_matches_dense(self, data):
+        csr, dense = data
+        q_cols, q_vals = query_of(dense, 2)
+        np.testing.assert_allclose(
+            exhaustive_dots(csr, q_cols, q_vals), dense @ dense[2],
+            rtol=1e-4, atol=1e-5,
+        )

@@ -1,0 +1,74 @@
+"""Property tests for distance kernels and LSH collision structure."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import angular_distance, candidate_dots_naive
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+
+
+@settings(max_examples=80, deadline=None)
+@given(dots=st.lists(st.floats(-2, 2, allow_nan=False), max_size=30))
+def test_angular_distance_range_property(dots):
+    arr = np.asarray(dots, dtype=np.float64)
+    out = angular_distance(arr)
+    assert (out >= 0).all() and (out <= np.pi).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_dot_symmetry_property(data):
+    """dot(a, b) computed via the candidate kernels == dot(b, a)."""
+    n_cols = data.draw(st.integers(2, 16))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    dense = rng.standard_normal((2, n_cols)).astype(np.float32)
+    mask = rng.random((2, n_cols)) < 0.5
+    dense = dense * mask
+    m = CSRMatrix.from_dense(dense)
+    a_cols, a_vals = m.row(0)
+    b_cols, b_vals = m.row(1)
+    ab = candidate_dots_naive(
+        m, np.asarray([1]), a_cols.astype(np.int64), a_vals
+    )[0]
+    ba = candidate_dots_naive(
+        m, np.asarray([0]), b_cols.astype(np.int64), b_vals
+    )[0]
+    assert ab == np.float32(ba) or abs(ab - ba) < 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_row_dots_match_dense_matvec_property(data):
+    n_rows = data.draw(st.integers(1, 10))
+    n_cols = data.draw(st.integers(1, 12))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    dense = (rng.random((n_rows, n_cols)) < 0.4) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    m = CSRMatrix.from_dense(dense.astype(np.float32))
+    vec = rng.standard_normal(n_cols).astype(np.float32)
+    ours = row_dots_dense(m, np.arange(n_rows), vec)
+    np.testing.assert_allclose(
+        ours, dense.astype(np.float32) @ vec, rtol=1e-4, atol=1e-5
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_identical_vectors_collide_everywhere(seed):
+    """Two equal vectors share all m hash values for any hash draw."""
+    from repro.core.hashing import AllPairsHasher
+    from repro.params import PLSHParams
+
+    rng = np.random.default_rng(seed)
+    dim = 24
+    v = rng.standard_normal(dim).astype(np.float32)
+    v /= np.linalg.norm(v)
+    m = CSRMatrix.from_dense(np.vstack([v, v]))
+    hasher = AllPairsHasher(PLSHParams(k=6, m=5, seed=seed), dim)
+    u = hasher.hash_functions(m)
+    np.testing.assert_array_equal(u[0], u[1])

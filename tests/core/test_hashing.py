@@ -1,0 +1,110 @@
+"""All-pairs hashing tests: packing, key formation, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import AllPairsHasher, pack_bits, pack_bits_reference
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+
+def unit_csr(rng, n, dim):
+    dense = rng.standard_normal((n, dim)).astype(np.float32)
+    dense /= np.linalg.norm(dense, axis=1, keepdims=True)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestPackBits:
+    def test_known_value(self):
+        bits = np.asarray([[1, 0, 1, 1, 0, 0]], dtype=np.uint8)
+        out = pack_bits(bits, 3)
+        # groups (1,0,1) and (1,0,0), MSB first: 5 and 4
+        np.testing.assert_array_equal(out, [[5, 4]])
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((1, 7), dtype=np.uint8), 3)
+
+    def test_rejects_wide_functions(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((1, 34), dtype=np.uint8), 17)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_matches_reference(self, data):
+        n = data.draw(st.integers(1, 6))
+        b = data.draw(st.integers(1, 8))
+        m = data.draw(st.integers(1, 5))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        bits = rng.integers(0, 2, size=(n, m * b)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            pack_bits(bits, b), pack_bits_reference(bits, b)
+        )
+
+
+class TestAllPairsHasher:
+    def test_hash_functions_shape_and_range(self, rng):
+        params = PLSHParams(k=8, m=6, seed=0)
+        hasher = AllPairsHasher(params, 40)
+        u = hasher.hash_functions(unit_csr(rng, 12, 40))
+        assert u.shape == (12, 6)
+        assert u.dtype == np.uint16
+        assert int(u.max()) < params.n_buckets_per_level
+
+    def test_deterministic_across_instances(self, rng):
+        params = PLSHParams(k=8, m=6, seed=5)
+        vecs = unit_csr(rng, 10, 40)
+        u1 = AllPairsHasher(params, 40).hash_functions(vecs)
+        u2 = AllPairsHasher(params, 40).hash_functions(vecs)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_table_key_combines_pair(self, rng):
+        params = PLSHParams(k=8, m=5, seed=0)
+        hasher = AllPairsHasher(params, 30)
+        u = hasher.hash_functions(unit_csr(rng, 8, 30))
+        for l, (i, j) in enumerate(hasher.pairs):
+            expected = (u[:, i].astype(np.uint32) << 4) | u[:, j]
+            np.testing.assert_array_equal(hasher.table_key(u, l), expected)
+
+    def test_query_keys_match_per_table_keys(self, rng):
+        params = PLSHParams(k=8, m=5, seed=0)
+        hasher = AllPairsHasher(params, 30)
+        u = hasher.hash_functions(unit_csr(rng, 3, 30))
+        keys = hasher.table_keys_for_query(u[1])
+        for l in range(params.n_tables):
+            assert keys[l] == hasher.table_key(u, l)[1]
+
+    def test_table_index_inverse_of_pairs(self):
+        params = PLSHParams(k=8, m=7, seed=0)
+        hasher = AllPairsHasher(params, 10)
+        for l, (i, j) in enumerate(hasher.pairs):
+            assert hasher.table_index(i, j) == l
+
+    def test_number_of_tables(self):
+        params = PLSHParams(k=8, m=9, seed=0)
+        hasher = AllPairsHasher(params, 10)
+        assert hasher.n_tables == 36 == len(hasher.pairs)
+
+    def test_similar_vectors_share_more_functions(self, rng):
+        """Core LSH property: closer pairs collide on more u_i."""
+        params = PLSHParams(k=8, m=32, seed=2)
+        dim = 60
+        hasher = AllPairsHasher(params, dim)
+        a = rng.standard_normal(dim)
+        a /= np.linalg.norm(a)
+        perp = rng.standard_normal(dim)
+        perp -= (perp @ a) * a
+        perp /= np.linalg.norm(perp)
+        near = np.cos(0.2) * a + np.sin(0.2) * perp
+        far = np.cos(1.4) * a + np.sin(1.4) * perp
+        vecs = CSRMatrix.from_dense(
+            np.vstack([a, near, far]).astype(np.float32)
+        )
+        u = hasher.hash_functions(vecs)
+        near_matches = int((u[0] == u[1]).sum())
+        far_matches = int((u[0] == u[2]).sum())
+        assert near_matches > far_matches

@@ -1,0 +1,95 @@
+"""HyperplaneBank tests: determinism, shapes, collision statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hyperplanes import HyperplaneBank
+from repro.sparse.csr import CSRMatrix
+
+
+def unit_rows(rng, n, dim):
+    dense = rng.standard_normal((n, dim)).astype(np.float32)
+    dense /= np.linalg.norm(dense, axis=1, keepdims=True)
+    return CSRMatrix.from_dense(dense), dense
+
+
+def test_same_seed_same_planes():
+    a = HyperplaneBank(50, 8, seed=3)
+    b = HyperplaneBank(50, 8, seed=3)
+    np.testing.assert_array_equal(a.planes, b.planes)
+
+
+def test_different_seed_different_planes():
+    a = HyperplaneBank(50, 8, seed=3)
+    b = HyperplaneBank(50, 8, seed=4)
+    assert not np.array_equal(a.planes, b.planes)
+
+
+def test_shapes_and_dtype():
+    bank = HyperplaneBank(30, 12, seed=0)
+    assert bank.planes.shape == (30, 12)
+    assert bank.planes.dtype == np.float32
+    assert bank.nbytes == 30 * 12 * 4
+
+
+def test_sign_bits_binary(rng):
+    bank = HyperplaneBank(20, 6, seed=0)
+    vecs, _ = unit_rows(rng, 15, 20)
+    bits = bank.sign_bits(vecs)
+    assert bits.shape == (15, 6)
+    assert set(np.unique(bits).tolist()) <= {0, 1}
+
+
+def test_sign_bits_match_dense_projection(rng):
+    bank = HyperplaneBank(20, 6, seed=0)
+    vecs, dense = unit_rows(rng, 15, 20)
+    expected = (dense @ bank.planes > 0).astype(np.uint8)
+    np.testing.assert_array_equal(bank.sign_bits(vecs), expected)
+
+
+def test_vectorized_matches_reference(rng):
+    bank = HyperplaneBank(20, 6, seed=0)
+    vecs, _ = unit_rows(rng, 10, 20)
+    np.testing.assert_array_equal(
+        bank.sign_bits(vecs, vectorized=True),
+        bank.sign_bits(vecs, vectorized=False),
+    )
+
+
+def test_dimension_mismatch_raises(rng):
+    bank = HyperplaneBank(20, 6, seed=0)
+    vecs, _ = unit_rows(rng, 5, 21)
+    with pytest.raises(ValueError):
+        bank.sign_bits(vecs)
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        HyperplaneBank(0, 4)
+    with pytest.raises(ValueError):
+        HyperplaneBank(4, 0)
+
+
+def test_collision_rate_matches_charikar(rng):
+    """Empirical P[h(p)=h(q)] must track 1 - t/pi (Section 3)."""
+    dim, n_planes = 64, 4000
+    bank = HyperplaneBank(dim, n_planes, seed=11)
+    # Construct a pair at a controlled angle t.
+    for target in (0.4, 0.9, 1.6):
+        a = rng.standard_normal(dim)
+        a /= np.linalg.norm(a)
+        b_raw = rng.standard_normal(dim)
+        b_raw -= (b_raw @ a) * a
+        b_raw /= np.linalg.norm(b_raw)
+        p = a
+        q = np.cos(target) * a + np.sin(target) * b_raw
+        pair = CSRMatrix.from_dense(
+            np.vstack([p, q]).astype(np.float32)
+        )
+        bits = bank.sign_bits(pair)
+        rate = float((bits[0] == bits[1]).mean())
+        expected = 1.0 - target / np.pi
+        # 4000 Bernoulli trials -> std ~ 0.008; allow 5 sigma.
+        assert rate == pytest.approx(expected, abs=0.04)

@@ -1,0 +1,113 @@
+"""PLSHIndex facade tests, including the statistical recall invariant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.perfmodel.collisions import recall_probability
+
+
+class TestLifecycle:
+    def test_query_before_build_raises(self, small_vectors, small_params):
+        index = PLSHIndex(small_vectors.n_cols, small_params)
+        with pytest.raises(RuntimeError):
+            index.query(np.asarray([0]), np.asarray([1.0], np.float32))
+
+    def test_build_wrong_dim_raises(self, small_vectors, small_params):
+        index = PLSHIndex(small_vectors.n_cols + 1, small_params)
+        with pytest.raises(ValueError):
+            index.build(small_vectors)
+
+    def test_bad_u_values_shape_raises(self, small_vectors, small_params):
+        index = PLSHIndex(small_vectors.n_cols, small_params)
+        with pytest.raises(ValueError):
+            index.build(
+                small_vectors,
+                u_values=np.zeros((3, small_params.m), dtype=np.uint16),
+            )
+
+    def test_properties(self, built_index, small_vectors, small_params):
+        assert built_index.is_built
+        assert built_index.n_items == small_vectors.n_rows
+        assert built_index.nbytes > 0
+        assert built_index.build_times["hashing"] > 0
+        assert built_index.build_times["insertion"] > 0
+
+    def test_hasher_dim_mismatch_raises(self, small_params, built_index):
+        with pytest.raises(ValueError):
+            PLSHIndex(99, small_params, hasher=built_index.hasher)
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, small_vectors, small_queries):
+        _, queries = small_queries
+        params = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+        a = PLSHIndex(small_vectors.n_cols, params).build(small_vectors)
+        b = PLSHIndex(small_vectors.n_cols, params).build(small_vectors)
+        for r in range(5):
+            ra = a.engine.query_row(queries, r)
+            rb = b.engine.query_row(queries, r)
+            np.testing.assert_array_equal(
+                np.sort(ra.indices), np.sort(rb.indices)
+            )
+
+    def test_different_seed_different_tables(self, small_vectors):
+        a = PLSHIndex(
+            small_vectors.n_cols, PLSHParams(k=8, m=6, seed=1)
+        ).build(small_vectors)
+        b = PLSHIndex(
+            small_vectors.n_cols, PLSHParams(k=8, m=6, seed=2)
+        ).build(small_vectors)
+        assert not np.array_equal(a.u_values, b.u_values)
+
+    def test_prebuilt_u_values_short_circuit_hashing(
+        self, built_index, small_vectors
+    ):
+        index = PLSHIndex(
+            small_vectors.n_cols, built_index.params, hasher=built_index.hasher
+        )
+        index.build(small_vectors, u_values=built_index.u_values)
+        assert "hashing" not in index.build_times
+        np.testing.assert_array_equal(
+            index.tables.entries, built_index.tables.entries
+        )
+
+
+class TestRecall:
+    def test_no_false_positives(self, built_index, small_queries, small_vectors):
+        """LSH may miss neighbors but must never report a non-neighbor."""
+        _, queries = small_queries
+        exact = ExhaustiveSearch(small_vectors, built_index.params.radius)
+        for r in range(10):
+            approx = set(
+                built_index.engine.query_row(queries, r).indices.tolist()
+            )
+            truth = set(exact.query(*queries.row(r)).indices.tolist())
+            assert approx <= truth
+
+    def test_recall_matches_theory(self, built_index, small_queries, small_vectors):
+        """Measured recall must track the mean of P'(t, k, m) over the true
+        neighbors (the per-point retrieval probability of Section 7.2)."""
+        ids, queries = small_queries
+        params = built_index.params
+        exact = ExhaustiveSearch(small_vectors, params.radius)
+        found, predicted, total = 0, 0.0, 0
+        for r in range(queries.n_rows):
+            truth = exact.query(*queries.row(r))
+            approx = set(
+                built_index.engine.query_row(queries, r).indices.tolist()
+            )
+            for idx, dist in zip(truth.indices.tolist(), truth.distances.tolist()):
+                total += 1
+                predicted += float(recall_probability(dist, params.k, params.m))
+                if idx in approx:
+                    found += 1
+        assert total >= 50, "fixture corpus must contain enough near pairs"
+        measured = found / total
+        expected = predicted / total
+        # Binomial noise at n>=50 is well under 0.15.
+        assert measured == pytest.approx(expected, abs=0.15)
+        assert measured > 0.5

@@ -1,0 +1,77 @@
+"""Parallel query backends and parallel table construction."""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex
+from repro.core.tables import StaticTableSet
+
+
+class TestProcessBackend:
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="fork-based backend"
+    )
+    def test_matches_serial(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = built_index.engine
+        serial = engine.query_batch(queries)
+        forked = engine.query_batch(queries, workers=2, backend="process")
+        assert len(serial) == len(forked)
+        for a, b in zip(serial, forked):
+            np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+            np.testing.assert_allclose(
+                np.sort(a.distances), np.sort(b.distances), rtol=1e-6
+            )
+
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="fork-based backend"
+    )
+    def test_stats_aggregated_from_children(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = built_index.engine
+        before = engine.stats.n_queries
+        engine.query_batch(queries, workers=2, backend="process")
+        assert engine.stats.n_queries - before == queries.n_rows
+
+    def test_unknown_backend_raises(self, built_index, small_queries):
+        _, queries = small_queries
+        with pytest.raises(ValueError):
+            built_index.engine.query_batch(queries, workers=2, backend="mpi")
+
+    def test_single_worker_ignores_backend(self, built_index, small_queries):
+        _, queries = small_queries
+        out = built_index.engine.query_batch(
+            queries.slice_rows(0, 3), workers=1, backend="process"
+        )
+        assert len(out) == 3
+
+
+class TestParallelBuild:
+    def test_workers_produce_identical_tables(self, built_index):
+        u = built_index.u_values
+        params = built_index.params
+        serial = StaticTableSet.build(u, params, workers=1)
+        parallel = StaticTableSet.build(u, params, workers=4)
+        np.testing.assert_array_equal(serial.entries, parallel.entries)
+        np.testing.assert_array_equal(serial.offsets, parallel.offsets)
+
+    def test_index_build_with_workers(self, small_vectors, small_params):
+        a = PLSHIndex(small_vectors.n_cols, small_params).build(small_vectors)
+        b = PLSHIndex(small_vectors.n_cols, small_params).build(
+            small_vectors, workers=3
+        )
+        np.testing.assert_array_equal(a.tables.entries, b.tables.entries)
+
+
+class TestNearest:
+    def test_nearest_orders_and_limits(self, built_index, small_vectors):
+        cols, vals = small_vectors.row(7)
+        res = built_index.nearest(cols.astype(np.int64), vals, 3, radius=1.2)
+        assert len(res) <= 3
+        assert (np.diff(res.distances) >= 0).all()
+        if len(res):
+            assert res.indices[0] == 7  # self at distance 0

@@ -1,0 +1,71 @@
+"""PLSHParams validation and derived-quantity tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import PAPER_TWITTER_PARAMS, PLSHParams
+
+
+def test_paper_flagship_configuration():
+    p = PAPER_TWITTER_PARAMS
+    assert p.k == 16 and p.m == 40
+    assert p.n_tables == 780          # L = m(m-1)/2, as in the paper
+    assert p.bits_per_function == 8
+    assert p.n_hash_bits == 320       # m * k/2 hyperplanes
+    assert p.n_buckets == 65536
+
+
+def test_table_pairs_enumeration():
+    p = PLSHParams(k=4, m=4)
+    assert p.n_tables == 6
+    assert p.table_pairs() == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+
+def test_table_pairs_all_distinct_and_ordered():
+    p = PLSHParams(k=8, m=10)
+    pairs = p.table_pairs()
+    assert len(pairs) == len(set(pairs)) == p.n_tables
+    assert all(i < j for i, j in pairs)
+
+
+def test_memory_formula_matches_paper():
+    # Section 5.3: N=10M, L=780 -> tables alone are ~31 GB.
+    p = PAPER_TWITTER_PARAMS
+    total = p.table_memory_bytes(10_000_000)
+    assert total == (780 * 10_000_000 + 65536 * 780) * 4
+    assert 31e9 < total < 32e9
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"k": 0},
+        {"k": 3},          # odd
+        {"k": 34},         # keys would not fit uint32
+        {"m": 1},
+        {"radius": 0.0},
+        {"radius": 4.0},   # > pi
+        {"delta": 0.0},
+        {"delta": 1.0},
+    ],
+)
+def test_invalid_parameters_raise(kwargs):
+    with pytest.raises(ValueError):
+        PLSHParams(**kwargs)
+
+
+def test_with_seed_preserves_everything_else():
+    p = PLSHParams(k=8, m=6, radius=0.5, delta=0.2, seed=1)
+    q = p.with_seed(2)
+    assert q.seed == 2
+    assert (q.k, q.m, q.radius, q.delta) == (8, 6, 0.5, 0.2)
+
+
+def test_seed_not_part_of_equality():
+    assert PLSHParams(seed=1) == PLSHParams(seed=2)
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        PLSHParams().k = 4  # type: ignore[misc]

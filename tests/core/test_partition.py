@@ -1,0 +1,166 @@
+"""Partitioning tests: primitives, strategy equivalence, the paper's
+worked example (Table 1 / Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    BUILD_STRATEGIES,
+    bucket_offsets,
+    build_tables_one_level,
+    build_tables_shared,
+    build_tables_two_level,
+    partition_reference,
+    partition_stable,
+)
+
+
+class TestPrimitives:
+    def test_bucket_offsets_simple(self):
+        keys = np.asarray([2, 0, 2, 1, 2])
+        np.testing.assert_array_equal(bucket_offsets(keys, 4), [0, 1, 2, 5, 5])
+
+    def test_bucket_offsets_empty(self):
+        np.testing.assert_array_equal(
+            bucket_offsets(np.empty(0, dtype=np.int64), 3), [0, 0, 0, 0]
+        )
+
+    def test_bucket_offsets_out_of_range(self):
+        with pytest.raises(ValueError):
+            bucket_offsets(np.asarray([5]), 4)
+
+    def test_partition_stable_groups_and_is_stable(self):
+        keys = np.asarray([1, 0, 1, 0, 1])
+        order, offsets = partition_stable(keys, 2)
+        np.testing.assert_array_equal(order, [1, 3, 0, 2, 4])
+        np.testing.assert_array_equal(offsets, [0, 2, 5])
+
+    def test_reference_matches_stable_simple(self):
+        keys = np.asarray([3, 1, 3, 0, 1, 1])
+        o1, f1 = partition_stable(keys, 4)
+        o2, f2 = partition_reference(keys, 4)
+        np.testing.assert_array_equal(o1, o2)
+        np.testing.assert_array_equal(f1, f2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 15), max_size=100),
+    )
+    def test_reference_matches_stable_property(self, keys):
+        arr = np.asarray(keys, dtype=np.uint16)
+        o1, f1 = partition_stable(arr, 16)
+        o2, f2 = partition_reference(arr, 16)
+        np.testing.assert_array_equal(o1, o2)
+        np.testing.assert_array_equal(f1, f2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.lists(st.integers(0, 31), min_size=1, max_size=120))
+    def test_partition_invariants_property(self, keys):
+        """Order is a permutation; each bucket slice holds exactly its key."""
+        arr = np.asarray(keys, dtype=np.uint16)
+        order, offsets = partition_stable(arr, 32)
+        assert sorted(order.tolist()) == list(range(len(keys)))
+        for b in range(32):
+            segment = arr[order[offsets[b] : offsets[b + 1]]]
+            assert (segment == b).all()
+
+
+# Table 1 of the paper: k=4, m=4, L=6; 2-bit hashes of ten points t1..t10.
+PAPER_U = np.asarray(
+    [
+        # u1  u2  u3  u4
+        [0b10, 0b11, 0b11, 0b00],  # t1
+        [0b00, 0b00, 0b10, 0b00],  # t2
+        [0b00, 0b11, 0b01, 0b11],  # t3
+        [0b10, 0b11, 0b11, 0b10],  # t4
+        [0b11, 0b11, 0b10, 0b00],  # t5
+        [0b11, 0b10, 0b10, 0b10],  # t6
+        [0b10, 0b10, 0b10, 0b01],  # t7
+        [0b10, 0b11, 0b00, 0b00],  # t8
+        [0b10, 0b01, 0b11, 0b01],  # t9
+        [0b00, 0b10, 0b01, 0b10],  # t10
+    ],
+    dtype=np.uint16,
+)
+
+
+class TestPaperWorkedExample:
+    """Figure 2's shared first-level partition example, verified exactly."""
+
+    def test_level1_partition_by_u1(self):
+        order, offsets = partition_stable(PAPER_U[:, 0], 4)
+        # Figure 2: bucket 00 = {t2, t3, t10}, 10 = {t1, t4, t7, t8, t9},
+        # 11 = {t5, t6}; zero-based ids, stable (arrival) order.
+        np.testing.assert_array_equal(order[offsets[0] : offsets[1]], [1, 2, 9])
+        assert offsets[1] == offsets[2]  # bucket 01 empty
+        np.testing.assert_array_equal(
+            order[offsets[2] : offsets[3]], [0, 3, 6, 7, 8]
+        )
+        np.testing.assert_array_equal(order[offsets[3] : offsets[4]], [4, 5])
+
+    def test_hash_table_u1_u2(self):
+        entries, offsets = build_tables_shared(PAPER_U, 4)
+        table_u1_u2 = entries[0]  # pair (0, 1) is table 0
+        # Within u1-bucket 00: t2 (u2=00), t10 (u2=10), t3 (u2=11);
+        # within u1-bucket 10: t9 (01), t7 (10), then t1, t4, t8 (11);
+        # within u1-bucket 11: t6 (10), t5 (11).
+        np.testing.assert_array_equal(
+            table_u1_u2, [1, 9, 2, 8, 6, 0, 3, 7, 5, 4]
+        )
+
+    def test_six_tables_generated(self):
+        entries, offsets = build_tables_shared(PAPER_U, 4)
+        assert entries.shape == (6, 10)
+        assert offsets.shape == (6, 17)
+
+    def test_bucket_membership_table_u1_u3(self):
+        entries, offsets = build_tables_shared(PAPER_U, 4)
+        l = 1  # pair (0, 2) = (u1, u3)
+        # t1 has u1=10, u3=11 -> key 0b1011 = 11.
+        key = 0b1011
+        bucket = entries[l, offsets[l, key] : offsets[l, key + 1]]
+        assert set(bucket.tolist()) == {0, 3, 8}  # t1, t4, t9 share (10, 11)
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", sorted(BUILD_STRATEGIES))
+    def test_matches_one_level_on_paper_example(self, strategy):
+        expected_entries, expected_offsets = build_tables_one_level(PAPER_U, 4)
+        entries, offsets = BUILD_STRATEGIES[strategy](PAPER_U, 4)
+        np.testing.assert_array_equal(entries, expected_entries)
+        np.testing.assert_array_equal(offsets, expected_offsets)
+
+    @pytest.mark.parametrize("strategy", sorted(BUILD_STRATEGIES))
+    def test_vectorized_matches_reference_kernel(self, strategy):
+        build = BUILD_STRATEGIES[strategy]
+        fast = build(PAPER_U, 4, vectorized=True)
+        slow = build(PAPER_U, 4, vectorized=False)
+        np.testing.assert_array_equal(fast[0], slow[0])
+        np.testing.assert_array_equal(fast[1], slow[1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_all_strategies_agree_property(self, data):
+        n = data.draw(st.integers(1, 40))
+        m = data.draw(st.integers(2, 5))
+        k = data.draw(st.sampled_from([2, 4, 6]))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        u = rng.integers(0, 1 << (k // 2), size=(n, m)).astype(np.uint16)
+        results = {
+            name: BUILD_STRATEGIES[name](u, k) for name in BUILD_STRATEGIES
+        }
+        base_entries, base_offsets = results["one_level"]
+        for name, (entries, offsets) in results.items():
+            np.testing.assert_array_equal(entries, base_entries, err_msg=name)
+            np.testing.assert_array_equal(offsets, base_offsets, err_msg=name)
+
+    def test_empty_input(self):
+        u = np.empty((0, 3), dtype=np.uint16)
+        for name, build in BUILD_STRATEGIES.items():
+            entries, offsets = build(u, 4)
+            assert entries.shape == (3, 0), name
+            assert (offsets == 0).all(), name

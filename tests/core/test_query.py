@@ -1,0 +1,144 @@
+"""QueryEngine tests: pipeline correctness across every ablation rung."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import QueryEngine
+from repro.params import PLSHParams
+
+
+def make_engine(built_index, **kw):
+    return QueryEngine(
+        built_index.tables,
+        built_index.data,
+        built_index.hasher,
+        built_index.params,
+        **kw,
+    )
+
+
+class TestPipeline:
+    def test_query_returns_self(self, built_index, small_vectors):
+        """A corpus row queried against the index must find itself (its own
+        table keys collide trivially) at distance ~0."""
+        cols, vals = small_vectors.row(17)
+        res = built_index.query(cols.astype(np.int64), vals)
+        assert 17 in res.indices.tolist()
+        d = res.distances[res.indices.tolist().index(17)]
+        assert d == pytest.approx(0.0, abs=1e-3)
+
+    def test_all_results_within_radius(self, built_index, small_queries):
+        _, queries = small_queries
+        for r in range(queries.n_rows):
+            res = built_index.engine.query_row(queries, r)
+            assert (res.distances <= built_index.params.radius + 1e-6).all()
+
+    def test_radius_override(self, built_index, small_vectors):
+        cols, vals = small_vectors.row(3)
+        tight = built_index.query(cols.astype(np.int64), vals, radius=0.05)
+        loose = built_index.query(cols.astype(np.int64), vals, radius=1.2)
+        assert len(tight) <= len(loose)
+        assert (tight.distances <= 0.05 + 1e-6).all()
+
+    def test_exclude_mask_drops_candidates(self, built_index, small_vectors):
+        cols, vals = small_vectors.row(17)
+        exclude = np.zeros(built_index.n_items, dtype=bool)
+        exclude[17] = True
+        res = built_index.query(cols.astype(np.int64), vals, exclude=exclude)
+        assert 17 not in res.indices.tolist()
+
+    def test_stats_accumulate(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = make_engine(built_index)
+        engine.query_row(queries, 0)
+        engine.query_row(queries, 1)
+        assert engine.stats.n_queries == 2
+        assert engine.stats.n_collisions >= engine.stats.n_unique
+        assert engine.stats.n_unique >= engine.stats.n_matches
+        assert engine.stats.stage_times.total > 0
+
+
+class TestAblationEquivalence:
+    """Every optimization rung must return identical neighbor sets."""
+
+    @pytest.mark.parametrize("dedup", ["set", "sort", "bitvector"])
+    @pytest.mark.parametrize("dots", ["naive", "lookup", "batched"])
+    def test_rungs_agree(self, built_index, small_queries, dedup, dots):
+        _, queries = small_queries
+        baseline = make_engine(built_index)
+        variant = make_engine(built_index, dedup=dedup, dots=dots,
+                              reuse_buffers=False)
+        for r in range(5):
+            a = baseline.query_row(queries, r)
+            b = variant.query_row(queries, r)
+            assert set(a.indices.tolist()) == set(b.indices.tolist())
+            np.testing.assert_allclose(
+                np.sort(a.distances), np.sort(b.distances), rtol=1e-4, atol=1e-5
+            )
+
+    def test_buffer_reuse_equivalence(self, built_index, small_queries):
+        _, queries = small_queries
+        reuse = make_engine(built_index, reuse_buffers=True)
+        fresh = make_engine(built_index, reuse_buffers=False)
+        for r in range(8):
+            a = reuse.query_row(queries, r)
+            b = fresh.query_row(queries, r)
+            assert set(a.indices.tolist()) == set(b.indices.tolist())
+
+
+class TestBatch:
+    def test_serial_batch_matches_single(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = make_engine(built_index)
+        batch = engine.query_batch(queries)
+        single = [engine.query_row(queries, r) for r in range(queries.n_rows)]
+        for a, b in zip(batch, single):
+            np.testing.assert_array_equal(
+                np.sort(a.indices), np.sort(b.indices)
+            )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial(self, built_index, small_queries, workers):
+        _, queries = small_queries
+        engine = make_engine(built_index)
+        serial = engine.query_batch(queries, workers=1)
+        parallel = engine.query_batch(queries, workers=workers)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(
+                np.sort(a.indices), np.sort(b.indices)
+            )
+
+    def test_parallel_stats_absorbed(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = make_engine(built_index)
+        engine.query_batch(queries, workers=3)
+        assert engine.stats.n_queries == queries.n_rows
+
+
+class TestValidation:
+    def test_table_data_mismatch_raises(self, built_index, small_vectors):
+        truncated = small_vectors.slice_rows(0, 10)
+        with pytest.raises(ValueError):
+            QueryEngine(
+                built_index.tables, truncated, built_index.hasher,
+                built_index.params,
+            )
+
+    def test_unknown_dots_strategy_raises(self, built_index):
+        with pytest.raises(ValueError):
+            make_engine(built_index, dots="warp")
+
+
+class TestQueryResult:
+    def test_sorted_and_top(self, built_index, small_vectors):
+        cols, vals = small_vectors.row(5)
+        res = built_index.query(cols.astype(np.int64), vals, radius=1.3)
+        s = res.sorted_by_distance()
+        assert (np.diff(s.distances) >= 0).all()
+        top = res.top(3)
+        assert len(top) <= 3
+        if len(res) >= 1:
+            assert top.distances[0] == s.distances[0]

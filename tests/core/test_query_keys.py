@@ -1,0 +1,55 @@
+"""Precomputed-key queries: the hash-once-use-twice path of the node."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+def test_precomputed_keys_match_internal_hashing(built_index, small_queries):
+    _, queries = small_queries
+    hasher = built_index.hasher
+    for r in range(6):
+        cols, vals = queries.row(r)
+        q = CSRMatrix(
+            np.asarray([0, cols.size], dtype=np.int64),
+            cols,
+            vals,
+            built_index.dim,
+            check=False,
+        )
+        u = hasher.hash_functions(q)[0]
+        keys = hasher.table_keys_for_query(u)
+        a = built_index.query(cols.astype(np.int64), vals)
+        b = built_index.query(cols.astype(np.int64), vals, keys=keys)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+
+
+def test_node_query_uses_shared_keys(small_vectors, small_queries):
+    """Node answers must be invariant to where data sits (static/delta),
+    which exercises the shared-keys plumbing end to end."""
+    from repro.params import PLSHParams
+    from repro.streaming.node import StreamingPLSH
+
+    _, queries = small_queries
+    params = PLSHParams(k=8, m=6, radius=0.9, seed=111)
+    split = StreamingPLSH(
+        small_vectors.n_cols, params, capacity=4000, delta_fraction=0.9,
+        auto_merge=False,
+    )
+    split.insert_batch(small_vectors.slice_rows(0, 1000))
+    split.merge_now()
+    split.insert_batch(small_vectors.slice_rows(1000, 2000))
+
+    merged = StreamingPLSH(
+        small_vectors.n_cols, params, capacity=4000, delta_fraction=0.9,
+        auto_merge=False, hasher=split.hasher,
+    )
+    merged.insert_batch(small_vectors.slice_rows(0, 2000))
+    merged.merge_now()
+
+    for r in range(5):
+        a = split.query(*queries.row(r))
+        b = merged.query(*queries.row(r))
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))

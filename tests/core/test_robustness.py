@@ -1,0 +1,78 @@
+"""Robustness / failure-injection tests for the core pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+
+def test_non_unit_rows_do_not_break_distances(small_params):
+    """Slightly non-normalized rows (float error, user input) must yield
+    clipped, finite distances rather than NaNs from acos(>1)."""
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((50, 30)).astype(np.float32)
+    dense /= np.linalg.norm(dense, axis=1, keepdims=True)
+    dense *= 1.001  # 0.1 % over unit norm
+    vectors = CSRMatrix.from_dense(dense)
+    index = PLSHIndex(30, small_params).build(vectors)
+    cols, vals = vectors.row(0)
+    res = index.query(cols.astype(np.int64), vals, radius=1.5)
+    assert np.isfinite(res.distances).all()
+    assert 0 in res.indices.tolist()
+
+
+def test_empty_query_returns_nothing(built_index):
+    res = built_index.query(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+    )
+    # An empty query hashes to *some* bucket pattern but its dot products
+    # are all zero, so nothing survives the R = 0.9 filter.
+    assert len(res) == 0
+
+
+def test_single_item_corpus(small_params):
+    vectors = CSRMatrix.from_rows([([0, 1], [0.6, 0.8])], 10)
+    index = PLSHIndex(10, small_params).build(vectors)
+    cols, vals = vectors.row(0)
+    res = index.query(cols.astype(np.int64), vals)
+    assert res.indices.tolist() == [0]
+
+
+def test_duplicate_rows_all_returned(small_params):
+    row = ([2, 5, 7], [0.5, 0.5, 0.7071])
+    vectors = CSRMatrix.from_rows([row] * 5, 10)
+    index = PLSHIndex(10, small_params).build(vectors)
+    cols, vals = vectors.row(0)
+    res = index.query(cols.astype(np.int64), vals)
+    assert set(res.indices.tolist()) == {0, 1, 2, 3, 4}
+    # 0.7071 is not exactly sqrt(0.5); acos amplifies the epsilon near 1.
+    np.testing.assert_allclose(res.distances, 0.0, atol=1e-2)
+
+
+def test_all_identical_hash_buckets_survive(small_params):
+    """A degenerate corpus where every row collides in every table (all
+    rows identical) must not overflow or mis-partition."""
+    vectors = CSRMatrix.from_rows([([1], [1.0])] * 64, 4)
+    index = PLSHIndex(4, small_params).build(vectors)
+    index.tables.validate()
+    cols, vals = vectors.row(0)
+    res = index.query(cols.astype(np.int64), vals)
+    assert len(res) == 64
+
+
+def test_rebuild_replaces_state(built_index, small_vectors, small_params):
+    index = PLSHIndex(small_vectors.n_cols, small_params)
+    index.build(small_vectors.slice_rows(0, 100))
+    assert index.n_items == 100
+    index.build(small_vectors.slice_rows(0, 300))
+    assert index.n_items == 300
+    cols, vals = small_vectors.row(250)
+    assert 250 in index.query(cols.astype(np.int64), vals).indices.tolist()
+
+
+def test_query_radius_zero_rejected_by_params():
+    with pytest.raises(ValueError):
+        PLSHParams(radius=0.0)

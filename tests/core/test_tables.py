@@ -1,0 +1,127 @@
+"""StaticTableSet tests: structure, lookups, batched collision gather."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import AllPairsHasher
+from repro.core.tables import StaticTableSet
+from repro.params import PLSHParams
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = PLSHParams(k=6, m=5, seed=0)
+    rng = np.random.default_rng(0)
+    u = rng.integers(0, params.n_buckets_per_level, size=(200, params.m)).astype(
+        np.uint16
+    )
+    tables = StaticTableSet.build(u, params)
+    return params, u, tables
+
+
+class TestBuild:
+    def test_shapes(self, setup):
+        params, u, tables = setup
+        assert tables.n_tables == params.n_tables
+        assert tables.n_items == 200
+        assert tables.entries.shape == (params.n_tables, 200)
+        assert tables.offsets.shape == (params.n_tables, params.n_buckets + 1)
+
+    def test_validate_passes(self, setup):
+        _, _, tables = setup
+        tables.validate()
+
+    def test_each_bucket_holds_matching_keys(self, setup):
+        params, u, tables = setup
+        hasher_pairs = params.table_pairs()
+        b = params.bits_per_function
+        for l in (0, 3, params.n_tables - 1):
+            i, j = hasher_pairs[l]
+            keys = (u[:, i].astype(np.uint32) << b) | u[:, j]
+            for key in np.unique(keys):
+                bucket = tables.bucket(l, int(key))
+                assert set(bucket.tolist()) == set(
+                    np.nonzero(keys == key)[0].tolist()
+                )
+
+    def test_unknown_strategy_raises(self, setup):
+        params, u, _ = setup
+        with pytest.raises(ValueError):
+            StaticTableSet.build(u, params, strategy="quantum")
+
+    def test_wrong_u_shape_raises(self, setup):
+        params, u, _ = setup
+        with pytest.raises(ValueError):
+            StaticTableSet.build(u[:, :2], params)
+
+    def test_nbytes_matches_equation_7_4(self, setup):
+        params, _, tables = setup
+        expected = (params.n_tables * 200 + params.n_buckets * params.n_tables) * 4
+        # offsets have one extra column per table beyond the 2^k of Eq 7.4.
+        assert abs(tables.nbytes - expected) <= params.n_tables * 4
+
+
+class TestCollisions:
+    def test_matches_per_table_concatenation(self, setup):
+        params, u, tables = setup
+        rng = np.random.default_rng(7)
+        query_u = rng.integers(
+            0, params.n_buckets_per_level, size=params.m
+        ).astype(np.uint16)
+        b = params.bits_per_function
+        keys = np.asarray(
+            [
+                (int(query_u[i]) << b) | int(query_u[j])
+                for i, j in params.table_pairs()
+            ],
+            dtype=np.int64,
+        )
+        batched = tables.collisions(keys)
+        per_table = tables.collisions_per_table(keys)
+        expected = np.concatenate([p for p in per_table]) if per_table else []
+        np.testing.assert_array_equal(batched, expected)
+
+    def test_empty_buckets_give_empty_result(self, setup):
+        params, _, tables = setup
+        # Probe an impossible key pattern by using a key with no occupants:
+        # find one empty bucket per table.
+        keys = []
+        for l in range(params.n_tables):
+            counts = np.diff(tables.offsets[l])
+            empty = int(np.nonzero(counts == 0)[0][0])
+            keys.append(empty)
+        assert tables.collisions(np.asarray(keys)).size == 0
+
+    def test_wrong_key_count_raises(self, setup):
+        _, _, tables = setup
+        with pytest.raises(ValueError):
+            tables.collisions(np.asarray([0, 1]))
+
+
+class TestValidation:
+    def test_bad_offsets_rejected(self, setup):
+        params, u, tables = setup
+        with pytest.raises(ValueError):
+            StaticTableSet(
+                tables.entries, tables.offsets[:, :-1], params
+            )
+
+    def test_validate_catches_corruption(self, setup):
+        params, u, tables = setup
+        corrupted = StaticTableSet(
+            tables.entries.copy(), tables.offsets.copy(), params
+        )
+        corrupted.entries[0, 0] = corrupted.entries[0, 1]  # break permutation
+        with pytest.raises(ValueError):
+            corrupted.validate()
+
+    def test_empty_tables(self):
+        params = PLSHParams(k=4, m=3, seed=0)
+        tables = StaticTableSet.build(
+            np.empty((0, 3), dtype=np.uint16), params
+        )
+        tables.validate()
+        keys = np.zeros(params.n_tables, dtype=np.int64)
+        assert tables.collisions(keys).size == 0

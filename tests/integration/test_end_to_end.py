@@ -1,0 +1,165 @@
+"""End-to-end integration: text -> vectors -> index -> queries, and the
+full streaming/cluster pipelines working together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IDFVectorizer, PLSHIndex, PLSHParams
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.text.tokenizer import Tokenizer
+from repro.text.vocabulary import Vocabulary
+
+
+class TestTextPipeline:
+    """Raw strings all the way to neighbors, exercising the public API."""
+
+    TWEETS = [
+        "Lionel Messi scores twice in the final tonight",
+        "Messi scores twice — what a final tonight!",
+        "Central bank raises interest rates again",
+        "The weather in boston is lovely today",
+        "Interest rates raised by the central bank",
+        "lovely weather today in boston area",
+        "new phone launch breaks preorder records",
+        "Phone launch: preorder records broken worldwide",
+    ] * 25  # replicate so hash statistics are meaningful
+
+    def test_near_duplicate_tweets_are_neighbors(self):
+        tokenizer = Tokenizer()
+        vocab = Vocabulary()
+        docs = vocab.build(tokenizer.tokenize_many(self.TWEETS))
+        vocab.freeze()
+        vectorizer = IDFVectorizer(max(len(vocab), 1)).fit(docs)
+        vectors = vectorizer.transform(docs)
+        params = PLSHParams(k=8, m=10, radius=0.9, seed=5)
+        index = PLSHIndex(vectors.n_cols, params).build(vectors)
+
+        # Tweet 0 and tweet 1 are near-duplicates; 2 is unrelated.
+        cols, vals = vectors.row(0)
+        res = index.query(cols.astype(np.int64), vals)
+        found = set(res.indices.tolist())
+        assert 1 in found
+        assert 2 not in found
+
+    def test_query_from_unseen_text(self):
+        tokenizer = Tokenizer()
+        vocab = Vocabulary()
+        docs = vocab.build(tokenizer.tokenize_many(self.TWEETS))
+        vocab.freeze()
+        vectorizer = IDFVectorizer(len(vocab)).fit(docs)
+        vectors = vectorizer.transform(docs)
+        params = PLSHParams(k=8, m=10, radius=0.9, seed=5)
+        index = PLSHIndex(vectors.n_cols, params).build(vectors)
+
+        q_tokens = vocab.encode(tokenizer.tokenize("messi scores in the final"))
+        q = vectorizer.transform([q_tokens])
+        cols, vals = q.row(0)
+        res = index.query(cols.astype(np.int64), vals)
+        assert 0 in res.indices.tolist() or 1 in res.indices.tolist()
+
+
+class TestStreamingScenario:
+    def test_day_in_the_life(self, small_vectors, small_queries):
+        """Inserts, merges, deletes and queries interleaved, checked against
+        an exhaustive oracle over the live rows at the end."""
+        from repro.streaming.node import StreamingPLSH
+
+        params = PLSHParams(k=8, m=8, radius=0.9, seed=81)
+        node = StreamingPLSH(
+            small_vectors.n_cols, params, capacity=3000, delta_fraction=0.2
+        )
+        node.insert_batch(small_vectors.slice_rows(0, 800))
+        node.insert_batch(small_vectors.slice_rows(800, 1200))
+        node.delete(np.arange(0, 50))
+        node.insert_batch(small_vectors.slice_rows(1200, 1500))
+
+        live = small_vectors.slice_rows(0, 1500)
+        oracle = ExhaustiveSearch(live, params.radius)
+        _, queries = small_queries
+        deleted = set(range(50))
+        for r in range(6):
+            got = set(node.query(*queries.row(r)).indices.tolist())
+            truth = set(oracle.query(*queries.row(r)).indices.tolist())
+            truth -= deleted
+            # no false positives, no deleted rows
+            assert got <= truth
+            assert not (got & deleted)
+
+    def test_streaming_query_slowdown_is_bounded(self, small_vectors,
+                                                 small_queries):
+        """Sanity version of Section 6.3: answers on a (static+delta) node
+        remain identical to fully-static answers, and the delta overhead is
+        finite (no quantitative bound asserted at this scale)."""
+        from repro.streaming.node import StreamingPLSH
+
+        params = PLSHParams(k=8, m=8, radius=0.9, seed=82)
+        node = StreamingPLSH(
+            small_vectors.n_cols, params, capacity=3000, delta_fraction=0.5,
+            auto_merge=False,
+        )
+        node.insert_batch(small_vectors.slice_rows(0, 1800))
+        node.merge_now()
+        node.insert_batch(small_vectors.slice_rows(1800, 2000))
+
+        static = PLSHIndex(small_vectors.n_cols, params, hasher=node.hasher)
+        static.build(small_vectors)
+        _, queries = small_queries
+        for r in range(5):
+            a = node.query(*queries.row(r))
+            b = static.engine.query_row(queries, r)
+            np.testing.assert_array_equal(
+                np.sort(a.indices), np.sort(b.indices)
+            )
+
+
+class TestClusterScenario:
+    def test_wraparound_lifecycle(self, small_vectors, small_queries):
+        """Fill a cluster past 100 % capacity twice; queries must always
+        return only live (non-retired) ids and agree with an oracle over
+        the live set."""
+        from repro.cluster.cluster import PLSHCluster
+
+        params = PLSHParams(k=8, m=8, radius=0.9, seed=83)
+        cluster = PLSHCluster(
+            n_nodes=4,
+            node_capacity=300,
+            dim=small_vectors.n_cols,
+            params=params,
+            insert_window=2,
+        )
+        for start in range(0, 2000, 250):
+            cluster.insert(small_vectors.slice_rows(start, start + 250))
+        assert cluster.n_retirements >= 1
+        retired = set(
+            int(g) for block in cluster.retired_ids for g in block
+        )
+        _, queries = small_queries
+        for r in range(5):
+            out = cluster.query(*queries.row(r))
+            got = set(out.result.indices.tolist())
+            assert not (got & retired)
+
+    def test_communication_fraction_is_small(self, small_vectors,
+                                              small_queries):
+        """The paper's <1 % claim, at test scale: modeled network time must
+        be a tiny fraction of measured compute time."""
+        from repro.cluster.cluster import PLSHCluster
+        from repro.cluster.stats import communication_fraction
+
+        params = PLSHParams(k=8, m=8, radius=0.9, seed=84)
+        cluster = PLSHCluster(
+            n_nodes=4,
+            node_capacity=600,
+            dim=small_vectors.n_cols,
+            params=params,
+            insert_window=2,
+        )
+        cluster.insert(small_vectors)
+        cluster.merge_all()
+        _, queries = small_queries
+        outs = cluster.query_batch(queries.slice_rows(0, 10))
+        net = sum(o.network_seconds for o in outs)
+        compute = sum(sum(o.node_seconds.values()) for o in outs)
+        assert communication_fraction(net, compute) < 0.05

@@ -1,0 +1,83 @@
+"""Host calibration tests: fitted constants and model sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import PLSHParams
+from repro.perfmodel.calibrate import HostCostModel, _fit_line, calibrate_host
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def host_model(small_vectors):
+    params = PLSHParams(k=8, m=6, radius=0.9, seed=71)
+    return calibrate_host(
+        small_vectors, params, n_calibration_queries=30, seed=0
+    )
+
+
+def test_constants_are_nonnegative(host_model):
+    assert host_model.q2_per_collision_s >= 0
+    assert host_model.q2_fixed_s >= 0
+    assert host_model.q3_per_unique_s >= 0
+    assert host_model.q3_fixed_s >= 0
+    assert host_model.hash_per_nnz_bit_s > 0
+    assert host_model.partition_per_item_pass_s >= 0
+    assert host_model.partition_fixed_per_pass_s >= 0
+
+
+def test_query_cost_monotone_in_counts(host_model):
+    small = host_model.query_cost(1000, 100, 50)
+    large = host_model.query_cost(1000, 10_000, 5_000)
+    assert large.total_s >= small.total_s
+
+
+def test_creation_cost_scales_with_n(host_model):
+    a = host_model.creation_cost(1_000, 7.2, 8, 6)
+    b = host_model.creation_cost(10_000, 7.2, 8, 6)
+    assert b.total_s > a.total_s
+    assert b.hashing_s == pytest.approx(10 * a.hashing_s, rel=1e-6)
+
+
+def test_creation_cost_scales_with_tables(host_model):
+    a = host_model.creation_cost(1_000, 7.2, 8, 6)    # L = 15
+    b = host_model.creation_cost(1_000, 7.2, 8, 12)   # L = 66
+    assert b.insertion_s > a.insertion_s
+
+
+def test_prediction_in_plausible_range(host_model, small_vectors):
+    """Calibrated on this corpus, predicting the same workload must land
+    within an order of magnitude of reality (tight checks happen in the
+    Figure 6 bench with real measurement on the same scale)."""
+    pred = host_model.creation_cost(small_vectors.n_rows,
+                                    small_vectors.nnz / small_vectors.n_rows,
+                                    8, 6)
+    assert 1e-4 < pred.total_s < 60.0
+
+
+class TestFitLine:
+    def test_recovers_slope_intercept(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        y = 2.0 * x + 1.0
+        slope, intercept = _fit_line(x, y)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_clamps_negative_slope(self):
+        x = np.asarray([1.0, 2.0, 3.0])
+        y = np.asarray([3.0, 2.0, 1.0])
+        slope, _ = _fit_line(x, y)
+        assert slope == 0.0
+
+    def test_degenerate_constant_x(self):
+        x = np.asarray([2.0, 2.0])
+        y = np.asarray([4.0, 6.0])
+        slope, intercept = _fit_line(x, y)
+        assert slope == pytest.approx(2.5)  # mean_y / mean_x
+        assert intercept == 0.0
+
+    def test_empty(self):
+        slope, intercept = _fit_line(np.asarray([]), np.asarray([]))
+        assert slope == 0.0 and intercept == 0.0

@@ -1,0 +1,83 @@
+"""Paper cycle-model tests: the Section 7.1 constants must reproduce the
+paper's own derived numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.cost import PAPER_HARDWARE, HardwareSpec, PaperCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PaperCostModel(PAPER_HARDWARE)
+
+
+class TestPaperDerivedNumbers:
+    def test_bandwidth_bytes_per_cycle(self):
+        # Paper: "around 12.3 bytes/cycle (32 GBps at 2.6 GHz)".
+        assert PAPER_HARDWARE.bandwidth_bytes_per_cycle == pytest.approx(
+            12.3, abs=0.1
+        )
+
+    def test_q2_cycles_per_collision(self, model):
+        # Paper: 11 ops / 8 cores = 1.4 cycles per index.
+        assert model.tq2_cycles_per_collision() == pytest.approx(1.375, abs=0.01)
+
+    def test_q2_scan_for_10m(self, model):
+        # Paper: "0.6M cycles for N = 10M".
+        assert model.tq2_scan_cycles(10_000_000) == pytest.approx(0.6e6, rel=0.1)
+
+    def test_q3_cycles_per_unique(self, model):
+        # Paper: 256 bytes -> 20.8 cycles, TQ3 = 21.8 cycles/unique.
+        assert model.tq3_cycles_per_unique() == pytest.approx(21.8, abs=0.3)
+
+    def test_hashing_cycles_per_tweet(self, model):
+        # Paper: NNZ=7.2, k=16, m=40 -> TH = 412 cycles/tweet... derived as
+        # 7.2 * 320 * 11 / 64 = 396; the paper rounds to 412.
+        th = model.hashing_cycles_per_item(7.2, 16, 40)
+        assert th == pytest.approx(412, rel=0.08)
+
+    def test_i1_cycles_per_tweet(self, model):
+        # Paper: TI1 = 1.96 * m cycles/tweet ~ 78 for m=40.
+        cost = model.creation_cost(1, 7.2, 16, 40)
+        i1_cycles = cost.i1_s * PAPER_HARDWARE.frequency_hz
+        assert i1_cycles == pytest.approx(78, rel=0.05)
+
+    def test_i2_i3_cycles_per_tweet(self, model):
+        # Paper: TI2 = TI3 = 16 * 780 / 12.3 = 1015 cycles/tweet.
+        cost = model.creation_cost(1, 7.2, 16, 40)
+        for s in (cost.i2_s, cost.i3_s):
+            assert s * PAPER_HARDWARE.frequency_hz == pytest.approx(1015, rel=0.02)
+
+    def test_total_construction_per_tweet(self, model):
+        # Paper: total ~ 2520 cycles/tweet; >80% in I2+I3.
+        cost = model.creation_cost(1, 7.2, 16, 40)
+        total_cycles = cost.total_s * PAPER_HARDWARE.frequency_hz
+        assert total_cycles == pytest.approx(2520, rel=0.05)
+        assert (cost.i2_s + cost.i3_s) / cost.total_s > 0.8
+
+    def test_paper_query_prediction_magnitude(self, model):
+        """With the paper's measured per-query stats (~120k collisions at
+        10.5M tweets giving 1.42 ms measured), the model must land in the
+        same regime (Figure 6 shows est/actual within ~15 %)."""
+        cost = model.query_cost(
+            10_500_000, expected_collisions=600_000, expected_unique=120_000
+        )
+        assert 0.5e-3 < cost.total_s < 3e-3
+
+    def test_merge_bound(self, model):
+        assert model.merge_optimality_bound() == pytest.approx(2.67, abs=0.01)
+
+
+class TestHardwareSpec:
+    def test_seconds_conversion(self):
+        hw = HardwareSpec(frequency_hz=2e9)
+        assert hw.seconds(2e9) == 1.0
+
+    def test_custom_spec_propagates(self):
+        hw = HardwareSpec(frequency_hz=1e9, bandwidth_bytes_per_s=10e9,
+                          n_cores=4, simd_width=4)
+        model = PaperCostModel(hw)
+        assert model.tq2_cycles_per_collision() == pytest.approx(11 / 4)
+        assert model.tq3_cycles_per_unique() == pytest.approx(256 / 10 + 1)

@@ -1,0 +1,91 @@
+"""Cost-model interface parity and tuner behavior under both models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.calibrate import HostCostModel
+from repro.perfmodel.cost import PaperCostModel
+from repro.perfmodel.tuner import ParameterTuner
+
+
+def _host_model() -> HostCostModel:
+    return HostCostModel(
+        q2_per_collision_s=1e-8,
+        q2_fixed_s=1e-5,
+        q3_per_unique_s=5e-8,
+        q3_fixed_s=1e-5,
+        hash_per_nnz_bit_s=1e-9,
+        partition_per_item_pass_s=1e-9,
+        partition_fixed_per_pass_s=1e-6,
+        calibration_n_tables=100,
+    )
+
+
+class TestInterfaceParity:
+    def test_query_cost_breakdowns_share_shape(self):
+        paper = PaperCostModel().query_cost(10_000, 5000.0, 1000.0)
+        host = _host_model().query_cost(10_000, 5000.0, 1000.0)
+        for cost in (paper, host):
+            assert cost.total_s == pytest.approx(
+                cost.q2_bitvector_s + cost.q3_search_s
+            )
+            assert cost.total_s > 0
+
+    def test_creation_breakdowns_share_shape(self):
+        paper = PaperCostModel().creation_cost(10_000, 7.2, 16, 40)
+        host = _host_model().creation_cost(10_000, 7.2, 16, 40)
+        for cost in (paper, host):
+            assert cost.total_s == pytest.approx(
+                cost.hashing_s + cost.insertion_s
+            )
+            assert cost.insertion_s == pytest.approx(
+                cost.i1_s + cost.i2_s + cost.i3_s
+            )
+
+    def test_host_fixed_q2_scales_with_tables(self):
+        model = _host_model()
+        small = model.query_cost(1000, 0.0, 0.0, n_tables=100)
+        large = model.query_cost(1000, 0.0, 0.0, n_tables=400)
+        assert large.q2_bitvector_s == pytest.approx(
+            4 * small.q2_bitvector_s
+        )
+        # Without n_tables the fixed term is used as calibrated.
+        default = model.query_cost(1000, 0.0, 0.0)
+        assert default.q2_bitvector_s == pytest.approx(small.q2_bitvector_s)
+
+
+class TestTunerWithBothModels:
+    def test_tuner_accepts_both_models(self, small_vectors, small_queries):
+        _, queries = small_queries
+        for model in (PaperCostModel(), _host_model()):
+            tuner = ParameterTuner(
+                small_vectors,
+                queries,
+                model,
+                k_max=10,
+                n_query_sample=10,
+                n_data_sample=100,
+                seed=0,
+            )
+            best = tuner.best()
+            assert best.feasible
+            assert best.k % 2 == 0
+
+    def test_host_model_penalizes_large_l(self, small_vectors, small_queries):
+        """With a per-table cost the tuner must not always pick max k."""
+        _, queries = small_queries
+        tuner = ParameterTuner(
+            small_vectors,
+            queries,
+            _host_model(),
+            k_max=16,
+            n_query_sample=10,
+            n_data_sample=200,
+            seed=0,
+        )
+        cands = tuner.candidates()
+        best = tuner.best()
+        assert best.k < max(c.k for c in cands), (
+            "per-table overhead should make the largest k suboptimal"
+        )

@@ -1,0 +1,97 @@
+"""Parameter tuner tests (Section 7.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.cost import PaperCostModel
+from repro.perfmodel.tuner import ParameterTuner, minimum_m
+
+
+class TestMinimumM:
+    def test_min_m_satisfies_constraint(self):
+        from repro.perfmodel.collisions import recall_probability
+
+        for k in (4, 8, 12, 16):
+            m = minimum_m(0.9, 0.1, k)
+            assert m is not None
+            assert float(recall_probability(0.9, k, m)) >= 0.9
+            if m > 2:
+                assert float(recall_probability(0.9, k, m - 1)) < 0.9
+
+    def test_min_m_grows_with_k(self):
+        ms = [minimum_m(0.9, 0.1, k) for k in (4, 8, 12, 16)]
+        assert all(m is not None for m in ms)
+        assert all(b >= a for a, b in zip(ms, ms[1:]))
+
+    def test_returns_none_when_unreachable(self):
+        assert minimum_m(0.9, 0.1, 16, m_max=3) is None
+
+    def test_boundary_recall_override_reproduces_paper_regime(self):
+        """At the paper's effective boundary target (~0.76-0.785) the
+        enumeration lands on the paper's own pairs to within ±1 in m."""
+        paper_pairs = {12: 21, 14: 29, 16: 40, 18: 55}
+        for k, paper_m in paper_pairs.items():
+            m = minimum_m(0.9, 0.1, k, boundary_recall=0.747)
+            assert m is not None
+            assert abs(m - paper_m) <= max(2, int(0.06 * paper_m))
+
+
+@pytest.fixture(scope="module")
+def tuner(small_vectors, small_queries):
+    _, queries = small_queries
+    return ParameterTuner(
+        small_vectors,
+        queries,
+        PaperCostModel(),
+        radius=0.9,
+        delta=0.1,
+        memory_bytes=4e9,
+        k_max=14,
+        n_query_sample=20,
+        n_data_sample=200,
+        seed=0,
+    )
+
+
+class TestTuner:
+    def test_candidates_cover_even_k(self, tuner):
+        ks = [c.k for c in tuner.candidates()]
+        assert ks == sorted(ks)
+        assert all(k % 2 == 0 for k in ks)
+
+    def test_candidates_satisfy_recall_constraint(self, tuner):
+        for c in tuner.candidates():
+            assert c.recall_at_radius >= 0.9 - 1e-9
+
+    def test_memory_accounting(self, tuner, small_vectors):
+        for c in tuner.candidates():
+            expected = (c.L * small_vectors.n_rows + (1 << c.k) * c.L) * 4
+            assert c.table_bytes == expected
+
+    def test_best_is_minimal_feasible(self, tuner):
+        best = tuner.best()
+        for c in tuner.candidates():
+            if c.feasible:
+                assert best.predicted_query_s <= c.predicted_query_s + 1e-12
+
+    def test_infeasible_budget_raises(self, small_vectors, small_queries):
+        _, queries = small_queries
+        tiny = ParameterTuner(
+            small_vectors,
+            queries,
+            PaperCostModel(),
+            memory_bytes=1.0,  # nothing fits
+            k_max=10,
+            n_query_sample=5,
+            n_data_sample=50,
+        )
+        with pytest.raises(ValueError):
+            tiny.best()
+
+    def test_collision_estimates_decrease_with_k(self, tuner):
+        cands = tuner.candidates()
+        collisions = {c.k: c.expected_collisions / c.L for c in cands}
+        ks = sorted(collisions)
+        # per-table collision probability falls geometrically with k
+        assert collisions[ks[-1]] < collisions[ks[0]]

@@ -1,0 +1,172 @@
+"""CSRMatrix unit + property tests, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+
+
+def make_random_csr(rng: np.random.Generator, n_rows=10, n_cols=20, density=0.3):
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    return CSRMatrix.from_dense(dense.astype(np.float32)), dense.astype(np.float32)
+
+
+class TestConstruction:
+    def test_from_rows_roundtrip(self):
+        m = CSRMatrix.from_rows([([0, 3], [1.0, 2.0]), ([], []), ([4], [5.0])], 5)
+        assert m.shape == (3, 5)
+        assert m.nnz == 3
+        cols, vals = m.row(0)
+        np.testing.assert_array_equal(cols, [0, 3])
+        np.testing.assert_array_equal(vals, [1.0, 2.0])
+        assert m.row(1)[0].size == 0
+
+    def test_from_dense_to_dense_roundtrip(self, rng):
+        m, dense = make_random_csr(rng)
+        np.testing.assert_allclose(m.to_dense(), dense, rtol=1e-6)
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_rows([([0, 1], [1.0])], 5)
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.empty(7)
+        assert m.shape == (0, 7)
+        assert m.nnz == 0
+
+    def test_validate_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                np.asarray([1, 2]), np.asarray([0, 0]), np.asarray([1.0, 1.0]), 3
+            )
+
+    def test_validate_rejects_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                np.asarray([0, 2, 1]), np.asarray([0, 1]), np.asarray([1.0, 1.0]), 3
+            )
+
+    def test_validate_rejects_column_overflow(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.asarray([0, 1]), np.asarray([3]), np.asarray([1.0]), 3)
+
+    def test_validate_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(np.asarray([0, 2]), np.asarray([0, 1]), np.asarray([1.0]), 3)
+
+
+class TestRowAccess:
+    def test_gather_rows_matches_dense(self, rng):
+        m, dense = make_random_csr(rng)
+        take = np.asarray([3, 0, 3, 7])
+        g = m.gather_rows(take)
+        np.testing.assert_allclose(g.to_dense(), dense[take], rtol=1e-6)
+
+    def test_gather_rows_empty_selection(self, rng):
+        m, _ = make_random_csr(rng)
+        g = m.gather_rows(np.empty(0, dtype=np.int64))
+        assert g.shape == (0, m.n_cols)
+
+    def test_gather_rows_with_empty_rows(self):
+        m = CSRMatrix.from_rows([([], []), ([1], [2.0]), ([], [])], 3)
+        g = m.gather_rows(np.asarray([0, 2, 1]))
+        assert g.row_lengths().tolist() == [0, 0, 1]
+
+    def test_slice_rows_matches_dense(self, rng):
+        m, dense = make_random_csr(rng)
+        s = m.slice_rows(2, 6)
+        np.testing.assert_allclose(s.to_dense(), dense[2:6], rtol=1e-6)
+
+    def test_slice_rows_bounds_checked(self, rng):
+        m, _ = make_random_csr(rng)
+        with pytest.raises(IndexError):
+            m.slice_rows(0, 99)
+
+    def test_row_lengths(self):
+        m = CSRMatrix.from_rows([([0], [1.0]), ([], []), ([1, 2], [1.0, 1.0])], 3)
+        assert m.row_lengths().tolist() == [1, 0, 2]
+
+
+class TestVstackAndNorms:
+    def test_vstack_matches_dense(self, rng):
+        a, da = make_random_csr(rng, n_rows=4)
+        b, db = make_random_csr(rng, n_rows=6)
+        stacked = CSRMatrix.vstack([a, b])
+        np.testing.assert_allclose(
+            stacked.to_dense(), np.vstack([da, db]), rtol=1e-6
+        )
+
+    def test_vstack_rejects_column_mismatch(self, rng):
+        a, _ = make_random_csr(rng, n_cols=5)
+        b, _ = make_random_csr(rng, n_cols=6)
+        with pytest.raises(ValueError):
+            CSRMatrix.vstack([a, b])
+
+    def test_vstack_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.vstack([])
+
+    def test_row_norms_match_numpy(self, rng):
+        m, dense = make_random_csr(rng)
+        np.testing.assert_allclose(
+            m.row_norms(), np.linalg.norm(dense, axis=1), rtol=1e-5
+        )
+
+    def test_normalized_rows_are_unit(self, rng):
+        m, _ = make_random_csr(rng, density=0.5)
+        norms = m.normalized().row_norms()
+        nonempty = m.row_lengths() > 0
+        np.testing.assert_allclose(norms[nonempty], 1.0, rtol=1e-5)
+
+    def test_normalized_keeps_empty_rows_empty(self):
+        m = CSRMatrix.from_rows([([], []), ([0], [3.0])], 2)
+        normed = m.normalized()
+        assert normed.row_norms()[0] == 0.0
+        np.testing.assert_allclose(normed.row_norms()[1], 1.0)
+
+
+@st.composite
+def csr_strategy(draw):
+    n_rows = draw(st.integers(0, 8))
+    n_cols = draw(st.integers(1, 12))
+    rows = []
+    for _ in range(n_rows):
+        cols = draw(
+            st.lists(
+                st.integers(0, n_cols - 1), unique=True, max_size=n_cols
+            )
+        )
+        vals = draw(
+            st.lists(
+                st.floats(-5, 5, allow_nan=False, width=32),
+                min_size=len(cols),
+                max_size=len(cols),
+            )
+        )
+        rows.append((sorted(cols), vals))
+    return CSRMatrix.from_rows(rows, n_cols)
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=csr_strategy())
+def test_scipy_equivalence_property(m):
+    """to_scipy/to_dense must agree for arbitrary structures."""
+    np.testing.assert_allclose(m.to_dense(), m.to_scipy().toarray(), rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=csr_strategy(), data=st.data())
+def test_gather_rows_property(m, data):
+    if m.n_rows == 0:
+        return
+    take = data.draw(
+        st.lists(st.integers(0, m.n_rows - 1), min_size=1, max_size=10)
+    )
+    g = m.gather_rows(np.asarray(take))
+    np.testing.assert_allclose(g.to_dense(), m.to_dense()[take], rtol=1e-6)

@@ -1,0 +1,66 @@
+"""CSR structural round-trips: slicing, stacking, gathering compose."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+
+
+def _random_csr(rng, n_rows, n_cols):
+    dense = (rng.random((n_rows, n_cols)) < 0.35) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    return CSRMatrix.from_dense(dense.astype(np.float32))
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_slice_then_vstack_roundtrip(data):
+    n_rows = data.draw(st.integers(1, 20))
+    n_cols = data.draw(st.integers(1, 10))
+    cut = data.draw(st.integers(0, n_rows))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = _random_csr(rng, n_rows, n_cols)
+    back = CSRMatrix.vstack([m.slice_rows(0, cut), m.slice_rows(cut, n_rows)])
+    np.testing.assert_array_equal(back.indptr, m.indptr)
+    np.testing.assert_array_equal(back.indices, m.indices)
+    np.testing.assert_array_equal(back.data, m.data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_gather_identity_permutation(data):
+    n_rows = data.draw(st.integers(1, 15))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = _random_csr(rng, n_rows, 8)
+    g = m.gather_rows(np.arange(n_rows))
+    np.testing.assert_allclose(g.to_dense(), m.to_dense())
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_gather_composes_with_permutation(data):
+    n_rows = data.draw(st.integers(2, 15))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = _random_csr(rng, n_rows, 6)
+    perm1 = rng.permutation(n_rows)
+    perm2 = rng.permutation(n_rows)
+    once = m.gather_rows(perm1).gather_rows(perm2)
+    direct = m.gather_rows(perm1[perm2])
+    np.testing.assert_allclose(once.to_dense(), direct.to_dense())
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_normalization_is_idempotent(data):
+    n_rows = data.draw(st.integers(1, 10))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    m = _random_csr(rng, n_rows, 8)
+    once = m.normalized()
+    twice = once.normalized()
+    np.testing.assert_allclose(
+        once.to_dense(), twice.to_dense(), rtol=1e-5, atol=1e-6
+    )

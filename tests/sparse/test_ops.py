@@ -1,0 +1,142 @@
+"""Sparse kernel tests: vectorized kernels vs references vs scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    densify_query,
+    row_dots_dense,
+    row_dots_dense_reference,
+    sparse_dense_matmul,
+    sparse_dense_matmul_reference,
+)
+
+
+def random_csr(rng, n_rows=12, n_cols=30, density=0.25):
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    return CSRMatrix.from_dense(dense.astype(np.float32)), dense.astype(np.float32)
+
+
+class TestMatmul:
+    def test_matches_dense_matmul(self, rng):
+        m, dense = random_csr(rng)
+        planes = rng.standard_normal((30, 7)).astype(np.float32)
+        np.testing.assert_allclose(
+            sparse_dense_matmul(m, planes), dense @ planes, rtol=1e-4, atol=1e-5
+        )
+
+    def test_matches_reference(self, rng):
+        m, _ = random_csr(rng)
+        planes = rng.standard_normal((30, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            sparse_dense_matmul(m, planes),
+            sparse_dense_matmul_reference(m, planes),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_handles_empty_rows(self):
+        m = CSRMatrix.from_rows([([], []), ([1], [2.0]), ([], [])], 4)
+        planes = np.ones((4, 3), dtype=np.float32)
+        out = sparse_dense_matmul(m, planes)
+        np.testing.assert_allclose(out[0], 0.0)
+        np.testing.assert_allclose(out[1], 2.0)
+        np.testing.assert_allclose(out[2], 0.0)
+
+    def test_zero_row_matrix(self):
+        m = CSRMatrix.empty(4)
+        out = sparse_dense_matmul(m, np.ones((4, 3), dtype=np.float32))
+        assert out.shape == (0, 3)
+
+    def test_chunking_is_transparent(self, rng):
+        m, dense = random_csr(rng, n_rows=50)
+        planes = rng.standard_normal((30, 4)).astype(np.float32)
+        full = sparse_dense_matmul(m, planes, chunk_rows=1000)
+        tiny = sparse_dense_matmul(m, planes, chunk_rows=3)
+        np.testing.assert_allclose(full, tiny, rtol=1e-5)
+
+    def test_dimension_mismatch_raises(self, rng):
+        m, _ = random_csr(rng)
+        with pytest.raises(ValueError):
+            sparse_dense_matmul(m, np.ones((29, 3), dtype=np.float32))
+
+    def test_out_parameter(self, rng):
+        m, dense = random_csr(rng)
+        planes = rng.standard_normal((30, 4)).astype(np.float32)
+        out = np.empty((m.n_rows, 4), dtype=np.float32)
+        result = sparse_dense_matmul(m, planes, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, dense @ planes, rtol=1e-4, atol=1e-5)
+
+    def test_wrong_out_shape_raises(self, rng):
+        m, _ = random_csr(rng)
+        planes = rng.standard_normal((30, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            sparse_dense_matmul(m, planes, out=np.empty((1, 1), dtype=np.float32))
+
+
+class TestRowDots:
+    def test_matches_reference(self, rng):
+        m, _ = random_csr(rng)
+        vec = rng.standard_normal(30).astype(np.float32)
+        ids = np.asarray([0, 5, 5, 11, 3])
+        np.testing.assert_allclose(
+            row_dots_dense(m, ids, vec),
+            row_dots_dense_reference(m, ids, vec),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_matches_dense(self, rng):
+        m, dense = random_csr(rng)
+        vec = rng.standard_normal(30).astype(np.float32)
+        ids = np.arange(m.n_rows)
+        np.testing.assert_allclose(
+            row_dots_dense(m, ids, vec), dense @ vec, rtol=1e-4, atol=1e-5
+        )
+
+    def test_empty_candidate_list(self, rng):
+        m, _ = random_csr(rng)
+        out = row_dots_dense(m, np.empty(0, dtype=np.int64), np.zeros(30, np.float32))
+        assert out.size == 0
+
+    def test_all_empty_rows(self):
+        m = CSRMatrix.from_rows([([], []), ([], [])], 3)
+        out = row_dots_dense(m, np.asarray([0, 1]), np.ones(3, np.float32))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+
+class TestDensifyQuery:
+    def test_scatter(self):
+        out = densify_query(np.asarray([1, 3]), np.asarray([2.0, 4.0], np.float32), 5)
+        np.testing.assert_allclose(out, [0, 2, 0, 4, 0])
+
+    def test_reuse_buffer_clears(self):
+        buf = np.ones(5, dtype=np.float32)
+        out = densify_query(np.asarray([0]), np.asarray([9.0], np.float32), 5, out=buf)
+        assert out is buf
+        np.testing.assert_allclose(out, [9, 0, 0, 0, 0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_matmul_property_vs_scipy(data):
+    n_rows = data.draw(st.integers(1, 6))
+    n_cols = data.draw(st.integers(1, 8))
+    h = data.draw(st.integers(1, 4))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    dense = (rng.random((n_rows, n_cols)) < 0.4) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    m = CSRMatrix.from_dense(dense.astype(np.float32))
+    planes = rng.standard_normal((n_cols, h)).astype(np.float32)
+    ours = sparse_dense_matmul(m, planes)
+    scipys = m.to_scipy() @ planes
+    np.testing.assert_allclose(ours, scipys, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,83 @@
+"""IDFVectorizer tests: weighting, normalization, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.vectorizer import IDFVectorizer
+
+
+def test_rows_are_unit_norm():
+    docs = [[0, 1, 2], [2, 3], [0, 4, 4]]
+    vecs = IDFVectorizer(5).fit_transform(docs)
+    np.testing.assert_allclose(vecs.row_norms(), 1.0, rtol=1e-5)
+
+
+def test_rare_words_weigh_more():
+    # token 0 appears in every doc, token 3 in only one.
+    docs = [[0, 1], [0, 2], [0, 3]]
+    vec = IDFVectorizer(4).fit(docs)
+    row = vec.transform([[0, 3]])
+    cols, vals = row.row(0)
+    weight = dict(zip(cols.tolist(), vals.tolist()))
+    assert weight[3] > weight[0]
+
+
+def test_common_everywhere_token_gets_zero_idf():
+    docs = [[0], [0], [0]]
+    vec = IDFVectorizer(2).fit(docs)
+    assert vec.idf is not None
+    # idf = ln((N+1)/N) is near zero but positive (smoothed).
+    assert 0 < vec.idf[0] < 0.4
+
+
+def test_empty_document_becomes_empty_row():
+    vecs = IDFVectorizer(4).fit_transform([[0, 1], []])
+    assert vecs.row_lengths().tolist() == [2, 0]
+
+
+def test_term_frequency_counts():
+    docs = [[0, 0, 1], [1]]
+    vecs = IDFVectorizer(2).fit(docs).transform([[0, 0, 1]])
+    cols, vals = vecs.row(0)
+    weight = dict(zip(cols.tolist(), vals.tolist()))
+    # token 0 occurs twice and is rarer -> strictly larger weight.
+    assert weight[0] > weight[1]
+
+
+def test_unseen_token_keeps_max_idf():
+    vec = IDFVectorizer(3).fit([[0], [0, 1]])
+    assert vec.idf is not None
+    assert vec.idf[2] == pytest.approx(np.log(3.0))
+
+
+def test_transform_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        IDFVectorizer(3).transform([[0]])
+
+
+def test_fit_empty_corpus_raises():
+    with pytest.raises(ValueError):
+        IDFVectorizer(3).fit([])
+
+
+def test_out_of_vocab_raises():
+    with pytest.raises(ValueError):
+        IDFVectorizer(3).fit([[5]])
+    v = IDFVectorizer(3).fit([[0]])
+    with pytest.raises(ValueError):
+        v.transform([[3]])
+
+
+def test_invalid_vocab_size_raises():
+    with pytest.raises(ValueError):
+        IDFVectorizer(0)
+
+
+def test_deterministic():
+    docs = [[0, 1], [1, 2], [0, 2, 3]]
+    a = IDFVectorizer(4).fit_transform(docs)
+    b = IDFVectorizer(4).fit_transform(docs)
+    np.testing.assert_array_equal(a.data, b.data)
+    np.testing.assert_array_equal(a.indices, b.indices)

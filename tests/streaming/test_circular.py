@@ -1,0 +1,78 @@
+"""Circular-bucket streaming LSH (the paper's rejected alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import PLSHParams
+from repro.streaming.circular import CircularBucketLSH
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=101)
+
+
+def test_insert_and_query_small(small_vectors):
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS, bucket_capacity=8)
+    lsh.insert_batch(small_vectors.slice_rows(0, 100))
+    cols, vals = small_vectors.row(42)
+    res = lsh.query(cols.astype(np.int64), vals)
+    assert 42 in res.indices.tolist()
+
+
+def test_overwrites_start_when_buckets_fill(small_vectors):
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS, bucket_capacity=1)
+    lsh.insert_batch(small_vectors.slice_rows(0, 500))
+    assert lsh.n_overwrites > 0
+
+
+def test_memory_is_bounded(small_vectors):
+    cap = 2
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS, bucket_capacity=cap)
+    lsh.insert_batch(small_vectors.slice_rows(0, 800))
+    for bins in lsh._bins:
+        assert all(len(bucket) <= cap for bucket, _ in bins.values())
+
+
+def test_residency_decays_for_old_items(small_vectors):
+    """The paper's objection, quantified: an old point is evicted from
+    *some* of its buckets, so its residency falls strictly between 0 and
+    full — its expiration time is undefined."""
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS, bucket_capacity=1)
+    lsh.insert_batch(small_vectors.slice_rows(0, 50))
+    fresh = lsh.residency(49)
+    lsh.insert_batch(small_vectors.slice_rows(50, 1500))
+    stale = lsh.residency(0)
+    assert fresh == pytest.approx(1.0)
+    assert stale < 1.0
+
+
+def test_ill_defined_expiration_mixes_generations(small_vectors):
+    """Unlike PLSH's wholesale retirement, old and new items coexist in an
+    uncontrolled mix after overflow."""
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS, bucket_capacity=2)
+    lsh.insert_batch(small_vectors.slice_rows(0, 1000))
+    residencies = [lsh.residency(i) for i in (0, 250, 500, 750, 999)]
+    # Newest fully resident, oldest partially — a decay gradient.
+    assert residencies[-1] == pytest.approx(1.0)
+    assert min(residencies) < 1.0
+
+
+def test_query_batch_and_empty(small_vectors, small_queries):
+    _, queries = small_queries
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS)
+    out = lsh.query_batch(queries.slice_rows(0, 2))
+    assert all(len(r) == 0 for r in out)  # nothing inserted yet
+    lsh.insert_batch(small_vectors.slice_rows(0, 50))
+    out = lsh.query_batch(queries.slice_rows(0, 2))
+    assert len(out) == 2
+
+
+def test_validation(small_vectors):
+    with pytest.raises(ValueError):
+        CircularBucketLSH(10, PARAMS, bucket_capacity=0)
+    lsh = CircularBucketLSH(small_vectors.n_cols, PARAMS)
+    from repro.sparse.csr import CSRMatrix
+
+    with pytest.raises(ValueError):
+        lsh.insert_batch(CSRMatrix.empty(small_vectors.n_cols + 1))
+    assert lsh.insert_batch(CSRMatrix.empty(small_vectors.n_cols)).size == 0

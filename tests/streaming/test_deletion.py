@@ -1,0 +1,60 @@
+"""DeletionFilter tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming.deletion import DeletionFilter
+
+
+def test_delete_and_check():
+    f = DeletionFilter(100)
+    assert f.delete(np.asarray([3, 5])) == 2
+    assert f.is_deleted(np.asarray([3])).all()
+    assert not f.is_deleted(np.asarray([4])).any()
+    assert f.n_deleted == 2
+
+
+def test_double_delete_counted_once():
+    f = DeletionFilter(10)
+    assert f.delete(np.asarray([1, 1, 2])) == 2
+    assert f.delete(np.asarray([2])) == 0
+    assert f.n_deleted == 2
+
+
+def test_scalar_delete():
+    f = DeletionFilter(10)
+    assert f.delete(7) == 1
+    assert f.is_deleted(7).all()
+
+
+def test_filter_live():
+    f = DeletionFilter(10)
+    f.delete(np.asarray([2, 4]))
+    out = f.filter_live(np.asarray([1, 2, 3, 4, 5]))
+    np.testing.assert_array_equal(out, [1, 3, 5])
+
+
+def test_filter_live_empty():
+    f = DeletionFilter(10)
+    assert f.filter_live(np.empty(0, dtype=np.int64)).size == 0
+
+
+def test_mask_none_when_no_deletions():
+    f = DeletionFilter(10)
+    assert f.mask(10) is None
+    f.delete(0)
+    mask = f.mask(10)
+    assert mask is not None and mask[0] and not mask[1:].any()
+
+
+def test_reset_on_retirement():
+    f = DeletionFilter(10)
+    f.delete(np.arange(5))
+    f.reset()
+    assert f.n_deleted == 0
+    assert not f.is_deleted(np.arange(10)).any()
+
+
+def test_capacity_property():
+    assert DeletionFilter(64).capacity == 64

@@ -1,0 +1,119 @@
+"""DeltaTable tests: insert-optimized bins, batched inserts, hash caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import AllPairsHasher
+from repro.params import PLSHParams
+from repro.streaming.delta import DeltaTable
+
+
+@pytest.fixture(scope="module")
+def parts(small_vectors):
+    params = PLSHParams(k=8, m=6, seed=9)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    return params, hasher
+
+
+def fresh_delta(parts, small_vectors):
+    params, hasher = parts
+    return DeltaTable(small_vectors.n_cols, params, hasher)
+
+
+def test_insert_assigns_sequential_local_ids(parts, small_vectors):
+    delta = fresh_delta(parts, small_vectors)
+    ids1 = delta.insert_batch(small_vectors.slice_rows(0, 10))
+    ids2 = delta.insert_batch(small_vectors.slice_rows(10, 25))
+    np.testing.assert_array_equal(ids1, np.arange(10))
+    np.testing.assert_array_equal(ids2, np.arange(10, 25))
+    assert len(delta) == 25
+
+
+def test_every_row_lands_in_every_table(parts, small_vectors):
+    params, hasher = parts
+    delta = fresh_delta(parts, small_vectors)
+    batch = small_vectors.slice_rows(0, 30)
+    delta.insert_batch(batch)
+    u = hasher.hash_functions(batch)
+    for l in range(params.n_tables):
+        keys = hasher.table_key(u, l)
+        for row in range(30):
+            query_keys = np.full(params.n_tables, -1, dtype=np.int64)
+            # direct bin check
+            bucket = delta._bins[l].get(int(keys[row]), [])
+            assert row in bucket
+
+
+def test_collisions_match_bin_contents(parts, small_vectors):
+    params, hasher = parts
+    delta = fresh_delta(parts, small_vectors)
+    delta.insert_batch(small_vectors.slice_rows(0, 50))
+    q = small_vectors.slice_rows(3, 4)
+    u = hasher.hash_functions(q)[0]
+    keys = hasher.table_keys_for_query(u)
+    collisions = delta.collisions(keys)
+    assert 3 in collisions.tolist()
+    # Manual union across tables must match.
+    expected = []
+    for l in range(params.n_tables):
+        expected.extend(delta._bins[l].get(int(keys[l]), []))
+    assert sorted(collisions.tolist()) == sorted(expected)
+
+
+def test_vectors_roundtrip_and_cache(parts, small_vectors):
+    delta = fresh_delta(parts, small_vectors)
+    delta.insert_batch(small_vectors.slice_rows(0, 7))
+    v1 = delta.vectors()
+    assert v1 is delta.vectors()  # cached
+    delta.insert_batch(small_vectors.slice_rows(7, 9))
+    v2 = delta.vectors()  # cache invalidated by insert
+    assert v2.n_rows == 9
+    np.testing.assert_allclose(
+        v2.to_dense()[:7], small_vectors.slice_rows(0, 7).to_dense()
+    )
+
+
+def test_u_values_cached_and_correct(parts, small_vectors):
+    params, hasher = parts
+    delta = fresh_delta(parts, small_vectors)
+    batch = small_vectors.slice_rows(0, 12)
+    delta.insert_batch(batch)
+    np.testing.assert_array_equal(
+        delta.u_values(), hasher.hash_functions(batch)
+    )
+
+
+def test_empty_batch_noop(parts, small_vectors):
+    from repro.sparse.csr import CSRMatrix
+
+    delta = fresh_delta(parts, small_vectors)
+    out = delta.insert_batch(CSRMatrix.empty(small_vectors.n_cols))
+    assert out.size == 0
+    assert len(delta) == 0
+
+
+def test_wrong_dim_raises(parts, small_vectors):
+    from repro.sparse.csr import CSRMatrix
+
+    delta = fresh_delta(parts, small_vectors)
+    with pytest.raises(ValueError):
+        delta.insert_batch(CSRMatrix.empty(small_vectors.n_cols + 1))
+
+
+def test_clear(parts, small_vectors):
+    delta = fresh_delta(parts, small_vectors)
+    delta.insert_batch(small_vectors.slice_rows(0, 5))
+    delta.clear()
+    assert len(delta) == 0
+    assert delta.vectors().n_rows == 0
+    assert delta.u_values().shape == (0, parts[0].m)
+
+
+def test_bucket_sizes_diagnostic(parts, small_vectors):
+    delta = fresh_delta(parts, small_vectors)
+    delta.insert_batch(small_vectors.slice_rows(0, 20))
+    sizes = delta.bucket_sizes()
+    assert len(sizes) == parts[0].n_tables
+    assert all(1 <= v <= 20 for v in sizes.values())

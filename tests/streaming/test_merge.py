@@ -1,0 +1,87 @@
+"""Merge tests: rebuild equivalence with a from-scratch static index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.core.hashing import AllPairsHasher
+from repro.streaming.delta import DeltaTable
+from repro.streaming.merge import merge_into_static
+
+
+@pytest.fixture(scope="module")
+def merged_setup(small_vectors):
+    params = PLSHParams(k=8, m=6, seed=21)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    static = PLSHIndex(small_vectors.n_cols, params, hasher=hasher)
+    static.build(small_vectors.slice_rows(0, 1200))
+    delta = DeltaTable(small_vectors.n_cols, params, hasher)
+    delta.insert_batch(small_vectors.slice_rows(1200, 1600))
+    delta.insert_batch(small_vectors.slice_rows(1600, 2000))
+    merged = merge_into_static(static, delta)
+    reference = PLSHIndex(small_vectors.n_cols, params, hasher=hasher)
+    reference.build(small_vectors)
+    return merged, reference
+
+
+def test_merged_tables_equal_full_rebuild(merged_setup):
+    merged, reference = merged_setup
+    np.testing.assert_array_equal(
+        merged.tables.entries, reference.tables.entries
+    )
+    np.testing.assert_array_equal(
+        merged.tables.offsets, reference.tables.offsets
+    )
+
+
+def test_merged_queries_equal_full_rebuild(merged_setup, small_queries):
+    merged, reference = merged_setup
+    _, queries = small_queries
+    for r in range(8):
+        a = merged.engine.query_row(queries, r)
+        b = reference.engine.query_row(queries, r)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+
+
+def test_merge_does_not_rehash(merged_setup):
+    """Merged index must carry cached u_values without a hashing stage."""
+    merged, _ = merged_setup
+    assert "hashing" not in merged.build_times
+    assert "insertion" in merged.build_times
+
+
+def test_merge_empty_delta_returns_static(small_vectors):
+    params = PLSHParams(k=8, m=6, seed=22)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    static = PLSHIndex(small_vectors.n_cols, params, hasher=hasher)
+    static.build(small_vectors.slice_rows(0, 100))
+    delta = DeltaTable(small_vectors.n_cols, params, hasher)
+    assert merge_into_static(static, delta) is static
+
+
+def test_merge_unbuilt_static_raises(small_vectors):
+    params = PLSHParams(k=8, m=6, seed=23)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    static = PLSHIndex(small_vectors.n_cols, params, hasher=hasher)
+    delta = DeltaTable(small_vectors.n_cols, params, hasher)
+    delta.insert_batch(small_vectors.slice_rows(0, 5))
+    with pytest.raises(ValueError):
+        merge_into_static(static, delta)
+
+
+def test_merge_dim_mismatch_raises(small_vectors):
+    params = PLSHParams(k=8, m=6, seed=24)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    static = PLSHIndex(small_vectors.n_cols, params, hasher=hasher)
+    static.build(small_vectors.slice_rows(0, 10))
+    other_hasher = AllPairsHasher(params, small_vectors.n_cols + 1)
+    delta = DeltaTable(small_vectors.n_cols + 1, params, other_hasher)
+    from repro.sparse.csr import CSRMatrix
+
+    delta.insert_batch(
+        CSRMatrix.from_rows([([0], [1.0])], small_vectors.n_cols + 1)
+    )
+    with pytest.raises(ValueError):
+        merge_into_static(static, delta)

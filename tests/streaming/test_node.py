@@ -1,0 +1,157 @@
+"""StreamingPLSH node tests: policy (eta threshold, capacity), correctness
+(static+delta query equivalence), deletion and retirement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.streaming.node import CapacityError, StreamingPLSH
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=31)
+
+
+def test_auto_merge_at_eta_threshold(small_vectors):
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=1000, delta_fraction=0.1
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 99))
+    assert node.n_delta == 99 and node.n_merges == 0
+    node.insert_batch(small_vectors.slice_rows(99, 100))  # hits 100 = eta*C
+    assert node.n_delta == 0
+    assert node.n_static == 100
+    assert node.n_merges == 1
+
+
+def test_manual_merge_mode(small_vectors):
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=1000, delta_fraction=0.1,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 500))
+    assert node.n_delta == 500 and node.n_merges == 0
+    node.merge_now()
+    assert node.n_static == 500 and node.n_delta == 0
+
+
+def test_capacity_enforced(small_vectors):
+    node = StreamingPLSH(small_vectors.n_cols, PARAMS, capacity=50)
+    node.insert_batch(small_vectors.slice_rows(0, 50))
+    with pytest.raises(CapacityError):
+        node.insert_batch(small_vectors.slice_rows(50, 51))
+    assert node.is_full
+
+
+def test_query_spans_static_and_delta(small_vectors, small_queries):
+    """Results must be identical to a monolithic static index over the same
+    rows, regardless of how the rows are split between static and delta."""
+    _, queries = small_queries
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=5000, delta_fraction=0.5,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1500))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1500, 2000))  # stays in delta
+    assert node.n_static == 1500 and node.n_delta == 500
+
+    reference = PLSHIndex(small_vectors.n_cols, PARAMS, hasher=node.hasher)
+    reference.build(small_vectors)
+    for r in range(8):
+        a = node.query(*queries.row(r))
+        b = reference.engine.query_row(queries, r)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+        np.testing.assert_allclose(
+            np.sort(a.distances), np.sort(b.distances), rtol=1e-4, atol=1e-5
+        )
+
+
+def test_local_ids_stable_across_merge(small_vectors):
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=5000, delta_fraction=0.5,
+        auto_merge=False,
+    )
+    ids1 = node.insert_batch(small_vectors.slice_rows(0, 100))
+    np.testing.assert_array_equal(ids1, np.arange(100))
+    node.merge_now()
+    ids2 = node.insert_batch(small_vectors.slice_rows(100, 150))
+    np.testing.assert_array_equal(ids2, np.arange(100, 150))
+    node.merge_now()
+    # Row content at a stable local id must not change after merges.
+    cols_before, vals_before = small_vectors.row(120)
+    cols_after, vals_after = node.static.data.row(120)
+    np.testing.assert_array_equal(cols_before, cols_after)
+    np.testing.assert_array_equal(vals_before, vals_after)
+
+
+def test_deleted_rows_never_returned(small_vectors, small_queries):
+    ids, queries = small_queries
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=5000, delta_fraction=0.5,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1500))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1500, 2000))
+    # Delete both a static-resident and a delta-resident row.
+    target_static = int(ids[0]) if ids[0] < 1500 else 10
+    target_delta = 1600
+    node.delete(np.asarray([target_static, target_delta]))
+    for r in range(queries.n_rows):
+        res = node.query(*queries.row(r))
+        assert target_static not in res.indices.tolist()
+        assert target_delta not in res.indices.tolist()
+
+
+def test_delete_survives_merge(small_vectors):
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=5000, delta_fraction=0.5,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 200))
+    node.delete(np.asarray([7]))
+    node.merge_now()
+    cols, vals = small_vectors.row(7)
+    res = node.query(cols.astype(np.int64), vals)
+    assert 7 not in res.indices.tolist()
+    assert node.n_live == 199
+
+
+def test_retire_erases_everything(small_vectors):
+    node = StreamingPLSH(small_vectors.n_cols, PARAMS, capacity=500)
+    node.insert_batch(small_vectors.slice_rows(0, 300))
+    node.delete(np.asarray([1]))
+    node.retire()
+    assert node.n_total == 0
+    assert node.deletions.n_deleted == 0
+    cols, vals = small_vectors.row(5)
+    assert len(node.query(cols.astype(np.int64), vals)) == 0
+    # Node must be reusable after retirement.
+    node.insert_batch(small_vectors.slice_rows(0, 10))
+    assert node.n_total == 10
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StreamingPLSH(10, PARAMS, capacity=0)
+    with pytest.raises(ValueError):
+        StreamingPLSH(10, PARAMS, capacity=10, delta_fraction=0.0)
+
+
+def test_delta_threshold():
+    node = StreamingPLSH(100, PARAMS, capacity=200, delta_fraction=0.15)
+    assert node.delta_threshold == 30
+
+
+def test_times_recorded(small_vectors):
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=1000, delta_fraction=0.05
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 100))  # triggers merge
+    assert node.times["insert"] > 0
+    assert node.times["merge"] > 0
+    cols, vals = small_vectors.row(0)
+    node.query(cols.astype(np.int64), vals)
+    assert node.times["query_static"] >= 0
+    assert node.times["query_delta"] >= 0

@@ -1,0 +1,118 @@
+"""Stateful property test: a StreamingPLSH node against a plain model.
+
+Hypothesis drives random interleavings of insert / merge / delete / retire
+/ query against a tiny node, checking after every step that queries agree
+with a brute-force oracle over the model's live rows.  This is the
+failure-injection net for the streaming state machine: id stability across
+merges, deletion persistence, retirement resets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.distance import angular_distance
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+from repro.streaming.node import StreamingPLSH
+
+DIM = 64
+CAPACITY = 120
+PARAMS = PLSHParams(k=4, m=4, radius=1.2, seed=321)
+_RNG = np.random.default_rng(999)
+# A fixed pool of unit rows the machine draws inserts from.
+_POOL_DENSE = _RNG.standard_normal((CAPACITY, DIM)).astype(np.float32)
+_POOL_DENSE /= np.linalg.norm(_POOL_DENSE, axis=1, keepdims=True)
+_POOL = CSRMatrix.from_dense(_POOL_DENSE)
+
+
+class StreamingNodeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.node = StreamingPLSH(
+            DIM, PARAMS, capacity=CAPACITY, delta_fraction=0.2,
+            auto_merge=False,
+        )
+        self.live: list[int] = []   # pool row id per local id
+        self.deleted: set[int] = set()  # local ids
+        self.cursor = 0
+
+    @precondition(lambda self: self.cursor < CAPACITY)
+    @rule(count=st.integers(1, 7))
+    def insert(self, count: int) -> None:
+        count = min(count, CAPACITY - self.cursor)
+        batch = _POOL.slice_rows(self.cursor, self.cursor + count)
+        local = self.node.insert_batch(batch)
+        assert local.tolist() == list(
+            range(len(self.live), len(self.live) + count)
+        )
+        self.live.extend(range(self.cursor, self.cursor + count))
+        self.cursor += count
+
+    @precondition(lambda self: self.node.n_delta > 0)
+    @rule()
+    def merge(self) -> None:
+        self.node.merge_now()
+        assert self.node.n_delta == 0
+
+    @precondition(lambda self: len(self.live) > 0)
+    @rule(data=st.data())
+    def delete(self, data) -> None:
+        local = data.draw(st.integers(0, len(self.live) - 1))
+        self.node.delete(np.asarray([local]))
+        self.deleted.add(local)
+
+    @rule()
+    def retire(self) -> None:
+        self.node.retire()
+        self.live.clear()
+        self.deleted.clear()
+        self.cursor = 0
+
+    @invariant()
+    def sizes_agree(self) -> None:
+        assert self.node.n_total == len(self.live)
+        assert self.node.n_live == len(self.live) - len(self.deleted)
+
+    @precondition(lambda self: len(self.live) > 0)
+    @rule(data=st.data())
+    def query_agrees_with_oracle(self, data) -> None:
+        local = data.draw(st.integers(0, len(self.live) - 1))
+        pool_row = self.live[local]
+        cols, vals = _POOL.row(pool_row)
+        got = set(
+            self.node.query(cols.astype(np.int64), vals).indices.tolist()
+        )
+        # Oracle: exact distances over live rows, minus deletions.
+        live_rows = _POOL.gather_rows(np.asarray(self.live, dtype=np.int64))
+        dense = densify_query(cols.astype(np.int64), vals, DIM)
+        dots = row_dots_dense(
+            live_rows, np.arange(live_rows.n_rows), dense
+        )
+        dists = angular_distance(dots)
+        truth = {
+            i
+            for i in np.nonzero(dists <= PARAMS.radius)[0].tolist()
+            if i not in self.deleted
+        }
+        # LSH may miss (probabilistic recall) but never invents or returns
+        # tombstones; and the query row itself always collides with itself.
+        assert got <= truth
+        if local not in self.deleted:
+            assert local in got
+
+
+StreamingNodeMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestStreamingNodeMachine = StreamingNodeMachine.TestCase

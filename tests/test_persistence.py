@@ -1,0 +1,87 @@
+"""Index save/load round-trip tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHIndex, PLSHParams
+from repro.persistence import load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def saved_path(built_index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("idx") / "index.npz"
+    save_index(built_index, path)
+    return path
+
+
+def test_roundtrip_query_equivalence(saved_path, built_index, small_queries):
+    _, queries = small_queries
+    loaded = load_index(saved_path)
+    for r in range(8):
+        a = built_index.engine.query_row(queries, r)
+        b = loaded.engine.query_row(queries, r)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+        np.testing.assert_allclose(
+            np.sort(a.distances), np.sort(b.distances), rtol=1e-6
+        )
+
+
+def test_roundtrip_preserves_structures(saved_path, built_index):
+    loaded = load_index(saved_path)
+    np.testing.assert_array_equal(loaded.u_values, built_index.u_values)
+    np.testing.assert_array_equal(
+        loaded.tables.entries, built_index.tables.entries
+    )
+    np.testing.assert_array_equal(
+        loaded.tables.offsets, built_index.tables.offsets
+    )
+    np.testing.assert_array_equal(
+        loaded.hasher.bank.planes, built_index.hasher.bank.planes
+    )
+    assert loaded.params == built_index.params
+    assert loaded.n_items == built_index.n_items
+
+
+def test_loaded_index_accepts_new_queries(saved_path, small_vectors):
+    loaded = load_index(saved_path)
+    cols, vals = small_vectors.row(99)
+    res = loaded.query(cols.astype(np.int64), vals)
+    assert 99 in res.indices.tolist()
+
+
+def test_save_unbuilt_raises(tmp_path, small_params):
+    index = PLSHIndex(100, small_params)
+    with pytest.raises(ValueError):
+        save_index(index, tmp_path / "x.npz")
+
+
+def test_version_check(saved_path, tmp_path):
+    import json
+
+    with np.load(saved_path) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+    meta["format_version"] = 999
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, **payload)
+    with pytest.raises(ValueError):
+        load_index(bad)
+
+
+def test_none_seed_roundtrip(tmp_path, small_vectors, small_queries):
+    """Hyperplanes are stored, so seed=None indexes reload faithfully."""
+    _, queries = small_queries
+    params = PLSHParams(k=8, m=6, radius=0.9, seed=None)
+    index = PLSHIndex(small_vectors.n_cols, params).build(small_vectors)
+    path = tmp_path / "noseed.npz"
+    save_index(index, path)
+    loaded = load_index(path)
+    for r in range(3):
+        a = index.engine.query_row(queries, r)
+        b = loaded.engine.query_row(queries, r)
+        np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))

@@ -1,0 +1,82 @@
+"""Public API surface checks."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version_is_semver_like():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_subpackage_alls_resolve():
+    import repro.baselines
+    import repro.bench
+    import repro.cluster
+    import repro.core
+    import repro.perfmodel
+    import repro.sparse
+    import repro.streaming
+    import repro.text
+    import repro.utils
+
+    for module in (
+        repro.baselines,
+        repro.bench,
+        repro.cluster,
+        repro.core,
+        repro.perfmodel,
+        repro.sparse,
+        repro.streaming,
+        repro.text,
+        repro.utils,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_examples_parse_and_have_main():
+    """Examples are documentation: they must at least be valid Python with
+    a main() entry point (full runs happen outside the unit suite)."""
+    examples = sorted(
+        (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+    )
+    assert len(examples) >= 3, "the deliverable requires >= 3 examples"
+    for path in examples:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        func_names = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in func_names, f"{path.name} lacks main()"
+
+
+def test_public_docstrings_exist():
+    """Every public module and public class carries a docstring."""
+    import inspect
+
+    modules = [
+        repro,
+        repro.core,
+        repro.sparse,
+        repro.streaming,
+        repro.cluster,
+        repro.perfmodel,
+        repro.baselines,
+    ]
+    for module in modules:
+        assert inspect.getdoc(module), f"{module.__name__} lacks a docstring"
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{module.__name__}.{name} undocumented"

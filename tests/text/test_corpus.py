@@ -1,0 +1,126 @@
+"""Synthetic corpus tests: statistical profile and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import CorpusSpec, SyntheticCorpus, TWITTER_SPEC, WIKIPEDIA_SPEC
+from repro.core.distance import exhaustive_dots, angular_distance
+
+
+def test_generates_requested_count():
+    c = SyntheticCorpus.generate(500, seed=0)
+    assert len(c) == 500
+    assert all(d.size >= 1 for d in c.documents)
+
+
+def test_mean_length_tracks_spec():
+    spec = CorpusSpec(vocab_size=20000, mean_doc_length=7.2,
+                      near_duplicate_fraction=0.0)
+    c = SyntheticCorpus.generate(3000, spec, seed=1)
+    # Dedup within documents trims the mean slightly below the Poisson mean.
+    assert 5.0 <= c.mean_tokens() <= 7.5
+
+
+def test_wikipedia_documents_are_longer():
+    tw = SyntheticCorpus.generate(
+        400, CorpusSpec(vocab_size=8000, mean_doc_length=7.2), seed=2
+    )
+    wk = SyntheticCorpus.generate(
+        400, CorpusSpec(vocab_size=8000, mean_doc_length=50.0), seed=2
+    )
+    assert wk.mean_tokens() > 3 * tw.mean_tokens()
+
+
+def test_zipf_skew_head_tokens_dominate():
+    spec = CorpusSpec(vocab_size=10000, near_duplicate_fraction=0.0)
+    c = SyntheticCorpus.generate(2000, spec, seed=3)
+    all_tokens = np.concatenate(c.documents)
+    head_share = np.mean(all_tokens < 100)
+    tail_share = np.mean(all_tokens >= 5000)
+    assert head_share > 0.3          # top 1% of vocab carries a large share
+    assert tail_share < head_share   # heavy head, light tail
+
+
+def test_deterministic_per_seed():
+    a = SyntheticCorpus.generate(200, seed=5)
+    b = SyntheticCorpus.generate(200, seed=5)
+    assert all(np.array_equal(x, y) for x, y in zip(a.documents, b.documents))
+    c = SyntheticCorpus.generate(200, seed=6)
+    assert any(
+        not np.array_equal(x, y) for x, y in zip(a.documents, c.documents)
+    )
+
+
+def test_near_duplicates_create_r_near_neighbors():
+    """Planted mutations must yield pairs within the paper's R = 0.9."""
+    spec = CorpusSpec(vocab_size=20000, near_duplicate_fraction=0.5)
+    c = SyntheticCorpus.generate(600, spec, seed=7)
+    vecs = c.vectors()
+    near_pairs = 0
+    for q in range(0, 60):
+        cols, vals = vecs.row(q)
+        if cols.size == 0:
+            continue
+        dots = exhaustive_dots(vecs, cols.astype(np.int64), vals)
+        dists = angular_distance(dots)
+        near_pairs += int((dists <= 0.9).sum()) - 1  # minus self
+    assert near_pairs > 10
+
+
+def test_no_duplicates_when_fraction_zero():
+    spec = CorpusSpec(vocab_size=500, near_duplicate_fraction=0.0)
+    c = SyntheticCorpus.generate(100, spec, seed=8)
+    assert len(c) == 100
+
+
+def test_documents_are_sorted_unique_token_sets():
+    c = SyntheticCorpus.generate(100, seed=9)
+    for doc in c.documents:
+        assert np.array_equal(doc, np.unique(doc))
+
+
+def test_query_sampling_excludes_empty_and_is_deterministic():
+    c = SyntheticCorpus.generate(300, seed=10)
+    ids1 = c.sample_query_ids(50, seed=1)
+    ids2 = c.sample_query_ids(50, seed=1)
+    np.testing.assert_array_equal(ids1, ids2)
+    assert all(c.documents[i].size > 0 for i in ids1)
+
+
+def test_query_vectors_match_corpus_rows():
+    c = SyntheticCorpus.generate(300, seed=11)
+    ids, queries = c.query_vectors(10, seed=2)
+    vecs = c.vectors()
+    for row, idx in enumerate(ids.tolist()):
+        qc, qv = queries.row(row)
+        cc, cv = vecs.row(idx)
+        np.testing.assert_array_equal(qc, cc)
+        np.testing.assert_array_equal(qv, cv)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CorpusSpec(vocab_size=1)
+    with pytest.raises(ValueError):
+        CorpusSpec(mean_doc_length=0)
+    with pytest.raises(ValueError):
+        CorpusSpec(near_duplicate_fraction=1.0)
+    with pytest.raises(ValueError):
+        CorpusSpec(zipf_exponent=0)
+    with pytest.raises(ValueError):
+        CorpusSpec(duplicate_keep_probability=0.0)
+    with pytest.raises(ValueError):
+        SyntheticCorpus.generate(0)
+
+
+def test_vectors_are_unit_and_cached():
+    c = SyntheticCorpus.generate(100, seed=12)
+    v1 = c.vectors()
+    assert v1 is c.vectors()
+    np.testing.assert_allclose(v1.row_norms(), 1.0, rtol=1e-5)
+
+
+def test_wikipedia_spec_profile():
+    assert WIKIPEDIA_SPEC.mean_doc_length > TWITTER_SPEC.mean_doc_length

@@ -1,0 +1,66 @@
+"""Tokenizer tests: the paper's cleaning pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tokenizer import DEFAULT_STOP_WORDS, Tokenizer
+
+
+def test_lowercases_and_strips_non_alpha():
+    t = Tokenizer()
+    assert t.tokenize("Hello, WORLD!! 123") == ["hello", "world"]
+
+
+def test_removes_stop_words():
+    t = Tokenizer()
+    assert t.tokenize("the cat and the hat") == ["cat", "hat"]
+
+
+def test_removes_duplicate_tokens():
+    t = Tokenizer()
+    assert t.tokenize("run run run fast") == ["run", "fast"]
+
+
+def test_preserves_first_occurrence_order():
+    t = Tokenizer()
+    assert t.tokenize("zebra apple zebra mango") == ["zebra", "apple", "mango"]
+
+
+def test_min_token_length():
+    t = Tokenizer(min_token_length=4)
+    assert t.tokenize("cat elephant dog bear") == ["elephant", "bear"]
+
+
+def test_min_token_length_validation():
+    with pytest.raises(ValueError):
+        Tokenizer(min_token_length=0)
+
+
+def test_handles_urls_and_mentions():
+    t = Tokenizer()
+    tokens = t.tokenize("@user check https://x.co/abc #Topic")
+    assert "user" in tokens and "check" in tokens and "topic" in tokens
+
+
+def test_rt_is_a_stop_word():
+    # "RT" markers are noise in tweets; the default stop list drops them.
+    assert "rt" in DEFAULT_STOP_WORDS
+    assert Tokenizer().tokenize("RT great game") == ["great", "game"]
+
+
+def test_empty_and_symbol_only_text():
+    t = Tokenizer()
+    assert t.tokenize("") == []
+    assert t.tokenize("!!! 999 @@@") == []
+
+
+def test_custom_stop_words():
+    t = Tokenizer(stop_words={"foo"})
+    assert t.tokenize("foo bar the") == ["bar", "the"]
+
+
+def test_tokenize_many():
+    t = Tokenizer()
+    out = t.tokenize_many(["good day", "bad day"])
+    assert out == [["good", "day"], ["bad", "day"]]

@@ -1,0 +1,51 @@
+"""Property tests for the cleaning pipeline: output invariants on any input."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import DEFAULT_STOP_WORDS, Tokenizer
+
+
+@settings(max_examples=150, deadline=None)
+@given(text=st.text(max_size=200))
+def test_tokenizer_output_invariants(text):
+    tokens = Tokenizer().tokenize(text)
+    seen = set()
+    for token in tokens:
+        # lowercase alphabetic, long enough, not a stop word, unique
+        assert token.isalpha()
+        assert token == token.lower()
+        assert len(token) >= 2
+        assert token not in DEFAULT_STOP_WORDS
+        assert token not in seen
+        seen.add(token)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(alphabet=st.characters(), max_size=120))
+def test_tokenizer_idempotent(text):
+    t = Tokenizer()
+    once = t.tokenize(text)
+    again = t.tokenize(" ".join(once))
+    assert once == again
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    words=st.lists(
+        st.text(alphabet="abcdefgh", min_size=2, max_size=8), max_size=15
+    )
+)
+def test_clean_words_survive(words):
+    """Already-clean non-stop words must pass through in order, deduped."""
+    t = Tokenizer()
+    text = " ".join(words)
+    expected = []
+    seen = set()
+    for w in words:
+        if w not in DEFAULT_STOP_WORDS and w not in seen:
+            seen.add(w)
+            expected.append(w)
+    assert t.tokenize(text) == expected

@@ -1,0 +1,53 @@
+"""Vocabulary registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.vocabulary import Vocabulary
+
+
+def test_assigns_dense_ids_in_first_seen_order():
+    v = Vocabulary()
+    ids = v.add_document(["b", "a", "b", "c"])
+    assert ids == [0, 1, 0, 2]
+    assert v.token(0) == "b"
+    assert v.id_of("c") == 2
+
+
+def test_doc_frequency_counts_documents_not_occurrences():
+    v = Vocabulary()
+    v.add_document(["x", "x", "y"])
+    v.add_document(["x"])
+    assert v.doc_frequency(v.id_of("x")) == 2
+    assert v.doc_frequency(v.id_of("y")) == 1
+
+
+def test_build_returns_encoded_corpus():
+    v = Vocabulary()
+    encoded = v.build([["a", "b"], ["b", "c"]])
+    assert encoded == [[0, 1], [1, 2]]
+    assert len(v) == 3
+
+
+def test_freeze_blocks_growth():
+    v = Vocabulary()
+    v.add_document(["a"])
+    v.freeze()
+    assert v.frozen
+    with pytest.raises(RuntimeError):
+        v.add_document(["b"])
+
+
+def test_encode_drops_unknown_tokens():
+    v = Vocabulary()
+    v.add_document(["a", "b"])
+    v.freeze()
+    assert v.encode(["a", "zzz", "b"]) == [0, 1]
+
+
+def test_contains():
+    v = Vocabulary()
+    v.add_document(["a"])
+    assert "a" in v
+    assert "b" not in v

@@ -1,0 +1,121 @@
+"""BitVector / DedupMask unit + property tests (they must behave alike)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitvector import BitVector, DedupMask
+
+BACKENDS = [BitVector, DedupMask]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBasicOps:
+    def test_starts_empty(self, backend):
+        bv = backend(100)
+        assert bv.count() == 0
+        assert bv.scan().size == 0
+
+    def test_set_and_test_scalar(self, backend):
+        bv = backend(100)
+        bv.set(5)
+        assert bv.test(5).all()
+        assert not bv.test(6).any()
+
+    def test_set_and_test_array(self, backend):
+        bv = backend(200)
+        idx = np.asarray([0, 63, 64, 65, 127, 128, 199])
+        bv.set(idx)
+        assert bv.test(idx).all()
+        assert bv.count() == idx.size
+
+    def test_clear(self, backend):
+        bv = backend(100)
+        bv.set(np.asarray([1, 2, 3]))
+        bv.clear(np.asarray([2]))
+        assert bv.test(1).all() and bv.test(3).all()
+        assert not bv.test(2).any()
+        assert bv.count() == 2
+
+    def test_scan_sorted(self, backend):
+        bv = backend(500)
+        idx = np.asarray([400, 3, 77, 64, 65])
+        bv.set(idx)
+        np.testing.assert_array_equal(bv.scan(), np.sort(idx))
+
+    def test_reset(self, backend):
+        bv = backend(100)
+        bv.set(np.arange(50))
+        bv.reset()
+        assert bv.count() == 0
+
+    def test_duplicate_set_is_idempotent(self, backend):
+        bv = backend(64)
+        bv.set(np.asarray([7, 7, 7]))
+        assert bv.count() == 1
+
+    def test_len(self, backend):
+        assert len(backend(123)) == 123
+
+    def test_out_of_range_raises(self, backend):
+        bv = backend(10)
+        if backend is BitVector:
+            with pytest.raises(IndexError):
+                bv.set(10)
+            with pytest.raises(IndexError):
+                bv.set(-1)
+        else:
+            with pytest.raises(IndexError):
+                bv.set(10)
+
+    def test_negative_size_raises(self, backend):
+        with pytest.raises(ValueError):
+            backend(-1)
+
+    def test_set_unique_returns_new_only(self, backend):
+        bv = backend(50)
+        first = bv.set_unique(np.asarray([3, 1, 3, 2]))
+        assert set(first.tolist()) == {1, 2, 3}
+        second = bv.set_unique(np.asarray([2, 4, 4]))
+        assert set(second.tolist()) == {4}
+
+    def test_set_unique_empty(self, backend):
+        bv = backend(10)
+        assert bv.set_unique(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestBitVectorMemory:
+    def test_packed_memory_is_n_over_8(self):
+        bv = BitVector(10_000_000)
+        # Paper: 1.25 MB for N = 10M.
+        assert bv.nbytes == pytest.approx(1.25e6, rel=0.01)
+
+    def test_dedup_mask_is_bytes(self):
+        assert DedupMask(1000).nbytes == 1000
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    idx=st.lists(st.integers(min_value=0, max_value=499), max_size=60),
+    cleared=st.lists(st.integers(min_value=0, max_value=499), max_size=20),
+)
+def test_backends_agree_with_set_model(idx, cleared):
+    """Both backends must track a plain Python set exactly."""
+    bv, mask, model = BitVector(500), DedupMask(500), set()
+    if idx:
+        arr = np.asarray(idx)
+        bv.set(arr)
+        mask.set(arr)
+        model.update(idx)
+    if cleared:
+        arr = np.asarray(cleared)
+        bv.clear(arr)
+        mask.clear(arr)
+        model.difference_update(cleared)
+    expected = np.asarray(sorted(model), dtype=np.int64)
+    np.testing.assert_array_equal(bv.scan(), expected)
+    np.testing.assert_array_equal(mask.scan(), expected)
+    assert bv.count() == mask.count() == len(model)

@@ -1,0 +1,47 @@
+"""Chunk iterator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.chunking import chunk_bounds, iter_chunks
+
+
+def test_chunk_bounds_exact_division():
+    assert list(chunk_bounds(10, 5)) == [(0, 5), (5, 10)]
+
+
+def test_chunk_bounds_remainder():
+    assert list(chunk_bounds(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+
+
+def test_chunk_bounds_empty():
+    assert list(chunk_bounds(0, 4)) == []
+
+
+def test_chunk_bounds_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        list(chunk_bounds(5, 0))
+
+
+def test_iter_chunks_covers_sequence():
+    assert list(iter_chunks([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+
+def test_iter_chunks_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        list(iter_chunks([1], -1))
+
+
+@given(n=st.integers(0, 500), size=st.integers(1, 50))
+def test_chunk_bounds_partition_property(n, size):
+    """Chunks must tile [0, n) exactly, in order, each ≤ size."""
+    bounds = list(chunk_bounds(n, size))
+    pos = 0
+    for start, stop in bounds:
+        assert start == pos
+        assert 0 < stop - start <= size
+        pos = stop
+    assert pos == n

@@ -1,0 +1,63 @@
+"""Timer / StageTimes accounting tests."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import StageTimes, Timer
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_accumulates_across_uses():
+    t = Timer()
+    with t:
+        time.sleep(0.005)
+    with t:
+        time.sleep(0.005)
+    assert t.elapsed >= 0.009
+
+
+def test_stage_times_accumulate():
+    st = StageTimes()
+    with st.stage("a"):
+        time.sleep(0.005)
+    with st.stage("a"):
+        time.sleep(0.005)
+    with st.stage("b"):
+        pass
+    assert st["a"] >= 0.009
+    assert "b" in st
+    assert st.total >= st["a"]
+
+
+def test_stage_times_add_and_reset():
+    st = StageTimes()
+    st.add("x", 1.5)
+    assert st["x"] == 1.5
+    st.reset()
+    assert st.total == 0.0
+    assert "x" not in st
+
+
+def test_stage_times_records_on_exception():
+    st = StageTimes()
+    try:
+        with st.stage("err"):
+            time.sleep(0.003)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert st["err"] >= 0.002
+
+
+def test_as_dict_is_a_copy():
+    st = StageTimes()
+    st.add("x", 1.0)
+    d = st.as_dict()
+    d["x"] = 99.0
+    assert st["x"] == 1.0
