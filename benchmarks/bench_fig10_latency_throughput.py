@@ -4,54 +4,115 @@ Paper: sweeping the batch size from 10 to 1000 queries, throughput rises
 then saturates around 700 queries/second once ~30 queries are processed
 together; latency keeps growing linearly with batch size past that point.
 
-This bench sweeps the batch size, measuring batch latency and the implied
-throughput with the worker pool sized to the host.  Shape to check:
-throughput grows with small batches then flattens; latency grows ~linearly.
+This bench sweeps the batch size and measures BOTH batch execution modes:
+
+* ``mode="loop"``       — the per-query pipeline (the ablation baseline),
+  whose batch throughput is dominated by interpreter/numpy-dispatch
+  overhead.
+* ``mode="vectorized"`` — the batch kernel: Q1-Q4 over the whole block in a
+  constant number of numpy calls, so fixed costs amortize across the batch
+  exactly like the paper's query-block processing.
+
+Workload: a dedicated per-node shard of ``PLSH_BENCH_FIG10_N`` documents
+(default 20,000) queried with ``PLSH_BENCH_FIG10_QUERIES`` queries
+(default 1,000 — the paper's batch ceiling).  This is the regime Figure 10
+studies — a memory-resident node shard answering large query blocks, where
+per-query fixed costs are the battle — and it is where the loop-vs-
+vectorized comparison is meaningful; larger shards shift time toward the
+shared memory-bound gathers and compress the gap (measured 2026-07-29 on a
+single-vCPU host: ~3.7-5.4x at 10k-20k docs, ~3.1-4.4x at 30k, ~1.7-2.4x
+at 100k).
+
+Shape to check: vectorized throughput grows with batch size then flattens
+(saturation, not collapse); latency grows ~linearly; the loop-vs-vectorized
+speedup at paper-sized batches is the headline number printed below the
+table.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro import PLSHIndex
 from repro.bench.reporting import format_table, print_section
 from repro.bench.runner import measure_median
+from repro.bench.workloads import BenchScale, twitter_workload
 
 
-def test_fig10_latency_throughput(benchmark, twitter, flagship_index):
-    engine = flagship_index.engine
+def test_fig10_latency_throughput(benchmark, scale):
+    n_docs = int(os.environ.get("PLSH_BENCH_FIG10_N", "20000"))
+    n_q = int(os.environ.get("PLSH_BENCH_FIG10_QUERIES", "1000"))
+    fig10_scale = BenchScale(
+        n=n_docs, vocab=scale.vocab, n_queries=scale.n_queries,
+        k=scale.k, m=scale.m,
+    )
+    workload = twitter_workload(fig10_scale)
+    index = PLSHIndex(workload.vectors.n_cols, fig10_scale.params())
+    index.build(workload.vectors)
+    engine = index.engine
     assert engine is not None
-    workers = min(4, os.cpu_count() or 1)
-    max_batch = twitter.queries.n_rows
+    ids = workload.corpus.sample_query_ids(n_q, seed=101)
+    queries = workload.vectors.gather_rows(ids)
     batch_sizes = [b for b in (10, 20, 30, 50, 100, 200, 500, 1000)
-                   if b <= max_batch]
+                   if b <= queries.n_rows]
 
     rows = []
     for batch in batch_sizes:
-        qs = twitter.queries.slice_rows(0, batch)
-        secs = measure_median(
-            lambda q=qs: engine.query_batch(q, workers=workers),
-            repeats=2,
+        qs = queries.slice_rows(0, batch)
+        loop_s = measure_median(
+            lambda q=qs: engine.query_batch(q, mode="loop"),
+            repeats=3,
             warmup=1,
         )
-        rows.append([batch, secs * 1e3, batch / secs])
+        vec_s = measure_median(
+            lambda q=qs: engine.query_batch(q, mode="vectorized"),
+            repeats=3,
+            warmup=1,
+        )
+        rows.append(
+            [batch, loop_s * 1e3, vec_s * 1e3, loop_s / vec_s, batch / vec_s]
+        )
 
     benchmark.pedantic(
         lambda: engine.query_batch(
-            twitter.queries.slice_rows(0, batch_sizes[-1]), workers=workers
+            queries.slice_rows(0, batch_sizes[-1]), mode="vectorized"
         ),
         rounds=2,
         iterations=1,
     )
 
+    speedup = rows[-1][3]
+    paper_sized = [r for r in rows if r[0] >= 100]
+    best = max(paper_sized, key=lambda r: r[3]) if paper_sized else rows[-1]
     print_section(
-        f"Figure 10 — latency vs throughput (workers={workers}, "
-        f"N={twitter.n:,})",
-        format_table(["batch size", "latency ms", "throughput q/s"], rows)
+        f"Figure 10 — latency vs throughput (N={workload.n:,}, "
+        f"{queries.n_rows} queries)",
+        format_table(
+            ["batch size", "loop ms", "vectorized ms", "speedup",
+             "vec throughput q/s"],
+            rows,
+        )
+        + f"\nvectorized batch kernel speedup at batch={batch_sizes[-1]}: "
+        f"{speedup:.1f}x over mode='loop' "
+        f"(best paper-sized operating point: {best[3]:.1f}x at "
+        f"batch={best[0]})"
         + "\npaper: throughput saturates ~700 q/s at batch ~30, latency grows",
     )
 
-    # Shape: throughput at the largest batch must be at least that of the
-    # smallest batch (saturation, not collapse), and latency must increase
-    # with batch size overall.
-    assert rows[-1][2] >= rows[0][2] * 0.8
-    assert rows[-1][1] > rows[0][1]
+    # Shape: vectorized throughput at the largest batch must be at least
+    # that of the smallest batch (saturation, not collapse), and latency
+    # must increase with batch size overall.
+    assert rows[-1][4] >= rows[0][4] * 0.8
+    assert rows[-1][2] > rows[0][2]
+    # The batch kernel is the point of this reproduction rung: on the
+    # default workload (>= 10k docs, >= 1k queries) it must beat the
+    # per-query loop by at least 3x at some paper-sized batch (>= 100
+    # queries; measured 3.2-4.2x across batch sizes on an idle 1-vCPU
+    # host, asserted at the best operating point so a noisy host's worst
+    # row doesn't flake the guard).  Tiny smoke scales (CI) only exercise
+    # the mechanics, so the bar applies in the Figure 10 regime only.
+    if n_docs >= 10_000 and batch_sizes[-1] >= 500:
+        assert best[3] >= 3.0, (
+            f"vectorized batch kernel only {best[3]:.2f}x over loop at its "
+            f"best paper-sized batch (batch={best[0]})"
+        )

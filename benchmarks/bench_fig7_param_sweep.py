@@ -52,8 +52,9 @@ def _sweep(workload, pairs, seed):
         index = PLSHIndex(vectors.n_cols, params).build(vectors)
         engine = index.engine
         assert engine is not None
-        engine.query_batch(queries)  # warm
-        _, actual_s = measure(lambda e=engine: e.query_batch(queries))
+        engine.query_batch(queries, mode="loop")  # warm
+        # mode="loop": the cost model predicts the per-query pipeline.
+        _, actual_s = measure(lambda e=engine: e.query_batch(queries, mode="loop"))
         per_query = actual_s / queries.n_rows
         rows.append(
             [f"({k},{m})", params.n_tables, predicted.total_s * 1e3,

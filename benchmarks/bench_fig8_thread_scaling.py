@@ -48,6 +48,15 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
     engine = index.engine
     assert engine is not None
 
+    # Serial vectorized batch kernel: the single-core reference every
+    # parallel backend has to beat (parallelizing the per-query loop only
+    # pays if it outruns simply batching the numpy calls).
+    vec_s = measure_median(
+        lambda: engine.query_batch(queries, mode="vectorized"),
+        repeats=2,
+        warmup=1,
+    )
+
     rows = []
     base_init = base_query = None
     for workers in _worker_counts():
@@ -59,13 +68,15 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
             warmup=0,
         )
         thread_s = measure_median(
-            lambda w=workers: engine.query_batch(queries, workers=w),
+            lambda w=workers: engine.query_batch(
+                queries, workers=w, mode="loop"
+            ),
             repeats=2,
             warmup=1,
         )
         process_s = measure_median(
             lambda w=workers: engine.query_batch(
-                queries, workers=w, backend="process"
+                queries, workers=w, backend="process", mode="loop"
             ),
             repeats=2,
             warmup=1,
@@ -88,6 +99,7 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
         lambda: engine.query_batch(queries), rounds=3, iterations=1
     )
 
+    base_loop = rows[0][3]
     print_section(
         f"Figure 8 — parallel scaling (host has {os.cpu_count()} cpus; "
         f"N={vectors.n_rows:,}, {queries.n_rows} queries)",
@@ -96,6 +108,9 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
              "process q ms", "process spd"],
             rows,
         )
+        + f"\nserial vectorized batch kernel: {vec_s * 1e3:.1f} ms "
+        f"({base_loop / (vec_s * 1e3):.1f}x over the serial loop — the "
+        f"single-core bar every parallel loop backend must clear)"
         + "\npaper: 7.2x init / 7.8x query at 16 threads on 8 cores"
         + "\nthread column: CPython GIL serializes per-query numpy calls —"
           " the documented negative result; process column: fork-shared"

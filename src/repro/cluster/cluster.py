@@ -152,9 +152,15 @@ class PLSHCluster:
         return self.coordinator.query(q_cols, q_vals, radius=radius)
 
     def query_batch(
-        self, queries: CSRMatrix, *, radius: float | None = None
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        mode: str | None = None,
     ) -> list[BroadcastOutcome]:
-        return self.coordinator.query_batch(queries, radius=radius)
+        """Broadcast a batch to all nodes (vectorized kernel by default;
+        ``mode="loop"`` broadcasts query-by-query, see Coordinator)."""
+        return self.coordinator.query_batch(queries, radius=radius, mode=mode)
 
     def merge_all(self) -> None:
         """Force-merge every node's delta (used by benches for steady state)."""

@@ -87,6 +87,21 @@ class ClusterNode:
         res = self.plsh.query(q_cols, q_vals, radius=radius)
         return QueryResult(self._global_ids[res.indices], res.distances)
 
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        mode: str | None = None,
+    ) -> list[QueryResult]:
+        """Batch query through the node's vectorized kernel, translated to
+        global ids (one gather per query result)."""
+        results = self.plsh.query_batch(queries, radius=radius, mode=mode)
+        return [
+            QueryResult(self._global_ids[res.indices], res.distances)
+            for res in results
+        ]
+
     def retire(self) -> np.ndarray:
         """Erase the node; returns the global ids that were dropped."""
         dropped = self._global_ids

@@ -21,13 +21,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import densify_query, row_dots_dense
+from repro.sparse.ops import densify_query, row_dots_dense, row_dots_dense_batch
 
 __all__ = [
     "angular_distance",
     "candidate_dots_naive",
     "candidate_dots_lookup",
     "candidate_dots_batched",
+    "candidate_dots_segmented",
     "DOT_STRATEGIES",
 ]
 
@@ -101,6 +102,21 @@ def candidate_dots_batched(
 ) -> np.ndarray:
     """One vectorized gather+reduce over all candidates (production path)."""
     return row_dots_dense(data, candidates, q_dense)
+
+
+def candidate_dots_segmented(
+    data: CSRMatrix,
+    candidates: np.ndarray,
+    seg_offsets: np.ndarray,
+    queries: CSRMatrix,
+) -> np.ndarray:
+    """Step Q3 for a whole batch: ``candidates`` is segmented per query.
+
+    The batch-kernel generalization of :func:`candidate_dots_batched` — one
+    blocked gather/segment-reduce over the CSR data for all queries (see
+    :func:`repro.sparse.ops.row_dots_dense_batch`).
+    """
+    return row_dots_dense_batch(data, candidates, seg_offsets, queries)
 
 
 #: strategy name -> needs_dense_query flag (used by the query engine)

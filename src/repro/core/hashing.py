@@ -75,6 +75,11 @@ class AllPairsHasher:
         #: The L (i, j) pairs, row-major; table l uses functions pairs[l].
         self.pairs = params.table_pairs()
         self._pair_index = {pair: l for l, pair in enumerate(self.pairs)}
+        # First/second function index per table, shared by the single-query
+        # and batch key expansions (tiny and always needed).
+        pairs_arr = np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2)
+        self._pair_i = np.ascontiguousarray(pairs_arr[:, 0])
+        self._pair_j = np.ascontiguousarray(pairs_arr[:, 1])
 
     @property
     def n_tables(self) -> int:
@@ -97,21 +102,24 @@ class AllPairsHasher:
         """All ``L`` table keys of a single hashed query → ``(L,)`` uint32.
 
         Vectorized pair expansion: for the row-major pair order the first
-        and second function index arrays are precomputed once.
+        and second function index arrays are precomputed in ``__init__``.
         """
-        i_idx, j_idx = self._pair_arrays()
         b = self.params.bits_per_function
         u = u_row.astype(np.uint32)
-        return (u[i_idx] << b) | u[j_idx]
+        return (u[self._pair_i] << b) | u[self._pair_j]
+
+    def table_keys_batch(self, u_values: np.ndarray) -> np.ndarray:
+        """Table keys for a whole hashed batch: ``(n, m)`` → ``(n, L)`` uint32.
+
+        One fancy gather per pair array — Step Q1 of the vectorized batch
+        kernel expands every query's L keys in two numpy calls total.
+        """
+        if u_values.ndim != 2:
+            raise ValueError(f"u_values must be 2-D, got shape {u_values.shape}")
+        b = self.params.bits_per_function
+        u = u_values.astype(np.uint32)
+        return (u[:, self._pair_i] << b) | u[:, self._pair_j]
 
     def table_index(self, i: int, j: int) -> int:
         """Table number for function pair ``(i, j)``, ``i < j``."""
         return self._pair_index[(i, j)]
-
-    def _pair_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        cached = getattr(self, "_pair_arrays_cache", None)
-        if cached is None:
-            pairs = np.asarray(self.pairs, dtype=np.int64)
-            cached = (pairs[:, 0], pairs[:, 1])
-            self._pair_arrays_cache = cached
-        return cached

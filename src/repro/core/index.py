@@ -141,13 +141,17 @@ class PLSHIndex:
         workers: int = 1,
         exclude: np.ndarray | None = None,
         backend: str = "thread",
+        mode: str | None = None,
+        keys: np.ndarray | None = None,
     ) -> list[QueryResult]:
-        """Batch querying with optional parallelism (see QueryEngine)."""
+        """Batch querying: vectorized batch kernel by default for
+        ``workers == 1``, per-query loop (optionally parallel) otherwise
+        (see :meth:`QueryEngine.query_batch`)."""
         self._require_built()
         assert self.engine is not None
         return self.engine.query_batch(
             queries, radius=radius, workers=workers, exclude=exclude,
-            backend=backend,
+            backend=backend, mode=mode, keys=keys,
         )
 
     def nearest(

@@ -18,10 +18,28 @@ engine option          paper optimization
                        and dedup mask instead of per-query allocations
 ====================  =======================================================
 
-Batch queries run through a thread pool (Section 5.2 "Parallelism":
-independent queries, work-stealing tasks).  numpy kernels release the GIL
-for large operations; EXPERIMENTS.md reports the scaling actually achieved
-in Python.
+Batch queries have two execution modes (``QueryEngine.query_batch``):
+
+* ``mode="vectorized"`` — the production batch kernel and the default for
+  ``workers == 1``.  Steps Q1-Q4 run over the *whole* ``(B, dim)`` query
+  block in a constant number of numpy calls: one CSR x hyperplane-bank
+  pass and a two-gather pair expansion (Q1), one flat gather of all
+  ``B x L`` buckets plus one segmented dedup (Q2), one blocked
+  gather/segment-reduce over the CSR data (Q3), and one vectorized radius
+  filter (Q4).  Per-query work is pure slicing, so batch throughput is
+  bounded by memory bandwidth instead of interpreter dispatch — the same
+  "restructure for the memory system" move as the paper's software
+  prefetching and contiguous tables (Section 5.2.2).
+* ``mode="loop"`` — the per-query pipeline, kept as the ablation baseline
+  and used by the parallel backends (``workers > 1``).  Vectorized beats
+  loop whenever queries are cheap relative to numpy dispatch overhead
+  (tweet-scale corpora, batch sizes ≳ tens of queries); the loop only wins
+  when individual queries are so kernel-heavy that dispatch is noise.
+
+Parallel batches run through a thread pool (Section 5.2 "Parallelism":
+independent queries, work-stealing tasks) or fork()ed workers.  numpy
+kernels release the GIL for large operations; EXPERIMENTS.md reports the
+scaling actually achieved in Python.
 """
 
 from __future__ import annotations
@@ -32,12 +50,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.candidates import make_deduplicator
+from repro.core.candidates import make_deduplicator, mask_segments, unique_segments
 from repro.core.distance import (
     angular_distance,
     candidate_dots_batched,
     candidate_dots_lookup,
     candidate_dots_naive,
+    candidate_dots_segmented,
 )
 from repro.core.hashing import AllPairsHasher
 from repro.core.tables import StaticTableSet
@@ -116,6 +135,13 @@ class QueryEngine:
         self.dedup_strategy = dedup
         self.dots_strategy = dots
         self.reuse_buffers = reuse_buffers
+        # The batch kernel has its own fixed strategies (segmented sort
+        # dedup, blocked batched dots); only an engine in the production
+        # configuration may default to it, so ablation engines keep
+        # measuring the rung they were built with.
+        self._production_config = (
+            dedup == "bitvector" and dots == "batched" and reuse_buffers
+        )
         self.stats = QueryStats()
         self._dedup = make_deduplicator(dedup, tables.n_items)
         self._q_dense: np.ndarray | None = (
@@ -182,15 +208,33 @@ class QueryEngine:
         workers: int = 1,
         exclude: np.ndarray | None = None,
         backend: str = "thread",
+        mode: str | None = None,
+        keys: np.ndarray | None = None,
     ) -> list[QueryResult]:
-        """Process a query batch, optionally in parallel.
+        """Process a query batch.
 
-        Workers get independent engines sharing the read-only tables/data
-        (the paper's "multiple cores concurrently access the same set of
-        hash tables"), each with private dedup masks and buffers, mirroring
-        the per-thread private bitvectors of Section 5.2.1.
+        ``mode`` selects the execution strategy:
 
-        ``backend``:
+        * ``"vectorized"`` (default for ``workers == 1`` on a
+          production-configured engine) — the batch kernel: Q1-Q4 run over
+          the whole block in a constant number of numpy calls (see the
+          module docstring).  Result-identical to the loop, and requires
+          ``workers == 1``.  The kernel has its own fixed strategies, so
+          an engine built with non-default ``dedup``/``dots``/
+          ``reuse_buffers`` (an ablation rung) defaults to ``"loop"``
+          instead — pass ``mode="vectorized"`` explicitly to override.
+        * ``"loop"`` (default otherwise) — the per-query pipeline,
+          optionally parallelized.
+
+        ``keys`` may carry the precomputed ``(B, L)`` table-key matrix of
+        the batch (the streaming node hashes each batch once and shares the
+        keys between the static and delta structures).
+
+        For ``mode="loop"`` with ``workers > 1``, workers get independent
+        engines sharing the read-only tables/data (the paper's "multiple
+        cores concurrently access the same set of hash tables"), each with
+        private dedup masks and buffers, mirroring the per-thread private
+        bitvectors of Section 5.2.1.  ``backend``:
 
         * ``"thread"``  — a thread pool.  On CPython the GIL serializes the
           small numpy calls that dominate a per-query pipeline, so threads
@@ -203,13 +247,38 @@ class QueryEngine:
           fork overhead means it pays off for larger batches.
         """
         n = queries.n_rows
+        if keys is not None:
+            keys = np.asarray(keys)
+            if keys.shape != (n, self.tables.n_tables):
+                raise ValueError(
+                    f"keys shape {keys.shape} != "
+                    f"{(n, self.tables.n_tables)}"
+                )
+        if mode is None:
+            mode = (
+                "vectorized"
+                if workers <= 1 and self._production_config
+                else "loop"
+            )
+        if mode == "vectorized":
+            if workers > 1:
+                raise ValueError(
+                    "mode='vectorized' runs the whole batch in one kernel; "
+                    "use workers=1 (or mode='loop' for parallel backends)"
+                )
+            return self._query_batch_vectorized(queries, radius, exclude, keys)
+        if mode != "loop":
+            raise ValueError(f"unknown mode {mode!r}; expected 'vectorized' or 'loop'")
         if workers <= 1:
             return [
-                self.query_row(queries, r, radius=radius, exclude=exclude)
+                self.query_row(
+                    queries, r, radius=radius, exclude=exclude,
+                    keys=None if keys is None else keys[r],
+                )
                 for r in range(n)
             ]
         if backend == "process":
-            return self._query_batch_fork(queries, radius, workers, exclude)
+            return self._query_batch_fork(queries, radius, workers, exclude, keys)
         if backend != "thread":
             raise ValueError(f"unknown backend {backend!r}")
         engines = [self._clone() for _ in range(workers)]
@@ -218,7 +287,13 @@ class QueryEngine:
         def run(worker: int) -> list[tuple[int, QueryResult]]:
             eng = engines[worker]
             return [
-                (int(r), eng.query_row(queries, int(r), radius=radius, exclude=exclude))
+                (
+                    int(r),
+                    eng.query_row(
+                        queries, int(r), radius=radius, exclude=exclude,
+                        keys=None if keys is None else keys[int(r)],
+                    ),
+                )
                 for r in chunks[worker]
             ]
 
@@ -231,12 +306,84 @@ class QueryEngine:
             self._absorb_stats(eng)
         return results  # type: ignore[return-value]
 
+    #: Queries per internal block of the vectorized kernel.  Large enough to
+    #: amortize dispatch to nothing, small enough that the flat collision /
+    #: candidate temporaries stay cache-resident — past ~500 queries per
+    #: block the segmented arrays spill and per-query cost creeps back up.
+    VECTORIZED_QUERY_BLOCK = 256
+
+    def _query_batch_vectorized(
+        self,
+        queries: CSRMatrix,
+        radius: float | None,
+        exclude: np.ndarray | None,
+        keys: np.ndarray | None,
+    ) -> list[QueryResult]:
+        """The batch kernel: Q1-Q4 over whole query blocks, O(1) numpy calls
+        per :data:`VECTORIZED_QUERY_BLOCK` queries.
+
+        The whole batch is hashed in one pass (Q1); Q2-Q4 then run over
+        internal blocks so the flat segmented temporaries stay in cache.
+        Per-query python work is limited to slicing out the result objects;
+        every numerical step runs once per block over flat segmented
+        arrays.  Results are bit-identical to the per-query loop (same
+        float32 operands, float64 accumulation in the same order).
+        """
+        radius = self.params.radius if radius is None else radius
+        n = queries.n_rows
+        if n == 0:
+            return []
+        st = self.stats.stage_times
+
+        with st.stage("q1_hash"):
+            if keys is None:
+                u = self.hasher.hash_functions(queries)
+                keys = self.hasher.table_keys_batch(u)
+
+        results: list[QueryResult] = []
+        block = self.VECTORIZED_QUERY_BLOCK
+        for b0 in range(0, n, block):
+            b1 = min(b0 + block, n)
+            q_block = queries.slice_rows(b0, b1)
+            with st.stage("q2_dedup"):
+                values, raw_offsets = self.tables.collisions_batch(keys[b0:b1])
+                cand, offsets = unique_segments(
+                    values, raw_offsets, self.tables.n_items
+                )
+                if exclude is not None and cand.size:
+                    keep = ~exclude[cand]
+                    offsets = mask_segments(offsets, keep)
+                    cand = cand[keep]
+            with st.stage("q3_distance"):
+                dots = candidate_dots_segmented(
+                    self.data, cand, offsets, q_block
+                )
+            with st.stage("q4_filter"):
+                dists = angular_distance(dots)
+                within = dists <= radius
+                out_offsets = mask_segments(offsets, within)
+                out_ids = cand[within]
+                out_dists = dists[within]
+                results.extend(
+                    QueryResult(
+                        out_ids[out_offsets[b] : out_offsets[b + 1]],
+                        out_dists[out_offsets[b] : out_offsets[b + 1]],
+                    )
+                    for b in range(b1 - b0)
+                )
+            self.stats.n_collisions += int(values.size)
+            self.stats.n_unique += int(cand.size)
+            self.stats.n_matches += int(out_ids.size)
+        self.stats.n_queries += n
+        return results
+
     def _query_batch_fork(
         self,
         queries: CSRMatrix,
         radius: float | None,
         workers: int,
         exclude: np.ndarray | None,
+        keys: np.ndarray | None = None,
     ) -> list[QueryResult]:
         """Fork-based parallel batch (see ``query_batch``)."""
         try:
@@ -244,11 +391,11 @@ class QueryEngine:
         except ValueError:  # platform without fork: fall back to threads
             return self.query_batch(
                 queries, radius=radius, workers=workers, exclude=exclude,
-                backend="thread",
+                backend="thread", mode="loop", keys=keys,
             )
         n = queries.n_rows
         global _FORK_STATE
-        _FORK_STATE = (self, queries, radius, exclude)
+        _FORK_STATE = (self, queries, radius, exclude, keys)
         chunks = [c.tolist() for c in np.array_split(np.arange(n), workers)]
         try:
             with ctx.Pool(processes=workers) as pool:
@@ -257,12 +404,17 @@ class QueryEngine:
             _FORK_STATE = None
         results: list[QueryResult] = []
         n_coll = n_uniq = n_match = 0
-        for part, (coll, uniq, match) in parts:
+        for part, (coll, uniq, match), stage_secs in parts:
             for indices, distances in part:
                 results.append(QueryResult(indices, distances))
             n_coll += coll
             n_uniq += uniq
             n_match += match
+            # Merge the workers' per-stage wall-clock like _absorb_stats
+            # does, so Figure 5 breakdowns under backend="process" report
+            # real numbers instead of zeros.
+            for name, secs in stage_secs.items():
+                self.stats.stage_times.add(name, secs)
         self.stats.n_queries += n
         self.stats.n_collisions += n_coll
         self.stats.n_unique += n_uniq
@@ -326,21 +478,29 @@ class QueryEngine:
             self.stats.stage_times.add(name, secs)
 
 
-#: (engine, queries, radius, exclude) visible to fork()ed workers — set just
-#: before the pool is created so children inherit it copy-on-write.
+#: (engine, queries, radius, exclude, keys) visible to fork()ed workers —
+#: set just before the pool is created so children inherit it copy-on-write.
 _FORK_STATE: tuple | None = None
 
 
 def _fork_query_chunk(rows: list[int]):
     """Worker entry point: run a chunk of queries against the inherited
     engine and return plain arrays (QueryResult objects re-wrap them in the
-    parent; keeping the payload primitive keeps pickling cheap)."""
+    parent; keeping the payload primitive keeps pickling cheap) plus the
+    counter and per-stage timing payloads the parent merges."""
     assert _FORK_STATE is not None, "fork state missing in worker"
-    engine, queries, radius, exclude = _FORK_STATE
+    engine, queries, radius, exclude, keys = _FORK_STATE
     worker_engine = engine._clone()
     out = []
     for r in rows:
-        res = worker_engine.query_row(queries, r, radius=radius, exclude=exclude)
+        res = worker_engine.query_row(
+            queries, r, radius=radius, exclude=exclude,
+            keys=None if keys is None else keys[r],
+        )
         out.append((res.indices, res.distances))
     stats = worker_engine.stats
-    return out, (stats.n_collisions, stats.n_unique, stats.n_matches)
+    return (
+        out,
+        (stats.n_collisions, stats.n_unique, stats.n_matches),
+        stats.stage_times.as_dict(),
+    )

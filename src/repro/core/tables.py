@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.partition import BUILD_STRATEGIES
 from repro.params import PLSHParams
+from repro.sparse.csr import ranges_to_indices
 
 __all__ = ["StaticTableSet"]
 
@@ -39,6 +40,10 @@ class StaticTableSet:
         self.entries = entries
         self.offsets = offsets
         self.params = params
+        # Per-table bases for flat indexing into offsets/entries (batch path).
+        tables = np.arange(params.n_tables, dtype=np.int64)
+        self._offset_row_base = tables * (params.n_buckets + 1)
+        self._entry_row_base = tables * self.n_items
 
     @classmethod
     def build(
@@ -110,18 +115,54 @@ class StaticTableSet:
         tables = np.arange(self.n_tables)
         starts = self.offsets[tables, query_keys].astype(np.int64)
         stops = self.offsets[tables, query_keys + 1].astype(np.int64)
-        lengths = stops - starts
-        total = int(lengths.sum())
-        if total == 0:
+        flat_starts = tables * self.n_items + starts
+        take = ranges_to_indices(flat_starts, stops - starts)
+        if take.size == 0:
             return np.empty(0, dtype=np.int64)
-        # Flatten (table, position) pairs into indexes of the 2-D entries.
-        ends = np.cumsum(lengths)
-        table_of = np.repeat(tables, lengths)
-        within = np.arange(total) - np.repeat(
-            np.concatenate(([0], ends[:-1])), lengths
-        )
-        flat = table_of * self.n_items + starts[table_of] + within
-        return self.entries.ravel()[flat].astype(np.int64)
+        return self.entries.ravel()[take].astype(np.int64)
+
+    def collisions_batch(
+        self, query_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucket contents for a whole query batch in one flat gather.
+
+        ``query_keys`` is a ``(B, L)`` key matrix (one row per query, as
+        produced by :meth:`AllPairsHasher.table_keys_batch`).  Returns
+        ``(values, seg_offsets)`` where ``values`` concatenates the bucket
+        contents of all ``B x L`` buckets query-major (query 0's L buckets,
+        then query 1's, ...) and ``seg_offsets`` is the ``(B + 1,)`` int64
+        boundary array: query ``b``'s collisions are
+        ``values[seg_offsets[b]:seg_offsets[b + 1]]``.  Duplicates within a
+        segment are expected — Step Q2's dedup runs downstream.
+
+        The whole gather is a constant number of numpy calls regardless of
+        batch size: this is the batch kernel's Step Q2 front half.
+        """
+        query_keys = np.asarray(query_keys)
+        if query_keys.ndim != 2 or query_keys.shape[1] != self.n_tables:
+            raise ValueError(
+                f"expected (B, {self.n_tables}) keys, got shape "
+                f"{query_keys.shape}"
+            )
+        n_queries = query_keys.shape[0]
+        # One flat index per (query, table) bucket instead of two rounds of
+        # 2-D advanced indexing: at small shard sizes this fixed B x L cost
+        # is the dominant term, so every avoided (B, L) temporary counts.
+        # ``idx`` is reused in place for the bucket-end gather.
+        idx = self._offset_row_base[None, :] + query_keys
+        offsets_flat = self.offsets.ravel()
+        starts = offsets_flat[idx]  # int32, widened lazily via promotion
+        idx += 1
+        lengths = offsets_flat[idx] - starts  # (B, L) int32
+        seg_offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        np.cumsum(lengths.sum(axis=1, dtype=np.int64), out=seg_offsets[1:])
+        flat_starts = (self._entry_row_base[None, :] + starts).ravel()
+        take = ranges_to_indices(flat_starts, lengths.ravel())
+        if take.size == 0:
+            return np.empty(0, dtype=np.int32), seg_offsets
+        # Entries stay int32 (no widening pass): downstream segmented dedup
+        # upcasts while fusing keys, so the extra copy would be pure waste.
+        return self.entries.ravel()[take], seg_offsets
 
     def collisions_per_table(self, query_keys: np.ndarray) -> list[np.ndarray]:
         """Per-table bucket views (the unbatched access pattern; used by the

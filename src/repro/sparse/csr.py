@@ -16,7 +16,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "ranges_to_indices"]
 
 
 class CSRMatrix:
@@ -180,7 +180,7 @@ class CSRMatrix:
         lengths = self.indptr[row_ids + 1] - starts
         new_indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=new_indptr[1:])
-        take = _ranges_to_indices(starts, lengths)
+        take = ranges_to_indices(starts, lengths)
         return CSRMatrix(
             new_indptr, self.indices[take], self.data[take], self.n_cols, check=False
         )
@@ -240,16 +240,31 @@ class CSRMatrix:
         )
 
 
-def _ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """Concatenate ranges ``[starts[i], starts[i]+lengths[i])`` vectorized.
 
-    Standard trick: cumulative offsets + per-position corrections, avoiding a
-    Python-level loop over rows.
+    Single-cumsum formulation: the output is 1 everywhere except at each
+    range boundary, where it jumps to that range's start; a prefix sum then
+    reconstructs every index with one full-length pass.  ``starts`` must be
+    int64 (entry/indptr offsets are); ``lengths`` may be any integer dtype.
+
+    This is the shared flat-gather builder for every segmented kernel (row
+    gathering here, bucket gathering in ``core.tables``, the batch dot
+    kernel in ``sparse.ops``).
     """
-    total = int(lengths.sum())
+    ends = np.cumsum(lengths, dtype=np.int64)
+    total = int(ends[-1]) if ends.size else 0
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    ends = np.cumsum(lengths)
-    row_ids = np.repeat(np.arange(lengths.size), lengths)
-    within = np.arange(total) - np.repeat(np.concatenate(([0], ends[:-1])), lengths)
-    return starts[row_ids] + within
+    bounds = ends - lengths
+    nz = lengths > 0
+    firsts = bounds[nz]
+    sv = starts[nz]
+    lv = lengths[nz]
+    jump = np.empty(firsts.size, dtype=np.int64)
+    jump[0] = sv[0]
+    jump[1:] = sv[1:] - (sv[:-1] + lv[:-1] - 1)
+    take = np.ones(total, dtype=np.int64)
+    take[firsts] = jump
+    np.cumsum(take, out=take)
+    return take

@@ -123,6 +123,35 @@ class DeltaTable:
             return np.empty(0, dtype=np.int64)
         return np.asarray([i for bucket in out for i in bucket], dtype=np.int64)
 
+    def collisions_batch(
+        self, query_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucket contents for a ``(B, L)`` key matrix, segmented per query.
+
+        Returns ``(values, seg_offsets)`` in the same layout as
+        :meth:`StaticTableSet.collisions_batch`.  The bins are hash maps, so
+        the walk is B x L dict lookups — cheap python work proportional to
+        the (small) delta structure, not to collision counts; the heavy
+        per-collision arrays are materialized in one pass.
+        """
+        query_keys = np.asarray(query_keys, dtype=np.int64)
+        if query_keys.ndim != 2 or query_keys.shape[1] != self.params.n_tables:
+            raise ValueError(
+                f"expected (B, {self.params.n_tables}) keys, got shape "
+                f"{query_keys.shape}"
+            )
+        n_queries = query_keys.shape[0]
+        bins = self._bins
+        flat: list[int] = []
+        seg_offsets = np.zeros(n_queries + 1, dtype=np.int64)
+        for b, row in enumerate(query_keys.tolist()):
+            for l, key in enumerate(row):
+                bucket = bins[l].get(key)
+                if bucket:
+                    flat.extend(bucket)
+            seg_offsets[b + 1] = len(flat)
+        return np.asarray(flat, dtype=np.int64), seg_offsets
+
     def bucket_sizes(self) -> dict[int, int]:
         """Histogram: number of non-empty bins per table (diagnostics)."""
         return {l: len(bins) for l, bins in enumerate(self._bins)}

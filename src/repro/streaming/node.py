@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.candidates import mask_segments, unique_segments
 from repro.core.distance import angular_distance
 from repro.core.hashing import AllPairsHasher
 from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import row_dots_dense
+from repro.sparse.ops import row_dots_dense, row_dots_dense_batch
 from repro.streaming.deletion import DeletionFilter
 from repro.streaming.delta import DeltaTable
 from repro.streaming.merge import merge_into_static
@@ -170,10 +171,60 @@ class StreamingPLSH:
         )
 
     def query_batch(
-        self, queries: CSRMatrix, *, radius: float | None = None
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        mode: str | None = None,
     ) -> list[QueryResult]:
+        """Batch R-near-neighbor queries across static + delta.
+
+        ``mode="vectorized"`` (the default) hashes the whole batch once,
+        shares the ``(B, L)`` key matrix between the static and delta
+        structures, runs the static side through the batch kernel and the
+        delta side through the segmented dedup / blocked-dot pipeline with a
+        single vectorized deletion-filter screen per side.  ``mode="loop"``
+        is the per-query path, kept for ablation.
+        """
+        if mode is None:
+            mode = "vectorized"
+        if mode == "loop":
+            return [
+                self.query(*queries.row(r), radius=radius)
+                for r in range(queries.n_rows)
+            ]
+        if mode != "vectorized":
+            raise ValueError(
+                f"unknown mode {mode!r}; expected 'vectorized' or 'loop'"
+            )
+        radius = self.params.radius if radius is None else radius
+        n = queries.n_rows
+        if n == 0:
+            return []
+        # Hash once, use twice (static + delta share the key matrix).
+        u = self.hasher.hash_functions(queries)
+        keys = self.hasher.table_keys_batch(u)
+
+        empty = QueryResult(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        )
+        with self.times.stage("query_static"):
+            if self.n_static:
+                exclude = self.deletions.mask(self.n_static)
+                static_res = self.static.query_batch(
+                    queries, radius=radius, exclude=exclude, keys=keys,
+                    mode="vectorized",
+                )
+            else:
+                static_res = [empty] * n
+        with self.times.stage("query_delta"):
+            delta_res = self._query_delta_batch(queries, radius, keys)
         return [
-            self.query(*queries.row(r), radius=radius) for r in range(queries.n_rows)
+            QueryResult(
+                np.concatenate([s.indices, d.indices]),
+                np.concatenate([s.distances, d.distances]),
+            )
+            for s, d in zip(static_res, delta_res)
         ]
 
     def _query_keys(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
@@ -216,3 +267,37 @@ class StreamingPLSH:
         dists = angular_distance(dots)
         within = dists <= radius
         return QueryResult(unique[within] + self.n_static, dists[within])
+
+    def _query_delta_batch(
+        self, queries: CSRMatrix, radius: float, keys: np.ndarray
+    ) -> list[QueryResult]:
+        """Q2-Q4 against the delta bins for a whole batch (segmented)."""
+        n = queries.n_rows
+        empty = QueryResult(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+        )
+        if self.n_delta == 0:
+            return [empty] * n
+        values, raw_offsets = self.delta.collisions_batch(keys)
+        if values.size == 0:
+            return [empty] * n
+        cand, offsets = unique_segments(values, raw_offsets, self.n_delta)
+        # Vectorized deletion screen: one bitvector test over every
+        # candidate of the batch (delta rows live at n_static + local).
+        if cand.size:
+            live = ~self.deletions.is_deleted(cand + self.n_static)
+            offsets = mask_segments(offsets, live)
+            cand = cand[live]
+        dots = row_dots_dense_batch(self.delta.vectors(), cand, offsets, queries)
+        dists = angular_distance(dots)
+        within = dists <= radius
+        out_offsets = mask_segments(offsets, within)
+        out_ids = cand[within] + self.n_static
+        out_dists = dists[within]
+        return [
+            QueryResult(
+                out_ids[out_offsets[b] : out_offsets[b + 1]],
+                out_dists[out_offsets[b] : out_offsets[b + 1]],
+            )
+            for b in range(n)
+        ]

@@ -77,3 +77,31 @@ def test_query_batch(setup, small_queries):
     _, queries = small_queries
     outs = coordinator.query_batch(queries.slice_rows(0, 4))
     assert len(outs) == 4
+
+
+def test_query_batch_vectorized_matches_loop(setup, small_queries):
+    coordinator, _, _, _ = setup
+    _, queries = small_queries
+    batch = queries.slice_rows(0, 8)
+    vec = coordinator.query_batch(batch)
+    loop = coordinator.query_batch(batch, mode="loop")
+    assert len(vec) == len(loop) == 8
+    for a, b in zip(vec, loop):
+        order_a = np.argsort(a.result.indices)
+        order_b = np.argsort(b.result.indices)
+        np.testing.assert_array_equal(
+            a.result.indices[order_a], b.result.indices[order_b]
+        )
+        np.testing.assert_allclose(
+            a.result.distances[order_a], b.result.distances[order_b],
+            rtol=1e-6,
+        )
+    # Amortized accounting: every outcome carries the same per-node share.
+    assert set(vec[0].node_seconds) == {0, 1, 2}
+    assert vec[0].node_seconds == vec[1].node_seconds
+
+
+def test_query_batch_empty(setup, small_queries):
+    coordinator, _, _, _ = setup
+    _, queries = small_queries
+    assert coordinator.query_batch(queries.slice_rows(0, 0)) == []

@@ -62,3 +62,105 @@ def test_strategies_agree_property(values):
     expected = np.unique(arr)
     for s, out in zip(STRATEGIES, outputs):
         np.testing.assert_array_equal(out, expected, err_msg=s)
+
+
+ALL_STRATEGIES = STRATEGIES + ["bitvector_fullscan", "generation"]
+
+
+@pytest.mark.parametrize("strategy", ["bitvector_fullscan", "generation"])
+class TestNewRungs:
+    def test_removes_duplicates(self, strategy):
+        d = make_deduplicator(strategy, 100)
+        np.testing.assert_array_equal(
+            d.unique(np.asarray([5, 3, 5, 5, 7, 3])), [3, 5, 7]
+        )
+
+    def test_reusable_across_queries(self, strategy):
+        d = make_deduplicator(strategy, 50)
+        np.testing.assert_array_equal(d.unique(np.asarray([1, 2, 2])), [1, 2])
+        np.testing.assert_array_equal(d.unique(np.asarray([2, 3])), [2, 3])
+
+    def test_empty(self, strategy):
+        d = make_deduplicator(strategy, 10)
+        assert d.unique(np.empty(0, dtype=np.int64)).size == 0
+
+
+def test_touched_range_default_and_fullscan_flag():
+    assert BitvectorDeduplicator(5).full_scan is False
+    assert make_deduplicator("bitvector_fullscan", 5).full_scan is True
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(0, 199), max_size=300))
+def test_all_rungs_agree_property(values):
+    arr = np.asarray(values, dtype=np.int64)
+    expected = np.unique(arr)
+    for s in ALL_STRATEGIES:
+        np.testing.assert_array_equal(
+            make_deduplicator(s, 200).unique(arr.copy()), expected, err_msg=s
+        )
+
+
+class TestSegmentedDedup:
+    def _offsets(self, counts):
+        return np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+    def test_unique_segments_basic(self):
+        from repro.core.candidates import unique_segments
+
+        values = np.asarray([4, 2, 4, 9, 9, 1, 0], dtype=np.int64)
+        offsets = self._offsets([3, 2, 0, 2])
+        out_vals, out_offsets = unique_segments(values, offsets, 10)
+        np.testing.assert_array_equal(out_vals, [2, 4, 9, 0, 1])
+        np.testing.assert_array_equal(out_offsets, [0, 2, 3, 3, 5])
+
+    def test_same_value_survives_across_segments(self):
+        from repro.core.candidates import unique_segments
+
+        values = np.asarray([5, 5, 5, 5], dtype=np.int64)
+        offsets = self._offsets([2, 2])
+        out_vals, out_offsets = unique_segments(values, offsets, 6)
+        np.testing.assert_array_equal(out_vals, [5, 5])
+        np.testing.assert_array_equal(out_offsets, [0, 1, 2])
+
+    def test_empty_input(self):
+        from repro.core.candidates import unique_segments
+
+        out_vals, out_offsets = unique_segments(
+            np.empty(0, dtype=np.int64), self._offsets([0, 0, 0]), 10
+        )
+        assert out_vals.size == 0
+        np.testing.assert_array_equal(out_offsets, [0, 0, 0, 0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_sort_and_generation_variants_agree_property(self, data):
+        from repro.core.candidates import (
+            unique_segments,
+            unique_segments_generation,
+        )
+        from repro.utils.bitvector import GenerationMask
+
+        n_items = data.draw(st.integers(1, 40))
+        counts = data.draw(
+            st.lists(st.integers(0, 30), min_size=1, max_size=8)
+        )
+        total = sum(counts)
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        values = rng.integers(0, n_items, size=total).astype(np.int64)
+        offsets = self._offsets(counts)
+        a_vals, a_offsets = unique_segments(values, offsets, n_items)
+        b_vals, b_offsets = unique_segments_generation(
+            values, offsets, GenerationMask(n_items)
+        )
+        np.testing.assert_array_equal(a_vals, b_vals)
+        np.testing.assert_array_equal(a_offsets, b_offsets)
+
+    def test_mask_segments(self):
+        from repro.core.candidates import mask_segments
+
+        offsets = self._offsets([3, 0, 2, 1])
+        keep = np.asarray([True, False, True, True, False, True])
+        np.testing.assert_array_equal(
+            mask_segments(offsets, keep), [0, 2, 2, 3, 4]
+        )

@@ -75,3 +75,25 @@ class TestNearest:
         assert (np.diff(res.distances) >= 0).all()
         if len(res):
             assert res.indices[0] == 7  # self at distance 0
+
+
+class TestForkStageTimes:
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"), reason="fork-based backend"
+    )
+    def test_fork_backend_reports_stage_times(self, built_index, small_queries):
+        """Figure 5 breakdowns under backend="process" must see real
+        per-stage seconds, not zeros: workers return their StageTimes dict
+        and the parent merges it."""
+        from repro.core.query import QueryEngine
+
+        _, queries = small_queries
+        engine = QueryEngine(
+            built_index.tables, built_index.data, built_index.hasher,
+            built_index.params,
+        )
+        engine.query_batch(queries, workers=2, backend="process")
+        times = engine.stats.stage_times
+        for name in ("q1_hash", "q2_dedup", "q3_distance", "q4_filter"):
+            assert name in times, f"missing stage {name}"
+        assert times.total > 0.0

@@ -1,0 +1,173 @@
+"""The vectorized batch kernel must be bit-identical to the per-query loop.
+
+The batch kernel (``QueryEngine.query_batch(mode="vectorized")``) reuses the
+same float32 operands and float64 accumulation order as the loop, so the
+equivalence is exact — indices AND distances — not approximate.  The
+property test sweeps random corpora/queries (including rows that collide
+with nothing), exclude masks and precomputed key matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PLSHIndex, PLSHParams
+from repro.core.query import QueryEngine
+from repro.sparse.csr import CSRMatrix
+
+
+def make_engine(built_index, **kw):
+    return QueryEngine(
+        built_index.tables,
+        built_index.data,
+        built_index.hasher,
+        built_index.params,
+        **kw,
+    )
+
+
+def _random_corpus(rng, n_rows: int, n_cols: int, density: float) -> CSRMatrix:
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    # Ensure no all-zero corpus rows (zero rows cannot be unit vectors).
+    for r in range(n_rows):
+        if not dense[r].any():
+            dense[r, int(rng.integers(n_cols))] = 1.0
+    return CSRMatrix.from_dense(dense.astype(np.float32)).normalized()
+
+
+def _assert_bit_identical(a_list, b_list):
+    assert len(a_list) == len(b_list)
+    for a, b in zip(a_list, b_list):
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestVectorizedEquivalenceProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_bit_identical_across_random_corpora(self, data):
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        n_rows = data.draw(st.integers(20, 120), label="n_rows")
+        n_cols = data.draw(st.integers(16, 64), label="n_cols")
+        radius = data.draw(
+            st.sampled_from([0.3, 0.9, 1.5]), label="radius"
+        )
+        rng = np.random.default_rng(seed)
+        vectors = _random_corpus(rng, n_rows, n_cols, density=0.2)
+        params = PLSHParams(k=4, m=4, radius=radius, seed=seed)
+        index = PLSHIndex(n_cols, params).build(vectors)
+
+        # Queries: a few corpus rows (guaranteed collisions) plus random
+        # rows, some of which land in empty buckets (empty candidate sets).
+        n_q = data.draw(st.integers(1, 12), label="n_q")
+        queries = CSRMatrix.vstack(
+            [
+                vectors.gather_rows(rng.integers(0, n_rows, size=max(1, n_q // 2))),
+                _random_corpus(rng, n_q, n_cols, density=0.1),
+            ]
+        )
+
+        loop = index.query_batch(queries, mode="loop")
+        vec = index.query_batch(queries, mode="vectorized")
+        _assert_bit_identical(loop, vec)
+
+        # Exclude mask: drop a random subset of the corpus.
+        exclude = rng.random(n_rows) < 0.3
+        _assert_bit_identical(
+            index.query_batch(queries, mode="loop", exclude=exclude),
+            index.query_batch(queries, mode="vectorized", exclude=exclude),
+        )
+
+        # Precomputed keys (the hash-once-share-everywhere path).
+        keys = index.hasher.table_keys_batch(
+            index.hasher.hash_functions(queries)
+        )
+        _assert_bit_identical(
+            vec, index.query_batch(queries, mode="vectorized", keys=keys)
+        )
+        _assert_bit_identical(
+            loop, index.query_batch(queries, mode="loop", keys=keys)
+        )
+
+
+class TestVectorizedOnFixture:
+    def test_default_mode_is_vectorized_for_serial(self, built_index, small_queries):
+        """workers == 1 must route through the batch kernel by default and
+        still match the explicit loop exactly."""
+        _, queries = small_queries
+        _assert_bit_identical(
+            built_index.query_batch(queries),
+            built_index.query_batch(queries, mode="loop"),
+        )
+
+    def test_empty_batch(self, built_index):
+        queries = CSRMatrix.empty(built_index.dim)
+        assert built_index.query_batch(queries, mode="vectorized") == []
+
+    def test_stats_match_loop(self, built_index, small_queries):
+        _, queries = small_queries
+        loop_eng = make_engine(built_index)
+        vec_eng = make_engine(built_index)
+        loop_eng.query_batch(queries, mode="loop")
+        vec_eng.query_batch(queries, mode="vectorized")
+        assert vec_eng.stats.n_queries == loop_eng.stats.n_queries
+        assert vec_eng.stats.n_collisions == loop_eng.stats.n_collisions
+        assert vec_eng.stats.n_unique == loop_eng.stats.n_unique
+        assert vec_eng.stats.n_matches == loop_eng.stats.n_matches
+        # The batch kernel reports the same Q1-Q4 stage names.
+        for name in ("q1_hash", "q2_dedup", "q3_distance", "q4_filter"):
+            assert name in vec_eng.stats.stage_times
+
+    def test_ablation_engine_defaults_to_loop(self, built_index, small_queries):
+        """An engine built with non-default strategies is an ablation rung:
+        its batch default must keep running the configured per-query
+        pipeline, not silently switch to the batch kernel."""
+        _, queries = small_queries
+
+        def boom(*a, **k):
+            raise AssertionError("batch kernel used on an ablation engine")
+
+        ablation = make_engine(
+            built_index, dedup="set", dots="naive", reuse_buffers=False
+        )
+        ablation._query_batch_vectorized = boom
+        ablation.query_batch(queries.slice_rows(0, 2))  # must not raise
+
+        production = make_engine(built_index)
+        production._query_batch_vectorized = boom
+        with pytest.raises(AssertionError):
+            production.query_batch(queries.slice_rows(0, 2))
+        # Explicit override still reaches the kernel on an ablation engine.
+        ablation2 = make_engine(built_index, dedup="set")
+        ablation2._query_batch_vectorized = boom
+        with pytest.raises(AssertionError):
+            ablation2.query_batch(queries.slice_rows(0, 2), mode="vectorized")
+
+    def test_vectorized_rejects_workers(self, built_index, small_queries):
+        _, queries = small_queries
+        with pytest.raises(ValueError):
+            built_index.query_batch(queries, mode="vectorized", workers=2)
+
+    def test_unknown_mode_raises(self, built_index, small_queries):
+        _, queries = small_queries
+        with pytest.raises(ValueError):
+            built_index.query_batch(queries, mode="warp")
+
+    def test_bad_keys_shape_raises(self, built_index, small_queries):
+        _, queries = small_queries
+        with pytest.raises(ValueError):
+            built_index.query_batch(
+                queries, keys=np.zeros((queries.n_rows, 3), dtype=np.uint32)
+            )
+
+    def test_radius_override(self, built_index, small_queries):
+        _, queries = small_queries
+        _assert_bit_identical(
+            built_index.query_batch(queries, mode="loop", radius=0.5),
+            built_index.query_batch(queries, mode="vectorized", radius=0.5),
+        )

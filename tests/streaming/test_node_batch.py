@@ -1,0 +1,96 @@
+"""StreamingPLSH batch queries: the vectorized static+delta path.
+
+The node's ``query_batch`` hashes the batch once, shares the key matrix
+between the static and delta structures, and screens deletions with one
+vectorized bitvector test — it must agree exactly with the per-query loop,
+including across a merge boundary (answers invariant to where rows sit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import PLSHParams
+from repro.streaming.node import StreamingPLSH
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+
+
+def _assert_bit_identical(a_list, b_list):
+    assert len(a_list) == len(b_list)
+    for a, b in zip(a_list, b_list):
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+def test_batch_matches_loop_with_static_and_delta(small_vectors, small_queries):
+    _, queries = small_queries
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=4000, delta_fraction=0.9,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1200))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1200, 2000))  # stays in delta
+    assert node.n_static == 1200 and node.n_delta == 800
+
+    _assert_bit_identical(
+        node.query_batch(queries, mode="loop"),
+        node.query_batch(queries, mode="vectorized"),
+    )
+
+
+def test_batch_spans_merge_boundary(small_vectors, small_queries):
+    """A batch answered before and after a merge must be identical: local
+    ids are stable under merge, so only the structure holding the rows
+    changes, never the answer."""
+    _, queries = small_queries
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=4000, delta_fraction=0.9,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1000))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1000, 2000))
+
+    before = node.query_batch(queries)
+    node.merge_now()  # delta rows fold into the static structure
+    assert node.n_delta == 0 and node.n_static == 2000
+    after = node.query_batch(queries)
+    for a, b in zip(before, after):
+        order_a, order_b = np.argsort(a.indices), np.argsort(b.indices)
+        np.testing.assert_array_equal(a.indices[order_a], b.indices[order_b])
+        np.testing.assert_allclose(
+            a.distances[order_a], b.distances[order_b], rtol=1e-6, atol=1e-7
+        )
+
+
+def test_batch_respects_deletions(small_vectors, small_queries):
+    _, queries = small_queries
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=4000, delta_fraction=0.9,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1000))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1000, 2000))
+    # Tombstone rows on both sides of the static/delta split.
+    deleted = np.concatenate(
+        [np.arange(0, 1000, 7), np.arange(1000, 2000, 11)]
+    )
+    node.delete(deleted)
+
+    results = node.query_batch(queries, mode="vectorized")
+    _assert_bit_identical(node.query_batch(queries, mode="loop"), results)
+    gone = set(deleted.tolist())
+    for res in results:
+        assert gone.isdisjoint(res.indices.tolist())
+
+
+def test_empty_node_and_empty_batch(small_vectors, small_queries):
+    _, queries = small_queries
+    node = StreamingPLSH(small_vectors.n_cols, PARAMS, capacity=100)
+    results = node.query_batch(queries)
+    assert len(results) == queries.n_rows
+    assert all(len(r) == 0 for r in results)
+    assert node.query_batch(small_vectors.slice_rows(0, 0)) == []

@@ -119,3 +119,79 @@ def test_backends_agree_with_set_model(idx, cleared):
     np.testing.assert_array_equal(bv.scan(), expected)
     np.testing.assert_array_equal(mask.scan(), expected)
     assert bv.count() == mask.count() == len(model)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestScanRange:
+    def test_matches_full_scan_within_range(self, backend):
+        bv = backend(300)
+        idx = np.asarray([0, 1, 63, 64, 120, 255, 299])
+        bv.set(idx)
+        np.testing.assert_array_equal(bv.scan_range(0, 300), bv.scan())
+        np.testing.assert_array_equal(bv.scan_range(64, 256), [64, 120, 255])
+        np.testing.assert_array_equal(bv.scan_range(1, 64), [1, 63])
+
+    def test_empty_and_clamped_ranges(self, backend):
+        bv = backend(100)
+        bv.set(np.asarray([5, 99]))
+        assert bv.scan_range(10, 10).size == 0
+        assert bv.scan_range(50, 20).size == 0
+        np.testing.assert_array_equal(bv.scan_range(-5, 1000), [5, 99])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idx=st.lists(st.integers(0, 499), max_size=80),
+    lo=st.integers(0, 499),
+    span=st.integers(0, 499),
+)
+def test_scan_range_agrees_with_model_property(idx, lo, span):
+    from repro.utils.bitvector import GenerationMask
+
+    hi = min(lo + span, 500)
+    expected = np.asarray(
+        sorted({i for i in idx if lo <= i < hi}), dtype=np.int64
+    )
+    for backend in (BitVector, DedupMask, GenerationMask):
+        bv = backend(500)
+        if isinstance(bv, GenerationMask):
+            bv.next_generation()
+        if idx:
+            bv.set(np.asarray(idx))
+        np.testing.assert_array_equal(
+            bv.scan_range(lo, hi), expected, err_msg=backend.__name__
+        )
+
+
+class TestGenerationMask:
+    def test_generation_bump_invalidates_without_clearing(self):
+        from repro.utils.bitvector import GenerationMask
+
+        gm = GenerationMask(100)
+        gm.next_generation()
+        gm.set(np.asarray([3, 7, 7, 50]))
+        np.testing.assert_array_equal(gm.scan(), [3, 7, 50])
+        gm.next_generation()  # no clear() call anywhere
+        assert gm.count() == 0
+        gm.set(np.asarray([7, 8]))
+        np.testing.assert_array_equal(gm.scan(), [7, 8])
+
+    def test_wraparound_resets_stale_stamps(self):
+        from repro.utils.bitvector import GenerationMask
+
+        gm = GenerationMask(10)
+        gm._current = np.iinfo(np.int32).max - 1
+        gm.set(np.asarray([1]))
+        assert gm.test(1).all()
+        gm.next_generation()  # hits the wrap threshold
+        assert gm.generation == 0
+        assert gm.count() == 0
+
+    def test_reset(self):
+        from repro.utils.bitvector import GenerationMask
+
+        gm = GenerationMask(10)
+        gm.next_generation()
+        gm.set(np.asarray([2]))
+        gm.reset()
+        assert gm.count() == 0 and gm.generation == 0
