@@ -1,31 +1,39 @@
-"""Figure 8 — scaling with threads on a single node.
+"""Figure 8 — scaling with workers on a single node.
 
 Paper: 7.2x initialization and 7.8x query speedup at 16 SMT threads on an
 8-core Xeon.
 
 This bench sweeps worker counts for construction (thread-parallel per-table
-partitioning) and for batch querying with BOTH parallel backends:
+partitioning) and for batch querying through the :mod:`repro.parallel`
+execution layer:
 
-* ``thread``  — the paper's literal design (shared tables, per-thread
-  bitvectors).  On CPython the GIL serializes the small numpy calls that
-  dominate a per-query pipeline, so this column *documents the negative
-  result* the reproduction notes predicted: threads do not reproduce the
-  paper's query scaling and can regress.
-* ``process`` — fork()ed workers sharing the index copy-on-write, the
-  closest Python analogue of true multithreading.  This column carries the
-  reproduction of the paper's claim, bounded by the host's core count.
+* ``vectorized x workers`` (``mode="vectorized"`` over the persistent
+  fork pool) — **the Figure 8 reproduction**: the PR 1 batch kernel
+  sharded into per-worker sub-blocks, each worker a fork()ed process
+  sharing the tables copy-on-write.  The pool forks once and stays warm,
+  so its setup cost amortizes across batches; the table reports both the
+  warm per-batch time and the one-off pool spin-up.
+* ``loop x threads`` — the paper's literal design (shared tables,
+  per-thread bitvectors) run on CPython, kept to *document the negative
+  result*: the GIL serializes the small numpy calls that dominate a
+  per-query pipeline, so threads do not reproduce the paper's query
+  scaling and can regress.
 
-Shape to check: the process backend improves (or at least holds) as workers
-approach the core count; the thread column is reported for the record.
+Shape to check: the vectorized fork-pool column scales monotonically up to
+the host core count (>= 1.6x at 2 workers on a >= 2-vCPU host); on a
+single-vCPU host every parallel row degenerates to serial-plus-overhead
+and only the mechanics are exercised.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 from repro import PLSHIndex
 from repro.bench.reporting import format_table, print_section
 from repro.bench.runner import measure_median
+from repro.parallel import fork_available
 
 
 def _worker_counts() -> list[int]:
@@ -47,18 +55,23 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
     index = PLSHIndex(vectors.n_cols, params).build(vectors)
     engine = index.engine
     assert engine is not None
+    pool_backend = "fork_pool" if fork_available() else "thread"
 
-    # Serial vectorized batch kernel: the single-core reference every
-    # parallel backend has to beat (parallelizing the per-query loop only
-    # pays if it outruns simply batching the numpy calls).
+    # Serial vectorized batch kernel: the single-core reference the
+    # sharded column must beat.
     vec_s = measure_median(
-        lambda: engine.query_batch(queries, mode="vectorized"),
+        lambda: engine.query_batch(queries, mode="vectorized", workers=1),
         repeats=2,
         warmup=1,
     )
+    loop_s = measure_median(
+        lambda: engine.query_batch(queries, mode="loop", workers=1),
+        repeats=1,
+        warmup=0,
+    )
 
     rows = []
-    base_init = base_query = None
+    base_init = None
     for workers in _worker_counts():
         init_s = measure_median(
             lambda w=workers: PLSHIndex(vectors.n_cols, params).build(
@@ -67,64 +80,100 @@ def test_fig8_thread_scaling(benchmark, twitter, scale):
             repeats=1,
             warmup=0,
         )
-        thread_s = measure_median(
-            lambda w=workers: engine.query_batch(
-                queries, workers=w, mode="loop"
-            ),
-            repeats=2,
-            warmup=1,
-        )
-        process_s = measure_median(
-            lambda w=workers: engine.query_batch(
-                queries, workers=w, backend="process", mode="loop"
-            ),
-            repeats=2,
-            warmup=1,
-        )
         if base_init is None:
-            base_init, base_query = init_s, thread_s
+            base_init = init_s
+        if workers == 1:
+            cold_s = warm_s = vec_s
+            thread_s = loop_s
+        else:
+            # Cold call pays pool creation (fork of the parent); warm
+            # calls ride the persistent pool — the steady-state number.
+            start = time.perf_counter()
+            engine.query_batch(
+                queries, mode="vectorized", workers=workers,
+                backend=pool_backend,
+            )
+            cold_s = time.perf_counter() - start
+            warm_s = measure_median(
+                lambda w=workers: engine.query_batch(
+                    queries, mode="vectorized", workers=w,
+                    backend=pool_backend,
+                ),
+                repeats=2,
+                warmup=1,
+            )
+            thread_s = measure_median(
+                lambda w=workers: engine.query_batch(
+                    queries, workers=w, mode="loop", backend="thread"
+                ),
+                repeats=2,
+                warmup=1,
+            )
         rows.append(
             [
                 workers,
                 init_s * 1e3,
                 base_init / init_s,
+                warm_s * 1e3,
+                vec_s / warm_s,
+                (cold_s - warm_s) * 1e3,
                 thread_s * 1e3,
-                base_query / thread_s,
-                process_s * 1e3,
-                base_query / process_s,
+                loop_s / thread_s,
             ]
         )
 
     benchmark.pedantic(
         lambda: engine.query_batch(queries), rounds=3, iterations=1
     )
+    engine.close()
 
-    base_loop = rows[0][3]
+    n_cpu = os.cpu_count() or 1
     print_section(
-        f"Figure 8 — parallel scaling (host has {os.cpu_count()} cpus; "
-        f"N={vectors.n_rows:,}, {queries.n_rows} queries)",
+        f"Figure 8 — parallel scaling (host has {n_cpu} cpus; "
+        f"N={vectors.n_rows:,}, {queries.n_rows} queries; "
+        f"query pool backend: {pool_backend})",
         format_table(
-            ["workers", "init ms", "init spd", "thread q ms", "thread spd",
-             "process q ms", "process spd"],
+            ["workers", "init ms", "init spd", "vec q ms", "vec spd",
+             "pool setup ms", "thread loop ms", "thread spd"],
             rows,
         )
         + f"\nserial vectorized batch kernel: {vec_s * 1e3:.1f} ms "
-        f"({base_loop / (vec_s * 1e3):.1f}x over the serial loop — the "
-        f"single-core bar every parallel loop backend must clear)"
+        f"({loop_s / vec_s:.1f}x over the serial loop); 'vec spd' is the "
+        f"sharded kernel's speedup over that bar with a WARM pool; "
+        f"'pool setup ms' is the one-off fork cost the first batch pays "
+        f"(amortizes to ~0 across a session)"
         + "\npaper: 7.2x init / 7.8x query at 16 threads on 8 cores"
-        + "\nthread column: CPython GIL serializes per-query numpy calls —"
-          " the documented negative result; process column: fork-shared"
-          " index, the faithful analogue (bounded by host cores)",
+        + "\nthread loop column: CPython GIL serializes per-query numpy"
+          " calls — the documented negative result",
     )
 
-    # The process backend must not regress catastrophically.  Its fixed
-    # cost is a fork of the parent (page-table copy scales with resident
-    # set, which in a full bench session holds several indexes), so on a
-    # small shared host the bound is generous; on a many-core machine with
-    # paper-sized batches this backend is where the speedup appears.
-    base = rows[0][3]
-    for row in rows[1:]:
-        assert row[5] < base * 2.5, (
-            f"process backend at {row[0]} workers regressed: "
-            f"{row[5]:.1f} ms vs serial {base:.1f} ms"
+    # The Figure 8 claim, asserted only where hardware AND workload can
+    # express it: sharding has a fixed per-batch cost (shard pickling over
+    # the pool's pipes), so the bar applies at paper-sized batches on
+    # multi-core hosts — tiny CI smokes exercise the mechanics only.
+    real_scale = vectors.n_rows >= 10_000 and queries.n_rows >= 500
+    if not real_scale:
+        return
+    # Warm sharded-vectorized must scale monotonically (10% noise slack)
+    # up to the core count, and reach >= 1.6x at 2 workers on >= 2 vCPUs.
+    if fork_available() and n_cpu >= 2:
+        in_core_rows = [r for r in rows if r[0] <= n_cpu]
+        for prev, cur in zip(in_core_rows, in_core_rows[1:]):
+            assert cur[4] >= prev[4] * 0.9, (
+                f"vectorized fork-pool speedup not monotone: "
+                f"{prev[4]:.2f}x at {prev[0]} workers -> "
+                f"{cur[4]:.2f}x at {cur[0]}"
+            )
+        two = next(r for r in rows if r[0] == 2)
+        assert two[4] >= 1.6, (
+            f"vectorized fork pool only {two[4]:.2f}x at 2 workers "
+            f"on a {n_cpu}-vCPU host (need >= 1.6x)"
         )
+    else:
+        # Single-core host: the parallel rows cannot beat serial; just
+        # guard against a catastrophic regression of the warm path.
+        for row in rows[1:]:
+            assert row[3] < vec_s * 1e3 * 3.0, (
+                f"warm sharded kernel at {row[0]} workers regressed: "
+                f"{row[3]:.1f} ms vs serial {vec_s * 1e3:.1f} ms"
+            )

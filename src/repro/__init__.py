@@ -15,6 +15,11 @@ Quickstart::
     for qid, result in zip(ids, index.query_batch(queries)):
         print(qid, result.top(5).indices)
 
+Batch queries accept ``workers=N`` to shard the vectorized kernel across
+cores through the :mod:`repro.parallel` execution layer (a persistent
+fork pool on Linux, bit-identical to serial; see that module's docs for
+pool lifecycle).
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured reproduction log.
 """

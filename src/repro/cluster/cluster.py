@@ -157,12 +157,30 @@ class PLSHCluster:
         *,
         radius: float | None = None,
         mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> list[BroadcastOutcome]:
         """Broadcast a batch to all nodes (vectorized kernel by default;
-        ``mode="loop"`` broadcasts query-by-query, see Coordinator)."""
-        return self.coordinator.query_batch(queries, radius=radius, mode=mode)
+        ``mode="loop"`` broadcasts query-by-query).  ``workers > 1`` also
+        shards each node's batch across cores via per-node persistent
+        worker pools (see Coordinator)."""
+        return self.coordinator.query_batch(
+            queries, radius=radius, mode=mode, workers=workers,
+            backend=backend,
+        )
 
     def merge_all(self) -> None:
         """Force-merge every node's delta (used by benches for steady state)."""
         for node in self.nodes:
             node.plsh.merge_now()
+
+    def close(self) -> None:
+        """Release every node's persistent worker pools."""
+        for node in self.nodes:
+            node.close()
+
+    def __enter__(self) -> "PLSHCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

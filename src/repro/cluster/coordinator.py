@@ -102,6 +102,8 @@ class Coordinator:
         *,
         radius: float | None = None,
         mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> list[BroadcastOutcome]:
         """Broadcast a whole query batch to every node.
 
@@ -111,7 +113,13 @@ class Coordinator:
         per-query ``BroadcastOutcome``s report the amortized (1/B) share of
         each node's batch wall-clock and of the network cost, which keeps
         the Figure 9 load-balance ratio (max/avg over nodes) meaningful.
-        ``mode="loop"`` broadcasts query-by-query as before.
+        ``mode="loop"`` broadcasts query-by-query as before, and is always
+        serial — ``workers``/``backend`` apply to the vectorized path only.
+
+        ``workers > 1`` shards each node's vectorized batch across cores
+        through that node's persistent worker pool (the paper's two-level
+        parallelism: across nodes, then across threads within a node);
+        worker stage times fold into each node's engine stats.
         """
         if mode is None:
             mode = "vectorized"
@@ -138,7 +146,9 @@ class Coordinator:
                 continue
             net_seconds += self.network.send(batch_bytes)
             start = time.perf_counter()
-            results = node.query_batch(queries, radius=radius)
+            results = node.query_batch(
+                queries, radius=radius, workers=workers, backend=backend
+            )
             node_batch_seconds[node.node_id] = time.perf_counter() - start
             n_matches = sum(len(res) for res in results)
             net_seconds += self.network.send(

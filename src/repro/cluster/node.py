@@ -93,14 +93,28 @@ class ClusterNode:
         *,
         radius: float | None = None,
         mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> list[QueryResult]:
         """Batch query through the node's vectorized kernel, translated to
-        global ids (one gather per query result)."""
-        results = self.plsh.query_batch(queries, radius=radius, mode=mode)
+        global ids (one gather per query result).
+
+        ``workers > 1`` shards the batch across cores via the node's own
+        persistent worker pool (see :meth:`StreamingPLSH.query_batch`) —
+        in a multi-node deployment every node owns its pool, the paper's
+        per-node multithreaded query engine."""
+        results = self.plsh.query_batch(
+            queries, radius=radius, mode=mode, workers=workers,
+            backend=backend,
+        )
         return [
             QueryResult(self._global_ids[res.indices], res.distances)
             for res in results
         ]
+
+    def close(self) -> None:
+        """Release the node's persistent worker pools."""
+        self.plsh.close()
 
     def retire(self) -> np.ndarray:
         """Erase the node; returns the global ids that were dropped."""

@@ -84,6 +84,8 @@ class PLSHIndex:
                 f"{(data.n_rows, self.params.m)}"
             )
         self.u_values = u_values
+        if self.engine is not None:  # rebuild: drop the stale engine's pools
+            self.engine.close()
         with self.build_times.stage("insertion"):
             self.tables = StaticTableSet.build(
                 u_values,
@@ -138,21 +140,33 @@ class PLSHIndex:
         queries: CSRMatrix,
         *,
         radius: float | None = None,
-        workers: int = 1,
+        workers: int | None = None,
         exclude: np.ndarray | None = None,
-        backend: str = "thread",
+        backend: str | None = None,
         mode: str | None = None,
         keys: np.ndarray | None = None,
     ) -> list[QueryResult]:
-        """Batch querying: vectorized batch kernel by default for
-        ``workers == 1``, per-query loop (optionally parallel) otherwise
-        (see :meth:`QueryEngine.query_batch`)."""
+        """Batch querying through the vectorized kernel, sharded across
+        ``workers`` cores via the :mod:`repro.parallel` layer (persistent
+        fork pool by default on Linux; bit-identical to ``workers=1`` —
+        see :meth:`QueryEngine.query_batch`)."""
         self._require_built()
         assert self.engine is not None
         return self.engine.query_batch(
             queries, radius=radius, workers=workers, exclude=exclude,
             backend=backend, mode=mode, keys=keys,
         )
+
+    def close(self) -> None:
+        """Release any persistent worker pools held by the query engine."""
+        if self.engine is not None:
+            self.engine.close()
+
+    def __enter__(self) -> "PLSHIndex":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def nearest(
         self,

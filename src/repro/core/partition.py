@@ -27,10 +27,11 @@ shared strategy to the vectorized kernel as its "+vectorization" rung.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
+
+from repro.parallel import make_executor
 
 __all__ = [
     "partition_stable",
@@ -180,11 +181,13 @@ def build_tables_shared(
     function is ``u_j``; each table then needs a single k/2-bit pass on the
     first function (Steps I2+I3 — L partitions).
 
-    ``workers > 1`` parallelizes the per-table work over a thread pool (the
-    paper parallelizes Step I3 over first-level partitions with
-    work-stealing task queues; tables are the coarser unit that suits
-    numpy's GIL-releasing kernels).  Output tables are bitwise identical
-    regardless of ``workers``.
+    ``workers > 1`` parallelizes the per-table work through the
+    :mod:`repro.parallel` execution layer's thread backend (the paper
+    parallelizes Step I3 over first-level partitions with work-stealing
+    task queues; tables are the coarser unit that suits numpy's
+    GIL-releasing kernels, and threads — not the fork pool — are the right
+    backend because every task writes into the shared output arrays).
+    Output tables are bitwise identical regardless of ``workers``.
     """
     partition = _PARTITION_KERNELS[vectorized]
     n, m = u.shape
@@ -211,8 +214,8 @@ def build_tables_shared(
         for l in range(len(pairs)):
             build_one(l)
     else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(build_one, range(len(pairs))))
+        with make_executor("thread", workers, None) as ex:
+            ex.run(lambda _state, l: build_one(l), [(l,) for l in range(len(pairs))])
     return entries, offsets
 
 

@@ -30,22 +30,36 @@ Batch queries have two execution modes (``QueryEngine.query_batch``):
   bounded by memory bandwidth instead of interpreter dispatch — the same
   "restructure for the memory system" move as the paper's software
   prefetching and contiguous tables (Section 5.2.2).
-* ``mode="loop"`` — the per-query pipeline, kept as the ablation baseline
-  and used by the parallel backends (``workers > 1``).  Vectorized beats
-  loop whenever queries are cheap relative to numpy dispatch overhead
-  (tweet-scale corpora, batch sizes ≳ tens of queries); the loop only wins
-  when individual queries are so kernel-heavy that dispatch is noise.
+* ``mode="loop"`` — the per-query pipeline, kept as the ablation baseline.
+  Vectorized beats loop whenever queries are cheap relative to numpy
+  dispatch overhead (tweet-scale corpora, batch sizes ≳ tens of queries);
+  the loop only wins when individual queries are so kernel-heavy that
+  dispatch is noise.
 
-Parallel batches run through a thread pool (Section 5.2 "Parallelism":
-independent queries, work-stealing tasks) or fork()ed workers.  numpy
-kernels release the GIL for large operations; EXPERIMENTS.md reports the
-scaling actually achieved in Python.
+Both modes compose with ``workers > 1`` through the
+:mod:`repro.parallel` execution layer (Section 5.2 "Parallelism",
+Figure 8): the batch is hashed *once* in the parent (Q1), split into one
+contiguous sub-block per worker, and each worker runs the chosen kernel
+on its shard — results are bit-identical to ``workers == 1`` because every
+query's answer depends only on its own key row.  Backends:
+
+* ``backend="fork_pool"`` (production default on Linux) — a *persistent*
+  pool of fork()ed workers sharing the tables copy-on-write.  The pool is
+  forked once per engine, stays warm across batches, and is owned by the
+  engine: release it with :meth:`QueryEngine.close` or use the engine as
+  a context manager.
+* ``backend="thread"`` — a persistent thread pool; the automatic fallback
+  on platforms without ``fork``.  Scales only where the shard kernels
+  release the GIL (large vectorized shards), and documents the negative
+  result for the per-query loop (EXPERIMENTS.md).
+
+``workers=None`` defers to ``PLSH_WORKERS`` in the environment
+(:func:`repro.parallel.default_workers`), which is how CI runs the whole
+suite through the fork pool.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,6 +74,12 @@ from repro.core.distance import (
 )
 from repro.core.hashing import AllPairsHasher
 from repro.core.tables import StaticTableSet
+from repro.parallel import (
+    ExecutorCache,
+    default_workers,
+    resolve_backend,
+    shard_bounds,
+)
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import densify_query
@@ -147,6 +167,33 @@ class QueryEngine:
         self._q_dense: np.ndarray | None = (
             np.zeros(data.n_cols, dtype=np.float32) if reuse_buffers else None
         )
+        #: persistent executors keyed by (canonical backend, workers); the
+        #: fork pool in particular forks once per engine and stays warm
+        #: across batches — release with close() / context manager.
+        self._executors = ExecutorCache(self)
+
+    # -- executor lifecycle --------------------------------------------------
+
+    def executor(self, workers: int, backend: str | None = None):
+        """The engine's persistent :class:`repro.parallel.Executor` for the
+        given parallelism degree, created lazily and cached.
+
+        The engine's tables/data/hasher are immutable after construction,
+        so a fork pool's copy-on-write snapshot never goes stale and the
+        same pool serves every subsequent batch.
+        """
+        return self._executors.get(workers, backend)
+
+    def close(self) -> None:
+        """Release every pooled executor (idempotent).  Engines used only
+        with ``workers == 1`` hold no pool and need no close."""
+        self._executors.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- single query -------------------------------------------------------
 
@@ -205,48 +252,46 @@ class QueryEngine:
         queries: CSRMatrix,
         *,
         radius: float | None = None,
-        workers: int = 1,
+        workers: int | None = None,
         exclude: np.ndarray | None = None,
-        backend: str = "thread",
+        backend: str | None = None,
         mode: str | None = None,
         keys: np.ndarray | None = None,
     ) -> list[QueryResult]:
         """Process a query batch.
 
-        ``mode`` selects the execution strategy:
+        ``mode`` selects the kernel each worker runs on its shard:
 
-        * ``"vectorized"`` (default for ``workers == 1`` on a
-          production-configured engine) — the batch kernel: Q1-Q4 run over
-          the whole block in a constant number of numpy calls (see the
-          module docstring).  Result-identical to the loop, and requires
-          ``workers == 1``.  The kernel has its own fixed strategies, so
-          an engine built with non-default ``dedup``/``dots``/
-          ``reuse_buffers`` (an ablation rung) defaults to ``"loop"``
-          instead — pass ``mode="vectorized"`` explicitly to override.
-        * ``"loop"`` (default otherwise) — the per-query pipeline,
-          optionally parallelized.
+        * ``"vectorized"`` (default on a production-configured engine) —
+          the batch kernel: Q1-Q4 over the whole shard in a constant
+          number of numpy calls (see the module docstring).  An engine
+          built with non-default ``dedup``/``dots``/``reuse_buffers`` (an
+          ablation rung) defaults to ``"loop"`` instead — pass
+          ``mode="vectorized"`` explicitly to override.
+        * ``"loop"`` — the per-query pipeline, kept for ablation.
+
+        ``workers`` shards the batch over the :mod:`repro.parallel`
+        executor layer: the batch is hashed once here (Q1), split into one
+        contiguous sub-block per worker, and every worker runs the kernel
+        on its shard with a private engine clone (private dedup masks and
+        buffers — the per-thread bitvectors of Section 5.2.1).  Results
+        are **bit-identical** to ``workers=1`` in either mode.  ``None``
+        defers to ``PLSH_WORKERS`` (default 1).
+
+        ``backend`` is ``"fork_pool"`` (persistent fork()ed pool sharing
+        the tables copy-on-write; Linux production default), ``"thread"``
+        (persistent thread pool; fallback where ``fork`` is missing), or
+        ``"serial"``.  ``None`` picks the platform default.  Pools are
+        created on first use and kept warm on the engine — see
+        :meth:`executor` / :meth:`close`.
 
         ``keys`` may carry the precomputed ``(B, L)`` table-key matrix of
         the batch (the streaming node hashes each batch once and shares the
         keys between the static and delta structures).
-
-        For ``mode="loop"`` with ``workers > 1``, workers get independent
-        engines sharing the read-only tables/data (the paper's "multiple
-        cores concurrently access the same set of hash tables"), each with
-        private dedup masks and buffers, mirroring the per-thread private
-        bitvectors of Section 5.2.1.  ``backend``:
-
-        * ``"thread"``  — a thread pool.  On CPython the GIL serializes the
-          small numpy calls that dominate a per-query pipeline, so threads
-          only help when individual queries are kernel-heavy; at tweet
-          scale they can even regress (the reproduction's honest finding —
-          see EXPERIMENTS.md).
-        * ``"process"`` — fork()ed workers sharing the index copy-on-write
-          (Linux).  This sidesteps the GIL and is the closest Python
-          analogue of the paper's multithreaded query engine; per-batch
-          fork overhead means it pays off for larger batches.
         """
         n = queries.n_rows
+        if workers is None:
+            workers = default_workers()
         if keys is not None:
             keys = np.asarray(keys)
             if keys.shape != (n, self.tables.n_tables):
@@ -255,21 +300,18 @@ class QueryEngine:
                     f"{(n, self.tables.n_tables)}"
                 )
         if mode is None:
-            mode = (
-                "vectorized"
-                if workers <= 1 and self._production_config
-                else "loop"
+            mode = "vectorized" if self._production_config else "loop"
+        if mode not in ("vectorized", "loop"):
+            raise ValueError(
+                f"unknown mode {mode!r}; expected 'vectorized' or 'loop'"
             )
-        if mode == "vectorized":
-            if workers > 1:
-                raise ValueError(
-                    "mode='vectorized' runs the whole batch in one kernel; "
-                    "use workers=1 (or mode='loop' for parallel backends)"
+        if backend is not None:
+            resolve_backend(backend)  # validate eagerly, even when serial
+        if workers <= 1 or n == 0:
+            if mode == "vectorized":
+                return self._query_batch_vectorized(
+                    queries, radius, exclude, keys
                 )
-            return self._query_batch_vectorized(queries, radius, exclude, keys)
-        if mode != "loop":
-            raise ValueError(f"unknown mode {mode!r}; expected 'vectorized' or 'loop'")
-        if workers <= 1:
             return [
                 self.query_row(
                     queries, r, radius=radius, exclude=exclude,
@@ -277,34 +319,64 @@ class QueryEngine:
                 )
                 for r in range(n)
             ]
-        if backend == "process":
-            return self._query_batch_fork(queries, radius, workers, exclude, keys)
-        if backend != "thread":
-            raise ValueError(f"unknown backend {backend!r}")
-        engines = [self._clone() for _ in range(workers)]
-        chunks = np.array_split(np.arange(n), workers)
+        return self._query_batch_sharded(
+            queries, radius, workers, exclude, backend, mode, keys
+        )
 
-        def run(worker: int) -> list[tuple[int, QueryResult]]:
-            eng = engines[worker]
-            return [
-                (
-                    int(r),
-                    eng.query_row(
-                        queries, int(r), radius=radius, exclude=exclude,
-                        keys=None if keys is None else keys[int(r)],
-                    ),
-                )
-                for r in chunks[worker]
-            ]
+    def _query_batch_sharded(
+        self,
+        queries: CSRMatrix,
+        radius: float | None,
+        workers: int,
+        exclude: np.ndarray | None,
+        backend: str | None,
+        mode: str,
+        keys: np.ndarray | None,
+    ) -> list[QueryResult]:
+        """Shard a batch over the parallel execution layer.
 
-        results: list[QueryResult | None] = [None] * n
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for part in pool.map(run, range(workers)):
-                for r, res in part:
-                    results[r] = res
-        for eng in engines:
-            self._absorb_stats(eng)
-        return results  # type: ignore[return-value]
+        Q1 runs once here; each worker gets a contiguous ``(B/W, dim)``
+        sub-block plus its slice of the key matrix and runs the kernel on
+        it.  ``B < workers`` simply produces empty shards (a worker
+        answering an empty shard returns an empty list), so tiny batches
+        stay correct.  Workers return plain arrays plus their counters and
+        per-stage wall-clock, which are merged into :attr:`stats` exactly
+        like the serial path would have recorded them.
+        """
+        n = queries.n_rows
+        st = self.stats.stage_times
+        with st.stage("q1_hash"):
+            if keys is None:
+                u = self.hasher.hash_functions(queries)
+                keys = self.hasher.table_keys_batch(u)
+        bounds = shard_bounds(n, workers)
+        tasks = [
+            (
+                queries.slice_rows(int(b0), int(b1)),
+                keys[b0:b1],
+                radius,
+                exclude,
+                mode,
+            )
+            for b0, b1 in zip(bounds[:-1], bounds[1:])
+        ]
+        ex = self.executor(workers, backend)
+        parts = ex.run(_shard_worker, tasks)
+        results: list[QueryResult] = []
+        for payload, (coll, uniq, match), stage_secs in parts:
+            results.extend(
+                QueryResult(indices, distances)
+                for indices, distances in payload
+            )
+            self.stats.n_collisions += coll
+            self.stats.n_unique += uniq
+            self.stats.n_matches += match
+            # Merge the workers' per-stage wall-clock so Figure 5
+            # breakdowns under parallel backends report real numbers.
+            for name, secs in stage_secs.items():
+                self.stats.stage_times.add(name, secs)
+        self.stats.n_queries += n
+        return results
 
     #: Queries per internal block of the vectorized kernel.  Large enough to
     #: amortize dispatch to nothing, small enough that the flat collision /
@@ -377,50 +449,6 @@ class QueryEngine:
         self.stats.n_queries += n
         return results
 
-    def _query_batch_fork(
-        self,
-        queries: CSRMatrix,
-        radius: float | None,
-        workers: int,
-        exclude: np.ndarray | None,
-        keys: np.ndarray | None = None,
-    ) -> list[QueryResult]:
-        """Fork-based parallel batch (see ``query_batch``)."""
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork: fall back to threads
-            return self.query_batch(
-                queries, radius=radius, workers=workers, exclude=exclude,
-                backend="thread", mode="loop", keys=keys,
-            )
-        n = queries.n_rows
-        global _FORK_STATE
-        _FORK_STATE = (self, queries, radius, exclude, keys)
-        chunks = [c.tolist() for c in np.array_split(np.arange(n), workers)]
-        try:
-            with ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_fork_query_chunk, chunks)
-        finally:
-            _FORK_STATE = None
-        results: list[QueryResult] = []
-        n_coll = n_uniq = n_match = 0
-        for part, (coll, uniq, match), stage_secs in parts:
-            for indices, distances in part:
-                results.append(QueryResult(indices, distances))
-            n_coll += coll
-            n_uniq += uniq
-            n_match += match
-            # Merge the workers' per-stage wall-clock like _absorb_stats
-            # does, so Figure 5 breakdowns under backend="process" report
-            # real numbers instead of zeros.
-            for name, secs in stage_secs.items():
-                self.stats.stage_times.add(name, secs)
-        self.stats.n_queries += n
-        self.stats.n_collisions += n_coll
-        self.stats.n_unique += n_uniq
-        self.stats.n_matches += n_match
-        return results
-
     # -- internals ---------------------------------------------------------
 
     def _hash_query(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
@@ -478,29 +506,37 @@ class QueryEngine:
             self.stats.stage_times.add(name, secs)
 
 
-#: (engine, queries, radius, exclude, keys) visible to fork()ed workers —
-#: set just before the pool is created so children inherit it copy-on-write.
-_FORK_STATE: tuple | None = None
+def _shard_worker(
+    engine: QueryEngine,
+    queries: CSRMatrix,
+    keys: np.ndarray,
+    radius: float | None,
+    exclude: np.ndarray | None,
+    mode: str,
+):
+    """Executor task: answer one shard of a batch against ``engine``.
 
-
-def _fork_query_chunk(rows: list[int]):
-    """Worker entry point: run a chunk of queries against the inherited
-    engine and return plain arrays (QueryResult objects re-wrap them in the
-    parent; keeping the payload primitive keeps pickling cheap) plus the
-    counter and per-stage timing payloads the parent merges."""
-    assert _FORK_STATE is not None, "fork state missing in worker"
-    engine, queries, radius, exclude, keys = _FORK_STATE
-    worker_engine = engine._clone()
-    out = []
-    for r in rows:
-        res = worker_engine.query_row(
-            queries, r, radius=radius, exclude=exclude,
-            keys=None if keys is None else keys[r],
-        )
-        out.append((res.indices, res.distances))
-    stats = worker_engine.stats
+    ``engine`` is the executor state — the live object for in-process
+    backends, the fork()ed copy-on-write snapshot for the fork pool.  A
+    clone gives the call private dedup masks/buffers/stats (cheap: it
+    shares tables and data), so concurrent shards never interfere and a
+    warm pool stays re-entrant across batches.  The return payload is
+    plain arrays plus counters and per-stage seconds — primitives keep
+    pickling cheap on the way back through the pool's pipes.
+    """
+    eng = engine._clone()
+    if mode == "vectorized":
+        res = eng._query_batch_vectorized(queries, radius, exclude, keys)
+    else:
+        res = [
+            eng.query_row(
+                queries, r, radius=radius, exclude=exclude, keys=keys[r]
+            )
+            for r in range(queries.n_rows)
+        ]
+    stats = eng.stats
     return (
-        out,
+        [(r.indices, r.distances) for r in res],
         (stats.n_collisions, stats.n_unique, stats.n_matches),
         stats.stage_times.as_dict(),
     )

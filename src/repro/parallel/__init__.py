@@ -1,0 +1,162 @@
+"""The parallel execution layer (Section 5.2 "Parallelism", Figure 8).
+
+The paper treats the executor as a first-class subsystem separate from the
+hash structures — the same split SLASH and distributed-LSH systems make —
+and this package is that layer for the reproduction.  Everything that
+shards work across cores (batch querying, per-table construction, per-node
+cluster broadcast) goes through one :class:`~repro.parallel.executor.Executor`
+protocol with three implementations:
+
+``serial``
+    Runs tasks in the caller; the ``workers == 1`` degenerate case, kept so
+    call sites have exactly one code path.
+``thread``
+    A persistent in-process thread pool.  Scales only where the work
+    releases the GIL (large numpy kernels: table construction, big
+    vectorized shards); also the automatic fallback where ``fork`` does
+    not exist.
+``fork_pool``
+    A persistent pool of fork()ed workers sharing the index copy-on-write
+    — forked once per state object, warm across batches.  The production
+    backend for parallel querying on Linux.
+
+Pick with :func:`make_executor`; ``backend=None`` resolves to
+:func:`default_backend` (``fork_pool`` where available, else ``thread``).
+``PLSH_WORKERS`` in the environment sets the fleet-wide default degree of
+parallelism that :func:`default_workers` reports (used by ``query_batch``
+call sites when the caller does not pass ``workers``); CI runs the whole
+suite under ``PLSH_WORKERS=2`` so this layer cannot rot on the serial
+path.  EXPERIMENTS.md records the scaling each backend actually achieves.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.parallel.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.parallel.fork_pool import ForkPoolExecutor, fork_available
+
+__all__ = [
+    "Executor",
+    "ExecutorCache",
+    "ForkPoolExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_backend",
+    "default_workers",
+    "fork_available",
+    "make_executor",
+    "resolve_backend",
+    "shard_bounds",
+]
+
+#: accepted backend aliases -> canonical names.
+_ALIASES = {
+    "serial": "serial",
+    "thread": "thread",
+    "threads": "thread",
+    "fork_pool": "fork_pool",
+    "fork": "fork_pool",
+    # historical name from the pre-refactor per-batch fork path
+    "process": "fork_pool",
+}
+
+
+def default_backend() -> str:
+    """The production backend for this platform."""
+    return "fork_pool" if fork_available() else "thread"
+
+
+def default_workers() -> int:
+    """Degree of parallelism used when a call site does not specify one.
+
+    Reads ``PLSH_WORKERS`` (default 1 — parallelism is opt-in because the
+    vectorized kernel already saturates one core's memory bandwidth and
+    small batches do not amortize shard/merge overhead).
+    """
+    try:
+        return max(1, int(os.environ.get("PLSH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Canonicalize a backend name, degrading ``fork_pool`` off-platform."""
+    if backend is None:
+        return default_backend()
+    try:
+        name = _ALIASES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(set(_ALIASES))}"
+        ) from None
+    if name == "fork_pool" and not fork_available():
+        return "thread"
+    return name
+
+
+def make_executor(backend: str | None, workers: int, state) -> Executor:
+    """Build an executor over ``state`` (see the class docstrings).
+
+    ``workers <= 1`` always yields a :class:`SerialExecutor` regardless of
+    ``backend`` — one worker has nothing to parallelize, and skipping the
+    pool keeps the degenerate case free.
+    """
+    if workers <= 1:
+        return SerialExecutor(state, 1)
+    name = resolve_backend(backend)
+    if name == "serial":
+        return SerialExecutor(state, 1)
+    if name == "thread":
+        return ThreadExecutor(state, workers)
+    return ForkPoolExecutor(state, workers)
+
+
+class ExecutorCache:
+    """Lazily-created persistent executors over one state object.
+
+    The pattern every parallel call site needs: keep one warm executor per
+    ``(backend, workers)`` pair, recreate it transparently if it was
+    closed, and release everything on ``close()``.  Owners that mutate
+    their state (the streaming node) call ``close()`` to invalidate; the
+    next request re-creates (for the fork pool: re-forks) the executor.
+    """
+
+    def __init__(self, state) -> None:
+        self._state = state
+        self._cache: dict[tuple[str, int], Executor] = {}
+
+    def get(self, workers: int, backend: str | None = None) -> Executor:
+        name = "serial" if workers <= 1 else resolve_backend(backend)
+        key = (name, max(workers, 1))
+        ex = self._cache.get(key)
+        if ex is None or ex.closed:
+            ex = make_executor(name, workers, self._state)
+            self._cache[key] = ex
+        return ex
+
+    def close(self) -> None:
+        """Close and forget every cached executor (idempotent)."""
+        for ex in self._cache.values():
+            ex.close()
+        self._cache.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def shard_bounds(n: int, workers: int) -> np.ndarray:
+    """Contiguous row boundaries splitting ``n`` items over ``workers``.
+
+    Returns ``workers + 1`` int64 offsets; shard ``w`` is
+    ``[bounds[w], bounds[w + 1])``.  ``n < workers`` yields empty shards
+    (tasks must tolerate zero-row inputs) — never an error, so tiny
+    batches stay correct on wide pools.
+    """
+    return np.linspace(0, n, workers + 1).astype(np.int64)

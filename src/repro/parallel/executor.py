@@ -1,0 +1,114 @@
+"""The executor protocol and its in-process implementations.
+
+An :class:`Executor` owns a fixed *state* object (the read-only structure
+the tasks operate on — a query engine, a streaming node, a table-build
+workspace) and runs batches of independent tasks against it:
+
+    ``run(fn, tasks)``  calls ``fn(state, *task)`` for every task and
+    returns the results in task order.
+
+The state is bound at construction because the expensive backend
+(:class:`repro.parallel.fork_pool.ForkPoolExecutor`) transfers it to the
+workers exactly once, by ``fork()`` copy-on-write — the paper's "multiple
+cores concurrently access the same set of hash tables" realized without
+pickling gigabytes of tables per batch.  The in-process executors here
+share the state directly; ``fn`` must therefore treat it as read-only (or
+clone the mutable parts, as the query layer does).
+
+Lifecycle: executors hold OS resources (threads, processes, pipes) and must
+be released with :meth:`Executor.close` or a ``with`` block.  ``close`` is
+idempotent; a closed executor raises on ``run``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor"]
+
+
+class Executor:
+    """Base class / protocol: run independent tasks against shared state."""
+
+    #: degree of parallelism this executor was built with.
+    workers: int = 1
+    #: backend name, for reporting ("serial" / "thread" / "fork_pool").
+    backend: str = "serial"
+
+    def __init__(self, state: Any, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._state = state
+        self._closed = False
+
+    def run(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> list[Any]:
+        """Execute ``fn(state, *task)`` for every task, results in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every task in the calling thread (the ``workers == 1`` path)."""
+
+    backend = "serial"
+
+    def run(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> list[Any]:
+        self._check_open()
+        return [fn(self._state, *task) for task in tasks]
+
+
+class ThreadExecutor(Executor):
+    """A persistent thread pool sharing the state in-process.
+
+    Threads see the *live* state object, so mutations made between batches
+    (e.g. a streaming merge) are visible immediately — no re-fork needed.
+    The flip side is the GIL: this backend only scales when ``fn`` spends
+    its time in GIL-releasing kernels (large numpy calls), which is true
+    for the vectorized batch kernel on large shards and for table
+    construction, but not for the per-query loop (EXPERIMENTS.md records
+    the measured reality).
+    """
+
+    backend = "thread"
+
+    def __init__(self, state: Any, workers: int) -> None:
+        super().__init__(state, workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="plsh-worker"
+        )
+
+    def run(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> list[Any]:
+        self._check_open()
+        state = self._state
+        futures = [self._pool.submit(fn, state, *task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+        super().close()

@@ -1,0 +1,166 @@
+"""``ForkPoolExecutor`` — a persistent pool of fork()ed workers.
+
+The closest Python analogue of the paper's multithreaded query engine
+(Section 5.2 "Parallelism"): every worker addresses the *same* hash tables
+— here via ``fork()`` copy-on-write pages instead of shared-memory threads
+— and the pool pays its setup cost once, not once per batch.
+
+Design:
+
+* **Fork once per state.**  The pool forks its workers at construction,
+  while the state object (query engine, streaming node, ...) is reachable
+  from the parent.  With the ``fork`` start method the child inherits the
+  parent's address space, so multi-gigabyte tables transfer for the cost
+  of a page-table copy and are shared read-only thereafter.  Nothing is
+  pickled at setup time.
+* **Stay warm across batches.**  Each worker sits in a receive loop on a
+  private pipe.  A ``run(fn, tasks)`` call round-robins the tasks over the
+  workers; only the per-batch payload (a query shard, its key slice) and
+  the results cross the pipes.  ``fn`` must be a module-level function —
+  it is pickled *by reference* (a qualified name), never by value.
+* **Owned state, no module globals.**  All worker state hangs off the pool
+  instance; two pools in one process cannot interfere, and a pool's
+  workers die with it (``close()``, context-manager exit, or GC).
+
+Workers are daemonic, so an abandoned pool cannot outlive the parent.  A
+worker that dies mid-batch surfaces as a :class:`RuntimeError` in the
+parent; an exception raised by ``fn`` is re-raised in the parent with the
+worker's traceback appended.
+
+Platforms without ``fork`` (Windows, some macOS configurations) cannot use
+this class at all — :func:`fork_available` reports that, and the factory
+in :mod:`repro.parallel` silently substitutes a :class:`ThreadExecutor`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.parallel.executor import Executor
+
+__all__ = ["ForkPoolExecutor", "fork_available"]
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return hasattr(os, "fork")
+
+
+def _worker_loop(conn, state: Any) -> None:
+    """Worker entry point: serve (fn, task) requests until told to stop.
+
+    ``state`` arrives through fork inheritance (never pickled); ``fn``
+    arrives per request, pickled by reference.  BaseException is caught so
+    a failing task degrades to an error reply instead of a dead worker.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        fn, task = msg
+        try:
+            reply = (True, fn(state, *task))
+        except BaseException:
+            reply = (False, traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break  # parent closed the pool mid-batch
+    conn.close()
+
+
+class ForkPoolExecutor(Executor):
+    """Persistent fork()ed worker pool (see module docstring)."""
+
+    backend = "fork_pool"
+
+    def __init__(self, state: Any, workers: int) -> None:
+        super().__init__(state, workers)
+        ctx = multiprocessing.get_context("fork")  # raises off-platform
+        self._procs = []
+        self._conns = []
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_loop,
+                    args=(child_conn, state),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # parent keeps only its end
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self.close()
+            raise
+
+    def run(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> list[Any]:
+        self._check_open()
+        n = len(tasks)
+        # Round-robin with at most ONE task in flight per worker: task i
+        # goes to worker i % W, and task i + W is sent only after result i
+        # is consumed.  Flooding all tasks up front could deadlock once
+        # payloads outgrow the pipe buffer (worker blocked sending reply
+        # k, parent blocked sending task k+2W into the same full pipe).
+        for i, task in enumerate(tasks[: self.workers]):
+            self._conns[i % self.workers].send((fn, task))
+        results: list[Any] = [None] * n
+        for i in range(n):
+            conn = self._conns[i % self.workers]
+            try:
+                ok, payload = conn.recv()
+            except (EOFError, OSError):
+                proc = self._procs[i % self.workers]
+                self.close()
+                raise RuntimeError(
+                    f"fork-pool worker died (exitcode {proc.exitcode}) "
+                    f"while processing task {i}"
+                ) from None
+            if not ok:
+                self.close()
+                raise RuntimeError(
+                    f"fork-pool worker raised on task {i}:\n{payload}"
+                )
+            results[i] = payload
+            if i + self.workers < n:
+                conn.send((fn, tasks[i + self.workers]))
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        super().close()
+
+    def __del__(self) -> None:  # best effort: don't leak processes on GC
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -23,6 +23,7 @@ from repro.core.distance import angular_distance
 from repro.core.hashing import AllPairsHasher
 from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult
+from repro.parallel import ExecutorCache, default_workers, shard_bounds
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import row_dots_dense, row_dots_dense_batch
@@ -69,6 +70,35 @@ class StreamingPLSH:
         self.deletions = DeletionFilter(capacity)
         self.n_merges = 0
         self.times = StageTimes()
+        #: persistent executors for parallel batch queries.  A fork pool
+        #: snapshots the node copy-on-write, so *any* mutation
+        #: (insert/merge/delete/retire) invalidates the cache and the next
+        #: parallel batch re-forks; between mutations — the read-heavy
+        #: common case — pools stay warm across batches.
+        self._executors = ExecutorCache(self)
+
+    # -- executor lifecycle --------------------------------------------------
+
+    def _executor(self, workers: int, backend: str | None):
+        return self._executors.get(workers, backend)
+
+    def _invalidate_executors(self) -> None:
+        """Drop pooled workers whose copy-on-write snapshot went stale."""
+        self._executors.close()
+
+    def close(self) -> None:
+        """Release persistent worker pools (idempotent); also closes the
+        static engine's pools.  Nodes queried only with ``workers == 1``
+        hold no pools and need no close."""
+        self._invalidate_executors()
+        if self.static.engine is not None:
+            self.static.engine.close()
+
+    def __enter__(self) -> "StreamingPLSH":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- sizes -------------------------------------------------------------
 
@@ -113,6 +143,7 @@ class StreamingPLSH:
             )
         with self.times.stage("insert"):
             local = self.delta.insert_batch(vectors) + self.n_static
+        self._invalidate_executors()
         if self.auto_merge and self.n_delta >= self.delta_threshold:
             self.merge_now()
         return local
@@ -122,16 +153,24 @@ class StreamingPLSH:
         if self.n_delta == 0:
             return
         with self.times.stage("merge"):
-            self.static = merge_into_static(self.static, self.delta)
+            old = self.static
+            self.static = merge_into_static(old, self.delta)
             self.delta.clear()
             self.n_merges += 1
+        self._invalidate_executors()
+        if old.engine is not None:
+            old.engine.close()
 
     def delete(self, local_ids: np.ndarray | int) -> int:
         """Tombstone rows by node-local id; returns newly deleted count."""
-        return self.deletions.delete(local_ids)
+        n = self.deletions.delete(local_ids)
+        if n:
+            self._invalidate_executors()
+        return n
 
     def retire(self) -> None:
         """Erase the node wholesale (the paper's expiration mechanism)."""
+        self.close()
         self.static = PLSHIndex(self.dim, self.params, hasher=self.hasher)
         self.static.build(CSRMatrix.empty(self.dim))
         self.delta.clear()
@@ -176,15 +215,29 @@ class StreamingPLSH:
         *,
         radius: float | None = None,
         mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> list[QueryResult]:
         """Batch R-near-neighbor queries across static + delta.
 
-        ``mode="vectorized"`` (the default) hashes the whole batch once,
-        shares the ``(B, L)`` key matrix between the static and delta
-        structures, runs the static side through the batch kernel and the
-        delta side through the segmented dedup / blocked-dot pipeline with a
-        single vectorized deletion-filter screen per side.  ``mode="loop"``
-        is the per-query path, kept for ablation.
+        ``mode="vectorized"`` (the default) hashes the whole batch *once*
+        in the parent and shares the ``(B, L)`` key matrix between the
+        static and delta structures; the static side runs the batch kernel
+        and the delta side the segmented dedup / blocked-dot pipeline, each
+        with a single vectorized deletion-filter screen.  ``mode="loop"``
+        is the per-query path, kept for ablation (always serial).
+
+        ``workers > 1`` shards the batch over the :mod:`repro.parallel`
+        layer: each worker answers a contiguous sub-block against *both*
+        structures with the same key slice, so the static/delta split —
+        and therefore every merge boundary — is identical in every shard
+        and results are bit-identical to ``workers=1``.  ``backend`` picks
+        the executor (persistent fork pool on Linux by default, threads
+        otherwise); the pool snapshots the node at fork time and is
+        re-forked automatically after any insert/merge/delete.  ``None``
+        defers to ``PLSH_WORKERS``.  Worker engine counters and per-stage
+        times are merged back into the static engine's ``QueryStats`` and
+        node times, so Figure 5/11 breakdowns stay real under parallelism.
         """
         if mode is None:
             mode = "vectorized"
@@ -201,23 +254,76 @@ class StreamingPLSH:
         n = queries.n_rows
         if n == 0:
             return []
-        # Hash once, use twice (static + delta share the key matrix).
+        if workers is None:
+            workers = default_workers()
+        # Hash once, use everywhere (static + delta + every shard share
+        # the key matrix).
         u = self.hasher.hash_functions(queries)
         keys = self.hasher.table_keys_batch(u)
+        if workers <= 1:
+            return self._query_batch_shard(queries, radius, keys)
 
+        bounds = shard_bounds(n, workers)
+        tasks = [
+            (queries.slice_rows(int(b0), int(b1)), keys[b0:b1], radius)
+            for b0, b1 in zip(bounds[:-1], bounds[1:])
+        ]
+        ex = self._executor(workers, backend)
+        parts = ex.run(_node_shard_worker, tasks)
+        results: list[QueryResult] = []
+        engine = self.static.engine
+        for payload, (counters, eng_stages), node_stages in parts:
+            results.extend(
+                QueryResult(indices, distances)
+                for indices, distances in payload
+            )
+            if engine is not None:
+                nq, coll, uniq, match = counters
+                engine.stats.n_queries += nq
+                engine.stats.n_collisions += coll
+                engine.stats.n_unique += uniq
+                engine.stats.n_matches += match
+                for name, secs in eng_stages.items():
+                    engine.stats.stage_times.add(name, secs)
+            for name, secs in node_stages.items():
+                self.times.add(name, secs)
+        return results
+
+    def _query_batch_shard(
+        self,
+        queries: CSRMatrix,
+        radius: float,
+        keys: np.ndarray,
+        *,
+        engine=None,
+        times: StageTimes | None = None,
+    ) -> list[QueryResult]:
+        """Answer one contiguous sub-block given precomputed keys.
+
+        This is the unit of work the parallel layer distributes: static
+        batch kernel + delta pipeline + per-query concatenation, all
+        against the same key slice.  ``engine`` lets a worker substitute a
+        private clone of the static engine (private dedup/buffers/stats);
+        ``times`` likewise redirects stage accounting to a private
+        ``StageTimes`` the parent merges later.
+        """
+        n = queries.n_rows
+        times = self.times if times is None else times
         empty = QueryResult(
             np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
         )
-        with self.times.stage("query_static"):
+        with times.stage("query_static"):
             if self.n_static:
+                if engine is None:
+                    engine = self.static.engine
                 exclude = self.deletions.mask(self.n_static)
-                static_res = self.static.query_batch(
+                static_res = engine.query_batch(
                     queries, radius=radius, exclude=exclude, keys=keys,
-                    mode="vectorized",
+                    mode="vectorized", workers=1,
                 )
             else:
                 static_res = [empty] * n
-        with self.times.stage("query_delta"):
+        with times.stage("query_delta"):
             delta_res = self._query_delta_batch(queries, radius, keys)
         return [
             QueryResult(
@@ -301,3 +407,34 @@ class StreamingPLSH:
             )
             for b in range(n)
         ]
+
+
+def _node_shard_worker(
+    node: StreamingPLSH, queries: CSRMatrix, keys: np.ndarray, radius: float
+):
+    """Executor task: answer one shard against both node structures.
+
+    ``node`` is the executor state (the fork()ed copy-on-write snapshot,
+    or the live node for in-process backends).  The static side runs on a
+    private engine clone and stage times go to a private ``StageTimes``,
+    so concurrent shards never contend; both are returned as primitives
+    for the parent to merge.
+    """
+    engine = node.static.engine
+    eng = engine._clone() if (node.n_static and engine is not None) else None
+    times = StageTimes()
+    results = node._query_batch_shard(
+        queries, radius, keys, engine=eng, times=times
+    )
+    if eng is not None:
+        s = eng.stats
+        counters = (s.n_queries, s.n_collisions, s.n_unique, s.n_matches)
+        eng_stages = s.stage_times.as_dict()
+    else:
+        counters = (0, 0, 0, 0)
+        eng_stages = {}
+    return (
+        [(r.indices, r.distances) for r in results],
+        (counters, eng_stages),
+        times.as_dict(),
+    )

@@ -105,3 +105,27 @@ def test_query_batch_empty(setup, small_queries):
     coordinator, _, _, _ = setup
     _, queries = small_queries
     assert coordinator.query_batch(queries.slice_rows(0, 0)) == []
+
+
+def test_query_batch_sharded_matches_serial(setup, small_queries):
+    """workers > 1 shards every node's batch through that node's own
+    persistent pool (repro.parallel) — bit-identical per-node results,
+    so bit-identical merged broadcasts."""
+    coordinator, nodes, _, _ = setup
+    _, queries = small_queries
+    batch = queries.slice_rows(0, 8)
+    try:
+        serial = coordinator.query_batch(batch, workers=1)
+        sharded = coordinator.query_batch(batch, workers=2)
+        assert len(serial) == len(sharded) == 8
+        for a, b in zip(serial, sharded):
+            np.testing.assert_array_equal(a.result.indices, b.result.indices)
+            np.testing.assert_array_equal(
+                a.result.distances, b.result.distances
+            )
+        # Per-node pools: every non-empty node now owns warm executors.
+        assert all(n.plsh._executors for n in nodes if n.n_items)
+    finally:
+        for n in nodes:
+            n.close()
+    assert all(not n.plsh._executors for n in nodes)

@@ -1,53 +1,254 @@
-"""Parallel query backends and parallel table construction."""
+"""Parallel batch querying and parallel table construction.
+
+The contract of the :mod:`repro.parallel` refactor: sharding the vectorized
+kernel over workers — any backend — is **bit-identical** to ``workers=1``,
+the persistent pools stay warm and correct across batches, and worker
+counters/stage-times merge back into the parent's ``QueryStats``.
+"""
 
 from __future__ import annotations
 
-import sys
-
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro import PLSHIndex
+from repro import PLSHIndex, PLSHParams
+from repro.core.query import QueryEngine
 from repro.core.tables import StaticTableSet
+from repro.parallel import fork_available
+from repro.sparse.csr import CSRMatrix
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform without fork"
+)
+
+PARALLEL_BACKENDS = [
+    "thread",
+    pytest.param("fork_pool", marks=needs_fork),
+]
 
 
-class TestProcessBackend:
-    @pytest.mark.skipif(
-        not sys.platform.startswith("linux"), reason="fork-based backend"
+def _assert_bit_identical(a_list, b_list):
+    assert len(a_list) == len(b_list)
+    for a, b in zip(a_list, b_list):
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+def _make_engine(built_index) -> QueryEngine:
+    return QueryEngine(
+        built_index.tables,
+        built_index.data,
+        built_index.hasher,
+        built_index.params,
     )
-    def test_matches_serial(self, built_index, small_queries):
+
+
+def _random_corpus(rng, n_rows: int, n_cols: int, density: float) -> CSRMatrix:
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    for r in range(n_rows):
+        if not dense[r].any():
+            dense[r, int(rng.integers(n_cols))] = 1.0
+    return CSRMatrix.from_dense(dense.astype(np.float32)).normalized()
+
+
+class TestShardedVectorizedParity:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_matches_serial_bit_identical(
+        self, built_index, small_queries, backend
+    ):
         _, queries = small_queries
-        engine = built_index.engine
-        serial = engine.query_batch(queries)
-        forked = engine.query_batch(queries, workers=2, backend="process")
-        assert len(serial) == len(forked)
-        for a, b in zip(serial, forked):
-            np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
-            np.testing.assert_allclose(
-                np.sort(a.distances), np.sort(b.distances), rtol=1e-6
+        with _make_engine(built_index) as engine:
+            serial = engine.query_batch(queries, workers=1)
+            sharded = engine.query_batch(queries, workers=2, backend=backend)
+            _assert_bit_identical(serial, sharded)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_exclude_mask_parity(self, built_index, small_queries, backend):
+        _, queries = small_queries
+        rng = np.random.default_rng(11)
+        exclude = rng.random(built_index.n_items) < 0.4
+        with _make_engine(built_index) as engine:
+            _assert_bit_identical(
+                engine.query_batch(queries, workers=1, exclude=exclude),
+                engine.query_batch(
+                    queries, workers=2, backend=backend, exclude=exclude
+                ),
             )
 
-    @pytest.mark.skipif(
-        not sys.platform.startswith("linux"), reason="fork-based backend"
-    )
-    def test_stats_aggregated_from_children(self, built_index, small_queries):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_precomputed_keys_parity(self, built_index, small_queries, backend):
         _, queries = small_queries
-        engine = built_index.engine
-        before = engine.stats.n_queries
-        engine.query_batch(queries, workers=2, backend="process")
-        assert engine.stats.n_queries - before == queries.n_rows
+        keys = built_index.hasher.table_keys_batch(
+            built_index.hasher.hash_functions(queries)
+        )
+        with _make_engine(built_index) as engine:
+            _assert_bit_identical(
+                engine.query_batch(queries, workers=1, keys=keys),
+                engine.query_batch(
+                    queries, workers=2, backend=backend, keys=keys
+                ),
+            )
 
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_empty_shards_when_batch_smaller_than_workers(
+        self, built_index, small_queries, backend
+    ):
+        """B < workers leaves some shards empty; results must still be
+        complete, ordered, and bit-identical."""
+        _, queries = small_queries
+        tiny = queries.slice_rows(0, 3)
+        with _make_engine(built_index) as engine:
+            _assert_bit_identical(
+                engine.query_batch(tiny, workers=1),
+                engine.query_batch(tiny, workers=8, backend=backend),
+            )
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_loop_mode_parity(self, built_index, small_queries, backend):
+        _, queries = small_queries
+        with _make_engine(built_index) as engine:
+            _assert_bit_identical(
+                engine.query_batch(queries, workers=1, mode="loop"),
+                engine.query_batch(
+                    queries, workers=2, backend=backend, mode="loop"
+                ),
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    @needs_fork
+    def test_random_corpora_parity(self, data):
+        """Property: sharded fork-pool answers are bit-identical to serial
+        vectorized over random corpora, query mixes and worker counts."""
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        n_rows = data.draw(st.integers(20, 100), label="n_rows")
+        n_cols = data.draw(st.integers(16, 48), label="n_cols")
+        workers = data.draw(st.integers(2, 5), label="workers")
+        rng = np.random.default_rng(seed)
+        vectors = _random_corpus(rng, n_rows, n_cols, density=0.2)
+        params = PLSHParams(k=4, m=4, radius=0.9, seed=seed)
+        with PLSHIndex(n_cols, params).build(vectors) as index:
+            n_q = data.draw(st.integers(1, 10), label="n_q")
+            queries = CSRMatrix.vstack(
+                [
+                    vectors.gather_rows(
+                        rng.integers(0, n_rows, size=max(1, n_q // 2))
+                    ),
+                    _random_corpus(rng, n_q, n_cols, density=0.1),
+                ]
+            )
+            _assert_bit_identical(
+                index.query_batch(queries, workers=1),
+                index.query_batch(
+                    queries, workers=workers, backend="fork_pool"
+                ),
+            )
+
+
+class TestPoolLifecycle:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_pool_survives_three_batches(
+        self, built_index, small_queries, backend
+    ):
+        """The pool forks/spins up once and must answer correctly across
+        >= 3 consecutive batches (persistent, warm, re-entrant)."""
+        _, queries = small_queries
+        with _make_engine(built_index) as engine:
+            serial = engine.query_batch(queries, workers=1)
+            first_ex = engine.executor(2, backend)
+            for _ in range(3):
+                _assert_bit_identical(
+                    serial,
+                    engine.query_batch(queries, workers=2, backend=backend),
+                )
+            # Same executor object the whole time — no silent re-creation.
+            assert engine.executor(2, backend) is first_ex
+
+    def test_engine_close_is_idempotent(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = _make_engine(built_index)
+        engine.query_batch(queries, workers=2, backend="thread")
+        assert engine._executors
+        engine.close()
+        assert not engine._executors
+        engine.close()
+        # A closed engine can still serve serial batches...
+        assert len(engine.query_batch(queries)) == queries.n_rows
+        # ...and transparently rebuilds a pool if asked to parallelize.
+        out = engine.query_batch(queries, workers=2, backend="thread")
+        assert len(out) == queries.n_rows
+        engine.close()
+
+    def test_index_context_manager_closes_engine(
+        self, small_vectors, small_params, small_queries
+    ):
+        _, queries = small_queries
+        with PLSHIndex(small_vectors.n_cols, small_params).build(
+            small_vectors
+        ) as index:
+            index.query_batch(queries, workers=2, backend="thread")
+            assert index.engine._executors
+        assert not index.engine._executors
+
+
+class TestStatsMerging:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_counters_match_serial(self, built_index, small_queries, backend):
+        _, queries = small_queries
+        with _make_engine(built_index) as serial_eng, _make_engine(
+            built_index
+        ) as par_eng:
+            serial_eng.query_batch(queries, workers=1)
+            par_eng.query_batch(queries, workers=2, backend=backend)
+            assert par_eng.stats.n_queries == serial_eng.stats.n_queries
+            assert par_eng.stats.n_collisions == serial_eng.stats.n_collisions
+            assert par_eng.stats.n_unique == serial_eng.stats.n_unique
+            assert par_eng.stats.n_matches == serial_eng.stats.n_matches
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_worker_stage_times_merged(
+        self, built_index, small_queries, backend
+    ):
+        """Figure 5 breakdowns under parallel backends must see real
+        per-stage seconds, not zeros: workers return their StageTimes dict
+        and the parent merges it."""
+        _, queries = small_queries
+        with _make_engine(built_index) as engine:
+            engine.query_batch(queries, workers=2, backend=backend)
+            times = engine.stats.stage_times
+            for name in ("q1_hash", "q2_dedup", "q3_distance", "q4_filter"):
+                assert name in times, f"missing stage {name}"
+            assert times.total > 0.0
+
+
+class TestBackendValidation:
     def test_unknown_backend_raises(self, built_index, small_queries):
         _, queries = small_queries
         with pytest.raises(ValueError):
-            built_index.engine.query_batch(queries, workers=2, backend="mpi")
+            built_index.query_batch(queries, workers=2, backend="mpi")
 
     def test_single_worker_ignores_backend(self, built_index, small_queries):
         _, queries = small_queries
-        out = built_index.engine.query_batch(
-            queries.slice_rows(0, 3), workers=1, backend="process"
-        )
-        assert len(out) == 3
+        with _make_engine(built_index) as engine:
+            out = engine.query_batch(
+                queries.slice_rows(0, 3), workers=1, backend="fork_pool"
+            )
+            assert len(out) == 3
+            assert not engine._executors  # no pool was created
+
+    def test_legacy_process_alias_still_works(
+        self, built_index, small_queries
+    ):
+        _, queries = small_queries
+        with _make_engine(built_index) as engine:
+            _assert_bit_identical(
+                engine.query_batch(queries, workers=1),
+                engine.query_batch(queries, workers=2, backend="process"),
+            )
 
 
 class TestParallelBuild:
@@ -75,25 +276,3 @@ class TestNearest:
         assert (np.diff(res.distances) >= 0).all()
         if len(res):
             assert res.indices[0] == 7  # self at distance 0
-
-
-class TestForkStageTimes:
-    @pytest.mark.skipif(
-        not sys.platform.startswith("linux"), reason="fork-based backend"
-    )
-    def test_fork_backend_reports_stage_times(self, built_index, small_queries):
-        """Figure 5 breakdowns under backend="process" must see real
-        per-stage seconds, not zeros: workers return their StageTimes dict
-        and the parent merges it."""
-        from repro.core.query import QueryEngine
-
-        _, queries = small_queries
-        engine = QueryEngine(
-            built_index.tables, built_index.data, built_index.hasher,
-            built_index.params,
-        )
-        engine.query_batch(queries, workers=2, backend="process")
-        times = engine.stats.stage_times
-        for name in ("q1_hash", "q2_dedup", "q3_distance", "q4_filter"):
-            assert name in times, f"missing stage {name}"
-        assert times.total > 0.0

@@ -132,26 +132,40 @@ class TestVectorizedOnFixture:
         def boom(*a, **k):
             raise AssertionError("batch kernel used on an ablation engine")
 
+        # workers=1 pins the serial path: the sharded path runs the kernel
+        # on worker-side clones, which a monkeypatched bound method cannot
+        # observe.
         ablation = make_engine(
             built_index, dedup="set", dots="naive", reuse_buffers=False
         )
         ablation._query_batch_vectorized = boom
-        ablation.query_batch(queries.slice_rows(0, 2))  # must not raise
+        ablation.query_batch(queries.slice_rows(0, 2), workers=1)  # must not raise
 
         production = make_engine(built_index)
         production._query_batch_vectorized = boom
         with pytest.raises(AssertionError):
-            production.query_batch(queries.slice_rows(0, 2))
+            production.query_batch(queries.slice_rows(0, 2), workers=1)
         # Explicit override still reaches the kernel on an ablation engine.
         ablation2 = make_engine(built_index, dedup="set")
         ablation2._query_batch_vectorized = boom
         with pytest.raises(AssertionError):
-            ablation2.query_batch(queries.slice_rows(0, 2), mode="vectorized")
+            ablation2.query_batch(
+                queries.slice_rows(0, 2), mode="vectorized", workers=1
+            )
 
-    def test_vectorized_rejects_workers(self, built_index, small_queries):
+    def test_vectorized_accepts_workers(self, built_index, small_queries):
+        """``mode="vectorized", workers > 1`` is the production path now
+        (the PR 1 kernel sharded over the parallel layer) and must stay
+        bit-identical to the serial kernel."""
         _, queries = small_queries
-        with pytest.raises(ValueError):
-            built_index.query_batch(queries, mode="vectorized", workers=2)
+        engine = make_engine(built_index)
+        try:
+            _assert_bit_identical(
+                engine.query_batch(queries, mode="vectorized", workers=1),
+                engine.query_batch(queries, mode="vectorized", workers=2),
+            )
+        finally:
+            engine.close()
 
     def test_unknown_mode_raises(self, built_index, small_queries):
         _, queries = small_queries

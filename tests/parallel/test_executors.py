@@ -1,0 +1,201 @@
+"""Unit tests for the parallel execution layer (repro.parallel).
+
+The executor protocol is the contract every parallel call site leans on:
+results in task order, state shared with workers, errors surfaced, pools
+persistent-but-closable.  These tests exercise the layer in isolation with
+plain functions; the query/build call sites have their own parity tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ForkPoolExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_backend,
+    default_workers,
+    fork_available,
+    make_executor,
+    resolve_backend,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform without fork"
+)
+
+
+def _add(state, x, y):
+    return state + x + y
+
+
+def _scale_row(state, i):
+    # state is a shared numpy array; workers read it.
+    return float(state[i] * 2)
+
+
+def _boom(state):
+    raise RuntimeError("task exploded")
+
+
+ALL_BACKENDS = ["serial", "thread", "fork_pool"]
+
+
+def _make(backend, state, workers=3):
+    if backend == "fork_pool" and not fork_available():
+        pytest.skip("platform without fork")
+    return make_executor(backend, workers, state)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_results_in_task_order(self, backend):
+        with _make(backend, 100) as ex:
+            out = ex.run(_add, [(i, 2 * i) for i in range(17)])
+        assert out == [100 + 3 * i for i in range(17)]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_shared_array_state(self, backend):
+        arr = np.arange(10, dtype=np.float64)
+        with _make(backend, arr) as ex:
+            out = ex.run(_scale_row, [(i,) for i in range(10)])
+        assert out == [2.0 * i for i in range(10)]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_empty_task_list(self, backend):
+        with _make(backend, None) as ex:
+            assert ex.run(_add, []) == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_more_tasks_than_workers(self, backend):
+        with _make(backend, 0, workers=2) as ex:
+            out = ex.run(_add, [(i, 0) for i in range(11)])
+        assert out == list(range(11))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_pool_survives_consecutive_batches(self, backend):
+        """A warm pool must answer correctly across >= 3 batches."""
+        with _make(backend, 5) as ex:
+            for batch in range(3):
+                out = ex.run(_add, [(batch, i) for i in range(6)])
+                assert out == [5 + batch + i for i in range(6)]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_close_is_idempotent_and_run_after_close_raises(self, backend):
+        ex = _make(backend, 1)
+        ex.run(_add, [(1, 1)])
+        ex.close()
+        ex.close()  # idempotent
+        assert ex.closed
+        with pytest.raises(RuntimeError):
+            ex.run(_add, [(1, 1)])
+
+
+class TestErrors:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_task_exception_propagates(self, backend):
+        ex = _make(backend, None)
+        try:
+            with pytest.raises(RuntimeError, match="task exploded"):
+                ex.run(_boom, [()])
+        finally:
+            ex.close()
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(None, 0)
+
+
+class TestForkPool:
+    @needs_fork
+    def test_state_transferred_by_fork_not_pickle(self):
+        """An unpicklable state object must still reach the workers —
+        that is the whole point of fork copy-on-write transfer."""
+        state = {"fn": lambda x: x + 1, "arr": np.arange(4)}  # lambda: unpicklable
+        with ForkPoolExecutor(state, 2) as ex:
+            out = ex.run(_apply_state_fn, [(3,), (7,)])
+        assert out == [4, 8]
+
+    @needs_fork
+    def test_worker_processes_die_on_close(self):
+        ex = ForkPoolExecutor(None, 2)
+        procs = list(ex._procs)
+        assert all(p.is_alive() for p in procs)
+        ex.close()
+        assert all(not p.is_alive() for p in procs)
+
+    @needs_fork
+    def test_worker_death_surfaces(self):
+        ex = ForkPoolExecutor(None, 2)
+        try:
+            with pytest.raises(RuntimeError, match="died"):
+                ex.run(_exit_hard, [()])
+        finally:
+            ex.close()
+
+    @needs_fork
+    def test_many_large_payload_tasks_do_not_deadlock(self):
+        """More tasks than workers with multi-megabyte requests AND
+        replies: run() must keep at most one task in flight per worker,
+        otherwise both sides block on full pipe buffers (64 KB) forever."""
+        big = np.ones(1 << 19, dtype=np.float64)  # 4 MB per direction
+        with ForkPoolExecutor(None, 2) as ex:
+            out = ex.run(_echo_sum, [(big, i) for i in range(7)])
+        assert [s for s, _ in out] == [float(big.sum())] * 7
+        assert all(arr.nbytes == big.nbytes for _, arr in out)
+
+
+def _apply_state_fn(state, x):
+    return state["fn"](x)
+
+
+def _exit_hard(state):
+    os._exit(3)
+
+
+def _echo_sum(state, arr, i):
+    return float(arr.sum()), arr
+
+
+class TestFactory:
+    def test_workers_one_is_always_serial(self):
+        for backend in (None, "thread", "fork_pool", "process"):
+            ex = make_executor(backend, 1, None)
+            assert isinstance(ex, SerialExecutor)
+            ex.close()
+
+    def test_aliases_resolve(self):
+        assert resolve_backend("threads") == "thread"
+        if fork_available():
+            assert resolve_backend("process") == "fork_pool"
+            assert resolve_backend("fork") == "fork_pool"
+            assert resolve_backend(None) == "fork_pool"
+            assert default_backend() == "fork_pool"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("mpi")
+
+    def test_fork_pool_degrades_to_thread_without_fork(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "fork_available", lambda: False)
+        assert par.resolve_backend("fork_pool") == "thread"
+        assert par.default_backend() == "thread"
+        ex = par.make_executor(None, 2, None)
+        try:
+            assert isinstance(ex, ThreadExecutor)
+        finally:
+            ex.close()
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("PLSH_WORKERS", raising=False)
+        assert default_workers() == 1
+        monkeypatch.setenv("PLSH_WORKERS", "4")
+        assert default_workers() == 4
+        monkeypatch.setenv("PLSH_WORKERS", "junk")
+        assert default_workers() == 1

@@ -9,11 +9,23 @@ including across a merge boundary (answers invariant to where rows sit).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
+from repro.parallel import fork_available
 from repro.params import PLSHParams
 from repro.streaming.node import StreamingPLSH
 
 PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+
+PARALLEL_BACKENDS = [
+    "thread",
+    pytest.param(
+        "fork_pool",
+        marks=pytest.mark.skipif(
+            not fork_available(), reason="platform without fork"
+        ),
+    ),
+]
 
 
 def _assert_bit_identical(a_list, b_list):
@@ -94,3 +106,130 @@ def test_empty_node_and_empty_batch(small_vectors, small_queries):
     assert len(results) == queries.n_rows
     assert all(len(r) == 0 for r in results)
     assert node.query_batch(small_vectors.slice_rows(0, 0)) == []
+
+
+# -- parallel sharding (the repro.parallel execution layer) -----------------
+
+
+def _mid_merge_node(small_vectors) -> StreamingPLSH:
+    """A node caught between merges: 1200 static rows + 800 delta rows."""
+    node = StreamingPLSH(
+        small_vectors.n_cols, PARAMS, capacity=4000, delta_fraction=0.9,
+        auto_merge=False,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 1200))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(1200, 2000))
+    return node
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_sharded_matches_serial_mid_merge(small_vectors, small_queries, backend):
+    """Sharded batches on a node holding static AND delta rows must be
+    bit-identical to workers=1: every shard sees the same static/delta
+    boundary because all shards share one key matrix and one node state."""
+    _, queries = small_queries
+    node = _mid_merge_node(small_vectors)
+    try:
+        serial = node.query_batch(queries, workers=1)
+        sharded = node.query_batch(queries, workers=3, backend=backend)
+        _assert_bit_identical(serial, sharded)
+    finally:
+        node.close()
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_sharded_respects_deletions(small_vectors, small_queries, backend):
+    _, queries = small_queries
+    node = _mid_merge_node(small_vectors)
+    try:
+        deleted = np.concatenate(
+            [np.arange(0, 1200, 7), np.arange(1200, 2000, 11)]
+        )
+        node.delete(deleted)
+        serial = node.query_batch(queries, workers=1)
+        sharded = node.query_batch(queries, workers=2, backend=backend)
+        _assert_bit_identical(serial, sharded)
+        gone = set(deleted.tolist())
+        for res in sharded:
+            assert gone.isdisjoint(res.indices.tolist())
+    finally:
+        node.close()
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_pool_survives_batches_and_mutations(small_vectors, small_queries, backend):
+    """A node pool stays warm across >= 3 consecutive batches, and any
+    mutation (insert/merge/delete) invalidates it so the next parallel
+    batch sees the new state instead of a stale fork snapshot."""
+    _, queries = small_queries
+    node = _mid_merge_node(small_vectors)
+    try:
+        serial = node.query_batch(queries, workers=1)
+        first_ex = node._executor(2, backend)
+        for _ in range(3):
+            _assert_bit_identical(
+                serial, node.query_batch(queries, workers=2, backend=backend)
+            )
+        assert node._executor(2, backend) is first_ex  # stayed warm
+
+        node.merge_now()  # mutation: snapshot stale -> pool dropped
+        assert not node._executors
+        _assert_bit_identical(
+            node.query_batch(queries, workers=1),
+            node.query_batch(queries, workers=2, backend=backend),
+        )
+
+        node.delete(np.arange(0, 2000, 5))  # mutation again
+        assert not node._executors
+        _assert_bit_identical(
+            node.query_batch(queries, workers=1),
+            node.query_batch(queries, workers=2, backend=backend),
+        )
+    finally:
+        node.close()
+
+
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+def test_sharded_empty_shards_and_empty_node(small_vectors, small_queries, backend):
+    _, queries = small_queries
+    node = _mid_merge_node(small_vectors)
+    try:
+        tiny = queries.slice_rows(0, 2)
+        _assert_bit_identical(
+            node.query_batch(tiny, workers=1),
+            node.query_batch(tiny, workers=8, backend=backend),
+        )
+    finally:
+        node.close()
+    empty = StreamingPLSH(small_vectors.n_cols, PARAMS, capacity=100)
+    try:
+        results = empty.query_batch(queries, workers=2, backend=backend)
+        assert len(results) == queries.n_rows
+        assert all(len(r) == 0 for r in results)
+    finally:
+        empty.close()
+
+
+def test_worker_stats_merged_into_engine(small_vectors, small_queries):
+    """Engine counters and stage times observed under sharding must match
+    the serial accounting (PR 1's fork contract, kept by the pool)."""
+    _, queries = small_queries
+    serial_node = _mid_merge_node(small_vectors)
+    sharded_node = _mid_merge_node(small_vectors)
+    try:
+        serial_node.query_batch(queries, workers=1)
+        sharded_node.query_batch(queries, workers=2, backend="thread")
+        s = serial_node.static.engine.stats
+        p = sharded_node.static.engine.stats
+        assert p.n_queries == s.n_queries
+        assert p.n_collisions == s.n_collisions
+        assert p.n_unique == s.n_unique
+        assert p.n_matches == s.n_matches
+        for name in ("q2_dedup", "q3_distance", "q4_filter"):
+            assert name in p.stage_times
+        assert "query_static" in sharded_node.times
+        assert "query_delta" in sharded_node.times
+    finally:
+        serial_node.close()
+        sharded_node.close()

@@ -24,6 +24,7 @@ def test_subpackage_alls_resolve():
     import repro.bench
     import repro.cluster
     import repro.core
+    import repro.parallel
     import repro.perfmodel
     import repro.sparse
     import repro.streaming
@@ -35,6 +36,7 @@ def test_subpackage_alls_resolve():
         repro.bench,
         repro.cluster,
         repro.core,
+        repro.parallel,
         repro.perfmodel,
         repro.sparse,
         repro.streaming,
@@ -68,6 +70,7 @@ def test_public_docstrings_exist():
     modules = [
         repro,
         repro.core,
+        repro.parallel,
         repro.sparse,
         repro.streaming,
         repro.cluster,
