@@ -113,8 +113,15 @@ def test_fig5_query_breakdown(benchmark, twitter, flagship_index, scale):
     )
 
     secs = [t[1] for t in times]
-    assert secs[-1] < secs[0] / 3.0, "final rung must be >3x the baseline"
-    # Each rung must not regress beyond measurement noise (the batched-dot
-    # rung carries most of the win; earlier rungs may be modest in Python).
-    for prev, cur in zip(secs, secs[1:]):
-        assert cur <= prev * 1.25
+    # Timing-shape assertions are meaningful only when the rungs are slow
+    # enough to dominate scheduler/measurement noise; at tiny smoke scales
+    # (whole rungs in single-digit milliseconds) the run checks mechanics
+    # and answer-identity only — the same gating fig11 applies to its
+    # ratio bounds.
+    if secs[0] >= 50e-3:
+        assert secs[-1] < secs[0] / 3.0, "final rung must be >3x the baseline"
+        # Each rung must not regress beyond measurement noise (the
+        # batched-dot rung carries most of the win; earlier rungs may be
+        # modest in Python).
+        for prev, cur in zip(secs, secs[1:]):
+            assert cur <= prev * 1.25

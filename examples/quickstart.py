@@ -27,6 +27,17 @@ release them with ``index.close()`` or use the index as a context manager
 serially hold no pool and need no cleanup.  Setting ``PLSH_WORKERS=N`` in
 the environment makes ``N`` the default for every batch call.
 
+Streaming (Section 6) lives one layer up in ``StreamingPLSH``: inserts
+land in a delta table and are folded into the static structure by
+periodic merges.  With ``overlap_merges=True`` those merges are
+**non-blocking** — ``begin_merge`` freezes the delta and builds the
+merged tables on a background thread while queries keep serving
+``static + frozen + fresh`` (answers bit-identical to the blocking
+path), and a short ``commit_merge`` swap lands the result; no query ever
+absorbs the rebuild.  See ``examples/streaming_firehose.py`` for the
+full lifecycle and ``save_node``/``load_node`` in ``repro.persistence``
+for restartability.
+
 Run:  python examples/quickstart.py
 """
 

@@ -4,9 +4,15 @@
 Simulates the paper's streaming deployment on one node: batches of new
 tweets arrive continuously, land in the insert-optimized delta table, and
 are periodically merged into the static structure when the delta reaches
-eta = 10 % of capacity.  Queries are served throughout — including between
-merges, when part of the data lives in the delta — and a deletion shows the
-tombstone bitvector at work.
+eta = 10 % of capacity.  Queries are served throughout — including *during*
+merges: with ``overlap_merges=True`` a threshold crossing freezes the
+delta and builds the merged tables on a background thread
+(``begin_merge``), queries keep answering against
+``static + frozen + fresh`` with bit-identical results, and the finished
+build lands in a short ``commit_merge`` swap on a later insert — no batch
+ever stalls for the full rebuild (the paper's concurrent-serving scenario,
+Figure 11).  A deletion shows the tombstone bitvector at work; tombstones
+are keyed by stable local ids, so they apply mid-merge without replay.
 
 Run:  python examples/streaming_firehose.py
 """
@@ -35,10 +41,11 @@ def main() -> None:
         params,
         capacity=CAPACITY,
         delta_fraction=0.1,  # eta: merge when delta reaches 10 % of C
+        overlap_merges=True,  # merges build off the serving path
     )
     print(
         f"streaming node: capacity {CAPACITY:,}, merge threshold "
-        f"{node.delta_threshold:,} (eta=10%)"
+        f"{node.delta_threshold:,} (eta=10%), non-blocking merges"
     )
 
     query_ids, queries = corpus.query_vectors(5, seed=SEED + 1)
@@ -48,12 +55,16 @@ def main() -> None:
         merges_before = node.n_merges
         node.insert_batch(vectors.slice_rows(b * BATCH, (b + 1) * BATCH))
         elapsed = (time.perf_counter() - start) * 1e3
-        merged = " [merged delta into static]" if node.n_merges > merges_before else ""
-        if b % 4 == 0 or merged:
+        events = ""
+        if node.n_merges > merges_before:
+            events += " [committed background merge]"
+        if node.merge_in_flight:
+            events += " [merge building in background]"
+        if b % 4 == 0 or events:
             print(
                 f"batch {b + 1:>3}/{n_batches}: insert {BATCH} docs in "
                 f"{elapsed:6.1f} ms; static={node.n_static:>6,} "
-                f"delta={node.n_delta:>5,}{merged}"
+                f"frozen={node.n_frozen:>5,} delta={node.n_delta:>5,}{events}"
             )
         if b == n_batches // 2:
             # Mid-stream query: answers span static + delta seamlessly.
@@ -63,10 +74,14 @@ def main() -> None:
                 f"(static+delta combined)"
             )
 
+    node.commit_merge()  # settle any build still in flight
+    build_s = node.times["merge_build"] if "merge_build" in node.times else 0.0
+    commit_s = node.times["merge_commit"] if "merge_commit" in node.times else 0.0
     print(
         f"\ningest complete: {node.n_total:,} docs, {node.n_merges} merges, "
-        f"insert time {node.times['insert']:.2f}s, "
-        f"merge time {node.times['merge']:.2f}s"
+        f"insert time {node.times['insert']:.2f}s; merge builds spent "
+        f"{build_s:.2f}s on the background thread, commits "
+        f"{commit_s:.2f}s on the serving path"
     )
 
     # Deletion: tombstone a document and show it disappears from results.

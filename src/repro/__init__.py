@@ -28,7 +28,7 @@ from repro.params import PLSHParams, PAPER_TWITTER_PARAMS
 from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult, QueryStats
 from repro.cluster.cluster import PLSHCluster
-from repro.persistence import load_index, save_index
+from repro.persistence import load_index, load_node, save_index, save_node
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.vectorizer import IDFVectorizer
 from repro.streaming.node import StreamingPLSH
@@ -52,5 +52,7 @@ __all__ = [
     "WIKIPEDIA_SPEC",
     "__version__",
     "load_index",
+    "load_node",
     "save_index",
+    "save_node",
 ]

@@ -37,6 +37,7 @@ class PLSHCluster:
         *,
         insert_window: int = 4,
         delta_fraction: float = 0.1,
+        overlap_merges: bool = False,
         network: NetworkModel | None = None,
     ) -> None:
         if n_nodes <= 0:
@@ -54,6 +55,7 @@ class PLSHCluster:
             ClusterNode(
                 i, dim, params, node_capacity, self.hasher,
                 delta_fraction=delta_fraction,
+                overlap_merges=overlap_merges,
             )
             for i in range(n_nodes)
         ]
@@ -170,9 +172,32 @@ class PLSHCluster:
         )
 
     def merge_all(self) -> None:
-        """Force-merge every node's delta (used by benches for steady state)."""
+        """Force-merge every node's delta (used by benches for steady
+        state).  Drains any in-flight background merges first —
+        :meth:`StreamingPLSH.merge_now` commits the pending build, then
+        folds the fresh delta in synchronously."""
         for node in self.nodes:
             node.plsh.merge_now()
+
+    def begin_merge_all(self) -> int:
+        """Kick off a non-blocking merge on every node with a non-empty
+        delta; returns how many merges are now in flight.  Queries keep
+        being served by every node throughout; finished builds land via
+        :meth:`commit_merges` (or opportunistically on the nodes' own
+        insert paths when ``overlap_merges`` is set)."""
+        return sum(1 for node in self.nodes if node.plsh.begin_merge())
+
+    def commit_merges(self, *, wait: bool = False) -> int:
+        """Commit pending merges across the cluster; returns how many
+        landed.  ``wait=False`` (the default) commits only builds that
+        already finished — the coordinator's periodic maintenance tick."""
+        return sum(
+            1 for node in self.nodes if node.plsh.commit_merge(wait=wait)
+        )
+
+    def stats(self) -> list[dict]:
+        """Per-node monitoring rows, including ``merge_in_flight``."""
+        return self.coordinator.node_stats()
 
     def close(self) -> None:
         """Release every node's persistent worker pools."""

@@ -58,6 +58,18 @@ class Coordinator:
         self.nodes = nodes
         self.network = network
 
+    def node_stats(self) -> list[dict]:
+        """Per-node monitoring rows (sizes, deletions, merge state).
+
+        ``merge_in_flight`` reports nodes currently overlapping a
+        delta→static merge with query serving; the broadcast path needs
+        no special casing for them — every node keeps answering against
+        ``static + frozen + fresh`` with stable local ids, so merged
+        broadcast answers are bit-identical whether or not any node is
+        mid-merge.
+        """
+        return [node.stats() for node in self.nodes]
+
     def query(
         self,
         q_cols: np.ndarray,

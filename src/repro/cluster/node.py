@@ -29,6 +29,7 @@ class ClusterNode:
         hasher: AllPairsHasher,
         *,
         delta_fraction: float = 0.1,
+        overlap_merges: bool = False,
     ) -> None:
         self.node_id = node_id
         self.plsh = StreamingPLSH(
@@ -36,6 +37,7 @@ class ClusterNode:
             params,
             capacity,
             delta_fraction=delta_fraction,
+            overlap_merges=overlap_merges,
             hasher=hasher,
         )
         self._global_ids = np.empty(0, dtype=np.int64)
@@ -43,6 +45,30 @@ class ClusterNode:
     @property
     def n_items(self) -> int:
         return self.plsh.n_total
+
+    @property
+    def merge_in_flight(self) -> bool:
+        """True while the node's streaming merge is between begin and
+        commit — broadcast queries stay correct throughout (the node
+        serves ``static + frozen + fresh`` and local ids are stable, so
+        the global-id translation never tears)."""
+        return self.plsh.merge_in_flight
+
+    def stats(self) -> dict:
+        """One monitoring row for the coordinator's cluster stats."""
+        plsh = self.plsh
+        return {
+            "node_id": self.node_id,
+            "n_items": self.n_items,
+            "n_static": plsh.n_static,
+            "n_frozen": plsh.n_frozen,
+            "n_delta": plsh.n_delta,
+            "n_deleted": plsh.deletions.n_deleted,
+            "n_merges": plsh.n_merges,
+            "merge_in_flight": plsh.merge_in_flight,
+            "merge_ready": plsh.merge_ready,
+            "capacity": plsh.capacity,
+        }
 
     @property
     def capacity(self) -> int:

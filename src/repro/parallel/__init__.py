@@ -20,6 +20,11 @@ protocol with three implementations:
     — forked once per state object, warm across batches.  The production
     backend for parallel querying on Linux.
 
+One-shot off-path jobs (the streaming node's non-blocking merge build)
+use :class:`~repro.parallel.background.BackgroundTask` instead of a pool:
+a single daemon thread whose numpy-heavy work overlaps the foreground
+under the GIL and whose result is joined inside a short critical section.
+
 Pick with :func:`make_executor`; ``backend=None`` resolves to
 :func:`default_backend` (``fork_pool`` where available, else ``thread``).
 ``PLSH_WORKERS`` in the environment sets the fleet-wide default degree of
@@ -35,10 +40,12 @@ import os
 
 import numpy as np
 
+from repro.parallel.background import BackgroundTask
 from repro.parallel.executor import Executor, SerialExecutor, ThreadExecutor
 from repro.parallel.fork_pool import ForkPoolExecutor, fork_available
 
 __all__ = [
+    "BackgroundTask",
     "Executor",
     "ExecutorCache",
     "ForkPoolExecutor",
@@ -112,6 +119,13 @@ def make_executor(backend: str | None, workers: int, state) -> Executor:
         return SerialExecutor(state, 1)
     if name == "thread":
         return ThreadExecutor(state, workers)
+    if BackgroundTask.any_active():
+        # fork() while any background task (e.g. a streaming merge build)
+        # is mid numpy/BLAS call can deadlock the child on locks held by
+        # a thread that doesn't exist there.  The hazard is process-wide,
+        # so the factory itself degrades to threads whenever any build is
+        # running — whichever node or engine asked for the pool.
+        return ThreadExecutor(state, workers)
     return ForkPoolExecutor(state, workers)
 
 
@@ -136,6 +150,19 @@ class ExecutorCache:
         if ex is None or ex.closed:
             ex = make_executor(name, workers, self._state)
             self._cache[key] = ex
+        return ex
+
+    def peek(self, workers: int, backend: str | None = None) -> Executor | None:
+        """The cached open executor for this key, or None — never creates.
+
+        Lets owners that must avoid creating a particular backend at a
+        particular moment (the streaming node won't fork a new pool while
+        its merge-builder thread runs) still reuse a pool that already
+        exists."""
+        name = "serial" if workers <= 1 else resolve_backend(backend)
+        ex = self._cache.get((name, max(workers, 1)))
+        if ex is None or ex.closed:
+            return None
         return ex
 
     def close(self) -> None:

@@ -1,0 +1,91 @@
+"""``BackgroundTask`` — one off-path computation with a joinable result.
+
+The streaming node's non-blocking merge needs exactly one primitive from
+the execution layer: "run this pure function off the query path and hand
+me the result inside a short critical section later".  A pool is the wrong
+shape for that — pools amortize setup over many homogeneous tasks, while a
+merge build is a single long-lived job whose *inputs are frozen at launch*
+and whose result is consumed once.
+
+The task runs on a dedicated daemon thread.  A thread (not a fork worker)
+is the right backend for table construction: the build spends its time in
+large numpy kernels that release the GIL, so it overlaps genuinely with
+foreground querying, and the built arrays land directly in the caller's
+address space — a fork worker would have to pipe the finished tables back
+through pickle, paying a copy proportional to the structure it just built.
+
+The launcher captures its arguments at construction; callers must pass
+snapshots they promise not to mutate (the node passes the *frozen* delta
+and the current static, neither of which changes while a merge is in
+flight).  ``result()`` joins and either returns the value or re-raises the
+worker's exception in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["BackgroundTask"]
+
+#: process-wide count of BackgroundTask functions currently executing.
+#: fork()ing while any of them may hold numpy/BLAS/allocator locks is the
+#: classic multithreaded-fork deadlock, so the executor factory consults
+#: :meth:`BackgroundTask.any_active` before creating fork pools.
+_active = 0
+_active_lock = threading.Lock()
+
+
+class BackgroundTask:
+    """Run ``fn(*args)`` on a daemon thread; join with :meth:`result`."""
+
+    def __init__(self, fn: Callable[..., Any], *args: Any) -> None:
+        global _active
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+        def _run() -> None:
+            global _active
+            try:
+                self._value = fn(*args)
+            except BaseException as exc:  # surfaced to the joiner
+                self._error = exc
+            finally:
+                with _active_lock:
+                    _active -= 1
+                self._done.set()
+
+        with _active_lock:
+            _active += 1
+        self._thread = threading.Thread(
+            target=_run, name="plsh-background", daemon=True
+        )
+        self._thread.start()
+
+    @staticmethod
+    def any_active() -> bool:
+        """True while any background task's function is still executing
+        (process-wide).  Once False, every worker function has returned,
+        so no background thread can be holding BLAS/allocator locks —
+        the condition under which fork() is safe again."""
+        with _active_lock:
+            return _active > 0
+
+    def done(self) -> bool:
+        """True once the function returned or raised (non-blocking)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until done (or ``timeout`` seconds); returns :meth:`done`."""
+        self._done.wait(timeout)
+        if self._done.is_set():
+            self._thread.join()
+        return self._done.is_set()
+
+    def result(self) -> Any:
+        """Join and return the value, re-raising the worker's exception."""
+        self.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value

@@ -1,4 +1,4 @@
-"""Saving and loading built PLSH indexes.
+"""Saving and loading built PLSH indexes and streaming nodes.
 
 The paper's system is memory-resident and rebuilt from the firehose, but an
 adoptable library needs restartability: a built static index (tables,
@@ -6,6 +6,14 @@ cached hash values, data, hyperplanes) round-trips through one ``.npz``
 archive.  Loading restores an index that answers queries identically —
 including the hash functions, which are stored rather than re-drawn so a
 reloaded index agrees with peers built from the same seed.
+
+:func:`save_node` / :func:`load_node` round-trip a whole
+:class:`~repro.streaming.node.StreamingPLSH` — static structure, delta
+rows with their cached hash values (bins are rebuilt without re-hashing),
+deletion tombstones, and merge bookkeeping.  A node with a merge in
+flight is settled first: by default the pending build is *drained*
+(committed) so the archive captures the post-merge state; pass
+``on_pending="refuse"`` to make saving such a node an error instead.
 """
 
 from __future__ import annotations
@@ -21,9 +29,10 @@ from repro.core.tables import StaticTableSet
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "save_node", "load_node"]
 
 _FORMAT_VERSION = 1
+_NODE_FORMAT_VERSION = 1
 
 
 def save_index(index: PLSHIndex, path: str | Path) -> None:
@@ -103,3 +112,157 @@ def load_index(path: str | Path) -> PLSHIndex:
             dots=meta["dots"],
         )
         return index
+
+
+def save_node(
+    node, path: str | Path, *, on_pending: str = "drain"
+) -> None:
+    """Serialize a :class:`StreamingPLSH` node to one ``.npz`` archive.
+
+    Captures the static structure, the live delta (rows + cached hash
+    values), the deletion tombstones, and the merge bookkeeping.  A merge
+    in flight is settled first according to ``on_pending``:
+
+    * ``"drain"`` (default) — commit the pending build (waiting for it if
+      still running), so the archive holds the post-merge state the node
+      would have reached anyway.
+    * ``"refuse"`` — raise :class:`ValueError`; the caller chose to keep
+      save points off the merge window.
+    """
+    if on_pending not in ("drain", "refuse"):
+        raise ValueError(
+            f"on_pending must be 'drain' or 'refuse', got {on_pending!r}"
+        )
+    if node.merge_in_flight:
+        if on_pending == "refuse":
+            raise ValueError(
+                "node has a merge in flight; commit it first or save with "
+                "on_pending='drain'"
+            )
+        node.commit_merge(wait=True)
+    static = node.static
+    assert static.data is not None and static.u_values is not None
+    assert static.tables is not None
+    delta_vectors = node.delta.vectors()
+    # Tombstones as explicit ids: small, and reapplying them on load
+    # restores both the bitvector and the deleted-count.
+    all_ids = np.arange(node.capacity, dtype=np.int64)
+    deleted = all_ids[node.deletions.is_deleted(all_ids)]
+    meta = {
+        "format_version": _NODE_FORMAT_VERSION,
+        "dim": node.dim,
+        "params": {
+            "k": node.params.k,
+            "m": node.params.m,
+            "radius": node.params.radius,
+            "delta": node.params.delta,
+            "seed": node.params.seed,
+        },
+        "capacity": node.capacity,
+        "delta_fraction": node.delta_fraction,
+        "auto_merge": node.auto_merge,
+        "overlap_merges": node.overlap_merges,
+        "n_merges": node.n_merges,
+        "n_static": node.n_static,
+        "n_delta": node.n_delta,
+        "dedup": static._dedup,
+        "dots": static._dots,
+    }
+    np.savez_compressed(
+        Path(path),
+        node_meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        static_indptr=static.data.indptr,
+        static_indices=static.data.indices,
+        static_values=static.data.data,
+        static_u=static.u_values,
+        static_entries=static.tables.entries,
+        static_offsets=static.tables.offsets,
+        hyperplanes=static.hasher.bank.planes,
+        delta_indptr=delta_vectors.indptr,
+        delta_indices=delta_vectors.indices,
+        delta_values=delta_vectors.data,
+        delta_u=node.delta.u_values(),
+        deleted_ids=deleted,
+    )
+
+
+def load_node(path: str | Path):
+    """Restore a node saved by :func:`save_node`.
+
+    The loaded node answers queries bit-identically to the saved one:
+    the static tables are restored verbatim, the delta bins are rebuilt
+    from the persisted rows and *cached* hash values (no re-hashing, same
+    bucket membership and order), and the tombstone bitvector is
+    reapplied.  No merge is pending on a loaded node by construction.
+    """
+    from repro.core.query import QueryEngine
+    from repro.streaming.delta import DeltaTable
+    from repro.streaming.node import StreamingPLSH
+
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["node_meta"]).decode("utf-8"))
+        if meta["format_version"] != _NODE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported node format {meta['format_version']} "
+                f"(this build reads {_NODE_FORMAT_VERSION})"
+            )
+        params = PLSHParams(**meta["params"])
+        dim = int(meta["dim"])
+        hasher = AllPairsHasher(params, dim)
+        hasher.bank.planes = np.ascontiguousarray(
+            archive["hyperplanes"], dtype=np.float32
+        )
+        node = StreamingPLSH(
+            dim,
+            params,
+            int(meta["capacity"]),
+            delta_fraction=float(meta["delta_fraction"]),
+            auto_merge=bool(meta["auto_merge"]),
+            overlap_merges=bool(meta["overlap_merges"]),
+            hasher=hasher,
+        )
+        if int(meta["n_static"]):
+            data = CSRMatrix(
+                archive["static_indptr"],
+                archive["static_indices"],
+                archive["static_values"],
+                dim,
+                check=False,
+            )
+            static = PLSHIndex(
+                dim, params, hasher=hasher,
+                dedup=meta["dedup"], dots=meta["dots"],
+            )
+            static.data = data
+            static.u_values = np.ascontiguousarray(archive["static_u"])
+            static.tables = StaticTableSet(
+                np.ascontiguousarray(archive["static_entries"]),
+                np.ascontiguousarray(archive["static_offsets"]),
+                params,
+            )
+            static.engine = QueryEngine(
+                static.tables,
+                data,
+                hasher,
+                params,
+                dedup=meta["dedup"],
+                dots=meta["dots"],
+            )
+            node.static = static
+        if int(meta["n_delta"]):
+            delta_vectors = CSRMatrix(
+                archive["delta_indptr"],
+                archive["delta_indices"],
+                archive["delta_values"],
+                dim,
+                check=False,
+            )
+            node.delta = DeltaTable.restore(
+                dim, params, hasher, delta_vectors,
+                np.ascontiguousarray(archive["delta_u"]),
+            )
+        deleted = np.ascontiguousarray(archive["deleted_ids"])
+        if deleted.size:
+            node.deletions.delete(deleted)
+        node.n_merges = int(meta["n_merges"])
+        return node

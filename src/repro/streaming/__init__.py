@@ -3,14 +3,25 @@
 New data is buffered in an insert-optimized **delta table**; queries consult
 both static and delta structures and combine answers.  When the delta
 reaches a fraction ``eta`` of node capacity it is merged into the static
-structure (a partition-bound rebuild over cached hash codes).  Deletions are
-a bitvector consulted before the distance computation.  The node enforces a
-hard capacity; retirement (wholesale erase) is driven by the cluster layer.
+structure (a partition-bound rebuild over cached hash codes).  The merge is
+split into a prepare phase (:func:`prepare_merge`, runnable on a background
+thread while queries keep serving ``static + frozen delta + fresh delta``)
+and a short commit swap — see :class:`StreamingPLSH` for the non-blocking
+lifecycle.  Deletions are a bitvector consulted before the distance
+computation.  The node enforces a hard capacity; retirement (wholesale
+erase) is driven by the cluster layer.
 """
 
 from repro.streaming.delta import DeltaTable
 from repro.streaming.deletion import DeletionFilter
-from repro.streaming.merge import merge_into_static
+from repro.streaming.merge import PreparedMerge, merge_into_static, prepare_merge
 from repro.streaming.node import StreamingPLSH
 
-__all__ = ["DeletionFilter", "DeltaTable", "StreamingPLSH", "merge_into_static"]
+__all__ = [
+    "DeletionFilter",
+    "DeltaTable",
+    "PreparedMerge",
+    "StreamingPLSH",
+    "merge_into_static",
+    "prepare_merge",
+]

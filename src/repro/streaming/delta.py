@@ -81,11 +81,23 @@ class DeltaTable:
             raise ValueError(
                 f"batch has {vectors.n_cols} columns, delta expects {self.dim}"
             )
+        u = self.hasher.hash_functions(vectors) if vectors.n_rows else None
+        return self._insert_hashed(vectors, u)
+
+    def _insert_hashed(
+        self, vectors: CSRMatrix, u: np.ndarray | None
+    ) -> np.ndarray:
+        """Insert rows whose hash-function values are already computed.
+
+        The restore path (:meth:`restore`) re-populates a delta from
+        persisted rows + cached ``u`` values without re-hashing — the same
+        no-rehash property the merge relies on.
+        """
         n = vectors.n_rows
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        assert u is not None and u.shape == (n, self.params.m)
         base = self._n_rows
-        u = self.hasher.hash_functions(vectors)
         local_ids = np.arange(base, base + n, dtype=np.int64)
         for l in range(self.params.n_tables):
             keys = self.hasher.table_key(u, l)
@@ -109,6 +121,32 @@ class DeltaTable:
         self._n_rows += n
         self._vectors_cache = None
         return local_ids
+
+    @classmethod
+    def restore(
+        cls,
+        dim: int,
+        params: PLSHParams,
+        hasher: AllPairsHasher,
+        vectors: CSRMatrix,
+        u_values: np.ndarray,
+    ) -> "DeltaTable":
+        """Rebuild a delta from persisted rows and their cached hashes.
+
+        Bin membership *and* in-bin ordering round-trip exactly: ids are
+        assigned in row order and the per-table grouping sort is stable,
+        so every bucket lists its rows in ascending insertion order — the
+        same layout incremental inserts produce.
+        """
+        if u_values.shape != (vectors.n_rows, params.m):
+            raise ValueError(
+                f"u_values shape {u_values.shape} != "
+                f"{(vectors.n_rows, params.m)}"
+            )
+        table = cls(dim, params, hasher)
+        if vectors.n_rows:
+            table._insert_hashed(vectors, np.ascontiguousarray(u_values))
+        return table
 
     # -- querying -----------------------------------------------------------------
 

@@ -11,9 +11,28 @@ with the delta rows, concatenate their *cached* hash-function values (so no
 re-hashing happens), and run the shared two-level table construction over
 the union.  The merge is therefore partition-bound, the quantity the
 paper's TI2/TI3 model prices.
+
+The work is split into two phases so the streaming node can overlap it
+with query serving (Sections 4 & 6, Figure 11):
+
+* :func:`prepare_merge` — the expensive phase.  A pure function of a
+  *frozen* ``(static, delta)`` snapshot: it touches neither structure, so
+  it can run on a background thread (or any executor) while queries keep
+  being answered against ``static + frozen delta``.  Returns a
+  :class:`PreparedMerge` holding the fully-built replacement index.
+* commit — owned by the node (:meth:`StreamingPLSH.commit_merge`): a
+  short critical section that swaps the prepared index in.  Nothing here
+  needs replaying: deletions live in a bitvector keyed by node-local ids,
+  which are *stable under merge*, so tombstones set mid-build apply to
+  the new static the instant it lands.
+
+:func:`merge_into_static` is the synchronous composition of the two and
+remains the reference the overlapped path must match bit-for-bit.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -21,14 +40,33 @@ from repro.core.index import PLSHIndex
 from repro.sparse.csr import CSRMatrix
 from repro.streaming.delta import DeltaTable
 
-__all__ = ["merge_into_static"]
+__all__ = ["PreparedMerge", "merge_into_static", "prepare_merge"]
 
 
-def merge_into_static(static: PLSHIndex, delta: DeltaTable) -> PLSHIndex:
-    """Rebuild ``static`` to include everything in ``delta``.
+class PreparedMerge:
+    """The result of the prepare phase, awaiting a commit swap.
 
-    Returns a new :class:`PLSHIndex` sharing the hasher (and thus the hash
-    functions) of the old one.  Delta rows receive local ids following the
+    ``index`` is the fully-built replacement static structure (old static
+    rows first, delta rows after, same local-id layout the synchronous
+    merge produces); ``n_merged`` the number of delta rows folded in;
+    ``build_seconds`` the wall-clock the build took *off* the query path
+    (reported by the Figure 11 bench).
+    """
+
+    def __init__(
+        self, index: PLSHIndex, n_merged: int, build_seconds: float
+    ) -> None:
+        self.index = index
+        self.n_merged = n_merged
+        self.build_seconds = build_seconds
+
+
+def prepare_merge(static: PLSHIndex, delta: DeltaTable) -> PreparedMerge:
+    """Build the merged replacement for ``static`` + ``delta`` (expensive).
+
+    Reads both inputs but mutates neither — the caller must keep the
+    snapshot frozen (no inserts into ``delta``) until the prepared index
+    is committed or abandoned.  Delta rows receive local ids following the
     static rows: static row ids are stable across merges, delta-local id
     ``d`` becomes ``n_static + d`` — the mapping the streaming node relies
     on when translating to global ids.
@@ -40,8 +78,9 @@ def merge_into_static(static: PLSHIndex, delta: DeltaTable) -> PLSHIndex:
             f"dimension mismatch: delta {delta.dim} != static {static.dim}"
         )
     if len(delta) == 0:
-        return static
+        return PreparedMerge(static, 0, 0.0)
 
+    start = time.perf_counter()
     combined_data = CSRMatrix.vstack([static.data, delta.vectors()])
     combined_u = np.concatenate([static.u_values, delta.u_values()], axis=0)
     merged = PLSHIndex(
@@ -52,4 +91,13 @@ def merge_into_static(static: PLSHIndex, delta: DeltaTable) -> PLSHIndex:
         dots=static._dots,
     )
     merged.build(combined_data, u_values=combined_u)
-    return merged
+    return PreparedMerge(merged, len(delta), time.perf_counter() - start)
+
+
+def merge_into_static(static: PLSHIndex, delta: DeltaTable) -> PLSHIndex:
+    """Rebuild ``static`` to include everything in ``delta`` (synchronous).
+
+    The blocking prepare+commit composition; kept as the reference path —
+    the overlapped pipeline must return bit-identical query answers.
+    """
+    return prepare_merge(static, delta).index

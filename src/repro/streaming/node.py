@@ -2,16 +2,57 @@
 
 A node owns a static :class:`PLSHIndex`, a :class:`DeltaTable`, and a
 :class:`DeletionFilter`.  Inserts append to the delta; when the delta
-reaches ``eta x capacity`` it is merged into the static structure (queries
-arriving during a merge are buffered by the caller — the merge here is
-synchronous).  Queries run against both structures and the answers are
-combined; candidates from either side are screened against the deletion
-bitvector before the distance computation.
+reaches ``eta x capacity`` it is merged into the static structure.
+Queries run against both structures and the answers are combined;
+candidates from either side are screened against the deletion bitvector
+before the distance computation.
 
-Local id space: static rows occupy ``[0, n_static)``; delta row ``d`` is
-addressed as ``n_static + d``.  A merge folds delta rows into the static
-range in insertion order, so local ids are *stable under merge* — a
-property the cluster's global-id mapping and the tests rely on.
+**Non-blocking merges.**  The paper's headline scenario is *concurrent*
+serving — the firehose keeps inserting and queries keep flowing while
+delta→static merges happen underneath (Figure 11).  The merge is
+therefore split into two phases:
+
+* :meth:`begin_merge` *freezes* the current delta (a fresh, empty delta
+  takes over for new inserts) and launches the expensive table build —
+  :func:`repro.streaming.merge.prepare_merge` over the frozen
+  ``(static, delta)`` snapshot — on a background
+  :class:`~repro.parallel.background.BackgroundTask`.  The call returns
+  immediately; the node keeps answering queries against
+  ``static + frozen delta + fresh delta``.
+* :meth:`commit_merge` is the short critical section: join the build,
+  swap the prepared index in as the new static, drop the frozen delta,
+  and invalidate the worker pools.  Deletions need no replay — the
+  bitvector is keyed by node-local ids, which are stable under merge, so
+  tombstones set mid-build screen candidates of the new static the
+  instant it lands.
+
+The overlapped path returns query answers **bit-identical** to the
+synchronous one (:meth:`merge_now`): LSH candidate sets depend only on
+the rows and their cached hash values, not on which structure holds
+them, and the ``static → frozen → fresh`` concatenation preserves the
+ascending local-id order the merged layout produces.  The paper's
+"insert visible by the next query" guarantee holds throughout: inserts
+go to the live fresh delta, which every query consults.
+
+``overlap_merges=True`` makes ``auto_merge`` use the overlapped pipeline
+(inserts trigger ``begin_merge`` and opportunistically commit finished
+builds; a second threshold crossing while a merge is in flight drains it
+first — at most one merge is ever in flight).  The default remains the
+blocking merge, the reproduction's reference behavior.
+
+Local id space: static rows occupy ``[0, n_static)``; frozen-delta row
+``f`` is addressed as ``n_static + f`` and fresh-delta row ``d`` as
+``n_static + n_frozen + d``.  A merge folds the frozen rows into the
+static range in insertion order, so local ids are *stable under merge* —
+a property the cluster's global-id mapping and the tests rely on.
+
+Worker-pool lifecycle: a fork pool snapshots the node copy-on-write, so
+any *visible* mutation (insert/commit/delete/retire) invalidates the
+cached executors and the next parallel batch re-forks.  ``begin_merge``
+deliberately does **not** invalidate: a pre-begin snapshot still holds
+the same rows under the old ``static + delta`` layout and answers
+bit-identically, so pools stay warm across merge *starts* and only pay
+the re-fork when the new static actually lands at commit.
 """
 
 from __future__ import annotations
@@ -23,13 +64,19 @@ from repro.core.distance import angular_distance
 from repro.core.hashing import AllPairsHasher
 from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult
-from repro.parallel import ExecutorCache, default_workers, shard_bounds
+from repro.parallel import (
+    BackgroundTask,
+    ExecutorCache,
+    default_workers,
+    resolve_backend,
+    shard_bounds,
+)
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import row_dots_dense, row_dots_dense_batch
+from repro.sparse.ops import densify_query, row_dots_dense, row_dots_dense_batch
 from repro.streaming.deletion import DeletionFilter
 from repro.streaming.delta import DeltaTable
-from repro.streaming.merge import merge_into_static
+from repro.streaming.merge import merge_into_static, prepare_merge
 from repro.utils.timing import StageTimes
 
 __all__ = ["StreamingPLSH", "CapacityError"]
@@ -50,6 +97,7 @@ class StreamingPLSH:
         *,
         delta_fraction: float = 0.1,
         auto_merge: bool = True,
+        overlap_merges: bool = False,
         hasher: AllPairsHasher | None = None,
     ) -> None:
         if capacity <= 0:
@@ -63,6 +111,7 @@ class StreamingPLSH:
         self.capacity = capacity
         self.delta_fraction = delta_fraction
         self.auto_merge = auto_merge
+        self.overlap_merges = overlap_merges
         self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
         self.static = PLSHIndex(dim, params, hasher=self.hasher)
         self.static.build(CSRMatrix.empty(dim))
@@ -70,9 +119,14 @@ class StreamingPLSH:
         self.deletions = DeletionFilter(capacity)
         self.n_merges = 0
         self.times = StageTimes()
+        #: the delta snapshot a pending merge is folding in (None when no
+        #: merge is in flight); queried between begin and commit.
+        self._frozen: DeltaTable | None = None
+        #: the background build of the pending merge (None once joined).
+        self._merge_task: BackgroundTask | None = None
         #: persistent executors for parallel batch queries.  A fork pool
-        #: snapshots the node copy-on-write, so *any* mutation
-        #: (insert/merge/delete/retire) invalidates the cache and the next
+        #: snapshots the node copy-on-write, so any visible mutation
+        #: (insert/commit/delete/retire) invalidates the cache and the next
         #: parallel batch re-forks; between mutations — the read-heavy
         #: common case — pools stay warm across batches.
         self._executors = ExecutorCache(self)
@@ -80,6 +134,27 @@ class StreamingPLSH:
     # -- executor lifecycle --------------------------------------------------
 
     def _executor(self, workers: int, backend: str | None):
+        # fork()ing a NEW worker pool while any merge-builder thread may
+        # be mid numpy/BLAS call is the classic multithreaded-fork
+        # deadlock: the child inherits allocator/BLAS locks held by a
+        # thread that does not exist in the child.  The hazard is
+        # process-wide (a *sibling* node's build makes this node's fork
+        # unsafe too), so while any background build runs, new executor
+        # requests get the in-process thread backend instead
+        # (bit-identical results; invalidated at commit like any pool).
+        # Pools forked *before* any build started stay valid — every
+        # fork pool is created through this guard or the make_executor
+        # backstop, so no builder thread existed at its fork time — and
+        # are served from the cache untouched.
+        if (
+            workers > 1
+            and BackgroundTask.any_active()
+            and resolve_backend(backend) == "fork_pool"
+        ):
+            warm = self._executors.peek(workers, backend)
+            if warm is not None:
+                return warm  # forked while no build was running — safe
+            backend = "thread"
         return self._executors.get(workers, backend)
 
     def _invalidate_executors(self) -> None:
@@ -89,7 +164,10 @@ class StreamingPLSH:
     def close(self) -> None:
         """Release persistent worker pools (idempotent); also closes the
         static engine's pools.  Nodes queried only with ``workers == 1``
-        hold no pools and need no close."""
+        hold no pools and need no close.  A merge in flight is left alone
+        (its daemon builder finishes in the background and the result can
+        still be committed); call :meth:`commit_merge` or :meth:`retire`
+        first to settle it."""
         self._invalidate_executors()
         if self.static.engine is not None:
             self.static.engine.close()
@@ -107,12 +185,18 @@ class StreamingPLSH:
         return self.static.n_items
 
     @property
+    def n_frozen(self) -> int:
+        """Rows in the frozen delta a pending merge is folding in."""
+        return 0 if self._frozen is None else len(self._frozen)
+
+    @property
     def n_delta(self) -> int:
+        """Rows in the live (fresh) delta — the merge-threshold quantity."""
         return len(self.delta)
 
     @property
     def n_total(self) -> int:
-        return self.n_static + self.n_delta
+        return self.n_static + self.n_frozen + self.n_delta
 
     @property
     def n_live(self) -> int:
@@ -127,29 +211,119 @@ class StreamingPLSH:
         """Delta size that triggers a merge: ``eta * capacity``."""
         return max(1, int(self.delta_fraction * self.capacity))
 
-    # -- updates ------------------------------------------------------------
+    # -- merge lifecycle -----------------------------------------------------
 
-    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
-        """Insert rows; returns their node-local ids.
+    @property
+    def merge_in_flight(self) -> bool:
+        """True between :meth:`begin_merge` and :meth:`commit_merge`."""
+        return self._frozen is not None
 
-        Raises :class:`CapacityError` if the batch does not fit — the
-        cluster layer is responsible for advancing the insert window and
-        retiring old nodes (Section 6), a node never evicts by itself.
+    @property
+    def merge_ready(self) -> bool:
+        """True when a pending merge's background build has settled — a
+        commit no longer has to wait on the builder thread.  (If the
+        build *failed*, only a blocking ``commit_merge(wait=True)`` will
+        land it, by rebuilding synchronously; polls keep returning
+        False.)"""
+        return self._frozen is not None and (
+            self._merge_task is None or self._merge_task.done()
+        )
+
+    def begin_merge(self) -> bool:
+        """Freeze the delta and start building the merged static off-path.
+
+        Returns True if a merge is (now) in flight, False if there was
+        nothing to merge.  The call itself is cheap: the current delta
+        becomes the frozen snapshot, a fresh delta takes over for new
+        inserts, and the expensive table construction runs on a background
+        thread.  Queries keep serving ``static + frozen + fresh``
+        throughout; worker pools stay warm (see the module docstring —
+        invalidation happens at commit, when answers actually change
+        layout).
         """
-        if self.n_total + vectors.n_rows > self.capacity:
-            raise CapacityError(
-                f"insert of {vectors.n_rows} rows exceeds capacity "
-                f"{self.capacity} (current {self.n_total})"
-            )
-        with self.times.stage("insert"):
-            local = self.delta.insert_batch(vectors) + self.n_static
+        if self._frozen is not None:
+            return True
+        if self.n_delta == 0:
+            return False
+        self._frozen = self.delta
+        self.delta = DeltaTable(self.dim, self.params, self.hasher)
+        # The build reads only the frozen snapshot + the current static,
+        # both immutable while the merge is in flight (inserts go to the
+        # fresh delta; deletions touch only the bitvector).
+        self._merge_task = BackgroundTask(
+            prepare_merge, self.static, self._frozen
+        )
+        return True
+
+    def commit_merge(self, *, wait: bool = True) -> bool:
+        """Swap a pending merge's prepared index in (the critical section).
+
+        Returns True if a merge was committed.  ``wait=False`` turns the
+        call into an opportunistic poll with a hard contract: it never
+        blocks and never raises a background error — it commits only if
+        the build already finished successfully, otherwise returns False
+        immediately (the hook the insert path uses).  With ``wait=True``
+        the call drains the build first — this is where merge
+        backpressure lands when the fresh delta fills faster than builds
+        complete, and also where a *failed* background build is recovered:
+        the merge is rebuilt synchronously on the caller, so frozen rows
+        are never stranded and build errors only surface on the explicit
+        drain path (re-raised if the rebuild fails the same way).
+
+        Deletions issued mid-build need no replay: the bitvector is keyed
+        by node-local ids, which the merge preserves, and it is consulted
+        at query time — so tombstones screen the new static immediately.
+        """
+        frozen = self._frozen
+        if frozen is None:
+            return False
+        task = self._merge_task
+        if not wait and (task is None or not task.done()):
+            # Still building — or an earlier build failed (task consumed)
+            # and recovery needs a blocking commit.  Polls never wait,
+            # never rebuild.
+            return False
+        prepared = None
+        if task is not None:
+            if wait:
+                task.wait()
+            try:
+                prepared = task.result()
+            except Exception:
+                if not wait:
+                    return False  # poll: keep serving the frozen rows
+                prepared = None  # blocking recovery rebuilds below
+            self._merge_task = None
+        with self.times.stage("merge_commit"):
+            if prepared is None:
+                # Recovery path (failed or already-consumed build):
+                # rebuild synchronously so the frozen rows are never
+                # stranded; a deterministic failure re-raises here, on
+                # the blocking drain path where it belongs.  The rebuild
+                # counts under "merge_commit" only — it ran on the
+                # serving path, not the background thread.
+                prepared = prepare_merge(self.static, frozen)
+            else:
+                self.times.add("merge_build", prepared.build_seconds)
+            old = self.static
+            if prepared.index.n_items != old.n_items + len(frozen):
+                raise AssertionError(
+                    "prepared merge is stale: "
+                    f"{prepared.index.n_items} rows != "
+                    f"{old.n_items} static + {len(frozen)} frozen"
+                )
+            self.static = prepared.index
+            self._frozen = None
+            self.n_merges += 1
         self._invalidate_executors()
-        if self.auto_merge and self.n_delta >= self.delta_threshold:
-            self.merge_now()
-        return local
+        if old.engine is not None and old is not self.static:
+            old.engine.close()
+        return True
 
     def merge_now(self) -> None:
-        """Merge the delta table into the static structure."""
+        """Merge synchronously: drain any pending merge, then fold the
+        live delta into the static structure on the calling thread."""
+        self.commit_merge(wait=True)
         if self.n_delta == 0:
             return
         with self.times.stage("merge"):
@@ -158,11 +332,60 @@ class StreamingPLSH:
             self.delta.clear()
             self.n_merges += 1
         self._invalidate_executors()
-        if old.engine is not None:
+        if old.engine is not None and old is not self.static:
             old.engine.close()
 
+    def _abandon_merge(self) -> None:
+        """Discard a pending merge (retirement): join the builder so its
+        result cannot land later, then drop the frozen snapshot."""
+        task = self._merge_task
+        self._merge_task = None
+        if task is not None:
+            task.wait()
+        self._frozen = None
+
+    # -- updates ------------------------------------------------------------
+
+    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
+        """Insert rows; returns their node-local ids.
+
+        Raises :class:`CapacityError` if the batch does not fit — the
+        cluster layer is responsible for advancing the insert window and
+        retiring old nodes (Section 6), a node never evicts by itself.
+
+        With ``auto_merge``: crossing the delta threshold triggers a
+        blocking :meth:`merge_now`, or — with ``overlap_merges`` — a
+        non-blocking :meth:`begin_merge` (draining the previous merge
+        first if one is still in flight, so at most one build runs at a
+        time).  Finished background builds are also committed here
+        opportunistically: the insert invalidates worker pools anyway, so
+        the commit rides along for free.
+        """
+        if self.n_total + vectors.n_rows > self.capacity:
+            raise CapacityError(
+                f"insert of {vectors.n_rows} rows exceeds capacity "
+                f"{self.capacity} (current {self.n_total})"
+            )
+        if self.overlap_merges:
+            self.commit_merge(wait=False)
+        with self.times.stage("insert"):
+            base = self.n_static + self.n_frozen
+            local = self.delta.insert_batch(vectors) + base
+        self._invalidate_executors()
+        if self.auto_merge and self.n_delta >= self.delta_threshold:
+            if self.overlap_merges:
+                self.commit_merge(wait=True)
+                self.begin_merge()
+            else:
+                self.merge_now()
+        return local
+
     def delete(self, local_ids: np.ndarray | int) -> int:
-        """Tombstone rows by node-local id; returns newly deleted count."""
+        """Tombstone rows by node-local id; returns newly deleted count.
+
+        Safe at any point of the merge lifecycle: the filter is keyed by
+        local ids, which are stable under merge, and is screened at query
+        time on every structure (static, frozen, fresh)."""
         n = self.deletions.delete(local_ids)
         if n:
             self._invalidate_executors()
@@ -170,6 +393,7 @@ class StreamingPLSH:
 
     def retire(self) -> None:
         """Erase the node wholesale (the paper's expiration mechanism)."""
+        self._abandon_merge()
         self.close()
         self.static = PLSHIndex(self.dim, self.params, hasher=self.hasher)
         self.static.build(CSRMatrix.empty(self.dim))
@@ -178,6 +402,17 @@ class StreamingPLSH:
 
     # -- queries -------------------------------------------------------------
 
+    def _delta_views(self) -> list[tuple[DeltaTable, int]]:
+        """The delta structures a query must consult, with their local-id
+        offsets: the frozen snapshot (mid-merge) before the fresh delta,
+        preserving the ascending id order the merged layout produces."""
+        views: list[tuple[DeltaTable, int]] = []
+        if self._frozen is not None and len(self._frozen):
+            views.append((self._frozen, self.n_static))
+        if len(self.delta):
+            views.append((self.delta, self.n_static + self.n_frozen))
+        return views
+
     def query(
         self,
         q_cols: np.ndarray,
@@ -185,11 +420,11 @@ class StreamingPLSH:
         *,
         radius: float | None = None,
     ) -> QueryResult:
-        """R-near neighbors across static + delta, minus deletions."""
+        """R-near neighbors across static + frozen + fresh, minus deletions."""
         radius = self.params.radius if radius is None else radius
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
-        keys = self._query_keys(q_cols, q_vals)  # hash once, use twice
+        keys = self._query_keys(q_cols, q_vals)  # hash once, use everywhere
 
         with self.times.stage("query_static"):
             exclude = self.deletions.mask(self.n_static) if self.n_static else None
@@ -203,10 +438,17 @@ class StreamingPLSH:
                 )
             )
         with self.times.stage("query_delta"):
-            delta_res = self._query_delta(q_cols, q_vals, radius, keys)
+            views = self._delta_views()
+            # Densify once; both views (frozen + fresh) share it.
+            q_dense = densify_query(q_cols, q_vals, self.dim) if views else None
+            delta_parts = [
+                self._query_delta(table, offset, q_dense, radius, keys)
+                for table, offset in views
+            ]
+        parts = [static_res, *delta_parts]
         return QueryResult(
-            np.concatenate([static_res.indices, delta_res.indices]),
-            np.concatenate([static_res.distances, delta_res.distances]),
+            np.concatenate([p.indices for p in parts]),
+            np.concatenate([p.distances for p in parts]),
         )
 
     def query_batch(
@@ -218,26 +460,28 @@ class StreamingPLSH:
         workers: int | None = None,
         backend: str | None = None,
     ) -> list[QueryResult]:
-        """Batch R-near-neighbor queries across static + delta.
+        """Batch R-near-neighbor queries across static + frozen + fresh.
 
         ``mode="vectorized"`` (the default) hashes the whole batch *once*
         in the parent and shares the ``(B, L)`` key matrix between the
         static and delta structures; the static side runs the batch kernel
-        and the delta side the segmented dedup / blocked-dot pipeline, each
-        with a single vectorized deletion-filter screen.  ``mode="loop"``
-        is the per-query path, kept for ablation (always serial).
+        and each delta side the segmented dedup / blocked-dot pipeline,
+        each with a single vectorized deletion-filter screen.
+        ``mode="loop"`` is the per-query path, kept for ablation (always
+        serial).
 
         ``workers > 1`` shards the batch over the :mod:`repro.parallel`
-        layer: each worker answers a contiguous sub-block against *both*
-        structures with the same key slice, so the static/delta split —
-        and therefore every merge boundary — is identical in every shard
-        and results are bit-identical to ``workers=1``.  ``backend`` picks
-        the executor (persistent fork pool on Linux by default, threads
-        otherwise); the pool snapshots the node at fork time and is
-        re-forked automatically after any insert/merge/delete.  ``None``
-        defers to ``PLSH_WORKERS``.  Worker engine counters and per-stage
-        times are merged back into the static engine's ``QueryStats`` and
-        node times, so Figure 5/11 breakdowns stay real under parallelism.
+        layer: each worker answers a contiguous sub-block against *all*
+        structures with the same key slice, so the static/frozen/fresh
+        split — and therefore every merge boundary — is identical in every
+        shard and results are bit-identical to ``workers=1``.  ``backend``
+        picks the executor (persistent fork pool on Linux by default,
+        threads otherwise); the pool snapshots the node at fork time and
+        is re-forked automatically after any insert/commit/delete.
+        ``None`` defers to ``PLSH_WORKERS``.  Worker engine counters and
+        per-stage times are merged back into the static engine's
+        ``QueryStats`` and node times, so Figure 5/11 breakdowns stay real
+        under parallelism.
         """
         if mode is None:
             mode = "vectorized"
@@ -256,7 +500,7 @@ class StreamingPLSH:
             return []
         if workers is None:
             workers = default_workers()
-        # Hash once, use everywhere (static + delta + every shard share
+        # Hash once, use everywhere (static + deltas + every shard share
         # the key matrix).
         u = self.hasher.hash_functions(queries)
         keys = self.hasher.table_keys_batch(u)
@@ -301,11 +545,11 @@ class StreamingPLSH:
         """Answer one contiguous sub-block given precomputed keys.
 
         This is the unit of work the parallel layer distributes: static
-        batch kernel + delta pipeline + per-query concatenation, all
-        against the same key slice.  ``engine`` lets a worker substitute a
-        private clone of the static engine (private dedup/buffers/stats);
-        ``times`` likewise redirects stage accounting to a private
-        ``StageTimes`` the parent merges later.
+        batch kernel + the delta pipelines (frozen, then fresh) + per-query
+        concatenation, all against the same key slice.  ``engine`` lets a
+        worker substitute a private clone of the static engine (private
+        dedup/buffers/stats); ``times`` likewise redirects stage accounting
+        to a private ``StageTimes`` the parent merges later.
         """
         n = queries.n_rows
         times = self.times if times is None else times
@@ -324,14 +568,22 @@ class StreamingPLSH:
             else:
                 static_res = [empty] * n
         with times.stage("query_delta"):
-            delta_res = self._query_delta_batch(queries, radius, keys)
-        return [
-            QueryResult(
-                np.concatenate([s.indices, d.indices]),
-                np.concatenate([s.distances, d.distances]),
+            delta_parts = [
+                self._query_delta_batch(table, offset, queries, radius, keys)
+                for table, offset in self._delta_views()
+            ]
+        if not delta_parts:
+            return static_res
+        out: list[QueryResult] = []
+        for b in range(n):
+            segs = [static_res[b], *(part[b] for part in delta_parts)]
+            out.append(
+                QueryResult(
+                    np.concatenate([s.indices for s in segs]),
+                    np.concatenate([s.distances for s in segs]),
+                )
             )
-            for s, d in zip(static_res, delta_res)
-        ]
+        return out
 
     def _query_keys(self, q_cols: np.ndarray, q_vals: np.ndarray) -> np.ndarray:
         """Step Q1 for this node: the L table keys of the query."""
@@ -347,58 +599,66 @@ class StreamingPLSH:
 
     def _query_delta(
         self,
-        q_cols: np.ndarray,
-        q_vals: np.ndarray,
+        table: DeltaTable,
+        offset: int,
+        q_dense: np.ndarray,
         radius: float,
         keys: np.ndarray,
     ) -> QueryResult:
-        """Q2-Q4 against the delta bins (ids offset by ``n_static``)."""
-        if self.n_delta == 0:
+        """Q2-Q4 against one delta structure (ids offset by ``offset``).
+
+        ``q_dense`` is the densified query, built once by the caller and
+        shared across views so a mid-merge query does not pay the
+        dim-sized scatter twice."""
+        if len(table) == 0:
             return QueryResult(
                 np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
             )
-        collisions = self.delta.collisions(keys)
+        collisions = table.collisions(keys)
         if collisions.size == 0:
             return QueryResult(
                 np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
             )
         unique = np.unique(collisions)
-        # Deletion screen (delta rows live at n_static + local in id space).
-        live = ~self.deletions.is_deleted(unique + self.n_static)
+        # Deletion screen (this structure's rows live at offset + local).
+        live = ~self.deletions.is_deleted(unique + offset)
         unique = unique[live]
-        vectors = self.delta.vectors()
-        q_dense = np.zeros(self.dim, dtype=np.float32)
-        q_dense[q_cols] = q_vals
+        vectors = table.vectors()
         dots = row_dots_dense(vectors, unique, q_dense)
         dists = angular_distance(dots)
         within = dists <= radius
-        return QueryResult(unique[within] + self.n_static, dists[within])
+        return QueryResult(unique[within] + offset, dists[within])
 
     def _query_delta_batch(
-        self, queries: CSRMatrix, radius: float, keys: np.ndarray
+        self,
+        table: DeltaTable,
+        offset: int,
+        queries: CSRMatrix,
+        radius: float,
+        keys: np.ndarray,
     ) -> list[QueryResult]:
-        """Q2-Q4 against the delta bins for a whole batch (segmented)."""
+        """Q2-Q4 against one delta structure for a whole batch (segmented)."""
         n = queries.n_rows
         empty = QueryResult(
             np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
         )
-        if self.n_delta == 0:
+        if len(table) == 0:
             return [empty] * n
-        values, raw_offsets = self.delta.collisions_batch(keys)
+        values, raw_offsets = table.collisions_batch(keys)
         if values.size == 0:
             return [empty] * n
-        cand, offsets = unique_segments(values, raw_offsets, self.n_delta)
+        cand, offsets = unique_segments(values, raw_offsets, len(table))
         # Vectorized deletion screen: one bitvector test over every
-        # candidate of the batch (delta rows live at n_static + local).
+        # candidate of the batch (rows live at offset + local).
         if cand.size:
-            live = ~self.deletions.is_deleted(cand + self.n_static)
+            live = ~self.deletions.is_deleted(cand + offset)
             offsets = mask_segments(offsets, live)
             cand = cand[live]
-        dots = row_dots_dense_batch(self.delta.vectors(), cand, offsets, queries)
+        dots = row_dots_dense_batch(table.vectors(), cand, offsets, queries)
         dists = angular_distance(dots)
         within = dists <= radius
         out_offsets = mask_segments(offsets, within)
-        out_ids = cand[within] + self.n_static
+        out_ids = cand[within] + offset
         out_dists = dists[within]
         return [
             QueryResult(
@@ -412,7 +672,7 @@ class StreamingPLSH:
 def _node_shard_worker(
     node: StreamingPLSH, queries: CSRMatrix, keys: np.ndarray, radius: float
 ):
-    """Executor task: answer one shard against both node structures.
+    """Executor task: answer one shard against all node structures.
 
     ``node`` is the executor state (the fork()ed copy-on-write snapshot,
     or the live node for in-process backends).  The static side runs on a

@@ -1,0 +1,449 @@
+"""Non-blocking merge lifecycle and concurrency soak tests.
+
+The contract under test (``StreamingPLSH`` module docstring): between
+``begin_merge`` and ``commit_merge`` the node serves queries against
+``static + frozen delta + fresh delta`` with answers **bit-identical** to
+the synchronous-merge path, inserts are visible by the next query, deletes
+apply immediately at any merge phase, and worker pools are invalidated at
+*commit* (when the layout actually changes), not at merge start.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.streaming.node as node_mod
+from repro.cluster.cluster import PLSHCluster
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.streaming.merge import prepare_merge
+from repro.streaming.node import CapacityError, StreamingPLSH
+
+DIM = 64
+PARAMS = PLSHParams(k=4, m=4, radius=1.15, seed=99)
+_RNG = np.random.default_rng(2024)
+_DENSE = _RNG.standard_normal((400, DIM)).astype(np.float32)
+_DENSE /= np.linalg.norm(_DENSE, axis=1, keepdims=True)
+POOL = CSRMatrix.from_dense(_DENSE)
+
+
+def make_node(n_static=120, n_delta=60, **kwargs) -> StreamingPLSH:
+    kwargs.setdefault("auto_merge", False)
+    node = StreamingPLSH(DIM, PARAMS, 400, delta_fraction=0.2, **kwargs)
+    if n_static:
+        node.insert_batch(POOL.slice_rows(0, n_static))
+        node.merge_now()
+    if n_delta:
+        node.insert_batch(POOL.slice_rows(n_static, n_static + n_delta))
+    return node
+
+
+def assert_parity(a, b, n_queries=30, workers_a=1, workers_b=1) -> None:
+    queries = POOL.slice_rows(0, n_queries)
+    ra = a.query_batch(queries, workers=workers_a)
+    rb = b.query_batch(queries, workers=workers_b)
+    for x, y in zip(ra, rb):
+        np.testing.assert_array_equal(x.indices, y.indices)
+        np.testing.assert_array_equal(x.distances, y.distances)
+
+
+def slow_prepare(seconds: float):
+    def _slow(static, delta):
+        time.sleep(seconds)
+        return prepare_merge(static, delta)
+
+    return _slow
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_begin_commit_lifecycle():
+    with make_node() as node:
+        assert not node.merge_in_flight
+        assert node.n_static == 120 and node.n_delta == 60
+        assert node.begin_merge()
+        assert node.merge_in_flight
+        assert node.n_frozen == 60 and node.n_delta == 0
+        assert node.n_total == 180  # frozen rows still counted
+        assert node.commit_merge(wait=True)
+        assert not node.merge_in_flight
+        assert node.n_static == 180 and node.n_frozen == 0
+        assert node.n_merges == 2  # setup merge + overlapped merge
+        # Nothing pending: further commits are no-ops.
+        assert not node.commit_merge(wait=True)
+
+
+def test_begin_merge_empty_delta_is_noop():
+    with make_node(n_delta=0) as node:
+        assert not node.begin_merge()
+        assert not node.merge_in_flight
+
+
+def test_commit_nonblocking_polls(monkeypatch):
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.3))
+    with make_node() as node:
+        node.begin_merge()
+        # Build sleeps 0.3s: an immediate non-blocking commit must refuse.
+        assert not node.commit_merge(wait=False)
+        assert node.merge_in_flight
+        deadline = time.perf_counter() + 5.0
+        while not node.merge_ready:
+            assert time.perf_counter() < deadline, "build never finished"
+            time.sleep(0.01)
+        assert node.commit_merge(wait=False)
+        assert node.n_static == 180
+
+
+def test_merge_now_drains_pending(monkeypatch):
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.1))
+    with make_node() as node:
+        node.begin_merge()
+        node.insert_batch(POOL.slice_rows(180, 200))  # fresh delta refills
+        node.merge_now()  # commits the pending build, then merges fresh
+        assert not node.merge_in_flight
+        assert node.n_static == 200 and node.n_delta == 0
+        assert node.n_merges == 3
+
+
+def test_retire_abandons_pending_merge(monkeypatch):
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.1))
+    with make_node() as node:
+        node.begin_merge()
+        node.retire()
+        assert not node.merge_in_flight
+        assert node.n_total == 0 and node.n_static == 0
+        # The abandoned build must not land later.
+        time.sleep(0.15)
+        assert node.n_static == 0
+        ids = node.insert_batch(POOL.slice_rows(0, 5))
+        assert ids.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_capacity_counts_frozen_rows():
+    node = StreamingPLSH(
+        DIM, PARAMS, capacity=100, delta_fraction=0.5, auto_merge=False
+    )
+    with node:
+        node.insert_batch(POOL.slice_rows(0, 90))
+        node.begin_merge()
+        with pytest.raises(CapacityError):
+            node.insert_batch(POOL.slice_rows(90, 110))
+        node.insert_batch(POOL.slice_rows(90, 100))  # exactly fits
+        assert node.is_full
+        node.commit_merge()
+        assert node.n_total == 100
+
+
+def test_builder_failure_recovers(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky(static, delta):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("injected build failure")
+        return prepare_merge(static, delta)
+
+    monkeypatch.setattr(node_mod, "prepare_merge", flaky)
+    with make_node() as node:
+        node.begin_merge()
+        deadline = time.perf_counter() + 5.0
+        while not node.merge_ready:
+            assert time.perf_counter() < deadline
+            time.sleep(0.01)
+        # Polls never surface the background error and never rebuild:
+        # they just report "nothing committed" while the frozen rows
+        # keep being served.
+        assert not node.commit_merge(wait=False)
+        assert not node.commit_merge(wait=False)  # stable after consume
+        assert node.merge_in_flight and node.n_frozen == 60
+        assert node.n_total == 180
+        reference = make_node()
+        with reference:
+            reference.merge_now()
+            assert_parity(node, reference)
+        # The blocking drain recovers by rebuilding synchronously.
+        assert node.commit_merge(wait=True)
+        assert node.n_static == 180 and not node.merge_in_flight
+        assert calls["n"] == 2  # one failed background try + one rebuild
+
+
+def test_builder_failure_surfaces_on_blocking_drain(monkeypatch):
+    """A failure that also reproduces synchronously raises only on the
+    explicit blocking drain — never out of a wait=False poll."""
+
+    def always_broken(static, delta):
+        raise RuntimeError("injected build failure")
+
+    monkeypatch.setattr(node_mod, "prepare_merge", always_broken)
+    with make_node() as node:
+        node.begin_merge()
+        assert node._merge_task is not None
+        node._merge_task.wait()
+        assert not node.commit_merge(wait=False)  # silent, non-blocking
+        with pytest.raises(RuntimeError, match="injected build failure"):
+            node.commit_merge(wait=True)
+        # Still nothing lost: the frozen rows remain queryable.
+        assert node.n_total == 180 and node.n_frozen == 60
+
+
+# -- bit-identity across the merge window ------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_mid_merge_parity_with_synchronous_path(workers):
+    overlapped = make_node()
+    reference = make_node()
+    with overlapped, reference:
+        reference.merge_now()  # the blocking path, fully merged
+        overlapped.begin_merge()
+        assert overlapped.merge_in_flight
+        # Mid-merge: static+frozen vs merged static must answer identically.
+        assert_parity(overlapped, reference, workers_a=workers)
+        # Per-query path too.
+        for r in range(10):
+            cols, vals = POOL.row(r)
+            a = overlapped.query(cols.astype(np.int64), vals)
+            b = reference.query(cols.astype(np.int64), vals)
+            np.testing.assert_array_equal(a.indices, b.indices)
+            np.testing.assert_array_equal(a.distances, b.distances)
+        overlapped.commit_merge()
+        assert_parity(overlapped, reference, workers_a=workers)
+
+
+def test_mid_merge_insert_and_delete_parity():
+    """All three structures live at once: static + frozen + fresh, with
+    tombstones landing in each range mid-merge."""
+    overlapped = make_node()
+    reference = make_node()
+    with overlapped, reference:
+        reference.merge_now()
+        overlapped.begin_merge()
+        # Inserts land in the fresh delta; visible by the next query.
+        la = overlapped.insert_batch(POOL.slice_rows(180, 220))
+        lb = reference.insert_batch(POOL.slice_rows(180, 220))
+        np.testing.assert_array_equal(la, lb)  # id layout identical
+        cols, vals = POOL.row(200)
+        assert 200 in overlapped.query(cols.astype(np.int64), vals).indices
+        # Tombstones in the static, frozen and fresh ranges.
+        victims = np.asarray([10, 130, 200])
+        overlapped.delete(victims)
+        reference.delete(victims)
+        assert_parity(overlapped, reference, n_queries=40)
+        for v in victims.tolist():
+            cols, vals = POOL.row(v)
+            assert v not in overlapped.query(cols.astype(np.int64), vals).indices
+        overlapped.commit_merge()
+        # Tombstones survive the swap without replay.
+        assert_parity(overlapped, reference, n_queries=40)
+        for v in victims.tolist():
+            cols, vals = POOL.row(v)
+            assert v not in overlapped.query(cols.astype(np.int64), vals).indices
+
+
+# -- concurrency soak --------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_soak_query_batch_hammers_node_during_merge(monkeypatch, workers):
+    """Background build in flight while the main thread hammers
+    query_batch: every batch must match the synchronous path exactly, and
+    no batch may observe a torn static/frozen/fresh boundary."""
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.4))
+    overlapped = make_node()
+    reference = make_node()
+    with overlapped, reference:
+        reference.merge_now()
+        overlapped.begin_merge()
+        queries = POOL.slice_rows(0, 25)
+        ref_results = reference.query_batch(queries)
+        in_flight_batches = 0
+        for _ in range(40):
+            was_in_flight = overlapped.merge_in_flight
+            sizes = (
+                overlapped.n_static,
+                overlapped.n_frozen,
+                overlapped.n_delta,
+            )
+            got = overlapped.query_batch(queries, workers=workers)
+            # A torn boundary would double- or drop-count rows; sizes are
+            # stable within a batch and results exactly match the
+            # reference whatever phase the merge is in.
+            assert sum(sizes) == 180
+            for x, y in zip(got, ref_results):
+                np.testing.assert_array_equal(x.indices, y.indices)
+                np.testing.assert_array_equal(x.distances, y.distances)
+            if was_in_flight:
+                in_flight_batches += 1
+                overlapped.commit_merge(wait=False)  # opportunistic poll
+        # The 0.4 s build must have overlapped a healthy number of batches.
+        assert in_flight_batches >= 3, (
+            f"merge finished too fast to test overlap ({in_flight_batches})"
+        )
+        overlapped.commit_merge(wait=True)
+        assert overlapped.n_static == 180
+        got = overlapped.query_batch(queries, workers=workers)
+        for x, y in zip(got, ref_results):
+            np.testing.assert_array_equal(x.indices, y.indices)
+
+
+def test_soak_concurrent_inserts_and_queries(monkeypatch):
+    """Firehose scenario: inserts keep landing while the build runs; each
+    round's inserts are visible to the immediately following query."""
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.3))
+    with make_node(n_static=120, n_delta=40) as node:
+        node.begin_merge()
+        inserted = 160
+        while node.merge_in_flight and inserted < 400:
+            ids = node.insert_batch(POOL.slice_rows(inserted, inserted + 8))
+            assert ids.tolist() == list(range(inserted, inserted + 8))
+            inserted += 8
+            cols, vals = POOL.row(inserted - 1)
+            res = node.query(cols.astype(np.int64), vals)
+            assert inserted - 1 in res.indices, "insert not visible by next query"
+            node.commit_merge(wait=False)
+        node.commit_merge(wait=True)
+        assert node.n_static >= 160
+        assert node.n_total == inserted
+
+
+# -- pool invalidation timing ------------------------------------------------
+
+
+def test_pools_survive_begin_and_invalidate_at_commit():
+    with make_node() as node:
+        queries = POOL.slice_rows(0, 16)
+        node.query_batch(queries, workers=2)  # warms a pool
+        assert len(node._executors) == 1
+        pool = node._executors.get(2, None)
+        node.begin_merge()
+        # Merge start must NOT re-fork: the snapshot still answers
+        # bit-identically (same rows, old static+delta layout).
+        assert len(node._executors) == 1
+        assert node._executors.get(2, None) is pool and not pool.closed
+        node.query_batch(queries, workers=2)
+        node.commit_merge(wait=True)
+        # Commit swapped the static in: snapshots are stale now.
+        assert len(node._executors) == 0
+        assert pool.closed
+
+
+def test_no_new_fork_pool_while_builder_runs(monkeypatch):
+    """fork()ing while the builder thread may hold BLAS/allocator locks
+    can deadlock the child, so new pools requested mid-build come from
+    the thread backend; a pool forked *before* begin_merge (no builder
+    thread existed) is reused untouched."""
+    from repro.parallel import fork_available
+
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.5))
+    with make_node() as node:
+        node.begin_merge()
+        assert node.merge_in_flight and not node.merge_ready
+        ex = node._executor(2, None)
+        assert ex.backend == "thread"
+        queries = POOL.slice_rows(0, 16)
+        reference = make_node()
+        with reference:
+            reference.merge_now()
+            assert_parity(node, reference, workers_a=2)
+        node.commit_merge(wait=True)
+        # Post-commit the platform default (fork pool on Linux) returns.
+        if fork_available():
+            assert node._executor(2, None).backend == "fork_pool"
+
+    # And a warm pre-begin fork pool is preferred over a new thread pool.
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.3))
+    with make_node() as node:
+        warm = node._executor(2, None)
+        node.begin_merge()
+        assert node._executor(2, None) is warm
+
+
+def test_sibling_node_build_blocks_new_forks(monkeypatch):
+    """The fork hazard is process-wide: while ANY node's builder thread
+    runs, no pool anywhere in the process may fork — the node guard and
+    the make_executor backstop both degrade to threads."""
+    from repro.parallel import BackgroundTask, fork_available, make_executor
+
+    monkeypatch.setattr(node_mod, "prepare_merge", slow_prepare(0.4))
+    building = make_node()
+    sibling = make_node(n_static=60, n_delta=20)
+    with building, sibling:
+        building.begin_merge()
+        assert BackgroundTask.any_active()
+        # The innocent sibling has no merge of its own in flight, yet its
+        # new pool must not fork while the build runs.
+        assert not sibling.merge_in_flight
+        assert sibling._executor(2, None).backend == "thread"
+        # The factory backstop covers creation paths outside the node.
+        ex = make_executor(None, 2, sibling)
+        assert ex.backend == "thread"
+        ex.close()
+        building.commit_merge(wait=True)
+        assert not BackgroundTask.any_active()
+        if fork_available():
+            ex = make_executor(None, 2, sibling)
+            assert ex.backend == "fork_pool"
+            ex.close()
+
+
+# -- auto-merge policy -------------------------------------------------------
+
+
+def test_auto_overlap_merges_on_threshold():
+    node = StreamingPLSH(
+        DIM, PARAMS, capacity=400, delta_fraction=0.1,
+        auto_merge=True, overlap_merges=True,
+    )
+    with node:
+        # Crossing the threshold (40) starts a background merge instead of
+        # blocking the insert.
+        node.insert_batch(POOL.slice_rows(0, 50))
+        assert node.merge_in_flight
+        assert node.n_frozen == 50 and node.n_delta == 0
+        # Next threshold crossing drains the first build, then begins the
+        # second — at most one merge in flight, nothing lost.
+        node.insert_batch(POOL.slice_rows(50, 100))
+        assert node.n_static == 50 and node.n_frozen == 50
+        node.commit_merge(wait=True)
+        assert node.n_static == 100 and node.n_merges == 2
+        reference = make_node(n_static=100, n_delta=0)
+        with reference:
+            assert_parity(node, reference)
+
+
+def test_cluster_broadcast_and_stats_mid_merge():
+    cluster = PLSHCluster(
+        3, 120, DIM, PARAMS, insert_window=3, delta_fraction=0.3,
+        overlap_merges=True,
+    )
+    reference = PLSHCluster(3, 120, DIM, PARAMS, insert_window=3)
+    with cluster, reference:
+        cluster.insert(POOL.slice_rows(0, 90))
+        reference.insert(POOL.slice_rows(0, 90))
+        n_started = cluster.begin_merge_all()
+        assert n_started == 3
+        stats = cluster.stats()
+        assert [row["merge_in_flight"] for row in stats] == [True] * 3
+        assert all(row["n_frozen"] > 0 for row in stats)
+        # Broadcast answers stay bit-identical while every node is
+        # mid-merge.
+        queries = POOL.slice_rows(0, 12)
+        got = cluster.query_batch(queries)
+        ref = reference.query_batch(queries)
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(
+                np.sort(a.result.indices), np.sort(b.result.indices)
+            )
+        committed = cluster.commit_merges(wait=True)
+        assert committed == 3
+        assert [row["merge_in_flight"] for row in cluster.stats()] == [False] * 3
+        got = cluster.query_batch(queries)
+        for a, b in zip(got, ref):
+            np.testing.assert_array_equal(
+                np.sort(a.result.indices), np.sort(b.result.indices)
+            )

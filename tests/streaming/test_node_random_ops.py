@@ -1,0 +1,319 @@
+"""Stateful random-ops harness for the streaming node (the PR's net).
+
+A seeded generator produces op sequences — insert / query / query_batch /
+delete / begin_merge / commit_merge / merge_now / snapshot — and replays
+each against two nodes in lockstep:
+
+* the **primary**, running the overlapped-merge pipeline
+  (``overlap_merges=True``, auto-merge on), queried with the harness'
+  ``workers`` setting;
+* a **shadow** reference with the synchronous blocking merge, queried
+  serially.
+
+After every query op the harness asserts
+
+1. **sync parity** — primary answers are *bit-identical* (ids and
+   distances, including order) to the shadow's, whatever merge state the
+   primary is in; this is the PR's core guarantee;
+2. **oracle soundness** — every returned id is within the radius by the
+   exhaustive-scan oracle over live rows, no tombstone is ever returned,
+   and the query's own row (when inserted and live) is always found —
+   LSH may miss neighbors, never invent them;
+3. **bookkeeping** — ``n_total`` / ``n_live`` match the model.
+
+``snapshot`` ops round-trip the primary through
+:func:`repro.persistence.save_node` / ``load_node`` and *continue the
+sequence on the loaded node*, so persistence is exercised at arbitrary
+interior states, not just at rest.
+
+On failure the harness **shrinks**: it greedily deletes ops while the
+failure reproduces and reports the minimal sequence with its seed, so a
+red run prints a directly replayable recipe.
+
+Tier-1 runs 200 seeded sequences: 100 with the suite's default worker
+setting (serial locally; the fork pool under the CI ``PLSH_WORKERS=2``
+job) and 100 explicitly sharded over 2 workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import angular_distance
+from repro.params import PLSHParams
+from repro.persistence import load_node, save_node
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+from repro.streaming.node import StreamingPLSH
+
+DIM = 48
+CAPACITY = 64
+PARAMS = PLSHParams(k=4, m=4, radius=1.1, seed=77)
+N_SEQUENCES = 100  # per workers setting; 2 settings => 200 in tier-1
+
+_RNG = np.random.default_rng(4242)
+_POOL_DENSE = _RNG.standard_normal((CAPACITY, DIM)).astype(np.float32)
+_POOL_DENSE /= np.linalg.norm(_POOL_DENSE, axis=1, keepdims=True)
+_POOL = CSRMatrix.from_dense(_POOL_DENSE)
+
+_OPS = [
+    "insert", "insert", "insert",        # weight 3
+    "query", "query",                    # weight 2
+    "query_batch",
+    "delete",
+    "begin_merge",
+    "commit_merge",
+    "merge_now",
+    "snapshot",
+]
+
+
+def generate_ops(seed: int) -> list[dict]:
+    """A seeded random op sequence (self-contained, shrink-tolerant)."""
+    rng = np.random.default_rng(seed)
+    ops: list[dict] = []
+    for _ in range(int(rng.integers(8, 15))):
+        kind = _OPS[int(rng.integers(len(_OPS)))]
+        if kind == "insert":
+            ops.append({"op": "insert", "count": int(rng.integers(1, 9))})
+        elif kind == "query":
+            ops.append({"op": "query", "row": int(rng.integers(CAPACITY))})
+        elif kind == "query_batch":
+            ops.append(
+                {
+                    "op": "query_batch",
+                    "start": int(rng.integers(CAPACITY)),
+                    "count": int(rng.integers(2, 9)),
+                }
+            )
+        elif kind == "delete":
+            ops.append({"op": "delete", "sel": int(rng.integers(1 << 30))})
+        else:
+            ops.append({"op": kind})
+    # Every sequence ends by settling and checking one final batch, so a
+    # sequence of pure mutations still verifies something.
+    ops.append({"op": "commit_merge"})
+    ops.append({"op": "query_batch", "start": 0, "count": 6})
+    return ops
+
+
+class _Model:
+    """Ground truth the nodes are checked against."""
+
+    def __init__(self) -> None:
+        self.cursor = 0          # pool rows inserted so far == n_total
+        self.deleted: set[int] = set()
+
+    def truth(self, q_cols: np.ndarray, q_vals: np.ndarray) -> set[int]:
+        """Exhaustive R-near ids over live rows (the oracle)."""
+        if self.cursor == 0:
+            return set()
+        rows = _POOL.slice_rows(0, self.cursor)
+        dense = densify_query(q_cols.astype(np.int64), q_vals, DIM)
+        dots = row_dots_dense(rows, np.arange(self.cursor), dense)
+        dists = angular_distance(dots)
+        within = np.nonzero(dists <= PARAMS.radius)[0]
+        return {int(i) for i in within if int(i) not in self.deleted}
+
+
+def _check_query(primary, shadow, model, row: int, workers) -> None:
+    q_cols, q_vals = _POOL.row(row)
+    q_cols = q_cols.astype(np.int64)
+    got = primary.query(q_cols, q_vals)
+    ref = shadow.query(q_cols, q_vals)
+    np.testing.assert_array_equal(
+        got.indices, ref.indices,
+        err_msg="overlapped path diverged from synchronous path (ids)",
+    )
+    np.testing.assert_array_equal(
+        got.distances, ref.distances,
+        err_msg="overlapped path diverged from synchronous path (distances)",
+    )
+    truth = model.truth(q_cols, q_vals)
+    got_set = set(got.indices.tolist())
+    assert got_set <= truth, f"query invented ids: {sorted(got_set - truth)}"
+    if row < model.cursor and row not in model.deleted:
+        assert row in got_set, f"self-row {row} missing from its own query"
+
+
+def _check_query_batch(primary, shadow, model, start, count, workers) -> None:
+    lo = start % CAPACITY
+    hi = min(lo + count, CAPACITY)
+    queries = _POOL.slice_rows(lo, hi)
+    got = primary.query_batch(queries, workers=workers)
+    ref = shadow.query_batch(queries, workers=1)
+    assert len(got) == len(ref) == hi - lo
+    for b, (x, y) in enumerate(zip(got, ref)):
+        np.testing.assert_array_equal(
+            x.indices, y.indices,
+            err_msg=f"batch query {b} diverged from synchronous path (ids)",
+        )
+        np.testing.assert_array_equal(
+            x.distances, y.distances,
+            err_msg=f"batch query {b} diverged (distances)",
+        )
+        q_cols, q_vals = queries.row(b)
+        truth = model.truth(q_cols.astype(np.int64), q_vals)
+        got_set = set(x.indices.tolist())
+        assert got_set <= truth, (
+            f"batch query {b} invented ids: {sorted(got_set - truth)}"
+        )
+        row = lo + b
+        if row < model.cursor and row not in model.deleted:
+            assert row in got_set, f"self-row {row} missing from batch query"
+
+
+def run_ops(ops: list[dict], workers, tmp_path) -> None:
+    """Replay a sequence, asserting parity/oracle/bookkeeping throughout.
+
+    Ops that are inapplicable in the current state (inserting into a full
+    node, deleting from an empty one) degrade to no-ops so any
+    subsequence of a valid sequence is itself valid — the property the
+    shrinker relies on.
+    """
+    primary = StreamingPLSH(
+        DIM, PARAMS, CAPACITY, delta_fraction=0.25,
+        auto_merge=True, overlap_merges=True,
+    )
+    shadow = StreamingPLSH(
+        DIM, PARAMS, CAPACITY, delta_fraction=0.25,
+        auto_merge=True, overlap_merges=False,
+    )
+    model = _Model()
+    try:
+        for op in ops:
+            kind = op["op"]
+            if kind == "insert":
+                count = min(op["count"], CAPACITY - model.cursor)
+                if count <= 0:
+                    continue
+                batch = _POOL.slice_rows(model.cursor, model.cursor + count)
+                got_ids = primary.insert_batch(batch)
+                ref_ids = shadow.insert_batch(batch)
+                expected = list(range(model.cursor, model.cursor + count))
+                assert got_ids.tolist() == expected, (
+                    f"primary local ids {got_ids.tolist()} != {expected}"
+                )
+                assert ref_ids.tolist() == expected
+                model.cursor += count
+            elif kind == "query":
+                _check_query(primary, shadow, model, op["row"], workers)
+            elif kind == "query_batch":
+                _check_query_batch(
+                    primary, shadow, model, op["start"], op["count"], workers
+                )
+            elif kind == "delete":
+                if model.cursor == 0:
+                    continue
+                local = op["sel"] % model.cursor
+                primary.delete(np.asarray([local]))
+                shadow.delete(np.asarray([local]))
+                model.deleted.add(local)
+            elif kind == "begin_merge":
+                primary.begin_merge()
+                shadow.merge_now()  # the blocking counterpart
+            elif kind == "commit_merge":
+                primary.commit_merge(wait=True)
+            elif kind == "merge_now":
+                primary.merge_now()
+                shadow.merge_now()
+            elif kind == "snapshot":
+                path = tmp_path / "snapshot.npz"
+                save_node(primary, path)  # drains any pending merge
+                primary.close()
+                primary = load_node(path)
+            else:  # pragma: no cover - generator/op-table mismatch
+                raise ValueError(f"unknown op {kind!r}")
+            # Bookkeeping invariants after every op.
+            assert primary.n_total == model.cursor, (
+                f"n_total {primary.n_total} != inserted {model.cursor}"
+            )
+            assert primary.n_live == model.cursor - len(model.deleted)
+            assert (
+                primary.n_static + primary.n_frozen + primary.n_delta
+                == model.cursor
+            )
+    finally:
+        primary.close()
+        shadow.close()
+
+
+def _failure(ops, workers, tmp_path):
+    """Run a sequence, returning the AssertionError it raises (or None)."""
+    try:
+        run_ops(ops, workers, tmp_path)
+    except AssertionError as exc:
+        return exc
+    return None
+
+
+def shrink_ops(ops: list[dict], workers, tmp_path) -> list[dict]:
+    """Greedily delete ops while the failure still reproduces."""
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(ops)):
+            candidate = ops[:i] + ops[i + 1 :]
+            if candidate and _failure(candidate, workers, tmp_path):
+                ops = candidate
+                changed = True
+                break
+    return ops
+
+
+@pytest.mark.parametrize(
+    "workers",
+    [
+        pytest.param(None, id="default-workers"),
+        pytest.param(2, id="workers-2"),
+    ],
+)
+def test_random_op_sequences(workers, tmp_path):
+    """≥200 seeded sequences across the two worker settings (100 each)."""
+    base = 0 if workers is None else 10_000
+    for seed in range(base, base + N_SEQUENCES):
+        ops = generate_ops(seed)
+        error = _failure(ops, workers, tmp_path)
+        if error is not None:
+            minimal = shrink_ops(list(ops), workers, tmp_path)
+            final = _failure(minimal, workers, tmp_path) or error
+            lines = "\n".join(f"  {op!r}," for op in minimal)
+            pytest.fail(
+                f"random-ops sequence failed (seed={seed}, workers={workers})\n"
+                f"minimal reproducing sequence ({len(minimal)} of "
+                f"{len(ops)} ops):\n[\n{lines}\n]\n"
+                f"replay: run_ops(<ops>, workers={workers!r}, tmp_path)\n\n"
+                f"{final}"
+            )
+
+
+def test_shrinker_finds_minimal_sequence(tmp_path, monkeypatch):
+    """The shrinker itself: plant a deterministic parity bug and check the
+    reported minimal sequence is the two-op core that triggers it."""
+    ops = generate_ops(123)
+    # A query on a node poisoned to drop its frozen delta from answers
+    # diverges from the shadow only when a merge is in flight.
+    real_views = StreamingPLSH._delta_views
+
+    def broken_views(self):
+        views = real_views(self)
+        if self._frozen is not None:  # lose the frozen rows: a "torn" read
+            return [v for v in views if v[0] is not self._frozen]
+        return views
+
+    monkeypatch.setattr(StreamingPLSH, "_delta_views", broken_views)
+    ops = [
+        {"op": "insert", "count": 8},
+        {"op": "delete", "sel": 3},
+        {"op": "begin_merge"},
+        {"op": "query_batch", "start": 0, "count": 6},
+    ]
+    error = _failure(ops, None, tmp_path)
+    assert error is not None, "planted bug must be caught by the harness"
+    minimal = shrink_ops(list(ops), None, tmp_path)
+    kinds = [op["op"] for op in minimal]
+    assert "begin_merge" in kinds and any(
+        k in ("query", "query_batch") for k in kinds
+    ), f"shrunk sequence lost the failing core: {minimal}"
+    assert len(minimal) <= 3, f"shrinker left slack: {minimal}"

@@ -1,10 +1,16 @@
 """Stateful property test: a StreamingPLSH node against a plain model.
 
-Hypothesis drives random interleavings of insert / merge / delete / retire
-/ query against a tiny node, checking after every step that queries agree
-with a brute-force oracle over the model's live rows.  This is the
-failure-injection net for the streaming state machine: id stability across
-merges, deletion persistence, retirement resets.
+Hypothesis drives random interleavings of insert / merge (blocking *and*
+overlapped begin/commit) / delete / retire / query against a tiny node,
+checking after every step that queries agree with a brute-force oracle
+over the model's live rows.  This is the failure-injection net for the
+streaming state machine: id stability across merges (including mid-merge,
+while a frozen delta is being folded in on the background thread),
+deletion persistence, retirement resets.
+
+The seeded random-ops harness in ``test_node_random_ops.py`` complements
+this machine with exact parity checks against the synchronous-merge path
+and a deterministic shrinker.
 """
 
 from __future__ import annotations
@@ -64,6 +70,26 @@ class StreamingNodeMachine(RuleBasedStateMachine):
     def merge(self) -> None:
         self.node.merge_now()
         assert self.node.n_delta == 0
+        assert not self.node.merge_in_flight
+
+    @precondition(lambda self: self.node.n_delta > 0)
+    @rule()
+    def begin_merge(self) -> None:
+        already_in_flight = self.node.merge_in_flight
+        assert self.node.begin_merge()
+        assert self.node.merge_in_flight
+        if not already_in_flight:  # freezing moved the delta aside
+            assert self.node.n_delta == 0
+
+    @rule(wait=st.booleans())
+    def commit_merge(self, wait: bool) -> None:
+        was_in_flight = self.node.merge_in_flight
+        committed = self.node.commit_merge(wait=wait)
+        if wait:
+            assert committed == was_in_flight
+            assert not self.node.merge_in_flight
+        if committed:
+            assert self.node.n_frozen == 0
 
     @precondition(lambda self: len(self.live) > 0)
     @rule(data=st.data())
@@ -75,6 +101,7 @@ class StreamingNodeMachine(RuleBasedStateMachine):
     @rule()
     def retire(self) -> None:
         self.node.retire()
+        assert not self.node.merge_in_flight
         self.live.clear()
         self.deleted.clear()
         self.cursor = 0

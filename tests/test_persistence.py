@@ -1,4 +1,4 @@
-"""Index save/load round-trip tests."""
+"""Index and streaming-node save/load round-trip tests."""
 
 from __future__ import annotations
 
@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro import PLSHIndex, PLSHParams
-from repro.persistence import load_index, save_index
+from repro.persistence import load_index, load_node, save_index, save_node
+from repro.streaming.node import StreamingPLSH
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +72,149 @@ def test_version_check(saved_path, tmp_path):
     np.savez(bad, **payload)
     with pytest.raises(ValueError):
         load_index(bad)
+
+
+# -- streaming node round-trips ---------------------------------------------
+
+
+def _parity(a, b, queries, n=12, workers=None):
+    """Assert two nodes answer identically (exact ids and distances)."""
+    ra = a.query_batch(queries.slice_rows(0, n), workers=workers)
+    rb = b.query_batch(queries.slice_rows(0, n), workers=workers)
+    for x, y in zip(ra, rb):
+        np.testing.assert_array_equal(x.indices, y.indices)
+        np.testing.assert_array_equal(x.distances, y.distances)
+
+
+@pytest.fixture()
+def streaming_node(small_vectors, small_params):
+    """A node mid-life: merged static + live delta + tombstones."""
+    node = StreamingPLSH(
+        small_vectors.n_cols, small_params, capacity=600,
+        delta_fraction=0.25, auto_merge=False, overlap_merges=True,
+    )
+    node.insert_batch(small_vectors.slice_rows(0, 300))
+    node.merge_now()
+    node.insert_batch(small_vectors.slice_rows(300, 380))
+    node.delete(np.asarray([5, 17, 310, 350]))
+    yield node
+    node.close()
+
+
+def test_node_roundtrip_query_parity(streaming_node, small_vectors, tmp_path):
+    path = tmp_path / "node.npz"
+    save_node(streaming_node, path)
+    loaded = load_node(path)
+    assert loaded.n_static == streaming_node.n_static
+    assert loaded.n_delta == streaming_node.n_delta
+    assert loaded.n_merges == streaming_node.n_merges
+    assert loaded.deletions.n_deleted == streaming_node.deletions.n_deleted
+    assert not loaded.merge_in_flight
+    _parity(streaming_node, loaded, small_vectors)
+    # The per-query path agrees too.
+    cols, vals = small_vectors.row(3)
+    a = streaming_node.query(cols.astype(np.int64), vals)
+    b = loaded.query(cols.astype(np.int64), vals)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.distances, b.distances)
+
+
+def test_node_roundtrip_preserves_structures(streaming_node, tmp_path):
+    path = tmp_path / "node.npz"
+    save_node(streaming_node, path)
+    loaded = load_node(path)
+    np.testing.assert_array_equal(
+        loaded.static.u_values, streaming_node.static.u_values
+    )
+    np.testing.assert_array_equal(
+        loaded.static.tables.entries, streaming_node.static.tables.entries
+    )
+    np.testing.assert_array_equal(
+        loaded.delta.u_values(), streaming_node.delta.u_values()
+    )
+    assert loaded.delta._bins == streaming_node.delta._bins
+    assert loaded.capacity == streaming_node.capacity
+    assert loaded.delta_fraction == streaming_node.delta_fraction
+    assert loaded.overlap_merges == streaming_node.overlap_merges
+    assert loaded.auto_merge == streaming_node.auto_merge
+
+
+def test_node_loaded_keeps_streaming(streaming_node, small_vectors, tmp_path):
+    """A restored node is live: inserts, merges and deletes keep working
+    and stay in lockstep with the original."""
+    path = tmp_path / "node.npz"
+    save_node(streaming_node, path)
+    loaded = load_node(path)
+    for node in (streaming_node, loaded):
+        ids = node.insert_batch(small_vectors.slice_rows(380, 420))
+        assert ids[0] == 380
+        node.delete(np.asarray([395]))
+        node.merge_now()
+    assert loaded.n_static == streaming_node.n_static == 420
+    _parity(streaming_node, loaded, small_vectors)
+
+
+def test_node_save_refuses_pending_merge(streaming_node, tmp_path):
+    assert streaming_node.begin_merge()
+    with pytest.raises(ValueError, match="merge in flight"):
+        save_node(streaming_node, tmp_path / "x.npz", on_pending="refuse")
+    # The refusal must not have perturbed the node.
+    assert streaming_node.merge_in_flight
+    streaming_node.commit_merge()
+
+
+def test_node_save_drains_pending_merge(
+    streaming_node, small_vectors, tmp_path
+):
+    n_static_before = streaming_node.n_static
+    n_delta = streaming_node.n_delta
+    assert streaming_node.begin_merge()
+    path = tmp_path / "node.npz"
+    save_node(streaming_node, path)  # default: drain
+    assert not streaming_node.merge_in_flight
+    assert streaming_node.n_static == n_static_before + n_delta
+    loaded = load_node(path)
+    assert loaded.n_static == streaming_node.n_static
+    assert loaded.n_delta == 0
+    assert not loaded.merge_in_flight
+    _parity(streaming_node, loaded, small_vectors)
+
+
+def test_node_save_bad_pending_mode(streaming_node, tmp_path):
+    with pytest.raises(ValueError, match="on_pending"):
+        save_node(streaming_node, tmp_path / "x.npz", on_pending="ignore")
+
+
+def test_empty_node_roundtrip(small_params, small_vectors, tmp_path):
+    node = StreamingPLSH(
+        small_vectors.n_cols, small_params, capacity=100, auto_merge=False
+    )
+    path = tmp_path / "empty.npz"
+    save_node(node, path)
+    loaded = load_node(path)
+    assert loaded.n_total == 0
+    ids = loaded.insert_batch(small_vectors.slice_rows(0, 10))
+    assert ids.tolist() == list(range(10))
+    cols, vals = small_vectors.row(2)
+    assert 2 in loaded.query(cols.astype(np.int64), vals).indices.tolist()
+
+
+def test_node_version_check(streaming_node, tmp_path):
+    import json
+
+    path = tmp_path / "node.npz"
+    save_node(streaming_node, path)
+    with np.load(path) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    meta = json.loads(bytes(payload["node_meta"]).decode("utf-8"))
+    meta["format_version"] = 999
+    payload["node_meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    bad = tmp_path / "bad.npz"
+    np.savez(bad, **payload)
+    with pytest.raises(ValueError, match="unsupported node format"):
+        load_node(bad)
 
 
 def test_none_seed_roundtrip(tmp_path, small_vectors, small_queries):
