@@ -1,16 +1,24 @@
-"""Figure 9 — scaling on multiple nodes (weak scaling).
+"""Figure 9 — scaling on multiple nodes (weak scaling), two transports.
 
 Paper: with the data per node fixed at 10.5 M tweets, creation and query
 times stay flat from 1 to 100 nodes ("flat lines indicate perfect
 scaling"), load balance (max/avg) stays below 1.3, and query communication
 is under 20 ms per 1000-query batch (< 1 % of runtime).
 
-This bench holds data-per-node constant and sweeps the node count,
-reporting per-node init times (min/avg/max), per-node query times
-(min/avg/max), load imbalance, and the modeled communication fraction.
-Nodes are simulated in-process, so per-node compute is real measured work
-and "parallel" time is the max over nodes (the coordinator's critical
-path).
+Three benches:
+
+* ``test_fig9_node_scaling`` holds data-per-node constant and sweeps the
+  node count over the in-process simulation, reporting per-node init and
+  query times, load imbalance, and the modeled communication fraction.
+* ``test_fig9_concurrent_broadcast`` measures the coordinator's
+  concurrent fan-out against the old serial per-node loop on the same
+  cluster — bit-identical answers, wall-clock below the serial sum on
+  multi-core hosts (the per-node kernels release the GIL).
+* ``test_fig9_rpc_cluster`` spawns a real multi-process cluster
+  (``spawn_local_cluster``) next to the simulation, checks broadcasts
+  are bit-identical, and reports measured vs modeled communication:
+  load-balance ratio per backend, per-node wire share (coordinator wall
+  minus server compute), and real transport bytes vs the NetworkModel's.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import numpy as np
 
 from repro.bench.reporting import format_table, print_section
 from repro.cluster.cluster import PLSHCluster
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.network import NetworkModel
 from repro.cluster.stats import aggregate_node_seconds, load_imbalance
 
 
@@ -63,6 +73,12 @@ def test_fig9_node_scaling(benchmark, twitter, scale):
             node.plsh.merge_now()
             init_times.append(time.perf_counter() - start)
             pos += per_node
+        # Serial fan-out for the *measurement*: under the concurrent
+        # broadcast a node's wall time includes GIL waits on fewer-core
+        # hosts, which would report thread scheduling as data imbalance.
+        # Figure 9's load-balance ratio is about shard sizes; the
+        # concurrent path has its own bench below.
+        cluster.coordinator.concurrent = False
         # Two passes, keeping each node's faster total: one-off scheduler
         # pauses on a small shared host would otherwise masquerade as load
         # imbalance.
@@ -116,3 +132,192 @@ def test_fig9_node_scaling(benchmark, twitter, scale):
     init_avgs = [r[2] for r in rows]
     assert max(init_avgs) < 2.0 * min(init_avgs)
     assert all(r[7] < 2.0 for r in rows)
+
+
+def _fill_cluster(cluster: PLSHCluster, data, per_node: int) -> None:
+    pos = 0
+    for node in cluster.nodes:
+        node.insert_batch(
+            data.slice_rows(pos, pos + per_node),
+            np.arange(pos, pos + per_node),
+        )
+        node.merge_now()
+        pos += per_node
+
+
+def test_fig9_concurrent_broadcast(benchmark, twitter, scale):
+    """Concurrent fan-out vs the old serial per-node loop, same cluster."""
+    params = scale.params()
+    per_node = int(os.environ.get("PLSH_BENCH_FIG9_PER_NODE", "10000"))
+    n_nodes = int(os.environ.get("PLSH_BENCH_FIG9_BCAST_NODES", "4"))
+    n_queries = int(os.environ.get("PLSH_BENCH_FIG9_BCAST_QUERIES", "200"))
+    queries = twitter.queries.slice_rows(0, min(n_queries, twitter.queries.n_rows))
+
+    need = n_nodes * per_node
+    reps = -(-need // twitter.n)
+    if reps > 1:
+        from repro.sparse.csr import CSRMatrix
+
+        data = CSRMatrix.vstack([twitter.vectors] * reps).slice_rows(0, need)
+    else:
+        data = twitter.vectors.slice_rows(0, need)
+
+    with PLSHCluster(
+        n_nodes=n_nodes, node_capacity=per_node,
+        dim=twitter.vectors.n_cols, params=params,
+        insert_window=min(4, n_nodes),
+    ) as cluster:
+        _fill_cluster(cluster, data, per_node)
+        serial = Coordinator(cluster.nodes, NetworkModel(), concurrent=False)
+        try:
+            # Warmup both paths, then best-of-two per mode.
+            cluster.query_batch(queries.slice_rows(0, 5))
+            serial.query_batch(queries.slice_rows(0, 5))
+
+            def run(coord):
+                start = time.perf_counter()
+                outs = coord.query_batch(queries)
+                return time.perf_counter() - start, outs
+
+            serial_wall, serial_outs = min(
+                (run(serial) for _ in range(2)), key=lambda t: t[0]
+            )
+            conc_wall, conc_outs = min(
+                (run(cluster.coordinator) for _ in range(2)), key=lambda t: t[0]
+            )
+            serial_sum = sum(
+                aggregate_node_seconds(serial_outs).values()
+            )
+            for a, b in zip(serial_outs, conc_outs):
+                np.testing.assert_array_equal(a.result.indices, b.result.indices)
+                np.testing.assert_array_equal(
+                    a.result.distances, b.result.distances
+                )
+        finally:
+            serial.close()
+
+        benchmark.pedantic(
+            lambda: cluster.coordinator.query_batch(queries.slice_rows(0, 10)),
+            rounds=2,
+            iterations=1,
+        )
+
+    print_section(
+        f"Figure 9 — concurrent broadcast ({n_nodes} nodes x {per_node:,} docs, "
+        f"{queries.n_rows} queries, {os.cpu_count()} vCPU)",
+        format_table(
+            ["mode", "batch wall ms", "sum node ms"],
+            [
+                ["serial loop", serial_wall * 1e3, serial_sum * 1e3],
+                ["concurrent", conc_wall * 1e3,
+                 sum(aggregate_node_seconds(conc_outs).values()) * 1e3],
+            ],
+        )
+        + "\nanswers bit-identical; concurrent wall tracks the slowest node"
+          " where cores allow (paper: per-node times overlap fully)",
+    )
+
+    # Shape: the concurrent fan-out must beat the old serial sum-over-nodes
+    # wherever there is real parallel hardware and enough work to overlap.
+    if (os.cpu_count() or 1) >= 2 and serial_wall >= 0.05:
+        assert conc_wall < 0.9 * serial_sum, (
+            f"concurrent broadcast {conc_wall * 1e3:.1f} ms not below "
+            f"90% of serial sum {serial_sum * 1e3:.1f} ms"
+        )
+
+
+def test_fig9_rpc_cluster(benchmark, twitter, scale):
+    """Real multi-process cluster vs the simulation: identity + comm share."""
+    from repro.cluster import spawn_local_cluster
+    from repro.parallel import fork_available
+
+    if not fork_available():
+        import pytest
+
+        pytest.skip("spawn_local_cluster requires fork()")
+
+    params = scale.params()
+    per_node = int(os.environ.get("PLSH_BENCH_FIG9_RPC_PER_NODE", "5000"))
+    n_nodes = int(os.environ.get("PLSH_BENCH_FIG9_RPC_NODES", "3"))
+    n_queries = int(os.environ.get("PLSH_BENCH_FIG9_RPC_QUERIES", "200"))
+    queries = twitter.queries.slice_rows(0, min(n_queries, twitter.queries.n_rows))
+    need = n_nodes * per_node
+    data = twitter.vectors.slice_rows(0, min(need, twitter.n))
+    per_node = data.n_rows // n_nodes
+
+    sim = PLSHCluster(
+        n_nodes=n_nodes, node_capacity=per_node,
+        dim=twitter.vectors.n_cols, params=params,
+        insert_window=min(4, n_nodes),
+    )
+    rpc = spawn_local_cluster(
+        n_nodes, per_node, twitter.vectors.n_cols, params,
+        insert_window=min(4, n_nodes),
+    )
+    try:
+        _fill_cluster(sim, data, per_node)
+        _fill_cluster(rpc, data, per_node)
+
+        sim.query_batch(queries.slice_rows(0, 5))  # warmup
+        rpc.query_batch(queries.slice_rows(0, 5))
+        start = time.perf_counter()
+        sim_outs = sim.query_batch(queries)
+        sim_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        rpc_outs = rpc.query_batch(queries)
+        rpc_wall = time.perf_counter() - start
+
+        for a, b in zip(sim_outs, rpc_outs):
+            np.testing.assert_array_equal(a.result.indices, b.result.indices)
+            np.testing.assert_array_equal(a.result.distances, b.result.distances)
+
+        sim_totals = aggregate_node_seconds(sim_outs)
+        rpc_totals = aggregate_node_seconds(rpc_outs)
+        # Per-node wire share: coordinator-side wall minus server compute.
+        compute = {
+            node.node_id: node.last_compute_seconds for node in rpc.nodes
+        }
+        # aggregate_node_seconds sums the per-query shares back to the
+        # node's whole-batch seconds, so compute/total is the right ratio.
+        wire_share = {
+            nid: 1.0 - compute[nid] / rpc_totals[nid]
+            if rpc_totals[nid] > 0 else 0.0
+            for nid in rpc_totals
+        }
+        transport = rpc.coordinator.transport_totals()
+        modeled = rpc.network.stats
+
+        benchmark.pedantic(
+            lambda: rpc.query_batch(queries.slice_rows(0, 10)),
+            rounds=2,
+            iterations=1,
+        )
+    finally:
+        rpc.close()
+        sim.close()
+
+    rows = [
+        ["in-process", sim_wall * 1e3,
+         load_imbalance(list(sim_totals.values())), 0.0],
+        ["multi-process", rpc_wall * 1e3,
+         load_imbalance(list(rpc_totals.values())),
+         100 * max(0.0, sum(wire_share.values()) / len(wire_share))],
+    ]
+    print_section(
+        f"Figure 9 — real transport ({n_nodes} node processes x "
+        f"{per_node:,} docs, {queries.n_rows} queries)",
+        format_table(
+            ["backend", "batch wall ms", "load imbal", "comm share %"],
+            rows,
+        )
+        + f"\nreal wire traffic: {transport['n_messages']} messages, "
+          f"{(transport['bytes_sent'] + transport['bytes_received']) / 1e6:.2f} MB"
+          f" (modeled: {modeled.n_messages} messages, "
+          f"{modeled.bytes_sent / 1e6:.2f} MB)"
+        + "\npaper: communication < 1% of runtime at 100 nodes over Infiniband;"
+          " localhost TCP pays serialization, so the share is honest, not tiny",
+    )
+
+    # Shape: both backends answered bit-identically (asserted above) and
+    # the load-balance metric stays sane over the real transport.
+    assert load_imbalance(list(rpc_totals.values())) < 2.0

@@ -28,7 +28,14 @@ from repro.params import PLSHParams, PAPER_TWITTER_PARAMS
 from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult, QueryStats
 from repro.cluster.cluster import PLSHCluster
-from repro.persistence import load_index, load_node, save_index, save_node
+from repro.persistence import (
+    load_cluster_node,
+    load_index,
+    load_node,
+    save_cluster_node,
+    save_index,
+    save_node,
+)
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.vectorizer import IDFVectorizer
 from repro.streaming.node import StreamingPLSH
@@ -52,7 +59,9 @@ __all__ = [
     "WIKIPEDIA_SPEC",
     "__version__",
     "load_index",
+    "load_cluster_node",
     "load_node",
     "save_index",
+    "save_cluster_node",
     "save_node",
 ]

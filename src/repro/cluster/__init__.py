@@ -1,29 +1,63 @@
-"""Multi-node PLSH (Sections 4 and 5.3), as an in-process simulation.
+"""Multi-node PLSH (Sections 4 and 5.3) — simulated *and* real.
 
-The paper runs 100 nodes over Infiniband/MPI; here each node is a real
-:class:`repro.streaming.StreamingPLSH` instance living in one process, a
-:class:`Coordinator` broadcasts queries and concatenates partial answers,
-and a :class:`NetworkModel` charges every message for bytes and latency so
-the paper's "communication is <1 % of runtime" claim can be checked.
+The paper runs 100 nodes over Infiniband/MPI.  This package provides the
+same topology at two levels of realism behind one node-handle protocol:
+
+**In-process simulation** (the default :class:`PLSHCluster` constructor):
+each node is a real :class:`repro.streaming.StreamingPLSH` instance in
+this process, and a :class:`NetworkModel` charges every message for bytes
+and latency so the paper's "communication is <1 % of runtime" claim can
+be checked analytically.
+
+**Real multi-process deployment**: :func:`spawn_local_cluster` forks one
+:class:`NodeServer` process per node; each owns its :class:`ClusterNode`
+and serves a length-prefixed binary protocol over TCP
+(:mod:`repro.cluster.protocol` / :mod:`repro.cluster.transport` — raw
+CSR and result buffers on the hot path, never pickle).  The coordinator
+drives :class:`RemoteNodeHandle` stubs through the same broadcast/merge
+code as the simulation, so answers are bit-identical between the two
+backends on the same op sequence.
+
+Either way, the :class:`Coordinator` broadcasts queries **concurrently**
+(every node's request in flight at once on a :mod:`repro.parallel`
+thread pool) and concatenates partial answers; a node that dies
+mid-broadcast surfaces as a per-node error in the
+:class:`BroadcastOutcome` instead of killing the broadcast.
 
 Partitioning follows the paper's chosen scheme: every node holds *all* L
 tables over a shard of the data (scheme 2 of Section 5.3); data is
-distributed in arrival order to a rolling window of M insert nodes; when all
-nodes are full, the window wraps and the oldest M nodes are retired
+distributed in arrival order to a rolling window of M insert nodes; when
+all nodes are full, the window wraps and the oldest M nodes are retired
 wholesale (Figure 1).
 """
 
+from repro.cluster.client import (
+    RemoteNodeError,
+    RemoteNodeHandle,
+    SpawnedLocalCluster,
+    spawn_local_cluster,
+)
 from repro.cluster.cluster import PLSHCluster
-from repro.cluster.coordinator import Coordinator
+from repro.cluster.coordinator import BroadcastOutcome, Coordinator
 from repro.cluster.network import NetworkModel, NetworkStats
 from repro.cluster.node import ClusterNode
+from repro.cluster.server import NodeServer
 from repro.cluster.stats import load_imbalance
+from repro.cluster.transport import Connection, TransportStats
 
 __all__ = [
+    "BroadcastOutcome",
     "ClusterNode",
+    "Connection",
     "Coordinator",
     "NetworkModel",
     "NetworkStats",
+    "NodeServer",
     "PLSHCluster",
+    "RemoteNodeError",
+    "RemoteNodeHandle",
+    "SpawnedLocalCluster",
+    "TransportStats",
     "load_imbalance",
+    "spawn_local_cluster",
 ]

@@ -1,0 +1,366 @@
+"""Remote node handles and the localhost cluster spawner.
+
+:class:`RemoteNodeHandle` implements the node handle protocol (see
+:mod:`repro.cluster.node`) over one TCP connection to a
+:class:`~repro.cluster.server.NodeServer` process, so the coordinator and
+:class:`~repro.cluster.cluster.PLSHCluster` drive in-process and remote
+nodes through identical call sites.  Capacity bookkeeping (``n_items``,
+``free_capacity``) is mirrored client-side from authoritative counts the
+server returns with every mutating response — the cluster's rolling insert
+window needs those without a round trip per check.
+
+:func:`spawn_local_cluster` is the zero-config deployment for tests and
+benches: it forks one ``NodeServer`` process per node on localhost and
+returns a :class:`SpawnedLocalCluster` (a :class:`PLSHCluster` whose nodes
+are remote handles).  Fork-based spawning shares the parent's hyperplane
+bank copy-on-write, so every node hashes queries identically even when
+``params.seed`` is ``None`` — the same trick the in-process simulation
+plays by sharing one :class:`AllPairsHasher` object.
+
+A node process that dies mid-broadcast surfaces as a per-node error in the
+:class:`~repro.cluster.coordinator.BroadcastOutcome` (the handle marks
+itself dead and later broadcasts skip it); it never kills the broadcast.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro.cluster import protocol
+from repro.cluster.cluster import PLSHCluster
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.server import NodeServer
+from repro.cluster.transport import Connection
+from repro.core.hashing import AllPairsHasher
+from repro.core.query import QueryResult
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "RemoteNodeError",
+    "RemoteNodeHandle",
+    "SpawnedLocalCluster",
+    "spawn_local_cluster",
+]
+
+
+class RemoteNodeError(RuntimeError):
+    """The server answered a request with an application-level error."""
+
+
+class RemoteNodeHandle:
+    """The node handle protocol spoken over one TCP connection."""
+
+    def __init__(
+        self,
+        node_id: int,
+        host: str,
+        port: int,
+        capacity: int,
+        *,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.node_id = node_id
+        self.host = host
+        self.port = port
+        self._capacity = int(capacity)
+        self._n_items = 0
+        self._alive = True
+        #: server-side compute seconds of the last query_batch (excludes
+        #: the wire), for measured communication-share accounting.
+        self.last_compute_seconds: float | None = None
+        self._conn = Connection.connect(host, port, timeout=connect_timeout)
+        # Sync the client-side mirror from the server's authoritative
+        # counts: a handle (re)connected to an already-populated server
+        # must not report 0 items (the coordinator would silently skip
+        # the node and the insert window would over-fill it).
+        self.stats()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """False once a transport failure marked the node dead."""
+        return self._alive
+
+    @property
+    def transport_stats(self):
+        """Real bytes/messages on this handle's wire (TransportStats)."""
+        return self._conn.stats
+
+    def _call(
+        self, code: int, meta: dict | None = None, arrays=()
+    ) -> tuple[dict, list[np.ndarray]]:
+        if not self._alive:
+            raise ConnectionError(
+                f"node {self.node_id} is marked dead (earlier transport failure)"
+            )
+        try:
+            self._conn.send_message(code, meta, arrays)
+            status, out_meta, out_arrays = self._conn.recv_message()
+        except ConnectionError:
+            self._alive = False
+            raise
+        if status == protocol.STATUS_ERROR:
+            raise RemoteNodeError(
+                f"node {self.node_id} {out_meta.get('op', '?')}: "
+                f"{out_meta.get('type', 'Error')}: {out_meta.get('error', '')}"
+            )
+        return out_meta, out_arrays
+
+    # -- node handle protocol ----------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return self._n_items
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def free_capacity(self) -> int:
+        return self._capacity - self._n_items
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_capacity <= 0
+
+    def ping(self) -> int:
+        meta, _ = self._call(protocol.OP_PING)
+        return int(meta["node_id"])
+
+    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+        meta, _ = self._call(
+            protocol.OP_INSERT_BATCH,
+            {"n_cols": vectors.n_cols},
+            protocol.csr_to_arrays(vectors)
+            + [np.ascontiguousarray(global_ids, dtype=np.int64)],
+        )
+        self._n_items = int(meta["n_items"])
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> QueryResult:
+        _, (ids, dists) = self._call(
+            protocol.OP_QUERY,
+            {"radius": radius},
+            [
+                np.ascontiguousarray(q_cols, dtype=np.int64),
+                np.ascontiguousarray(q_vals, dtype=np.float32),
+            ],
+        )
+        return QueryResult(ids, dists)
+
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list[QueryResult]:
+        meta = {"n_cols": queries.n_cols, "radius": radius}
+        # Omitted fields defer to the server's own defaults.
+        if mode is not None:
+            meta["mode"] = mode
+        if workers is not None:
+            meta["workers"] = workers
+        if backend is not None:
+            meta["backend"] = backend
+        out_meta, (indptr, ids, dists) = self._call(
+            protocol.OP_QUERY_BATCH, meta, protocol.csr_to_arrays(queries)
+        )
+        self.last_compute_seconds = float(out_meta["seconds"])
+        return [
+            QueryResult(ids[int(s) : int(e)], dists[int(s) : int(e)])
+            for s, e in zip(indptr[:-1], indptr[1:])
+        ]
+
+    def delete_global(self, global_ids: np.ndarray) -> int:
+        meta, _ = self._call(
+            protocol.OP_DELETE_GLOBAL,
+            None,
+            [np.ascontiguousarray(global_ids, dtype=np.int64)],
+        )
+        return int(meta["n_deleted"])
+
+    def begin_merge(self) -> bool:
+        meta, _ = self._call(protocol.OP_BEGIN_MERGE)
+        return bool(meta["started"])
+
+    def commit_merge(self, *, wait: bool = False) -> bool:
+        meta, _ = self._call(protocol.OP_COMMIT_MERGE, {"wait": wait})
+        return bool(meta["committed"])
+
+    def merge_now(self) -> None:
+        self._call(protocol.OP_MERGE_NOW)
+
+    def stats(self) -> dict:
+        meta, _ = self._call(protocol.OP_STATS)
+        stats = meta["stats"]
+        self._n_items = int(stats["n_items"])
+        return stats
+
+    def retire(self) -> np.ndarray:
+        _, (dropped,) = self._call(protocol.OP_RETIRE)
+        self._n_items = 0
+        return dropped
+
+    def shutdown(self) -> None:
+        """Ask the server process to exit cleanly (idempotent-ish)."""
+        try:
+            self._call(protocol.OP_SHUTDOWN)
+        except (ConnectionError, RemoteNodeError):
+            pass  # already gone
+        self.close()
+
+    def close(self) -> None:
+        """Drop the connection (the server keeps running; see shutdown)."""
+        self._conn.close()
+        self._alive = False
+
+
+# -- localhost spawning ----------------------------------------------------
+
+
+def _node_server_main(
+    node_id: int,
+    dim: int,
+    params: PLSHParams,
+    capacity: int,
+    hasher: AllPairsHasher,
+    delta_fraction: float,
+    overlap_merges: bool,
+    workers: int | None,
+    backend: str | None,
+    ready,
+) -> None:
+    """Child-process entry: build the node, report the port, serve."""
+    node = ClusterNode(
+        node_id,
+        dim,
+        params,
+        capacity,
+        hasher,
+        delta_fraction=delta_fraction,
+        overlap_merges=overlap_merges,
+    )
+    server = NodeServer(node, workers=workers, backend=backend)
+    ready.send((server.host, server.port))
+    ready.close()
+    server.serve_forever()
+
+
+class SpawnedLocalCluster(PLSHCluster):
+    """A :class:`PLSHCluster` whose nodes live in forked server processes."""
+
+    #: one multiprocessing.Process per node, index-aligned with ``nodes``.
+    processes: list
+
+    def kill_node(self, index: int) -> None:
+        """Hard-kill one node's process (failure injection for tests)."""
+        proc = self.processes[index]
+        proc.kill()
+        proc.join(timeout=5.0)
+
+    def close(self) -> None:
+        for node in self.nodes:
+            try:
+                node.shutdown()
+            except Exception:
+                pass
+        for proc in self.processes:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        super().close()
+
+
+def spawn_local_cluster(
+    n_nodes: int,
+    node_capacity: int,
+    dim: int,
+    params: PLSHParams,
+    *,
+    insert_window: int = 4,
+    delta_fraction: float = 0.1,
+    overlap_merges: bool = False,
+    network: NetworkModel | None = None,
+    node_workers: int | None = None,
+    node_backend: str | None = None,
+    connect_timeout: float = 10.0,
+) -> SpawnedLocalCluster:
+    """Fork ``n_nodes`` :class:`NodeServer` processes and cluster them.
+
+    Every child is forked *after* the parent draws the hyperplane bank, so
+    all nodes share identical hash functions by copy-on-write inheritance
+    (required for broadcast querying; works even with ``params.seed=None``).
+    Requires a platform with ``fork`` (Linux/macOS); call it before any
+    background merge builds are running (fork-while-threaded hazard, same
+    rule the fork pool follows).
+    """
+    from repro.parallel import fork_available
+
+    if not fork_available():
+        raise RuntimeError(
+            "spawn_local_cluster requires the fork start method "
+            "(unavailable on this platform)"
+        )
+    ctx = multiprocessing.get_context("fork")
+    hasher = AllPairsHasher(params, dim)
+    processes = []
+    ready_ends = []
+    handles = []
+    try:
+        for i in range(n_nodes):
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_node_server_main,
+                args=(
+                    i, dim, params, node_capacity, hasher,
+                    delta_fraction, overlap_merges,
+                    node_workers, node_backend, send_end,
+                ),
+                daemon=True,
+                name=f"plsh-node-{i}",
+            )
+            proc.start()
+            send_end.close()
+            processes.append(proc)
+            ready_ends.append(recv_end)
+        deadline = time.monotonic() + connect_timeout
+        for i, recv_end in enumerate(ready_ends):
+            if not recv_end.poll(max(0.0, deadline - time.monotonic())):
+                raise TimeoutError(f"node {i} did not report a port in time")
+            host, port = recv_end.recv()
+            recv_end.close()
+            handles.append(
+                RemoteNodeHandle(
+                    i, host, port, node_capacity,
+                    connect_timeout=connect_timeout,
+                )
+            )
+    except BaseException:
+        for handle in handles:
+            handle.close()
+        for recv_end in ready_ends:
+            recv_end.close()
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5.0)
+        raise
+    cluster = SpawnedLocalCluster.from_handles(
+        handles, dim, params,
+        insert_window=insert_window, network=network,
+    )
+    cluster.processes = processes
+    return cluster

@@ -8,7 +8,19 @@ Policy, per Sections 4 and 6:
 * When every node is full, the window wraps to the *oldest* M nodes, whose
   contents are retired (erased) wholesale — this is the paper's graceful
   expiration: no per-item timestamps, oldest data lives on known nodes.
-* Queries are broadcast to all non-empty nodes via the coordinator.
+* Queries are broadcast to all non-empty nodes via the coordinator,
+  **concurrently** — every node's request in flight at once.
+
+The cluster drives *node handles*: the default constructor builds
+in-process :class:`ClusterNode` objects (the simulated deployment whose
+:class:`NetworkModel` charges modeled bytes), while
+:meth:`PLSHCluster.from_handles` accepts any prebuilt handles — notably
+:class:`~repro.cluster.client.RemoteNodeHandle` stubs talking to real
+``NodeServer`` processes, which is what
+:func:`~repro.cluster.client.spawn_local_cluster` wires up.  Window
+policy, retirement, deletes and broadcast logic are byte-for-byte the
+same code either way, so a multi-process cluster fed the same op
+sequence answers bit-identically to the simulation.
 """
 
 from __future__ import annotations
@@ -67,6 +79,42 @@ class PLSHCluster:
         self._next_global_id = 0
         self.n_retirements = 0
         self.retired_ids: list[np.ndarray] = []
+
+    @classmethod
+    def from_handles(
+        cls,
+        nodes: list,
+        dim: int,
+        params: PLSHParams,
+        *,
+        insert_window: int = 4,
+        network: NetworkModel | None = None,
+    ) -> "PLSHCluster":
+        """Cluster over prebuilt node handles (e.g. remote stubs).
+
+        The handles own their engines and hash functions — they must all
+        have been built over the same hasher (``spawn_local_cluster``
+        guarantees this by forking after the bank is drawn)."""
+        if not nodes:
+            raise ValueError("from_handles needs at least one node handle")
+        if not 1 <= insert_window <= len(nodes):
+            raise ValueError(
+                f"insert_window must be in [1, {len(nodes)}], got {insert_window}"
+            )
+        self = cls.__new__(cls)
+        self.params = params
+        self.dim = dim
+        self.insert_window = insert_window
+        self.network = network if network is not None else NetworkModel()
+        self.hasher = None  # handles own their hash functions
+        self.nodes = list(nodes)
+        self.coordinator = Coordinator(self.nodes, self.network)
+        self._window_start = 0
+        self._window_cursor = 0
+        self._next_global_id = 0
+        self.n_retirements = 0
+        self.retired_ids = []
+        return self
 
     # -- capacity ----------------------------------------------------------
 
@@ -177,7 +225,7 @@ class PLSHCluster:
         :meth:`StreamingPLSH.merge_now` commits the pending build, then
         folds the fresh delta in synchronously."""
         for node in self.nodes:
-            node.plsh.merge_now()
+            node.merge_now()
 
     def begin_merge_all(self) -> int:
         """Kick off a non-blocking merge on every node with a non-empty
@@ -185,14 +233,14 @@ class PLSHCluster:
         being served by every node throughout; finished builds land via
         :meth:`commit_merges` (or opportunistically on the nodes' own
         insert paths when ``overlap_merges`` is set)."""
-        return sum(1 for node in self.nodes if node.plsh.begin_merge())
+        return sum(1 for node in self.nodes if node.begin_merge())
 
     def commit_merges(self, *, wait: bool = False) -> int:
         """Commit pending merges across the cluster; returns how many
         landed.  ``wait=False`` (the default) commits only builds that
         already finished — the coordinator's periodic maintenance tick."""
         return sum(
-            1 for node in self.nodes if node.plsh.commit_merge(wait=wait)
+            1 for node in self.nodes if node.commit_merge(wait=wait)
         )
 
     def stats(self) -> list[dict]:
@@ -200,7 +248,8 @@ class PLSHCluster:
         return self.coordinator.node_stats()
 
     def close(self) -> None:
-        """Release every node's persistent worker pools."""
+        """Release every node's worker pools and the broadcast pool."""
+        self.coordinator.close()
         for node in self.nodes:
             node.close()
 

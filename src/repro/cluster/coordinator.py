@@ -5,11 +5,34 @@ coordinator to all nodes, with each node querying its data.  The individual
 query responses from each structure are concatenated by the coordinator node
 and sent back to the user."
 
-Per-node wall-clock is measured for every query so the Figure 9 load-balance
-ratio (max/avg ≤ 1.3) can be reported; the network model charges the query
-broadcast (sparse vector bytes per node) and each node's response (12 bytes
-per match: global id + distance), which yields the paper's "communication is
-<1 % of overall runtime" accounting.
+The coordinator drives **node handles** — anything implementing the node
+handle protocol (see :mod:`repro.cluster.node`): in-process
+:class:`ClusterNode` objects (the simulated deployment, kept for the
+perf model) or :class:`~repro.cluster.client.RemoteNodeHandle` stubs
+speaking the binary protocol to real :class:`NodeServer` processes.  The
+broadcast/merge logic is identical for both.
+
+``query_batch`` broadcasts **concurrently**: every node's request is in
+flight at once on a thread pool from :mod:`repro.parallel`, so broadcast
+wall-clock tracks the *slowest* node (the modeled
+``critical_path_seconds``) instead of the sum over nodes.  For in-process
+nodes the per-node kernels release the GIL in their numpy calls, so the
+overlap is real on multi-core hosts; for remote handles each thread just
+blocks on its socket.
+
+Per-node wall-clock is measured for every broadcast so the Figure 9
+load-balance ratio (max/avg ≤ 1.3) can be reported.  The
+:class:`NetworkModel` charges the query broadcast through its
+``broadcast`` primitive (one modeled send per node) and each node's
+response through ``send``, which yields the paper's "communication is
+<1 % of overall runtime" accounting; remote handles additionally count
+*real* bytes on the wire (``transport_totals``) so modeled and measured
+traffic can be compared.
+
+A node that fails mid-broadcast (a dead server process, a torn
+connection, a server-side exception) surfaces as a per-node entry in
+``BroadcastOutcome.node_errors`` — the broadcast itself completes with
+the answers of the surviving nodes.
 """
 
 from __future__ import annotations
@@ -19,25 +42,42 @@ import time
 import numpy as np
 
 from repro.cluster.network import NetworkModel
-from repro.cluster.node import ClusterNode
 from repro.core.query import QueryResult
+from repro.parallel import ThreadExecutor
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["Coordinator", "BroadcastOutcome"]
 
 
 class BroadcastOutcome:
-    """One broadcast query: merged result + per-node timing and comm cost."""
+    """One broadcast query: merged result + per-node timing and comm cost.
+
+    ``node_errors`` maps node id → error string for nodes that failed to
+    answer this broadcast (empty when every live node answered);
+    ``wall_seconds`` is the measured wall-clock of this broadcast's
+    fan-out — for a vectorized batch, the amortized (1/B) share of the
+    batch fan-out.
+    """
 
     def __init__(
         self,
         result: QueryResult,
         node_seconds: dict[int, float],
         network_seconds: float,
+        *,
+        node_errors: dict[int, str] | None = None,
+        wall_seconds: float | None = None,
     ) -> None:
         self.result = result
         self.node_seconds = node_seconds
         self.network_seconds = network_seconds
+        self.node_errors = dict(node_errors) if node_errors else {}
+        self.wall_seconds = wall_seconds
+
+    @property
+    def ok(self) -> bool:
+        """True when every live node answered this broadcast."""
+        return not self.node_errors
 
     @property
     def critical_path_seconds(self) -> float:
@@ -46,17 +86,87 @@ class BroadcastOutcome:
         return slowest + self.network_seconds
 
 
+def _query_node(_state, node, q_cols, q_vals, radius):
+    """Fan-out task: one node's single-query answer, timed, errors caught."""
+    start = time.perf_counter()
+    try:
+        res = node.query(q_cols, q_vals, radius=radius)
+        return node, res, time.perf_counter() - start, None
+    except Exception as exc:
+        return node, None, time.perf_counter() - start, exc
+
+
+def _query_node_batch(_state, node, queries, radius, workers, backend):
+    """Fan-out task: one node's whole-batch answer, timed, errors caught."""
+    start = time.perf_counter()
+    try:
+        results = node.query_batch(
+            queries, radius=radius, workers=workers, backend=backend
+        )
+        return node, results, time.perf_counter() - start, None
+    except Exception as exc:
+        return node, None, time.perf_counter() - start, exc
+
+
 class Coordinator:
-    """Broadcasts queries to cluster nodes and merges partial answers."""
+    """Broadcasts queries to cluster node handles and merges partial answers."""
 
     #: bytes per reported match in a node response: int64 id + float32 dist.
     RESPONSE_BYTES_PER_MATCH = 12
     #: fixed header per message.
     MESSAGE_HEADER_BYTES = 64
 
-    def __init__(self, nodes: list[ClusterNode], network: NetworkModel) -> None:
+    def __init__(
+        self,
+        nodes: list,
+        network: NetworkModel,
+        *,
+        concurrent: bool = True,
+    ) -> None:
         self.nodes = nodes
         self.network = network
+        #: False forces the pre-transport serial fan-out (kept so the
+        #: concurrency win is measurable; bench_fig9 compares the two).
+        self.concurrent = concurrent
+        self._pool: ThreadExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the broadcast thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _live_nodes(self) -> list:
+        """Nodes worth broadcasting to: alive (for remote handles) and
+        non-empty.  Dead handles are skipped silently — their death was
+        already reported as a ``node_errors`` entry on the broadcast that
+        observed it."""
+        return [
+            node
+            for node in self.nodes
+            if getattr(node, "alive", True) and node.n_items > 0
+        ]
+
+    def _fan_out(self, fn, tasks: list[tuple]) -> list:
+        """Run one task per node, all in flight at once where possible."""
+        if len(tasks) <= 1 or not self.concurrent:
+            return [fn(None, *task) for task in tasks]
+        pool = self._pool
+        if pool is None or pool.closed or pool.workers < len(tasks):
+            if pool is not None:
+                pool.close()
+            pool = self._pool = ThreadExecutor(None, len(tasks))
+        return pool.run(fn, tasks)
+
+    # -- monitoring --------------------------------------------------------
 
     def node_stats(self) -> list[dict]:
         """Per-node monitoring rows (sizes, deletions, merge state).
@@ -70,6 +180,24 @@ class Coordinator:
         """
         return [node.stats() for node in self.nodes]
 
+    def transport_totals(self) -> dict | None:
+        """Real wire traffic summed over remote handles, or ``None`` when
+        every node is in-process.  Compare against ``network.stats`` to
+        check the model's byte accounting against measured bytes."""
+        totals = {"n_messages": 0, "bytes_sent": 0, "bytes_received": 0}
+        saw_remote = False
+        for node in self.nodes:
+            stats = getattr(node, "transport_stats", None)
+            if stats is None:
+                continue
+            saw_remote = True
+            totals["n_messages"] += stats.n_sent + stats.n_received
+            totals["bytes_sent"] += stats.bytes_sent
+            totals["bytes_received"] += stats.bytes_received
+        return totals if saw_remote else None
+
+    # -- broadcast ---------------------------------------------------------
+
     def query(
         self,
         q_cols: np.ndarray,
@@ -81,18 +209,26 @@ class Coordinator:
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
         query_bytes = self.MESSAGE_HEADER_BYTES + 12 * q_cols.size  # id+weight per term
+        live = self._live_nodes()
+        net_seconds = (
+            self.network.broadcast(len(live), query_bytes) if live else 0.0
+        )
 
-        net_seconds = 0.0
+        wall_start = time.perf_counter()
+        rows = self._fan_out(
+            _query_node, [(node, q_cols, q_vals, radius) for node in live]
+        )
+        wall = time.perf_counter() - wall_start
+
         node_seconds: dict[int, float] = {}
+        node_errors: dict[int, str] = {}
         ids: list[np.ndarray] = []
         dists: list[np.ndarray] = []
-        for node in self.nodes:
-            if node.n_items == 0:
+        for node, res, seconds, error in rows:
+            if error is not None:
+                node_errors[node.node_id] = f"{type(error).__name__}: {error}"
                 continue
-            net_seconds += self.network.send(query_bytes)
-            start = time.perf_counter()
-            res = node.query(q_cols, q_vals, radius=radius)
-            node_seconds[node.node_id] = time.perf_counter() - start
+            node_seconds[node.node_id] = seconds
             net_seconds += self.network.send(
                 self.MESSAGE_HEADER_BYTES
                 + self.RESPONSE_BYTES_PER_MATCH * len(res)
@@ -100,13 +236,11 @@ class Coordinator:
             ids.append(res.indices)
             dists.append(res.distances)
 
-        if ids:
-            merged = QueryResult(np.concatenate(ids), np.concatenate(dists))
-        else:
-            merged = QueryResult(
-                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
-            )
-        return BroadcastOutcome(merged, node_seconds, net_seconds)
+        merged = _merge_results(ids, dists)
+        return BroadcastOutcome(
+            merged, node_seconds, net_seconds,
+            node_errors=node_errors, wall_seconds=wall,
+        )
 
     def query_batch(
         self,
@@ -117,21 +251,23 @@ class Coordinator:
         workers: int | None = None,
         backend: str | None = None,
     ) -> list[BroadcastOutcome]:
-        """Broadcast a whole query batch to every node.
+        """Broadcast a whole query batch to every node **concurrently**.
 
         ``mode="vectorized"`` (the default) ships the batch to each node as
-        one message and runs the node's vectorized batch kernel, so the
-        per-node cost is one kernel invocation instead of B pipeline runs;
-        per-query ``BroadcastOutcome``s report the amortized (1/B) share of
-        each node's batch wall-clock and of the network cost, which keeps
-        the Figure 9 load-balance ratio (max/avg over nodes) meaningful.
-        ``mode="loop"`` broadcasts query-by-query as before, and is always
-        serial — ``workers``/``backend`` apply to the vectorized path only.
+        one message and runs the node's vectorized batch kernel; all node
+        requests are in flight at once (see module docstring), so the
+        broadcast wall-clock tracks the slowest node.  Per-query
+        ``BroadcastOutcome``s report the amortized (1/B) share of each
+        node's batch wall-clock and of the network cost, which keeps the
+        Figure 9 load-balance ratio (max/avg over nodes) meaningful.
+        ``mode="loop"`` broadcasts query-by-query — serial across queries,
+        though each per-query broadcast still fans out across nodes unless
+        ``concurrent=False`` — and ``workers``/``backend`` apply to the
+        vectorized path only.
 
-        ``workers > 1`` shards each node's vectorized batch across cores
+        ``workers > 1`` additionally shards each node's batch across cores
         through that node's persistent worker pool (the paper's two-level
-        parallelism: across nodes, then across threads within a node);
-        worker stage times fold into each node's engine stats.
+        parallelism: across nodes, then across threads within a node).
         """
         if mode is None:
             mode = "vectorized"
@@ -149,19 +285,34 @@ class Coordinator:
             return []
         # One broadcast message per node carries the whole CSR batch.
         batch_bytes = self.MESSAGE_HEADER_BYTES + 12 * queries.nnz
+        live = self._live_nodes()
+        net_seconds = (
+            self.network.broadcast(len(live), batch_bytes) if live else 0.0
+        )
+        if self.concurrent and len(live) > 1:
+            # Warm per-node worker pools serially: a pool fork()ed while a
+            # sibling node's broadcast thread is mid numpy kernel inherits
+            # locks held by threads that don't exist in the child.
+            for node in live:
+                prepare = getattr(node, "prepare_workers", None)
+                if prepare is not None:
+                    prepare(workers, backend)
 
-        net_seconds = 0.0
+        wall_start = time.perf_counter()
+        rows = self._fan_out(
+            _query_node_batch,
+            [(node, queries, radius, workers, backend) for node in live],
+        )
+        wall = time.perf_counter() - wall_start
+
         node_batch_seconds: dict[int, float] = {}
+        node_errors: dict[int, str] = {}
         per_node: list[list[QueryResult]] = []
-        for node in self.nodes:
-            if node.n_items == 0:
+        for node, results, seconds, error in rows:
+            if error is not None:
+                node_errors[node.node_id] = f"{type(error).__name__}: {error}"
                 continue
-            net_seconds += self.network.send(batch_bytes)
-            start = time.perf_counter()
-            results = node.query_batch(
-                queries, radius=radius, workers=workers, backend=backend
-            )
-            node_batch_seconds[node.node_id] = time.perf_counter() - start
+            node_batch_seconds[node.node_id] = seconds
             n_matches = sum(len(res) for res in results)
             net_seconds += self.network.send(
                 self.MESSAGE_HEADER_BYTES
@@ -171,17 +322,29 @@ class Coordinator:
 
         share = {nid: secs / n for nid, secs in node_batch_seconds.items()}
         net_share = net_seconds / n
+        wall_share = wall / n
         outcomes: list[BroadcastOutcome] = []
         for r in range(n):
-            parts = [results[r] for results in per_node]
-            if parts:
-                merged = QueryResult(
-                    np.concatenate([p.indices for p in parts]),
-                    np.concatenate([p.distances for p in parts]),
+            merged = _merge_results(
+                [results[r].indices for results in per_node],
+                [results[r].distances for results in per_node],
+            )
+            outcomes.append(
+                BroadcastOutcome(
+                    merged, dict(share), net_share,
+                    node_errors=node_errors, wall_seconds=wall_share,
                 )
-            else:
-                merged = QueryResult(
-                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
-                )
-            outcomes.append(BroadcastOutcome(merged, dict(share), net_share))
+            )
         return outcomes
+
+
+def _merge_results(
+    ids: list[np.ndarray], dists: list[np.ndarray]
+) -> QueryResult:
+    """Concatenate per-node partial answers (node order, hence global-id
+    order within each node block — deterministic for bit-identity checks)."""
+    if ids:
+        return QueryResult(np.concatenate(ids), np.concatenate(dists))
+    return QueryResult(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+    )

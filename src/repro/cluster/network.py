@@ -1,11 +1,24 @@
 """Simulated interconnect cost accounting.
 
-The physical cluster's Infiniband transport is replaced by an accounting
-model: every message is charged ``latency + bytes / bandwidth`` seconds and
-tallied.  Defaults approximate the paper's fabric (QDR Infiniband-class:
-~2 us one-way latency, ~3 GB/s effective point-to-point bandwidth).  A
-broadcast to n nodes is n point-to-point messages (the paper's coordinator
-does the same; at 100 nodes it measures <20 ms per 1000-query batch).
+The paper's Infiniband fabric is modeled, not moved: every message is
+charged ``latency + bytes / bandwidth`` seconds and tallied.  Defaults
+approximate the paper's fabric (QDR Infiniband-class: ~2 us one-way
+latency, ~3 GB/s effective point-to-point bandwidth).  A broadcast to n
+nodes is n point-to-point messages (the paper's coordinator does the
+same; at 100 nodes it measures <20 ms per 1000-query batch) — the
+coordinator routes its query fan-out through :meth:`NetworkModel.broadcast`
+and each node's response through :meth:`NetworkModel.send`.
+
+The model coexists with the *real* transport
+(:mod:`repro.cluster.transport`): a coordinator over remote handles
+still charges this model per broadcast, and the handles count measured
+bytes on the wire, so ``Coordinator.transport_totals()`` vs.
+``network.stats`` compares modeled against real traffic (EXPERIMENTS.md
+reports the comparison).
+
+Accounting is single-threaded by design: the coordinator charges the
+model before and after its concurrent fan-out, never from worker
+threads.
 """
 
 from __future__ import annotations

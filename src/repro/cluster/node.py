@@ -1,4 +1,15 @@
-"""A cluster node: a streaming PLSH instance plus the global-id mapping."""
+"""A cluster node: a streaming PLSH instance plus the global-id mapping.
+
+``ClusterNode`` is also the reference implementation of the **node handle
+protocol** the coordinator and cluster drive: ``n_items`` / ``capacity`` /
+``free_capacity`` / ``is_full``, ``insert_batch``, ``query``,
+``query_batch``, ``delete_global``, ``begin_merge`` / ``commit_merge`` /
+``merge_now``, ``stats``, ``retire``, ``close``.  The in-process node here
+and :class:`repro.cluster.client.RemoteNodeHandle` (the same surface over
+a TCP connection to a :class:`repro.cluster.server.NodeServer` process)
+are interchangeable behind that protocol, which is how one coordinator
+drives both the simulated and the real multi-process deployment.
+"""
 
 from __future__ import annotations
 
@@ -41,6 +52,21 @@ class ClusterNode:
             hasher=hasher,
         )
         self._global_ids = np.empty(0, dtype=np.int64)
+
+    @classmethod
+    def restore(
+        cls, node_id: int, plsh: StreamingPLSH, global_ids: np.ndarray
+    ) -> "ClusterNode":
+        """Rebuild a node from restored parts (see ``load_cluster_node``)."""
+        obj = cls.__new__(cls)
+        obj.node_id = int(node_id)
+        obj.plsh = plsh
+        obj._global_ids = np.ascontiguousarray(global_ids, dtype=np.int64)
+        if obj._global_ids.size != plsh.n_total:
+            raise ValueError(
+                f"{obj._global_ids.size} global ids for {plsh.n_total} rows"
+            )
+        return obj
 
     @property
     def n_items(self) -> int:
@@ -93,7 +119,15 @@ class ClusterNode:
         # map is a simple append.
         expected = np.arange(self._global_ids.size, self._global_ids.size + local.size)
         if not np.array_equal(local, expected):
-            raise AssertionError("local ids not contiguous — id map would corrupt")
+            # RuntimeError, not AssertionError: this check guards the
+            # local->global translation of every future query result and
+            # must survive ``python -O``.
+            raise RuntimeError(
+                "local ids not contiguous — id map would corrupt "
+                f"(expected [{self._global_ids.size}, "
+                f"{self._global_ids.size + local.size}), got "
+                f"[{int(local[0]) if local.size else -1}, ...])"
+            )
         self._global_ids = np.concatenate(
             [self._global_ids, np.asarray(global_ids, dtype=np.int64)]
         )
@@ -137,6 +171,27 @@ class ClusterNode:
             QueryResult(self._global_ids[res.indices], res.distances)
             for res in results
         ]
+
+    def prepare_workers(
+        self, workers: int | None = None, backend: str | None = None
+    ) -> None:
+        """Warm this node's batch pool before a concurrent broadcast (see
+        :meth:`StreamingPLSH.prepare_workers`)."""
+        self.plsh.prepare_workers(workers, backend)
+
+    # -- merge lifecycle (delegated so remote handles can mirror it) -------
+
+    def begin_merge(self) -> bool:
+        """Start a non-blocking delta merge; True if one is now in flight."""
+        return self.plsh.begin_merge()
+
+    def commit_merge(self, *, wait: bool = False) -> bool:
+        """Commit a pending merge; True if a build landed."""
+        return self.plsh.commit_merge(wait=wait)
+
+    def merge_now(self) -> None:
+        """Drain any in-flight build, then merge the delta synchronously."""
+        self.plsh.merge_now()
 
     def close(self) -> None:
         """Release the node's persistent worker pools."""

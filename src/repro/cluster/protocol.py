@@ -1,0 +1,211 @@
+"""The cluster wire protocol: length-prefixed binary messages.
+
+The paper's coordinator speaks MPI over Infiniband; this reproduction
+speaks a small binary protocol over TCP.  Every message is one frame::
+
+    frame     := length(u64 BE) body
+    body      := code(u8) meta_len(u32 BE) meta_json n_arrays(u8) array*
+    array     := dtype(u8) ndim(u8) shape(i64 BE * ndim) payload
+
+``code`` is an op code on requests and a status code on responses.  The
+hot payload — CSR buffers, id and distance arrays — travels as raw
+C-contiguous numpy buffers (``array*``), so encoding a query batch or a
+result block is a handful of ``memoryview`` copies and **never pickles**.
+``meta_json`` carries only small control fields (radius, flags, counters,
+stats rows); it is bounded and schema-free, which keeps the protocol
+evolvable without a version dance per op.
+
+Both sides of the protocol are pure functions over ``bytes`` — sockets
+live in :mod:`repro.cluster.transport` — so the encoding is testable
+without spawning anything.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "OP_PING",
+    "OP_INSERT_BATCH",
+    "OP_QUERY",
+    "OP_QUERY_BATCH",
+    "OP_DELETE_GLOBAL",
+    "OP_BEGIN_MERGE",
+    "OP_COMMIT_MERGE",
+    "OP_MERGE_NOW",
+    "OP_STATS",
+    "OP_RETIRE",
+    "OP_SHUTDOWN",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "OP_NAMES",
+    "encode_message",
+    "decode_message",
+    "csr_to_arrays",
+    "arrays_to_csr",
+]
+
+# -- op codes (requests) ---------------------------------------------------
+
+OP_PING = 1
+OP_INSERT_BATCH = 2
+OP_QUERY = 3
+OP_QUERY_BATCH = 4
+OP_DELETE_GLOBAL = 5
+OP_BEGIN_MERGE = 6
+OP_COMMIT_MERGE = 7
+OP_MERGE_NOW = 8
+OP_STATS = 9
+OP_RETIRE = 10
+OP_SHUTDOWN = 11
+
+#: human-readable op names for errors and logs.
+OP_NAMES = {
+    OP_PING: "ping",
+    OP_INSERT_BATCH: "insert_batch",
+    OP_QUERY: "query",
+    OP_QUERY_BATCH: "query_batch",
+    OP_DELETE_GLOBAL: "delete_global",
+    OP_BEGIN_MERGE: "begin_merge",
+    OP_COMMIT_MERGE: "commit_merge",
+    OP_MERGE_NOW: "merge_now",
+    OP_STATS: "stats",
+    OP_RETIRE: "retire",
+    OP_SHUTDOWN: "shutdown",
+}
+
+# -- status codes (responses) ----------------------------------------------
+
+STATUS_OK = 0
+STATUS_ERROR = 255
+
+# -- array payload encoding ------------------------------------------------
+
+#: wire dtype code -> numpy dtype.  Codes are part of the format; append
+#: only.
+_WIRE_DTYPES: list[np.dtype] = [
+    np.dtype(np.int64),
+    np.dtype(np.int32),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+    np.dtype(np.uint16),
+    np.dtype(np.uint8),
+    np.dtype(np.uint32),
+]
+_DTYPE_CODES = {dt: code for code, dt in enumerate(_WIRE_DTYPES)}
+
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+
+
+def _json_default(obj: Any):
+    """Meta fields come from numpy-heavy code; coerce scalars."""
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    raise TypeError(f"{type(obj).__name__} is not JSON serializable")
+
+
+def encode_message(
+    code: int,
+    meta: dict | None = None,
+    arrays: Sequence[np.ndarray] = (),
+) -> bytes:
+    """Encode one message body (no frame length prefix; see transport)."""
+    if not 0 <= code <= 255:
+        raise ValueError(f"code must fit one byte, got {code}")
+    if len(arrays) > 255:
+        raise ValueError(f"too many arrays in one message: {len(arrays)}")
+    meta_bytes = json.dumps(
+        meta or {}, separators=(",", ":"), default=_json_default
+    ).encode("utf-8")
+    parts = [bytes([code]), _U32.pack(len(meta_bytes)), meta_bytes,
+             bytes([len(arrays)])]
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        try:
+            dtype_code = _DTYPE_CODES[arr.dtype]
+        except KeyError:
+            raise TypeError(
+                f"dtype {arr.dtype} is not on the wire format "
+                f"(supported: {[str(d) for d in _WIRE_DTYPES]})"
+            ) from None
+        header = bytes([dtype_code, arr.ndim]) + b"".join(
+            _I64.pack(s) for s in arr.shape
+        )
+        parts.append(header)
+        parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def decode_message(body: bytes) -> tuple[int, dict, list[np.ndarray]]:
+    """Decode a message body back into ``(code, meta, arrays)``.
+
+    Arrays are materialized as fresh C-contiguous numpy arrays (copies of
+    the receive buffer, so the buffer can be reused).
+    """
+    view = memoryview(body)
+    if len(view) < 6:
+        raise ValueError(f"message body too short: {len(view)} bytes")
+    code = view[0]
+    meta_len = _U32.unpack_from(view, 1)[0]
+    pos = 5 + meta_len
+    if len(view) < pos + 1:
+        raise ValueError("message body truncated in meta")
+    meta = json.loads(bytes(view[5:pos]).decode("utf-8")) if meta_len else {}
+    n_arrays = view[pos]
+    pos += 1
+    arrays: list[np.ndarray] = []
+    for _ in range(n_arrays):
+        if len(view) < pos + 2:
+            raise ValueError("message body truncated in array header")
+        dtype_code, ndim = view[pos], view[pos + 1]
+        pos += 2
+        if dtype_code >= len(_WIRE_DTYPES):
+            raise ValueError(f"unknown wire dtype code {dtype_code}")
+        if len(view) < pos + 8 * ndim:
+            raise ValueError("message body truncated in array shape")
+        shape = tuple(
+            _I64.unpack_from(view, pos + 8 * d)[0] for d in range(ndim)
+        )
+        pos += 8 * ndim
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in array shape {shape}")
+        dtype = _WIRE_DTYPES[dtype_code]
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if len(view) < pos + nbytes:
+            raise ValueError(
+                f"message body truncated in array payload "
+                f"(need {nbytes} bytes, have {len(view) - pos})"
+            )
+        arr = np.frombuffer(view[pos : pos + nbytes], dtype=dtype).reshape(shape)
+        arrays.append(arr.copy())
+        pos += nbytes
+    if pos != len(view):
+        raise ValueError(f"{len(view) - pos} trailing bytes after message")
+    return code, meta, arrays
+
+
+# -- CSR helpers -----------------------------------------------------------
+
+
+def csr_to_arrays(matrix) -> list[np.ndarray]:
+    """The three raw buffers of a :class:`~repro.sparse.csr.CSRMatrix`."""
+    return [matrix.indptr, matrix.indices, matrix.data]
+
+
+def arrays_to_csr(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, n_cols: int
+):
+    """Rebuild a CSRMatrix from wire buffers (revalidated on receipt)."""
+    from repro.sparse.csr import CSRMatrix
+
+    return CSRMatrix(indptr, indices, data, n_cols)

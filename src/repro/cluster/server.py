@@ -1,0 +1,195 @@
+"""``NodeServer`` — one process owning one :class:`ClusterNode`.
+
+The paper's deployment (Section 4, Figure 1) runs one PLSH engine per
+node, with a coordinator broadcasting queries over the interconnect.  A
+``NodeServer`` is that per-node engine as a real OS process: it owns a
+:class:`~repro.cluster.node.ClusterNode` and serves the binary protocol of
+:mod:`repro.cluster.protocol` over a TCP socket — insert/query/delete hot
+paths move raw CSR and result buffers, never pickle.
+
+The server is single-client by design (its only peer is the coordinator):
+it accepts one connection at a time and processes requests sequentially,
+which also serializes mutations against queries exactly like the
+in-process node.  Parallelism lives *inside* the node (its per-node
+worker pools shard a batch across cores) and *across* nodes (the
+coordinator keeps every node's request in flight concurrently).
+
+A failed request answers ``STATUS_ERROR`` with the exception message and
+keeps serving; only ``shutdown`` (or ``SIGTERM``) stops the process.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.cluster import protocol
+from repro.cluster.node import ClusterNode
+from repro.cluster.transport import Connection
+from repro.core.query import QueryResult
+
+__all__ = ["NodeServer"]
+
+
+class NodeServer:
+    """Serves one :class:`ClusterNode` over a listening TCP socket."""
+
+    def __init__(
+        self,
+        node: ClusterNode,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> None:
+        self.node = node
+        #: default parallelism for this node's batch kernel (the paper's
+        #: per-node multithreaded engine); the request meta can override.
+        self.workers = workers
+        self.backend = backend
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until a ``shutdown`` request.
+
+        A dropped connection returns the server to ``accept`` — the
+        coordinator may reconnect after a transient failure.
+        """
+        self._running = True
+        try:
+            while self._running:
+                try:
+                    sock, _ = self._listener.accept()
+                except OSError:
+                    break  # listener closed under us: shut down
+                conn = Connection(sock)
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    conn.close()
+        finally:
+            self.close()
+
+    def _serve_connection(self, conn: Connection) -> None:
+        while self._running:
+            try:
+                code, meta, arrays = conn.recv_message()
+            except ConnectionError:
+                return  # client went away; back to accept
+            try:
+                status, out_meta, out_arrays = self._handle(code, meta, arrays)
+            except Exception as exc:  # surface, don't die: per-node errors
+                status = protocol.STATUS_ERROR
+                out_meta = {
+                    "error": str(exc),
+                    "type": type(exc).__name__,
+                    "op": protocol.OP_NAMES.get(code, str(code)),
+                }
+                out_arrays = []
+            try:
+                conn.send_message(status, out_meta, out_arrays)
+            except ConnectionError:
+                return
+            if code == protocol.OP_SHUTDOWN and status == protocol.STATUS_OK:
+                self._running = False
+
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        finally:
+            self.node.close()
+
+    # -- request dispatch --------------------------------------------------
+
+    def _handle(
+        self, code: int, meta: dict, arrays: list[np.ndarray]
+    ) -> tuple[int, dict, list[np.ndarray]]:
+        node = self.node
+        if code == protocol.OP_PING:
+            return protocol.STATUS_OK, {"node_id": node.node_id}, []
+        if code == protocol.OP_INSERT_BATCH:
+            indptr, indices, data, global_ids = arrays
+            vectors = protocol.arrays_to_csr(
+                indptr, indices, data, int(meta["n_cols"])
+            )
+            node.insert_batch(vectors, global_ids)
+            return protocol.STATUS_OK, {"n_items": node.n_items}, []
+        if code == protocol.OP_QUERY:
+            q_cols, q_vals = arrays
+            res = node.query(q_cols, q_vals, radius=meta.get("radius"))
+            return protocol.STATUS_OK, {}, [res.indices, res.distances]
+        if code == protocol.OP_QUERY_BATCH:
+            return self._handle_query_batch(meta, arrays)
+        if code == protocol.OP_DELETE_GLOBAL:
+            (global_ids,) = arrays
+            n = node.delete_global(global_ids)
+            return protocol.STATUS_OK, {"n_deleted": n}, []
+        if code == protocol.OP_BEGIN_MERGE:
+            return protocol.STATUS_OK, {"started": node.begin_merge()}, []
+        if code == protocol.OP_COMMIT_MERGE:
+            landed = node.commit_merge(wait=bool(meta.get("wait", False)))
+            return protocol.STATUS_OK, {"committed": landed}, []
+        if code == protocol.OP_MERGE_NOW:
+            node.merge_now()
+            return protocol.STATUS_OK, {"n_items": node.n_items}, []
+        if code == protocol.OP_STATS:
+            return protocol.STATUS_OK, {"stats": node.stats()}, []
+        if code == protocol.OP_RETIRE:
+            dropped = node.retire()
+            return protocol.STATUS_OK, {"n_items": node.n_items}, [dropped]
+        if code == protocol.OP_SHUTDOWN:
+            return protocol.STATUS_OK, {}, []
+        raise ValueError(f"unknown op code {code}")
+
+    def _handle_query_batch(
+        self, meta: dict, arrays: list[np.ndarray]
+    ) -> tuple[int, dict, list[np.ndarray]]:
+        import time
+
+        indptr, indices, data = arrays
+        queries = protocol.arrays_to_csr(
+            indptr, indices, data, int(meta["n_cols"])
+        )
+        workers = meta.get("workers", self.workers)
+        backend = meta.get("backend", self.backend)
+        start = time.perf_counter()
+        results = self.node.query_batch(
+            queries,
+            radius=meta.get("radius"),
+            mode=meta.get("mode"),
+            workers=workers,
+            backend=backend,
+        )
+        seconds = time.perf_counter() - start
+        return (
+            protocol.STATUS_OK,
+            {"seconds": seconds},
+            _pack_results(results),
+        )
+
+
+def _pack_results(results: list[QueryResult]) -> list[np.ndarray]:
+    """Flatten per-query results into ``[indptr, ids, distances]``."""
+    counts = np.fromiter(
+        (len(r) for r in results), count=len(results), dtype=np.int64
+    )
+    indptr = np.zeros(len(results) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    if results:
+        ids = np.concatenate([r.indices for r in results])
+        dists = np.concatenate([r.distances for r in results])
+    else:
+        ids = np.empty(0, dtype=np.int64)
+        dists = np.empty(0, dtype=np.float32)
+    return [indptr, np.ascontiguousarray(ids, dtype=np.int64),
+            np.ascontiguousarray(dists, dtype=np.float32)]

@@ -1,0 +1,148 @@
+"""Framed TCP transport for the cluster protocol.
+
+One frame = an 8-byte big-endian length prefix followed by a protocol
+message body (:mod:`repro.cluster.protocol`).  :class:`Connection` wraps a
+connected socket with blocking send/receive of whole messages and counts
+real bytes on the wire in a :class:`TransportStats`, so the simulated
+:class:`~repro.cluster.network.NetworkModel` accounting can be compared
+against measured traffic (EXPERIMENTS.md does exactly that).
+
+The transport is deliberately dumb: no multiplexing, no retries, one
+request in flight per connection.  The coordinator gets its concurrency
+by holding one connection per node and broadcasting from a thread pool,
+which matches the paper's one-coordinator/N-nodes topology.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import protocol
+
+__all__ = ["Connection", "TransportStats", "FRAME_HEADER_BYTES", "MAX_FRAME_BYTES"]
+
+_LEN = struct.Struct(">Q")
+
+#: bytes of framing overhead per message (the length prefix).
+FRAME_HEADER_BYTES = _LEN.size
+
+#: sanity ceiling on one frame (a corrupt length prefix should fail fast,
+#: not attempt a 2**63-byte allocation).
+MAX_FRAME_BYTES = 1 << 33
+
+
+@dataclass
+class TransportStats:
+    """Real bytes/messages moved over one connection."""
+
+    n_sent: int = 0
+    n_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def reset(self) -> None:
+        self.n_sent = 0
+        self.n_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+
+class Connection:
+    """A connected socket speaking length-prefixed protocol messages."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        try:
+            # Request/response over small frames: Nagle hurts, disable it.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP socket (e.g. a Unix socketpair in tests)
+        self._sock = sock
+        self.stats = TransportStats()
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, *, timeout: float | None = None
+    ) -> "Connection":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send_message(
+        self, code: int, meta: dict | None = None, arrays=()
+    ) -> int:
+        """Encode + frame + send one message; returns bytes on the wire."""
+        body = protocol.encode_message(code, meta, arrays)
+        n = FRAME_HEADER_BYTES + len(body)
+        try:
+            self._sock.sendall(_LEN.pack(len(body)) + body)
+        except OSError as exc:
+            self._closed = True
+            raise ConnectionError(f"send failed: {exc}") from exc
+        self.stats.n_sent += 1
+        self.stats.bytes_sent += n
+        return n
+
+    def recv_message(self) -> tuple[int, dict, list[np.ndarray]]:
+        """Receive one whole frame and decode it.
+
+        Raises :class:`ConnectionError` on EOF or a torn frame — the
+        caller decides whether that is a clean shutdown (EOF between
+        frames) or a node failure.
+        """
+        header = self._recv_exact(FRAME_HEADER_BYTES, eof_ok=True)
+        if header is None:
+            self._closed = True
+            raise ConnectionError("connection closed by peer")
+        (length,) = _LEN.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            self._closed = True
+            raise ConnectionError(f"frame length {length} exceeds sanity cap")
+        body = self._recv_exact(int(length), eof_ok=False)
+        assert body is not None
+        self.stats.n_received += 1
+        self.stats.bytes_received += FRAME_HEADER_BYTES + len(body)
+        return protocol.decode_message(body)
+
+    def _recv_exact(self, n: int, *, eof_ok: bool) -> bytes | None:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            try:
+                chunk = self._sock.recv_into(view[got:], n - got)
+            except OSError as exc:
+                self._closed = True
+                raise ConnectionError(f"recv failed: {exc}") from exc
+            if chunk == 0:
+                if eof_ok and got == 0:
+                    return None
+                self._closed = True
+                raise ConnectionError(
+                    f"connection closed mid-frame ({got}/{n} bytes)"
+                )
+            got += chunk
+        return bytes(buf)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

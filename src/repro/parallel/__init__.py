@@ -72,8 +72,8 @@ _ALIASES = {
 
 
 def default_backend() -> str:
-    """The production backend for this platform."""
-    return "fork_pool" if fork_available() else "thread"
+    """The production backend for this platform and process context."""
+    return "fork_pool" if _fork_pool_usable() else "thread"
 
 
 def default_workers() -> int:
@@ -89,8 +89,21 @@ def default_workers() -> int:
         return 1
 
 
+def _fork_pool_usable() -> bool:
+    """fork_pool needs the fork start method AND a non-daemonic process:
+    multiprocessing forbids daemons from having children, and the cluster
+    node *servers* are daemonic children themselves — inside one, pools
+    degrade to threads (bit-identical results)."""
+    if not fork_available():
+        return False
+    import multiprocessing
+
+    return not multiprocessing.current_process().daemon
+
+
 def resolve_backend(backend: str | None) -> str:
-    """Canonicalize a backend name, degrading ``fork_pool`` off-platform."""
+    """Canonicalize a backend name, degrading ``fork_pool`` wherever the
+    platform or process context cannot fork worker children."""
     if backend is None:
         return default_backend()
     try:
@@ -100,7 +113,7 @@ def resolve_backend(backend: str | None) -> str:
             f"unknown backend {backend!r}; expected one of "
             f"{sorted(set(_ALIASES))}"
         ) from None
-    if name == "fork_pool" and not fork_available():
+    if name == "fork_pool" and not _fork_pool_usable():
         return "thread"
     return name
 

@@ -14,6 +14,13 @@ deletion tombstones, and merge bookkeeping.  A node with a merge in
 flight is settled first: by default the pending build is *drained*
 (committed) so the archive captures the post-merge state; pass
 ``on_pending="refuse"`` to make saving such a node an error instead.
+
+:func:`save_cluster_node` / :func:`load_cluster_node` round-trip a whole
+:class:`~repro.cluster.node.ClusterNode`: the wrapped streaming node
+*plus* the local→global id map and the node id.  The map is what makes a
+restored node answer queries in **global** ids — persisting only the
+inner streaming node (an early bug) silently restored a node whose query
+results were local row numbers.
 """
 
 from __future__ import annotations
@@ -29,7 +36,14 @@ from repro.core.tables import StaticTableSet
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["save_index", "load_index", "save_node", "load_node"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_node",
+    "load_node",
+    "save_cluster_node",
+    "load_cluster_node",
+]
 
 _FORMAT_VERSION = 1
 _NODE_FORMAT_VERSION = 1
@@ -129,6 +143,12 @@ def save_node(
     * ``"refuse"`` — raise :class:`ValueError`; the caller chose to keep
       save points off the merge window.
     """
+    np.savez_compressed(Path(path), **_node_payload(node, on_pending))
+
+
+def _node_payload(node, on_pending: str) -> dict:
+    """The archive entries of one StreamingPLSH (shared by node and
+    cluster-node saving); settles a pending merge per ``on_pending``."""
     if on_pending not in ("drain", "refuse"):
         raise ValueError(
             f"on_pending must be 'drain' or 'refuse', got {on_pending!r}"
@@ -168,8 +188,7 @@ def save_node(
         "dedup": static._dedup,
         "dots": static._dots,
     }
-    np.savez_compressed(
-        Path(path),
+    return dict(
         node_meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
         static_indptr=static.data.indptr,
         static_indices=static.data.indices,
@@ -195,74 +214,132 @@ def load_node(path: str | Path):
     bucket membership and order), and the tombstone bitvector is
     reapplied.  No merge is pending on a loaded node by construction.
     """
+    with np.load(Path(path)) as archive:
+        return _restore_node(archive)
+
+
+def _restore_node(archive):
+    """Rebuild a StreamingPLSH from its archive entries."""
     from repro.core.query import QueryEngine
     from repro.streaming.delta import DeltaTable
     from repro.streaming.node import StreamingPLSH
 
+    meta = json.loads(bytes(archive["node_meta"]).decode("utf-8"))
+    if meta["format_version"] != _NODE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported node format {meta['format_version']} "
+            f"(this build reads {_NODE_FORMAT_VERSION})"
+        )
+    params = PLSHParams(**meta["params"])
+    dim = int(meta["dim"])
+    hasher = AllPairsHasher(params, dim)
+    hasher.bank.planes = np.ascontiguousarray(
+        archive["hyperplanes"], dtype=np.float32
+    )
+    node = StreamingPLSH(
+        dim,
+        params,
+        int(meta["capacity"]),
+        delta_fraction=float(meta["delta_fraction"]),
+        auto_merge=bool(meta["auto_merge"]),
+        overlap_merges=bool(meta["overlap_merges"]),
+        hasher=hasher,
+    )
+    if int(meta["n_static"]):
+        data = CSRMatrix(
+            archive["static_indptr"],
+            archive["static_indices"],
+            archive["static_values"],
+            dim,
+            check=False,
+        )
+        static = PLSHIndex(
+            dim, params, hasher=hasher,
+            dedup=meta["dedup"], dots=meta["dots"],
+        )
+        static.data = data
+        static.u_values = np.ascontiguousarray(archive["static_u"])
+        static.tables = StaticTableSet(
+            np.ascontiguousarray(archive["static_entries"]),
+            np.ascontiguousarray(archive["static_offsets"]),
+            params,
+        )
+        static.engine = QueryEngine(
+            static.tables,
+            data,
+            hasher,
+            params,
+            dedup=meta["dedup"],
+            dots=meta["dots"],
+        )
+        node.static = static
+    if int(meta["n_delta"]):
+        delta_vectors = CSRMatrix(
+            archive["delta_indptr"],
+            archive["delta_indices"],
+            archive["delta_values"],
+            dim,
+            check=False,
+        )
+        node.delta = DeltaTable.restore(
+            dim, params, hasher, delta_vectors,
+            np.ascontiguousarray(archive["delta_u"]),
+        )
+    deleted = np.ascontiguousarray(archive["deleted_ids"])
+    if deleted.size:
+        node.deletions.delete(deleted)
+    node.n_merges = int(meta["n_merges"])
+    return node
+
+
+def save_cluster_node(
+    cluster_node, path: str | Path, *, on_pending: str = "drain"
+) -> None:
+    """Serialize a :class:`~repro.cluster.node.ClusterNode` to one archive.
+
+    Extends the :func:`save_node` payload with the node id and the
+    local→global id map — the map is load-bearing: without it a restored
+    node answers queries in local row numbers instead of cluster-wide ids
+    (the regression :func:`load_cluster_node` exists to prevent).
+    ``on_pending`` settles an in-flight merge exactly as in
+    :func:`save_node`.
+    """
+    payload = _node_payload(cluster_node.plsh, on_pending)
+    cluster_meta = {
+        "format_version": _NODE_FORMAT_VERSION,
+        "node_id": int(cluster_node.node_id),
+    }
+    payload["cluster_meta"] = np.frombuffer(
+        json.dumps(cluster_meta).encode("utf-8"), dtype=np.uint8
+    )
+    payload["cluster_global_ids"] = cluster_node._global_ids
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_cluster_node(path: str | Path):
+    """Restore a cluster node saved by :func:`save_cluster_node`.
+
+    The restored node answers queries bit-identically to the saved one —
+    including the global ids its results carry.
+    """
+    from repro.cluster.node import ClusterNode
+
     with np.load(Path(path)) as archive:
-        meta = json.loads(bytes(archive["node_meta"]).decode("utf-8"))
-        if meta["format_version"] != _NODE_FORMAT_VERSION:
+        if "cluster_meta" not in archive:
             raise ValueError(
-                f"unsupported node format {meta['format_version']} "
+                "archive has no cluster node payload; use load_node for "
+                "plain StreamingPLSH archives"
+            )
+        cluster_meta = json.loads(bytes(archive["cluster_meta"]).decode("utf-8"))
+        if cluster_meta["format_version"] != _NODE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cluster node format "
+                f"{cluster_meta['format_version']} "
                 f"(this build reads {_NODE_FORMAT_VERSION})"
             )
-        params = PLSHParams(**meta["params"])
-        dim = int(meta["dim"])
-        hasher = AllPairsHasher(params, dim)
-        hasher.bank.planes = np.ascontiguousarray(
-            archive["hyperplanes"], dtype=np.float32
+        plsh = _restore_node(archive)
+        return ClusterNode.restore(
+            cluster_meta["node_id"],
+            plsh,
+            np.ascontiguousarray(archive["cluster_global_ids"]),
         )
-        node = StreamingPLSH(
-            dim,
-            params,
-            int(meta["capacity"]),
-            delta_fraction=float(meta["delta_fraction"]),
-            auto_merge=bool(meta["auto_merge"]),
-            overlap_merges=bool(meta["overlap_merges"]),
-            hasher=hasher,
-        )
-        if int(meta["n_static"]):
-            data = CSRMatrix(
-                archive["static_indptr"],
-                archive["static_indices"],
-                archive["static_values"],
-                dim,
-                check=False,
-            )
-            static = PLSHIndex(
-                dim, params, hasher=hasher,
-                dedup=meta["dedup"], dots=meta["dots"],
-            )
-            static.data = data
-            static.u_values = np.ascontiguousarray(archive["static_u"])
-            static.tables = StaticTableSet(
-                np.ascontiguousarray(archive["static_entries"]),
-                np.ascontiguousarray(archive["static_offsets"]),
-                params,
-            )
-            static.engine = QueryEngine(
-                static.tables,
-                data,
-                hasher,
-                params,
-                dedup=meta["dedup"],
-                dots=meta["dots"],
-            )
-            node.static = static
-        if int(meta["n_delta"]):
-            delta_vectors = CSRMatrix(
-                archive["delta_indptr"],
-                archive["delta_indices"],
-                archive["delta_values"],
-                dim,
-                check=False,
-            )
-            node.delta = DeltaTable.restore(
-                dim, params, hasher, delta_vectors,
-                np.ascontiguousarray(archive["delta_u"]),
-            )
-        deleted = np.ascontiguousarray(archive["deleted_ids"])
-        if deleted.size:
-            node.deletions.delete(deleted)
-        node.n_merges = int(meta["n_merges"])
-        return node

@@ -161,6 +161,20 @@ class StreamingPLSH:
         """Drop pooled workers whose copy-on-write snapshot went stale."""
         self._executors.close()
 
+    def prepare_workers(
+        self, workers: int | None = None, backend: str | None = None
+    ) -> None:
+        """Pre-create the pool :meth:`query_batch` would use (no-op for
+        ``workers <= 1``).  Callers that will invoke ``query_batch`` from a
+        worker thread (the coordinator's concurrent broadcast) warm pools
+        here, serially, so no fork() ever happens while sibling threads
+        run numpy kernels — the same multithreaded-fork hazard
+        :meth:`_executor` guards against for merge builders."""
+        if workers is None:
+            workers = default_workers()
+        if workers > 1:
+            self._executor(workers, backend)
+
     def close(self) -> None:
         """Release persistent worker pools (idempotent); also closes the
         static engine's pools.  Nodes queried only with ``workers == 1``

@@ -63,3 +63,39 @@ def test_capacity_properties(small_vectors):
     node.insert_batch(small_vectors.slice_rows(0, 50), np.arange(50))
     assert node.is_full
     assert node.free_capacity == 0
+
+
+def test_id_map_corruption_is_runtime_error(small_vectors):
+    """Regression: the contiguity guard must be a RuntimeError (an
+    AssertionError vanishes under ``python -O`` and the id map would
+    silently corrupt)."""
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(4, small_vectors.n_cols, PARAMS, 1000, hasher)
+    node.insert_batch(small_vectors.slice_rows(0, 10), np.arange(10))
+    # Rows slipped in behind the node's back desynchronize local ids
+    # from the global-id map; the next tracked insert must refuse.
+    node.plsh.insert_batch(small_vectors.slice_rows(10, 15))
+    with pytest.raises(RuntimeError, match="id map"):
+        node.insert_batch(small_vectors.slice_rows(15, 20), np.arange(10, 15))
+
+
+def test_restore_rejects_mismatched_id_map(small_vectors):
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    donor = ClusterNode(5, small_vectors.n_cols, PARAMS, 1000, hasher)
+    donor.insert_batch(small_vectors.slice_rows(0, 20), np.arange(20))
+    with pytest.raises(ValueError, match="global ids"):
+        ClusterNode.restore(5, donor.plsh, np.arange(19))
+
+
+def test_merge_lifecycle_delegates(small_vectors):
+    """The handle-protocol merge methods drive the wrapped StreamingPLSH."""
+    hasher = AllPairsHasher(PARAMS, small_vectors.n_cols)
+    node = ClusterNode(6, small_vectors.n_cols, PARAMS, 1000, hasher)
+    node.insert_batch(small_vectors.slice_rows(0, 60), np.arange(60))
+    assert node.begin_merge()
+    assert node.merge_in_flight
+    assert node.commit_merge(wait=True)
+    assert not node.merge_in_flight
+    node.insert_batch(small_vectors.slice_rows(60, 80), np.arange(60, 80))
+    node.merge_now()
+    assert node.plsh.n_delta == 0

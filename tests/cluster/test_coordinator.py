@@ -129,3 +129,99 @@ def test_query_batch_sharded_matches_serial(setup, small_queries):
         for n in nodes:
             n.close()
     assert all(not n.plsh._executors for n in nodes)
+
+
+class _ExplodingNode:
+    """A handle whose queries always fail (a dead or sick node)."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.n_items = 10
+
+    def query(self, *args, **kwargs):
+        raise ConnectionError("node exploded")
+
+    def query_batch(self, *args, **kwargs):
+        raise ConnectionError("node exploded")
+
+    def stats(self):
+        return {"node_id": self.node_id}
+
+
+@pytest.fixture()
+def lopsided(setup):
+    """The healthy 4-node setup plus one node that always fails."""
+    coordinator, nodes, net, hasher = setup
+    bad = _ExplodingNode(99)
+    mixed = Coordinator(nodes + [bad], NetworkModel())
+    yield mixed, coordinator, bad
+    mixed.close()
+
+
+class TestFailureIsolation:
+    def test_single_query_surfaces_node_error(self, lopsided, small_queries):
+        mixed, healthy, bad = lopsided
+        _, queries = small_queries
+        out = mixed.query(*queries.row(0))
+        ref = healthy.query(*queries.row(0))
+        assert not out.ok
+        assert set(out.node_errors) == {99}
+        assert "ConnectionError" in out.node_errors[99]
+        np.testing.assert_array_equal(out.result.indices, ref.result.indices)
+
+    def test_batch_surfaces_node_error_on_every_outcome(
+        self, lopsided, small_queries
+    ):
+        mixed, healthy, bad = lopsided
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 5)
+        outs = mixed.query_batch(batch)
+        refs = healthy.query_batch(batch)
+        for out, ref in zip(outs, refs):
+            assert set(out.node_errors) == {99}
+            np.testing.assert_array_equal(out.result.indices, ref.result.indices)
+            np.testing.assert_array_equal(
+                out.result.distances, ref.result.distances
+            )
+        # Failed nodes stay out of the load-balance accounting.
+        assert 99 not in outs[0].node_seconds
+
+
+class TestConcurrentBroadcast:
+    def test_concurrent_matches_serial_bit_identically(self, setup, small_queries):
+        coordinator, nodes, _, _ = setup
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 8)
+        serial = Coordinator(nodes, NetworkModel(), concurrent=False)
+        try:
+            a_outs = coordinator.query_batch(batch)
+            b_outs = serial.query_batch(batch)
+            for a, b in zip(a_outs, b_outs):
+                np.testing.assert_array_equal(a.result.indices, b.result.indices)
+                np.testing.assert_array_equal(
+                    a.result.distances, b.result.distances
+                )
+        finally:
+            serial.close()
+
+    def test_wall_clock_measured_on_batch(self, setup, small_queries):
+        coordinator, _, _, _ = setup
+        _, queries = small_queries
+        outs = coordinator.query_batch(queries.slice_rows(0, 4))
+        assert all(o.wall_seconds is not None and o.wall_seconds > 0 for o in outs)
+        assert all(o.ok for o in outs)
+
+    def test_pool_recreated_after_close(self, setup, small_queries):
+        coordinator, _, _, _ = setup
+        _, queries = small_queries
+        coordinator.query_batch(queries.slice_rows(0, 2))
+        coordinator.close()
+        assert coordinator._pool is None
+        outs = coordinator.query_batch(queries.slice_rows(0, 2))
+        assert len(outs) == 2
+        coordinator.close()
+        coordinator.close()  # idempotent
+
+    def test_transport_totals_none_for_in_process(self, setup):
+        coordinator, _, _, _ = setup
+        assert coordinator.transport_totals() is None

@@ -1,0 +1,209 @@
+"""Wire protocol and transport framing tests (no processes spawned)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.transport import FRAME_HEADER_BYTES, Connection
+from repro.sparse.csr import CSRMatrix
+
+
+class TestMessageEncoding:
+    def test_round_trip_arrays_and_meta(self):
+        arrays = [
+            np.arange(5, dtype=np.int64),
+            np.linspace(0, 1, 7, dtype=np.float32),
+            np.zeros((2, 3), dtype=np.uint16),
+            np.empty(0, dtype=np.int32),
+        ]
+        meta = {"radius": 0.9, "mode": None, "flag": True, "n": 12}
+        body = protocol.encode_message(protocol.OP_QUERY_BATCH, meta, arrays)
+        code, out_meta, out_arrays = protocol.decode_message(body)
+        assert code == protocol.OP_QUERY_BATCH
+        assert out_meta == meta
+        assert len(out_arrays) == len(arrays)
+        for sent, got in zip(arrays, out_arrays):
+            assert got.dtype == sent.dtype
+            assert got.shape == sent.shape
+            np.testing.assert_array_equal(got, sent)
+
+    def test_empty_message(self):
+        code, meta, arrays = protocol.decode_message(
+            protocol.encode_message(protocol.OP_PING)
+        )
+        assert code == protocol.OP_PING
+        assert meta == {}
+        assert arrays == []
+
+    def test_numpy_scalars_in_meta(self):
+        meta = {"n": np.int64(3), "x": np.float32(0.5), "b": np.bool_(True)}
+        _, out_meta, _ = protocol.decode_message(
+            protocol.encode_message(protocol.OP_STATS, meta)
+        )
+        assert out_meta == {"n": 3, "x": 0.5, "b": True}
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError, match="wire format"):
+            protocol.encode_message(
+                protocol.OP_QUERY, None, [np.zeros(2, dtype=np.complex64)]
+            )
+
+    def test_truncated_body_rejected(self):
+        body = protocol.encode_message(
+            protocol.OP_QUERY, {"radius": 0.9}, [np.arange(100, dtype=np.int64)]
+        )
+        with pytest.raises(ValueError, match="truncated"):
+            protocol.decode_message(body[:-10])
+
+    def test_trailing_garbage_rejected(self):
+        body = protocol.encode_message(protocol.OP_PING)
+        with pytest.raises(ValueError, match="trailing"):
+            protocol.decode_message(body + b"\x00")
+
+    def test_non_contiguous_array_encoded(self):
+        arr = np.arange(20, dtype=np.int64)[::2]
+        _, _, (out,) = protocol.decode_message(
+            protocol.encode_message(protocol.OP_QUERY, None, [arr])
+        )
+        np.testing.assert_array_equal(out, arr)
+
+    def test_csr_round_trip(self):
+        rng = np.random.default_rng(3)
+        dense = (rng.random((6, 9)) < 0.3) * rng.random((6, 9))
+        matrix = CSRMatrix.from_dense(dense.astype(np.float32))
+        body = protocol.encode_message(
+            protocol.OP_INSERT_BATCH,
+            {"n_cols": matrix.n_cols},
+            protocol.csr_to_arrays(matrix),
+        )
+        _, meta, (indptr, indices, data) = protocol.decode_message(body)
+        rebuilt = protocol.arrays_to_csr(indptr, indices, data, meta["n_cols"])
+        np.testing.assert_array_equal(rebuilt.to_dense(), matrix.to_dense())
+
+
+def _socketpair_connections():
+    a, b = socket.socketpair()
+    return Connection(a), Connection(b)
+
+
+class TestConnection:
+    def test_message_round_trip_over_socketpair(self):
+        left, right = _socketpair_connections()
+        try:
+            payload = [np.arange(1000, dtype=np.float32)]
+            sent_bytes = left.send_message(protocol.OP_QUERY, {"radius": 1.0}, payload)
+            code, meta, arrays = right.recv_message()
+            assert code == protocol.OP_QUERY
+            assert meta == {"radius": 1.0}
+            np.testing.assert_array_equal(arrays[0], payload[0])
+            # Real byte accounting matches on both ends, framing included.
+            assert sent_bytes > 4000  # 1000 float32 + headers
+            assert left.stats.bytes_sent == sent_bytes
+            assert right.stats.bytes_received == sent_bytes
+            assert left.stats.n_sent == right.stats.n_received == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_raises_connection_error(self):
+        left, right = _socketpair_connections()
+        left.close()
+        with pytest.raises(ConnectionError):
+            right.recv_message()
+        assert right.closed
+
+    def test_mid_frame_close_raises(self):
+        a, b = socket.socketpair()
+        right = Connection(b)
+        try:
+            # A length prefix promising more bytes than ever arrive.
+            a.sendall((1000).to_bytes(FRAME_HEADER_BYTES, "big") + b"xx")
+            a.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                right.recv_message()
+        finally:
+            right.close()
+
+    def test_insane_frame_length_rejected(self):
+        a, b = socket.socketpair()
+        right = Connection(b)
+        try:
+            a.sendall((1 << 60).to_bytes(FRAME_HEADER_BYTES, "big"))
+            with pytest.raises(ConnectionError, match="sanity"):
+                right.recv_message()
+        finally:
+            a.close()
+            right.close()
+
+    def test_concurrent_request_response(self):
+        """One request in flight per connection, but big frames must not
+        deadlock the pair (each side writes while the other reads)."""
+        left, right = _socketpair_connections()
+        big = [np.zeros(1 << 18, dtype=np.float32)]
+
+        def echo():
+            code, meta, arrays = right.recv_message()
+            right.send_message(code, meta, arrays)
+
+        t = threading.Thread(target=echo)
+        t.start()
+        try:
+            left.send_message(protocol.OP_QUERY_BATCH, {"i": 1}, big)
+            code, meta, arrays = left.recv_message()
+            assert meta == {"i": 1}
+            assert arrays[0].size == big[0].size
+        finally:
+            t.join(timeout=10)
+            left.close()
+            right.close()
+
+
+def test_negative_shape_dimension_rejected():
+    """A corrupt frame must fail fast, not walk the cursor backwards."""
+    import struct
+
+    good = protocol.encode_message(
+        protocol.OP_QUERY, None, [np.arange(4, dtype=np.int64)]
+    )
+    # The shape int64 sits right after meta (5 + 2 bytes) + dtype/ndim (2).
+    offset = good.index(struct.pack(">q", 4))
+    bad = good[:offset] + struct.pack(">q", -1) + good[offset + 8 :]
+    with pytest.raises(ValueError, match="negative dimension"):
+        protocol.decode_message(bad)
+
+
+class TestServerReconnect:
+    def test_new_handle_syncs_n_items_from_server(self, small_vectors):
+        """Regression: a handle (re)connected to a populated server must
+        mirror the server's item count, or the coordinator skips the node
+        and the insert window over-fills it."""
+        from repro.cluster.client import RemoteNodeHandle
+        from repro.cluster.node import ClusterNode
+        from repro.cluster.server import NodeServer
+        from repro.core.hashing import AllPairsHasher
+        from repro.params import PLSHParams
+
+        params = PLSHParams(k=8, m=6, radius=0.9, seed=11)
+        hasher = AllPairsHasher(params, small_vectors.n_cols)
+        node = ClusterNode(0, small_vectors.n_cols, params, 100, hasher)
+        server = NodeServer(node)
+        t = threading.Thread(target=server.serve_forever, daemon=True)
+        t.start()
+        try:
+            first = RemoteNodeHandle(0, server.host, server.port, 100)
+            first.insert_batch(small_vectors.slice_rows(0, 30), np.arange(30))
+            assert first.n_items == 30
+            first.close()  # connection drops; server returns to accept
+
+            second = RemoteNodeHandle(0, server.host, server.port, 100)
+            assert second.n_items == 30  # synced on connect
+            assert second.free_capacity == 70
+            second.shutdown()
+        finally:
+            t.join(timeout=10)
+            assert not t.is_alive()

@@ -1,0 +1,223 @@
+"""Multi-process cluster integration: RPC nodes vs the in-process simulation.
+
+The contract under test is the tentpole guarantee: a localhost
+multi-process cluster (real ``NodeServer`` processes, TCP transport) fed
+the same op sequence as the in-process simulated cluster answers
+broadcasts **bit-identically** — same global ids, same float32 distances,
+same retirement behavior — and a killed node degrades the broadcast to a
+per-node error instead of an exception.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import RemoteNodeError, spawn_local_cluster
+from repro.parallel import fork_available
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+N_NODES = 3
+CAPACITY = 250
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="spawn_local_cluster requires fork()"
+)
+
+
+def _assert_outcomes_identical(sim_outcomes, rpc_outcomes):
+    assert len(sim_outcomes) == len(rpc_outcomes)
+    for sim, rpc in zip(sim_outcomes, rpc_outcomes):
+        np.testing.assert_array_equal(sim.result.indices, rpc.result.indices)
+        np.testing.assert_array_equal(sim.result.distances, rpc.result.distances)
+        assert not rpc.node_errors
+
+
+@pytest.fixture(scope="module")
+def clusters(small_vectors):
+    """A simulated and a spawned cluster fed the same streaming ops."""
+    dim = small_vectors.n_cols
+    sim = PLSHCluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+    rpc = spawn_local_cluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+    try:
+        # Stream enough to wrap the window and retire the oldest nodes
+        # (3 * 250 capacity, 1000 rows inserted in batches of 100).
+        for start in range(0, 1000, 100):
+            block = small_vectors.slice_rows(start, start + 100)
+            sim_ids = sim.insert(block)
+            rpc_ids = rpc.insert(block)
+            np.testing.assert_array_equal(sim_ids, rpc_ids)
+        # Tombstone a few global ids on both.
+        doomed = np.asarray([310, 512, 700], dtype=np.int64)
+        assert sim.delete(doomed) == rpc.delete(doomed)
+        yield sim, rpc
+    finally:
+        rpc.close()
+        sim.close()
+
+
+class TestBitIdentity:
+    def test_retirement_behavior_identical(self, clusters):
+        sim, rpc = clusters
+        assert sim.n_retirements == rpc.n_retirements > 0
+        assert len(sim.retired_ids) == len(rpc.retired_ids)
+        for a, b in zip(sim.retired_ids, rpc.retired_ids):
+            np.testing.assert_array_equal(a, b)
+        assert [n.n_items for n in sim.nodes] == [n.n_items for n in rpc.nodes]
+
+    def test_broadcast_batch_bit_identical(self, clusters, small_queries):
+        sim, rpc = clusters
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 12)
+        _assert_outcomes_identical(sim.query_batch(batch), rpc.query_batch(batch))
+
+    def test_single_query_bit_identical(self, clusters, small_queries):
+        sim, rpc = clusters
+        _, queries = small_queries
+        for r in range(4):
+            cols, vals = queries.row(r)
+            a = sim.query(cols.astype(np.int64), vals)
+            b = rpc.query(cols.astype(np.int64), vals)
+            np.testing.assert_array_equal(a.result.indices, b.result.indices)
+            np.testing.assert_array_equal(a.result.distances, b.result.distances)
+
+    def test_merge_lifecycle_over_rpc(self, clusters, small_queries):
+        sim, rpc = clusters
+        _, queries = small_queries
+        started_sim = sim.begin_merge_all()
+        started_rpc = rpc.begin_merge_all()
+        assert started_sim == started_rpc
+        # Queries stay bit-identical mid-merge...
+        batch = queries.slice_rows(12, 20)
+        _assert_outcomes_identical(sim.query_batch(batch), rpc.query_batch(batch))
+        # ...and after draining everything.
+        assert sim.commit_merges(wait=True) == rpc.commit_merges(wait=True)
+        sim.merge_all()
+        rpc.merge_all()
+        _assert_outcomes_identical(sim.query_batch(batch), rpc.query_batch(batch))
+
+    def test_stats_rows_identical(self, clusters):
+        sim, rpc = clusters
+        for sim_row, rpc_row in zip(sim.stats(), rpc.stats()):
+            assert sim_row == rpc_row
+
+    def test_loop_mode_matches_vectorized_over_rpc(self, clusters, small_queries):
+        _, rpc = clusters
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 5)
+        vec = rpc.query_batch(batch)
+        loop = rpc.query_batch(batch, mode="loop")
+        for a, b in zip(vec, loop):
+            np.testing.assert_array_equal(
+                np.sort(a.result.indices), np.sort(b.result.indices)
+            )
+
+
+class TestTransportAccounting:
+    def test_real_bytes_counted_and_dwarf_modeled_headers(self, clusters):
+        sim, rpc = clusters
+        totals = rpc.coordinator.transport_totals()
+        assert totals is not None
+        assert totals["n_messages"] > 0
+        # Request traffic (inserts + query batches) dominates; responses
+        # carry result ids/distances.
+        assert totals["bytes_sent"] > 0 and totals["bytes_received"] > 0
+        # The in-process coordinator has no transport.
+        assert sim.coordinator.transport_totals() is None
+        # Both backends charged the same NetworkModel accounting.
+        assert rpc.network.stats.n_messages > 0
+
+    def test_server_side_error_surfaces_and_connection_survives(self, clusters):
+        _, rpc = clusters
+        node = rpc.nodes[0]
+        bad_ids = np.arange(3, dtype=np.int64)
+        from repro.sparse.csr import CSRMatrix
+
+        overfill = CSRMatrix.from_rows(
+            [([0], [1.0])] * (CAPACITY + 1), rpc.dim
+        )
+        with pytest.raises(RemoteNodeError, match="Capacity|capacity|full"):
+            node.insert_batch(overfill, np.arange(CAPACITY + 1))
+        # The server answered the error and keeps serving.
+        assert node.ping() == node.node_id
+        assert node.delete_global(bad_ids) == 0
+
+
+class TestFailureIsolation:
+    def test_killed_node_degrades_not_kills(self, small_vectors, small_queries):
+        dim = small_vectors.n_cols
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 8)
+        sim = PLSHCluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+        rpc = spawn_local_cluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+        try:
+            for start in range(0, 600, 100):
+                block = small_vectors.slice_rows(start, start + 100)
+                sim.insert(block)
+                rpc.insert(block)
+            full = sim.query_batch(batch)
+            victim = rpc.nodes[1]
+            rpc.kill_node(1)
+
+            degraded = rpc.query_batch(batch)
+            # The broadcast completed, the victim's death is a per-node
+            # error, and every outcome reports it.
+            assert all(1 in out.node_errors for out in degraded)
+            assert not victim.alive
+
+            # Degraded-but-sound: the surviving answers are exactly the
+            # full (3-node) answers minus the victim's shard.  The
+            # simulated twin knows precisely which global ids lived on
+            # node 1.
+            victim_ids = set(sim.nodes[1]._global_ids.tolist())
+            for full_out, deg_out in zip(full, degraded):
+                full_ids = set(full_out.result.indices.tolist())
+                deg_ids = set(deg_out.result.indices.tolist())
+                assert deg_ids <= full_ids
+                assert full_ids - deg_ids == full_ids & victim_ids
+
+            # Later broadcasts skip the dead node silently (its death was
+            # already reported) and stay sound.
+            again = rpc.query_batch(batch)
+            for out, deg_out in zip(again, degraded):
+                np.testing.assert_array_equal(
+                    out.result.indices, deg_out.result.indices
+                )
+                assert not out.node_errors
+        finally:
+            rpc.close()
+            sim.close()
+
+    def test_degraded_answers_match_surviving_shards_exactly(
+        self, small_vectors, small_queries
+    ):
+        """The strong form: post-kill answers equal the in-process answers
+        of a coordinator restricted to the surviving nodes."""
+        dim = small_vectors.n_cols
+        _, queries = small_queries
+        batch = queries.slice_rows(0, 6)
+        sim = PLSHCluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+        rpc = spawn_local_cluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=2)
+        try:
+            for start in range(0, 600, 100):
+                block = small_vectors.slice_rows(start, start + 100)
+                sim.insert(block)
+                rpc.insert(block)
+            rpc.kill_node(2)
+            rpc.query_batch(batch)  # observes the death
+            degraded = rpc.query_batch(batch)
+
+            survivors = [n for n in sim.nodes if n.node_id != 2]
+            from repro.cluster.coordinator import Coordinator
+            from repro.cluster.network import NetworkModel
+
+            restricted = Coordinator(survivors, NetworkModel())
+            try:
+                expected = restricted.query_batch(batch)
+                _assert_outcomes_identical(expected, degraded)
+            finally:
+                restricted.close()
+        finally:
+            rpc.close()
+            sim.close()

@@ -229,3 +229,88 @@ def test_none_seed_roundtrip(tmp_path, small_vectors, small_queries):
         a = index.engine.query_row(queries, r)
         b = loaded.engine.query_row(queries, r)
         np.testing.assert_array_equal(np.sort(a.indices), np.sort(b.indices))
+
+
+# -- cluster node round trips ------------------------------------------------
+
+
+@pytest.fixture()
+def cluster_node(small_vectors):
+    from repro.cluster.node import ClusterNode
+    from repro.core.hashing import AllPairsHasher
+
+    params = PLSHParams(k=8, m=6, radius=0.9, seed=93)
+    hasher = AllPairsHasher(params, small_vectors.n_cols)
+    node = ClusterNode(7, small_vectors.n_cols, params, 1000, hasher)
+    # Global ids deliberately offset and non-dense so a local-id leak is
+    # unmistakable.
+    node.insert_batch(small_vectors.slice_rows(0, 300), np.arange(300) * 3 + 10_000)
+    node.plsh.merge_now()
+    node.insert_batch(
+        small_vectors.slice_rows(300, 350), np.arange(300, 350) * 3 + 10_000
+    )
+    node.delete_global(np.asarray([10_030, 10_033]))
+    return node
+
+
+def test_cluster_node_roundtrip_keeps_global_ids(
+    cluster_node, small_vectors, tmp_path
+):
+    """Regression: save_node/load_node dropped the global-id map, so a
+    restored node answered queries in LOCAL row numbers.  The cluster
+    round trip must keep every result in global-id space."""
+    from repro.persistence import load_cluster_node, save_cluster_node
+
+    path = tmp_path / "cnode.npz"
+    save_cluster_node(cluster_node, path)
+    loaded = load_cluster_node(path)
+    assert loaded.node_id == cluster_node.node_id
+    assert loaded.n_items == cluster_node.n_items
+    for r in (5, 42, 310):
+        cols, vals = small_vectors.row(r)
+        before = cluster_node.query(cols.astype(np.int64), vals)
+        after = loaded.query(cols.astype(np.int64), vals)
+        np.testing.assert_array_equal(before.indices, after.indices)
+        np.testing.assert_array_equal(before.distances, after.distances)
+        # The ids really are global (the map offsets every id >= 10_000);
+        # a local-id regression would return small row numbers here.
+        assert all(g >= 10_000 for g in after.indices.tolist())
+    # Tombstones survived too.
+    cols, vals = small_vectors.row(30)
+    assert 10_030 not in loaded.query(cols.astype(np.int64), vals).indices
+
+
+def test_cluster_node_roundtrip_streams_on(cluster_node, small_vectors, tmp_path):
+    from repro.persistence import load_cluster_node, save_cluster_node
+
+    path = tmp_path / "cnode.npz"
+    save_cluster_node(cluster_node, path)
+    loaded = load_cluster_node(path)
+    loaded.insert_batch(
+        small_vectors.slice_rows(350, 400), np.arange(350, 400) * 3 + 10_000
+    )
+    cols, vals = small_vectors.row(360)
+    res = loaded.query(cols.astype(np.int64), vals)
+    assert (360 * 3 + 10_000) in res.indices.tolist()
+
+
+def test_load_cluster_node_rejects_plain_node_archive(
+    streaming_node, tmp_path
+):
+    from repro.persistence import load_cluster_node
+
+    path = tmp_path / "plain.npz"
+    save_node(streaming_node, path)
+    with pytest.raises(ValueError, match="cluster"):
+        load_cluster_node(path)
+
+
+def test_load_node_still_reads_cluster_archives(cluster_node, tmp_path):
+    """A cluster archive is a superset: load_node restores the inner
+    streaming node (in local-id space) from the same file."""
+    from repro.persistence import save_cluster_node
+
+    path = tmp_path / "cnode.npz"
+    save_cluster_node(cluster_node, path)
+    inner = load_node(path)
+    assert inner.n_total == cluster_node.n_items
