@@ -19,6 +19,13 @@ Three benches:
   are bit-identical, and reports measured vs modeled communication:
   load-balance ratio per backend, per-node wire share (coordinator wall
   minus server compute), and real transport bytes vs the NetworkModel's.
+* ``test_fig9_availability`` measures serving under failure: answer
+  coverage (share of the full answer set still returned) after 0, 1 and
+  2 node kills at replication 1 vs 2, and the latency cost of failover —
+  the first broadcast after a kill (pays dead-connection discovery)
+  against the steady state before and after.  At R=2 coverage must hold
+  at 100 % with bit-identical answers through both kills; at R=1 each
+  kill honestly removes one shard's contribution (``degraded=True``).
 """
 
 from __future__ import annotations
@@ -321,3 +328,124 @@ def test_fig9_rpc_cluster(benchmark, twitter, scale):
     # Shape: both backends answered bit-identically (asserted above) and
     # the load-balance metric stays sane over the real transport.
     assert load_imbalance(list(rpc_totals.values())) < 2.0
+
+
+def test_fig9_availability(benchmark, twitter, scale):
+    """Answer coverage and failover latency under node kills, R=1 vs R=2."""
+    from repro.cluster import spawn_local_cluster
+    from repro.parallel import fork_available
+
+    if not fork_available():
+        import pytest
+
+        pytest.skip("spawn_local_cluster requires fork()")
+
+    params = scale.params()
+    per_node = int(os.environ.get("PLSH_BENCH_FIG9_AVAIL_PER_NODE", "3000"))
+    n_shards = 3
+    n_queries = int(os.environ.get("PLSH_BENCH_FIG9_AVAIL_QUERIES", "100"))
+    queries = twitter.queries.slice_rows(0, min(n_queries, twitter.queries.n_rows))
+    data = twitter.vectors.slice_rows(0, min(n_shards * per_node, twitter.n))
+    per_node = data.n_rows // n_shards
+
+    # Ground truth: the full (nothing-killed) answers from the simulation.
+    with PLSHCluster(
+        n_nodes=n_shards, node_capacity=per_node,
+        dim=twitter.vectors.n_cols, params=params,
+        insert_window=min(4, n_shards),
+    ) as sim:
+        _fill_cluster(sim, data, per_node)
+        full_outs = sim.query_batch(queries)
+    full_total = sum(len(o.result) for o in full_outs)
+
+    def run_kills(replication: int):
+        """Kill 0, 1, 2 nodes progressively; report coverage + latency."""
+        rpc = spawn_local_cluster(
+            n_shards * replication, per_node, twitter.vectors.n_cols, params,
+            insert_window=min(4, n_shards), replication=replication,
+            op_timeout=10.0,
+        )
+        rows = []
+        try:
+            # Fill shard-wise: a ReplicaGroup fans each insert to all its
+            # replicas, so both copies of a shard hold identical data.
+            pos = 0
+            for shard in rpc.shards:
+                shard.insert_batch(
+                    data.slice_rows(pos, pos + per_node),
+                    np.arange(pos, pos + per_node),
+                )
+                shard.merge_now()
+                pos += per_node
+            rpc.query_batch(queries.slice_rows(0, 5))  # warmup
+            # One replica each from two *different* shards, so R=2 always
+            # keeps a live sibling (one kill per shard is its design point).
+            victims = [0 * replication, 1 * replication + (replication - 1)]
+            for n_kills in (0, 1, 2):
+                if n_kills:
+                    rpc.kill_node(victims[n_kills - 1])
+                start = time.perf_counter()
+                first_outs = rpc.query_batch(queries)  # pays failover
+                first_wall = time.perf_counter() - start
+                start = time.perf_counter()
+                steady_outs = rpc.query_batch(queries)
+                steady_wall = time.perf_counter() - start
+                coverage = sum(len(o.result) for o in steady_outs) / max(
+                    full_total, 1
+                )
+                degraded = steady_outs[0].degraded
+                rows.append(
+                    [f"R={replication}", n_kills, coverage * 100,
+                     "yes" if degraded else "no",
+                     first_wall * 1e3, steady_wall * 1e3]
+                )
+                if replication == 2:
+                    # Failover must be invisible in the answers.
+                    for a, b in zip(full_outs, first_outs):
+                        np.testing.assert_array_equal(
+                            a.result.indices, b.result.indices
+                        )
+                        np.testing.assert_array_equal(
+                            a.result.distances, b.result.distances
+                        )
+                    assert not degraded
+                elif n_kills:
+                    assert degraded and len(steady_outs[0].missing_shards) == n_kills
+        finally:
+            rpc.close()
+        return rows
+
+    rows = run_kills(1) + run_kills(2)
+
+    with PLSHCluster(
+        n_nodes=n_shards, node_capacity=per_node,
+        dim=twitter.vectors.n_cols, params=params,
+        insert_window=min(4, n_shards),
+    ) as bench_sim:
+        _fill_cluster(bench_sim, data, per_node)
+        benchmark.pedantic(
+            lambda: bench_sim.query_batch(queries.slice_rows(0, 10)),
+            rounds=2,
+            iterations=1,
+        )
+
+    print_section(
+        f"Availability — {n_shards} shards x {per_node:,} docs, "
+        f"{queries.n_rows} queries, progressive kills",
+        format_table(
+            ["cluster", "kills", "coverage %", "degraded",
+             "first bcast ms", "steady ms"],
+            rows,
+        )
+        + "\nR=2 holds 100% coverage with bit-identical answers through both"
+          " kills (one per shard); R=1 sheds one shard per kill and says so."
+          "\nfirst broadcast after a kill pays dead-connection discovery;"
+          " the steady state pays nothing",
+    )
+
+    # Shape: R=2 coverage never moves; R=1 coverage strictly decreases.
+    r1 = [r for r in rows if r[0] == "R=1"]
+    r2 = [r for r in rows if r[0] == "R=2"]
+    assert all(abs(r[2] - 100.0) < 1e-9 for r in r2)
+    assert r1[0][2] >= r1[1][2] >= r1[2][2]
+    assert r1[2][2] < 100.0 or full_total == 0

@@ -14,7 +14,11 @@ The finale goes beyond the simulation: ``spawn_local_cluster`` forks real
 node *processes* serving the binary TCP protocol, replays a slice of the
 same stream, and shows the broadcasts answering bit-identically to the
 in-process cluster — then hard-kills one node to demonstrate per-node
-failure isolation.
+failure isolation (the broadcast completes degraded, with the missing
+shard named).  A second pass spawns the same cluster with
+``replication=2``: each logical shard lives on two node processes, so
+the same kill now costs *nothing* — the coordinator fails over to the
+sibling replica and the answers stay bit-identical.
 
 Run:  python examples/distributed_search.py
 """
@@ -146,12 +150,54 @@ def real_transport_demo(vectors, queries) -> None:
         full = sum(len(o.result) for o in rpc_outs)
         print(
             f"  killed node 1 -> broadcast degraded, not dead: "
-            f"{survivors}/{full} answers, per-node errors {list(errors)}"
+            f"{survivors}/{full} answers, degraded={degraded[0].degraded}, "
+            f"missing shards {degraded[0].missing_shards}"
         )
-        assert 1 in errors
+        assert 1 in errors and degraded[0].degraded
     finally:
         rpc.close()
         sim.close()
+
+    replicated_failover_demo(vectors, queries, sim_outs)
+
+
+def replicated_failover_demo(vectors, queries, expected_outs) -> None:
+    """Same workload, ``replication=2``: a kill costs nothing."""
+    print("\n--- replication=2: 6 processes serving 3 logical shards ---")
+    params = PLSHParams(k=16, m=16, radius=0.9, seed=SEED)
+    rpc = spawn_local_cluster(
+        6, 3_000, vectors.n_cols, params,
+        insert_window=2, replication=2,
+        op_timeout=5.0, heartbeat_interval=0.25,
+    )
+    try:
+        for start in range(0, 6_000, 1_000):
+            rpc.insert(vectors.slice_rows(start, start + 1_000))
+
+        # Kill one replica of shard 1 mid-stream; its sibling carries on.
+        rpc.kill_node(2)  # shard 1 = processes {2, 3}
+        outs = rpc.query_batch(queries)
+        identical = all(
+            np.array_equal(a.result.indices, b.result.indices)
+            and np.array_equal(a.result.distances, b.result.distances)
+            for a, b in zip(expected_outs, outs)
+        )
+        print(
+            f"  killed one replica of shard 1 -> failover; answers "
+            f"bit-identical: {identical}, degraded={outs[0].degraded}"
+        )
+        assert identical and not outs[0].degraded
+
+        for row in rpc.health():
+            replicas = " ".join(
+                f"node{r['node_id']}:{r['state']}" for r in row["replicas"]
+            )
+            print(
+                f"  shard {row['shard_id']}: "
+                f"{row['live_replicas']}/{row['replication']} live  [{replicas}]"
+            )
+    finally:
+        rpc.close()
 
 
 if __name__ == "__main__":

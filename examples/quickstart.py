@@ -38,6 +38,22 @@ absorbs the rebuild.  See ``examples/streaming_firehose.py`` for the
 full lifecycle and ``save_node``/``load_node`` in ``repro.persistence``
 for restartability.
 
+Distributed serving (Sections 4 & 5.3) lives in ``repro.cluster``:
+``spawn_local_cluster(n, ...)`` forks real node-server processes and
+broadcasts queries over a binary TCP protocol, answering bit-identically
+to the in-process simulation.  The deployment is fault-tolerant:
+``replication=2`` places each shard on two nodes so any single crash
+leaves answers *exactly* unchanged (the coordinator fails over to the
+sibling replica); every RPC runs under a deadline with retry/backoff for
+idempotent ops, so a hung node costs one deadline and trips a circuit
+breaker instead of stalling broadcasts; ``heartbeat_interval=...``
+starts a health monitor whose probes bring recovered nodes back into
+rotation.  When a shard really has no live replica, broadcasts still
+complete — ``outcome.degraded`` flips True and ``missing_shards`` names
+what went unsearched.  See ``examples/distributed_search.py`` for the
+full tour, including a kill/failover demo, and
+``save_cluster``/``load_cluster`` for whole-cluster restartability.
+
 Run:  python examples/quickstart.py
 """
 

@@ -1,4 +1,4 @@
-"""Multi-node PLSH (Sections 4 and 5.3) — simulated *and* real.
+"""Multi-node PLSH (Sections 4 and 5.3) — simulated, real, *and* fault-tolerant.
 
 The paper runs 100 nodes over Infiniband/MPI.  This package provides the
 same topology at two levels of realism behind one node-handle protocol:
@@ -20,14 +20,41 @@ backends on the same op sequence.
 
 Either way, the :class:`Coordinator` broadcasts queries **concurrently**
 (every node's request in flight at once on a :mod:`repro.parallel`
-thread pool) and concatenates partial answers; a node that dies
-mid-broadcast surfaces as a per-node error in the
-:class:`BroadcastOutcome` instead of killing the broadcast.
+thread pool) and concatenates partial answers.
+
+**Fault tolerance** (PR 6) makes the real deployment survivable, in four
+cooperating layers:
+
+* *Replication* — ``replication=R`` partitions the nodes into
+  :class:`ReplicaGroup` shards of R copies each; inserts fan to every
+  replica, broadcasts take one live replica per shard and fail over to
+  siblings.  Replicas are bit-identical by construction, so with R≥2 a
+  single node crash leaves answers exactly equal to the healthy
+  cluster's.
+* *RPC hardening* — every request runs under a deadline; idempotent ops
+  (query / stats / ping) retry with exponential backoff + jitter and
+  reconnect through torn frames; a hung node costs one deadline, ever,
+  because the expiry trips that handle's circuit breaker on the spot.
+* *Health* — :class:`NodeHealth` tracks UP/SUSPECT/DOWN per handle; the
+  broadcast path only uses breaker-CLOSED handles, and an optional
+  :class:`HealthMonitor` heartbeat probes tripped nodes back into
+  rotation (without one, failover still works; recovery doesn't).
+* *Honest degradation* — when a data-holding shard has no usable replica,
+  the broadcast still completes: :class:`BroadcastOutcome.degraded` flips
+  True and ``missing_shards`` names exactly which slice of the corpus
+  went unsearched.  Never an exception, never a silently-truncated
+  answer.
+
+:mod:`repro.cluster.faults` closes the loop with deterministic fault
+injection (seeded drops, torn replies, delays), and
+:class:`SpawnedLocalCluster` carries the matching process-level knobs
+(``kill_node``, ``pause_node``/``resume_node``) that the chaos suite
+drives.
 
 Partitioning follows the paper's chosen scheme: every node holds *all* L
 tables over a shard of the data (scheme 2 of Section 5.3); data is
-distributed in arrival order to a rolling window of M insert nodes; when
-all nodes are full, the window wraps and the oldest M nodes are retired
+distributed in arrival order to a rolling window of M insert shards; when
+all shards are full, the window wraps and the oldest M shards are retired
 wholesale (Figure 1).
 """
 
@@ -39,25 +66,51 @@ from repro.cluster.client import (
 )
 from repro.cluster.cluster import PLSHCluster
 from repro.cluster.coordinator import BroadcastOutcome, Coordinator
+from repro.cluster.faults import FaultPlan, FaultyConnection, InjectedFault
+from repro.cluster.health import (
+    BreakerState,
+    CircuitOpenError,
+    HealthMonitor,
+    HealthState,
+    NodeHealth,
+    backoff_delays,
+)
 from repro.cluster.network import NetworkModel, NetworkStats
 from repro.cluster.node import ClusterNode
+from repro.cluster.replication import (
+    ReplicaGroup,
+    ShardUnavailableError,
+    group_handles,
+)
 from repro.cluster.server import NodeServer
 from repro.cluster.stats import load_imbalance
 from repro.cluster.transport import Connection, TransportStats
 
 __all__ = [
+    "BreakerState",
     "BroadcastOutcome",
+    "CircuitOpenError",
     "ClusterNode",
     "Connection",
     "Coordinator",
+    "FaultPlan",
+    "FaultyConnection",
+    "HealthMonitor",
+    "HealthState",
+    "InjectedFault",
     "NetworkModel",
     "NetworkStats",
+    "NodeHealth",
     "NodeServer",
     "PLSHCluster",
     "RemoteNodeError",
     "RemoteNodeHandle",
+    "ReplicaGroup",
+    "ShardUnavailableError",
     "SpawnedLocalCluster",
     "TransportStats",
+    "backoff_delays",
+    "group_handles",
     "load_imbalance",
     "spawn_local_cluster",
 ]

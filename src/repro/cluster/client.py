@@ -7,34 +7,68 @@
 nodes through identical call sites.  Capacity bookkeeping (``n_items``,
 ``free_capacity``) is mirrored client-side from authoritative counts the
 server returns with every mutating response — the cluster's rolling insert
-window needs those without a round trip per check.
+window needs those without a round trip per check — and the mirror is
+*kept* after a failure, because a dead shard's last-known size is what
+tells the coordinator the shard is missing rather than empty.
+
+Every request is **hardened** (PR 6):
+
+* a per-request deadline (``op_timeout``; merge ops use the longer
+  ``merge_timeout``) — a hung server surfaces as :class:`TimeoutError`
+  instead of blocking a broadcast thread forever, and the blown deadline
+  trips the handle's circuit breaker immediately (re-probing a hung node
+  costs a whole deadline, so one strike is enough);
+* automatic retry with exponential backoff + jitter for **idempotent**
+  ops (query / query_batch / stats / ping), reconnecting on torn frames
+  and resets — a single flaky exchange never surfaces to the caller;
+  mutating ops are never auto-retried (a torn insert may or may not have
+  been applied; the replica layer evicts instead of guessing);
+* a per-handle :class:`~repro.cluster.health.NodeHealth` record — the
+  UP/SUSPECT/DOWN state machine plus CLOSED/OPEN/HALF_OPEN breaker the
+  broadcast path consults (``broadcast_ready``); recovery happens only
+  through :meth:`probe` (a deadline-bounded ping the
+  :class:`~repro.cluster.health.HealthMonitor` heartbeat calls), which is
+  the single path allowed to half-open an open breaker.
 
 :func:`spawn_local_cluster` is the zero-config deployment for tests and
 benches: it forks one ``NodeServer`` process per node on localhost and
 returns a :class:`SpawnedLocalCluster` (a :class:`PLSHCluster` whose nodes
-are remote handles).  Fork-based spawning shares the parent's hyperplane
-bank copy-on-write, so every node hashes queries identically even when
-``params.seed`` is ``None`` — the same trick the in-process simulation
-plays by sharing one :class:`AllPairsHasher` object.
+are remote handles), optionally replicated (``replication=R`` places each
+logical shard on R node processes) and optionally watched by a heartbeat
+(``heartbeat_interval``).  Fork-based spawning shares the parent's
+hyperplane bank copy-on-write, so every node hashes queries identically
+even when ``params.seed`` is ``None``.
 
-A node process that dies mid-broadcast surfaces as a per-node error in the
-:class:`~repro.cluster.coordinator.BroadcastOutcome` (the handle marks
-itself dead and later broadcasts skip it); it never kills the broadcast.
+For failure drills the spawned cluster carries knobs: ``kill_node`` (hard
+SIGKILL), ``pause_node``/``resume_node`` (SIGSTOP/SIGCONT — a *hang*, the
+failure mode deadlines exist for), and per-node
+:class:`~repro.cluster.faults.FaultPlan` wrapping (seeded drops, torn
+replies, delays, after-send hooks) via ``fault_plans``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
 import time
 
 import numpy as np
 
 from repro.cluster import protocol
 from repro.cluster.cluster import PLSHCluster
+from repro.cluster.faults import FaultPlan, FaultyConnection
+from repro.cluster.health import (
+    CircuitOpenError,
+    HealthMonitor,
+    NodeHealth,
+    backoff_delays,
+)
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.server import NodeServer
-from repro.cluster.transport import Connection
+from repro.cluster.transport import Connection, TransportStats
 from repro.core.hashing import AllPairsHasher
 from repro.core.query import QueryResult
 from repro.params import PLSHParams
@@ -46,6 +80,8 @@ __all__ = [
     "SpawnedLocalCluster",
     "spawn_local_cluster",
 ]
+
+_UNSET = object()
 
 
 class RemoteNodeError(RuntimeError):
@@ -63,17 +99,43 @@ class RemoteNodeHandle:
         capacity: int,
         *,
         connect_timeout: float = 10.0,
+        op_timeout: float | None = 30.0,
+        merge_timeout: float | None = 600.0,
+        retries: int = 2,
+        probe_timeout: float = 1.0,
+        health: NodeHealth | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.node_id = node_id
         self.host = host
         self.port = port
         self._capacity = int(capacity)
         self._n_items = 0
-        self._alive = True
+        self._closed = False
+        #: per-request deadline for regular ops (None = block forever).
+        self.op_timeout = op_timeout
+        #: deadline for merge ops, which legitimately run long.
+        self.merge_timeout = merge_timeout
+        #: extra attempts for idempotent ops after a connection failure.
+        self.retries = int(retries)
+        self.probe_timeout = float(probe_timeout)
+        self.connect_timeout = float(connect_timeout)
+        #: health record: state machine + circuit breaker (shared with
+        #: the heartbeat monitor and the replica failover layer).
+        self.health = health if health is not None else NodeHealth()
+        #: fault-injection plan re-applied to every (re)connection.
+        self.fault_plan = fault_plan
         #: server-side compute seconds of the last query_batch (excludes
         #: the wire), for measured communication-share accounting.
         self.last_compute_seconds: float | None = None
-        self._conn = Connection.connect(host, port, timeout=connect_timeout)
+        # One request in flight per connection: broadcast threads and the
+        # heartbeat serialize here.
+        self._lock = threading.Lock()
+        #: wire totals folded in from connections already torn down.
+        self._stats_base = TransportStats()
+        self._conn = self._wrap(
+            Connection.connect(host, port, timeout=connect_timeout)
+        )
         # Sync the client-side mirror from the server's authoritative
         # counts: a handle (re)connected to an already-populated server
         # must not report 0 items (the coordinator would silently skip
@@ -82,35 +144,157 @@ class RemoteNodeHandle:
 
     # -- plumbing ----------------------------------------------------------
 
+    def _wrap(self, conn: Connection):
+        if self.fault_plan is not None:
+            return FaultyConnection(conn, self.fault_plan)
+        return conn
+
     @property
     def alive(self) -> bool:
-        """False once a transport failure marked the node dead."""
-        return self._alive
+        """False while the handle is closed or its breaker is open.  Not
+        terminal: a successful :meth:`probe` (heartbeat) revives it."""
+        return not self._closed and self.health.allow_request()
 
     @property
-    def transport_stats(self):
-        """Real bytes/messages on this handle's wire (TransportStats)."""
-        return self._conn.stats
+    def broadcast_ready(self) -> bool:
+        """Should a broadcast include this node right now?  Only a
+        CLOSED breaker qualifies — recovery probes are the heartbeat's
+        job, never the query path's."""
+        return self.alive
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Real bytes/messages over this handle's wire, summed across
+        reconnects (a snapshot; not live-updating)."""
+        total = TransportStats(
+            n_sent=self._stats_base.n_sent,
+            n_received=self._stats_base.n_received,
+            bytes_sent=self._stats_base.bytes_sent,
+            bytes_received=self._stats_base.bytes_received,
+        )
+        conn = self._conn
+        if conn is not None:
+            total.n_sent += conn.stats.n_sent
+            total.n_received += conn.stats.n_received
+            total.bytes_sent += conn.stats.bytes_sent
+            total.bytes_received += conn.stats.bytes_received
+        return total
+
+    def health_snapshot(self) -> dict:
+        """This handle's health row for ``Coordinator.health()``."""
+        snap = self.health.snapshot()
+        snap["node_id"] = self.node_id
+        snap["closed"] = self._closed
+        snap["n_items"] = self._n_items
+        return snap
+
+    def _drop_connection(self) -> None:
+        """Tear down the current connection now (first failure closes the
+        socket; nothing is left half-open for GC to find)."""
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            self._stats_base.n_sent += conn.stats.n_sent
+            self._stats_base.n_received += conn.stats.n_received
+            self._stats_base.bytes_sent += conn.stats.bytes_sent
+            self._stats_base.bytes_received += conn.stats.bytes_received
+            conn.close()
+
+    def _reconnect(self) -> None:
+        self._drop_connection()
+        try:
+            self._conn = self._wrap(
+                Connection.connect(
+                    self.host, self.port, timeout=self.connect_timeout
+                )
+            )
+        except OSError as exc:  # refused, unreachable, connect timeout
+            raise ConnectionError(
+                f"reconnect to node {self.node_id} failed: {exc}"
+            ) from exc
 
     def _call(
-        self, code: int, meta: dict | None = None, arrays=()
+        self,
+        code: int,
+        meta: dict | None = None,
+        arrays=(),
+        *,
+        idempotent: bool = False,
+        timeout=_UNSET,
+        probe: bool = False,
     ) -> tuple[dict, list[np.ndarray]]:
-        if not self._alive:
-            raise ConnectionError(
-                f"node {self.node_id} is marked dead (earlier transport failure)"
-            )
+        if self._closed:
+            raise ConnectionError(f"node {self.node_id} handle is closed")
+        if timeout is _UNSET:
+            timeout = self.op_timeout
+        op = protocol.OP_NAMES.get(code, str(code))
+        health = self.health
+        if probe:
+            if not health.allow_probe():
+                raise CircuitOpenError(
+                    f"node {self.node_id} breaker open (cooling down)"
+                )
+            # Never let the heartbeat block behind a long in-flight op:
+            # skip this round instead (the op's outcome updates health).
+            if not self._lock.acquire(timeout=0.1):
+                health.abort_probe()
+                raise CircuitOpenError(
+                    f"node {self.node_id} busy; probe skipped"
+                )
+        else:
+            if not health.allow_request():
+                raise CircuitOpenError(
+                    f"node {self.node_id} circuit open after "
+                    f"{health.consecutive_failures} consecutive failures"
+                )
+            self._lock.acquire()
         try:
-            self._conn.send_message(code, meta, arrays)
-            status, out_meta, out_arrays = self._conn.recv_message()
-        except ConnectionError:
-            self._alive = False
-            raise
-        if status == protocol.STATUS_ERROR:
-            raise RemoteNodeError(
-                f"node {self.node_id} {out_meta.get('op', '?')}: "
-                f"{out_meta.get('type', 'Error')}: {out_meta.get('error', '')}"
-            )
-        return out_meta, out_arrays
+            attempts = 1 + (self.retries if idempotent else 0)
+            delays = backoff_delays(max(0, attempts - 1))
+            for attempt in range(attempts):
+                deadline = (
+                    time.monotonic() + timeout if timeout is not None else None
+                )
+                try:
+                    if self._conn is None or self._conn.closed:
+                        self._reconnect()
+                    self._conn.send_message(
+                        code, meta, arrays, deadline=deadline
+                    )
+                    status, out_meta, out_arrays = self._conn.recv_message(
+                        deadline=deadline
+                    )
+                except TimeoutError as exc:
+                    # A blown deadline is hang evidence: trip the breaker
+                    # outright and never retry (each retry would pay the
+                    # full deadline again against a stuck peer).
+                    self._drop_connection()
+                    health.record_failure(
+                        f"{op}: {exc}", weight=health.down_after
+                    )
+                    raise TimeoutError(
+                        f"node {self.node_id} {op}: {exc}"
+                    ) from exc
+                except ConnectionError as exc:
+                    self._drop_connection()
+                    health.record_failure(f"{op}: {exc}")
+                    if attempt + 1 < attempts and not self._closed:
+                        time.sleep(next(delays))
+                        continue
+                    raise ConnectionError(
+                        f"node {self.node_id} {op}: {exc}"
+                        + (f" (after {attempts} attempts)" if attempts > 1 else "")
+                    ) from exc
+                health.record_success()
+                if status == protocol.STATUS_ERROR:
+                    raise RemoteNodeError(
+                        f"node {self.node_id} {out_meta.get('op', '?')}: "
+                        f"{out_meta.get('type', 'Error')}: "
+                        f"{out_meta.get('error', '')}"
+                    )
+                return out_meta, out_arrays
+            raise AssertionError("unreachable: retry loop fell through")
+        finally:
+            self._lock.release()
 
     # -- node handle protocol ----------------------------------------------
 
@@ -131,8 +315,24 @@ class RemoteNodeHandle:
         return self.free_capacity <= 0
 
     def ping(self) -> int:
-        meta, _ = self._call(protocol.OP_PING)
+        meta, _ = self._call(protocol.OP_PING, idempotent=True)
         return int(meta["node_id"])
+
+    def probe(self, *, timeout: float | None = None) -> bool:
+        """One health-check ping under a short deadline; the only request
+        allowed through an OPEN breaker (as its half-open probe).  Returns
+        True when the node answered — which also closes the breaker."""
+        if self._closed:
+            return False
+        try:
+            self._call(
+                protocol.OP_PING,
+                probe=True,
+                timeout=self.probe_timeout if timeout is None else timeout,
+            )
+            return True
+        except (ConnectionError, TimeoutError):
+            return False
 
     def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
         meta, _ = self._call(
@@ -153,6 +353,7 @@ class RemoteNodeHandle:
                 np.ascontiguousarray(q_cols, dtype=np.int64),
                 np.ascontiguousarray(q_vals, dtype=np.float32),
             ],
+            idempotent=True,
         )
         return QueryResult(ids, dists)
 
@@ -174,7 +375,10 @@ class RemoteNodeHandle:
         if backend is not None:
             meta["backend"] = backend
         out_meta, (indptr, ids, dists) = self._call(
-            protocol.OP_QUERY_BATCH, meta, protocol.csr_to_arrays(queries)
+            protocol.OP_QUERY_BATCH,
+            meta,
+            protocol.csr_to_arrays(queries),
+            idempotent=True,
         )
         self.last_compute_seconds = float(out_meta["seconds"])
         return [
@@ -191,18 +395,23 @@ class RemoteNodeHandle:
         return int(meta["n_deleted"])
 
     def begin_merge(self) -> bool:
-        meta, _ = self._call(protocol.OP_BEGIN_MERGE)
+        meta, _ = self._call(
+            protocol.OP_BEGIN_MERGE, timeout=self.merge_timeout
+        )
         return bool(meta["started"])
 
     def commit_merge(self, *, wait: bool = False) -> bool:
-        meta, _ = self._call(protocol.OP_COMMIT_MERGE, {"wait": wait})
+        meta, _ = self._call(
+            protocol.OP_COMMIT_MERGE, {"wait": wait},
+            timeout=self.merge_timeout,
+        )
         return bool(meta["committed"])
 
     def merge_now(self) -> None:
-        self._call(protocol.OP_MERGE_NOW)
+        self._call(protocol.OP_MERGE_NOW, timeout=self.merge_timeout)
 
     def stats(self) -> dict:
-        meta, _ = self._call(protocol.OP_STATS)
+        meta, _ = self._call(protocol.OP_STATS, idempotent=True)
         stats = meta["stats"]
         self._n_items = int(stats["n_items"])
         return stats
@@ -212,18 +421,23 @@ class RemoteNodeHandle:
         self._n_items = 0
         return dropped
 
-    def shutdown(self) -> None:
-        """Ask the server process to exit cleanly (idempotent-ish)."""
+    def shutdown(self, *, timeout: float = 2.0) -> None:
+        """Ask the server process to exit cleanly (idempotent).  Bounded
+        by a short deadline of its own: teardown must not wait a full op
+        timeout on a hung node (the spawner escalates to SIGKILL)."""
         try:
-            self._call(protocol.OP_SHUTDOWN)
-        except (ConnectionError, RemoteNodeError):
-            pass  # already gone
+            self._call(protocol.OP_SHUTDOWN, timeout=timeout)
+        except (ConnectionError, TimeoutError, RemoteNodeError):
+            pass  # already gone (CircuitOpenError is a ConnectionError)
         self.close()
 
     def close(self) -> None:
-        """Drop the connection (the server keeps running; see shutdown)."""
-        self._conn.close()
-        self._alive = False
+        """Drop the connection (the server keeps running; see shutdown).
+        Idempotent — a spawned cluster torn down twice must not raise."""
+        if self._closed:
+            return
+        self._closed = True
+        self._drop_connection()
 
 
 # -- localhost spawning ----------------------------------------------------
@@ -258,24 +472,56 @@ def _node_server_main(
 
 
 class SpawnedLocalCluster(PLSHCluster):
-    """A :class:`PLSHCluster` whose nodes live in forked server processes."""
+    """A :class:`PLSHCluster` whose nodes live in forked server processes.
+
+    Carries the failure-injection knobs the chaos harness drives:
+    :meth:`kill_node` (crash), :meth:`pause_node`/:meth:`resume_node`
+    (hang via SIGSTOP/SIGCONT), and per-node :class:`FaultPlan` objects
+    (flaky-network injection) installed at spawn time.  ``monitor`` is
+    the optional heartbeat; :meth:`close` is idempotent.
+    """
 
     #: one multiprocessing.Process per node, index-aligned with ``nodes``.
     processes: list
+    #: optional background heartbeat over the remote handles.
+    monitor: HealthMonitor | None
+    _spawn_closed: bool
 
     def kill_node(self, index: int) -> None:
-        """Hard-kill one node's process (failure injection for tests)."""
+        """Hard-kill one node's process (crash injection).  The handle is
+        left untouched on purpose: the next request observes the death,
+        closes the socket, and reports the per-node error."""
         proc = self.processes[index]
         proc.kill()
         proc.join(timeout=5.0)
 
+    def pause_node(self, index: int) -> None:
+        """SIGSTOP one node's process — a *hang*, not a crash: the socket
+        stays open and requests stall until the deadline trips."""
+        os.kill(self.processes[index].pid, signal.SIGSTOP)
+
+    def resume_node(self, index: int) -> None:
+        """SIGCONT a paused node; the heartbeat's next probe revives it."""
+        os.kill(self.processes[index].pid, signal.SIGCONT)
+
     def close(self) -> None:
+        if getattr(self, "_spawn_closed", False):
+            return
+        self._spawn_closed = True
+        if self.monitor is not None:
+            self.monitor.stop()
         for node in self.nodes:
             try:
                 node.shutdown()
             except Exception:
                 pass
         for proc in self.processes:
+            # A SIGSTOPped child never processes the shutdown: wake it so
+            # join() cannot hang, then escalate.
+            try:
+                os.kill(proc.pid, signal.SIGCONT)
+            except (OSError, TypeError):
+                pass
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
@@ -296,6 +542,15 @@ def spawn_local_cluster(
     node_workers: int | None = None,
     node_backend: str | None = None,
     connect_timeout: float = 10.0,
+    replication: int = 1,
+    op_timeout: float | None = 30.0,
+    merge_timeout: float | None = 600.0,
+    retries: int = 2,
+    probe_timeout: float = 1.0,
+    health_down_after: int = 3,
+    health_cooldown: float = 2.0,
+    heartbeat_interval: float | None = None,
+    fault_plans: dict[int, FaultPlan] | None = None,
 ) -> SpawnedLocalCluster:
     """Fork ``n_nodes`` :class:`NodeServer` processes and cluster them.
 
@@ -305,6 +560,15 @@ def spawn_local_cluster(
     Requires a platform with ``fork`` (Linux/macOS); call it before any
     background merge builds are running (fork-while-threaded hazard, same
     rule the fork pool follows).
+
+    ``replication=R`` groups consecutive nodes into replica sets: nodes
+    ``[s*R, (s+1)*R)`` form logical shard ``s``, inserts fan out to every
+    replica, and broadcasts fail over between them (see
+    :mod:`repro.cluster.replication`).  ``heartbeat_interval`` starts a
+    :class:`HealthMonitor` pinging every handle — without one, a node
+    marked DOWN stays down (failover still works; *recovery* needs the
+    heartbeat).  ``fault_plans`` maps node index to a
+    :class:`FaultPlan` wrapped around that handle's connections.
     """
     from repro.parallel import fork_available
 
@@ -318,6 +582,7 @@ def spawn_local_cluster(
     processes = []
     ready_ends = []
     handles = []
+    monitor = None
     try:
         for i in range(n_nodes):
             recv_end, send_end = ctx.Pipe(duplex=False)
@@ -345,9 +610,23 @@ def spawn_local_cluster(
                 RemoteNodeHandle(
                     i, host, port, node_capacity,
                     connect_timeout=connect_timeout,
+                    op_timeout=op_timeout,
+                    merge_timeout=merge_timeout,
+                    retries=retries,
+                    probe_timeout=probe_timeout,
+                    health=NodeHealth(
+                        down_after=health_down_after,
+                        cooldown=health_cooldown,
+                    ),
+                    fault_plan=(fault_plans or {}).get(i),
                 )
             )
+        if heartbeat_interval is not None:
+            monitor = HealthMonitor(handles, interval=heartbeat_interval)
+            monitor.start()
     except BaseException:
+        if monitor is not None:
+            monitor.stop()
         for handle in handles:
             handle.close()
         for recv_end in ready_ends:
@@ -361,6 +640,9 @@ def spawn_local_cluster(
     cluster = SpawnedLocalCluster.from_handles(
         handles, dim, params,
         insert_window=insert_window, network=network,
+        replication=replication,
     )
     cluster.processes = processes
+    cluster.monitor = monitor
+    cluster._spawn_closed = False
     return cluster

@@ -21,6 +21,17 @@ in-process :class:`ClusterNode` objects (the simulated deployment whose
 policy, retirement, deletes and broadcast logic are byte-for-byte the
 same code either way, so a multi-process cluster fed the same op
 sequence answers bit-identically to the simulation.
+
+``replication=R`` (PR 6) places every logical shard on R nodes: the
+node list is partitioned into :class:`~repro.cluster.replication.ReplicaGroup`
+objects of R consecutive handles, and the window/insert/broadcast
+machinery runs over **shards** — a replica group speaks the same node
+handle protocol, so nothing above this constructor knows replication
+exists.  Inserts fan out to every replica of the owning shard; the
+coordinator's broadcast takes one live replica per shard, failing over
+to siblings, so with R≥2 any single node's crash leaves query answers
+bit-identical to the healthy cluster's.  ``R=1`` (the default) keeps
+raw handles as the shards — the pre-replication cluster, unchanged.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import numpy as np
 from repro.cluster.coordinator import BroadcastOutcome, Coordinator
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import ClusterNode
+from repro.cluster.replication import group_handles
 from repro.core.hashing import AllPairsHasher
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
@@ -51,13 +63,10 @@ class PLSHCluster:
         delta_fraction: float = 0.1,
         overlap_merges: bool = False,
         network: NetworkModel | None = None,
+        replication: int = 1,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
-        if not 1 <= insert_window <= n_nodes:
-            raise ValueError(
-                f"insert_window must be in [1, {n_nodes}], got {insert_window}"
-            )
         self.params = params
         self.dim = dim
         self.insert_window = insert_window
@@ -71,7 +80,14 @@ class PLSHCluster:
             )
             for i in range(n_nodes)
         ]
-        self.coordinator = Coordinator(self.nodes, self.network)
+        self.replication = replication
+        self.shards = group_handles(self.nodes, replication)
+        if not 1 <= insert_window <= len(self.shards):
+            raise ValueError(
+                f"insert_window must be in [1, {len(self.shards)}], "
+                f"got {insert_window}"
+            )
+        self.coordinator = Coordinator(self.shards, self.network)
         #: index of the first node of the current insert window
         self._window_start = 0
         #: round-robin cursor within the window
@@ -89,18 +105,17 @@ class PLSHCluster:
         *,
         insert_window: int = 4,
         network: NetworkModel | None = None,
+        replication: int = 1,
     ) -> "PLSHCluster":
         """Cluster over prebuilt node handles (e.g. remote stubs).
 
         The handles own their engines and hash functions — they must all
         have been built over the same hasher (``spawn_local_cluster``
-        guarantees this by forking after the bank is drawn)."""
+        guarantees this by forking after the bank is drawn).  With
+        ``replication=R``, consecutive runs of R handles become one
+        replica group / logical shard."""
         if not nodes:
             raise ValueError("from_handles needs at least one node handle")
-        if not 1 <= insert_window <= len(nodes):
-            raise ValueError(
-                f"insert_window must be in [1, {len(nodes)}], got {insert_window}"
-            )
         self = cls.__new__(cls)
         self.params = params
         self.dim = dim
@@ -108,7 +123,14 @@ class PLSHCluster:
         self.network = network if network is not None else NetworkModel()
         self.hasher = None  # handles own their hash functions
         self.nodes = list(nodes)
-        self.coordinator = Coordinator(self.nodes, self.network)
+        self.replication = replication
+        self.shards = group_handles(self.nodes, replication)
+        if not 1 <= insert_window <= len(self.shards):
+            raise ValueError(
+                f"insert_window must be in [1, {len(self.shards)}], "
+                f"got {insert_window}"
+            )
+        self.coordinator = Coordinator(self.shards, self.network)
         self._window_start = 0
         self._window_cursor = 0
         self._next_global_id = 0
@@ -123,17 +145,24 @@ class PLSHCluster:
         return len(self.nodes)
 
     @property
+    def n_shards(self) -> int:
+        """Logical shards: ``n_nodes / replication`` (== n_nodes at R=1)."""
+        return len(self.shards)
+
+    @property
     def n_items(self) -> int:
-        return sum(node.n_items for node in self.nodes)
+        return sum(shard.n_items for shard in self.shards)
 
     @property
     def total_capacity(self) -> int:
-        return sum(node.capacity for node in self.nodes)
+        """Logical capacity — one shard counts once, however many
+        replicas carry its copy."""
+        return sum(shard.capacity for shard in self.shards)
 
-    def window_nodes(self) -> list[ClusterNode]:
-        """The M nodes currently accepting inserts."""
+    def window_nodes(self) -> list:
+        """The M shards currently accepting inserts (raw nodes at R=1)."""
         return [
-            self.nodes[(self._window_start + i) % self.n_nodes]
+            self.shards[(self._window_start + i) % self.n_shards]
             for i in range(self.insert_window)
         ]
 
@@ -166,9 +195,10 @@ class PLSHCluster:
             self._window_cursor = (self._window_cursor + 1) % self.insert_window
         return global_ids
 
-    def _next_insert_node(self) -> ClusterNode:
-        """Pick the next window node with space, advancing windows as needed."""
-        for _ in range(2 * self.n_nodes):  # bounded: must terminate
+    def _next_insert_node(self):
+        """Pick the next window shard with space, advancing windows as
+        needed (an R>1 shard is full when its replicas are)."""
+        for _ in range(2 * self.n_shards):  # bounded: must terminate
             window = self.window_nodes()
             candidates = window[self._window_cursor :] + window[: self._window_cursor]
             for node in candidates:
@@ -179,12 +209,12 @@ class PLSHCluster:
 
     def _advance_window(self) -> None:
         """Move the window forward by M, retiring its target if occupied."""
-        self._window_start = (self._window_start + self.insert_window) % self.n_nodes
+        self._window_start = (self._window_start + self.insert_window) % self.n_shards
         self._window_cursor = 0
         incoming = self.window_nodes()
-        if any(node.n_items > 0 for node in incoming):
-            # Wrapped onto the oldest data: retire those nodes (Figure 1).
-            dropped = [node.retire() for node in incoming]
+        if any(shard.n_items > 0 for shard in incoming):
+            # Wrapped onto the oldest data: retire those shards (Figure 1).
+            dropped = [shard.retire() for shard in incoming]
             self.retired_ids.append(
                 np.concatenate(dropped) if dropped else np.empty(0, dtype=np.int64)
             )
@@ -193,8 +223,9 @@ class PLSHCluster:
     # -- deletes / queries ----------------------------------------------------
 
     def delete(self, global_ids: np.ndarray) -> int:
-        """Tombstone by global id across all nodes; returns deleted count."""
-        return sum(node.delete_global(global_ids) for node in self.nodes)
+        """Tombstone by global id across all shards; returns deleted count
+        (each item counted once, not once per replica)."""
+        return sum(shard.delete_global(global_ids) for shard in self.shards)
 
     def query(
         self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
@@ -224,8 +255,8 @@ class PLSHCluster:
         state).  Drains any in-flight background merges first —
         :meth:`StreamingPLSH.merge_now` commits the pending build, then
         folds the fresh delta in synchronously."""
-        for node in self.nodes:
-            node.merge_now()
+        for shard in self.shards:
+            shard.merge_now()
 
     def begin_merge_all(self) -> int:
         """Kick off a non-blocking merge on every node with a non-empty
@@ -233,25 +264,29 @@ class PLSHCluster:
         being served by every node throughout; finished builds land via
         :meth:`commit_merges` (or opportunistically on the nodes' own
         insert paths when ``overlap_merges`` is set)."""
-        return sum(1 for node in self.nodes if node.begin_merge())
+        return sum(1 for shard in self.shards if shard.begin_merge())
 
     def commit_merges(self, *, wait: bool = False) -> int:
         """Commit pending merges across the cluster; returns how many
         landed.  ``wait=False`` (the default) commits only builds that
         already finished — the coordinator's periodic maintenance tick."""
         return sum(
-            1 for node in self.nodes if node.commit_merge(wait=wait)
+            1 for shard in self.shards if shard.commit_merge(wait=wait)
         )
 
     def stats(self) -> list[dict]:
-        """Per-node monitoring rows, including ``merge_in_flight``."""
+        """Per-shard monitoring rows, including ``merge_in_flight``."""
         return self.coordinator.node_stats()
+
+    def health(self) -> list[dict]:
+        """Per-shard health rows (breaker / state machine / replicas)."""
+        return self.coordinator.health()
 
     def close(self) -> None:
         """Release every node's worker pools and the broadcast pool."""
         self.coordinator.close()
-        for node in self.nodes:
-            node.close()
+        for shard in self.shards:
+            shard.close()
 
     def __enter__(self) -> "PLSHCluster":
         return self

@@ -33,6 +33,17 @@ A node that fails mid-broadcast (a dead server process, a torn
 connection, a server-side exception) surfaces as a per-node entry in
 ``BroadcastOutcome.node_errors`` — the broadcast itself completes with
 the answers of the surviving nodes.
+
+With PR 6 the coordinator is fault-aware: it only fans out to
+**broadcast-ready** handles (circuit breaker CLOSED — see
+:mod:`repro.cluster.health`), drives :class:`ReplicaGroup` shards exactly
+like plain nodes (failover happens *inside* the group, invisibly), and
+reports honestly when data went unsearched: any data-holding shard that
+was skipped (breaker open) or failed mid-broadcast lands in
+``BroadcastOutcome.missing_shards`` and flips ``degraded`` — the answer
+is then exact over the *surviving* shards, and the caller knows exactly
+which slice of the corpus was missing.  ``health()`` snapshots every
+handle's state machine for monitoring.
 """
 
 from __future__ import annotations
@@ -57,6 +68,14 @@ class BroadcastOutcome:
     ``wall_seconds`` is the measured wall-clock of this broadcast's
     fan-out — for a vectorized batch, the amortized (1/B) share of the
     batch fan-out.
+
+    ``missing_shards`` lists data-holding shards whose answers are absent
+    from ``result`` — skipped before fan-out (circuit breaker open) or
+    failed during it.  ``degraded`` is the honest-serving flag: False
+    means ``result`` is exact over the full corpus; True means exact over
+    every shard *except* those listed.  A degraded broadcast still
+    returns normally — partial answers plus the report, never an
+    exception.
     """
 
     def __init__(
@@ -67,17 +86,25 @@ class BroadcastOutcome:
         *,
         node_errors: dict[int, str] | None = None,
         wall_seconds: float | None = None,
+        missing_shards: list[int] | None = None,
     ) -> None:
         self.result = result
         self.node_seconds = node_seconds
         self.network_seconds = network_seconds
         self.node_errors = dict(node_errors) if node_errors else {}
         self.wall_seconds = wall_seconds
+        self.missing_shards = sorted(missing_shards) if missing_shards else []
 
     @property
     def ok(self) -> bool:
         """True when every live node answered this broadcast."""
         return not self.node_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True when some data-holding shard went unsearched — the answer
+        is exact over the surviving shards only (see missing_shards)."""
+        return bool(self.missing_shards)
 
     @property
     def critical_path_seconds(self) -> float:
@@ -145,15 +172,31 @@ class Coordinator:
         self.close()
 
     def _live_nodes(self) -> list:
-        """Nodes worth broadcasting to: alive (for remote handles) and
-        non-empty.  Dead handles are skipped silently — their death was
-        already reported as a ``node_errors`` entry on the broadcast that
-        observed it."""
-        return [
-            node
-            for node in self.nodes
-            if getattr(node, "alive", True) and node.n_items > 0
-        ]
+        """Nodes worth broadcasting to: broadcast-ready (breaker CLOSED,
+        for remote handles; replica groups are ready while any replica
+        is) and non-empty.  Tripped handles are skipped without probing —
+        recovery is the heartbeat's job, so a dead node costs each
+        broadcast nothing after the failure that tripped it."""
+        live, _ = self._partition_nodes()
+        return live
+
+    def _partition_nodes(self) -> tuple[list, list[int]]:
+        """Split nodes into (broadcast-ready and non-empty, missing shard
+        ids).  A shard is *missing* when it holds data — by its handle's
+        last-known count, which survives the node's death — but cannot be
+        queried right now; empty skipped nodes are not missing (nothing
+        of theirs is absent from the answer)."""
+        live: list = []
+        missing: list[int] = []
+        for node in self.nodes:
+            ready = getattr(
+                node, "broadcast_ready", getattr(node, "alive", True)
+            )
+            if ready and node.n_items > 0:
+                live.append(node)
+            elif not ready and node.n_items > 0:
+                missing.append(node.node_id)
+        return live, missing
 
     def _fan_out(self, fn, tasks: list[tuple]) -> list:
         """Run one task per node, all in flight at once where possible."""
@@ -179,6 +222,26 @@ class Coordinator:
         mid-merge.
         """
         return [node.stats() for node in self.nodes]
+
+    def health(self) -> list[dict]:
+        """Per-shard health rows: breaker/state-machine snapshots for
+        remote handles and replica groups; in-process nodes (which cannot
+        fail independently of this process) report a static UP row."""
+        rows = []
+        for node in self.nodes:
+            snap = getattr(node, "health_snapshot", None)
+            if snap is not None:
+                rows.append(snap())
+            else:
+                rows.append(
+                    {
+                        "node_id": node.node_id,
+                        "state": "up",
+                        "breaker": "closed",
+                        "n_items": node.n_items,
+                    }
+                )
+        return rows
 
     def transport_totals(self) -> dict | None:
         """Real wire traffic summed over remote handles, or ``None`` when
@@ -209,7 +272,7 @@ class Coordinator:
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
         query_bytes = self.MESSAGE_HEADER_BYTES + 12 * q_cols.size  # id+weight per term
-        live = self._live_nodes()
+        live, missing = self._partition_nodes()
         net_seconds = (
             self.network.broadcast(len(live), query_bytes) if live else 0.0
         )
@@ -240,6 +303,7 @@ class Coordinator:
         return BroadcastOutcome(
             merged, node_seconds, net_seconds,
             node_errors=node_errors, wall_seconds=wall,
+            missing_shards=missing + list(node_errors),
         )
 
     def query_batch(
@@ -285,7 +349,7 @@ class Coordinator:
             return []
         # One broadcast message per node carries the whole CSR batch.
         batch_bytes = self.MESSAGE_HEADER_BYTES + 12 * queries.nnz
-        live = self._live_nodes()
+        live, missing = self._partition_nodes()
         net_seconds = (
             self.network.broadcast(len(live), batch_bytes) if live else 0.0
         )
@@ -323,6 +387,7 @@ class Coordinator:
         share = {nid: secs / n for nid, secs in node_batch_seconds.items()}
         net_share = net_seconds / n
         wall_share = wall / n
+        missing_all = missing + list(node_errors)
         outcomes: list[BroadcastOutcome] = []
         for r in range(n):
             merged = _merge_results(
@@ -333,6 +398,7 @@ class Coordinator:
                 BroadcastOutcome(
                     merged, dict(share), net_share,
                     node_errors=node_errors, wall_seconds=wall_share,
+                    missing_shards=missing_all,
                 )
             )
         return outcomes

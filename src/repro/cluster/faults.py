@@ -1,0 +1,183 @@
+"""Fault injection for the cluster transport (chaos testing).
+
+A real fabric fails in more ways than a hard node kill: requests vanish,
+replies tear mid-frame, links stall.  :class:`FaultyConnection` wraps a
+:class:`~repro.cluster.transport.Connection` and injects those failures
+*client-side*, deterministically from a seeded RNG, so the retry /
+failover / circuit-breaker machinery can be driven through every failure
+mode in ordinary unit tests — no proxy processes, no timing races.
+
+:class:`FaultPlan` is the knob panel.  Rates draw from the plan's seeded
+RNG on every request; the one-shot triggers (``drop_next_send``,
+``tear_next_reply``, ``call_after_send``) arm exactly one deterministic
+fault, which is how the targeted tests stage "server killed between
+request write and reply read" without sleeping.
+
+The plan outlives any one connection on purpose: the client handle
+re-wraps its replacement connection with the same plan after a
+reconnect, so a drop_rate keeps applying across retries (and the RNG
+stream keeps advancing — sequences stay reproducible from the seed).
+
+Injected failures are indistinguishable from real ones by design: a
+dropped send raises :class:`ConnectionError` and closes the underlying
+socket (the server sees EOF and returns to accept), a torn reply closes
+the socket after the request went out (the request may well have been
+*applied* — exactly the ambiguity real torn frames have), and ``delay_ms``
+stalls before the reply read, which a short deadline then converts into a
+:class:`TimeoutError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.transport import Connection, TransportStats
+
+__all__ = ["FaultPlan", "FaultyConnection", "InjectedFault"]
+
+
+class InjectedFault(ConnectionError):
+    """A connection failure injected by a :class:`FaultPlan`."""
+
+
+@dataclass
+class FaultPlan:
+    """Seeded fault configuration shared across a handle's connections.
+
+    Rates are per-request probabilities; ``delay_ms`` applies to every
+    reply.  The ``*_next`` one-shot triggers fire once, before any rate
+    draws, and are safe to arm from the test thread while requests are in
+    flight elsewhere (a lock guards the trigger state).
+    """
+
+    seed: int = 0
+    #: probability a request is dropped before its bytes go out.
+    drop_rate: float = 0.0
+    #: probability the reply is torn (socket closed after the send).
+    torn_reply_rate: float = 0.0
+    #: fixed stall before reading each reply, in milliseconds.
+    delay_ms: float = 0.0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
+    _drop_next: bool = field(init=False, default=False, repr=False)
+    _tear_next: bool = field(init=False, default=False, repr=False)
+    _after_send: list = field(init=False, default_factory=list, repr=False)
+    #: counts of injected faults by kind, for test assertions.
+    injected: dict = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+
+    # -- one-shot triggers -------------------------------------------------
+
+    def drop_next_send(self) -> None:
+        """Arm: the next request is dropped before it is written."""
+        with self._lock:
+            self._drop_next = True
+
+    def tear_next_reply(self) -> None:
+        """Arm: the next request goes out, then the connection tears
+        before the reply is read (the server may have applied it)."""
+        with self._lock:
+            self._tear_next = True
+
+    def call_after_send(self, fn: Callable[[], None]) -> None:
+        """Arm: run ``fn`` once, right after the next request's bytes hit
+        the wire — e.g. kill the server process between write and read."""
+        with self._lock:
+            self._after_send.append(fn)
+
+    # -- draws (called by FaultyConnection) --------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _take_drop(self) -> bool:
+        with self._lock:
+            if self._drop_next:
+                self._drop_next = False
+                self._count("drop")
+                return True
+            if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
+                self._count("drop")
+                return True
+            return False
+
+    def _take_tear(self) -> bool:
+        with self._lock:
+            if self._tear_next:
+                self._tear_next = False
+                self._count("torn_reply")
+                return True
+            if (
+                self.torn_reply_rate > 0
+                and self._rng.random() < self.torn_reply_rate
+            ):
+                self._count("torn_reply")
+                return True
+            return False
+
+    def _take_after_send(self) -> list:
+        with self._lock:
+            hooks, self._after_send = self._after_send, []
+            return hooks
+
+
+class FaultyConnection:
+    """A :class:`Connection` with a :class:`FaultPlan` between it and the
+    caller.  Same surface as ``Connection``; drop-in inside the client
+    handle."""
+
+    def __init__(self, conn: Connection, plan: FaultPlan) -> None:
+        self._conn = conn
+        self.plan = plan
+        #: True once the *next* recv should find a torn socket.
+        self._torn = False
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._conn.stats
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    def send_message(
+        self, code: int, meta=None, arrays=(), *, deadline=None
+    ) -> int:
+        if self.plan._take_drop():
+            self._conn.close()
+            raise InjectedFault("injected: request dropped before send")
+        tear = self.plan._take_tear()
+        n = self._conn.send_message(code, meta, arrays, deadline=deadline)
+        for hook in self.plan._take_after_send():
+            hook()
+        if tear:
+            # The request is on the wire; the reply will never arrive.
+            self._conn.close()
+            self._torn = True
+        return n
+
+    def recv_message(self, *, deadline=None):
+        if self._torn:
+            self._torn = False
+            raise InjectedFault("injected: reply torn mid-frame")
+        if self.plan.delay_ms > 0:
+            import time
+
+            time.sleep(self.plan.delay_ms / 1e3)
+        return self._conn.recv_message(deadline=deadline)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "FaultyConnection":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,293 @@
+"""Per-node health tracking: state machine, circuit breaker, heartbeat.
+
+The paper's 100-node deployment assumes a healthy fabric; a real serving
+cluster must keep answering when nodes crash, hang, or flake.  This module
+is the bookkeeping half of that story (the request path in
+:mod:`repro.cluster.client` and the failover policy in
+:mod:`repro.cluster.replication` consume it):
+
+* :class:`NodeHealth` — one node's health record.  Two coupled views over
+  the same consecutive-failure counter:
+
+  - a **state machine** ``UP -> SUSPECT -> DOWN`` (``UP`` after any
+    success, ``SUSPECT`` after the first failure, ``DOWN`` once
+    ``down_after`` consecutive failures accumulate) that the broadcast
+    path consults — ``DOWN`` nodes are skipped instead of paying a
+    request deadline per broadcast;
+  - a **circuit breaker** ``CLOSED -> OPEN -> HALF_OPEN`` that gates the
+    request path: it trips ``OPEN`` together with ``DOWN``, fails fast
+    while open (:class:`CircuitOpenError`), and after ``cooldown``
+    seconds admits exactly one *probe* (``HALF_OPEN``) whose outcome
+    closes or re-opens it.
+
+  A deadline expiry is recorded with full weight (``record_failure(weight=
+  down_after)``): a node that blew a request deadline is hung until proven
+  otherwise, and re-probing it costs a whole deadline, so the breaker
+  trips immediately instead of letting every broadcast pay the timeout.
+
+* :class:`HealthMonitor` — the background heartbeat: a
+  :class:`repro.parallel.BackgroundTask` daemon thread that periodically
+  calls each handle's ``probe()`` (a ping with a short deadline, allowed
+  to half-open an open breaker).  Recovery is the monitor's job by
+  design: the broadcast path only ever uses ``CLOSED`` nodes and never
+  probes, so a flapping node can't inject its reconnect latency into
+  query fan-out.  While a monitor runs, the process-wide
+  ``BackgroundTask.any_active()`` fork gate holds, so in-process fork
+  pools degrade to threads — the conservative default, since fork()ing
+  around a thread blocked in socket I/O is exactly the hazard the gate
+  exists for (node *server* processes own their pools and are
+  unaffected).
+
+* :func:`backoff_delays` — the shared retry schedule: exponential
+  backoff with uniform jitter, used by the client's idempotent-op retry
+  loop.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from enum import Enum
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "HealthState",
+    "BreakerState",
+    "CircuitOpenError",
+    "NodeHealth",
+    "HealthMonitor",
+    "backoff_delays",
+]
+
+
+class HealthState(str, Enum):
+    """Broadcast-facing node availability."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+class BreakerState(str, Enum):
+    """Request-path circuit breaker position."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ConnectionError):
+    """Request refused locally: the node's circuit breaker is open."""
+
+
+class NodeHealth:
+    """One node's health record (thread-safe: broadcast threads and the
+    heartbeat thread both report outcomes).
+
+    ``down_after`` is both the SUSPECT->DOWN threshold and the breaker
+    trip threshold — the two views move together by construction.
+    """
+
+    def __init__(
+        self,
+        *,
+        down_after: int = 3,
+        cooldown: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if down_after < 1:
+            raise ValueError(f"down_after must be >= 1, got {down_after}")
+        self.down_after = int(down_after)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._probing = False
+        self._opened_at: float | None = None
+        self._last_ok_at: float | None = None
+        self._last_error: str | None = None
+        self.n_failures_total = 0
+        self.n_successes_total = 0
+        self.n_trips = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A request (or probe) completed: node is UP, breaker closes."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._opened_at = None
+            self._last_ok_at = self._clock()
+            self._last_error = None
+            self.n_successes_total += 1
+
+    def record_failure(self, error: str | None = None, *, weight: int = 1) -> None:
+        """A request (or probe) failed.  ``weight=down_after`` records a
+        deadline expiry: one hung request is enough evidence to trip."""
+        with self._lock:
+            was_down = self._failures >= self.down_after
+            self._failures += max(1, int(weight))
+            self._probing = False
+            self._last_error = error
+            self.n_failures_total += 1
+            if self._failures >= self.down_after:
+                # (Re)open the breaker; restart the cooldown window.
+                self._opened_at = self._clock()
+                if not was_down:
+                    self.n_trips += 1
+
+    # -- gates -------------------------------------------------------------
+
+    def allow_request(self) -> bool:
+        """Request-path gate: only a CLOSED breaker admits broadcasts.
+        Probing a DOWN node is the heartbeat's job (see allow_probe)."""
+        with self._lock:
+            return self._failures < self.down_after
+
+    def allow_probe(self) -> bool:
+        """Probe gate: True for a healthy node, or for an OPEN breaker
+        whose cooldown elapsed — which atomically claims the single
+        HALF_OPEN probe slot.  The caller must follow up with
+        ``record_success``/``record_failure`` (or ``abort_probe`` if the
+        probe never went on the wire)."""
+        with self._lock:
+            if self._failures < self.down_after:
+                return True
+            if self._probing:
+                return False  # a probe is already in flight
+            if self._opened_at is None:
+                self._opened_at = self._clock()  # defensive: open w/o stamp
+                return False
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self._probing = True
+            return True
+
+    def abort_probe(self) -> None:
+        """Release a claimed probe slot without recording an outcome (the
+        probe could not be sent, e.g. the connection lock was busy)."""
+        with self._lock:
+            self._probing = False
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def state(self) -> HealthState:
+        with self._lock:
+            if self._failures == 0:
+                return HealthState.UP
+            if self._failures < self.down_after:
+                return HealthState.SUSPECT
+            return HealthState.DOWN
+
+    @property
+    def breaker(self) -> BreakerState:
+        with self._lock:
+            if self._failures < self.down_after:
+                return BreakerState.CLOSED
+            return BreakerState.HALF_OPEN if self._probing else BreakerState.OPEN
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def snapshot(self) -> dict:
+        """One monitoring row (``Coordinator.health()`` aggregates these)."""
+        state = self.state  # take the lock once per field group
+        breaker = self.breaker
+        with self._lock:
+            return {
+                "state": state.value,
+                "breaker": breaker.value,
+                "consecutive_failures": self._failures,
+                "last_ok_at": self._last_ok_at,
+                "last_error": self._last_error,
+                "n_failures_total": self.n_failures_total,
+                "n_successes_total": self.n_successes_total,
+                "n_trips": self.n_trips,
+            }
+
+
+def backoff_delays(
+    n: int,
+    *,
+    base: float = 0.05,
+    factor: float = 2.0,
+    max_delay: float = 1.0,
+    jitter: float = 0.5,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Yield ``n`` retry delays: ``base * factor**i`` capped at
+    ``max_delay``, each stretched by a uniform factor in
+    ``[1, 1 + jitter]`` so a fleet of retrying clients decorrelates
+    instead of hammering a recovering node in lockstep."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rand = rng.random if rng is not None else random.random
+    for i in range(n):
+        delay = min(base * factor**i, max_delay)
+        yield delay * (1.0 + jitter * rand())
+
+
+class HealthMonitor:
+    """Background heartbeat over a set of node handles.
+
+    Each tick calls ``handle.probe()`` on every handle that exposes one
+    (in-process :class:`ClusterNode` objects don't — they can't fail
+    independently of this process).  ``probe`` is the only path that
+    half-opens an open breaker, so starting a monitor is what gives a
+    cluster *recovery* on top of failover.  Runs on a
+    :class:`repro.parallel.BackgroundTask` daemon thread; ``stop()`` is
+    idempotent and joins the thread.
+    """
+
+    def __init__(self, handles: Sequence, *, interval: float = 0.25) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._handles = [h for h in handles if hasattr(h, "probe")]
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._task = None
+        self.n_ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> "HealthMonitor":
+        from repro.parallel import BackgroundTask
+
+        if self.running:
+            return self
+        self._stop.clear()
+        self._task = BackgroundTask(self._loop)
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            for handle in self._handles:
+                if self._stop.is_set():
+                    return
+                try:
+                    handle.probe()
+                except Exception:
+                    # A probe failure is already recorded in the handle's
+                    # health; the monitor itself must never die of one.
+                    pass
+            self.n_ticks += 1
+
+    def stop(self) -> None:
+        """Signal the loop and join the heartbeat thread (idempotent)."""
+        self._stop.set()
+        task, self._task = self._task, None
+        if task is not None:
+            task.result()
+
+    def __enter__(self) -> "HealthMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -9,6 +9,10 @@ and :class:`repro.cluster.client.RemoteNodeHandle` (the same surface over
 a TCP connection to a :class:`repro.cluster.server.NodeServer` process)
 are interchangeable behind that protocol, which is how one coordinator
 drives both the simulated and the real multi-process deployment.
+:class:`repro.cluster.replication.ReplicaGroup` speaks the same protocol
+over *several* handles at once (fan-out writes, failover reads), so a
+replicated shard is indistinguishable from a single node to everything
+above it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,338 @@
+"""Replica groups: R-way shard replication with deterministic failover.
+
+The paper's deployment keeps exactly one copy of every shard, so a single
+node crash silently truncates every answer.  This module adds the standard
+serving remedy — place each logical shard on ``R`` nodes — as one class,
+:class:`ReplicaGroup`, that itself speaks the **node handle protocol**
+(see :mod:`repro.cluster.node`).  The cluster's window/insert/broadcast
+machinery drives shards exactly as it previously drove nodes; replication
+is invisible above this layer, and ``R=1`` clusters keep using raw
+handles with zero overhead.
+
+Correctness contract (what the chaos suite asserts):
+
+* **Writes fan out**: every insert / delete / retire goes to *all*
+  non-evicted replicas, in placement order, so replicas hold bit-identical
+  data by construction.
+* **Reads fail over**: a query tries the primary (first live replica) and
+  falls through siblings on transport failure.  Because replicas are
+  bit-identical, *which* replica answers is unobservable — answers stay
+  exactly equal to the healthy cluster's so long as one replica lives.
+* **Divergence is forbidden, not repaired**: a replica that fails a
+  *data* mutation (crash or timeout mid-insert — the op may or may not
+  have been applied) is **evicted** permanently from the group rather
+  than left to answer queries from a diverged copy.  Re-syncing an
+  evicted replica is future work; serving exactness comes first.  Merge
+  ops are exempt: a missed merge leaves a replica with a larger delta,
+  which changes performance, never answers.
+* **Query failures never evict**: a flaky read says nothing about the
+  replica's data, and the handle's own circuit breaker already removes
+  persistently-failing replicas from the rotation (recovery via the
+  heartbeat's probes).
+
+When every replica of a shard is gone the group raises
+:class:`ShardUnavailableError`; the coordinator converts that into
+``degraded=True`` plus a ``missing_shards`` entry on the outcome instead
+of propagating the exception — degraded service is honest, not fatal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.transport import TransportStats
+from repro.core.query import QueryResult
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ReplicaGroup", "ShardUnavailableError", "group_handles"]
+
+#: transport-level failures a sibling replica can paper over (application
+#: errors — RemoteNodeError — are deterministic and re-raised as-is).
+_FAILOVER_ERRORS = (ConnectionError, TimeoutError)
+
+
+class ShardUnavailableError(ConnectionError):
+    """Every replica of a logical shard is dead, evicted, or tripped."""
+
+
+class ReplicaGroup:
+    """R replica handles behind one node-handle-protocol facade.
+
+    ``replicas`` are index-aligned with their placement; the first
+    non-evicted, broadcast-ready replica is the read primary.  The group
+    assumes the replicas start bit-identical (the cluster builds them
+    that way) and preserves that invariant by construction (fan-out
+    writes, permanent eviction on write ambiguity).
+    """
+
+    def __init__(self, shard_id: int, replicas: list) -> None:
+        if not replicas:
+            raise ValueError("a replica group needs at least one replica")
+        self.shard_id = shard_id
+        self.replicas = list(replicas)
+        #: replica -> reason, for replicas evicted after a failed write.
+        self.evicted: dict[int, str] = {}
+        #: server-side compute seconds of the replica that served the last
+        #: query_batch (mirrors the handle attribute the stats layer reads).
+        self.last_compute_seconds: float | None = None
+
+    # -- replica selection -------------------------------------------------
+
+    def _active(self) -> list:
+        """Replicas still trusted to hold the shard (not evicted)."""
+        return [
+            r for i, r in enumerate(self.replicas) if i not in self.evicted
+        ]
+
+    def _ready(self) -> list:
+        """Active replicas a broadcast may use right now (breaker CLOSED)."""
+        return [
+            r for r in self._active() if getattr(r, "broadcast_ready", True)
+        ]
+
+    def _evict(self, replica, reason: str) -> None:
+        idx = self.replicas.index(replica)
+        self.evicted.setdefault(idx, reason)
+
+    @property
+    def node_id(self) -> int:
+        """The group answers for its shard id (broadcast bookkeeping keys
+        ``node_seconds``/``node_errors`` by this)."""
+        return self.shard_id
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def n_live_replicas(self) -> int:
+        return len(self._ready())
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._ready())
+
+    @property
+    def broadcast_ready(self) -> bool:
+        return bool(self._ready())
+
+    # -- capacity (node handle protocol) -----------------------------------
+
+    @property
+    def n_items(self) -> int:
+        # Max over active replicas: a replica whose mirror lagged behind a
+        # failed exchange must not make a populated shard look empty.
+        return max((r.n_items for r in self._active()), default=0)
+
+    @property
+    def capacity(self) -> int:
+        return self.replicas[0].capacity
+
+    @property
+    def free_capacity(self) -> int:
+        return self.capacity - self.n_items
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_capacity <= 0
+
+    # -- writes: fan out to every active replica ---------------------------
+
+    def _fan_write(self, op_name: str, fn):
+        """Apply a data mutation to every active replica.
+
+        Transport failure (crash / timeout / torn frame) on one replica
+        evicts it — the op's application is ambiguous and the copy can no
+        longer be trusted to match its siblings.  An application-level
+        error is deterministic (replicas are identical) and re-raised.
+        Raises :class:`ShardUnavailableError` if no replica applied it.
+        """
+        results = []
+        app_error: Exception | None = None
+        for replica in self._active():
+            try:
+                results.append(fn(replica))
+            except _FAILOVER_ERRORS as exc:
+                self._evict(replica, f"{op_name}: {exc}")
+            except Exception as exc:  # application error: no eviction
+                app_error = app_error if app_error is not None else exc
+        if app_error is not None:
+            raise app_error
+        if not results:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id}: no replica could apply {op_name} "
+                f"(evicted: {sorted(self.evicted)})"
+            )
+        return results[0]
+
+    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+        self._fan_write(
+            "insert_batch", lambda r: r.insert_batch(vectors, global_ids)
+        )
+
+    def delete_global(self, global_ids: np.ndarray) -> int:
+        return int(
+            self._fan_write(
+                "delete_global", lambda r: r.delete_global(global_ids)
+            )
+        )
+
+    def retire(self) -> np.ndarray:
+        return self._fan_write("retire", lambda r: r.retire())
+
+    # -- maintenance: best effort, never evicts ----------------------------
+
+    def _fan_maintenance(self, fn, default):
+        """Run a merge-family op on every active replica, best-effort.  A
+        replica that misses a merge just carries a bigger delta — answers
+        are unaffected — so failures are swallowed (the handle's breaker
+        already recorded them) and the first successful result returned."""
+        result, got = default, False
+        for replica in self._active():
+            try:
+                value = fn(replica)
+            except _FAILOVER_ERRORS:
+                continue
+            if not got:
+                result, got = value, True
+        return result
+
+    def begin_merge(self) -> bool:
+        return bool(self._fan_maintenance(lambda r: r.begin_merge(), False))
+
+    def commit_merge(self, *, wait: bool = False) -> bool:
+        return bool(
+            self._fan_maintenance(lambda r: r.commit_merge(wait=wait), False)
+        )
+
+    def merge_now(self) -> None:
+        self._fan_maintenance(lambda r: r.merge_now(), None)
+
+    # -- reads: primary first, fail over through siblings ------------------
+
+    def _fan_read(self, op_name: str, fn):
+        last: Exception | None = None
+        for replica in self._ready():
+            try:
+                return fn(replica)
+            except _FAILOVER_ERRORS as exc:
+                last = exc  # sibling answers from the identical copy
+        raise ShardUnavailableError(
+            f"shard {self.shard_id}: no live replica for {op_name}"
+            + (f" (last error: {last})" if last is not None else "")
+        )
+
+    def ping(self) -> int:
+        return int(self._fan_read("ping", lambda r: r.ping()))
+
+    def query(
+        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+    ) -> QueryResult:
+        return self._fan_read(
+            "query", lambda r: r.query(q_cols, q_vals, radius=radius)
+        )
+
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float | None = None,
+        mode: str | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list[QueryResult]:
+        def _run(replica):
+            kwargs = {"radius": radius, "workers": workers, "backend": backend}
+            if mode is not None:
+                kwargs["mode"] = mode
+            results = replica.query_batch(queries, **kwargs)
+            self.last_compute_seconds = getattr(
+                replica, "last_compute_seconds", None
+            )
+            return results
+
+        return self._fan_read("query_batch", _run)
+
+    def stats(self) -> dict:
+        stats = dict(self._fan_read("stats", lambda r: r.stats()))
+        stats["shard_id"] = self.shard_id
+        stats["replication"] = self.replication
+        stats["live_replicas"] = self.n_live_replicas
+        stats["evicted_replicas"] = sorted(self.evicted)
+        return stats
+
+    # -- pass-throughs -----------------------------------------------------
+
+    def prepare_workers(self, workers, backend) -> None:
+        for replica in self._ready():
+            prepare = getattr(replica, "prepare_workers", None)
+            if prepare is not None:
+                prepare(workers, backend)
+
+    @property
+    def transport_stats(self) -> TransportStats | None:
+        """Wire totals summed over replicas (None for in-process groups)."""
+        total, saw = TransportStats(), False
+        for replica in self.replicas:
+            stats = getattr(replica, "transport_stats", None)
+            if stats is None:
+                continue
+            saw = True
+            total.n_sent += stats.n_sent
+            total.n_received += stats.n_received
+            total.bytes_sent += stats.bytes_sent
+            total.bytes_received += stats.bytes_received
+        return total if saw else None
+
+    def health_snapshot(self) -> dict:
+        """One monitoring row per shard, with per-replica detail."""
+        rows = []
+        for i, replica in enumerate(self.replicas):
+            snap = getattr(replica, "health_snapshot", None)
+            row = snap() if snap is not None else {
+                "node_id": getattr(replica, "node_id", i),
+                "state": "up",
+                "breaker": "closed",
+                "n_items": replica.n_items,
+            }
+            row["evicted"] = i in self.evicted
+            if i in self.evicted:
+                row["evicted_reason"] = self.evicted[i]
+            rows.append(row)
+        return {
+            "shard_id": self.shard_id,
+            "replication": self.replication,
+            "live_replicas": self.n_live_replicas,
+            "n_items": self.n_items,
+            "replicas": rows,
+        }
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaGroup(shard={self.shard_id}, R={self.replication}, "
+            f"live={self.n_live_replicas})"
+        )
+
+
+def group_handles(handles: list, replication: int) -> list:
+    """Partition ``handles`` into shards of ``replication`` consecutive
+    replicas.  ``replication=1`` returns the handles themselves (no
+    wrapper, no overhead — the R=1 cluster is byte-for-byte the old one);
+    otherwise ``len(handles)`` must divide evenly into groups."""
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1, got {replication}")
+    if replication == 1:
+        return list(handles)
+    if len(handles) % replication:
+        raise ValueError(
+            f"{len(handles)} nodes do not split into replica groups of "
+            f"{replication}"
+        )
+    return [
+        ReplicaGroup(s, handles[s * replication : (s + 1) * replication])
+        for s in range(len(handles) // replication)
+    ]

@@ -1,10 +1,17 @@
-"""Cluster-level metrics: load imbalance and communication fraction."""
+"""Cluster-level metrics: load imbalance, communication fraction, and
+serving availability under faults."""
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["load_imbalance", "communication_fraction", "aggregate_node_seconds"]
+__all__ = [
+    "load_imbalance",
+    "communication_fraction",
+    "aggregate_node_seconds",
+    "degraded_fraction",
+    "missing_shard_histogram",
+]
 
 
 def load_imbalance(per_node_seconds: Sequence[float]) -> float:
@@ -33,3 +40,29 @@ def aggregate_node_seconds(outcomes: Iterable) -> dict[int, float]:
         for node_id, secs in outcome.node_seconds.items():
             totals[node_id] = totals.get(node_id, 0.0) + secs
     return totals
+
+
+def degraded_fraction(outcomes: Iterable) -> float:
+    """Share of broadcasts that served a degraded (shard-missing) answer.
+
+    The availability headline of EXPERIMENTS.md: 0.0 means every query in
+    the batch was exact over the full corpus, 1.0 means every answer was
+    missing at least one data-holding shard.
+    """
+    total = degraded = 0
+    for outcome in outcomes:
+        total += 1
+        if getattr(outcome, "degraded", False):
+            degraded += 1
+    return degraded / total if total else 0.0
+
+
+def missing_shard_histogram(outcomes: Iterable) -> dict[int, int]:
+    """How often each shard went unsearched, across a batch of
+    BroadcastOutcomes — localizes *which* replica group is losing data
+    rather than just how often answers degrade."""
+    counts: dict[int, int] = {}
+    for outcome in outcomes:
+        for shard in getattr(outcome, "missing_shards", ()):
+            counts[shard] = counts.get(shard, 0) + 1
+    return counts

@@ -2,21 +2,33 @@
 
 One frame = an 8-byte big-endian length prefix followed by a protocol
 message body (:mod:`repro.cluster.protocol`).  :class:`Connection` wraps a
-connected socket with blocking send/receive of whole messages and counts
-real bytes on the wire in a :class:`TransportStats`, so the simulated
+connected socket with send/receive of whole messages and counts real
+bytes on the wire in a :class:`TransportStats`, so the simulated
 :class:`~repro.cluster.network.NetworkModel` accounting can be compared
 against measured traffic (EXPERIMENTS.md does exactly that).
 
+``send_message``/``recv_message`` take an optional **deadline** (a
+``time.monotonic()`` instant): every socket operation runs under the
+remaining budget and a blown deadline raises :class:`TimeoutError`.  A
+timed-out connection is *poisoned* — closed on the spot — because a
+half-written request or half-read reply leaves the stream mid-frame, and
+a late reply landing after the caller moved on would desynchronize every
+subsequent exchange.  Callers reconnect instead (the client handle does
+this automatically).  Without a deadline the old fully-blocking behavior
+is preserved.
+
 The transport is deliberately dumb: no multiplexing, no retries, one
-request in flight per connection.  The coordinator gets its concurrency
-by holding one connection per node and broadcasting from a thread pool,
-which matches the paper's one-coordinator/N-nodes topology.
+request in flight per connection.  Retry, backoff, and circuit breaking
+live a layer up in :mod:`repro.cluster.client`; the coordinator gets its
+concurrency by holding one connection per node and broadcasting from a
+thread pool, which matches the paper's one-coordinator/N-nodes topology.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,14 +88,39 @@ class Connection:
     def closed(self) -> bool:
         return self._closed
 
+    def _arm_timeout(self, deadline: float | None, what: str) -> None:
+        """Point the socket at the remaining deadline budget (or block)."""
+        if deadline is None:
+            self._sock.settimeout(None)
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            self.close()
+            raise TimeoutError(f"deadline expired before {what}")
+        self._sock.settimeout(remaining)
+
     def send_message(
-        self, code: int, meta: dict | None = None, arrays=()
+        self,
+        code: int,
+        meta: dict | None = None,
+        arrays=(),
+        *,
+        deadline: float | None = None,
     ) -> int:
-        """Encode + frame + send one message; returns bytes on the wire."""
+        """Encode + frame + send one message; returns bytes on the wire.
+
+        ``deadline`` is a ``time.monotonic()`` instant; blowing it raises
+        :class:`TimeoutError` and closes the connection (a half-written
+        frame cannot be resumed).
+        """
         body = protocol.encode_message(code, meta, arrays)
         n = FRAME_HEADER_BYTES + len(body)
+        self._arm_timeout(deadline, "send")
         try:
             self._sock.sendall(_LEN.pack(len(body)) + body)
+        except TimeoutError:
+            self.close()
+            raise TimeoutError(f"send timed out mid-frame ({n} bytes)") from None
         except OSError as exc:
             self._closed = True
             raise ConnectionError(f"send failed: {exc}") from exc
@@ -91,14 +128,18 @@ class Connection:
         self.stats.bytes_sent += n
         return n
 
-    def recv_message(self) -> tuple[int, dict, list[np.ndarray]]:
+    def recv_message(
+        self, *, deadline: float | None = None
+    ) -> tuple[int, dict, list[np.ndarray]]:
         """Receive one whole frame and decode it.
 
         Raises :class:`ConnectionError` on EOF or a torn frame — the
         caller decides whether that is a clean shutdown (EOF between
-        frames) or a node failure.
+        frames) or a node failure — and :class:`TimeoutError` when
+        ``deadline`` expires first (the connection is closed: a late
+        reply would desynchronize the frame stream).
         """
-        header = self._recv_exact(FRAME_HEADER_BYTES, eof_ok=True)
+        header = self._recv_exact(FRAME_HEADER_BYTES, eof_ok=True, deadline=deadline)
         if header is None:
             self._closed = True
             raise ConnectionError("connection closed by peer")
@@ -106,19 +147,27 @@ class Connection:
         if length > MAX_FRAME_BYTES:
             self._closed = True
             raise ConnectionError(f"frame length {length} exceeds sanity cap")
-        body = self._recv_exact(int(length), eof_ok=False)
+        body = self._recv_exact(int(length), eof_ok=False, deadline=deadline)
         assert body is not None
         self.stats.n_received += 1
         self.stats.bytes_received += FRAME_HEADER_BYTES + len(body)
         return protocol.decode_message(body)
 
-    def _recv_exact(self, n: int, *, eof_ok: bool) -> bytes | None:
+    def _recv_exact(
+        self, n: int, *, eof_ok: bool, deadline: float | None = None
+    ) -> bytes | None:
         buf = bytearray(n)
         view = memoryview(buf)
         got = 0
         while got < n:
+            self._arm_timeout(deadline, "recv")
             try:
                 chunk = self._sock.recv_into(view[got:], n - got)
+            except TimeoutError:
+                self.close()
+                raise TimeoutError(
+                    f"recv timed out mid-frame ({got}/{n} bytes)"
+                ) from None
             except OSError as exc:
                 self._closed = True
                 raise ConnectionError(f"recv failed: {exc}") from exc

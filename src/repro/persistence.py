@@ -21,6 +21,18 @@ flight is settled first: by default the pending build is *drained*
 restored node answer queries in **global** ids — persisting only the
 inner streaming node (an early bug) silently restored a node whose query
 results were local row numbers.
+
+:func:`save_cluster` / :func:`load_cluster` round-trip a whole in-process
+:class:`~repro.cluster.cluster.PLSHCluster` as a directory: one archive
+per **logical shard** (taken from the shard's first trusted replica —
+replicas are bit-identical by construction, so one copy is the whole
+shard) plus a manifest holding the window state (``window_start``,
+cursor, ``next_global_id``, retirement history) that makes the restored
+cluster continue the stream exactly where the saved one stopped.  A
+cluster saved with ``replication=R`` reloads with R fresh, identical
+replicas per shard — which is also the (manual, offline) path for
+re-syncing after evictions: save, reload, every shard is back to full
+strength.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ __all__ = [
     "load_node",
     "save_cluster_node",
     "load_cluster_node",
+    "save_cluster",
+    "load_cluster",
 ]
 
 _FORMAT_VERSION = 1
@@ -343,3 +357,105 @@ def load_cluster_node(path: str | Path):
             plsh,
             np.ascontiguousarray(archive["cluster_global_ids"]),
         )
+
+
+_CLUSTER_FORMAT_VERSION = 1
+
+
+def save_cluster(cluster, path: str | Path, *, on_pending: str = "drain") -> None:
+    """Serialize an in-process :class:`PLSHCluster` to a directory.
+
+    Writes ``manifest.json`` (topology + window state), one
+    ``shard_<s>.npz`` per logical shard, and ``retired.npz`` (the
+    retirement history, needed for exact continuation of the expiry
+    policy).  Each shard is captured once, from its first trusted
+    replica — replicas are identical, so the copy count is a *load-time*
+    choice.  Remote clusters are refused: their data lives in the server
+    processes, which own any persistence of it.
+    """
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.replication import ReplicaGroup
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    for s, shard in enumerate(cluster.shards):
+        source = (
+            shard._active()[0] if isinstance(shard, ReplicaGroup) else shard
+        )
+        if not isinstance(source, ClusterNode):
+            raise ValueError(
+                "save_cluster supports in-process clusters only (remote "
+                "node data lives in the server processes)"
+            )
+        save_cluster_node(source, path / f"shard_{s}.npz", on_pending=on_pending)
+    manifest = {
+        "format_version": _CLUSTER_FORMAT_VERSION,
+        "dim": cluster.dim,
+        "params": {
+            "k": cluster.params.k,
+            "m": cluster.params.m,
+            "radius": cluster.params.radius,
+            "delta": cluster.params.delta,
+            "seed": cluster.params.seed,
+        },
+        "n_shards": cluster.n_shards,
+        "replication": cluster.replication,
+        "insert_window": cluster.insert_window,
+        "window_start": cluster._window_start,
+        "window_cursor": cluster._window_cursor,
+        "next_global_id": cluster._next_global_id,
+        "n_retirements": cluster.n_retirements,
+    }
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    np.savez_compressed(
+        path / "retired.npz",
+        **{f"r{i}": ids for i, ids in enumerate(cluster.retired_ids)},
+    )
+
+
+def load_cluster(path: str | Path, *, network=None, replication: int | None = None):
+    """Restore a cluster saved by :func:`save_cluster`.
+
+    The restored cluster continues the stream exactly: same window
+    position, same next global id, same retirement history — inserting
+    the same subsequent batches lands them on the same shards, and
+    queries answer bit-identically to the saved cluster.  ``replication``
+    overrides the saved R (each shard archive is loaded that many times
+    into fresh, identical replicas), which is how a cluster that evicted
+    replicas is brought back to full strength offline.
+    """
+    from repro.cluster.cluster import PLSHCluster
+
+    path = Path(path)
+    manifest = json.loads((path / "manifest.json").read_text())
+    if manifest["format_version"] != _CLUSTER_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported cluster format {manifest['format_version']} "
+            f"(this build reads {_CLUSTER_FORMAT_VERSION})"
+        )
+    params = PLSHParams(**manifest["params"])
+    R = int(replication if replication is not None else manifest["replication"])
+    handles = []
+    for s in range(int(manifest["n_shards"])):
+        for j in range(R):
+            node = load_cluster_node(path / f"shard_{s}.npz")
+            node.node_id = s * R + j
+            handles.append(node)
+    cluster = PLSHCluster.from_handles(
+        handles,
+        int(manifest["dim"]),
+        params,
+        insert_window=int(manifest["insert_window"]),
+        network=network,
+        replication=R,
+    )
+    cluster._window_start = int(manifest["window_start"])
+    cluster._window_cursor = int(manifest["window_cursor"])
+    cluster._next_global_id = int(manifest["next_global_id"])
+    cluster.n_retirements = int(manifest["n_retirements"])
+    with np.load(path / "retired.npz") as retired:
+        cluster.retired_ids = [
+            np.ascontiguousarray(retired[f"r{i}"], dtype=np.int64)
+            for i in range(len(retired.files))
+        ]
+    return cluster

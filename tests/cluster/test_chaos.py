@@ -1,0 +1,287 @@
+"""Seeded chaos suite: random op sequences under injected faults, every
+query checked against an in-process shadow oracle.
+
+Each sequence drives a spawned RPC cluster and a bit-identical in-process
+shadow through the same inserts/deletes/merges, while injecting faults —
+node kills (bounded so at least one replica per shard survives by
+construction when R=2), SIGSTOP pauses, dropped requests, torn replies —
+chosen by a seeded RNG, so every run is reproducible from its seed.
+
+The invariant after **every** query broadcast:
+
+* if every data-holding shard had at least one *guaranteed* replica (not
+  killed, not paused, not evicted, breaker closed, no fault injection
+  active), the answers are **bit-identical** to the shadow's and the
+  outcome is not degraded;
+* otherwise the broadcast still completes (no exception, ever), any
+  missing shards are a subset of the shards we actually made suspect,
+  and the answers equal the shadow restricted to the surviving shards —
+  degraded, but exact over what was searched and honest about the rest.
+
+``PLSH_CHAOS_SEQUENCES`` scales the sequence count (default 4 for
+tier-1; the CI chaos-smoke job runs 30).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import FaultPlan, spawn_local_cluster
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.network import NetworkModel
+from repro.parallel import fork_available
+
+PARAMS = PLSHParams(k=6, m=4, radius=0.9, seed=23)
+N_SHARDS = 3
+CAPACITY = 150
+N_SEQUENCES = int(os.environ.get("PLSH_CHAOS_SEQUENCES", "4"))
+OPS_PER_SEQUENCE = 14
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="spawn_local_cluster requires fork()"
+)
+
+
+class ChaosHarness:
+    """One sequence: an RPC cluster, its shadow oracle, fault bookkeeping."""
+
+    def __init__(self, seed: int, vectors, queries) -> None:
+        self.rng = np.random.default_rng(10_000 + seed)
+        self.replication = 2 if seed % 2 else 1
+        self.vectors = vectors
+        self.queries = queries
+        self.cursor = 0
+        self.killed: set[int] = set()
+        self.paused: set[int] = set()
+        self.faulty: set[int] = set()  # nodes with rate-faults active now
+        self.kills_used = 0
+        self.n_checked = self.n_degraded = 0
+        n_nodes = N_SHARDS * self.replication
+        self.plans = {i: FaultPlan(seed=seed * 100 + i) for i in range(n_nodes)}
+        self.shadow = PLSHCluster(
+            N_SHARDS, CAPACITY, vectors.n_cols, PARAMS, insert_window=2
+        )
+        self.rpc = spawn_local_cluster(
+            n_nodes, CAPACITY, vectors.n_cols, PARAMS,
+            insert_window=2, replication=self.replication,
+            op_timeout=2.0, retries=2,
+            health_cooldown=0.3, heartbeat_interval=0.1,
+            fault_plans=self.plans,
+        )
+
+    def close(self) -> None:
+        self.rpc.close()
+        self.shadow.close()
+
+    # -- fault bookkeeping -------------------------------------------------
+
+    def _evicted_indices(self, shard: int) -> set[int]:
+        if self.replication == 1:
+            return set()
+        group = self.rpc.shards[shard]
+        return {shard * self.replication + j for j in group.evicted}
+
+    def _shard_guaranteed(self, shard: int) -> bool:
+        """Does this shard have a replica nothing can take down mid-op?"""
+        evicted = self._evicted_indices(shard)
+        for j in range(self.replication):
+            idx = shard * self.replication + j
+            handle = self.rpc.nodes[idx]
+            if idx in self.killed or idx in self.paused:
+                continue
+            if idx in self.faulty or idx in evicted:
+                continue
+            if not handle.broadcast_ready:
+                continue
+            return True
+        return False
+
+    def _suspect_shards(self) -> set[int]:
+        return {
+            s for s in range(N_SHARDS) if not self._shard_guaranteed(s)
+        }
+
+    def _all_shards_writable(self, deadline_s: float = 4.0) -> bool:
+        """Mutations need every shard to accept writes; give the
+        heartbeat a moment to close breakers that rate-faults tripped."""
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if all(
+                self.rpc.shards[s].broadcast_ready for s in range(N_SHARDS)
+            ):
+                return True
+            time.sleep(0.1)
+        return False
+
+    # -- ops ---------------------------------------------------------------
+
+    def op_insert(self) -> None:
+        if self.cursor + 60 > self.vectors.n_rows:
+            return
+        block = self.vectors.slice_rows(self.cursor, self.cursor + 60)
+        self.cursor += 60
+        np.testing.assert_array_equal(
+            self.shadow.insert(block), self.rpc.insert(block)
+        )
+
+    def op_delete(self) -> None:
+        upper = self.shadow._next_global_id
+        if upper == 0:
+            return
+        doomed = np.unique(
+            self.rng.integers(0, upper, size=4)
+        ).astype(np.int64)
+        assert self.shadow.delete(doomed) == self.rpc.delete(doomed)
+
+    def op_merge(self) -> None:
+        self.shadow.begin_merge_all()
+        self.rpc.begin_merge_all()
+        self.shadow.commit_merges(wait=True)
+        self.rpc.commit_merges(wait=True)
+
+    def op_query(self) -> None:
+        lo = int(self.rng.integers(0, self.queries.n_rows - 6))
+        batch = self.queries.slice_rows(lo, lo + 6)
+        suspects = self._suspect_shards()
+        outcomes = self.rpc.query_batch(batch)
+        self.n_checked += len(outcomes)
+        for out in outcomes:
+            missing = set(out.missing_shards)
+            # Never blame a shard we did nothing to.
+            assert missing <= suspects, (
+                f"missing {missing} not within suspect set {suspects}"
+            )
+            assert set(out.node_errors) <= suspects
+        missing = set(outcomes[0].missing_shards)
+        if not suspects:
+            assert not any(out.degraded for out in outcomes)
+        if missing:
+            self.n_degraded += len(outcomes)
+        expected = self._expected(batch, missing)
+        for a, b in zip(expected, outcomes):
+            np.testing.assert_array_equal(a.result.indices, b.result.indices)
+            np.testing.assert_array_equal(
+                a.result.distances, b.result.distances
+            )
+
+    def _expected(self, batch, missing: set[int]):
+        if not missing:
+            return self.shadow.query_batch(batch)
+        survivors = [
+            n for n in self.shadow.nodes if n.node_id not in missing
+        ]
+        restricted = Coordinator(survivors, NetworkModel())
+        try:
+            return restricted.query_batch(batch)
+        finally:
+            restricted.close()
+
+    def op_flaky_query(self) -> None:
+        candidates = [
+            i
+            for i in range(len(self.rpc.nodes))
+            if i not in self.killed and i not in self.paused
+        ]
+        if not candidates:
+            return
+        victim = int(self.rng.choice(candidates))
+        plan = self.plans[victim]
+        plan.drop_rate = 0.25
+        self.faulty.add(victim)
+        try:
+            if self.rng.random() < 0.5:
+                plan.tear_next_reply()
+            self.op_query()
+        finally:
+            plan.drop_rate = 0.0
+            self.faulty.discard(victim)
+
+    def op_pause_cycle(self) -> None:
+        candidates = [
+            i
+            for i in range(len(self.rpc.nodes))
+            if i not in self.killed and i not in self.paused
+        ]
+        if not candidates:
+            return
+        victim = int(self.rng.choice(candidates))
+        self.rpc.pause_node(victim)
+        self.paused.add(victim)
+        try:
+            self.op_query()
+        finally:
+            self.rpc.resume_node(victim)
+            self.paused.discard(victim)
+
+    def op_kill(self) -> None:
+        limit = N_SHARDS if self.replication == 2 else 1
+        if self.kills_used >= limit:
+            return
+        candidates = []
+        for i in range(len(self.rpc.nodes)):
+            if i in self.killed or i in self.paused:
+                continue
+            if self.replication == 2:
+                # Never orphan a shard: the sibling must be intact.
+                shard, j = divmod(i, 2)
+                sibling = shard * 2 + (1 - j)
+                if sibling in self.killed or sibling in self.paused:
+                    continue
+                if sibling in self._evicted_indices(shard):
+                    continue
+            candidates.append(i)
+        if not candidates:
+            return
+        victim = int(self.rng.choice(candidates))
+        self.rpc.kill_node(victim)
+        self.killed.add(victim)
+        self.kills_used += 1
+        self.op_query()
+
+    # -- the sequence ------------------------------------------------------
+
+    def run(self) -> None:
+        self.op_insert()  # never start empty
+        self.op_query()
+        mutations_allowed = True
+        for _ in range(OPS_PER_SEQUENCE):
+            if self.replication == 1 and self.killed:
+                # An R=1 kill is unrecoverable: from here the contract is
+                # honest degraded *queries*; mutations would (correctly)
+                # raise on the dead shard.
+                mutations_allowed = False
+            roll = self.rng.random()
+            if roll < 0.30 and mutations_allowed:
+                if self._all_shards_writable():
+                    self.op_insert()
+            elif roll < 0.40 and mutations_allowed:
+                if self._all_shards_writable():
+                    self.op_delete()
+            elif roll < 0.48 and mutations_allowed:
+                if self._all_shards_writable():
+                    self.op_merge()
+            elif roll < 0.70:
+                self.op_query()
+            elif roll < 0.82:
+                self.op_flaky_query()
+            elif roll < 0.92:
+                self.op_pause_cycle()
+            else:
+                self.op_kill()
+        self.op_query()
+        assert self.n_checked > 0
+
+
+@pytest.mark.parametrize("seed", range(N_SEQUENCES))
+def test_chaos_sequence(seed, small_vectors, small_queries):
+    _, queries = small_queries
+    harness = ChaosHarness(seed, small_vectors, queries)
+    try:
+        harness.run()
+    finally:
+        harness.close()

@@ -1,0 +1,257 @@
+"""Unit tests for the health subsystem: state machine, circuit breaker,
+half-open probe discipline, backoff schedule, heartbeat monitor."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster.health import (
+    BreakerState,
+    HealthMonitor,
+    HealthState,
+    NodeHealth,
+    backoff_delays,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def health(clock):
+    return NodeHealth(down_after=3, cooldown=2.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_up_closed(self, health):
+        assert health.state is HealthState.UP
+        assert health.breaker is BreakerState.CLOSED
+        assert health.allow_request()
+
+    def test_first_failure_is_suspect_not_down(self, health):
+        health.record_failure("boom")
+        assert health.state is HealthState.SUSPECT
+        # SUSPECT still serves: one flake must not remove a node.
+        assert health.breaker is BreakerState.CLOSED
+        assert health.allow_request()
+
+    def test_down_after_consecutive_failures(self, health):
+        for _ in range(3):
+            health.record_failure("boom")
+        assert health.state is HealthState.DOWN
+        assert health.breaker is BreakerState.OPEN
+        assert not health.allow_request()
+
+    def test_success_resets_failure_streak(self, health):
+        health.record_failure("a")
+        health.record_failure("b")
+        health.record_success()
+        assert health.state is HealthState.UP
+        assert health.consecutive_failures == 0
+        # The streak is consecutive, not cumulative.
+        health.record_failure("c")
+        assert health.state is HealthState.SUSPECT
+
+    def test_timeout_weight_trips_immediately(self, health):
+        # A blown deadline is recorded with full weight: one hung request
+        # must not cost every subsequent broadcast a deadline.
+        health.record_failure("deadline", weight=health.down_after)
+        assert health.state is HealthState.DOWN
+        assert not health.allow_request()
+
+    def test_invalid_down_after_rejected(self):
+        with pytest.raises(ValueError, match="down_after"):
+            NodeHealth(down_after=0)
+
+
+class TestBreakerProbing:
+    def _trip(self, health):
+        for _ in range(health.down_after):
+            health.record_failure("x")
+
+    def test_no_probe_before_cooldown(self, health, clock):
+        self._trip(health)
+        assert not health.allow_probe()
+        clock.advance(1.9)
+        assert not health.allow_probe()
+
+    def test_single_half_open_slot(self, health, clock):
+        self._trip(health)
+        clock.advance(2.1)
+        assert health.allow_probe()
+        assert health.breaker is BreakerState.HALF_OPEN
+        # The slot is exclusive: a concurrent prober is refused.
+        assert not health.allow_probe()
+
+    def test_probe_success_closes(self, health, clock):
+        self._trip(health)
+        clock.advance(2.1)
+        assert health.allow_probe()
+        health.record_success()
+        assert health.breaker is BreakerState.CLOSED
+        assert health.state is HealthState.UP
+        assert health.allow_request()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, health, clock):
+        self._trip(health)
+        clock.advance(2.1)
+        assert health.allow_probe()
+        health.record_failure("still dead")
+        assert health.breaker is BreakerState.OPEN
+        # Cooldown restarted from the failed probe, not the original trip.
+        assert not health.allow_probe()
+        clock.advance(2.1)
+        assert health.allow_probe()
+
+    def test_abort_probe_releases_slot(self, health, clock):
+        self._trip(health)
+        clock.advance(2.1)
+        assert health.allow_probe()
+        health.abort_probe()
+        # Slot free again without an outcome recorded.
+        assert health.allow_probe()
+
+    def test_healthy_node_probes_freely(self, health):
+        assert health.allow_probe()
+        assert health.allow_probe()  # no slot is claimed while CLOSED
+
+    def test_trip_counter(self, health, clock):
+        self._trip(health)
+        assert health.n_trips == 1
+        self._trip(health)  # further failures while down: same outage
+        assert health.n_trips == 1
+        clock.advance(2.1)
+        assert health.allow_probe()
+        health.record_success()
+        self._trip(health)  # a fresh outage
+        assert health.n_trips == 2
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self, health):
+        health.record_success()
+        health.record_failure("late")
+        snap = health.snapshot()
+        assert snap["state"] == "suspect"
+        assert snap["breaker"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["last_error"] == "late"
+        assert snap["n_successes_total"] == 1
+        assert snap["n_failures_total"] == 1
+
+    def test_thread_safety_smoke(self, health):
+        # Hammer the record paths from threads; the invariant is simply
+        # that internal state stays consistent (no exceptions, counter
+        # within bounds).
+        def work():
+            for i in range(200):
+                if i % 3:
+                    health.record_failure("x")
+                else:
+                    health.record_success()
+                health.allow_request()
+                health.state, health.breaker
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert health.n_failures_total + health.n_successes_total == 800
+
+
+class TestBackoff:
+    def test_exponential_shape_capped(self):
+        import random
+
+        delays = list(
+            backoff_delays(6, base=0.05, factor=2.0, max_delay=0.3,
+                           jitter=0.0, rng=random.Random(1))
+        )
+        assert delays == [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+
+    def test_jitter_bounds(self):
+        import random
+
+        rng = random.Random(7)
+        for d, base in zip(
+            backoff_delays(5, base=0.1, factor=1.0, jitter=0.5, rng=rng),
+            [0.1] * 5,
+        ):
+            assert base <= d <= base * 1.5
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            list(backoff_delays(-1))
+
+
+class _ProbeTarget:
+    def __init__(self) -> None:
+        self.n_probes = 0
+
+    def probe(self):
+        self.n_probes += 1
+        return True
+
+
+class TestHealthMonitor:
+    def test_monitor_probes_periodically(self):
+        target = _ProbeTarget()
+        with HealthMonitor([target], interval=0.02) as monitor:
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while target.n_probes < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert target.n_probes >= 3
+        assert not monitor.running
+
+    def test_monitor_skips_probe_less_handles(self):
+        class NoProbe:
+            pass
+
+        monitor = HealthMonitor([NoProbe(), _ProbeTarget()], interval=0.05)
+        assert len(monitor._handles) == 1
+
+    def test_monitor_survives_probe_exceptions(self):
+        class Exploding:
+            def __init__(self):
+                self.n = 0
+
+            def probe(self):
+                self.n += 1
+                raise RuntimeError("kaboom")
+
+        target = Exploding()
+        with HealthMonitor([target], interval=0.02):
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while target.n < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert target.n >= 2  # kept ticking after the first exception
+
+    def test_stop_idempotent(self):
+        monitor = HealthMonitor([_ProbeTarget()], interval=0.05).start()
+        monitor.stop()
+        monitor.stop()
+        assert not monitor.running
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            HealthMonitor([], interval=0.0)

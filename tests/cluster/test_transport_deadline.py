@@ -1,0 +1,117 @@
+"""Transport deadline semantics over a local socketpair.
+
+The pre-PR-6 transport set ``settimeout(None)`` and could block forever
+on a hung peer; these tests pin the new contract: a ``deadline`` bounds
+every socket operation, expiry raises :class:`TimeoutError`, and a
+timed-out connection is poisoned (closed) because a half-read frame
+cannot be resumed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.transport import Connection
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    ca, cb = Connection(a), Connection(b)
+    yield ca, cb
+    ca.close()
+    cb.close()
+
+
+class TestDeadlines:
+    def test_round_trip_within_deadline(self, pair):
+        ca, cb = pair
+        deadline = time.monotonic() + 5.0
+        ca.send_message(protocol.OP_PING, {"x": 1}, deadline=deadline)
+        code, meta, arrays = cb.recv_message(deadline=deadline)
+        assert code == protocol.OP_PING
+        assert meta == {"x": 1}
+
+    def test_recv_times_out_on_silent_peer(self, pair):
+        ca, _ = pair
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            ca.recv_message(deadline=time.monotonic() + 0.2)
+        # Bounded promptly, not hanging until some large socket default.
+        assert time.monotonic() - start < 2.0
+        # The connection is poisoned: no further use.
+        assert ca.closed
+        with pytest.raises((ConnectionError, TimeoutError, OSError)):
+            ca.send_message(protocol.OP_PING)
+
+    def test_recv_times_out_mid_frame(self, pair):
+        ca, _cb = pair
+        # Hand-feed half a frame: an 8-byte length promising more bytes
+        # than will ever arrive.
+        raw = _cb._sock
+        raw.sendall((64).to_bytes(8, "big") + b"partial")
+        with pytest.raises(TimeoutError, match="mid-frame"):
+            ca.recv_message(deadline=time.monotonic() + 0.2)
+        assert ca.closed
+
+    def test_expired_deadline_fails_before_io(self, pair):
+        ca, _ = pair
+        with pytest.raises(TimeoutError):
+            ca.send_message(
+                protocol.OP_PING, deadline=time.monotonic() - 0.01
+            )
+        assert ca.closed
+
+    def test_no_deadline_still_blocks_until_data(self, pair):
+        ca, cb = pair
+
+        def reply_late():
+            time.sleep(0.1)
+            cb.send_message(protocol.OP_PING, {"late": True})
+
+        t = threading.Thread(target=reply_late)
+        t.start()
+        code, meta, _ = ca.recv_message()  # deadline=None: waits it out
+        t.join()
+        assert meta == {"late": True}
+
+    def test_deadline_spans_multiple_chunks(self, pair):
+        # A peer that trickles the frame still completes within budget:
+        # the deadline is an absolute instant, re-armed per chunk.
+        ca, cb = pair
+        payload = [np.arange(1000, dtype=np.int64)]
+
+        def trickle():
+            body = protocol.encode_message(protocol.OP_QUERY, None, payload)
+            raw = cb._sock
+            raw.sendall(len(body).to_bytes(8, "big"))
+            for pos in range(0, len(body), 1024):
+                raw.sendall(body[pos : pos + 1024])
+                time.sleep(0.005)
+
+        t = threading.Thread(target=trickle)
+        t.start()
+        code, _, arrays = ca.recv_message(deadline=time.monotonic() + 5.0)
+        t.join()
+        assert code == protocol.OP_QUERY
+        np.testing.assert_array_equal(arrays[0], payload[0])
+
+
+class TestTeardown:
+    def test_close_idempotent(self, pair):
+        ca, _ = pair
+        ca.close()
+        ca.close()  # second close must be a no-op
+        assert ca.closed
+
+    def test_peer_close_is_connection_error_not_timeout(self, pair):
+        ca, cb = pair
+        cb.close()
+        with pytest.raises(ConnectionError):
+            ca.recv_message(deadline=time.monotonic() + 1.0)
