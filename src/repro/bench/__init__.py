@@ -1,5 +1,6 @@
 """Benchmark harness support: standard workloads, timing, reporting."""
 
+from repro.bench.artifacts import artifact_path, record_artifact
 from repro.bench.reporting import format_table, print_section
 from repro.bench.runner import measure, measure_median
 from repro.bench.workloads import BenchScale, Workload, twitter_workload, wikipedia_workload
@@ -7,10 +8,12 @@ from repro.bench.workloads import BenchScale, Workload, twitter_workload, wikipe
 __all__ = [
     "BenchScale",
     "Workload",
+    "artifact_path",
     "format_table",
     "measure",
     "measure_median",
     "print_section",
+    "record_artifact",
     "twitter_workload",
     "wikipedia_workload",
 ]

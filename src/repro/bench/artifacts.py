@@ -1,0 +1,66 @@
+"""Machine-readable bench artifacts (``BENCH_<fig>.json``).
+
+The paper-style tables printed by the benches are for humans; CI and
+EXPERIMENTS.md want numbers a script can diff.  Each bench that reproduces
+a paper figure calls :func:`record_artifact` with its headline series
+(speedups, wall times, wire bytes); sections accumulate into one JSON
+document per figure — ``BENCH_fig10.json``, ``BENCH_fig9.json`` — so a
+figure spread over several pytest benches still lands in a single file.
+
+Artifacts are written to the current directory by default (benches run
+from the repo root); set ``PLSH_BENCH_ARTIFACT_DIR`` to redirect them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["artifact_path", "record_artifact"]
+
+
+def artifact_path(name: str) -> Path:
+    """Where figure ``name``'s artifact lives (e.g. ``BENCH_fig10.json``)."""
+    base = Path(os.environ.get("PLSH_BENCH_ARTIFACT_DIR", "."))
+    return base / f"BENCH_{name}.json"
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays (bench rows are full of them) to JSON."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def record_artifact(name: str, section: str, payload: dict) -> Path:
+    """Merge ``payload`` under ``section`` into ``BENCH_<name>.json``.
+
+    Read-modify-write so the several benches of one figure compose; a
+    corrupt or foreign file is replaced rather than crashing the bench.
+    Every section is stamped with the unix time it was recorded.
+    """
+    path = artifact_path(name)
+    doc: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                doc = loaded
+        except (ValueError, OSError):
+            doc = {}
+    doc[section] = {"recorded_unix": round(time.time(), 3), **payload}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(
+        json.dumps(doc, indent=2, sort_keys=True, default=_jsonable) + "\n"
+    )
+    tmp.replace(path)
+    return path

@@ -83,8 +83,9 @@ from repro.cluster.replication import (
     group_handles,
 )
 from repro.cluster.server import NodeServer
+from repro.cluster.shm import ShmRing, shm_available
 from repro.cluster.stats import load_imbalance
-from repro.cluster.transport import Connection, TransportStats
+from repro.cluster.transport import Connection, ShmConnection, TransportStats
 
 __all__ = [
     "BreakerState",
@@ -107,10 +108,13 @@ __all__ = [
     "RemoteNodeHandle",
     "ReplicaGroup",
     "ShardUnavailableError",
+    "ShmConnection",
+    "ShmRing",
     "SpawnedLocalCluster",
     "TransportStats",
     "backoff_delays",
     "group_handles",
     "load_imbalance",
+    "shm_available",
     "spawn_local_cluster",
 ]

@@ -68,7 +68,8 @@ from repro.cluster.health import (
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.server import NodeServer
-from repro.cluster.transport import Connection, TransportStats
+from repro.cluster.shm import DEFAULT_RING_BYTES, ShmRing, shm_available
+from repro.cluster.transport import Connection, ShmConnection, TransportStats
 from repro.core.hashing import AllPairsHasher
 from repro.core.query import QueryResult
 from repro.params import PLSHParams
@@ -105,6 +106,9 @@ class RemoteNodeHandle:
         probe_timeout: float = 1.0,
         health: NodeHealth | None = None,
         fault_plan: FaultPlan | None = None,
+        shm: bool | str = "auto",
+        shm_size: int = DEFAULT_RING_BYTES,
+        score_dtype: str = "float32",
     ) -> None:
         self.node_id = node_id
         self.host = host
@@ -112,6 +116,21 @@ class RemoteNodeHandle:
         self._capacity = int(capacity)
         self._n_items = 0
         self._closed = False
+        #: shared-memory transport policy: ``"auto"``/True negotiates shm
+        #: rings at handshake and silently falls back to framed TCP when
+        #: /dev/shm or the server declines; False never offers.
+        self._shm_enabled = shm in ("auto", True)
+        self.shm_size = int(shm_size)
+        #: client-owned ring pair ``(request, response)`` — created once,
+        #: reused across reconnects, unlinked in :meth:`close`.
+        self._shm_rings: tuple[ShmRing, ShmRing] | None = None
+        #: True while the current connection actually speaks shm.
+        self.shm_active = False
+        if score_dtype not in ("float32", "float16"):
+            raise ValueError(f"unknown score_dtype {score_dtype!r}")
+        #: wire dtype for result distances: ``"float16"`` halves the
+        #: response score column (rounded; radius-tolerance validated).
+        self.score_dtype = score_dtype
         #: per-request deadline for regular ops (None = block forever).
         self.op_timeout = op_timeout
         #: deadline for merge ops, which legitimately run long.
@@ -136,6 +155,7 @@ class RemoteNodeHandle:
         self._conn = self._wrap(
             Connection.connect(host, port, timeout=connect_timeout)
         )
+        self._negotiate_shm()
         # Sync the client-side mirror from the server's authoritative
         # counts: a handle (re)connected to an already-populated server
         # must not report 0 items (the coordinator would silently skip
@@ -164,21 +184,23 @@ class RemoteNodeHandle:
 
     @property
     def transport_stats(self) -> TransportStats:
-        """Real bytes/messages over this handle's wire, summed across
-        reconnects (a snapshot; not live-updating)."""
-        total = TransportStats(
-            n_sent=self._stats_base.n_sent,
-            n_received=self._stats_base.n_received,
-            bytes_sent=self._stats_base.bytes_sent,
-            bytes_received=self._stats_base.bytes_received,
-        )
+        """Real bytes/messages over this handle's wire (TCP + shm),
+        summed across reconnects (a snapshot; not live-updating)."""
+        total = TransportStats()
+        total.add(self._stats_base)
         conn = self._conn
         if conn is not None:
-            total.n_sent += conn.stats.n_sent
-            total.n_received += conn.stats.n_received
-            total.bytes_sent += conn.stats.bytes_sent
-            total.bytes_received += conn.stats.bytes_received
+            total.add(conn.stats)
         return total
+
+    def reset_transport_stats(self) -> None:
+        """Zero the byte/message counters (batch-isolated measurements:
+        reset, run one exchange, read :attr:`transport_stats`)."""
+        with self._lock:
+            self._stats_base.reset()
+            conn = self._conn
+            if conn is not None:
+                conn.stats.reset()
 
     def health_snapshot(self) -> dict:
         """This handle's health row for ``Coordinator.health()``."""
@@ -192,11 +214,9 @@ class RemoteNodeHandle:
         """Tear down the current connection now (first failure closes the
         socket; nothing is left half-open for GC to find)."""
         conn, self._conn = self._conn, None
+        self.shm_active = False
         if conn is not None:
-            self._stats_base.n_sent += conn.stats.n_sent
-            self._stats_base.n_received += conn.stats.n_received
-            self._stats_base.bytes_sent += conn.stats.bytes_sent
-            self._stats_base.bytes_received += conn.stats.bytes_received
+            self._stats_base.add(conn.stats)
             conn.close()
 
     def _reconnect(self) -> None:
@@ -211,6 +231,54 @@ class RemoteNodeHandle:
             raise ConnectionError(
                 f"reconnect to node {self.node_id} failed: {exc}"
             ) from exc
+        self._negotiate_shm()
+
+    def _negotiate_shm(self) -> None:
+        """Offer shared-memory rings on the fresh connection (OP_HELLO).
+
+        The client creates (and later unlinks) both rings, so a node
+        process dying by SIGKILL can never leak a /dev/shm entry.  Any
+        decline — no /dev/shm, ring creation failure, server error —
+        degrades to the framed-TCP path; connection-level failures
+        propagate (the caller's reconnect machinery owns those).
+        """
+        self.shm_active = False
+        if not self._shm_enabled:
+            return
+        if self._shm_rings is None:
+            if not shm_available():
+                self._shm_enabled = False
+                return
+            try:
+                req = ShmRing.create(self.shm_size)
+            except OSError:
+                self._shm_enabled = False
+                return
+            try:
+                resp = ShmRing.create(self.shm_size)
+            except OSError:
+                req.close(unlink=True)
+                self._shm_enabled = False
+                return
+            self._shm_rings = (req, resp)
+        req, resp = self._shm_rings
+        deadline = time.monotonic() + self.connect_timeout
+        self._conn.send_message(
+            protocol.OP_HELLO,
+            {"shm": {"req": req.name, "resp": resp.name, "size": req.size}},
+            deadline=deadline,
+        )
+        status, meta, _ = self._conn.recv_message(deadline=deadline)
+        if status == protocol.STATUS_OK and meta.get("shm"):
+            self._conn = ShmConnection(self._conn, out_ring=req, in_ring=resp)
+            self.shm_active = True
+
+    def _release_shm(self) -> None:
+        rings, self._shm_rings = self._shm_rings, None
+        self.shm_active = False
+        if rings is not None:
+            for ring in rings:
+                ring.close(unlink=True)
 
     def _call(
         self,
@@ -335,11 +403,12 @@ class RemoteNodeHandle:
             return False
 
     def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+        ids = np.ascontiguousarray(global_ids, dtype=np.int64)
         meta, _ = self._call(
             protocol.OP_INSERT_BATCH,
             {"n_cols": vectors.n_cols},
-            protocol.csr_to_arrays(vectors)
-            + [np.ascontiguousarray(global_ids, dtype=np.int64)],
+            protocol.csr_to_arrays(vectors, compact=True)
+            + [protocol.compact_ids(ids)],
         )
         self._n_items = int(meta["n_items"])
 
@@ -374,23 +443,29 @@ class RemoteNodeHandle:
             meta["workers"] = workers
         if backend is not None:
             meta["backend"] = backend
+        if self.score_dtype != "float32":
+            meta["score_dtype"] = self.score_dtype
         out_meta, (indptr, ids, dists) = self._call(
             protocol.OP_QUERY_BATCH,
             meta,
-            protocol.csr_to_arrays(queries),
+            protocol.csr_to_arrays(queries, compact=True),
             idempotent=True,
         )
         self.last_compute_seconds = float(out_meta["seconds"])
+        # Widen compact wire dtypes back to engine dtypes (ids exactly;
+        # float16 scores keep their rounded values as float32).
+        ids = protocol.widen_ids(ids)
+        if dists.dtype != np.float32:
+            dists = dists.astype(np.float32)
         return [
             QueryResult(ids[int(s) : int(e)], dists[int(s) : int(e)])
             for s, e in zip(indptr[:-1], indptr[1:])
         ]
 
     def delete_global(self, global_ids: np.ndarray) -> int:
+        ids = np.ascontiguousarray(global_ids, dtype=np.int64)
         meta, _ = self._call(
-            protocol.OP_DELETE_GLOBAL,
-            None,
-            [np.ascontiguousarray(global_ids, dtype=np.int64)],
+            protocol.OP_DELETE_GLOBAL, None, [protocol.compact_ids(ids)]
         )
         return int(meta["n_deleted"])
 
@@ -438,6 +513,7 @@ class RemoteNodeHandle:
             return
         self._closed = True
         self._drop_connection()
+        self._release_shm()
 
 
 # -- localhost spawning ----------------------------------------------------
@@ -551,6 +627,9 @@ def spawn_local_cluster(
     health_cooldown: float = 2.0,
     heartbeat_interval: float | None = None,
     fault_plans: dict[int, FaultPlan] | None = None,
+    shm: bool | str | dict[int, bool] = "auto",
+    shm_size: int = DEFAULT_RING_BYTES,
+    score_dtype: str = "float32",
 ) -> SpawnedLocalCluster:
     """Fork ``n_nodes`` :class:`NodeServer` processes and cluster them.
 
@@ -569,6 +648,13 @@ def spawn_local_cluster(
     marked DOWN stays down (failover still works; *recovery* needs the
     heartbeat).  ``fault_plans`` maps node index to a
     :class:`FaultPlan` wrapped around that handle's connections.
+
+    ``shm`` selects the zero-copy shared-memory payload transport:
+    ``"auto"`` (default) negotiates per connection and falls back to
+    framed TCP when /dev/shm is unavailable (or ``PLSH_SHM=0``); a
+    ``dict`` maps node index → policy for mixed shm/TCP clusters.
+    ``score_dtype="float16"`` halves the result-score wire column
+    (half-precision rounding; ids stay exact).
     """
     from repro.parallel import fork_available
 
@@ -606,6 +692,7 @@ def spawn_local_cluster(
                 raise TimeoutError(f"node {i} did not report a port in time")
             host, port = recv_end.recv()
             recv_end.close()
+            node_shm = shm.get(i, "auto") if isinstance(shm, dict) else shm
             handles.append(
                 RemoteNodeHandle(
                     i, host, port, node_capacity,
@@ -619,6 +706,9 @@ def spawn_local_cluster(
                         cooldown=health_cooldown,
                     ),
                     fault_plan=(fault_plans or {}).get(i),
+                    shm=node_shm,
+                    shm_size=shm_size,
+                    score_dtype=score_dtype,
                 )
             )
         if heartbeat_interval is not None:

@@ -123,12 +123,13 @@ def _query_node(_state, node, q_cols, q_vals, radius):
         return node, None, time.perf_counter() - start, exc
 
 
-def _query_node_batch(_state, node, queries, radius, workers, backend):
+def _query_node_batch(_state, node, queries, radius, workers, backend, mode):
     """Fan-out task: one node's whole-batch answer, timed, errors caught."""
     start = time.perf_counter()
     try:
         results = node.query_batch(
-            queries, radius=radius, workers=workers, backend=backend
+            queries, radius=radius, workers=workers, backend=backend,
+            mode=mode,
         )
         return node, results, time.perf_counter() - start, None
     except Exception as exc:
@@ -138,10 +139,22 @@ def _query_node_batch(_state, node, queries, radius, workers, backend):
 class Coordinator:
     """Broadcasts queries to cluster node handles and merges partial answers."""
 
-    #: bytes per reported match in a node response: int64 id + float32 dist.
-    RESPONSE_BYTES_PER_MATCH = 12
-    #: fixed header per message.
-    MESSAGE_HEADER_BYTES = 64
+    #: bytes per reported match in a node response: int32 id + float32
+    #: dist (the transport narrows int64 ids on the wire; float16 scores
+    #: would make this 6 — the model charges the default config).
+    RESPONSE_BYTES_PER_MATCH = 8
+    #: bytes per query row in a response (the int32 result indptr entry).
+    RESPONSE_BYTES_PER_ROW = 4
+    #: bytes per CSR nonzero in a query-batch request: int32 col + f32 val.
+    REQUEST_BYTES_PER_NNZ = 8
+    #: bytes per query row in a request (the int32 CSR indptr entry).
+    REQUEST_BYTES_PER_ROW = 4
+    #: per-message framing + meta overhead: 8B frame length, 1B code,
+    #: 4B meta length, ~70B meta JSON, 1B array count, ~10B per array
+    #: header × 3 arrays.  Calibrated against the measured framed-TCP
+    #: wire (tests/cluster/test_rpc_cluster.py holds model and measured
+    #: within 2x of each other).
+    MESSAGE_HEADER_BYTES = 112
 
     def __init__(
         self,
@@ -244,10 +257,19 @@ class Coordinator:
         return rows
 
     def transport_totals(self) -> dict | None:
-        """Real wire traffic summed over remote handles, or ``None`` when
-        every node is in-process.  Compare against ``network.stats`` to
-        check the model's byte accounting against measured bytes."""
-        totals = {"n_messages": 0, "bytes_sent": 0, "bytes_received": 0}
+        """Real traffic summed over remote handles, or ``None`` when
+        every node is in-process.  ``bytes_*`` are TCP socket bytes,
+        ``shm_bytes_*`` are array payloads moved through shared-memory
+        rings, and ``total_bytes`` is their sum — the honest number to
+        compare against ``network.stats`` (shm payloads are moved bytes
+        even though they never touch a socket)."""
+        totals = {
+            "n_messages": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "shm_bytes_sent": 0,
+            "shm_bytes_received": 0,
+        }
         saw_remote = False
         for node in self.nodes:
             stats = getattr(node, "transport_stats", None)
@@ -257,7 +279,23 @@ class Coordinator:
             totals["n_messages"] += stats.n_sent + stats.n_received
             totals["bytes_sent"] += stats.bytes_sent
             totals["bytes_received"] += stats.bytes_received
-        return totals if saw_remote else None
+            totals["shm_bytes_sent"] += stats.shm_bytes_sent
+            totals["shm_bytes_received"] += stats.shm_bytes_received
+        if not saw_remote:
+            return None
+        totals["total_bytes"] = (
+            totals["bytes_sent"] + totals["bytes_received"]
+            + totals["shm_bytes_sent"] + totals["shm_bytes_received"]
+        )
+        return totals
+
+    def reset_transport_stats(self) -> None:
+        """Zero every remote handle's byte counters (batch isolation:
+        reset, run one broadcast, read :meth:`transport_totals`)."""
+        for node in self.nodes:
+            reset = getattr(node, "reset_transport_stats", None)
+            if reset is not None:
+                reset()
 
     # -- broadcast ---------------------------------------------------------
 
@@ -271,7 +309,8 @@ class Coordinator:
         """Broadcast one query and concatenate every node's answer."""
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
-        query_bytes = self.MESSAGE_HEADER_BYTES + 12 * q_cols.size  # id+weight per term
+        # The single-query op is not dtype-compacted: int64 col + f32 val.
+        query_bytes = self.MESSAGE_HEADER_BYTES + 12 * q_cols.size
         live, missing = self._partition_nodes()
         net_seconds = (
             self.network.broadcast(len(live), query_bytes) if live else 0.0
@@ -292,9 +331,9 @@ class Coordinator:
                 node_errors[node.node_id] = f"{type(error).__name__}: {error}"
                 continue
             node_seconds[node.node_id] = seconds
+            # Uncompacted response: int64 id + f32 dist per match.
             net_seconds += self.network.send(
-                self.MESSAGE_HEADER_BYTES
-                + self.RESPONSE_BYTES_PER_MATCH * len(res)
+                self.MESSAGE_HEADER_BYTES + 12 * len(res)
             )
             ids.append(res.indices)
             dists.append(res.distances)
@@ -340,15 +379,21 @@ class Coordinator:
                 self.query(*queries.row(r), radius=radius)
                 for r in range(queries.n_rows)
             ]
-        if mode != "vectorized":
+        if mode not in ("vectorized", "pipelined"):
             raise ValueError(
-                f"unknown mode {mode!r}; expected 'vectorized' or 'loop'"
+                f"unknown mode {mode!r}; expected 'vectorized', "
+                f"'pipelined' or 'loop'"
             )
         n = queries.n_rows
         if n == 0:
             return []
-        # One broadcast message per node carries the whole CSR batch.
-        batch_bytes = self.MESSAGE_HEADER_BYTES + 12 * queries.nnz
+        # One broadcast message per node carries the whole CSR batch
+        # (compact wire dtypes: int32 cols + f32 vals + int32 indptr).
+        batch_bytes = (
+            self.MESSAGE_HEADER_BYTES
+            + self.REQUEST_BYTES_PER_NNZ * queries.nnz
+            + self.REQUEST_BYTES_PER_ROW * (n + 1)
+        )
         live, missing = self._partition_nodes()
         net_seconds = (
             self.network.broadcast(len(live), batch_bytes) if live else 0.0
@@ -365,7 +410,7 @@ class Coordinator:
         wall_start = time.perf_counter()
         rows = self._fan_out(
             _query_node_batch,
-            [(node, queries, radius, workers, backend) for node in live],
+            [(node, queries, radius, workers, backend, mode) for node in live],
         )
         wall = time.perf_counter() - wall_start
 
@@ -381,6 +426,7 @@ class Coordinator:
             net_seconds += self.network.send(
                 self.MESSAGE_HEADER_BYTES
                 + self.RESPONSE_BYTES_PER_MATCH * n_matches
+                + self.RESPONSE_BYTES_PER_ROW * (n + 1)
             )
             per_node.append(results)
 

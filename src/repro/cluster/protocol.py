@@ -40,6 +40,7 @@ __all__ = [
     "OP_STATS",
     "OP_RETIRE",
     "OP_SHUTDOWN",
+    "OP_HELLO",
     "STATUS_OK",
     "STATUS_ERROR",
     "OP_NAMES",
@@ -47,6 +48,8 @@ __all__ = [
     "decode_message",
     "csr_to_arrays",
     "arrays_to_csr",
+    "compact_ids",
+    "widen_ids",
 ]
 
 # -- op codes (requests) ---------------------------------------------------
@@ -62,6 +65,10 @@ OP_MERGE_NOW = 8
 OP_STATS = 9
 OP_RETIRE = 10
 OP_SHUTDOWN = 11
+#: transport feature negotiation (shared-memory rings); sent once per
+#: connection before any other op.  Servers that predate it answer
+#: STATUS_ERROR and the client degrades to plain framed TCP.
+OP_HELLO = 12
 
 #: human-readable op names for errors and logs.
 OP_NAMES = {
@@ -76,6 +83,7 @@ OP_NAMES = {
     OP_STATS: "stats",
     OP_RETIRE: "retire",
     OP_SHUTDOWN: "shutdown",
+    OP_HELLO: "hello",
 }
 
 # -- status codes (responses) ----------------------------------------------
@@ -95,6 +103,7 @@ _WIRE_DTYPES: list[np.dtype] = [
     np.dtype(np.uint16),
     np.dtype(np.uint8),
     np.dtype(np.uint32),
+    np.dtype(np.float16),
 ]
 _DTYPE_CODES = {dt: code for code, dt in enumerate(_WIRE_DTYPES)}
 
@@ -194,12 +203,46 @@ def decode_message(body: bytes) -> tuple[int, dict, list[np.ndarray]]:
     return code, meta, arrays
 
 
+# -- compact wire dtypes ---------------------------------------------------
+
+_I32_MIN = -(2**31)
+_I32_MAX = 2**31 - 1
+
+
+def compact_ids(arr: np.ndarray) -> np.ndarray:
+    """Narrow an int64 id/offset array to int32 when every value fits.
+
+    Exact (ids are integers), so narrowing on send + :func:`widen_ids`
+    on receipt is bit-identity-preserving end to end while halving the
+    array's wire footprint.  Arrays that do not fit pass through.
+    """
+    if arr.dtype != np.int64 or arr.size == 0:
+        return arr
+    lo, hi = int(arr.min()), int(arr.max())
+    if _I32_MIN <= lo and hi <= _I32_MAX:
+        return arr.astype(np.int32)
+    return arr
+
+
+def widen_ids(arr: np.ndarray) -> np.ndarray:
+    """Undo :func:`compact_ids` on receipt (int32 → int64; else as-is)."""
+    if arr.dtype == np.int32:
+        return arr.astype(np.int64)
+    return arr
+
+
 # -- CSR helpers -----------------------------------------------------------
 
 
-def csr_to_arrays(matrix) -> list[np.ndarray]:
-    """The three raw buffers of a :class:`~repro.sparse.csr.CSRMatrix`."""
-    return [matrix.indptr, matrix.indices, matrix.data]
+def csr_to_arrays(matrix, *, compact: bool = False) -> list[np.ndarray]:
+    """The three raw buffers of a :class:`~repro.sparse.csr.CSRMatrix`.
+
+    ``compact=True`` narrows the int64 ``indptr`` to int32 when the nnz
+    count allows (indices are already int32, data float32) — the
+    receiving :func:`arrays_to_csr` widens it back exactly.
+    """
+    indptr = compact_ids(matrix.indptr) if compact else matrix.indptr
+    return [indptr, matrix.indices, matrix.data]
 
 
 def arrays_to_csr(

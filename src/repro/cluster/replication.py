@@ -278,11 +278,15 @@ class ReplicaGroup:
             if stats is None:
                 continue
             saw = True
-            total.n_sent += stats.n_sent
-            total.n_received += stats.n_received
-            total.bytes_sent += stats.bytes_sent
-            total.bytes_received += stats.bytes_received
+            total.add(stats)
         return total if saw else None
+
+    def reset_transport_stats(self) -> None:
+        """Zero every replica's byte counters (batch isolation)."""
+        for replica in self.replicas:
+            reset = getattr(replica, "reset_transport_stats", None)
+            if reset is not None:
+                reset()
 
     def health_snapshot(self) -> dict:
         """One monitoring row per shard, with per-replica detail."""

@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.cluster import protocol
 from repro.cluster.node import ClusterNode
-from repro.cluster.transport import Connection
+from repro.cluster.shm import ShmRing
+from repro.cluster.transport import Connection, ShmConnection
 from repro.core.query import QueryResult
 
 __all__ = ["NodeServer"]
@@ -80,27 +81,83 @@ class NodeServer:
             self.close()
 
     def _serve_connection(self, conn: Connection) -> None:
-        while self._running:
+        rings: list[ShmRing] = []
+        try:
+            while self._running:
+                try:
+                    # Zero-copy receive: over shm the query hot path gets
+                    # views straight into the client's ring.  Ops that
+                    # retain buffers past this request copy them below.
+                    code, meta, arrays = conn.recv_message(copy=False)
+                except ConnectionError:
+                    return  # client went away; back to accept
+                if code == protocol.OP_HELLO:
+                    conn = self._handle_hello(conn, meta, rings)
+                    continue
+                if arrays and code not in (
+                    protocol.OP_QUERY, protocol.OP_QUERY_BATCH
+                ):
+                    arrays = [np.array(a, copy=True) for a in arrays]
+                try:
+                    status, out_meta, out_arrays = self._handle(
+                        code, meta, arrays
+                    )
+                except Exception as exc:  # surface, don't die: per-node errors
+                    status = protocol.STATUS_ERROR
+                    out_meta = {
+                        "error": str(exc),
+                        "type": type(exc).__name__,
+                        "op": protocol.OP_NAMES.get(code, str(code)),
+                    }
+                    out_arrays = []
+                try:
+                    conn.send_message(status, out_meta, out_arrays)
+                except ConnectionError:
+                    return
+                if code == protocol.OP_SHUTDOWN and status == protocol.STATUS_OK:
+                    self._running = False
+        finally:
+            for ring in rings:
+                ring.close()  # detach only; the client owns /dev/shm entries
+
+    def _handle_hello(
+        self, conn: Connection, meta: dict, rings: list
+    ) -> Connection:
+        """Negotiate transport features; returns the (possibly wrapped)
+        connection to keep serving on.  Failure to attach the client's
+        rings declines shm and keeps plain TCP — never kills the
+        connection."""
+        shm_meta = meta.get("shm") or {}
+        req_ring = resp_ring = None
+        if shm_meta.get("req") and shm_meta.get("resp"):
             try:
-                code, meta, arrays = conn.recv_message()
+                req_ring = ShmRing.attach(str(shm_meta["req"]))
+                resp_ring = ShmRing.attach(str(shm_meta["resp"]))
+            except (OSError, ValueError) as exc:
+                if req_ring is not None:
+                    req_ring.close()
+                try:
+                    conn.send_message(
+                        protocol.STATUS_OK, {"shm": False, "reason": str(exc)}
+                    )
+                except ConnectionError:
+                    pass
+                return conn
+        if req_ring is None or resp_ring is None:
+            try:
+                conn.send_message(
+                    protocol.STATUS_OK, {"shm": False, "reason": "not offered"}
+                )
             except ConnectionError:
-                return  # client went away; back to accept
-            try:
-                status, out_meta, out_arrays = self._handle(code, meta, arrays)
-            except Exception as exc:  # surface, don't die: per-node errors
-                status = protocol.STATUS_ERROR
-                out_meta = {
-                    "error": str(exc),
-                    "type": type(exc).__name__,
-                    "op": protocol.OP_NAMES.get(code, str(code)),
-                }
-                out_arrays = []
-            try:
-                conn.send_message(status, out_meta, out_arrays)
-            except ConnectionError:
-                return
-            if code == protocol.OP_SHUTDOWN and status == protocol.STATUS_OK:
-                self._running = False
+                pass
+            return conn
+        rings.extend([req_ring, resp_ring])
+        try:
+            conn.send_message(protocol.STATUS_OK, {"shm": True})
+        except ConnectionError:
+            return conn
+        # Client's request ring is our inbound; its response ring our out.
+        return ShmConnection(conn, out_ring=resp_ring, in_ring=req_ring)
 
     def close(self) -> None:
         self._running = False
@@ -122,7 +179,7 @@ class NodeServer:
             vectors = protocol.arrays_to_csr(
                 indptr, indices, data, int(meta["n_cols"])
             )
-            node.insert_batch(vectors, global_ids)
+            node.insert_batch(vectors, protocol.widen_ids(global_ids))
             return protocol.STATUS_OK, {"n_items": node.n_items}, []
         if code == protocol.OP_QUERY:
             q_cols, q_vals = arrays
@@ -132,7 +189,7 @@ class NodeServer:
             return self._handle_query_batch(meta, arrays)
         if code == protocol.OP_DELETE_GLOBAL:
             (global_ids,) = arrays
-            n = node.delete_global(global_ids)
+            n = node.delete_global(protocol.widen_ids(global_ids))
             return protocol.STATUS_OK, {"n_deleted": n}, []
         if code == protocol.OP_BEGIN_MERGE:
             return protocol.STATUS_OK, {"started": node.begin_merge()}, []
@@ -174,12 +231,21 @@ class NodeServer:
         return (
             protocol.STATUS_OK,
             {"seconds": seconds},
-            _pack_results(results),
+            _pack_results(results, score_dtype=meta.get("score_dtype")),
         )
 
 
-def _pack_results(results: list[QueryResult]) -> list[np.ndarray]:
-    """Flatten per-query results into ``[indptr, ids, distances]``."""
+def _pack_results(
+    results: list[QueryResult], *, score_dtype: str | None = None
+) -> list[np.ndarray]:
+    """Flatten per-query results into ``[indptr, ids, distances]``.
+
+    Compact wire dtypes: ``indptr`` and ``ids`` narrow to int32 when
+    their values fit (exact; the client widens them back), and
+    ``score_dtype="float16"`` halves the distance column again — lossy
+    by half-precision rounding, which the radius filter's tolerance
+    admits (the client opts in per handle and tests bound the error).
+    """
     counts = np.fromiter(
         (len(r) for r in results), count=len(results), dtype=np.int64
     )
@@ -191,5 +257,10 @@ def _pack_results(results: list[QueryResult]) -> list[np.ndarray]:
     else:
         ids = np.empty(0, dtype=np.int64)
         dists = np.empty(0, dtype=np.float32)
-    return [indptr, np.ascontiguousarray(ids, dtype=np.int64),
-            np.ascontiguousarray(dists, dtype=np.float32)]
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    dists = np.ascontiguousarray(dists, dtype=np.float32)
+    if score_dtype == "float16":
+        dists = dists.astype(np.float16)
+    elif score_dtype not in (None, "float32"):
+        raise ValueError(f"unknown score_dtype {score_dtype!r}")
+    return [protocol.compact_ids(indptr), protocol.compact_ids(ids), dists]

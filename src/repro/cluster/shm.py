@@ -1,0 +1,234 @@
+"""Shared-memory payload segments for the same-host cluster transport.
+
+The paper's cluster moves query batches over Infiniband with RDMA-class
+cost; a localhost reproduction that serializes every CSR buffer onto a
+TCP socket pays two full copies (user → kernel → user) plus framing per
+hot-path array.  When coordinator and node share a host, those payloads
+can instead live in ``multiprocessing.shared_memory`` segments: the
+sender memcpys each array into a per-connection ring segment once, the
+TCP frame carries only tiny descriptors (dtype, shape, offset), and the
+receiver maps the arrays **zero-copy** as views over the segment.
+
+One :class:`ShmRing` is one direction of one connection.  The protocol
+is strict request/response (one message in flight per connection — see
+:mod:`repro.cluster.transport`), so a message's arrays stay valid until
+the *next* message is written; no head/tail pointers are needed and each
+message simply packs from offset 0.  Payloads that do not fit fall back
+to inline TCP arrays per-message, so ring size is a knob, not a limit.
+
+Ownership: the **client** creates both rings of a connection and is the
+only side that ever unlinks them (``close(unlink=True)``).  The server
+merely attaches — so a SIGKILLed server process can never leak a
+``/dev/shm`` entry, and the attach side never registers with the
+``resource_tracker`` (which on Python < 3.13 wrongly adopts attached
+segments and would unlink them when the *server* exits).
+
+Ring names carry the ``plsh-ring-`` prefix so tests (and operators) can
+audit ``/dev/shm`` for leaks.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.cluster import protocol
+
+__all__ = [
+    "DEFAULT_RING_BYTES",
+    "SHM_NAME_PREFIX",
+    "ShmRing",
+    "leaked_segments",
+    "shm_available",
+]
+
+#: /dev/shm name prefix for every ring this module creates.
+SHM_NAME_PREFIX = "plsh-ring-"
+
+#: default ring capacity per direction.  Sized so a full insert block
+#: (20k docs of ~15 terms: indptr + int32 indices + float32 data ≈ 2.6 MB)
+#: travels through the ring; bigger payloads fall back to inline TCP.
+DEFAULT_RING_BYTES = 8 << 20
+
+#: array start alignment inside a ring (cache-line).
+_ALIGN = 64
+
+
+def shm_available(min_bytes: int = 4096) -> bool:
+    """Can this host back a shared-memory ring right now?
+
+    False when the environment knob ``PLSH_SHM=0`` disables the
+    transport, or when creating a probe segment fails (no /dev/shm,
+    no permissions, tmpfs full).
+    """
+    if os.environ.get("PLSH_SHM", "").strip() == "0":
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=min_bytes)
+    except (OSError, ValueError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def leaked_segments() -> list[str]:
+    """Names of ``plsh-ring-*`` entries currently present in /dev/shm
+    (leak auditing for tests; empty when /dev/shm is absent)."""
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(SHM_NAME_PREFIX)
+        )
+    except OSError:
+        return []
+
+
+class ShmRing:
+    """One direction of a same-host connection's array payload channel."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool) -> None:
+        self._shm = shm
+        #: True on the creating (unlinking) side — always the client.
+        self.owner = owner
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, size: int = DEFAULT_RING_BYTES) -> "ShmRing":
+        """Create a fresh ring (client side).  The caller must eventually
+        ``close(unlink=True)`` it."""
+        if size <= 0:
+            raise ValueError(f"ring size must be positive, got {size}")
+        for _ in range(8):
+            name = SHM_NAME_PREFIX + secrets.token_hex(8)
+            try:
+                shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:  # astronomically unlikely; retry
+                continue
+            return cls(shm, owner=True)
+        raise RuntimeError("could not allocate a uniquely named shm ring")
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach to a client-created ring (server side).  Never unlinks."""
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            # Python < 3.13 registers *attached* segments with the resource
+            # tracker, which would unlink the client's ring when this server
+            # process exits.  Sending an unregister after the fact is wrong
+            # too: forked servers share the parent's tracker process, so it
+            # would cancel the *creator's* registration and the client's
+            # eventual unlink would KeyError inside the tracker.  Suppress
+            # the registration at the source instead.
+            orig = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Detach (and optionally unlink) the segment.  Idempotent.  A
+        detach with live array views outstanding is deferred to process
+        exit rather than raised (the mapping stays valid for them)."""
+        if self._closed:
+            return
+        self._closed = True
+        if unlink and self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # exported views still alive; the OS reclaims at exit
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close(unlink=self.owner)
+
+    # -- array payload I/O -------------------------------------------------
+
+    def write_arrays(self, arrays) -> list[list] | None:
+        """Pack ``arrays`` into the ring from offset 0.
+
+        Returns JSON-able descriptors ``[dtype_code, shape, offset]`` (the
+        dtype codes of :mod:`repro.cluster.protocol`), or ``None`` when
+        the payload does not fit — the caller then sends inline over TCP.
+        Valid until the next ``write_arrays`` on this ring (strict
+        request/response makes that safe).
+        """
+        if self._closed:
+            raise ValueError("ring is closed")
+        pos = 0
+        planned: list[tuple[int, np.ndarray]] = []
+        descs: list[list] = []
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            try:
+                code = protocol._DTYPE_CODES[arr.dtype]
+            except KeyError:
+                raise TypeError(
+                    f"dtype {arr.dtype} is not on the wire format"
+                ) from None
+            pos = -(-pos // _ALIGN) * _ALIGN
+            if pos + arr.nbytes > self.size:
+                return None
+            planned.append((pos, arr))
+            descs.append([code, list(arr.shape), pos])
+            pos += arr.nbytes
+        for offset, arr in planned:
+            dst = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=offset
+            )
+            np.copyto(dst, arr, casting="no")
+        return descs
+
+    def read_arrays(self, descs, *, copy: bool = True) -> list[np.ndarray]:
+        """Materialize the arrays a peer's descriptors point at.
+
+        ``copy=False`` returns zero-copy views over the segment — valid
+        until the peer's next message; callers that retain a buffer past
+        the current request must copy it themselves.
+        """
+        if self._closed:
+            raise ValueError("ring is closed")
+        out: list[np.ndarray] = []
+        for desc in descs:
+            code, shape, offset = int(desc[0]), tuple(
+                int(s) for s in desc[1]
+            ), int(desc[2])
+            if not 0 <= code < len(protocol._WIRE_DTYPES):
+                raise ValueError(f"unknown wire dtype code {code}")
+            dtype = protocol._WIRE_DTYPES[code]
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if offset < 0 or offset + nbytes > self.size:
+                raise ValueError(
+                    f"shm descriptor out of bounds: offset {offset} + "
+                    f"{nbytes} bytes > ring size {self.size}"
+                )
+            arr = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+            out.append(arr.copy() if copy else arr)
+        return out

@@ -35,7 +35,13 @@ import numpy as np
 
 from repro.cluster import protocol
 
-__all__ = ["Connection", "TransportStats", "FRAME_HEADER_BYTES", "MAX_FRAME_BYTES"]
+__all__ = [
+    "Connection",
+    "ShmConnection",
+    "TransportStats",
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+]
 
 _LEN = struct.Struct(">Q")
 
@@ -49,18 +55,38 @@ MAX_FRAME_BYTES = 1 << 33
 
 @dataclass
 class TransportStats:
-    """Real bytes/messages moved over one connection."""
+    """Real bytes/messages moved over one connection.
+
+    ``bytes_*`` count TCP socket bytes (frames, headers included);
+    ``shm_bytes_*`` count array payloads that traveled through a
+    shared-memory ring instead (:class:`ShmConnection`).  Total traffic
+    for comm-share accounting is the sum of both — shm bytes are real
+    moved bytes, just not socket bytes.
+    """
 
     n_sent: int = 0
     n_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    shm_bytes_sent: int = 0
+    shm_bytes_received: int = 0
 
     def reset(self) -> None:
         self.n_sent = 0
         self.n_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.shm_bytes_sent = 0
+        self.shm_bytes_received = 0
+
+    def add(self, other: "TransportStats") -> None:
+        """Fold another stats record into this one (reconnect folding)."""
+        self.n_sent += other.n_sent
+        self.n_received += other.n_received
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.shm_bytes_sent += other.shm_bytes_sent
+        self.shm_bytes_received += other.shm_bytes_received
 
 
 class Connection:
@@ -129,7 +155,7 @@ class Connection:
         return n
 
     def recv_message(
-        self, *, deadline: float | None = None
+        self, *, deadline: float | None = None, copy: bool = True
     ) -> tuple[int, dict, list[np.ndarray]]:
         """Receive one whole frame and decode it.
 
@@ -138,6 +164,10 @@ class Connection:
         frames) or a node failure — and :class:`TimeoutError` when
         ``deadline`` expires first (the connection is closed: a late
         reply would desynchronize the frame stream).
+
+        ``copy`` exists for interface parity with :class:`ShmConnection`
+        (where ``copy=False`` yields zero-copy ring views); a TCP frame's
+        arrays are always fresh decode copies.
         """
         header = self._recv_exact(FRAME_HEADER_BYTES, eof_ok=True, deadline=deadline)
         if header is None:
@@ -191,6 +221,89 @@ class Connection:
         self._sock.close()
 
     def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ShmConnection:
+    """A connection whose array payloads ride shared-memory rings.
+
+    Wraps any object speaking the ``Connection`` interface (a plain
+    :class:`Connection` or a fault-injecting wrapper) plus one
+    :class:`~repro.cluster.shm.ShmRing` per direction, negotiated at
+    handshake (``OP_HELLO``).  Sends write each array into ``out_ring``
+    once and put only ``[dtype, shape, offset]`` descriptors on the TCP
+    frame (meta key ``_shm_arrays``); receives map the peer's
+    descriptors back out of ``in_ring`` — zero-copy views with
+    ``copy=False``, private copies by default.  A payload too large for
+    the ring degrades to inline TCP arrays for that message only.
+
+    Control traffic (codes, meta, errors) stays on TCP, so deadlines,
+    poisoning and reconnect semantics are exactly the inner
+    connection's.  Stats: the shared :class:`TransportStats` counts the
+    control frame under ``bytes_*`` and the ring payload under
+    ``shm_bytes_*``.
+    """
+
+    def __init__(self, inner, *, out_ring=None, in_ring=None) -> None:
+        self._inner = inner
+        self.out_ring = out_ring
+        self.in_ring = in_ring
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._inner.stats
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def send_message(
+        self,
+        code: int,
+        meta: dict | None = None,
+        arrays=(),
+        *,
+        deadline: float | None = None,
+    ) -> int:
+        arrays = list(arrays)
+        if arrays and self.out_ring is not None and not self.out_ring.closed:
+            descs = self.out_ring.write_arrays(arrays)
+            if descs is not None:
+                shm_bytes = sum(
+                    np.ascontiguousarray(a).nbytes for a in arrays
+                )
+                shm_meta = dict(meta or {})
+                shm_meta["_shm_arrays"] = descs
+                n = self._inner.send_message(
+                    code, shm_meta, (), deadline=deadline
+                )
+                self.stats.shm_bytes_sent += shm_bytes
+                return n + shm_bytes
+        return self._inner.send_message(code, meta, arrays, deadline=deadline)
+
+    def recv_message(
+        self, *, deadline: float | None = None, copy: bool = True
+    ) -> tuple[int, dict, list[np.ndarray]]:
+        code, meta, arrays = self._inner.recv_message(deadline=deadline)
+        descs = meta.pop("_shm_arrays", None) if meta else None
+        if descs is not None:
+            if self.in_ring is None or self.in_ring.closed:
+                raise ConnectionError(
+                    "peer sent shm descriptors but no inbound ring is attached"
+                )
+            arrays = self.in_ring.read_arrays(descs, copy=copy)
+            self.stats.shm_bytes_received += sum(a.nbytes for a in arrays)
+        return code, meta, arrays
+
+    def close(self) -> None:
+        """Close the control connection.  Ring lifecycle (detach/unlink)
+        belongs to whoever created/attached them, not the connection."""
+        self._inner.close()
+
+    def __enter__(self) -> "ShmConnection":
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -1,0 +1,379 @@
+"""The cache-blocked pipelined batch kernel (``mode="pipelined"``).
+
+The vectorized kernel (:meth:`QueryEngine._query_batch_vectorized`) is the
+bit-identity oracle; this module is the production fast path for the regime
+where that kernel goes memory-bound — large shards (~100k docs) whose
+bucket/candidate gathers spill out of cache.  A query block flows through
+the L tables as a *pipeline* (the tables act as a hasher network: each
+stage gathers one small group of tables' buckets while those rows are
+cache-resident and fuses the dedup sort keys on the spot), then through the
+dot-product stages plane-block by plane-block, so every intermediate stays
+sized to the cache instead of to the batch.
+
+What makes it faster — all of it measured on the 100k-doc rung, none of it
+changing a single output bit:
+
+* **Compact sort keys.**  Q2 dedup fuses ``query * n_items + id`` into
+  *int32* whenever ``block * n_items`` fits (int64 otherwise) and sorts
+  with the default introsort — duplicate keys are bitwise identical, so
+  stability buys nothing, and the int32 quicksort runs ~6x faster than the
+  int64 stable sort the oracle uses.
+* **Division-free segment decode.**  Per-query offsets come from
+  ``np.searchsorted`` against the ``query * n_items`` boundaries and ids
+  from one fused subtract, replacing the int64 floor-divide pass.
+* **Compact gather indexes.**  Every flat gather index (``take`` arrays
+  over table entries and CSR data) is built in int32 when the indexed
+  space fits, halving index-stream traffic through the memory-bound
+  gathers.
+* **Fused float64 cast.**  Q3 multiplies the float32 operands with
+  ``dtype=np.float64`` so the widening happens inside the ufunc's buffered
+  loop — bit-identical to multiplying explicit float64 copies (both run
+  the d*d loop on the same values) without materializing them.
+* **Flat plane lookups.**  The dense query-plane gather uses one int32
+  flat index instead of 2-D advanced indexing with an int64 row vector.
+
+When :mod:`numba` is importable (optional — never required), the Q2
+bucket-gather/key-fuse stage runs as an ``@njit`` loop instead of chunked
+numpy, removing the remaining index-array temporaries; set
+``PLSH_PIPELINED_NUMBA=0`` to force the pure-numpy stages.  Every
+deployment of this reproduction runs the numpy path in CI; the numba path
+asserts the same bit-identity contract through the same tests wherever the
+dependency is present.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.tables import StaticTableSet
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the default in this repo's images
+    numba = None
+    HAS_NUMBA = False
+
+__all__ = [
+    "HAS_NUMBA",
+    "PIPELINED_QUERY_BLOCK",
+    "PIPELINED_TABLE_CHUNK",
+    "PipelinedKernel",
+]
+
+#: Queries per kernel block.  Matches the vectorized kernel's block so the
+#: segmented temporaries stay cache-sized; the int32 key fusion additionally
+#: requires ``block * n_items`` to fit in int32, which holds through
+#: multi-million-document shards at this width.
+PIPELINED_QUERY_BLOCK = 256
+
+#: Tables per Q2 pipeline stage.  Each stage gathers one group of tables'
+#: buckets and fuses the dedup keys while the gathered ids are still
+#: cache-warm; 32 tables balances that locality against per-stage numpy
+#: dispatch (measured flat between 16 and 64 at 100k docs, rising below 8).
+PIPELINED_TABLE_CHUNK = 32
+
+#: Dense query-plane budget for the pipelined dot stage.  Smaller than the
+#: oracle's 8 MB: with the compact int32 flat indexes the gather stream is
+#: lighter, so a tighter, more cache-resident plane wins (measured ~12%
+#: faster Q3 at 4 MB vs 8 MB on the 100k-doc rung).
+PIPELINED_DENSE_BLOCK_BYTES = 4 << 20
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+
+
+def _use_numba() -> bool:
+    return HAS_NUMBA and os.environ.get("PLSH_PIPELINED_NUMBA", "1") != "0"
+
+
+def _ranges_to_indices_compact(
+    starts: np.ndarray, lengths: np.ndarray, dtype: type
+) -> np.ndarray:
+    """:func:`repro.sparse.csr.ranges_to_indices` with a caller-chosen index
+    dtype.  int32 halves the traffic of building *and* consuming the take
+    array; the caller guarantees every produced index fits ``dtype``."""
+    ends = np.cumsum(lengths, dtype=np.int64)
+    total = int(ends[-1]) if ends.size else 0
+    if total == 0:
+        return np.empty(0, dtype=dtype)
+    bounds = ends - lengths
+    nz = lengths > 0
+    firsts = bounds[nz]
+    sv = np.asarray(starts[nz], dtype=np.int64)
+    lv = np.asarray(lengths[nz], dtype=np.int64)
+    jump = np.empty(firsts.size, dtype=np.int64)
+    jump[0] = sv[0]
+    jump[1:] = sv[1:] - (sv[:-1] + lv[:-1] - 1)
+    take = np.ones(total, dtype=dtype)
+    take[firsts] = jump  # exact: every jump value fits dtype by contract
+    np.cumsum(take, out=take)
+    return take
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _fused_keys_numba(entries, offsets, keys_block, n_items):  # type: ignore
+        """One compiled pass over the block's buckets: count, then emit the
+        fused ``query * n_items + id`` keys in (query, table) order.  The
+        downstream sort erases the emission order, so this is output-
+        equivalent to the chunked numpy stages."""
+        n_q, n_tables = keys_block.shape
+        total = 0
+        for b in range(n_q):
+            for t in range(n_tables):
+                k = keys_block[b, t]
+                total += offsets[t, k + 1] - offsets[t, k]
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        for b in range(n_q):
+            base = b * n_items
+            for t in range(n_tables):
+                k = keys_block[b, t]
+                for j in range(offsets[t, k], offsets[t, k + 1]):
+                    out[pos] = base + entries[t, j]
+                    pos += 1
+        return out
+
+
+class PipelinedKernel:
+    """Steps Q2-Q3 of one engine's pipelined batch path.
+
+    Owns the per-corpus caches the compact-index tricks need (int32 CSR
+    offsets/lengths where they fit) plus the reusable dense query plane.
+    One instance per engine clone — never shared across threads.
+    """
+
+    def __init__(
+        self,
+        tables: StaticTableSet,
+        data: CSRMatrix,
+        *,
+        table_chunk: int = PIPELINED_TABLE_CHUNK,
+        dense_block_bytes: int = PIPELINED_DENSE_BLOCK_BYTES,
+    ) -> None:
+        self.tables = tables
+        self.data = data
+        self.table_chunk = max(1, int(table_chunk))
+        self.dense_block_bytes = int(dense_block_bytes)
+        nnz = int(data.indptr[-1])
+        # Compact CSR row offsets: int32 copies of indptr (and per-row
+        # lengths) when every element index fits, so the Q3 gathers read
+        # half the index bytes.  Values are exact either way.
+        self._csr_compact = nnz <= _INT32_MAX
+        if self._csr_compact:
+            self._indptr32 = data.indptr.astype(np.int32)
+            self._rowlen32 = np.diff(data.indptr).astype(np.int32)
+            # Interleaved (column, value-bits) pairs: Q3's two random
+            # gathers (indices[take], data[take]) become ONE 8-byte gather
+            # — same bytes moved, half the latency-bound accesses.  The
+            # int32 halves are recovered as strided views, never copied.
+            pair = np.empty((max(nnz, 1), 2), dtype=np.int32)
+            pair[: nnz, 0] = data.indices
+            pair[: nnz, 1] = data.data.view(np.int32)
+            self._pair64 = pair.reshape(-1).view(np.int64)
+        else:  # pragma: no cover - requires > 2^31 stored elements
+            self._indptr32 = None
+            self._rowlen32 = None
+            self._pair64 = None
+        # Flat-entry gather indexes fit int32 while L * N does.
+        self._entries_compact = (
+            tables.n_tables * tables.n_items <= _INT32_MAX
+        )
+        self._plane: np.ndarray | None = None
+
+    # -- Q2: bucket gather + segmented dedup --------------------------------
+
+    def block_candidates(
+        self, keys_block: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Unique sorted candidates of one query block.
+
+        Returns ``(cand, offsets, n_collisions)`` exactly like
+        ``collisions_batch`` + ``unique_segments`` would: ``cand`` is int64,
+        per-query segments ascending, ``offsets`` int64 ``(B + 1,)``.
+        """
+        tables = self.tables
+        n_q = int(keys_block.shape[0])
+        n_items = tables.n_items
+        fused, n_collisions = self._gather_fused(keys_block)
+        if fused.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros(n_q + 1, dtype=np.int64),
+                n_collisions,
+            )
+        # Equal fused keys are bitwise-identical, so the unstable default
+        # introsort yields the same sorted array as the oracle's stable
+        # sort — just much faster, especially on int32 keys.
+        fused.sort()
+        keep = np.empty(fused.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(fused[1:], fused[:-1], out=keep[1:])
+        fused = fused[keep]
+        # Division-free decode: per-query boundaries by binary search, ids
+        # by subtracting each segment's base.
+        boundaries = np.arange(n_q + 1, dtype=fused.dtype) * n_items
+        offsets = np.searchsorted(fused, boundaries).astype(np.int64)
+        cand = np.subtract(
+            fused,
+            np.repeat(boundaries[:-1], np.diff(offsets)),
+            dtype=np.int64,
+        )
+        return cand, offsets, n_collisions
+
+    def _gather_fused(
+        self, keys_block: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """The hasher-network front half: gather every bucket of the block
+        and fuse the ``query * n_items + id`` dedup keys, one small group of
+        tables at a time."""
+        tables = self.tables
+        n_q = int(keys_block.shape[0])
+        n_items = tables.n_items
+        fits32 = n_q * n_items <= _INT32_MAX
+        key_dtype = np.int32 if fits32 else np.int64
+        if _use_numba():  # pragma: no cover - optional dependency
+            fused = _fused_keys_numba(
+                tables.entries, tables.offsets, keys_block, n_items
+            )
+            return fused, int(fused.size)
+        q_base = np.arange(n_q, dtype=key_dtype) * key_dtype(n_items)
+        offsets_flat = tables.offsets.ravel()
+        entries_flat = tables.entries.ravel()
+        take_dtype = np.int32 if self._entries_compact else np.int64
+        parts: list[np.ndarray] = []
+        n_collisions = 0
+        chunk = self.table_chunk
+        for t0 in range(0, tables.n_tables, chunk):
+            t1 = min(t0 + chunk, tables.n_tables)
+            idx = (
+                tables._offset_row_base[t0:t1][None, :]
+                + keys_block[:, t0:t1]
+            )
+            starts = offsets_flat[idx]
+            idx += 1
+            lengths = offsets_flat[idx] - starts  # (B, C) int32
+            flat_starts = (
+                tables._entry_row_base[t0:t1][None, :] + starts
+            ).ravel()
+            take = _ranges_to_indices_compact(
+                flat_starts, lengths.ravel(), take_dtype
+            )
+            if take.size == 0:
+                continue
+            vals = entries_flat[take]
+            # Fuse while the gathered ids are still cache-hot: one repeat
+            # of the per-(query, table) labels, one add, all in key_dtype.
+            labels = np.repeat(
+                np.repeat(q_base, t1 - t0), lengths.ravel()
+            )
+            np.add(labels, vals, out=labels)
+            parts.append(labels)
+            n_collisions += int(vals.size)
+        if not parts:
+            return np.empty(0, dtype=key_dtype), 0
+        fused = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return fused, n_collisions
+
+    # -- Q3: segmented candidate dots ---------------------------------------
+
+    def block_dots(
+        self,
+        row_ids: np.ndarray,
+        seg_offsets: np.ndarray,
+        queries: CSRMatrix,
+    ) -> np.ndarray:
+        """Segmented ``<candidate, query>`` dots for one query block.
+
+        Output-identical to :func:`repro.sparse.ops.row_dots_dense_batch`:
+        the same float32 operands multiplied in float64 and accumulated in
+        CSR element order by the same segmented reduce.
+        """
+        csr = self.data
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        n_queries = seg_offsets.size - 1
+        out = np.zeros(row_ids.size, dtype=np.float32)
+        if row_ids.size == 0 or n_queries == 0:
+            return out
+        block = max(1, int(self.dense_block_bytes // (4 * max(csr.n_cols, 1))))
+        rows = min(block, n_queries)
+        if self._plane is None or self._plane.shape[0] < rows:
+            self._plane = np.zeros((rows, csr.n_cols), dtype=np.float32)
+        plane = self._plane
+        flat_plane = plane.ravel()
+        # Flat plane indexes stay in int32 while block * n_cols fits.
+        flat32 = block * csr.n_cols <= _INT32_MAX
+        n_cols32 = np.int32(csr.n_cols)
+        take_dtype = np.int32 if self._csr_compact else np.int64
+        for b0 in range(0, n_queries, block):
+            b1 = min(b0 + block, n_queries)
+            qs, qe = int(queries.indptr[b0]), int(queries.indptr[b1])
+            q_rows = np.repeat(
+                np.arange(b1 - b0), np.diff(queries.indptr[b0 : b1 + 1])
+            )
+            q_cols = queries.indices[qs:qe]
+            plane[q_rows, q_cols] = queries.data[qs:qe]
+            s, e = int(seg_offsets[b0]), int(seg_offsets[b1])
+            rids = row_ids[s:e]
+            if rids.size:
+                if self._csr_compact:
+                    starts = self._indptr32[rids]
+                    lengths = self._rowlen32[rids]
+                else:  # pragma: no cover - requires > 2^31 stored elements
+                    starts = csr.indptr[rids]
+                    lengths = csr.indptr[rids + 1] - starts
+                total = int(lengths.sum(dtype=np.int64))
+                if total:
+                    # reduceat bounds must be intp; everything else compact.
+                    bounds = np.cumsum(lengths, dtype=np.int64)
+                    bounds -= lengths
+                    take = _ranges_to_indices_compact(
+                        starts, lengths, take_dtype
+                    )
+                    cand_query = np.repeat(
+                        np.arange(b1 - b0, dtype=np.int32),
+                        np.diff(seg_offsets[b0 : b1 + 1]),
+                    )
+                    if self._pair64 is not None:
+                        gathered_pairs = self._pair64[take].view(
+                            np.int32
+                        ).reshape(-1, 2)
+                        cols_t = gathered_pairs[:, 0]
+                        data_t = gathered_pairs[:, 1].view(np.float32)
+                    else:  # pragma: no cover - > 2^31 stored elements
+                        cols_t = csr.indices[take]
+                        data_t = csr.data[take]
+                    if flat32:
+                        # Premultiply the plane-row base per *candidate*
+                        # (hundreds of thousands) instead of per element
+                        # (millions), then expand once.
+                        flat_idx = np.repeat(cand_query * n_cols32, lengths)
+                        np.add(flat_idx, cols_t, out=flat_idx)
+                        gathered = flat_plane[flat_idx]
+                    else:  # pragma: no cover - vocab * block over int32
+                        gathered = plane[np.repeat(cand_query, lengths), cols_t]
+                    prods = np.empty(total + 1, dtype=np.float64)
+                    # dtype=float64 selects the double-precision multiply
+                    # loop with buffered casts of both float32 operands —
+                    # bit-identical to multiplying explicit .astype(f64)
+                    # copies, minus the full-size temporary.
+                    np.multiply(
+                        data_t,
+                        gathered,
+                        dtype=np.float64,
+                        out=prods[:-1],
+                    )
+                    prods[-1] = 0.0
+                    sums = np.add.reduceat(prods, bounds)
+                    empty_rows = lengths == 0
+                    if empty_rows.any():
+                        sums[empty_rows] = 0.0
+                    out[s:e] = sums.astype(np.float32)
+            plane[q_rows, q_cols] = 0.0
+        return out

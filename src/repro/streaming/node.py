@@ -481,6 +481,10 @@ class StreamingPLSH:
         static and delta structures; the static side runs the batch kernel
         and each delta side the segmented dedup / blocked-dot pipeline,
         each with a single vectorized deletion-filter screen.
+        ``mode="pipelined"`` runs the static side through the
+        cache-blocked pipelined kernel (:mod:`repro.core.pipelined`,
+        bit-identical to vectorized and faster on memory-bound shards);
+        the delta structures are small and keep their segmented pipeline.
         ``mode="loop"`` is the per-query path, kept for ablation (always
         serial).
 
@@ -504,9 +508,10 @@ class StreamingPLSH:
                 self.query(*queries.row(r), radius=radius)
                 for r in range(queries.n_rows)
             ]
-        if mode != "vectorized":
+        if mode not in ("vectorized", "pipelined"):
             raise ValueError(
-                f"unknown mode {mode!r}; expected 'vectorized' or 'loop'"
+                f"unknown mode {mode!r}; expected 'vectorized', "
+                f"'pipelined' or 'loop'"
             )
         radius = self.params.radius if radius is None else radius
         n = queries.n_rows
@@ -519,11 +524,11 @@ class StreamingPLSH:
         u = self.hasher.hash_functions(queries)
         keys = self.hasher.table_keys_batch(u)
         if workers <= 1:
-            return self._query_batch_shard(queries, radius, keys)
+            return self._query_batch_shard(queries, radius, keys, mode=mode)
 
         bounds = shard_bounds(n, workers)
         tasks = [
-            (queries.slice_rows(int(b0), int(b1)), keys[b0:b1], radius)
+            (queries.slice_rows(int(b0), int(b1)), keys[b0:b1], radius, mode)
             for b0, b1 in zip(bounds[:-1], bounds[1:])
         ]
         ex = self._executor(workers, backend)
@@ -555,6 +560,7 @@ class StreamingPLSH:
         *,
         engine=None,
         times: StageTimes | None = None,
+        mode: str = "vectorized",
     ) -> list[QueryResult]:
         """Answer one contiguous sub-block given precomputed keys.
 
@@ -577,7 +583,7 @@ class StreamingPLSH:
                 exclude = self.deletions.mask(self.n_static)
                 static_res = engine.query_batch(
                     queries, radius=radius, exclude=exclude, keys=keys,
-                    mode="vectorized", workers=1,
+                    mode=mode, workers=1,
                 )
             else:
                 static_res = [empty] * n
@@ -684,7 +690,11 @@ class StreamingPLSH:
 
 
 def _node_shard_worker(
-    node: StreamingPLSH, queries: CSRMatrix, keys: np.ndarray, radius: float
+    node: StreamingPLSH,
+    queries: CSRMatrix,
+    keys: np.ndarray,
+    radius: float,
+    mode: str = "vectorized",
 ):
     """Executor task: answer one shard against all node structures.
 
@@ -698,7 +708,7 @@ def _node_shard_worker(
     eng = engine._clone() if (node.n_static and engine is not None) else None
     times = StageTimes()
     results = node._query_batch_shard(
-        queries, radius, keys, engine=eng, times=times
+        queries, radius, keys, engine=eng, times=times, mode=mode
     )
     if eng is not None:
         s = eng.stats

@@ -1,0 +1,351 @@
+"""Shared-memory transport: negotiation, fallback, cleanup, zero-copy.
+
+The zero-copy contract (PR 7): on a same-host connection the hot-path
+arrays — query CSR buffers, result ids/distances — travel through
+``plsh-ring-*`` shared-memory segments while TCP carries only control
+frames.  Guarantees under test:
+
+* the transport negotiates per connection and degrades to framed TCP
+  whenever shm is unavailable (``PLSH_SHM=0``), declined, or too big;
+* answers are **bit-identical** over shm, TCP, and mixed clusters;
+* segment hygiene — the client owns both rings, so no ``/dev/shm`` entry
+  survives ``close``/``shutdown``, even for a SIGKILLed node;
+* the hot path performs **zero pickle calls** and **zero copies of the
+  CSR data buffer** on receive (views straight into the ring);
+* compact wire dtypes round-trip exactly (int32 ids) or within
+  half-precision tolerance (float16 scores), and the calibrated
+  NetworkModel tracks measured bytes within 2x.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import protocol, spawn_local_cluster
+from repro.cluster.shm import (
+    SHM_NAME_PREFIX,
+    ShmRing,
+    leaked_segments,
+    shm_available,
+)
+from repro.cluster.transport import Connection, ShmConnection, TransportStats
+from repro.parallel import fork_available
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+N_NODES = 3
+CAPACITY = 700
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="spawn_local_cluster requires fork()"
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="no usable /dev/shm on this host"
+)
+
+
+def _fill(cluster, vectors, n: int) -> None:
+    cluster.insert(vectors.slice_rows(0, n))
+    cluster.merge_all()
+
+
+def _outcomes_equal(a_outcomes, b_outcomes, *, exact_scores: bool = True):
+    assert len(a_outcomes) == len(b_outcomes)
+    for a, b in zip(a_outcomes, b_outcomes):
+        np.testing.assert_array_equal(a.result.indices, b.result.indices)
+        if exact_scores:
+            np.testing.assert_array_equal(a.result.distances, b.result.distances)
+
+
+@pytest.fixture(scope="module")
+def queries(small_vectors):
+    return small_vectors.gather_rows(np.arange(0, 1500, 11, dtype=np.int64))
+
+
+@pytest.fixture(scope="module")
+def sim_outcomes(small_vectors, queries):
+    """In-process oracle answers for the same fill."""
+    with PLSHCluster(
+        N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+    ) as sim:
+        _fill(sim, small_vectors, 1500)
+        yield sim.query_batch(queries)
+
+
+class TestNegotiation:
+    @needs_shm
+    def test_shm_active_and_bit_identical(self, small_vectors, queries, sim_outcomes):
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        ) as rpc:
+            assert all(h.shm_active for h in rpc.nodes)
+            _fill(rpc, small_vectors, 1500)
+            _outcomes_equal(sim_outcomes, rpc.query_batch(queries))
+            totals = rpc.coordinator.transport_totals()
+            # Hot payloads rode the rings, not the socket.
+            assert totals["shm_bytes_sent"] > 0
+            assert totals["shm_bytes_received"] > 0
+            assert totals["total_bytes"] == (
+                totals["bytes_sent"] + totals["bytes_received"]
+                + totals["shm_bytes_sent"] + totals["shm_bytes_received"]
+            )
+
+    def test_env_knob_falls_back_to_tcp(
+        self, small_vectors, queries, sim_outcomes, monkeypatch
+    ):
+        """PLSH_SHM=0 (or any shm unavailability) must degrade to the
+        framed-TCP path with identical answers."""
+        monkeypatch.setenv("PLSH_SHM", "0")
+        assert not shm_available()
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        ) as rpc:
+            assert not any(h.shm_active for h in rpc.nodes)
+            _fill(rpc, small_vectors, 1500)
+            _outcomes_equal(sim_outcomes, rpc.query_batch(queries))
+            totals = rpc.coordinator.transport_totals()
+            assert totals["shm_bytes_sent"] == 0
+            assert totals["shm_bytes_received"] == 0
+
+    @needs_shm
+    def test_mixed_shm_and_tcp_nodes(self, small_vectors, queries, sim_outcomes):
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2,
+            shm={0: True, 1: False, 2: True},
+        ) as rpc:
+            assert [h.shm_active for h in rpc.nodes] == [True, False, True]
+            _fill(rpc, small_vectors, 1500)
+            _outcomes_equal(sim_outcomes, rpc.query_batch(queries))
+
+    @needs_shm
+    def test_oversized_payload_falls_back_inline(
+        self, small_vectors, queries, sim_outcomes
+    ):
+        """A payload bigger than the ring degrades per-message to inline
+        TCP arrays — nothing breaks, nothing is truncated."""
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2,
+            shm_size=4096,  # smaller than any insert block
+        ) as rpc:
+            assert all(h.shm_active for h in rpc.nodes)
+            _fill(rpc, small_vectors, 1500)
+            _outcomes_equal(sim_outcomes, rpc.query_batch(queries))
+
+
+class TestCleanup:
+    @needs_shm
+    def test_no_leaked_segments_after_close(self, small_vectors):
+        before = leaked_segments()
+        rpc = spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        )
+        try:
+            assert len(leaked_segments()) >= len(before) + 2 * N_NODES
+            rpc.insert(small_vectors.slice_rows(0, 200))
+        finally:
+            rpc.close()
+        assert leaked_segments() == before
+
+    @needs_shm
+    def test_no_leaked_segments_after_kill_node(self, small_vectors):
+        """A SIGKILLed server can never unlink anything — cleanup is
+        wholly client-side, so the rings still disappear on close."""
+        before = leaked_segments()
+        rpc = spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        )
+        try:
+            rpc.insert(small_vectors.slice_rows(0, 200))
+            rpc.kill_node(1)
+        finally:
+            rpc.close()
+        assert leaked_segments() == before
+
+
+class TestScoreDtype:
+    @needs_shm
+    def test_float16_scores_within_radius_tolerance(
+        self, small_vectors, queries, sim_outcomes
+    ):
+        """float16 halves the score column; ids stay exact and every
+        distance lands within half-precision rounding of the oracle."""
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2,
+            score_dtype="float16",
+        ) as rpc:
+            _fill(rpc, small_vectors, 1500)
+            got = rpc.query_batch(queries)
+            _outcomes_equal(sim_outcomes, got, exact_scores=False)
+            for sim, rpc_out in zip(sim_outcomes, got):
+                a = sim.result.distances
+                b = rpc_out.result.distances
+                assert b.dtype == np.float32
+                np.testing.assert_array_equal(a.astype(np.float16), b.astype(np.float16))
+                # Half-precision relative error stays far inside the
+                # radius filter's resolution (eps_f16 ~ 1e-3 << 0.9).
+                np.testing.assert_allclose(b, a, rtol=2e-3, atol=2e-3)
+
+    def test_unknown_score_dtype_rejected(self):
+        from repro.cluster.client import RemoteNodeHandle
+
+        with pytest.raises(ValueError):
+            RemoteNodeHandle(0, "127.0.0.1", 1, 10, score_dtype="float8")
+
+
+class TestCompactDtypes:
+    def test_compact_ids_round_trip_exact(self):
+        for arr in (
+            np.array([], dtype=np.int64),
+            np.arange(5, dtype=np.int64),
+            np.array([0, 2**31 - 1], dtype=np.int64),
+            np.array([-(2**31), 7], dtype=np.int64),
+        ):
+            wire = protocol.compact_ids(arr)
+            assert wire.dtype == np.int32 or arr.size == 0
+            np.testing.assert_array_equal(protocol.widen_ids(wire), arr)
+
+    def test_compact_ids_keeps_wide_values(self):
+        arr = np.array([0, 2**31], dtype=np.int64)
+        assert protocol.compact_ids(arr) is arr
+        arr = np.array([-(2**31) - 1], dtype=np.int64)
+        assert protocol.compact_ids(arr) is arr
+
+    def test_float16_on_the_wire(self):
+        dists = np.array([0.125, 0.5, 1.0], dtype=np.float16)
+        body = protocol.encode_message(protocol.STATUS_OK, {}, [dists])
+        _, _, (back,) = protocol.decode_message(body)
+        assert back.dtype == np.float16
+        np.testing.assert_array_equal(back, dists)
+
+    def test_compact_csr_round_trip(self, small_vectors):
+        block = small_vectors.slice_rows(0, 50)
+        arrays = protocol.csr_to_arrays(block, compact=True)
+        assert arrays[0].dtype == np.int32  # indptr narrowed
+        body = protocol.encode_message(protocol.OP_QUERY_BATCH, {}, arrays)
+        _, _, (indptr, indices, data) = protocol.decode_message(body)
+        rebuilt = protocol.arrays_to_csr(indptr, indices, data, block.n_cols)
+        assert rebuilt.indptr.dtype == np.int64  # widened on receipt
+        np.testing.assert_array_equal(rebuilt.to_dense(), block.to_dense())
+
+
+@needs_shm
+class TestZeroCopyGuard:
+    """The shm hot path: zero pickle calls, zero CSR-data-buffer copies."""
+
+    def _ring_pair(self):
+        req = ShmRing.create(1 << 20)
+        resp = ShmRing.create(1 << 20)
+        a, b = socket.socketpair()
+        client = ShmConnection(Connection(a), out_ring=req, in_ring=resp)
+        server = ShmConnection(Connection(b), out_ring=resp, in_ring=req)
+        return req, resp, client, server
+
+    def test_query_batch_hot_path(self, small_vectors, monkeypatch):
+        req, resp, client, server = self._ring_pair()
+
+        def boom(*a, **k):  # any pickling on the hot path is a regression
+            raise AssertionError("pickle used on the shm hot path")
+
+        try:
+            queries = small_vectors.slice_rows(0, 64)
+            monkeypatch.setattr(pickle, "dumps", boom)
+            monkeypatch.setattr(pickle, "dump", boom)
+            monkeypatch.setattr(pickle, "Pickler", boom)
+            sent = client.send_message(
+                protocol.OP_QUERY_BATCH,
+                {"n_cols": queries.n_cols},
+                protocol.csr_to_arrays(queries, compact=True),
+            )
+            code, meta, arrays = server.recv_message(copy=False)
+            assert code == protocol.OP_QUERY_BATCH
+            assert "_shm_arrays" not in meta  # descriptors are consumed
+            indptr, indices, data = arrays
+            # Zero-copy receive: the buffers ARE ring memory, not copies.
+            whole_ring = req.read_arrays(
+                [[protocol._DTYPE_CODES[np.dtype(np.uint8)], [req.size], 0]],
+                copy=False,
+            )[0]
+            assert np.shares_memory(data, whole_ring)
+            assert np.shares_memory(indices, whole_ring)
+            # Rebuilding the CSR keeps the data buffer itself (same-dtype
+            # contiguous arrays pass through np.ascontiguousarray).
+            rebuilt = protocol.arrays_to_csr(
+                indptr, indices, data, queries.n_cols
+            )
+            assert rebuilt.data is data
+            assert rebuilt.indices is indices
+            np.testing.assert_array_equal(
+                rebuilt.to_dense(), queries.to_dense()
+            )
+            # Stats: payload on the ring, only the control frame on TCP.
+            payload = sum(a.nbytes for a in protocol.csr_to_arrays(queries, compact=True))
+            assert client.stats.shm_bytes_sent == payload
+            assert server.stats.shm_bytes_received == payload
+            assert client.stats.bytes_sent == sent - payload
+            assert client.stats.bytes_sent < 300
+        finally:
+            client.close()
+            server.close()
+            for ring in (req, resp):
+                ring.close(unlink=True)
+
+    def test_ring_names_are_auditable(self):
+        ring = ShmRing.create(4096)
+        try:
+            assert ring.name.startswith(SHM_NAME_PREFIX)
+            assert ring.name in leaked_segments()
+        finally:
+            ring.close(unlink=True)
+        assert ring.name not in leaked_segments()
+
+
+class TestModelCalibration:
+    @needs_shm
+    def test_modeled_bytes_within_2x_of_measured(self, small_vectors, queries):
+        """The calibrated NetworkModel charges (framing + compact dtypes)
+        must land within 2x of real measured bytes for a batch-isolated
+        broadcast — the fig9 modeled-vs-measured comparison contract."""
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        ) as rpc:
+            _fill(rpc, small_vectors, 1500)
+            rpc.coordinator.reset_transport_stats()
+            rpc.network.stats.reset()
+            rpc.query_batch(queries)
+            measured = rpc.coordinator.transport_totals()["total_bytes"]
+            modeled = rpc.network.stats.bytes_sent
+            assert measured > 0 and modeled > 0
+            ratio = measured / modeled
+            assert 0.5 <= ratio <= 2.0, (
+                f"modeled {modeled} vs measured {measured} bytes "
+                f"(ratio {ratio:.2f})"
+            )
+
+    def test_reset_transport_stats(self, small_vectors, queries):
+        with spawn_local_cluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+        ) as rpc:
+            _fill(rpc, small_vectors, 1000)
+            assert rpc.coordinator.transport_totals()["total_bytes"] > 0
+            rpc.coordinator.reset_transport_stats()
+            totals = rpc.coordinator.transport_totals()
+            assert totals["n_messages"] == 0
+            assert totals["total_bytes"] == 0
+
+
+class TestTransportStats:
+    def test_add_folds_shm_fields(self):
+        a = TransportStats(n_sent=1, bytes_sent=10, shm_bytes_sent=100)
+        b = TransportStats(
+            n_received=2, bytes_received=20, shm_bytes_received=200
+        )
+        a.add(b)
+        assert a.n_sent == 1 and a.n_received == 2
+        assert a.shm_bytes_sent == 100 and a.shm_bytes_received == 200
+        a.reset()
+        assert a.shm_bytes_sent == a.shm_bytes_received == 0

@@ -1,0 +1,244 @@
+"""The pipelined batch kernel must be bit-identical to the vectorized one.
+
+``mode="pipelined"`` (PR 7) restructures Q2-Q3 as a cache-blocked pipeline
+— fused int32 dedup keys, unstable sort, division-free segment decode,
+compact gather indexes, interleaved (column, value) pair gathers — every
+one of which is exact, so the contract against the vectorized oracle is
+bitwise equality of indices AND distances, not approximation.  The
+property test sweeps random corpora/queries, exclude masks and
+precomputed keys; fixture tests cover stats parity, worker sharding, the
+streaming engine (delta + merges + deletions), the in-process cluster
+broadcast, and the int64 fallback paths that engage when the compact
+int32 tricks do not fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PLSHIndex, PLSHParams
+from repro.core import pipelined as pipelined_mod
+from repro.core.pipelined import PipelinedKernel
+from repro.core.query import QueryEngine
+from repro.sparse.csr import CSRMatrix
+from repro.streaming.node import StreamingPLSH
+
+
+def make_engine(built_index, **kw):
+    return QueryEngine(
+        built_index.tables,
+        built_index.data,
+        built_index.hasher,
+        built_index.params,
+        **kw,
+    )
+
+
+def _random_corpus(rng, n_rows: int, n_cols: int, density: float) -> CSRMatrix:
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.standard_normal(
+        (n_rows, n_cols)
+    )
+    for r in range(n_rows):
+        if not dense[r].any():
+            dense[r, int(rng.integers(n_cols))] = 1.0
+    return CSRMatrix.from_dense(dense.astype(np.float32)).normalized()
+
+
+def _assert_bit_identical(a_list, b_list):
+    assert len(a_list) == len(b_list)
+    for a, b in zip(a_list, b_list):
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestPipelinedEquivalenceProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_bit_identical_across_random_corpora(self, data):
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        n_rows = data.draw(st.integers(20, 120), label="n_rows")
+        n_cols = data.draw(st.integers(16, 64), label="n_cols")
+        radius = data.draw(st.sampled_from([0.3, 0.9, 1.5]), label="radius")
+        rng = np.random.default_rng(seed)
+        vectors = _random_corpus(rng, n_rows, n_cols, density=0.2)
+        params = PLSHParams(k=4, m=4, radius=radius, seed=seed)
+        index = PLSHIndex(n_cols, params).build(vectors)
+
+        n_q = data.draw(st.integers(1, 12), label="n_q")
+        queries = CSRMatrix.vstack(
+            [
+                vectors.gather_rows(rng.integers(0, n_rows, size=max(1, n_q // 2))),
+                _random_corpus(rng, n_q, n_cols, density=0.1),
+            ]
+        )
+
+        vec = index.query_batch(queries, mode="vectorized")
+        pipe = index.query_batch(queries, mode="pipelined")
+        _assert_bit_identical(vec, pipe)
+
+        exclude = rng.random(n_rows) < 0.3
+        _assert_bit_identical(
+            index.query_batch(queries, mode="vectorized", exclude=exclude),
+            index.query_batch(queries, mode="pipelined", exclude=exclude),
+        )
+
+        keys = index.hasher.table_keys_batch(
+            index.hasher.hash_functions(queries)
+        )
+        _assert_bit_identical(
+            pipe, index.query_batch(queries, mode="pipelined", keys=keys)
+        )
+
+
+class TestPipelinedOnFixture:
+    def test_bit_identical_to_vectorized(self, built_index, small_queries):
+        _, queries = small_queries
+        _assert_bit_identical(
+            built_index.query_batch(queries, mode="vectorized"),
+            built_index.query_batch(queries, mode="pipelined"),
+        )
+
+    def test_empty_batch(self, built_index):
+        queries = CSRMatrix.empty(built_index.dim)
+        assert built_index.query_batch(queries, mode="pipelined") == []
+
+    def test_stats_match_vectorized(self, built_index, small_queries):
+        """Same Q1-Q4 counters: the pipeline restructures the work, not
+        the accounting."""
+        _, queries = small_queries
+        vec_eng = make_engine(built_index)
+        pipe_eng = make_engine(built_index)
+        vec_eng.query_batch(queries, mode="vectorized")
+        pipe_eng.query_batch(queries, mode="pipelined")
+        assert pipe_eng.stats.n_queries == vec_eng.stats.n_queries
+        assert pipe_eng.stats.n_collisions == vec_eng.stats.n_collisions
+        assert pipe_eng.stats.n_unique == vec_eng.stats.n_unique
+        assert pipe_eng.stats.n_matches == vec_eng.stats.n_matches
+        for name in ("q1_hash", "q2_dedup", "q3_distance", "q4_filter"):
+            assert name in pipe_eng.stats.stage_times
+
+    def test_workers_sharded_bit_identical(self, built_index, small_queries):
+        _, queries = small_queries
+        engine = make_engine(built_index)
+        try:
+            _assert_bit_identical(
+                engine.query_batch(queries, mode="pipelined", workers=1),
+                engine.query_batch(queries, mode="pipelined", workers=2),
+            )
+        finally:
+            engine.close()
+
+    def test_radius_override(self, built_index, small_queries):
+        _, queries = small_queries
+        _assert_bit_identical(
+            built_index.query_batch(queries, mode="vectorized", radius=0.5),
+            built_index.query_batch(queries, mode="pipelined", radius=0.5),
+        )
+
+    def test_int64_fallback_paths_bit_identical(
+        self, built_index, small_queries, monkeypatch
+    ):
+        """Force every compact-int32 trick to fall back (as if the corpus
+        exceeded 2^31 elements) — outputs must not move a bit."""
+        _, queries = small_queries
+        reference = built_index.query_batch(queries, mode="pipelined")
+        monkeypatch.setattr(pipelined_mod, "_INT32_MAX", 0)
+        engine = make_engine(built_index)
+        _assert_bit_identical(
+            reference, engine.query_batch(queries, mode="pipelined")
+        )
+        kernel = engine._pipelined
+        assert not kernel._csr_compact and kernel._pair64 is None
+        assert not kernel._entries_compact
+
+    def test_numba_knob_disables_cleanly(self, built_index, small_queries, monkeypatch):
+        """PLSH_PIPELINED_NUMBA=0 pins the pure-numpy stages regardless of
+        whether numba is importable (it is not in CI images)."""
+        monkeypatch.setenv("PLSH_PIPELINED_NUMBA", "0")
+        assert not pipelined_mod._use_numba()
+        _, queries = small_queries
+        _assert_bit_identical(
+            built_index.query_batch(queries, mode="vectorized"),
+            built_index.query_batch(queries, mode="pipelined"),
+        )
+
+
+class TestPipelinedKernelDirect:
+    def test_block_candidates_matches_tables(self, built_index, small_queries):
+        """The kernel's Q2 equals collisions_batch + unique_segments."""
+        from repro.core.candidates import unique_segments
+
+        _, queries = small_queries
+        keys = built_index.hasher.table_keys_batch(
+            built_index.hasher.hash_functions(queries)
+        )
+        kernel = PipelinedKernel(built_index.tables, built_index.data)
+        cand, offsets, n_coll = kernel.block_candidates(keys)
+        values, seg = built_index.tables.collisions_batch(keys)
+        ref_cand, ref_offsets = unique_segments(
+            values, seg, built_index.tables.n_items
+        )
+        np.testing.assert_array_equal(cand, np.asarray(ref_cand, dtype=np.int64))
+        np.testing.assert_array_equal(offsets, ref_offsets)
+        assert n_coll == values.size
+
+    def test_block_dots_matches_row_dots(self, built_index, small_queries):
+        from repro.core.candidates import unique_segments
+        from repro.sparse.ops import row_dots_dense_batch
+
+        _, queries = small_queries
+        keys = built_index.hasher.table_keys_batch(
+            built_index.hasher.hash_functions(queries)
+        )
+        kernel = PipelinedKernel(built_index.tables, built_index.data)
+        cand, offsets, _ = kernel.block_candidates(keys)
+        got = kernel.block_dots(cand, offsets, queries)
+        want = row_dots_dense_batch(built_index.data, cand, offsets, queries)
+        assert got.dtype == want.dtype == np.float32
+        np.testing.assert_array_equal(got, want)
+
+
+class TestPipelinedStreaming:
+    def test_streaming_node_with_deltas_and_deletes(self, small_vectors):
+        """The pipelined mode must answer over the full static+delta state
+        (merged table set, unmerged delta, tombstones) identically."""
+        params = PLSHParams(k=8, m=8, radius=0.9, delta=0.2, seed=99)
+        node = StreamingPLSH(small_vectors.n_cols, params, capacity=3000)
+        node.insert_batch(small_vectors.slice_rows(0, 1200))
+        node.merge_now()
+        node.insert_batch(small_vectors.slice_rows(1200, 1500))
+        node.delete(np.arange(40, 60))
+        queries = small_vectors.gather_rows(
+            np.arange(0, 1500, 7, dtype=np.int64)
+        )
+        _assert_bit_identical(
+            node.query_batch(queries, mode="vectorized"),
+            node.query_batch(queries, mode="pipelined"),
+        )
+        _assert_bit_identical(
+            node.query_batch(queries, mode="vectorized"),
+            node.query_batch(queries, mode="pipelined", workers=2),
+        )
+
+    def test_cluster_broadcast_parity(self, small_vectors):
+        from repro import PLSHCluster
+
+        params = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+        with PLSHCluster(
+            3, 800, small_vectors.n_cols, params, insert_window=3
+        ) as cluster:
+            cluster.insert(small_vectors.slice_rows(0, 1800))
+            cluster.merge_all()
+            queries = small_vectors.gather_rows(
+                np.arange(0, 1800, 37, dtype=np.int64)
+            )
+            vec = cluster.query_batch(queries, mode="vectorized")
+            pipe = cluster.query_batch(queries, mode="pipelined")
+            for a, b in zip(vec, pipe):
+                np.testing.assert_array_equal(a.result.indices, b.result.indices)
+                np.testing.assert_array_equal(
+                    a.result.distances, b.result.distances
+                )
