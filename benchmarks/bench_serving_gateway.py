@@ -1,0 +1,137 @@
+"""Serving gateway — request coalescing vs the uncoalesced baseline.
+
+The PLSH coordinator exists to serve "queries arriving from different
+clients" (paper §4), and the batch kernel is 3x+ faster per query than
+the single-query path at paper-sized batches.  This bench measures
+whether the gateway's micro-batching actually converts independent
+closed-loop clients into that batch advantage:
+
+* **coalesced** — the production config: flush at the 2 ms latency
+  budget or a full batch, whichever first;
+* **uncoalesced baseline** — the *same* gateway with ``max_batch=1``
+  (every query is its own broadcast), same dispatch width, same
+  clients — isolating coalescing as the only variable.
+
+Reported per mode: completed-query throughput, client-observed p50/p99,
+and the gateway's mean batch size (the coalescing evidence).  The run
+asserts a conservative speedup floor — at CI smoke scale the kernels are
+small and the win is modest; at paper scale it tracks the batch-kernel
+advantage.
+
+Scale knobs: ``PLSH_BENCH_GATEWAY_CLIENTS`` (default 64),
+``PLSH_BENCH_GATEWAY_REQUESTS`` per client (default 15),
+``PLSH_BENCH_GATEWAY_CORPUS`` rows indexed (default 20000, capped by the
+workload), ``PLSH_BENCH_GATEWAY_MIN_SPEEDUP`` (default 1.2).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.artifacts import record_artifact
+from repro.bench.reporting import format_table, print_section
+from repro.cluster.cluster import PLSHCluster
+from repro.serve import Gateway, run_closed_loop
+
+N_NODES = 2
+
+
+def _measure(cluster, dim, queries, *, max_batch, max_delay, n_clients,
+             requests_per_client):
+    with Gateway(
+        cluster, dim,
+        max_batch=max_batch, max_delay=max_delay,
+        max_concurrent_batches=2,
+        max_pending=max(1024, 4 * n_clients),
+    ) as gw:
+        return run_closed_loop(
+            gw.host, gw.port, queries,
+            n_clients=n_clients, requests_per_client=requests_per_client,
+        )
+
+
+def test_gateway_coalescing_speedup(twitter, scale):
+    n_clients = int(os.environ.get("PLSH_BENCH_GATEWAY_CLIENTS", "64"))
+    per_client = int(os.environ.get("PLSH_BENCH_GATEWAY_REQUESTS", "15"))
+    corpus_rows = min(
+        twitter.n, int(os.environ.get("PLSH_BENCH_GATEWAY_CORPUS", "20000"))
+    )
+    min_speedup = float(
+        os.environ.get("PLSH_BENCH_GATEWAY_MIN_SPEEDUP", "1.2")
+    )
+
+    dim = twitter.vectors.n_cols
+    capacity = -(-corpus_rows // N_NODES)  # fits: no window wrap/retirement
+    cluster = PLSHCluster(
+        N_NODES, capacity, dim, scale.params(), insert_window=N_NODES
+    )
+    try:
+        cluster.insert(twitter.vectors.slice_rows(0, corpus_rows))
+        cluster.merge_all()
+        queries = twitter.queries
+
+        # Warmup both paths once (first-touch numpy/socket costs).
+        _measure(cluster, dim, queries, max_batch=64, max_delay=0.002,
+                 n_clients=4, requests_per_client=2)
+
+        baseline = _measure(
+            cluster, dim, queries,
+            max_batch=1, max_delay=0.0,
+            n_clients=n_clients, requests_per_client=per_client,
+        )
+        coalesced = _measure(
+            cluster, dim, queries,
+            max_batch=256, max_delay=0.002,
+            n_clients=n_clients, requests_per_client=per_client,
+        )
+    finally:
+        cluster.close()
+
+    speedup = coalesced.qps / max(baseline.qps, 1e-9)
+    headers = [
+        "mode", "clients", "ok", "rejected", "qps", "p50 ms", "p99 ms",
+        "mean batch",
+    ]
+    rows = [
+        ["uncoalesced"] + baseline.row(),
+        ["coalesced"] + coalesced.row(),
+    ]
+    print_section(
+        f"serving gateway: coalesced vs uncoalesced "
+        f"({corpus_rows} rows, speedup {speedup:.2f}x)",
+        format_table(headers, rows),
+    )
+    record_artifact(
+        "serving_gateway",
+        "coalescing",
+        {
+            "corpus_rows": corpus_rows,
+            "n_clients": n_clients,
+            "requests_per_client": per_client,
+            "baseline": {
+                "qps": baseline.qps,
+                "p50_ms": baseline.p50_ms,
+                "p99_ms": baseline.p99_ms,
+                "mean_batch_size": baseline.mean_batch_size,
+            },
+            "coalesced": {
+                "qps": coalesced.qps,
+                "p50_ms": coalesced.p50_ms,
+                "p99_ms": coalesced.p99_ms,
+                "mean_batch_size": coalesced.mean_batch_size,
+            },
+            "speedup": speedup,
+        },
+    )
+
+    total = n_clients * per_client
+    assert baseline.n_ok == total and coalesced.n_ok == total
+    assert baseline.n_errors == 0 and coalesced.n_errors == 0
+    # Coalescing engaged: real multi-query batches, while the baseline
+    # stayed strictly singleton.
+    assert coalesced.mean_batch_size > 2.0
+    assert baseline.mean_batch_size == 1.0
+    assert speedup >= min_speedup, (
+        f"coalescing speedup {speedup:.2f}x below floor {min_speedup}x "
+        f"(baseline {baseline.qps:.0f} qps, coalesced {coalesced.qps:.0f} qps)"
+    )

@@ -1,26 +1,33 @@
 #!/usr/bin/env python
-"""First-story detection over a tweet stream using PLSH.
+"""First-story detection as a *serving* workload: clients + gateway + cluster.
 
 The application that motivated streaming LSH over Twitter (Petrovic et al.,
 cited as [28] in the paper): as each tweet arrives, find its nearest
 neighbor among everything seen so far; a tweet with *no* close neighbor is
-a "first story" — the start of a new topic.  The paper positions PLSH as a
-general, scalable engine for exactly this workload.
+a "first story" — the start of a new topic.
 
-Here we synthesize a stream in which a handful of "events" each spawn a
-burst of near-duplicate tweets, interleaved with background chatter, and
-use a streaming PLSH node to flag first stories: the first tweet of each
-burst should be flagged, its follow-ups should not.
+Earlier revisions of this example drove a single in-process
+``StreamingPLSH`` node.  This one runs the full serving stack the paper
+describes — a multi-node cluster behind the async gateway
+(:mod:`repro.serve`) — and plays the *client*: each arrival window's
+novelty queries are issued concurrently over many gateway connections,
+exactly the traffic shape the gateway coalesces into batch-kernel blocks.
+Detection results are identical to the sequential version, because every
+query in a window runs against the same indexed prefix; the not-yet-
+inserted tail is handled client-side (see below).
 
 Run:  python examples/first_story_detection.py
 """
 
 from __future__ import annotations
 
+import asyncio
+
 import numpy as np
 
 from repro import IDFVectorizer, PLSHParams
-from repro.streaming.node import StreamingPLSH
+from repro.cluster.cluster import PLSHCluster
+from repro.serve import AsyncGatewayClient, Gateway
 from repro.text.corpus import CorpusSpec, SyntheticCorpus
 from repro.utils.rng import rng_for
 
@@ -30,6 +37,9 @@ N_EVENTS = 8
 BURST = 40
 NOVELTY_RADIUS = 0.85  # no neighbor within this angle -> first story
 SEED = 23
+N_NODES = 2
+BATCH = 500  # arrival window: queried concurrently, then inserted
+N_CONNECTIONS = 16  # concurrent gateway connections the "clients" use
 
 
 def build_stream():
@@ -67,27 +77,67 @@ def build_stream():
     return docs, set(first_story_positions)
 
 
+def query_window(host: str, port: int, items) -> dict[int, int]:
+    """Issue one window's queries concurrently over N gateway connections.
+
+    ``items`` is ``[(position, cols, vals), ...]``; returns position →
+    match count.  Each connection runs its share closed-loop; the window's
+    concurrency is what the gateway coalesces into batches.
+    """
+
+    async def worker(client, share, out):
+        for pos, cols, vals in share:
+            answer = await client.query(cols, vals)
+            out[pos] = len(answer)
+
+    async def main():
+        n_conns = min(N_CONNECTIONS, max(len(items), 1))
+        clients = [
+            await AsyncGatewayClient().connect(host, port)
+            for _ in range(n_conns)
+        ]
+        out: dict[int, int] = {}
+        try:
+            await asyncio.gather(
+                *[
+                    worker(clients[c], items[c::n_conns], out)
+                    for c in range(n_conns)
+                ]
+            )
+        finally:
+            for client in clients:
+                await client.close()
+        return out
+
+    return asyncio.run(main())
+
+
 def main() -> None:
     docs, truth = build_stream()
     vectorizer = IDFVectorizer(VOCAB).fit(docs)
     vectors = vectorizer.transform(docs)
     params = PLSHParams(k=16, m=24, radius=NOVELTY_RADIUS, seed=SEED)
-    node = StreamingPLSH(
-        VOCAB, params, capacity=len(docs), delta_fraction=0.05
+    cluster = PLSHCluster(
+        N_NODES, -(-len(docs) // N_NODES), VOCAB, params,
+        insert_window=N_NODES, delta_fraction=0.05,
     )
-
+    gateway = Gateway(cluster, VOCAB).start()
     print(
+        f"cluster: {N_NODES} nodes; gateway on "
+        f"{gateway.host}:{gateway.port}\n"
         f"streaming {len(docs):,} tweets ({N_EVENTS} planted events, "
         f"burst={BURST}) ...\n"
     )
+
     # Inserts are batched (the paper buffers ~100k tweets per insert, and
     # notes the resulting ~86 s visibility lag).  A first-story detector
     # cannot tolerate that lag — a burst fits inside one batch — so, as in
-    # practice, novelty is checked against PLSH *plus* a linear scan of the
-    # small not-yet-inserted tail.
+    # practice, novelty is checked against PLSH *plus* a client-side
+    # linear scan of the small not-yet-inserted tail.  The tail scan is
+    # sequential in arrival order; the PLSH queries of a window all see
+    # the same indexed prefix, which is what makes issuing them
+    # concurrently through the gateway result-identical to one at a time.
     flagged: list[int] = []
-    batch_start = 0
-    BATCH = 500
     pending: list[dict[int, float]] = []
 
     def near_pending(cols: np.ndarray, vals: np.ndarray) -> bool:
@@ -99,17 +149,27 @@ def main() -> None:
                 return True
         return False
 
-    for pos in range(len(docs)):
-        cols, vals = vectors.row(pos)
-        if cols.size:
-            res = node.query(cols.astype(np.int64), vals)
-            if len(res) == 0 and not near_pending(cols, vals):
-                flagged.append(pos)
-            pending.append(dict(zip(cols.tolist(), vals.tolist())))
-        if pos - batch_start + 1 >= BATCH or pos == len(docs) - 1:
-            node.insert_batch(vectors.slice_rows(batch_start, pos + 1))
-            batch_start = pos + 1
+    try:
+        for batch_start in range(0, len(docs), BATCH):
+            batch_end = min(batch_start + BATCH, len(docs))
+            items = []
+            for pos in range(batch_start, batch_end):
+                cols, vals = vectors.row(pos)
+                if cols.size:
+                    items.append((pos, cols, vals))
+            # Concurrent novelty queries against the indexed prefix...
+            matches = query_window(gateway.host, gateway.port, items)
+            # ... then the sequential pass over the window's own tail.
+            for pos, cols, vals in items:
+                if matches[pos] == 0 and not near_pending(cols, vals):
+                    flagged.append(pos)
+                pending.append(dict(zip(cols.tolist(), vals.tolist())))
+            cluster.insert(vectors.slice_rows(batch_start, batch_end))
             pending.clear()
+        stats = gateway.stats()
+    finally:
+        gateway.close()
+        cluster.close()
 
     hits = [p for p in flagged if p in truth]
     print(f"flagged {len(flagged)} first-story candidates")
@@ -124,6 +184,13 @@ def main() -> None:
         if any(f < p < f + BURST for f in truth) and p not in truth
     ]
     print(f"burst follow-ups wrongly flagged as novel: {len(followers)}")
+    batcher = stats["batcher"]
+    print(
+        f"gateway: {stats['answered']:,} queries answered in "
+        f"{batcher['n_batches']:,} coalesced batches "
+        f"(mean batch {batcher['mean_batch_size']:.1f}, "
+        f"max {batcher['batch_size_max']})"
+    )
 
     assert len(hits) == len(truth), "every planted first story must be flagged"
     # LSH is probabilistic: early burst followers have only 1-2 prior
@@ -134,6 +201,7 @@ def main() -> None:
         f"{len(followers)}/{total_followers} followers flagged; expected "
         "only the LSH-miss tail"
     )
+    assert batcher["mean_batch_size"] > 1.0, "coalescing never engaged"
     print("\nfirst-story detection behaved as expected.")
 
 

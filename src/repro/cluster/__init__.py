@@ -22,7 +22,7 @@ Either way, the :class:`Coordinator` broadcasts queries **concurrently**
 (every node's request in flight at once on a :mod:`repro.parallel`
 thread pool) and concatenates partial answers.
 
-**Fault tolerance** (PR 6) makes the real deployment survivable, in four
+**Fault tolerance** (PR 5) makes the real deployment survivable, in four
 cooperating layers:
 
 * *Replication* — ``replication=R`` partitions the nodes into

@@ -11,7 +11,7 @@ window needs those without a round trip per check — and the mirror is
 *kept* after a failure, because a dead shard's last-known size is what
 tells the coordinator the shard is missing rather than empty.
 
-Every request is **hardened** (PR 6):
+Every request is **hardened** (PR 5):
 
 * a per-request deadline (``op_timeout``; merge ops use the longer
   ``merge_timeout``) — a hung server surfaces as :class:`TimeoutError`
@@ -90,7 +90,13 @@ class RemoteNodeError(RuntimeError):
 
 
 class RemoteNodeHandle:
-    """The node handle protocol spoken over one TCP connection."""
+    """The node handle protocol spoken over one TCP connection.
+
+    Thread-safe: a per-handle request lock serializes the wire, so any
+    number of broadcast threads may share one handle and a connection can
+    never carry two interleaved frames (see ``_lock`` below;
+    regression-tested by ``tests/cluster/test_coordinator_concurrency.py``).
+    """
 
     def __init__(
         self,
@@ -147,8 +153,14 @@ class RemoteNodeHandle:
         #: server-side compute seconds of the last query_batch (excludes
         #: the wire), for measured communication-share accounting.
         self.last_compute_seconds: float | None = None
-        # One request in flight per connection: broadcast threads and the
-        # heartbeat serialize here.
+        # The per-handle request lock: AT MOST ONE frame in flight per
+        # connection, ever.  Concurrent broadcasts (the serving gateway
+        # dispatches overlapping micro-batches through one coordinator),
+        # the heartbeat and reset_transport_stats all serialize here —
+        # without it two broadcast threads would interleave request
+        # frames on one socket and pair responses with the wrong caller
+        # (or tear a frame mid-write).  Held across send+recv+retries so
+        # request/response pairing is by construction, not by luck.
         self._lock = threading.Lock()
         #: wire totals folded in from connections already torn down.
         self._stats_base = TransportStats()

@@ -22,7 +22,7 @@ policy, retirement, deletes and broadcast logic are byte-for-byte the
 same code either way, so a multi-process cluster fed the same op
 sequence answers bit-identically to the simulation.
 
-``replication=R`` (PR 6) places every logical shard on R nodes: the
+``replication=R`` (PR 5) places every logical shard on R nodes: the
 node list is partitioned into :class:`~repro.cluster.replication.ReplicaGroup`
 objects of R consecutive handles, and the window/insert/broadcast
 machinery runs over **shards** — a replica group speaks the same node

@@ -34,7 +34,18 @@ connection, a server-side exception) surfaces as a per-node entry in
 ``BroadcastOutcome.node_errors`` — the broadcast itself completes with
 the answers of the surviving nodes.
 
-With PR 6 the coordinator is fault-aware: it only fans out to
+The coordinator is safe to drive from **multiple threads at once** (the
+serving gateway of :mod:`repro.serve` dispatches overlapping
+micro-batches): the broadcast thread pool is acquired under a lock — a
+sibling broadcast finding the cached pool busy runs on a private
+short-lived pool instead of swap-closing the shared one mid-flight — the
+:class:`NetworkModel` counters are internally locked, per-node request
+framing is serialized by each handle's own request lock, and in-process
+nodes serialize their engine access per node (concurrency across nodes
+is preserved either way).  ``tests/cluster/test_coordinator_concurrency.py``
+hammers both deployments for bit-identity with serial execution.
+
+With PR 5 the coordinator is fault-aware: it only fans out to
 **broadcast-ready** handles (circuit breaker CLOSED — see
 :mod:`repro.cluster.health`), drives :class:`ReplicaGroup` shards exactly
 like plain nodes (failover happens *inside* the group, invisibly), and
@@ -48,6 +59,7 @@ handle's state machine for monitoring.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -169,14 +181,25 @@ class Coordinator:
         #: concurrency win is measurable; bench_fig9 compares the two).
         self.concurrent = concurrent
         self._pool: ThreadExecutor | None = None
+        #: guards the cached broadcast pool: ``_pool_busy`` marks a
+        #: broadcast currently running on it, so a concurrent broadcast
+        #: never swap-closes a pool with sibling tasks in flight (it runs
+        #: on a private pool instead) and ``close`` waits the owner out.
+        self._pool_cond = threading.Condition()
+        self._pool_busy = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release the broadcast thread pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        """Release the broadcast thread pool (idempotent).  Waits for a
+        broadcast currently on the cached pool rather than shutting the
+        pool down under it."""
+        with self._pool_cond:
+            while self._pool_busy:
+                self._pool_cond.wait()
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
 
     def __enter__(self) -> "Coordinator":
         return self
@@ -211,16 +234,45 @@ class Coordinator:
                 missing.append(node.node_id)
         return live, missing
 
+    def _acquire_pool(self, n_tasks: int) -> tuple[ThreadExecutor, bool]:
+        """Claim the cached broadcast pool, or build a private one.
+
+        Returns ``(pool, temporary)``.  The cached pool is handed out to
+        at most one broadcast at a time; if it is too small it is
+        replaced *here*, under the lock, where no sibling broadcast can
+        hold tasks on it.  A broadcast arriving while the cached pool is
+        busy gets a temporary pool torn down by :meth:`_release_pool` —
+        correctness over reuse for the contended case.
+        """
+        with self._pool_cond:
+            if not self._pool_busy:
+                pool = self._pool
+                if pool is not None and (pool.closed or pool.workers < n_tasks):
+                    pool.close()
+                    pool = self._pool = None
+                if pool is None:
+                    pool = self._pool = ThreadExecutor(None, n_tasks)
+                self._pool_busy = True
+                return pool, False
+        return ThreadExecutor(None, n_tasks), True
+
+    def _release_pool(self, pool: ThreadExecutor, temporary: bool) -> None:
+        if temporary:
+            pool.close()
+            return
+        with self._pool_cond:
+            self._pool_busy = False
+            self._pool_cond.notify_all()
+
     def _fan_out(self, fn, tasks: list[tuple]) -> list:
         """Run one task per node, all in flight at once where possible."""
         if len(tasks) <= 1 or not self.concurrent:
             return [fn(None, *task) for task in tasks]
-        pool = self._pool
-        if pool is None or pool.closed or pool.workers < len(tasks):
-            if pool is not None:
-                pool.close()
-            pool = self._pool = ThreadExecutor(None, len(tasks))
-        return pool.run(fn, tasks)
+        pool, temporary = self._acquire_pool(len(tasks))
+        try:
+            return pool.run(fn, tasks)
+        finally:
+            self._release_pool(pool, temporary)
 
     # -- monitoring --------------------------------------------------------
 

@@ -16,13 +16,18 @@ bytes on the wire, so ``Coordinator.transport_totals()`` vs.
 ``network.stats`` compares modeled against real traffic (EXPERIMENTS.md
 reports the comparison).
 
-Accounting is single-threaded by design: the coordinator charges the
-model before and after its concurrent fan-out, never from worker
-threads.
+Accounting is **thread-safe**: one model instance is shared by every
+broadcast through a coordinator, and the serving gateway
+(:mod:`repro.serve`) legitimately runs overlapping broadcasts from
+multiple dispatch threads.  :meth:`NetworkModel.send` updates its
+counters under an internal lock so concurrent broadcasts never lose
+charges (regression-tested by the coordinator concurrency hammer, which
+asserts the exact final message count).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["NetworkModel", "NetworkStats"]
@@ -49,15 +54,21 @@ class NetworkModel:
     latency_s: float = 2e-6
     bandwidth_bytes_per_s: float = 3e9
     stats: NetworkStats = field(default_factory=NetworkStats)
+    #: serializes counter updates — broadcasts from concurrent dispatch
+    #: threads (the serving gateway) share one model instance.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def send(self, n_bytes: int) -> float:
         """Charge one point-to-point message; returns its modeled seconds."""
         if n_bytes < 0:
             raise ValueError(f"message size must be non-negative, got {n_bytes}")
         cost = self.latency_s + n_bytes / self.bandwidth_bytes_per_s
-        self.stats.n_messages += 1
-        self.stats.bytes_sent += n_bytes
-        self.stats.seconds += cost
+        with self._lock:
+            self.stats.n_messages += 1
+            self.stats.bytes_sent += n_bytes
+            self.stats.seconds += cost
         return cost
 
     def broadcast(self, n_nodes: int, n_bytes: int) -> float:

@@ -17,6 +17,8 @@ above it.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.hashing import AllPairsHasher
@@ -33,6 +35,15 @@ class ClusterNode:
 
     All nodes share one :class:`AllPairsHasher` (same seed): the paper's
     broadcast querying requires every node to hash a query identically.
+
+    Operations are serialized by a per-node lock, mirroring the real
+    deployment where a :class:`~repro.cluster.server.NodeServer` process
+    handles requests sequentially.  The engine underneath shares mutable
+    scratch state across queries (the reusable dense-query buffer, the
+    dedup bitvector, stats counters), so two *concurrent broadcasts*
+    through one coordinator would otherwise tear each other's single-query
+    answers on in-process nodes.  The lock is per node: fan-out across
+    nodes stays fully concurrent.
     """
 
     def __init__(
@@ -56,6 +67,9 @@ class ClusterNode:
             hasher=hasher,
         )
         self._global_ids = np.empty(0, dtype=np.int64)
+        #: serializes ops on this node (see class docstring) — the same
+        #: one-request-at-a-time contract the NodeServer loop provides.
+        self._op_lock = threading.Lock()
 
     @classmethod
     def restore(
@@ -65,6 +79,7 @@ class ClusterNode:
         obj = cls.__new__(cls)
         obj.node_id = int(node_id)
         obj.plsh = plsh
+        obj._op_lock = threading.Lock()
         obj._global_ids = np.ascontiguousarray(global_ids, dtype=np.int64)
         if obj._global_ids.size != plsh.n_total:
             raise ValueError(
@@ -87,6 +102,10 @@ class ClusterNode:
     def stats(self) -> dict:
         """One monitoring row for the coordinator's cluster stats."""
         plsh = self.plsh
+        with self._op_lock:
+            return self._stats_row(plsh)
+
+    def _stats_row(self, plsh) -> dict:
         return {
             "node_id": self.node_id,
             "n_items": self.n_items,
@@ -118,38 +137,45 @@ class ClusterNode:
             raise ValueError(
                 f"{vectors.n_rows} rows but {global_ids.size} global ids"
             )
-        local = self.plsh.insert_batch(vectors)
-        # Local ids are dense and increasing (stable under merge), so the
-        # map is a simple append.
-        expected = np.arange(self._global_ids.size, self._global_ids.size + local.size)
-        if not np.array_equal(local, expected):
-            # RuntimeError, not AssertionError: this check guards the
-            # local->global translation of every future query result and
-            # must survive ``python -O``.
-            raise RuntimeError(
-                "local ids not contiguous — id map would corrupt "
-                f"(expected [{self._global_ids.size}, "
-                f"{self._global_ids.size + local.size}), got "
-                f"[{int(local[0]) if local.size else -1}, ...])"
+        with self._op_lock:
+            local = self.plsh.insert_batch(vectors)
+            # Local ids are dense and increasing (stable under merge), so
+            # the map is a simple append.
+            expected = np.arange(
+                self._global_ids.size, self._global_ids.size + local.size
             )
-        self._global_ids = np.concatenate(
-            [self._global_ids, np.asarray(global_ids, dtype=np.int64)]
-        )
+            if not np.array_equal(local, expected):
+                # RuntimeError, not AssertionError: this check guards the
+                # local->global translation of every future query result
+                # and must survive ``python -O``.
+                raise RuntimeError(
+                    "local ids not contiguous — id map would corrupt "
+                    f"(expected [{self._global_ids.size}, "
+                    f"{self._global_ids.size + local.size}), got "
+                    f"[{int(local[0]) if local.size else -1}, ...])"
+                )
+            self._global_ids = np.concatenate(
+                [self._global_ids, np.asarray(global_ids, dtype=np.int64)]
+            )
 
     def delete_global(self, global_ids: np.ndarray) -> int:
         """Tombstone rows by global id (ignores ids not on this node)."""
-        mask = np.isin(self._global_ids, np.asarray(global_ids, dtype=np.int64))
-        local = np.nonzero(mask)[0]
-        if local.size == 0:
-            return 0
-        return self.plsh.delete(local)
+        with self._op_lock:
+            mask = np.isin(
+                self._global_ids, np.asarray(global_ids, dtype=np.int64)
+            )
+            local = np.nonzero(mask)[0]
+            if local.size == 0:
+                return 0
+            return self.plsh.delete(local)
 
     def query(
         self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
     ) -> QueryResult:
         """Node-local query with results translated to global ids."""
-        res = self.plsh.query(q_cols, q_vals, radius=radius)
-        return QueryResult(self._global_ids[res.indices], res.distances)
+        with self._op_lock:
+            res = self.plsh.query(q_cols, q_vals, radius=radius)
+            return QueryResult(self._global_ids[res.indices], res.distances)
 
     def query_batch(
         self,
@@ -167,35 +193,40 @@ class ClusterNode:
         persistent worker pool (see :meth:`StreamingPLSH.query_batch`) —
         in a multi-node deployment every node owns its pool, the paper's
         per-node multithreaded query engine."""
-        results = self.plsh.query_batch(
-            queries, radius=radius, mode=mode, workers=workers,
-            backend=backend,
-        )
-        return [
-            QueryResult(self._global_ids[res.indices], res.distances)
-            for res in results
-        ]
+        with self._op_lock:
+            results = self.plsh.query_batch(
+                queries, radius=radius, mode=mode, workers=workers,
+                backend=backend,
+            )
+            return [
+                QueryResult(self._global_ids[res.indices], res.distances)
+                for res in results
+            ]
 
     def prepare_workers(
         self, workers: int | None = None, backend: str | None = None
     ) -> None:
         """Warm this node's batch pool before a concurrent broadcast (see
         :meth:`StreamingPLSH.prepare_workers`)."""
-        self.plsh.prepare_workers(workers, backend)
+        with self._op_lock:
+            self.plsh.prepare_workers(workers, backend)
 
     # -- merge lifecycle (delegated so remote handles can mirror it) -------
 
     def begin_merge(self) -> bool:
         """Start a non-blocking delta merge; True if one is now in flight."""
-        return self.plsh.begin_merge()
+        with self._op_lock:
+            return self.plsh.begin_merge()
 
     def commit_merge(self, *, wait: bool = False) -> bool:
         """Commit a pending merge; True if a build landed."""
-        return self.plsh.commit_merge(wait=wait)
+        with self._op_lock:
+            return self.plsh.commit_merge(wait=wait)
 
     def merge_now(self) -> None:
         """Drain any in-flight build, then merge the delta synchronously."""
-        self.plsh.merge_now()
+        with self._op_lock:
+            self.plsh.merge_now()
 
     def close(self) -> None:
         """Release the node's persistent worker pools."""
@@ -203,7 +234,8 @@ class ClusterNode:
 
     def retire(self) -> np.ndarray:
         """Erase the node; returns the global ids that were dropped."""
-        dropped = self._global_ids
-        self.plsh.retire()
-        self._global_ids = np.empty(0, dtype=np.int64)
-        return dropped
+        with self._op_lock:
+            dropped = self._global_ids
+            self.plsh.retire()
+            self._global_ids = np.empty(0, dtype=np.int64)
+            return dropped

@@ -1,0 +1,55 @@
+"""Async serving gateway: request coalescing in front of the cluster.
+
+The paper's batch kernel is 3x+ faster *per query* than the single-query
+path at paper-sized batches — but real serving traffic arrives as single
+queries from independent clients.  This package closes that gap without
+asking clients to batch:
+
+* :class:`~repro.serve.gateway.Gateway` — an asyncio TCP server (JSON
+  lines, :mod:`repro.serve.protocol`) that admits queries, coalesces the
+  in-flight ones into micro-batches
+  (:class:`~repro.serve.batcher.MicroBatcher`: flush at the latency
+  budget or a full batch, whichever first), runs each batch through one
+  ``Coordinator.query_batch`` broadcast, and de-multiplexes answers back
+  per request — with each query's ``degraded``/``missing_shards`` report
+  intact.  Admission control sheds load honestly: a bounded pending
+  queue and per-tenant quotas produce explicit ``rejected`` responses
+  with a ``retry_after`` hint, never silent drops.
+* :class:`~repro.serve.client.GatewayClient` /
+  :class:`~repro.serve.client.AsyncGatewayClient` — blocking and asyncio
+  clients returning :class:`~repro.serve.client.GatewayAnswer`.
+* :func:`~repro.serve.loadgen.run_closed_loop` — a closed-loop
+  multi-client load generator reporting p50/p99 latency and throughput,
+  used to compare coalesced serving against the uncoalesced baseline
+  (same gateway, ``max_batch=1``).
+
+Coalescing is *correctness-free*: the vectorized batch kernel is
+bit-identical to the per-query loop, and the wire protocol round-trips
+float32 exactly, so a gateway answer equals a direct
+``Coordinator.query`` answer bit for bit (the test suite asserts it).
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher, PendingQuery
+from repro.serve.client import (
+    AsyncGatewayClient,
+    GatewayAnswer,
+    GatewayError,
+    GatewayRejected,
+    GatewayClient,
+)
+from repro.serve.gateway import Gateway
+from repro.serve.loadgen import LoadReport, run_closed_loop
+
+__all__ = [
+    "AsyncGatewayClient",
+    "BatcherStats",
+    "Gateway",
+    "GatewayAnswer",
+    "GatewayError",
+    "GatewayRejected",
+    "GatewayClient",
+    "LoadReport",
+    "MicroBatcher",
+    "PendingQuery",
+    "run_closed_loop",
+]

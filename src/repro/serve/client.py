@@ -1,0 +1,205 @@
+"""Gateway clients: a blocking socket client and an asyncio counterpart.
+
+:class:`GatewayClient` is the simple synchronous client application code
+uses (the first-story-detection example, quick scripts, tests): one
+request in flight at a time over one connection, answers returned as
+numpy arrays with the honest-serving report attached.  A rejection
+raises :class:`GatewayRejected` (carrying the server's ``retry_after``
+hint) so callers cannot mistake shed load for an empty answer.
+
+:class:`AsyncGatewayClient` is the same surface for asyncio code — the
+closed-loop load generator runs dozens of them on one event loop, which
+is exactly the concurrency the gateway coalesces into batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from repro.serve import protocol
+
+__all__ = [
+    "AsyncGatewayClient",
+    "GatewayAnswer",
+    "GatewayError",
+    "GatewayRejected",
+    "GatewayClient",
+]
+
+
+class GatewayError(RuntimeError):
+    """The gateway answered ``status="error"`` (or broke protocol)."""
+
+
+class GatewayRejected(RuntimeError):
+    """Admission control shed the request; back off ``retry_after``
+    seconds before retrying."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(f"rejected ({reason}); retry after {retry_after}s")
+        self.reason = reason
+        self.retry_after = float(retry_after)
+
+
+class GatewayAnswer:
+    """One answered query: global ids, distances, honest-serving report."""
+
+    __slots__ = ("ids", "distances", "degraded", "missing_shards")
+
+    def __init__(self, message: dict) -> None:
+        self.ids = np.asarray(message.get("ids", ()), dtype=np.int64)
+        self.distances = np.asarray(
+            message.get("dists", ()), dtype=np.float32
+        )
+        self.degraded = bool(message.get("degraded", False))
+        self.missing_shards = list(message.get("missing_shards", ()))
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    def __repr__(self) -> str:
+        flag = ", degraded" if self.degraded else ""
+        return f"GatewayAnswer({len(self)} matches{flag})"
+
+
+def _raise_for_status(message: dict) -> dict:
+    status = message.get("status")
+    if status == "ok":
+        return message
+    if status == "rejected":
+        raise GatewayRejected(
+            str(message.get("reason", "?")),
+            float(message.get("retry_after", 0.0)),
+        )
+    raise GatewayError(str(message.get("error", f"bad response: {message}")))
+
+
+class GatewayClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def _exchange(self, message: dict) -> dict:
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+        line = self._file.readline(protocol.MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return protocol.decode(line)
+
+    def query(
+        self,
+        cols,
+        vals,
+        *,
+        radius: float | None = None,
+        tenant: str | None = None,
+    ) -> GatewayAnswer:
+        """One similarity query; raises :class:`GatewayRejected` on shed
+        load and :class:`GatewayError` on failure."""
+        self._next_id += 1
+        message = self._exchange(
+            protocol.query_request(
+                cols, vals,
+                request_id=self._next_id, radius=radius, tenant=tenant,
+            )
+        )
+        return GatewayAnswer(_raise_for_status(message))
+
+    def ping(self) -> bool:
+        return self._exchange({"op": "ping"}).get("status") == "ok"
+
+    def stats(self) -> dict:
+        """The gateway's counters (admission, coalescing, batching)."""
+        return _raise_for_status(self._exchange({"op": "stats"}))["stats"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class AsyncGatewayClient:
+    """The same client surface for asyncio callers (one request in
+    flight per instance; run many instances for concurrency)."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def connect(self, host: str, port: int) -> "AsyncGatewayClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        return self
+
+    async def _exchange(self, message: dict) -> dict:
+        self._writer.write(protocol.encode(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("gateway closed the connection")
+        return protocol.decode(line)
+
+    async def query(
+        self,
+        cols,
+        vals,
+        *,
+        radius: float | None = None,
+        tenant: str | None = None,
+    ) -> GatewayAnswer:
+        self._next_id += 1
+        message = await self._exchange(
+            protocol.query_request(
+                cols, vals,
+                request_id=self._next_id, radius=radius, tenant=tenant,
+            )
+        )
+        return GatewayAnswer(_raise_for_status(message))
+
+    async def query_raw(
+        self,
+        cols,
+        vals,
+        *,
+        radius: float | None = None,
+        tenant: str | None = None,
+    ) -> dict:
+        """Like :meth:`query` but returns the raw response message
+        without raising — the load generator classifies ok / rejected /
+        error itself."""
+        self._next_id += 1
+        return await self._exchange(
+            protocol.query_request(
+                cols, vals,
+                request_id=self._next_id, radius=radius, tenant=tenant,
+            )
+        )
+
+    async def stats(self) -> dict:
+        return _raise_for_status(await self._exchange({"op": "stats"}))["stats"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

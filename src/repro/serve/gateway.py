@@ -1,0 +1,510 @@
+"""The asyncio serving gateway: the cluster's front door.
+
+The paper's Section 4 coordinator exists to serve "queries arriving from
+different clients", and the batch kernels are 3x+ faster per query at
+paper-sized batches — but a client sends one query at a time.  The
+:class:`Gateway` closes that gap: it accepts any number of client
+connections (JSON-lines protocol, :mod:`repro.serve.protocol`), coalesces
+their in-flight single queries into batch-kernel blocks
+(:class:`~repro.serve.batcher.MicroBatcher`: flush at the latency budget
+or at a full batch, whichever first), broadcasts each block through the
+coordinator once, and de-multiplexes the per-query answers back to their
+connections — with each query's ``degraded`` / ``missing_shards`` report
+attached, so honest serving survives the aggregation.
+
+**Admission control sheds load honestly.**  A query is either admitted
+(it WILL be answered — the drain path guarantees it even across
+shutdown) or rejected *immediately* with an explicit
+``status="rejected"`` response carrying a ``retry_after`` backoff hint;
+nothing is ever silently dropped.  Two caps apply, checked before
+queueing:
+
+* ``max_pending`` — gateway-wide bound on admitted-but-unanswered
+  queries (queue-based load leveling: the backlog is bounded, clients
+  are pushed back on, nodes are never buried);
+* ``tenant_quota`` — per-tenant bound on in-flight queries, so one
+  chatty tenant cannot starve the rest (requests carry an optional
+  ``tenant`` field; quota rejections use ``reason="quota"``).
+
+**Threading model.**  The gateway runs its event loop on a dedicated
+daemon thread (``start()`` / ``close()`` are called from normal sync
+code).  Socket I/O, admission and coalescing live on the loop; the
+blocking coordinator broadcast runs on a small dispatch pool
+(``max_concurrent_batches`` threads), so up to that many micro-batches
+overlap — which is exactly why the coordinator substrate underneath had
+to be made thread-safe (per-handle request locks, locked broadcast-pool
+management, locked NetworkModel accounting; see
+:mod:`repro.cluster.coordinator`).
+
+A stalled or dead node never stalls the gateway: the broadcast layer's
+deadlines and circuit breakers convert it into per-query ``degraded``
+answers, and the dispatch pool keeps flushing batches meanwhile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.batcher import MicroBatcher, PendingQuery
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["Gateway"]
+
+
+class Gateway:
+    """Serves a cluster (or bare coordinator) over a TCP front door.
+
+    ``cluster`` is anything with ``query_batch(CSRMatrix, radius=...) ->
+    list[BroadcastOutcome]`` — a :class:`~repro.cluster.cluster.PLSHCluster`
+    (in-process or spawned) or a bare
+    :class:`~repro.cluster.coordinator.Coordinator`.  ``dim`` is the
+    vector space width queries are validated against.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        dim: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 256,
+        max_delay: float = 0.002,
+        max_concurrent_batches: int = 2,
+        max_pending: int = 1024,
+        tenant_quota: int | None = None,
+        default_radius: float | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(
+                f"tenant_quota must be >= 1 or None, got {tenant_quota}"
+            )
+        self.cluster = cluster
+        self.dim = int(dim)
+        self.host = host
+        self.port = port
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.max_concurrent_batches = int(max_concurrent_batches)
+        self.max_pending = int(max_pending)
+        self.tenant_quota = tenant_quota
+        self.default_radius = default_radius
+
+        self.batcher: MicroBatcher | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+        #: set on the loop thread at shutdown: already-admitted queries
+        #: drain to completion, new ones get an explicit rejection.
+        self._draining = False
+
+        #: admitted-but-unanswered queries, gateway-wide / per tenant
+        #: (loop-thread state; admission reads and writes it there only).
+        self._pending_total = 0
+        self._tenant_pending: dict[str, int] = {}
+        self._counters = {
+            "admitted": 0,
+            "answered": 0,
+            "rejected_overload": 0,
+            "rejected_quota": 0,
+            "malformed": 0,
+            "broadcast_errors": 0,
+            "degraded": 0,
+        }
+        self._answer_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, *, timeout: float = 10.0) -> "Gateway":
+        """Bind and serve on a background thread; returns once accepting.
+
+        ``gateway.port`` holds the bound port afterwards (``port=0``
+        requests an ephemeral one)."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="plsh-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("gateway did not start in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=timeout)
+            raise self._startup_error
+        return self
+
+    def close(self, *, timeout: float = 30.0) -> None:
+        """Stop accepting, drain every admitted query, stop the loop.
+
+        Clean shutdown is a *drain*, not an abort: batches still
+        collecting are flushed, in-flight broadcasts finish, and every
+        admitted query's answer is written before connections close."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is None:
+            return
+        loop = self._loop
+        if loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._signal_stop)
+        self._thread.join(timeout=timeout)
+
+    def _signal_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._serve_main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._started.is_set():
+                self._startup_error = exc
+                self._started.set()
+            else:
+                raise
+        finally:
+            self._started.set()
+
+    async def _serve_main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch=self.max_batch,
+            max_delay=self.max_delay,
+            max_concurrent=self.max_concurrent_batches,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_batches,
+            thread_name_prefix="plsh-gateway-dispatch",
+        )
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_conn,
+                self.host,
+                self.port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            self._executor.shutdown(wait=False)
+            return
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            # Drain: no new admissions -> flush + finish every batch ->
+            # write every pending answer -> close client connections.
+            self._draining = True
+            self._server.close()
+            await self._server.wait_closed()
+            await self.batcher.drain()
+            while self._answer_tasks:
+                await asyncio.gather(
+                    *list(self._answer_tasks), return_exceptions=True
+                )
+            for writer in list(self._writers):
+                writer.close()
+            self._executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        # One write lock per connection: answers for pipelined requests
+        # resolve out of order and must not interleave on the stream.
+        wlock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        wlock, writer,
+                        protocol.error_response(None, "request line too long"),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except ValueError as exc:
+                    self._counters["malformed"] += 1
+                    await self._send(
+                        wlock, writer, protocol.error_response(None, str(exc))
+                    )
+                    continue
+                op = message.get("op", "query")
+                if op == "query":
+                    self._admit(message, wlock, writer)
+                elif op == "ping":
+                    await self._send(
+                        wlock, writer,
+                        {"id": message.get("id"), "status": "ok", "op": "ping"},
+                    )
+                elif op == "stats":
+                    await self._send(
+                        wlock, writer,
+                        {
+                            "id": message.get("id"),
+                            "status": "ok",
+                            "stats": self.stats(),
+                        },
+                    )
+                else:
+                    self._counters["malformed"] += 1
+                    await self._send(
+                        wlock, writer,
+                        protocol.error_response(
+                            message.get("id"), f"unknown op {op!r}"
+                        ),
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _send(
+        self, wlock: asyncio.Lock, writer: asyncio.StreamWriter, message: dict
+    ) -> None:
+        async with wlock:
+            writer.write(protocol.encode(message))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(
+        self,
+        message: dict,
+        wlock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Admit-or-reject one query, synchronously on the loop (the
+        admission decision must see a consistent backlog count)."""
+        request_id = message.get("id")
+        tenant = str(message.get("tenant", "default"))
+        if self._draining:
+            self._counters["rejected_overload"] += 1
+            self._reply_soon(
+                wlock, writer,
+                protocol.reject_response(request_id, "shutdown", 1.0),
+            )
+            return
+        if self._pending_total >= self.max_pending:
+            self._counters["rejected_overload"] += 1
+            self._reply_soon(
+                wlock, writer,
+                protocol.reject_response(
+                    request_id, "overloaded", self._retry_after()
+                ),
+            )
+            return
+        if (
+            self.tenant_quota is not None
+            and self._tenant_pending.get(tenant, 0) >= self.tenant_quota
+        ):
+            self._counters["rejected_quota"] += 1
+            self._reply_soon(
+                wlock, writer,
+                protocol.reject_response(
+                    request_id, "quota", self._retry_after()
+                ),
+            )
+            return
+        try:
+            cols, vals, radius = self._parse_query(message)
+        except ValueError as exc:
+            self._counters["malformed"] += 1
+            self._reply_soon(
+                wlock, writer, protocol.error_response(request_id, str(exc))
+            )
+            return
+        future = asyncio.get_running_loop().create_future()
+        item = PendingQuery(
+            cols, vals, radius, tenant, future, time.perf_counter()
+        )
+        self._pending_total += 1
+        self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
+        self._counters["admitted"] += 1
+        self.batcher.submit(item)
+        task = asyncio.get_running_loop().create_task(
+            self._answer(request_id, item, wlock, writer)
+        )
+        self._answer_tasks.add(task)
+        task.add_done_callback(self._answer_tasks.discard)
+
+    def _reply_soon(self, wlock, writer, message: dict) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._send(wlock, writer, message)
+        )
+        self._answer_tasks.add(task)
+        task.add_done_callback(self._answer_tasks.discard)
+
+    def _retry_after(self) -> float:
+        """Backoff hint for rejected clients: roughly how long the current
+        backlog needs to clear at the configured flush capacity (a
+        heuristic, clamped to [1ms, 1s] — honest enough to spread
+        retries without pretending to be a reservation)."""
+        per_round = self.max_batch * max(1, self.max_concurrent_batches)
+        rounds = self._pending_total / per_round + 1.0
+        return float(min(max(rounds * self.max_delay, 0.001), 1.0))
+
+    def _parse_query(
+        self, message: dict
+    ) -> tuple[np.ndarray, np.ndarray, float | None]:
+        cols = message.get("cols")
+        vals = message.get("vals")
+        if not isinstance(cols, list) or not isinstance(vals, list):
+            raise ValueError("query needs 'cols' and 'vals' lists")
+        if len(cols) != len(vals):
+            raise ValueError(
+                f"{len(cols)} cols but {len(vals)} vals"
+            )
+        try:
+            cols_arr = np.asarray(cols, dtype=np.int64)
+            vals_arr = np.asarray(vals, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"non-numeric cols/vals: {exc}") from exc
+        if cols_arr.size and (
+            cols_arr.min() < 0 or cols_arr.max() >= self.dim
+        ):
+            raise ValueError(
+                f"cols out of range [0, {self.dim}) "
+                f"(got {int(cols_arr.min())}..{int(cols_arr.max())})"
+            )
+        radius = message.get("radius", self.default_radius)
+        if radius is not None:
+            radius = float(radius)
+        return cols_arr, vals_arr, radius
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _run_batch(self, batch: list[PendingQuery]) -> None:
+        """Execute one coalesced batch on the dispatch pool and resolve
+        every query's future (with its outcome, or the broadcast error)."""
+        loop = asyncio.get_running_loop()
+        try:
+            resolved = await loop.run_in_executor(
+                self._executor, self._broadcast, batch
+            )
+        except Exception as exc:  # pragma: no cover - _broadcast catches
+            resolved = [exc] * len(batch)
+        for item, value in zip(batch, resolved):
+            if item.future.done():
+                continue
+            if isinstance(value, BaseException):
+                item.future.set_exception(value)
+            else:
+                item.future.set_result(value)
+
+    def _broadcast(self, batch: list[PendingQuery]) -> list:
+        """Blocking: one coordinator broadcast per radius group.
+
+        Queries in a micro-batch may carry different radii, but one
+        broadcast carries one radius — the batch is partitioned into
+        per-radius sub-batches (in arrival order within each group, so
+        de-multiplexing is positional).  Runs on a dispatch-pool thread;
+        the coordinator below is thread-safe under overlapping calls.
+        """
+        out: list = [None] * len(batch)
+        groups: dict[float | None, list[int]] = {}
+        for i, item in enumerate(batch):
+            groups.setdefault(item.radius, []).append(i)
+        for radius, idxs in groups.items():
+            queries = CSRMatrix.from_rows(
+                [(batch[i].cols, batch[i].vals) for i in idxs], self.dim
+            )
+            try:
+                outcomes = self.cluster.query_batch(queries, radius=radius)
+            except Exception as exc:
+                for i in idxs:
+                    out[i] = exc
+                continue
+            for i, outcome in zip(idxs, outcomes):
+                out[i] = outcome
+        return out
+
+    async def _answer(
+        self,
+        request_id,
+        item: PendingQuery,
+        wlock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            outcome = await item.future
+            if outcome.degraded:
+                self._counters["degraded"] += 1
+            self._counters["answered"] += 1
+            response = protocol.ok_response(request_id, outcome)
+        except Exception as exc:
+            self._counters["broadcast_errors"] += 1
+            response = protocol.error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._pending_total -= 1
+            remaining = self._tenant_pending.get(item.tenant, 1) - 1
+            if remaining > 0:
+                self._tenant_pending[item.tenant] = remaining
+            else:
+                self._tenant_pending.pop(item.tenant, None)
+        try:
+            await self._send(wlock, writer, response)
+        except Exception:
+            # The client went away mid-flight; the answer is computed and
+            # accounted, the write is moot.
+            pass
+
+    # -- monitoring --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Gateway counters + batcher stats (coalescing evidence)."""
+        batcher = self.batcher.stats.as_dict() if self.batcher else {}
+        return {
+            "host": self.host,
+            "port": self.port,
+            "pending": self._pending_total,
+            **dict(self._counters),
+            "batcher": batcher,
+            "config": {
+                "max_batch": self.max_batch,
+                "max_delay": self.max_delay,
+                "max_concurrent_batches": self.max_concurrent_batches,
+                "max_pending": self.max_pending,
+                "tenant_quota": self.tenant_quota,
+            },
+        }

@@ -1,0 +1,207 @@
+"""Closed-loop multi-client load generator for the serving gateway.
+
+*Closed-loop*: each simulated client keeps exactly one request in
+flight — it sends a query, waits for the answer, records the latency,
+sends the next.  Throughput is therefore an emergent property of
+latency and the client count (Little's law), not an arrival-rate knob
+that can silently overrun the server; it is the honest way to compare a
+coalescing gateway against an uncoalesced one, because the gateway only
+gets the concurrency real clients would give it.
+
+All clients run as coroutines on one event loop
+(:class:`~repro.serve.client.AsyncGatewayClient` each), so a single
+process can drive hundreds of connections.  Rejections are honored: a
+rejected request sleeps the server's ``retry_after`` hint and then
+retries *as the same logical request* (closed-loop clients do not skip
+work), with rejections counted separately so shed load shows up in the
+report instead of vanishing.
+
+The :class:`LoadReport` carries client-observed p50/p99/max latency, the
+completed-query throughput, rejection/error counts, and the gateway's
+own batcher stats snapshot (mean batch size, flush causes) taken at the
+end of the run — the coalescing evidence next to the latency it bought.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.client import AsyncGatewayClient
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["LoadReport", "run_closed_loop"]
+
+
+@dataclass
+class LoadReport:
+    """One closed-loop run, client-side view plus gateway evidence."""
+
+    n_clients: int
+    n_ok: int = 0
+    n_rejected: int = 0
+    n_errors: int = 0
+    n_degraded: int = 0
+    seconds: float = 0.0
+    #: all per-request client-observed latencies (seconds), ok only.
+    latencies: list[float] = field(default_factory=list)
+    #: gateway ``stats()`` snapshot at the end of the run.
+    gateway_stats: dict = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        return self.n_ok / self.seconds if self.seconds > 0 else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), percentile)) * 1e3
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_ms(99)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(
+            self.gateway_stats.get("batcher", {}).get("mean_batch_size", 0.0)
+        )
+
+    def row(self) -> list:
+        """One table row: clients, ok, rej, qps, p50, p99, mean batch."""
+        return [
+            self.n_clients,
+            self.n_ok,
+            self.n_rejected,
+            round(self.qps, 1),
+            round(self.p50_ms, 2),
+            round(self.p99_ms, 2),
+            round(self.mean_batch_size, 1),
+        ]
+
+
+async def _client_loop(
+    host: str,
+    port: int,
+    queries: CSRMatrix,
+    offsets: np.ndarray,
+    n_requests: int,
+    radius: float | None,
+    tenant: str | None,
+    report: LoadReport,
+    start_gate: asyncio.Event,
+) -> None:
+    client = await AsyncGatewayClient().connect(host, port)
+    try:
+        await start_gate.wait()
+        n_rows = queries.n_rows
+        served = 0
+        cursor = 0
+        while served < n_requests:
+            cols, vals = queries.row(int(offsets[cursor % offsets.size]) % n_rows)
+            cursor += 1
+            start = time.perf_counter()
+            message = await client.query_raw(
+                cols, vals, radius=radius, tenant=tenant
+            )
+            status = message.get("status")
+            if status == "ok":
+                report.latencies.append(time.perf_counter() - start)
+                report.n_ok += 1
+                if message.get("degraded"):
+                    report.n_degraded += 1
+                served += 1
+            elif status == "rejected":
+                report.n_rejected += 1
+                await asyncio.sleep(
+                    float(message.get("retry_after", 0.001))
+                )
+            else:
+                report.n_errors += 1
+                served += 1
+    finally:
+        await client.close()
+
+
+async def _run(
+    host: str,
+    port: int,
+    queries: CSRMatrix,
+    n_clients: int,
+    requests_per_client: int,
+    radius: float | None,
+    tenants: list[str] | None,
+    seed: int,
+) -> LoadReport:
+    report = LoadReport(n_clients=n_clients)
+    rng = np.random.default_rng(seed)
+    start_gate = asyncio.Event()
+    tasks = []
+    for c in range(n_clients):
+        # Every client walks its own shuffled view of the query pool so
+        # concurrent batches mix queries instead of duplicating them.
+        offsets = rng.permutation(max(queries.n_rows, 1))
+        tenant = tenants[c % len(tenants)] if tenants else None
+        tasks.append(
+            asyncio.ensure_future(
+                _client_loop(
+                    host, port, queries, offsets, requests_per_client,
+                    radius, tenant, report, start_gate,
+                )
+            )
+        )
+    # All connections established before the clock starts.
+    await asyncio.sleep(0)
+    start_gate.set()
+    start = time.perf_counter()
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    report.seconds = time.perf_counter() - start
+    failures = [r for r in results if isinstance(r, BaseException)]
+    if failures:
+        raise failures[0]
+    try:
+        probe = await AsyncGatewayClient().connect(host, port)
+        try:
+            report.gateway_stats = await probe.stats()
+        finally:
+            await probe.close()
+    except (ConnectionError, OSError):
+        pass  # gateway already closing; the latency numbers stand
+    return report
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    queries: CSRMatrix,
+    *,
+    n_clients: int,
+    requests_per_client: int,
+    radius: float | None = None,
+    tenants: list[str] | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive the gateway with ``n_clients`` closed-loop clients.
+
+    Each client issues ``requests_per_client`` queries drawn (shuffled,
+    per-client seed) from ``queries``; the report aggregates all clients.
+    Runs its own event loop — call from ordinary sync code while the
+    gateway serves on its background thread.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    if queries.n_rows < 1:
+        raise ValueError("need at least one query vector")
+    return asyncio.run(
+        _run(
+            host, port, queries, n_clients, requests_per_client,
+            radius, tenants, seed,
+        )
+    )

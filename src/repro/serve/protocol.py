@@ -1,0 +1,131 @@
+"""The gateway's client-facing wire protocol: JSON lines over TCP.
+
+One message per ``\\n``-terminated line, UTF-8 JSON.  This is the *front
+door* protocol — deliberately trivial so any client (curl + a shell loop,
+a browser, another language) can speak it; the binary zero-copy protocol
+of :mod:`repro.cluster.protocol` stays behind the gateway where the
+volume is.  A query is a sparse vector as parallel ``cols``/``vals``
+lists; an answer carries global ids and float32 distances.
+
+Floats survive the round trip exactly: a float32 distance widens to the
+binary64 JSON number that represents it exactly, and narrows back to the
+identical float32 — so gateway answers can be compared bit-for-bit
+against direct :meth:`Coordinator.query` calls (and the test suite does).
+
+Requests
+--------
+
+``{"op": "query", "id": 7, "cols": [...], "vals": [...],
+   "radius": 0.9, "tenant": "analytics"}``
+    One similarity query.  ``id`` is echoed on the response (clients may
+    pipeline; responses can arrive out of order).  ``radius`` and
+    ``tenant`` are optional.
+``{"op": "ping"}``
+    Liveness check; answered immediately, never queued.
+``{"op": "stats"}``
+    Gateway counters (coalescing, admission, latency bookkeeping).
+
+Responses
+---------
+
+``status`` is one of:
+
+* ``"ok"`` — ``ids``/``dists`` hold the answer; ``degraded`` /
+  ``missing_shards`` propagate the broadcast's honest-serving report
+  for *this* query.
+* ``"rejected"`` — admission control shed this request **before**
+  queueing it.  ``reason`` is ``"overloaded"`` (gateway-wide pending
+  cap) or ``"quota"`` (per-tenant cap); ``retry_after`` is the seconds
+  the client should back off — the closed-loop load generator honors
+  it.  A rejection is an explicit answer, never a silent drop.
+* ``"error"`` — the request was malformed or the broadcast failed
+  (``error`` holds the message).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "decode",
+    "encode",
+    "error_response",
+    "ok_response",
+    "query_request",
+    "reject_response",
+]
+
+#: upper bound on one protocol line (a query's cols/vals or an answer's
+#: ids/dists); the asyncio reader enforces it so one bad client cannot
+#: balloon gateway memory.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def encode(message: dict) -> bytes:
+    """One message as a compact JSON line (trailing newline included)."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one line; raises ``ValueError`` on anything but a JSON object."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ValueError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def query_request(
+    cols,
+    vals,
+    *,
+    request_id: int | str | None = None,
+    radius: float | None = None,
+    tenant: str | None = None,
+) -> dict:
+    """Build a query request message (client-side helper)."""
+    message: dict = {
+        "op": "query",
+        "cols": [int(c) for c in np.asarray(cols).tolist()],
+        "vals": [float(v) for v in np.asarray(vals).tolist()],
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    if radius is not None:
+        message["radius"] = float(radius)
+    if tenant is not None:
+        message["tenant"] = tenant
+    return message
+
+
+def ok_response(request_id, outcome) -> dict:
+    """An answered query: ids, distances and the honest-serving report."""
+    result = outcome.result
+    return {
+        "id": request_id,
+        "status": "ok",
+        "ids": result.indices.tolist(),
+        "dists": [float(d) for d in result.distances],
+        "degraded": bool(outcome.degraded),
+        "missing_shards": list(outcome.missing_shards),
+    }
+
+
+def reject_response(request_id, reason: str, retry_after: float) -> dict:
+    """An admission-control rejection (explicit, with a backoff hint)."""
+    return {
+        "id": request_id,
+        "status": "rejected",
+        "reason": reason,
+        "retry_after": round(float(retry_after), 6),
+    }
+
+
+def error_response(request_id, message: str) -> dict:
+    """A malformed request or a failed broadcast."""
+    return {"id": request_id, "status": "error", "error": message}

@@ -1,0 +1,266 @@
+"""Concurrent broadcasts are safe: the serving-gateway prerequisite.
+
+The gateway dispatches overlapping micro-batches through ONE coordinator
+from multiple threads.  Before this PR that was quietly broken in three
+places: ``Coordinator._fan_out`` could swap-and-close the shared
+broadcast pool under a sibling broadcast, ``NetworkModel`` counter
+updates could be lost, and in-process ``ClusterNode`` engines share
+mutable query scratch (dense-query buffer, dedup bitvector) so
+concurrent single queries could tear each other's answers.
+
+The hammer here is the regression net: seeded iterations of N threads
+banging ``query_batch`` + single ``query`` on one cluster, every answer
+compared bit-for-bit against the serial reference — in-process *and*
+against real spawned node servers — plus an exact-message-count check
+that would catch a single lost network-counter update.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import spawn_local_cluster
+from repro.parallel import fork_available
+from repro.sparse.csr import CSRMatrix
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+N_NODES = 3
+CAPACITY = 250
+HAMMER_ITERATIONS = 50
+HAMMER_THREADS = 4
+
+
+def _reference(cluster, queries):
+    """Serial per-query answers (indices, distances) — ground truth."""
+    out = []
+    for r in range(queries.n_rows):
+        cols, vals = queries.row(r)
+        outcome = cluster.query(cols.astype(np.int64), vals)
+        out.append((outcome.result.indices, outcome.result.distances))
+    return out
+
+
+def _check_outcomes(outcomes, reference, rows):
+    for outcome, r in zip(outcomes, rows):
+        ref_ids, ref_dists = reference[r]
+        np.testing.assert_array_equal(outcome.result.indices, ref_ids)
+        np.testing.assert_array_equal(outcome.result.distances, ref_dists)
+        assert not outcome.node_errors
+
+
+def _hammer(cluster, queries, reference, *, iterations, n_threads):
+    """N threads × (batch broadcast + single queries), seeded slices.
+
+    Every thread's every answer must be bit-identical to the serial
+    reference; any scratch-sharing tear, lost frame, or pool misuse
+    shows up as a mismatched id/distance array or an exception.
+    """
+    rng = np.random.default_rng(4242)
+    n_rows = queries.n_rows
+    errors: list[BaseException] = []
+
+    def batch_worker(rows, barrier):
+        try:
+            barrier.wait(timeout=30)
+            batch = CSRMatrix.from_rows(
+                [queries.row(int(r)) for r in rows], queries.n_cols
+            )
+            _check_outcomes(
+                cluster.query_batch(batch), reference, rows
+            )
+        except BaseException as exc:  # noqa: BLE001 - collected for the test
+            errors.append(exc)
+
+    def single_worker(rows, barrier):
+        try:
+            barrier.wait(timeout=30)
+            for r in rows:
+                cols, vals = queries.row(int(r))
+                outcome = cluster.query(cols.astype(np.int64), vals)
+                _check_outcomes([outcome], reference, [int(r)])
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    for _ in range(iterations):
+        barrier = threading.Barrier(n_threads)
+        threads = []
+        for t in range(n_threads):
+            rows = rng.choice(n_rows, size=6, replace=False)
+            # Half the threads broadcast batches, half hammer the
+            # single-query path (the shared-scratch hazard).
+            target = batch_worker if t % 2 == 0 else single_worker
+            threads.append(
+                threading.Thread(target=target, args=(rows, barrier))
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "hammer thread hung"
+        if errors:
+            raise errors[0]
+
+
+@pytest.fixture(scope="module")
+def hammer_queries(small_vectors):
+    return small_vectors.slice_rows(0, 40)
+
+
+@pytest.fixture(scope="module")
+def inprocess_cluster(small_vectors):
+    cluster = PLSHCluster(N_NODES, CAPACITY, small_vectors.n_cols, PARAMS,
+                          insert_window=2)
+    cluster.insert(small_vectors.slice_rows(0, 600))
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+@pytest.fixture(scope="module")
+def spawned_cluster(small_vectors):
+    if not fork_available():
+        pytest.skip("spawn_local_cluster requires fork()")
+    cluster = spawn_local_cluster(
+        N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=2
+    )
+    cluster.insert(small_vectors.slice_rows(0, 600))
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+class TestBroadcastHammer:
+    def test_inprocess_bit_identity(self, inprocess_cluster, hammer_queries):
+        reference = _reference(inprocess_cluster, hammer_queries)
+        _hammer(
+            inprocess_cluster, hammer_queries, reference,
+            iterations=HAMMER_ITERATIONS, n_threads=HAMMER_THREADS,
+        )
+
+    def test_spawned_bit_identity(self, spawned_cluster, hammer_queries):
+        reference = _reference(spawned_cluster, hammer_queries)
+        _hammer(
+            spawned_cluster, hammer_queries, reference,
+            iterations=HAMMER_ITERATIONS, n_threads=HAMMER_THREADS,
+        )
+
+    def test_network_accounting_exact(self, inprocess_cluster, hammer_queries):
+        """Concurrent broadcasts must not lose a single counter update.
+
+        One broadcast's message/byte charge is deterministic (fixed
+        cluster, fixed batch), so after T×I identical concurrent calls
+        the totals must equal exactly T×I times one call's delta — a
+        single lost increment fails this.
+        """
+        cluster = inprocess_cluster
+        batch = hammer_queries.slice_rows(0, 8)
+        stats = cluster.network.stats
+        stats.reset()
+        cluster.query_batch(batch)
+        per_call_messages = stats.n_messages
+        per_call_bytes = stats.bytes_sent
+        assert per_call_messages > 0
+
+        stats.reset()
+        n_threads, n_iterations = 4, 12
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [
+                pool.submit(cluster.query_batch, batch)
+                for _ in range(n_threads * n_iterations)
+            ]
+            for future in futures:
+                future.result()
+        assert stats.n_messages == per_call_messages * n_threads * n_iterations
+        assert stats.bytes_sent == per_call_bytes * n_threads * n_iterations
+
+
+class TestFanOutPool:
+    def test_contention_uses_temporary_pools(self, inprocess_cluster):
+        """Overlapping ``_fan_out`` calls share the persistent pool when
+        free and fall back to private temporary pools under contention —
+        never submit-after-shutdown, never a task dropped."""
+        coord = inprocess_cluster.coordinator
+
+        def slow_double(_state, value):
+            time.sleep(0.01)
+            return value * 2
+
+        def one_call(base):
+            tasks = [(base + i,) for i in range(3)]
+            return coord._fan_out(slow_double, tasks)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(one_call, base * 10) for base in range(12)]
+            results = [f.result(timeout=30) for f in futures]
+        for base, result in zip(range(12), results):
+            assert result == [(base * 10 + i) * 2 for i in range(3)]
+        # Contention resolved: the persistent pool is free again and the
+        # next broadcast reuses it.
+        assert coord._pool_busy is False
+        pool_before = coord._pool
+        assert one_call(0) == [0, 2, 4]
+        assert coord._pool is pool_before
+
+    def test_pool_grows_for_wider_fan_out(self, inprocess_cluster):
+        """A wider task list must replace the pool *safely* (old one
+        closed only when idle) and still run every task."""
+        coord = inprocess_cluster.coordinator
+
+        def ident(_state, value):
+            return value
+
+        assert coord._fan_out(ident, [(i,) for i in range(2)]) == [0, 1]
+        wide = coord._fan_out(ident, [(i,) for i in range(8)])
+        assert wide == list(range(8))
+        assert coord._pool is not None and coord._pool.workers >= 8
+
+
+class TestRemoteHandleFrameSafety:
+    def test_concurrent_calls_one_handle(self, spawned_cluster, hammer_queries):
+        """Many threads sharing ONE RemoteNodeHandle: the per-handle
+        request lock guarantees at most one frame in flight per
+        connection, so responses can never pair with the wrong request
+        (which would show up as crossed-over result rows)."""
+        handle = spawned_cluster.nodes[0]
+        reference = {}
+        for r in range(8):
+            cols, vals = hammer_queries.row(r)
+            res = handle.query(cols.astype(np.int64), vals, radius=None)
+            reference[r] = (res.indices.copy(), res.distances.copy())
+
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(HAMMER_THREADS)
+
+        def worker(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                barrier.wait(timeout=30)
+                for _ in range(25):
+                    r = int(rng.integers(0, 8))
+                    cols, vals = hammer_queries.row(r)
+                    res = handle.query(cols.astype(np.int64), vals, radius=None)
+                    ref_ids, ref_dists = reference[r]
+                    np.testing.assert_array_equal(res.indices, ref_ids)
+                    np.testing.assert_array_equal(res.distances, ref_dists)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(1000 + t,))
+            for t in range(HAMMER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "handle hammer thread hung"
+        if errors:
+            raise errors[0]

@@ -1,0 +1,148 @@
+"""MicroBatcher semantics: when does a batch flush, and why.
+
+The contract: a batch flushes at ``max_batch`` (full) or when its OLDEST
+query has waited ``max_delay`` (timeout) — whichever first — and
+``drain()`` flushes the remainder and waits out every in-flight batch.
+No pytest-asyncio in the image: each test drives its own loop with
+``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher, PendingQuery
+
+
+def _item(loop) -> PendingQuery:
+    return PendingQuery(
+        np.asarray([0], dtype=np.int64),
+        np.asarray([1.0], dtype=np.float32),
+        None,
+        "t",
+        loop.create_future(),
+    )
+
+
+def _recording_runner(batches, *, delay: float = 0.0):
+    async def run_batch(batch):
+        if delay:
+            await asyncio.sleep(delay)
+        batches.append(batch)
+        for item in batch:
+            item.future.set_result(len(batch))
+    return run_batch
+
+
+def test_flush_on_full_is_immediate():
+    async def main():
+        batches: list = []
+        # max_delay absurdly long: only the size trigger can flush.
+        batcher = MicroBatcher(
+            _recording_runner(batches), max_batch=3, max_delay=60.0
+        )
+        loop = asyncio.get_running_loop()
+        items = [_item(loop) for _ in range(7)]
+        for item in items:
+            batcher.submit(item)
+        await asyncio.gather(*[i.future for i in items[:6]])
+        assert [len(b) for b in batches] == [3, 3]
+        assert batcher.stats.flush_full == 2
+        assert batcher.stats.flush_timeout == 0
+        assert batcher.n_pending == 1  # the 7th waits for its timer
+        await batcher.drain()
+        assert items[6].future.result() == 1
+        assert batcher.stats.flush_drain == 1
+
+    asyncio.run(main())
+
+
+def test_flush_on_timeout_bounds_oldest_wait():
+    async def main():
+        batches: list = []
+        batcher = MicroBatcher(
+            _recording_runner(batches), max_batch=1000, max_delay=0.02
+        )
+        loop = asyncio.get_running_loop()
+        first = _item(loop)
+        batcher.submit(first)
+        # A second query arriving inside the budget joins the SAME batch
+        # (the clock started with the first query, not this one).
+        await asyncio.sleep(0.005)
+        second = _item(loop)
+        batcher.submit(second)
+        assert await first.future == 2
+        assert await second.future == 2
+        assert len(batches) == 1 and len(batches[0]) == 2
+        assert batcher.stats.flush_timeout == 1
+        assert batcher.stats.flush_full == 0
+
+    asyncio.run(main())
+
+
+def test_drain_flushes_remainder_and_waits():
+    async def main():
+        batches: list = []
+        batcher = MicroBatcher(
+            _recording_runner(batches, delay=0.05),
+            max_batch=1000,
+            max_delay=60.0,
+        )
+        loop = asyncio.get_running_loop()
+        items = [_item(loop) for _ in range(4)]
+        for item in items:
+            batcher.submit(item)
+        await batcher.drain()
+        # After drain: everything flushed AND resolved (the slow dispatch
+        # finished before drain returned).
+        assert len(batches) == 1
+        assert all(i.future.done() for i in items)
+        assert batcher.stats.flush_drain == 1
+        assert batcher.stats.n_queries == 4
+        assert batcher.stats.mean_batch_size == 4.0
+
+    asyncio.run(main())
+
+
+def test_concurrent_batch_cap():
+    async def main():
+        running = 0
+        peak = 0
+
+        async def run_batch(batch):
+            nonlocal running, peak
+            running += 1
+            peak = max(peak, running)
+            await asyncio.sleep(0.02)
+            running -= 1
+            for item in batch:
+                item.future.set_result(None)
+
+        batcher = MicroBatcher(
+            run_batch, max_batch=2, max_delay=60.0, max_concurrent=2
+        )
+        loop = asyncio.get_running_loop()
+        items = [_item(loop) for _ in range(12)]  # 6 full batches
+        for item in items:
+            batcher.submit(item)
+        await batcher.drain()
+        assert all(i.future.done() for i in items)
+        assert peak <= 2
+        assert batcher.stats.flush_full == 6
+
+    asyncio.run(main())
+
+
+def test_constructor_validation():
+    async def noop(batch):
+        pass
+
+    with pytest.raises(ValueError):
+        MicroBatcher(noop, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(noop, max_delay=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(noop, max_concurrent=0)

@@ -1,0 +1,366 @@
+"""Gateway end-to-end semantics over a real in-process cluster.
+
+The contracts under test, per the serving design:
+
+* **bit identity** — a gateway answer (single or coalesced under real
+  client concurrency) equals direct ``cluster.query`` bit for bit, ids
+  and float32 distances, because the batch kernel matches the per-query
+  loop and the JSON wire round-trips float32 exactly;
+* **honest admission** — bounded queue and per-tenant quotas reject
+  *explicitly* (``status="rejected"`` + ``retry_after``), never drop,
+  and every request gets exactly one response;
+* **clean shutdown** — ``close()`` drains: every admitted query is
+  answered before its connection closes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    GatewayRejected,
+    run_closed_loop,
+)
+from repro.serve import protocol
+from repro.sparse.csr import CSRMatrix
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+
+
+@pytest.fixture(scope="module")
+def served_cluster(small_vectors):
+    cluster = PLSHCluster(3, 250, small_vectors.n_cols, PARAMS,
+                          insert_window=2)
+    cluster.insert(small_vectors.slice_rows(0, 600))
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+class SlowCluster:
+    """Delegates to a real cluster after a fixed delay — lets admission
+    tests pile up a backlog deterministically."""
+
+    def __init__(self, cluster, delay: float) -> None:
+        self._cluster = cluster
+        self.delay = delay
+
+    def query_batch(self, queries, *, radius=None):
+        time.sleep(self.delay)
+        return self._cluster.query_batch(queries, radius=radius)
+
+
+class RawConn:
+    """A bare pipelining connection: write N requests, then read answers."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.sock = socket.create_connection((host, port), timeout=30)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, message: dict) -> None:
+        self.file.write(protocol.encode(message))
+        self.file.flush()
+
+    def recv(self) -> dict:
+        line = self.file.readline(protocol.MAX_LINE_BYTES)
+        assert line, "gateway closed the connection unexpectedly"
+        return protocol.decode(line)
+
+    def recv_all(self, n: int) -> list[dict]:
+        return [self.recv() for _ in range(n)]
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+        finally:
+            self.sock.close()
+
+
+class TestBitIdentity:
+    def test_single_query_matches_direct(self, served_cluster, small_vectors):
+        with Gateway(served_cluster, small_vectors.n_cols) as gw:
+            with GatewayClient(gw.host, gw.port) as client:
+                for r in range(6):
+                    cols, vals = small_vectors.row(r)
+                    answer = client.query(cols, vals)
+                    direct = served_cluster.query(
+                        cols.astype(np.int64), vals
+                    ).result
+                    np.testing.assert_array_equal(answer.ids, direct.indices)
+                    np.testing.assert_array_equal(
+                        answer.distances, direct.distances
+                    )
+                    assert answer.distances.dtype == np.float32
+                    assert not answer.degraded
+
+    def test_coalesced_answers_match_direct(self, served_cluster, small_vectors):
+        """Real concurrency → real coalescing → still bit-identical,
+        each answer de-multiplexed to the right request."""
+        n_rows = 24
+        reference = []
+        for r in range(n_rows):
+            cols, vals = small_vectors.row(r)
+            res = served_cluster.query(cols.astype(np.int64), vals).result
+            reference.append((res.indices.copy(), res.distances.copy()))
+
+        with Gateway(served_cluster, small_vectors.n_cols, max_batch=16) as gw:
+            errors: list = []
+            barrier = threading.Barrier(8)
+
+            def worker(rows):
+                try:
+                    with GatewayClient(gw.host, gw.port) as client:
+                        barrier.wait(timeout=30)
+                        for r in rows:
+                            cols, vals = small_vectors.row(r)
+                            answer = client.query(cols, vals)
+                            ref_ids, ref_dists = reference[r]
+                            np.testing.assert_array_equal(answer.ids, ref_ids)
+                            np.testing.assert_array_equal(
+                                answer.distances, ref_dists
+                            )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=worker, args=(range(t, n_rows, 8),)
+                )
+                for t in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+            if errors:
+                raise errors[0]
+            stats = gw.stats()
+        assert stats["answered"] == n_rows
+        # Coalescing actually engaged: fewer batches than queries.
+        assert stats["batcher"]["n_batches"] < n_rows
+        assert stats["batcher"]["mean_batch_size"] > 1.0
+
+    def test_per_query_radius_override(self, served_cluster, small_vectors):
+        cols, vals = small_vectors.row(3)
+        with Gateway(served_cluster, small_vectors.n_cols) as gw:
+            with GatewayClient(gw.host, gw.port) as client:
+                wide = client.query(cols, vals, radius=1.4)
+                tight = client.query(cols, vals, radius=0.3)
+        direct_wide = served_cluster.query(
+            cols.astype(np.int64), vals, radius=1.4
+        ).result
+        np.testing.assert_array_equal(wide.ids, direct_wide.indices)
+        assert len(tight) <= len(wide)
+
+
+class TestAdmissionControl:
+    def test_overload_rejected_explicitly(self, served_cluster, small_vectors):
+        slow = SlowCluster(served_cluster, delay=0.25)
+        with Gateway(
+            slow, small_vectors.n_cols,
+            max_batch=1, max_delay=0.0, max_concurrent_batches=1,
+            max_pending=2,
+        ) as gw:
+            conn = RawConn(gw.host, gw.port)
+            try:
+                n = 8
+                for i in range(n):
+                    cols, vals = small_vectors.row(i)
+                    conn.send(
+                        protocol.query_request(cols, vals, request_id=i)
+                    )
+                responses = conn.recv_all(n)
+            finally:
+                conn.close()
+        # Exactly one response per request, ids echoed.
+        assert sorted(r["id"] for r in responses) == list(range(n))
+        by_status: dict[str, int] = {}
+        for r in responses:
+            by_status[r["status"]] = by_status.get(r["status"], 0) + 1
+            if r["status"] == "rejected":
+                assert r["reason"] == "overloaded"
+                assert r["retry_after"] > 0
+        assert by_status.get("ok", 0) >= 2      # the admitted ones answered
+        assert by_status.get("rejected", 0) >= 1  # the rest shed honestly
+        assert by_status.get("error", 0) == 0
+
+    def test_tenant_quota_isolates_noisy_neighbor(
+        self, served_cluster, small_vectors
+    ):
+        slow = SlowCluster(served_cluster, delay=0.25)
+        with Gateway(
+            slow, small_vectors.n_cols,
+            max_batch=1, max_delay=0.0, max_concurrent_batches=1,
+            max_pending=64, tenant_quota=2,
+        ) as gw:
+            noisy = RawConn(gw.host, gw.port)
+            quiet = RawConn(gw.host, gw.port)
+            try:
+                for i in range(6):
+                    cols, vals = small_vectors.row(i)
+                    noisy.send(
+                        protocol.query_request(
+                            cols, vals, request_id=i, tenant="noisy"
+                        )
+                    )
+                # Give admission a moment to count the noisy backlog.
+                time.sleep(0.05)
+                cols, vals = small_vectors.row(10)
+                quiet.send(
+                    protocol.query_request(
+                        cols, vals, request_id=99, tenant="quiet"
+                    )
+                )
+                quiet_answer = quiet.recv()
+                noisy_answers = noisy.recv_all(6)
+            finally:
+                noisy.close()
+                quiet.close()
+        # The quiet tenant rides through untouched by the noisy backlog.
+        assert quiet_answer["status"] == "ok"
+        rejected = [r for r in noisy_answers if r["status"] == "rejected"]
+        assert rejected and all(r["reason"] == "quota" for r in rejected)
+        assert all(r["status"] != "error" for r in noisy_answers)
+
+    def test_quota_rejection_raises_typed_error(
+        self, served_cluster, small_vectors
+    ):
+        slow = SlowCluster(served_cluster, delay=0.3)
+        with Gateway(
+            slow, small_vectors.n_cols,
+            max_batch=1, max_delay=0.0, max_concurrent_batches=1,
+            tenant_quota=1,
+        ) as gw:
+            conn = RawConn(gw.host, gw.port)
+            try:
+                cols, vals = small_vectors.row(0)
+                conn.send(protocol.query_request(cols, vals, request_id=1))
+                time.sleep(0.05)  # first query now owns the tenant quota
+                with GatewayClient(gw.host, gw.port) as client:
+                    with pytest.raises(GatewayRejected) as excinfo:
+                        client.query(cols, vals)
+                assert excinfo.value.reason == "quota"
+                assert excinfo.value.retry_after > 0
+                assert conn.recv()["status"] == "ok"
+            finally:
+                conn.close()
+
+
+class TestProtocolEdges:
+    def test_malformed_requests_get_errors(self, served_cluster, small_vectors):
+        with Gateway(served_cluster, small_vectors.n_cols) as gw:
+            conn = RawConn(gw.host, gw.port)
+            try:
+                conn.file.write(b"this is not json\n")
+                conn.file.flush()
+                assert conn.recv()["status"] == "error"
+                conn.send({"op": "query", "cols": [0, 1]})  # no vals
+                assert conn.recv()["status"] == "error"
+                conn.send({"op": "query", "cols": [10**9], "vals": [1.0]})
+                out_of_range = conn.recv()
+                assert out_of_range["status"] == "error"
+                assert "out of range" in out_of_range["error"]
+                conn.send({"op": "frobnicate"})
+                assert conn.recv()["status"] == "error"
+                # The connection survived all of it.
+                conn.send({"op": "ping"})
+                assert conn.recv()["status"] == "ok"
+            finally:
+                conn.close()
+
+    def test_ping_and_stats(self, served_cluster, small_vectors):
+        with Gateway(served_cluster, small_vectors.n_cols) as gw:
+            with GatewayClient(gw.host, gw.port) as client:
+                assert client.ping()
+                cols, vals = small_vectors.row(0)
+                client.query(cols, vals)
+                stats = client.stats()
+        assert stats["admitted"] == 1
+        assert stats["answered"] == 1
+        assert stats["pending"] == 0
+        assert stats["batcher"]["n_queries"] == 1
+        assert stats["config"]["max_batch"] == 256
+
+
+class TestShutdown:
+    def test_close_drains_admitted_queries(self, served_cluster, small_vectors):
+        """Every admitted query is answered across shutdown — close() is
+        a drain, not an abort."""
+        slow = SlowCluster(served_cluster, delay=0.2)
+        gw = Gateway(
+            slow, small_vectors.n_cols,
+            max_batch=2, max_delay=0.01, max_concurrent_batches=1,
+        ).start()
+        conn = RawConn(gw.host, gw.port)
+        try:
+            n = 4
+            for i in range(n):
+                cols, vals = small_vectors.row(i)
+                conn.send(protocol.query_request(cols, vals, request_id=i))
+            time.sleep(0.1)  # all four admitted, first batch in flight
+            gw.close()  # blocks until the drain finishes
+            responses = conn.recv_all(n)
+        finally:
+            conn.close()
+        assert sorted(r["id"] for r in responses) == list(range(n))
+        assert all(r["status"] == "ok" for r in responses)
+
+    def test_queries_during_drain_rejected_not_dropped(
+        self, served_cluster, small_vectors
+    ):
+        slow = SlowCluster(served_cluster, delay=0.3)
+        gw = Gateway(
+            slow, small_vectors.n_cols, max_batch=1, max_delay=0.0,
+        ).start()
+        conn = RawConn(gw.host, gw.port)
+        try:
+            cols, vals = small_vectors.row(0)
+            conn.send(protocol.query_request(cols, vals, request_id=1))
+            time.sleep(0.05)
+            closer = threading.Thread(target=gw.close)
+            closer.start()
+            time.sleep(0.05)  # drain underway, first query still running
+            conn.send(protocol.query_request(cols, vals, request_id=2))
+            by_id = {r["id"]: r for r in conn.recv_all(2)}
+            closer.join(timeout=30)
+            assert not closer.is_alive()
+        finally:
+            conn.close()
+        assert by_id[1]["status"] == "ok"
+        # The late query got an explicit rejection, not silence.
+        assert by_id[2]["status"] == "rejected"
+        assert by_id[2]["reason"] == "shutdown"
+
+    def test_double_close_is_idempotent(self, served_cluster, small_vectors):
+        gw = Gateway(served_cluster, small_vectors.n_cols).start()
+        gw.close()
+        gw.close()
+
+
+class TestLoadGenerator:
+    def test_closed_loop_report(self, served_cluster, small_vectors):
+        queries = CSRMatrix.from_rows(
+            [small_vectors.row(r) for r in range(32)], small_vectors.n_cols
+        )
+        with Gateway(served_cluster, small_vectors.n_cols, max_batch=32) as gw:
+            report = run_closed_loop(
+                gw.host, gw.port, queries,
+                n_clients=12, requests_per_client=4,
+            )
+        assert report.n_ok == 48
+        assert report.n_errors == 0
+        assert report.p50_ms > 0
+        assert report.p99_ms >= report.p50_ms
+        assert report.qps > 0
+        # 12 closed-loop clients must coalesce beyond singleton batches.
+        assert report.mean_batch_size > 1.0

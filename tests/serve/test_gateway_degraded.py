@@ -1,0 +1,115 @@
+"""Honest serving through the gateway under node failure.
+
+A dead or stalled node must never stall the gateway: the broadcast
+layer's deadlines and circuit breakers turn it into per-query
+``degraded`` answers (with the missing shard named), and the gateway
+keeps flushing batches for everyone else.  These run against real
+spawned node-server processes with crash/hang injection.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import PLSHParams
+from repro.cluster import spawn_local_cluster
+from repro.parallel import fork_available
+from repro.serve import Gateway, GatewayClient
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="spawn_local_cluster requires fork()"
+)
+
+
+@pytest.fixture()
+def rpc_cluster(small_vectors):
+    cluster = spawn_local_cluster(
+        3, 250, small_vectors.n_cols, PARAMS,
+        insert_window=2, op_timeout=1.0, retries=0,
+        heartbeat_interval=0.25, health_cooldown=0.5,
+    )
+    # 400 rows stay inside the first insert window (nodes 0 and 1, 200
+    # each) — no retirement, so killing node 0 removes real data.
+    cluster.insert(small_vectors.slice_rows(0, 400))
+    try:
+        yield cluster
+    finally:
+        cluster.close()
+
+
+def test_killed_node_degrades_answers_not_gateway(rpc_cluster, small_vectors):
+    with Gateway(rpc_cluster, small_vectors.n_cols) as gw:
+        with GatewayClient(gw.host, gw.port) as client:
+            cols, vals = small_vectors.row(2)
+            healthy = client.query(cols, vals)
+            assert not healthy.degraded
+
+            rpc_cluster.kill_node(0)
+
+            degraded = client.query(cols, vals)
+            assert degraded.degraded
+            assert degraded.missing_shards
+            # The survivors' shards still answer: the degraded result is
+            # a subset of the healthy one, never garbage.
+            assert set(degraded.ids).issubset(set(healthy.ids))
+
+            # The gateway itself is unharmed: subsequent queries answer
+            # promptly (breaker open, no deadline re-paid per query).
+            start = time.perf_counter()
+            for r in range(4):
+                cols, vals = small_vectors.row(r)
+                answer = client.query(cols, vals)
+                assert answer.degraded
+            assert time.perf_counter() - start < 2.0
+            assert client.ping()
+            assert client.stats()["degraded"] >= 5
+
+
+def test_paused_node_costs_one_deadline_not_a_stall(
+    rpc_cluster, small_vectors
+):
+    """A SIGSTOPped node is a *hang*: the first broadcast through it pays
+    the 1s op deadline, the breaker trips, and everything after answers
+    fast and degraded — the gateway never wedges behind the stall."""
+    with Gateway(rpc_cluster, small_vectors.n_cols) as gw:
+        with GatewayClient(gw.host, gw.port) as client:
+            cols, vals = small_vectors.row(5)
+            assert not client.query(cols, vals).degraded
+
+            rpc_cluster.pause_node(1)
+            try:
+                start = time.perf_counter()
+                first = client.query(cols, vals)
+                first_elapsed = time.perf_counter() - start
+                assert first.degraded
+                # Paid roughly one deadline, not an unbounded wait.
+                assert first_elapsed < 5.0
+
+                start = time.perf_counter()
+                after = client.query(cols, vals)
+                assert after.degraded
+                assert time.perf_counter() - start < 1.0
+            finally:
+                rpc_cluster.resume_node(1)
+
+            # Recovery: the resumed node rejoins on the next probe-able
+            # broadcast (the breaker's cooldown handles re-admission);
+            # answers stay well-formed throughout.
+            deadline = time.monotonic() + 10.0
+            recovered = False
+            while time.monotonic() < deadline:
+                answer = client.query(cols, vals)
+                if not answer.degraded:
+                    recovered = True
+                    break
+                time.sleep(0.25)
+            assert recovered, "paused node never rejoined after SIGCONT"
+            np.testing.assert_array_equal(
+                np.sort(answer.ids),
+                np.sort(client.query(cols, vals).ids),
+            )
