@@ -18,10 +18,17 @@ asserts a conservative speedup floor — at CI smoke scale the kernels are
 small and the win is modest; at paper scale it tracks the batch-kernel
 advantage.
 
+A second bench drives **mixed read/write load** (PR 9): the same
+closed-loop clients, a fraction of whose requests are single-row
+gateway inserts, over a cluster sized so the writes cross window
+retirements — measuring write ack latency and throughput next to the
+read path they overlap, plus the write micro-batcher's coalescing.
+
 Scale knobs: ``PLSH_BENCH_GATEWAY_CLIENTS`` (default 64),
 ``PLSH_BENCH_GATEWAY_REQUESTS`` per client (default 15),
 ``PLSH_BENCH_GATEWAY_CORPUS`` rows indexed (default 20000, capped by the
-workload), ``PLSH_BENCH_GATEWAY_MIN_SPEEDUP`` (default 1.2).
+workload), ``PLSH_BENCH_GATEWAY_MIN_SPEEDUP`` (default 1.2),
+``PLSH_BENCH_GATEWAY_WRITE_FRACTION`` (default 0.25).
 """
 
 from __future__ import annotations
@@ -135,3 +142,97 @@ def test_gateway_coalescing_speedup(twitter, scale):
         f"coalescing speedup {speedup:.2f}x below floor {min_speedup}x "
         f"(baseline {baseline.qps:.0f} qps, coalesced {coalesced.qps:.0f} qps)"
     )
+
+
+def test_gateway_mixed_write_load(twitter, scale):
+    """Writes through the gateway under concurrent query load.
+
+    Closed-loop clients flip a seeded coin per request between a query
+    and a single-row insert.  The cluster is sized so the write stream
+    crosses window retirements mid-run — the exact overlap (inserts /
+    retirement / broadcasts) the cluster write lock and retirement gate
+    exist for.  Conservation is asserted: every acked insert is either
+    resident or retired, none lost, none double-applied.
+    """
+    n_clients = int(os.environ.get("PLSH_BENCH_GATEWAY_CLIENTS", "64"))
+    per_client = int(os.environ.get("PLSH_BENCH_GATEWAY_REQUESTS", "15"))
+    write_fraction = float(
+        os.environ.get("PLSH_BENCH_GATEWAY_WRITE_FRACTION", "0.25")
+    )
+    dim = twitter.vectors.n_cols
+
+    # Size capacity so the expected insert volume wraps the window at
+    # least twice mid-run (retirements overlap serving, by construction).
+    expected_inserts = max(1, int(n_clients * per_client * write_fraction))
+    base_rows = min(twitter.n, max(512, expected_inserts))
+    capacity = max(64, (base_rows + expected_inserts // 2) // N_NODES)
+    cluster = PLSHCluster(
+        N_NODES, capacity, dim, scale.params(), insert_window=N_NODES
+    )
+    try:
+        cluster.insert(twitter.vectors.slice_rows(0, base_rows))
+        pre_items = cluster.n_items
+        pool_rows = min(twitter.n, base_rows + 4 * expected_inserts)
+        insert_pool = twitter.vectors.slice_rows(base_rows, pool_rows)
+        if insert_pool.n_rows == 0:
+            # Tiny smoke workloads may index the whole corpus; recycle
+            # the query set as insert fodder (placement doesn't care).
+            insert_pool = twitter.queries
+        with Gateway(
+            cluster, dim,
+            max_batch=256, max_delay=0.002,
+            max_concurrent_batches=2,
+            max_pending=max(1024, 4 * n_clients),
+        ) as gw:
+            report = run_closed_loop(
+                gw.host, gw.port, twitter.queries,
+                n_clients=n_clients, requests_per_client=per_client,
+                write_fraction=write_fraction, insert_pool=insert_pool,
+                seed=7,
+            )
+        post_items = cluster.n_items
+        retired = cluster.n_retired_items
+        n_retirements = cluster.n_retirements
+    finally:
+        cluster.close()
+
+    headers = [
+        "clients", "ok", "writes", "rejected", "qps", "wps",
+        "read p50 ms", "write p50 ms", "write p99 ms", "write batch",
+    ]
+    rows = [[
+        n_clients, report.n_ok, report.n_write_ok, report.n_rejected,
+        round(report.qps, 1), round(report.wps, 1),
+        round(report.p50_ms, 2), round(report.write_latency_ms(50), 2),
+        round(report.write_latency_ms(99), 2),
+        round(report.mean_write_batch_size, 1),
+    ]]
+    print_section(
+        f"serving gateway: mixed load ({write_fraction:.0%} writes, "
+        f"{n_retirements} retirements mid-run)",
+        format_table(headers, rows),
+    )
+    record_artifact(
+        "serving_gateway",
+        "mixed_write_load",
+        {
+            "n_clients": n_clients,
+            "requests_per_client": per_client,
+            "write_fraction": write_fraction,
+            "qps": report.qps,
+            "wps": report.wps,
+            "read_p50_ms": report.p50_ms,
+            "write_p50_ms": report.write_latency_ms(50),
+            "write_p99_ms": report.write_latency_ms(99),
+            "mean_write_batch_size": report.mean_write_batch_size,
+            "n_retirements": n_retirements,
+        },
+    )
+
+    total = n_clients * per_client
+    assert report.n_ok + report.n_write_ok == total
+    assert report.n_errors == 0
+    assert report.n_write_ok > 0
+    # Conservation under concurrent retirement: acked inserts are all
+    # accounted for — resident or retired, never lost.
+    assert post_items + retired == pre_items + report.n_write_ok

@@ -22,6 +22,30 @@ policy, retirement, deletes and broadcast logic are byte-for-byte the
 same code either way, so a multi-process cluster fed the same op
 sequence answers bit-identically to the simulation.
 
+**Concurrency contract (PR 9).**  The cluster object is safe to mutate
+and query from different threads at once — the serving gateway applies
+write micro-batches on one executor thread while query broadcasts run on
+others.  Two primitives provide it:
+
+* a cluster **write lock** serializes every mutation of shared window
+  state (``insert``/``insert_many``, ``delete``, window advancement,
+  retirement bookkeeping, merge control), so concurrent writers cannot
+  interleave round-robin cursors or double-retire a window;
+* a **retirement gate** (:class:`~repro.parallel.ReadWriteGate`) makes
+  window retirement atomic with respect to broadcasts: queries hold the
+  read side for the whole fan-out, retirement takes the write side — a
+  broadcast observes the shard set either entirely before or entirely
+  after a retirement, never a half-erased window.
+
+Ordering is defined by **acknowledgment**: once an ``insert`` call (or a
+gateway insert op) has returned, every row it carried is fully applied,
+and any query *started after that return* includes those rows (unless
+deleted or retired since) — read-your-writes.  A query overlapping an
+insert that has not yet returned may see any per-(op × shard) prefix of
+it; per-node application is atomic (each node's op lock), so a row is
+never half-visible.  The same holds through remote handles: a node
+server applies ``insert_batch`` before answering it.
+
 ``replication=R`` (PR 5) places every logical shard on R nodes: the
 node list is partitioned into :class:`~repro.cluster.replication.ReplicaGroup`
 objects of R consecutive handles, and the window/insert/broadcast
@@ -36,6 +60,8 @@ raw handles as the shards — the pre-replication cluster, unchanged.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.cluster.coordinator import BroadcastOutcome, Coordinator
@@ -43,6 +69,7 @@ from repro.cluster.network import NetworkModel
 from repro.cluster.node import ClusterNode
 from repro.cluster.replication import group_handles
 from repro.core.hashing import AllPairsHasher
+from repro.parallel import ReadWriteGate
 from repro.params import PLSHParams
 from repro.sparse.csr import CSRMatrix
 
@@ -64,6 +91,7 @@ class PLSHCluster:
         overlap_merges: bool = False,
         network: NetworkModel | None = None,
         replication: int = 1,
+        retired_retention: int = 8,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
@@ -94,7 +122,26 @@ class PLSHCluster:
         self._window_cursor = 0
         self._next_global_id = 0
         self.n_retirements = 0
+        #: the last ``retired_retention`` retirement batches (newest last);
+        #: ``n_retired_items`` keeps the running total beyond the window.
         self.retired_ids: list[np.ndarray] = []
+        self.retired_retention = self._check_retention(retired_retention)
+        self.n_retired_items = 0
+        self._init_write_sync()
+
+    def _init_write_sync(self) -> None:
+        """The two write-path primitives (see the module docstring):
+        the cluster write lock and the retirement gate."""
+        self._write_lock = threading.RLock()
+        self._retire_gate = ReadWriteGate()
+
+    @staticmethod
+    def _check_retention(retired_retention: int) -> int:
+        if retired_retention < 1:
+            raise ValueError(
+                f"retired_retention must be >= 1, got {retired_retention}"
+            )
+        return int(retired_retention)
 
     @classmethod
     def from_handles(
@@ -106,6 +153,7 @@ class PLSHCluster:
         insert_window: int = 4,
         network: NetworkModel | None = None,
         replication: int = 1,
+        retired_retention: int = 8,
     ) -> "PLSHCluster":
         """Cluster over prebuilt node handles (e.g. remote stubs).
 
@@ -136,6 +184,9 @@ class PLSHCluster:
         self._next_global_id = 0
         self.n_retirements = 0
         self.retired_ids = []
+        self.retired_retention = self._check_retention(retired_retention)
+        self.n_retired_items = 0
+        self._init_write_sync()
         return self
 
     # -- capacity ----------------------------------------------------------
@@ -173,64 +224,138 @@ class PLSHCluster:
 
         Rows are spread over the insert window round-robin in sub-batches;
         the window advances (retiring old nodes once the cluster has
-        wrapped) whenever its nodes fill up.
+        wrapped) whenever its nodes fill up.  Thread-safe: mutations are
+        serialized by the cluster write lock, and on return every row is
+        applied and queryable (read-your-writes for later queries).
         """
-        n = vectors.n_rows
-        global_ids = np.arange(
-            self._next_global_id, self._next_global_id + n, dtype=np.int64
-        )
-        self._next_global_id += n
-        # Round-robin sub-batches across the window, as in Figure 1.
-        per_node = max(1, -(-n // self.insert_window))
-        pos = 0
-        while pos < n:
-            node = self._next_insert_node()
-            take = min(node.free_capacity, n - pos, per_node)
-            if take > 0:
-                node.insert_batch(
-                    vectors.slice_rows(pos, pos + take),
-                    global_ids[pos : pos + take],
-                )
-                pos += take
-            self._window_cursor = (self._window_cursor + 1) % self.insert_window
-        return global_ids
+        return self.insert_many([vectors])[0]
 
-    def _next_insert_node(self):
-        """Pick the next window shard with space, advancing windows as
-        needed (an R>1 shard is full when its replicas are)."""
+    def insert_many(self, batches: list[CSRMatrix]) -> list[np.ndarray]:
+        """Apply several logical insert ops in order, as one critical
+        section; returns each op's global ids.
+
+        This is the gateway write micro-batcher's entry point: N coalesced
+        client inserts become ONE lock acquisition and (at most) one
+        ``insert_batch`` call per target shard, instead of N of each.
+        Placement is computed op by op with exactly the same round-robin /
+        window-advance walk as sequential :meth:`insert` calls, so the
+        row → shard assignment — and therefore every future broadcast
+        answer — is bit-identical to applying the ops one at a time;
+        only the per-shard row deliveries are fused.  Buffered rows are
+        flushed *before* any window advance, so retirement sees (and
+        drops) exactly the rows a serial execution would have.
+        """
+        with self._write_lock:
+            # shard index -> buffered (row blocks, id blocks, row count).
+            buf_rows: dict[int, list[CSRMatrix]] = {}
+            buf_ids: dict[int, list[np.ndarray]] = {}
+            buf_n: dict[int, int] = {}
+
+            def flush_buffers() -> None:
+                for si in list(buf_rows):
+                    self.shards[si].insert_batch(
+                        CSRMatrix.vstack(buf_rows[si]),
+                        np.concatenate(buf_ids[si]),
+                    )
+                buf_rows.clear()
+                buf_ids.clear()
+                buf_n.clear()
+
+            out: list[np.ndarray] = []
+            for vectors in batches:
+                n = vectors.n_rows
+                global_ids = np.arange(
+                    self._next_global_id,
+                    self._next_global_id + n,
+                    dtype=np.int64,
+                )
+                self._next_global_id += n
+                # Round-robin sub-batches across the window, as in Figure 1.
+                per_node = max(1, -(-n // self.insert_window))
+                pos = 0
+                while pos < n:
+                    si = self._next_insert_shard(buf_n, flush_buffers)
+                    free = self.shards[si].free_capacity - buf_n.get(si, 0)
+                    take = min(free, n - pos, per_node)
+                    if take > 0:
+                        buf_rows.setdefault(si, []).append(
+                            vectors.slice_rows(pos, pos + take)
+                        )
+                        buf_ids.setdefault(si, []).append(
+                            global_ids[pos : pos + take]
+                        )
+                        buf_n[si] = buf_n.get(si, 0) + take
+                        pos += take
+                    self._window_cursor = (
+                        self._window_cursor + 1
+                    ) % self.insert_window
+                out.append(global_ids)
+            flush_buffers()
+            return out
+
+    def _next_insert_shard(self, buf_n: dict[int, int], flush) -> int:
+        """Pick the next window shard with space — net of rows already
+        buffered for it — advancing windows as needed (an R>1 shard is
+        full when its replicas are).  ``flush`` lands buffered rows
+        before any retirement."""
         for _ in range(2 * self.n_shards):  # bounded: must terminate
-            window = self.window_nodes()
-            candidates = window[self._window_cursor :] + window[: self._window_cursor]
-            for node in candidates:
-                if not node.is_full:
-                    return node
-            self._advance_window()
+            start = self._window_start
+            for i in range(self.insert_window):
+                slot = (self._window_cursor + i) % self.insert_window
+                si = (start + slot) % self.n_shards
+                if self.shards[si].free_capacity - buf_n.get(si, 0) > 0:
+                    return si
+            self._advance_window(flush)
         raise RuntimeError("no insert capacity found after full rotation")
 
-    def _advance_window(self) -> None:
-        """Move the window forward by M, retiring its target if occupied."""
+    def _advance_window(self, flush=None) -> None:
+        """Move the window forward by M, retiring its target if occupied.
+
+        Retirement runs under the retirement gate's exclusive side: every
+        in-flight broadcast drains first, and broadcasts admitted
+        meanwhile wait — so no query ever observes a half-retired window
+        (the torn-window hazard of concurrent serving)."""
+        if flush is not None:
+            # Rows buffered by insert_many must land before the window
+            # moves: a retirement may target their shards, and serial
+            # execution would have inserted them first.
+            flush()
         self._window_start = (self._window_start + self.insert_window) % self.n_shards
         self._window_cursor = 0
         incoming = self.window_nodes()
         if any(shard.n_items > 0 for shard in incoming):
-            # Wrapped onto the oldest data: retire those shards (Figure 1).
-            dropped = [shard.retire() for shard in incoming]
-            self.retired_ids.append(
+            # Wrapped onto the oldest data: retire those shards (Figure 1),
+            # atomically with respect to query broadcasts.
+            with self._retire_gate.write():
+                dropped = [shard.retire() for shard in incoming]
+            retired = (
                 np.concatenate(dropped) if dropped else np.empty(0, dtype=np.int64)
             )
+            self.retired_ids.append(retired)
+            self.n_retired_items += int(retired.size)
             self.n_retirements += 1
+            # Bounded retention: a long-running service retires forever —
+            # keep the last K batches for observability/persistence, count
+            # the rest (satellite fix for the unbounded-growth leak).
+            if len(self.retired_ids) > self.retired_retention:
+                del self.retired_ids[: len(self.retired_ids) - self.retired_retention]
 
     # -- deletes / queries ----------------------------------------------------
 
     def delete(self, global_ids: np.ndarray) -> int:
         """Tombstone by global id across all shards; returns deleted count
-        (each item counted once, not once per replica)."""
-        return sum(shard.delete_global(global_ids) for shard in self.shards)
+        (each item counted once, not once per replica).  Serialized with
+        other mutations by the write lock; a query overlapping the call
+        may see the tombstones of some shards and not others, but each id
+        lives on one shard, so per-id visibility is atomic."""
+        with self._write_lock:
+            return sum(shard.delete_global(global_ids) for shard in self.shards)
 
     def query(
         self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
     ) -> BroadcastOutcome:
-        return self.coordinator.query(q_cols, q_vals, radius=radius)
+        with self._retire_gate.read():
+            return self.coordinator.query(q_cols, q_vals, radius=radius)
 
     def query_batch(
         self,
@@ -245,18 +370,20 @@ class PLSHCluster:
         ``mode="loop"`` broadcasts query-by-query).  ``workers > 1`` also
         shards each node's batch across cores via per-node persistent
         worker pools (see Coordinator)."""
-        return self.coordinator.query_batch(
-            queries, radius=radius, mode=mode, workers=workers,
-            backend=backend,
-        )
+        with self._retire_gate.read():
+            return self.coordinator.query_batch(
+                queries, radius=radius, mode=mode, workers=workers,
+                backend=backend,
+            )
 
     def merge_all(self) -> None:
         """Force-merge every node's delta (used by benches for steady
         state).  Drains any in-flight background merges first —
         :meth:`StreamingPLSH.merge_now` commits the pending build, then
         folds the fresh delta in synchronously."""
-        for shard in self.shards:
-            shard.merge_now()
+        with self._write_lock:
+            for shard in self.shards:
+                shard.merge_now()
 
     def begin_merge_all(self) -> int:
         """Kick off a non-blocking merge on every node with a non-empty
@@ -264,15 +391,17 @@ class PLSHCluster:
         being served by every node throughout; finished builds land via
         :meth:`commit_merges` (or opportunistically on the nodes' own
         insert paths when ``overlap_merges`` is set)."""
-        return sum(1 for shard in self.shards if shard.begin_merge())
+        with self._write_lock:
+            return sum(1 for shard in self.shards if shard.begin_merge())
 
     def commit_merges(self, *, wait: bool = False) -> int:
         """Commit pending merges across the cluster; returns how many
         landed.  ``wait=False`` (the default) commits only builds that
         already finished — the coordinator's periodic maintenance tick."""
-        return sum(
-            1 for shard in self.shards if shard.commit_merge(wait=wait)
-        )
+        with self._write_lock:
+            return sum(
+                1 for shard in self.shards if shard.commit_merge(wait=wait)
+            )
 
     def stats(self) -> list[dict]:
         """Per-shard monitoring rows, including ``merge_in_flight``."""

@@ -45,6 +45,14 @@ nodes serialize their engine access per node (concurrency across nodes
 is preserved either way).  ``tests/cluster/test_coordinator_concurrency.py``
 hammers both deployments for bit-identity with serial execution.
 
+The coordinator itself stays write-agnostic: mutations (inserts,
+deletes, retirement) are the :class:`PLSHCluster` object's job, which
+serializes them under its write lock and holds its retirement gate's
+read side across every broadcast it routes here — so a fan-out launched
+through the cluster can never observe a half-retired window.  Callers
+driving a bare coordinator concurrently with handle mutation forgo that
+gate and get per-node atomicity only.
+
 With PR 5 the coordinator is fault-aware: it only fans out to
 **broadcast-ready** handles (circuit breaker CLOSED — see
 :mod:`repro.cluster.health`), drives :class:`ReplicaGroup` shards exactly

@@ -44,6 +44,15 @@ class ClusterNode:
     through one coordinator would otherwise tear each other's single-query
     answers on in-process nodes.  The lock is per node: fan-out across
     nodes stays fully concurrent.
+
+    The same lock is what makes node-level *writes* atomic under
+    concurrent serving (PR 9): an ``insert_batch`` overlapping a query
+    either fully precedes or fully follows it — a query never observes
+    rows without their global-id map entries (the torn-translation
+    hazard), and ``insert_batch`` returning means the rows are queryable
+    (the cluster's read-your-writes contract builds on this).  Cross-node
+    ordering — window placement, retirement atomicity — is the cluster
+    object's job, not this lock's.
     """
 
     def __init__(
@@ -229,8 +238,11 @@ class ClusterNode:
             self.plsh.merge_now()
 
     def close(self) -> None:
-        """Release the node's persistent worker pools."""
-        self.plsh.close()
+        """Release the node's persistent worker pools.  Serialized with
+        in-flight ops: closing mid-broadcast must not pull a warm pool
+        out from under a running ``query_batch``."""
+        with self._op_lock:
+            self.plsh.close()
 
     def retire(self) -> np.ndarray:
         """Erase the node; returns the global ids that were dropped."""

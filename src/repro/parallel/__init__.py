@@ -43,10 +43,12 @@ import numpy as np
 from repro.parallel.background import BackgroundTask
 from repro.parallel.executor import Executor, SerialExecutor, ThreadExecutor
 from repro.parallel.fork_pool import ForkPoolExecutor, fork_available
+from repro.parallel.gate import ReadWriteGate
 
 __all__ = [
     "BackgroundTask",
     "Executor",
+    "ReadWriteGate",
     "ExecutorCache",
     "ForkPoolExecutor",
     "SerialExecutor",

@@ -1,0 +1,84 @@
+"""A readers-writer gate for rare, state-tearing mutations.
+
+The cluster's broadcast path is read-mostly: queries fan out to every
+shard and must observe the *shard set* consistently, but they never
+mutate it.  Window retirement is the opposite — it erases a whole window
+of M shards at once, and a broadcast that catches some of those shards
+pre-retirement and some post sees a corpus state that never existed
+(the "torn window").  A per-node lock cannot fix that: the tear is
+*across* nodes.
+
+:class:`ReadWriteGate` is the minimal primitive for this shape:
+
+* any number of **readers** (broadcasts) proceed concurrently;
+* a **writer** (retirement) waits for in-flight readers to drain, runs
+  exclusively, then lets readers resume;
+* a waiting writer blocks *new* readers, so a steady query stream cannot
+  starve retirement forever (writer preference).
+
+It is deliberately not reentrant — neither side may nest acquisitions of
+the same gate — and both sides are exposed as context managers so the
+release can never be skipped on an exception path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteGate"]
+
+
+class ReadWriteGate:
+    """Many concurrent readers, one exclusive writer, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @property
+    def readers(self) -> int:
+        """In-flight readers (monitoring/tests only; racy by nature)."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        """True while a writer holds the gate (monitoring/tests only)."""
+        return self._writer_active
+
+    @contextmanager
+    def read(self):
+        """Shared side: concurrent with other readers, excluded from
+        writers.  New readers queue behind a *waiting* writer so a
+        continuous reader stream cannot starve it."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive side: waits out in-flight readers, blocks new ones."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

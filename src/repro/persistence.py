@@ -405,6 +405,8 @@ def save_cluster(cluster, path: str | Path, *, on_pending: str = "drain") -> Non
         "window_cursor": cluster._window_cursor,
         "next_global_id": cluster._next_global_id,
         "n_retirements": cluster.n_retirements,
+        "n_retired_items": cluster.n_retired_items,
+        "retired_retention": cluster.retired_retention,
     }
     (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
     np.savez_compressed(
@@ -453,9 +455,18 @@ def load_cluster(path: str | Path, *, network=None, replication: int | None = No
     cluster._window_cursor = int(manifest["window_cursor"])
     cluster._next_global_id = int(manifest["next_global_id"])
     cluster.n_retirements = int(manifest["n_retirements"])
+    cluster.retired_retention = int(manifest.get("retired_retention", 8))
     with np.load(path / "retired.npz") as retired:
         cluster.retired_ids = [
             np.ascontiguousarray(retired[f"r{i}"], dtype=np.int64)
             for i in range(len(retired.files))
         ]
+    # Pre-retention archives carry only the retained blocks; their sum is
+    # the best available running total.
+    cluster.n_retired_items = int(
+        manifest.get(
+            "n_retired_items",
+            sum(ids.size for ids in cluster.retired_ids),
+        )
+    )
     return cluster

@@ -27,9 +27,24 @@ Coalescing is *correctness-free*: the vectorized batch kernel is
 bit-identical to the per-query loop, and the wire protocol round-trips
 float32 exactly, so a gateway answer equals a direct
 ``Coordinator.query`` answer bit for bit (the test suite asserts it).
+
+**Writes go through the same front door** (PR 9): ``insert`` /
+``delete`` / ``flush`` ops share the queries' admission control and
+coalesce in a write micro-batcher that applies batches in strict
+admission order (``max_concurrent=1``) via
+:meth:`~repro.cluster.cluster.PLSHCluster.insert_many` — placement-exact
+fusing, so gateway-mediated writes are bit-identical to the same op
+sequence applied directly to the cluster.  An insert's acknowledgment is
+the ordering contract: queries admitted after the ack see the row
+(read-your-writes); ``flush`` is the explicit write barrier.
 """
 
-from repro.serve.batcher import BatcherStats, MicroBatcher, PendingQuery
+from repro.serve.batcher import (
+    BatcherStats,
+    MicroBatcher,
+    PendingQuery,
+    PendingWrite,
+)
 from repro.serve.client import (
     AsyncGatewayClient,
     GatewayAnswer,
@@ -51,5 +66,6 @@ __all__ = [
     "LoadReport",
     "MicroBatcher",
     "PendingQuery",
+    "PendingWrite",
     "run_closed_loop",
 ]

@@ -23,8 +23,17 @@ loop; all methods must be called from that loop.  Dispatch itself (the
 blocking coordinator broadcast) is the gateway's job — the batcher just
 decides *when* a group of pending queries becomes a batch, and records
 honest stats about why (``flush_full`` / ``flush_timeout`` /
-``flush_drain`` counts, batch-size totals) so benchmarks can prove
-coalescing actually engaged.
+``flush_forced`` / ``flush_drain`` counts, batch-size totals) so
+benchmarks can prove coalescing actually engaged.
+
+The gateway runs **two** instances: one for queries and one for writes
+(:class:`PendingWrite` items — the write micro-batcher that coalesces
+single-row client inserts into ``insert_many`` critical sections, with
+``max_concurrent=1`` so write batches apply strictly in admission
+order).  The batcher itself is item-agnostic: anything carrying a
+``future`` coalesces the same way.  :meth:`flush_now` is the ``flush``
+wire op's hook — dispatch whatever is collecting without waiting out
+the latency budget.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from typing import Awaitable, Callable
 
 import numpy as np
 
-__all__ = ["BatcherStats", "MicroBatcher", "PendingQuery"]
+__all__ = ["BatcherStats", "MicroBatcher", "PendingQuery", "PendingWrite"]
 
 
 @dataclass
@@ -52,6 +61,24 @@ class PendingQuery:
 
 
 @dataclass
+class PendingWrite:
+    """One admitted write op waiting to be coalesced into a batch.
+
+    ``kind`` is ``"insert"`` (``cols``/``vals`` hold one sparse row;
+    resolved with the assigned global ids) or ``"delete"`` (``ids``
+    holds the global ids; resolved with the deleted count)."""
+
+    kind: str
+    cols: np.ndarray | None
+    vals: np.ndarray | None
+    ids: np.ndarray | None
+    tenant: str
+    #: resolved with the op's result (global ids / count) or an exception.
+    future: asyncio.Future
+    enqueued_at: float = 0.0
+
+
+@dataclass
 class BatcherStats:
     """Why batches flushed and how big they were (coalescing evidence)."""
 
@@ -59,6 +86,7 @@ class BatcherStats:
     n_batches: int = 0
     flush_full: int = 0
     flush_timeout: int = 0
+    flush_forced: int = 0
     flush_drain: int = 0
     batch_size_sum: int = 0
     batch_size_max: int = 0
@@ -73,6 +101,7 @@ class BatcherStats:
             "n_batches": self.n_batches,
             "flush_full": self.flush_full,
             "flush_timeout": self.flush_timeout,
+            "flush_forced": self.flush_forced,
             "flush_drain": self.flush_drain,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "batch_size_max": self.batch_size_max,
@@ -143,6 +172,8 @@ class MicroBatcher:
             self.stats.flush_full += 1
         elif cause == "timeout":
             self.stats.flush_timeout += 1
+        elif cause == "forced":
+            self.stats.flush_forced += 1
         else:
             self.stats.flush_drain += 1
         task = asyncio.get_running_loop().create_task(self._dispatch(batch))
@@ -153,10 +184,22 @@ class MicroBatcher:
         async with self._slots:
             await self._run_batch(batch)
 
+    def flush_now(self) -> None:
+        """Dispatch the collecting batch immediately (the ``flush`` wire
+        op): don't wait out the latency budget.  No-op when nothing is
+        pending."""
+        if self._pending:
+            self._flush("forced")
+
+    async def wait_idle(self) -> None:
+        """Wait until every already-dispatched batch has completed.  Does
+        NOT flush — pair with :meth:`flush_now` for a write barrier."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
     async def drain(self) -> None:
         """Flush whatever is collected and wait for every in-flight batch
         (clean-shutdown path: no admitted query is ever dropped)."""
         if self._pending:
             self._flush("drain")
-        while self._inflight:
-            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        await self.wait_idle()

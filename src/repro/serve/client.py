@@ -114,6 +114,40 @@ class GatewayClient:
         )
         return GatewayAnswer(_raise_for_status(message))
 
+    def insert(self, cols, vals, *, tenant: str | None = None) -> np.ndarray:
+        """Insert one sparse row; returns the assigned global ids (one
+        per row).  Once this returns, the row is applied and visible to
+        any query sent afterwards (read-your-writes)."""
+        self._next_id += 1
+        message = self._exchange(
+            protocol.insert_request(
+                cols, vals, request_id=self._next_id, tenant=tenant
+            )
+        )
+        return np.asarray(
+            _raise_for_status(message)["global_ids"], dtype=np.int64
+        )
+
+    def delete(self, global_ids, *, tenant: str | None = None) -> int:
+        """Tombstone rows by global id; returns how many were present."""
+        self._next_id += 1
+        message = self._exchange(
+            protocol.delete_request(
+                global_ids, request_id=self._next_id, tenant=tenant
+            )
+        )
+        return int(_raise_for_status(message)["n_deleted"])
+
+    def flush(self) -> int:
+        """Write barrier: returns once every write admitted before this
+        call has been applied; the result is how many writes were still
+        collecting when the flush arrived."""
+        self._next_id += 1
+        message = self._exchange(
+            protocol.flush_request(request_id=self._next_id)
+        )
+        return int(_raise_for_status(message)["n_flushed"])
+
     def ping(self) -> bool:
         return self._exchange({"op": "ping"}).get("status") == "ok"
 
@@ -192,6 +226,50 @@ class AsyncGatewayClient:
                 request_id=self._next_id, radius=radius, tenant=tenant,
             )
         )
+
+    async def insert(
+        self, cols, vals, *, tenant: str | None = None
+    ) -> np.ndarray:
+        """Insert one sparse row; returns the assigned global ids."""
+        self._next_id += 1
+        message = await self._exchange(
+            protocol.insert_request(
+                cols, vals, request_id=self._next_id, tenant=tenant
+            )
+        )
+        return np.asarray(
+            _raise_for_status(message)["global_ids"], dtype=np.int64
+        )
+
+    async def insert_raw(
+        self, cols, vals, *, tenant: str | None = None
+    ) -> dict:
+        """Like :meth:`insert` but returns the raw response without
+        raising — the mixed-load generator classifies outcomes itself."""
+        self._next_id += 1
+        return await self._exchange(
+            protocol.insert_request(
+                cols, vals, request_id=self._next_id, tenant=tenant
+            )
+        )
+
+    async def delete(self, global_ids, *, tenant: str | None = None) -> int:
+        """Tombstone rows by global id; returns how many were present."""
+        self._next_id += 1
+        message = await self._exchange(
+            protocol.delete_request(
+                global_ids, request_id=self._next_id, tenant=tenant
+            )
+        )
+        return int(_raise_for_status(message)["n_deleted"])
+
+    async def flush(self) -> int:
+        """Write barrier (see :meth:`GatewayClient.flush`)."""
+        self._next_id += 1
+        message = await self._exchange(
+            protocol.flush_request(request_id=self._next_id)
+        )
+        return int(_raise_for_status(message)["n_flushed"])
 
     async def stats(self) -> dict:
         return _raise_for_status(await self._exchange({"op": "stats"}))["stats"]

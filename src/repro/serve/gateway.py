@@ -39,6 +39,33 @@ management, locked NetworkModel accounting; see
 A stalled or dead node never stalls the gateway: the broadcast layer's
 deadlines and circuit breakers convert it into per-query ``degraded``
 answers, and the dispatch pool keeps flushing batches meanwhile.
+
+**The write path (PR 9).**  Mutations flow through the same front door
+with the same guarantees as reads: ``insert`` / ``delete`` ops share the
+queries' admission control (one ``max_pending`` backlog bound, the same
+per-tenant quotas, explicit ``rejected`` + ``retry_after`` shedding) and
+coalesce in a second :class:`MicroBatcher` — the *write* micro-batcher —
+whose batches apply as one :meth:`PLSHCluster.insert_many` critical
+section per run of consecutive inserts.  Two deliberate asymmetries
+versus the query path:
+
+* write batches dispatch with ``max_concurrent=1``, so writes apply in
+  exactly their admission order (queries are order-free; writes are
+  not);
+* an insert is acknowledged only *after* the cluster call returns —
+  the ack is the ordering contract: a query admitted after a write's
+  acknowledgment observes that write (read-your-writes).  A query
+  admitted before the ack may or may not see it; a ``flush`` op is the
+  explicit barrier (force-dispatch + wait for every in-flight write).
+
+Gateway-mediated writes are bit-identical to direct cluster calls: the
+JSON wire round-trips float32 exactly, and ``insert_many`` places rows
+exactly as sequential ``insert`` calls would — so the same logical op
+sequence produces the same global ids, shard placement, and broadcast
+answers whether it flows through the gateway or not (asserted in
+``tests/serve/test_gateway_writes.py``).  Against a provider with no
+``insert`` (a bare coordinator), write ops answer ``status="error"``
+(read-only) rather than pretending.
 """
 
 from __future__ import annotations
@@ -52,7 +79,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.serve import protocol
-from repro.serve.batcher import MicroBatcher, PendingQuery
+from repro.serve.batcher import MicroBatcher, PendingQuery, PendingWrite
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["Gateway"]
@@ -81,6 +108,8 @@ class Gateway:
         max_pending: int = 1024,
         tenant_quota: int | None = None,
         default_radius: float | None = None,
+        write_max_batch: int = 64,
+        write_max_delay: float | None = None,
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -100,8 +129,21 @@ class Gateway:
         self.max_pending = int(max_pending)
         self.tenant_quota = tenant_quota
         self.default_radius = default_radius
+        if write_max_batch < 1:
+            raise ValueError(
+                f"write_max_batch must be >= 1, got {write_max_batch}"
+            )
+        self.write_max_batch = int(write_max_batch)
+        self.write_max_delay = float(
+            max_delay if write_max_delay is None else write_max_delay
+        )
+        #: writes need a mutable provider; a bare coordinator is read-only.
+        self._writable = hasattr(cluster, "insert") and hasattr(
+            cluster, "delete"
+        )
 
         self.batcher: MicroBatcher | None = None
+        self.write_batcher: MicroBatcher | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
@@ -121,10 +163,17 @@ class Gateway:
         self._counters = {
             "admitted": 0,
             "answered": 0,
+            "admitted_writes": 0,
+            "answered_writes": 0,
+            "inserted_rows": 0,
+            "deleted_rows": 0,
+            "flushes": 0,
             "rejected_overload": 0,
             "rejected_quota": 0,
+            "rejected_readonly": 0,
             "malformed": 0,
             "broadcast_errors": 0,
+            "write_errors": 0,
             "degraded": 0,
         }
         self._answer_tasks: set[asyncio.Task] = set()
@@ -198,6 +247,13 @@ class Gateway:
             max_delay=self.max_delay,
             max_concurrent=self.max_concurrent_batches,
         )
+        # Writes apply strictly in admission order: one batch in flight.
+        self.write_batcher = MicroBatcher(
+            self._run_write_batch,
+            max_batch=self.write_max_batch,
+            max_delay=self.write_max_delay,
+            max_concurrent=1,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_concurrent_batches,
             thread_name_prefix="plsh-gateway-dispatch",
@@ -225,6 +281,7 @@ class Gateway:
             self._server.close()
             await self._server.wait_closed()
             await self.batcher.drain()
+            await self.write_batcher.drain()
             while self._answer_tasks:
                 await asyncio.gather(
                     *list(self._answer_tasks), return_exceptions=True
@@ -267,6 +324,14 @@ class Gateway:
                 op = message.get("op", "query")
                 if op == "query":
                     self._admit(message, wlock, writer)
+                elif op in ("insert", "delete"):
+                    self._admit_write(op, message, wlock, writer)
+                elif op == "flush":
+                    task = asyncio.get_running_loop().create_task(
+                        self._flush_barrier(message.get("id"), wlock, writer)
+                    )
+                    self._answer_tasks.add(task)
+                    task.add_done_callback(self._answer_tasks.discard)
                 elif op == "ping":
                     await self._send(
                         wlock, writer,
@@ -306,23 +371,34 @@ class Gateway:
 
     # -- admission ---------------------------------------------------------
 
-    def _admit(
-        self,
-        message: dict,
-        wlock: asyncio.Lock,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        """Admit-or-reject one query, synchronously on the loop (the
-        admission decision must see a consistent backlog count)."""
-        request_id = message.get("id")
-        tenant = str(message.get("tenant", "default"))
+    def _slot_acquire(self, tenant: str) -> None:
+        """Count one admitted request against the backlog + its tenant.
+        Loop-thread only; paired with :meth:`_slot_release`."""
+        self._pending_total += 1
+        self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
+
+    def _slot_release(self, tenant: str) -> None:
+        """Release one slot; a tenant's entry is DROPPED at zero so the
+        per-tenant dict tracks only live tenants and cannot grow without
+        bound as distinct tenants come and go."""
+        self._pending_total -= 1
+        remaining = self._tenant_pending.get(tenant, 1) - 1
+        if remaining > 0:
+            self._tenant_pending[tenant] = remaining
+        else:
+            self._tenant_pending.pop(tenant, None)
+
+    def _try_reject(self, request_id, tenant, wlock, writer) -> bool:
+        """Shared admission gate (queries AND writes): shed on drain,
+        backlog cap, or tenant quota.  True if the request was rejected
+        (a reply is already on its way)."""
         if self._draining:
             self._counters["rejected_overload"] += 1
             self._reply_soon(
                 wlock, writer,
                 protocol.reject_response(request_id, "shutdown", 1.0),
             )
-            return
+            return True
         if self._pending_total >= self.max_pending:
             self._counters["rejected_overload"] += 1
             self._reply_soon(
@@ -331,7 +407,7 @@ class Gateway:
                     request_id, "overloaded", self._retry_after()
                 ),
             )
-            return
+            return True
         if (
             self.tenant_quota is not None
             and self._tenant_pending.get(tenant, 0) >= self.tenant_quota
@@ -343,6 +419,20 @@ class Gateway:
                     request_id, "quota", self._retry_after()
                 ),
             )
+            return True
+        return False
+
+    def _admit(
+        self,
+        message: dict,
+        wlock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Admit-or-reject one query, synchronously on the loop (the
+        admission decision must see a consistent backlog count)."""
+        request_id = message.get("id")
+        tenant = str(message.get("tenant", "default"))
+        if self._try_reject(request_id, tenant, wlock, writer):
             return
         try:
             cols, vals, radius = self._parse_query(message)
@@ -356,8 +446,7 @@ class Gateway:
         item = PendingQuery(
             cols, vals, radius, tenant, future, time.perf_counter()
         )
-        self._pending_total += 1
-        self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
+        self._slot_acquire(tenant)
         self._counters["admitted"] += 1
         self.batcher.submit(item)
         task = asyncio.get_running_loop().create_task(
@@ -409,6 +498,180 @@ class Gateway:
         if radius is not None:
             radius = float(radius)
         return cols_arr, vals_arr, radius
+
+    # -- the write path ----------------------------------------------------
+
+    def _admit_write(
+        self,
+        op: str,
+        message: dict,
+        wlock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Admit-or-reject one insert/delete through the SAME gate as
+        queries (one backlog bound, same tenant quotas)."""
+        request_id = message.get("id")
+        tenant = str(message.get("tenant", "default"))
+        if not self._writable:
+            self._counters["rejected_readonly"] += 1
+            self._reply_soon(
+                wlock, writer,
+                protocol.error_response(
+                    request_id,
+                    f"provider is read-only: {op!r} needs a cluster, "
+                    "not a bare coordinator",
+                ),
+            )
+            return
+        if self._try_reject(request_id, tenant, wlock, writer):
+            return
+        try:
+            item = self._parse_write(op, message, tenant)
+        except ValueError as exc:
+            self._counters["malformed"] += 1
+            self._reply_soon(
+                wlock, writer, protocol.error_response(request_id, str(exc))
+            )
+            return
+        self._slot_acquire(tenant)
+        self._counters["admitted_writes"] += 1
+        self.write_batcher.submit(item)
+        task = asyncio.get_running_loop().create_task(
+            self._answer_write(request_id, item, wlock, writer)
+        )
+        self._answer_tasks.add(task)
+        task.add_done_callback(self._answer_tasks.discard)
+
+    def _parse_write(self, op: str, message: dict, tenant: str) -> PendingWrite:
+        future = asyncio.get_running_loop().create_future()
+        if op == "insert":
+            # Same validation as a query row minus the radius — an insert
+            # is a sparse row in the same space queries live in.
+            cols, vals, _ = self._parse_query(message)
+            return PendingWrite(
+                "insert", cols, vals, None, tenant, future, time.perf_counter()
+            )
+        ids = message.get("ids")
+        if not isinstance(ids, list) or not ids:
+            raise ValueError("delete needs a non-empty 'ids' list")
+        try:
+            ids_arr = np.asarray(ids, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise ValueError(f"non-integer delete ids: {exc}") from exc
+        if ids_arr.ndim != 1:
+            raise ValueError("delete 'ids' must be a flat list")
+        return PendingWrite(
+            "delete", None, None, ids_arr, tenant, future, time.perf_counter()
+        )
+
+    async def _run_write_batch(self, batch: list[PendingWrite]) -> None:
+        """Apply one coalesced write batch on the dispatch pool and resolve
+        every op's future.  ``max_concurrent=1`` on the write batcher means
+        batches (and therefore acks) happen in admission order."""
+        loop = asyncio.get_running_loop()
+        try:
+            resolved = await loop.run_in_executor(
+                self._executor, self._apply_writes, batch
+            )
+        except Exception as exc:  # pragma: no cover - _apply_writes catches
+            resolved = [exc] * len(batch)
+        for item, value in zip(batch, resolved):
+            if item.future.done():
+                continue
+            if isinstance(value, BaseException):
+                item.future.set_exception(value)
+            else:
+                item.future.set_result(value)
+
+    def _apply_writes(self, batch: list[PendingWrite]) -> list:
+        """Blocking: apply the batch in admission order, fusing each
+        maximal run of consecutive inserts into ONE ``insert_many`` call.
+
+        ``insert_many`` replays the exact serial placement walk (same
+        global ids, same shard placement, same retirements as one
+        ``insert`` per row) while delivering per-shard rows as fused
+        ``insert_batch`` calls — so coalescing changes RPC count, never
+        answers.  Deletes break the run because they must apply at their
+        admitted position.
+        """
+        out: list = [None] * len(batch)
+        i = 0
+        while i < len(batch):
+            if batch[i].kind == "insert":
+                j = i
+                while j < len(batch) and batch[j].kind == "insert":
+                    j += 1
+                run = batch[i:j]
+                try:
+                    gids = self.cluster.insert_many(
+                        [
+                            CSRMatrix.from_rows(
+                                [(it.cols, it.vals)], self.dim
+                            )
+                            for it in run
+                        ]
+                    )
+                except Exception as exc:
+                    for k in range(i, j):
+                        out[k] = exc
+                else:
+                    for k, g in zip(range(i, j), gids):
+                        out[k] = ("insert", g)
+                i = j
+            else:
+                item = batch[i]
+                try:
+                    n = self.cluster.delete(item.ids)
+                except Exception as exc:
+                    out[i] = exc
+                else:
+                    out[i] = ("delete", int(n))
+                i += 1
+        return out
+
+    async def _answer_write(
+        self,
+        request_id,
+        item: PendingWrite,
+        wlock: asyncio.Lock,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            kind, value = await item.future
+            self._counters["answered_writes"] += 1
+            if kind == "insert":
+                self._counters["inserted_rows"] += int(np.asarray(value).size)
+                response = protocol.insert_ok_response(request_id, value)
+            else:
+                self._counters["deleted_rows"] += int(value)
+                response = protocol.delete_ok_response(request_id, value)
+        except Exception as exc:
+            self._counters["write_errors"] += 1
+            response = protocol.error_response(
+                request_id, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._slot_release(item.tenant)
+        try:
+            await self._send(wlock, writer, response)
+        except Exception:
+            # Client gone; the write is applied and accounted regardless.
+            pass
+
+    async def _flush_barrier(
+        self, request_id, wlock: asyncio.Lock, writer: asyncio.StreamWriter
+    ) -> None:
+        """The ``flush`` wire op: force-dispatch the collecting write
+        batch, then wait until every in-flight write batch has applied.
+        Answering means every write admitted before this flush is durable
+        in the cluster (acks for them may still be in transit)."""
+        n_waiting = self.write_batcher.n_pending
+        self.write_batcher.flush_now()
+        await self.write_batcher.wait_idle()
+        self._counters["flushes"] += 1
+        await self._send(
+            wlock, writer, protocol.flush_ok_response(request_id, n_waiting)
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -476,12 +739,7 @@ class Gateway:
                 request_id, f"{type(exc).__name__}: {exc}"
             )
         finally:
-            self._pending_total -= 1
-            remaining = self._tenant_pending.get(item.tenant, 1) - 1
-            if remaining > 0:
-                self._tenant_pending[item.tenant] = remaining
-            else:
-                self._tenant_pending.pop(item.tenant, None)
+            self._slot_release(item.tenant)
         try:
             await self._send(wlock, writer, response)
         except Exception:
@@ -494,17 +752,24 @@ class Gateway:
     def stats(self) -> dict:
         """Gateway counters + batcher stats (coalescing evidence)."""
         batcher = self.batcher.stats.as_dict() if self.batcher else {}
+        write_batcher = (
+            self.write_batcher.stats.as_dict() if self.write_batcher else {}
+        )
         return {
             "host": self.host,
             "port": self.port,
             "pending": self._pending_total,
+            "writable": self._writable,
             **dict(self._counters),
             "batcher": batcher,
+            "write_batcher": write_batcher,
             "config": {
                 "max_batch": self.max_batch,
                 "max_delay": self.max_delay,
                 "max_concurrent_batches": self.max_concurrent_batches,
                 "max_pending": self.max_pending,
                 "tenant_quota": self.tenant_quota,
+                "write_max_batch": self.write_max_batch,
+                "write_max_delay": self.write_max_delay,
             },
         }

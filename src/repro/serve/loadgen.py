@@ -20,6 +20,14 @@ The :class:`LoadReport` carries client-observed p50/p99/max latency, the
 completed-query throughput, rejection/error counts, and the gateway's
 own batcher stats snapshot (mean batch size, flush causes) taken at the
 end of the run — the coalescing evidence next to the latency it bought.
+
+**Mixed load (PR 9).**  ``write_fraction`` turns each client into a
+mixed reader/writer: per request it flips a seeded coin and either
+queries or inserts one row drawn from ``insert_pool`` — still strictly
+closed-loop (one request in flight per client, writes included), so
+write admission and the write micro-batcher are exercised by exactly the
+concurrency real ingest clients would provide.  Write latencies and
+throughput are reported separately from reads.
 """
 
 from __future__ import annotations
@@ -45,9 +53,13 @@ class LoadReport:
     n_rejected: int = 0
     n_errors: int = 0
     n_degraded: int = 0
+    #: acknowledged gateway inserts (mixed-load runs only).
+    n_write_ok: int = 0
     seconds: float = 0.0
     #: all per-request client-observed latencies (seconds), ok only.
     latencies: list[float] = field(default_factory=list)
+    #: client-observed insert ack latencies (seconds), mixed load only.
+    write_latencies: list[float] = field(default_factory=list)
     #: gateway ``stats()`` snapshot at the end of the run.
     gateway_stats: dict = field(default_factory=dict)
 
@@ -55,10 +67,23 @@ class LoadReport:
     def qps(self) -> float:
         return self.n_ok / self.seconds if self.seconds > 0 else 0.0
 
+    @property
+    def wps(self) -> float:
+        """Acknowledged inserts per second (0 for read-only runs)."""
+        return self.n_write_ok / self.seconds if self.seconds > 0 else 0.0
+
     def latency_ms(self, percentile: float) -> float:
         if not self.latencies:
             return 0.0
         return float(np.percentile(np.asarray(self.latencies), percentile)) * 1e3
+
+    def write_latency_ms(self, percentile: float) -> float:
+        if not self.write_latencies:
+            return 0.0
+        return (
+            float(np.percentile(np.asarray(self.write_latencies), percentile))
+            * 1e3
+        )
 
     @property
     def p50_ms(self) -> float:
@@ -72,6 +97,15 @@ class LoadReport:
     def mean_batch_size(self) -> float:
         return float(
             self.gateway_stats.get("batcher", {}).get("mean_batch_size", 0.0)
+        )
+
+    @property
+    def mean_write_batch_size(self) -> float:
+        """Write-batcher coalescing evidence from the gateway snapshot."""
+        return float(
+            self.gateway_stats.get("write_batcher", {}).get(
+                "mean_batch_size", 0.0
+            )
         )
 
     def row(self) -> list:
@@ -97,6 +131,9 @@ async def _client_loop(
     tenant: str | None,
     report: LoadReport,
     start_gate: asyncio.Event,
+    is_write: np.ndarray | None = None,
+    insert_pool: CSRMatrix | None = None,
+    insert_offsets: np.ndarray | None = None,
 ) -> None:
     client = await AsyncGatewayClient().connect(host, port)
     try:
@@ -104,19 +141,37 @@ async def _client_loop(
         n_rows = queries.n_rows
         served = 0
         cursor = 0
+        n_inserted = 0
         while served < n_requests:
-            cols, vals = queries.row(int(offsets[cursor % offsets.size]) % n_rows)
-            cursor += 1
+            write = is_write is not None and bool(is_write[served])
+            if write:
+                cols, vals = insert_pool.row(
+                    int(insert_offsets[n_inserted % insert_offsets.size])
+                )
+            else:
+                cols, vals = queries.row(
+                    int(offsets[cursor % offsets.size]) % n_rows
+                )
+                cursor += 1
             start = time.perf_counter()
-            message = await client.query_raw(
-                cols, vals, radius=radius, tenant=tenant
-            )
+            if write:
+                message = await client.insert_raw(cols, vals, tenant=tenant)
+            else:
+                message = await client.query_raw(
+                    cols, vals, radius=radius, tenant=tenant
+                )
             status = message.get("status")
             if status == "ok":
-                report.latencies.append(time.perf_counter() - start)
-                report.n_ok += 1
-                if message.get("degraded"):
-                    report.n_degraded += 1
+                elapsed = time.perf_counter() - start
+                if write:
+                    report.write_latencies.append(elapsed)
+                    report.n_write_ok += 1
+                    n_inserted += 1
+                else:
+                    report.latencies.append(elapsed)
+                    report.n_ok += 1
+                    if message.get("degraded"):
+                        report.n_degraded += 1
                 served += 1
             elif status == "rejected":
                 report.n_rejected += 1
@@ -139,7 +194,23 @@ async def _run(
     radius: float | None,
     tenants: list[str] | None,
     seed: int,
+    write_fraction: float = 0.0,
+    insert_pool: CSRMatrix | None = None,
 ) -> LoadReport:
+    # Reject an empty corpus HERE, on the path every entry point shares:
+    # the old ``rng.permutation(max(n_rows, 1))`` fabricated index 0 for
+    # an empty pool and only blew up (or silently queried garbage) inside
+    # the client loop.
+    if queries.n_rows < 1:
+        raise ValueError(
+            "query pool is empty (queries.n_rows == 0) — the load "
+            "generator needs at least one query vector to draw from"
+        )
+    if write_fraction and (insert_pool is None or insert_pool.n_rows < 1):
+        raise ValueError(
+            "write_fraction > 0 needs a non-empty insert_pool to draw "
+            "insert rows from"
+        )
     report = LoadReport(n_clients=n_clients)
     rng = np.random.default_rng(seed)
     start_gate = asyncio.Event()
@@ -147,13 +218,21 @@ async def _run(
     for c in range(n_clients):
         # Every client walks its own shuffled view of the query pool so
         # concurrent batches mix queries instead of duplicating them.
-        offsets = rng.permutation(max(queries.n_rows, 1))
+        offsets = rng.permutation(queries.n_rows)
         tenant = tenants[c % len(tenants)] if tenants else None
+        is_write = None
+        insert_offsets = None
+        if write_fraction:
+            # Seeded per-client coin flips: the read/write interleaving
+            # is reproducible for a given (seed, n_clients).
+            is_write = rng.random(requests_per_client) < write_fraction
+            insert_offsets = rng.permutation(insert_pool.n_rows)
         tasks.append(
             asyncio.ensure_future(
                 _client_loop(
                     host, port, queries, offsets, requests_per_client,
                     radius, tenant, report, start_gate,
+                    is_write, insert_pool, insert_offsets,
                 )
             )
         )
@@ -187,21 +266,28 @@ def run_closed_loop(
     radius: float | None = None,
     tenants: list[str] | None = None,
     seed: int = 0,
+    write_fraction: float = 0.0,
+    insert_pool: CSRMatrix | None = None,
 ) -> LoadReport:
     """Drive the gateway with ``n_clients`` closed-loop clients.
 
-    Each client issues ``requests_per_client`` queries drawn (shuffled,
-    per-client seed) from ``queries``; the report aggregates all clients.
-    Runs its own event loop — call from ordinary sync code while the
-    gateway serves on its background thread.
+    Each client issues ``requests_per_client`` requests; with
+    ``write_fraction > 0`` that fraction (per-request seeded coin) are
+    single-row inserts drawn from ``insert_pool``, the rest queries
+    drawn (shuffled, per-client seed) from ``queries``; the report
+    aggregates all clients, write metrics separate from reads.  Runs its
+    own event loop — call from ordinary sync code while the gateway
+    serves on its background thread.
     """
     if n_clients < 1:
         raise ValueError(f"n_clients must be >= 1, got {n_clients}")
-    if queries.n_rows < 1:
-        raise ValueError("need at least one query vector")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(
+            f"write_fraction must be in [0, 1], got {write_fraction}"
+        )
     return asyncio.run(
         _run(
             host, port, queries, n_clients, requests_per_client,
-            radius, tenants, seed,
+            radius, tenants, seed, write_fraction, insert_pool,
         )
     )

@@ -20,10 +20,29 @@ Requests
     One similarity query.  ``id`` is echoed on the response (clients may
     pipeline; responses can arrive out of order).  ``radius`` and
     ``tenant`` are optional.
+``{"op": "insert", "id": 8, "cols": [...], "vals": [...],
+   "tenant": "ingest"}``
+    Insert one sparse row into the cluster.  The response carries the
+    assigned ``global_ids`` (one per inserted row).  Values round-trip
+    float32-exactly, so a gateway insert indexes the same bits a direct
+    ``cluster.insert`` would.  The acknowledgment IS the ordering
+    contract: once the response arrives, the row is applied, and any
+    query sent after it sees the row (read-your-writes).
+``{"op": "delete", "id": 9, "ids": [17, 40], "tenant": "ingest"}``
+    Tombstone rows by global id; the response carries ``n_deleted``
+    (ids not present count zero, same as ``cluster.delete``).
+``{"op": "flush", "id": 10}``
+    Write barrier: forces the write micro-batcher to dispatch its
+    collecting batch immediately and answers once every write admitted
+    before the flush has been applied and acknowledged.
 ``{"op": "ping"}``
     Liveness check; answered immediately, never queued.
 ``{"op": "stats"}``
     Gateway counters (coalescing, admission, latency bookkeeping).
+
+Writes share the queries' admission control (``max_pending`` bound +
+per-tenant quotas) and statuses; an insert/delete against a read-only
+provider (a bare coordinator) answers ``status="error"``.
 
 Responses
 ---------
@@ -51,8 +70,14 @@ import numpy as np
 __all__ = [
     "MAX_LINE_BYTES",
     "decode",
+    "delete_ok_response",
+    "delete_request",
     "encode",
     "error_response",
+    "flush_ok_response",
+    "flush_request",
+    "insert_ok_response",
+    "insert_request",
     "ok_response",
     "query_request",
     "reject_response",
@@ -103,6 +128,52 @@ def query_request(
     return message
 
 
+def insert_request(
+    cols,
+    vals,
+    *,
+    request_id: int | str | None = None,
+    tenant: str | None = None,
+) -> dict:
+    """Build an insert request for one sparse row (client-side helper)."""
+    message: dict = {
+        "op": "insert",
+        "cols": [int(c) for c in np.asarray(cols).tolist()],
+        "vals": [float(v) for v in np.asarray(vals).tolist()],
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    if tenant is not None:
+        message["tenant"] = tenant
+    return message
+
+
+def delete_request(
+    global_ids,
+    *,
+    request_id: int | str | None = None,
+    tenant: str | None = None,
+) -> dict:
+    """Build a delete-by-global-id request (client-side helper)."""
+    message: dict = {
+        "op": "delete",
+        "ids": [int(g) for g in np.asarray(global_ids).reshape(-1).tolist()],
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    if tenant is not None:
+        message["tenant"] = tenant
+    return message
+
+
+def flush_request(*, request_id: int | str | None = None) -> dict:
+    """Build a write-barrier request (client-side helper)."""
+    message: dict = {"op": "flush"}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
 def ok_response(request_id, outcome) -> dict:
     """An answered query: ids, distances and the honest-serving report."""
     result = outcome.result
@@ -113,6 +184,37 @@ def ok_response(request_id, outcome) -> dict:
         "dists": [float(d) for d in result.distances],
         "degraded": bool(outcome.degraded),
         "missing_shards": list(outcome.missing_shards),
+    }
+
+
+def insert_ok_response(request_id, global_ids) -> dict:
+    """An applied insert: the cluster-assigned global ids, in row order."""
+    return {
+        "id": request_id,
+        "status": "ok",
+        "op": "insert",
+        "global_ids": [int(g) for g in np.asarray(global_ids).tolist()],
+    }
+
+
+def delete_ok_response(request_id, n_deleted: int) -> dict:
+    """An applied delete: how many ids were actually tombstoned."""
+    return {
+        "id": request_id,
+        "status": "ok",
+        "op": "delete",
+        "n_deleted": int(n_deleted),
+    }
+
+
+def flush_ok_response(request_id, n_flushed: int) -> dict:
+    """A completed write barrier; ``n_flushed`` is how many writes were
+    still unapplied when the flush arrived (0 = nothing to wait for)."""
+    return {
+        "id": request_id,
+        "status": "ok",
+        "op": "flush",
+        "n_flushed": int(n_flushed),
     }
 
 

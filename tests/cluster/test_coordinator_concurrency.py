@@ -13,6 +13,16 @@ banging ``query_batch`` + single ``query`` on one cluster, every answer
 compared bit-for-bit against the serial reference — in-process *and*
 against real spawned node servers — plus an exact-message-count check
 that would catch a single lost network-counter update.
+
+PR 9 adds the *write* hammer: threads interleaving single-row inserts,
+deletes and broadcasts on one cluster across several window
+retirements.  Inserts are fully serialized by the cluster write lock
+and global ids are assigned inside the critical section, so the id
+order IS the serialization order — replaying the ops serially in id
+order into a shadow cluster must reproduce the final state bit for bit
+(placement, retirement log, broadcast answers).  A dedicated test
+drives a query into a deliberately slowed retirement and asserts
+all-or-none visibility (no torn window).
 """
 
 from __future__ import annotations
@@ -221,6 +231,243 @@ class TestFanOutPool:
         wide = coord._fan_out(ident, [(i,) for i in range(8)])
         assert wide == list(range(8))
         assert coord._pool is not None and coord._pool.workers >= 8
+
+
+WRITE_CAPACITY = 40  # small: the write hammer must cross retirements
+N_PREINSERTED = 60
+
+
+def _write_hammer(cluster, vectors, *, iterations, make_shadow):
+    """Interleaved insert / delete / broadcast threads, then a serial
+    replay check.
+
+    Per iteration: two threads stream single-row inserts, one deletes
+    pre-inserted ids, one broadcasts queries — all overlapping window
+    retirements.  Afterwards the recorded ops are replayed serially (in
+    assigned-global-id order, which is the write lock's serialization
+    order) into a fresh shadow cluster; final placement, the retirement
+    log and broadcast answers must match bit for bit.  Deletes replay
+    last: they only ever target pre-inserted ids, tombstones do not
+    change capacity accounting, so they commute with the insert schedule.
+    """
+    rng = np.random.default_rng(9099)
+    pre = vectors.slice_rows(0, N_PREINSERTED)
+    cluster.insert(pre)
+
+    inserted: list[tuple[int, int]] = []  # (global id, vector row)
+    deleted: list[int] = []
+    record_lock = threading.Lock()
+    errors: list[BaseException] = []
+    next_row = N_PREINSERTED
+
+    def inserter(rows, barrier):
+        try:
+            barrier.wait(timeout=30)
+            for r in rows:
+                gids = cluster.insert(
+                    CSRMatrix.from_rows([vectors.row(int(r))], vectors.n_cols)
+                )
+                assert gids.size == 1
+                with record_lock:
+                    inserted.append((int(gids[0]), int(r)))
+        except BaseException as exc:  # noqa: BLE001 - collected for the test
+            errors.append(exc)
+
+    def deleter(ids, barrier):
+        try:
+            barrier.wait(timeout=30)
+            for gid in ids:
+                cluster.delete(np.asarray([gid], dtype=np.int64))
+                with record_lock:
+                    deleted.append(int(gid))
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def querier(rows, barrier):
+        try:
+            barrier.wait(timeout=30)
+            batch = CSRMatrix.from_rows(
+                [vectors.row(int(r)) for r in rows], vectors.n_cols
+            )
+            for outcome in cluster.query_batch(batch):
+                assert not outcome.node_errors
+                ids = outcome.result.indices
+                # Mid-flight soundness: sane ids, no duplicates, finite
+                # float32 distances — a torn broadcast shows up here.
+                assert ids.size == np.unique(ids).size
+                assert (ids >= 0).all()
+                dists = outcome.result.distances
+                assert dists.dtype == np.float32
+                assert np.isfinite(dists).all()
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    del_cursor = 0
+    for _ in range(iterations):
+        barrier = threading.Barrier(4)
+        rows_a = [next_row, next_row + 1]
+        rows_b = [next_row + 2, next_row + 3]
+        next_row += 4
+        del_ids = [del_cursor % N_PREINSERTED]
+        del_cursor += 1
+        q_rows = rng.choice(N_PREINSERTED, size=4, replace=False)
+        threads = [
+            threading.Thread(target=inserter, args=(rows_a, barrier)),
+            threading.Thread(target=inserter, args=(rows_b, barrier)),
+            threading.Thread(target=deleter, args=(del_ids, barrier)),
+            threading.Thread(target=querier, args=(q_rows, barrier)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "write hammer thread hung"
+        if errors:
+            raise errors[0]
+
+    assert cluster.n_retirements > 0, "hammer never crossed a retirement"
+
+    # -- serial replay: the concurrent run must equal SOME serial order,
+    # and the assigned global ids say exactly which one.
+    shadow = make_shadow()
+    try:
+        shadow_pre = shadow.insert(pre)
+        np.testing.assert_array_equal(
+            shadow_pre, np.arange(N_PREINSERTED, dtype=np.int64)
+        )
+        for gid, r in sorted(inserted):
+            (got,) = shadow.insert(
+                CSRMatrix.from_rows([vectors.row(r)], vectors.n_cols)
+            )
+            assert int(got) == gid, "id order did not replay placement"
+        if deleted:
+            shadow.delete(np.asarray(sorted(set(deleted)), dtype=np.int64))
+
+        assert cluster.n_items == shadow.n_items
+        assert cluster.n_retirements == shadow.n_retirements
+        assert cluster.n_retired_items == shadow.n_retired_items
+        assert len(cluster.retired_ids) == len(shadow.retired_ids)
+        for r1, r2 in zip(cluster.retired_ids, shadow.retired_ids):
+            np.testing.assert_array_equal(r1, r2)
+
+        probe = CSRMatrix.from_rows(
+            [vectors.row(r) for r in range(next_row - 20, next_row)],
+            vectors.n_cols,
+        )
+        for oa, ob in zip(
+            cluster.query_batch(probe), shadow.query_batch(probe)
+        ):
+            np.testing.assert_array_equal(
+                oa.result.indices, ob.result.indices
+            )
+            np.testing.assert_array_equal(
+                oa.result.distances, ob.result.distances
+            )
+    finally:
+        shadow.close()
+
+
+class TestWriteQueryHammer:
+    def test_inprocess_writes_linearize(self, small_vectors):
+        cluster = PLSHCluster(
+            N_NODES, WRITE_CAPACITY, small_vectors.n_cols, PARAMS,
+            insert_window=2,
+        )
+        try:
+            _write_hammer(
+                cluster, small_vectors,
+                iterations=HAMMER_ITERATIONS,
+                make_shadow=lambda: PLSHCluster(
+                    N_NODES, WRITE_CAPACITY, small_vectors.n_cols, PARAMS,
+                    insert_window=2,
+                ),
+            )
+        finally:
+            cluster.close()
+
+    def test_spawned_writes_linearize(self, small_vectors):
+        if not fork_available():
+            pytest.skip("spawn_local_cluster requires fork()")
+        cluster = spawn_local_cluster(
+            N_NODES, WRITE_CAPACITY, small_vectors.n_cols, PARAMS,
+            insert_window=2,
+        )
+        try:
+            _write_hammer(
+                cluster, small_vectors,
+                iterations=HAMMER_ITERATIONS // 2,
+                make_shadow=lambda: PLSHCluster(
+                    N_NODES, WRITE_CAPACITY, small_vectors.n_cols, PARAMS,
+                    insert_window=2,
+                ),
+            )
+        finally:
+            cluster.close()
+
+    def test_retirement_is_atomic_to_broadcasts(self, small_vectors):
+        """The torn-window regression: a broadcast admitted while a
+        retirement is mid-erase must wait and observe the fully-retired
+        state — never a window with some shards gone and some not."""
+        cluster = PLSHCluster(
+            N_NODES, WRITE_CAPACITY, small_vectors.n_cols, PARAMS,
+            insert_window=2,
+        )
+        try:
+            retire_started = threading.Event()
+            retire_calls: list[float] = []
+            for shard in cluster.shards:
+                original = shard.retire
+
+                def slow_retire(_orig=original):
+                    retire_started.set()
+                    time.sleep(0.25)  # hold the window half-erased
+                    retire_calls.append(time.perf_counter())
+                    return _orig()
+
+                shard.retire = slow_retire
+
+            # Fill until the NEXT insert must retire a window.
+            row = 0
+            while cluster.n_retirements == 0 and not retire_started.is_set():
+                nxt = CSRMatrix.from_rows(
+                    [small_vectors.row(row)], small_vectors.n_cols
+                )
+                row += 1
+                if all(
+                    s.free_capacity == 0 for s in cluster.window_nodes()
+                ):
+                    break
+                cluster.insert(nxt)
+
+            probe = CSRMatrix.from_rows(
+                [small_vectors.row(r) for r in range(10)],
+                small_vectors.n_cols,
+            )
+            trigger = CSRMatrix.from_rows(
+                [small_vectors.row(row)], small_vectors.n_cols
+            )
+            inserter = threading.Thread(target=cluster.insert, args=(trigger,))
+            inserter.start()
+            assert retire_started.wait(timeout=30), "retirement never fired"
+            # Broadcast admitted MID-retirement: must block on the gate.
+            concurrent = cluster.query_batch(probe)
+            answered_at = time.perf_counter()
+            inserter.join(timeout=30)
+            assert not inserter.is_alive()
+            assert cluster.n_retirements == 1
+            # The answer arrived only after every shard's retire returned
+            # (all-or-none), and equals the post-retirement state exactly.
+            assert answered_at >= max(retire_calls)
+            reference = cluster.query_batch(probe)
+            for oc, ref in zip(concurrent, reference):
+                np.testing.assert_array_equal(
+                    oc.result.indices, ref.result.indices
+                )
+                np.testing.assert_array_equal(
+                    oc.result.distances, ref.result.distances
+                )
+        finally:
+            cluster.close()
 
 
 class TestRemoteHandleFrameSafety:

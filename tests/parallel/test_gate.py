@@ -1,0 +1,112 @@
+"""ReadWriteGate: the retirement-vs-broadcast exclusion primitive.
+
+The properties that make it fit for window retirement: readers overlap
+freely, a writer is exclusive against readers AND writers, and a
+*waiting* writer blocks new readers (a steady broadcast stream cannot
+starve retirement).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.parallel import ReadWriteGate
+
+
+def _spawn(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+class TestReadWriteGate:
+    def test_readers_overlap(self):
+        gate = ReadWriteGate()
+        inside = threading.Barrier(3, timeout=10)
+
+        def reader():
+            with gate.read():
+                inside.wait()  # all three in the gate at once
+
+        threads = [_spawn(reader) for _ in range(3)]
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+
+    def test_writer_excludes_readers(self):
+        gate = ReadWriteGate()
+        order: list[str] = []
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def reader():
+            with gate.read():
+                reader_in.set()
+                release_reader.wait(timeout=10)
+                order.append("reader-done")
+
+        def writer():
+            with gate.write():
+                order.append("writer")
+
+        rt = _spawn(reader)
+        assert reader_in.wait(timeout=10)
+        wt = _spawn(writer)
+        time.sleep(0.05)
+        # The writer cannot enter while the reader is inside.
+        assert not gate.writer_active
+        assert order == []
+        release_reader.set()
+        rt.join(timeout=10)
+        wt.join(timeout=10)
+        assert order == ["reader-done", "writer"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: once a writer queues, later readers wait —
+        so retirement cannot be starved by a continuous query stream."""
+        gate = ReadWriteGate()
+        order: list[str] = []
+        first_in = threading.Event()
+        release_first = threading.Event()
+
+        def first_reader():
+            with gate.read():
+                first_in.set()
+                release_first.wait(timeout=10)
+
+        def writer():
+            with gate.write():
+                order.append("writer")
+
+        def late_reader():
+            with gate.read():
+                order.append("late-reader")
+
+        rt = _spawn(first_reader)
+        assert first_in.wait(timeout=10)
+        wt = _spawn(writer)
+        time.sleep(0.05)  # writer now waiting on the in-flight reader
+        lt = _spawn(late_reader)
+        time.sleep(0.05)
+        assert order == []  # late reader queued behind the waiting writer
+        release_first.set()
+        for t in (rt, wt, lt):
+            t.join(timeout=10)
+            assert not t.is_alive()
+        assert order[0] == "writer"
+
+    def test_release_on_exception(self):
+        gate = ReadWriteGate()
+        for side in (gate.read, gate.write):
+            try:
+                with side():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        # Fully released: both sides acquire cleanly afterwards.
+        with gate.write():
+            assert gate.writer_active
+        with gate.read():
+            assert gate.readers == 1
+        assert gate.readers == 0 and not gate.writer_active

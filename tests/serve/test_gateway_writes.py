@@ -1,0 +1,414 @@
+"""The gateway write path: inserts/deletes/flushes through the front door.
+
+The contracts under test, per the PR 9 serving design:
+
+* **bit identity** — a sequence of writes through the gateway (single
+  client, pipelined, or coalesced) leaves the cluster in EXACTLY the
+  state the same logical op sequence produces applied directly: same
+  global ids, same shard placement, same retirements, bit-identical
+  broadcast answers.  The JSON wire round-trips float32 exactly and
+  ``insert_many`` replays the serial placement walk, so coalescing
+  changes RPC counts, never answers.
+* **read-your-writes** — an insert's acknowledgment is the ordering
+  contract: a query issued after the ack sees the row; ``flush`` is the
+  explicit barrier for unacked writes.
+* **shared admission** — writes ride the queries' admission control
+  (same backlog bound, same tenant quotas, explicit rejections), and a
+  read-only provider (a bare coordinator) answers writes with an
+  explicit error instead of pretending.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import spawn_local_cluster
+from repro.parallel import fork_available
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    GatewayError,
+    protocol,
+    run_closed_loop,
+)
+from repro.sparse.csr import CSRMatrix
+
+from tests.serve.test_gateway import RawConn
+
+PARAMS = PLSHParams(k=8, m=6, radius=0.9, seed=77)
+N_NODES = 3
+CAPACITY = 60  # small on purpose: write tests must cross retirements
+WINDOW = 2
+
+
+def _make_cluster(dim: int) -> PLSHCluster:
+    return PLSHCluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=WINDOW)
+
+
+def _assert_same_answers(cluster_a, cluster_b, queries) -> None:
+    """Broadcast answers over both clusters must match bit for bit."""
+    out_a = cluster_a.query_batch(queries)
+    out_b = cluster_b.query_batch(queries)
+    for oa, ob in zip(out_a, out_b):
+        np.testing.assert_array_equal(oa.result.indices, ob.result.indices)
+        np.testing.assert_array_equal(
+            oa.result.distances, ob.result.distances
+        )
+        assert not oa.node_errors and not ob.node_errors
+
+
+class TestWriteBitIdentity:
+    def test_serial_ops_match_direct(self, small_vectors):
+        """Inserts + deletes through the gateway == the same sequence
+        applied directly, across window retirements."""
+        dim = small_vectors.n_cols
+        via_gateway = _make_cluster(dim)
+        direct = _make_cluster(dim)
+        try:
+            gw_gids: list[np.ndarray] = []
+            with Gateway(via_gateway, dim) as gw:
+                with GatewayClient(gw.host, gw.port) as client:
+                    # 300 rows >> 3*60 capacity: several retirements.
+                    for r in range(300):
+                        cols, vals = small_vectors.row(r)
+                        gw_gids.append(client.insert(cols, vals))
+                        if r % 50 == 49:
+                            # Delete a recently acked row mid-stream.
+                            client.delete(gw_gids[r - 5])
+            direct_gids = []
+            for r in range(300):
+                direct_gids.append(
+                    direct.insert(
+                        CSRMatrix.from_rows([small_vectors.row(r)], dim)
+                    )
+                )
+                if r % 50 == 49:
+                    direct.delete(direct_gids[r - 5])
+            for g1, g2 in zip(gw_gids, direct_gids):
+                np.testing.assert_array_equal(g1, g2)
+            assert via_gateway.n_retirements == direct.n_retirements
+            assert via_gateway.n_retirements > 0
+            assert via_gateway.n_retired_items == direct.n_retired_items
+            for r1, r2 in zip(via_gateway.retired_ids, direct.retired_ids):
+                np.testing.assert_array_equal(r1, r2)
+            _assert_same_answers(
+                via_gateway, direct, small_vectors.slice_rows(250, 290)
+            )
+        finally:
+            via_gateway.close()
+            direct.close()
+
+    def test_pipelined_inserts_coalesce_and_match(self, small_vectors):
+        """Pipelined inserts coalesce into multi-op write batches — and
+        the coalescing is answer-invisible (same ids, same answers)."""
+        dim = small_vectors.n_cols
+        via_gateway = _make_cluster(dim)
+        direct = _make_cluster(dim)
+        n = 80
+        try:
+            with Gateway(via_gateway, dim, write_max_delay=0.02) as gw:
+                conn = RawConn(gw.host, gw.port)
+                try:
+                    for r in range(n):
+                        cols, vals = small_vectors.row(r)
+                        conn.send(
+                            protocol.insert_request(cols, vals, request_id=r)
+                        )
+                    responses = conn.recv_all(n)
+                finally:
+                    conn.close()
+                stats = gw.stats()
+            by_id = {resp["id"]: resp for resp in responses}
+            assert all(by_id[r]["status"] == "ok" for r in range(n))
+            direct_gids = [
+                direct.insert(CSRMatrix.from_rows([small_vectors.row(r)], dim))
+                for r in range(n)
+            ]
+            for r in range(n):
+                # Admission order == connection order: ids match serially.
+                np.testing.assert_array_equal(
+                    np.asarray(by_id[r]["global_ids"]), direct_gids[r]
+                )
+            # The point of the micro-batcher: fewer cluster critical
+            # sections than client ops.
+            assert stats["write_batcher"]["n_batches"] < n
+            assert stats["write_batcher"]["mean_batch_size"] > 1.0
+            assert stats["inserted_rows"] == n
+            _assert_same_answers(
+                via_gateway, direct, small_vectors.slice_rows(0, 30)
+            )
+        finally:
+            via_gateway.close()
+            direct.close()
+
+    def test_spawned_cluster_writes_match_direct(self, small_vectors):
+        """The same bit-identity against real spawned node servers."""
+        if not fork_available():
+            pytest.skip("spawn_local_cluster requires fork()")
+        dim = small_vectors.n_cols
+        spawned = spawn_local_cluster(
+            N_NODES, CAPACITY, dim, PARAMS, insert_window=WINDOW
+        )
+        direct = PLSHCluster(
+            N_NODES, CAPACITY, dim, PARAMS, insert_window=WINDOW
+        )
+        try:
+            gw_gids = []
+            with Gateway(spawned, dim) as gw:
+                with GatewayClient(gw.host, gw.port) as client:
+                    for r in range(150):
+                        cols, vals = small_vectors.row(r)
+                        gw_gids.append(client.insert(cols, vals))
+                    client.delete(np.concatenate(gw_gids[10:20]))
+            direct_gids = [
+                direct.insert(CSRMatrix.from_rows([small_vectors.row(r)], dim))
+                for r in range(150)
+            ]
+            direct.delete(np.concatenate(direct_gids[10:20]))
+            for g1, g2 in zip(gw_gids, direct_gids):
+                np.testing.assert_array_equal(g1, g2)
+            assert spawned.n_retirements == direct.n_retirements
+            _assert_same_answers(
+                spawned, direct, small_vectors.slice_rows(100, 130)
+            )
+        finally:
+            spawned.close()
+            direct.close()
+
+
+class TestWriteSemantics:
+    def test_read_your_writes_after_ack(self, small_vectors):
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        try:
+            with Gateway(cluster, dim) as gw:
+                with GatewayClient(gw.host, gw.port) as client:
+                    cols, vals = small_vectors.row(7)
+                    gids = client.insert(cols, vals)
+                    assert gids.size == 1
+                    # The ack IS the contract: this query must see the row.
+                    answer = client.query(cols, vals)
+                    assert int(gids[0]) in set(answer.ids.tolist())
+        finally:
+            cluster.close()
+
+    def test_flush_is_a_write_barrier(self, small_vectors):
+        """With a long write delay, an unflushed insert would sit
+        collecting; ``flush`` forces it through and answers only once it
+        is applied."""
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        try:
+            with Gateway(cluster, dim, write_max_delay=30.0) as gw:
+                conn = RawConn(gw.host, gw.port)
+                try:
+                    cols, vals = small_vectors.row(3)
+                    conn.send(protocol.insert_request(cols, vals, request_id=1))
+                    conn.send(protocol.flush_request(request_id=2))
+                    by_id = {r["id"]: r for r in conn.recv_all(2)}
+                finally:
+                    conn.close()
+            assert by_id[1]["status"] == "ok"
+            assert by_id[2]["status"] == "ok"
+            assert by_id[2]["n_flushed"] == 1
+            # The flush completed => the row is in the cluster.
+            assert cluster.n_items == 1
+        finally:
+            cluster.close()
+
+    def test_delete_removes_from_answers(self, small_vectors):
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        try:
+            with Gateway(cluster, dim) as gw:
+                with GatewayClient(gw.host, gw.port) as client:
+                    gids = []
+                    for r in range(10):
+                        cols, vals = small_vectors.row(r)
+                        gids.append(int(client.insert(cols, vals)[0]))
+                    cols, vals = small_vectors.row(4)
+                    before = client.query(cols, vals)
+                    assert gids[4] in set(before.ids.tolist())
+                    assert client.delete([gids[4]]) == 1
+                    after = client.query(cols, vals)
+                    assert gids[4] not in set(after.ids.tolist())
+                    # Idempotent: already-tombstoned ids count zero.
+                    assert client.delete([gids[4]]) == 0
+        finally:
+            cluster.close()
+
+
+class SlowWriteCluster:
+    """Delegates writes after a delay — piles up a write backlog so
+    admission tests are deterministic."""
+
+    def __init__(self, cluster, delay: float) -> None:
+        self._cluster = cluster
+        self.delay = delay
+
+    def query_batch(self, queries, *, radius=None):
+        return self._cluster.query_batch(queries, radius=radius)
+
+    def insert(self, vectors):
+        return self._cluster.insert(vectors)
+
+    def insert_many(self, batches):
+        time.sleep(self.delay)
+        return self._cluster.insert_many(batches)
+
+    def delete(self, global_ids):
+        time.sleep(self.delay)
+        return self._cluster.delete(global_ids)
+
+
+class TestWriteAdmission:
+    def test_readonly_provider_rejects_writes_explicitly(self, small_vectors):
+        """A bare coordinator has no write surface: writes answer an
+        explicit error, queries keep working."""
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        cluster.insert(small_vectors.slice_rows(0, 50))
+        try:
+            with Gateway(cluster.coordinator, dim) as gw:
+                assert gw.stats()["writable"] is False
+                with GatewayClient(gw.host, gw.port) as client:
+                    cols, vals = small_vectors.row(0)
+                    with pytest.raises(GatewayError) as excinfo:
+                        client.insert(cols, vals)
+                    assert "read-only" in str(excinfo.value)
+                    with pytest.raises(GatewayError):
+                        client.delete([0])
+                    # The read path is untouched.
+                    assert len(client.query(cols, vals)) > 0
+                    assert client.stats()["rejected_readonly"] == 2
+        finally:
+            cluster.close()
+
+    def test_writes_share_tenant_quota(self, small_vectors):
+        dim = small_vectors.n_cols
+        slow = SlowWriteCluster(_make_cluster(dim), delay=0.3)
+        try:
+            with Gateway(
+                slow, dim,
+                write_max_batch=1, write_max_delay=0.0, tenant_quota=1,
+            ) as gw:
+                conn = RawConn(gw.host, gw.port)
+                try:
+                    cols, vals = small_vectors.row(0)
+                    for i in range(3):
+                        conn.send(
+                            protocol.insert_request(
+                                cols, vals, request_id=i, tenant="ingest"
+                            )
+                        )
+                    responses = conn.recv_all(3)
+                finally:
+                    conn.close()
+            statuses = sorted(r["status"] for r in responses)
+            assert "ok" in statuses
+            rejected = [r for r in responses if r["status"] == "rejected"]
+            assert rejected and all(r["reason"] == "quota" for r in rejected)
+        finally:
+            slow._cluster.close()
+
+    def test_malformed_writes_get_errors(self, small_vectors):
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        try:
+            with Gateway(cluster, dim) as gw:
+                conn = RawConn(gw.host, gw.port)
+                try:
+                    conn.send({"op": "insert", "cols": [0, 1]})  # no vals
+                    assert conn.recv()["status"] == "error"
+                    conn.send(
+                        {"op": "insert", "cols": [dim + 5], "vals": [1.0]}
+                    )
+                    assert conn.recv()["status"] == "error"
+                    conn.send({"op": "delete"})  # no ids
+                    assert conn.recv()["status"] == "error"
+                    conn.send({"op": "delete", "ids": []})  # empty
+                    assert conn.recv()["status"] == "error"
+                    conn.send({"op": "delete", "ids": ["seven"]})
+                    assert conn.recv()["status"] == "error"
+                    # The connection survived all of it.
+                    conn.send({"op": "ping"})
+                    assert conn.recv()["status"] == "ok"
+                finally:
+                    conn.close()
+            assert cluster.n_items == 0  # nothing leaked into the cluster
+        finally:
+            cluster.close()
+
+    def test_tenant_pending_map_stays_bounded(self, small_vectors):
+        """Regression: one entry per tenant EVER SEEN would grow without
+        bound in a long-running gateway; entries must drop at zero."""
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        try:
+            with Gateway(cluster, dim) as gw:
+                with GatewayClient(gw.host, gw.port) as client:
+                    for t in range(50):
+                        cols, vals = small_vectors.row(t)
+                        client.insert(cols, vals, tenant=f"tenant-{t}")
+                        client.query(cols, vals, tenant=f"tenant-{t}")
+                    stats = client.stats()
+                assert stats["pending"] == 0
+                # All 100 requests answered; no tenant entry left behind.
+                assert gw._tenant_pending == {}
+        finally:
+            cluster.close()
+
+
+class TestMixedLoad:
+    def test_mixed_closed_loop_report(self, small_vectors):
+        dim = small_vectors.n_cols
+        cluster = _make_cluster(dim)
+        cluster.insert(small_vectors.slice_rows(0, 40))
+        queries = CSRMatrix.from_rows(
+            [small_vectors.row(r) for r in range(16)], dim
+        )
+        pool = CSRMatrix.from_rows(
+            [small_vectors.row(200 + r) for r in range(32)], dim
+        )
+        try:
+            with Gateway(cluster, dim, max_batch=32) as gw:
+                report = run_closed_loop(
+                    gw.host, gw.port, queries,
+                    n_clients=8, requests_per_client=6,
+                    write_fraction=0.4, insert_pool=pool, seed=5,
+                )
+            assert report.n_errors == 0
+            assert report.n_ok + report.n_write_ok == 48
+            assert report.n_write_ok > 0 and report.n_ok > 0
+            assert report.wps > 0
+            assert report.write_latency_ms(50) > 0
+            # Every acked insert landed in the cluster.
+            assert cluster.n_items == 40 + report.n_write_ok
+        finally:
+            cluster.close()
+
+    def test_empty_query_pool_rejected(self, small_vectors):
+        with pytest.raises(ValueError, match="empty"):
+            run_closed_loop(
+                "127.0.0.1", 1, CSRMatrix.empty(small_vectors.n_cols),
+                n_clients=1, requests_per_client=1,
+            )
+
+    def test_write_fraction_needs_pool(self, small_vectors):
+        queries = CSRMatrix.from_rows(
+            [small_vectors.row(0)], small_vectors.n_cols
+        )
+        with pytest.raises(ValueError, match="insert_pool"):
+            run_closed_loop(
+                "127.0.0.1", 1, queries,
+                n_clients=1, requests_per_client=1, write_fraction=0.5,
+            )
+        with pytest.raises(ValueError, match="write_fraction"):
+            run_closed_loop(
+                "127.0.0.1", 1, queries,
+                n_clients=1, requests_per_client=1, write_fraction=1.5,
+            )
