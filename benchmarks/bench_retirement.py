@@ -1,0 +1,140 @@
+"""Retirement latency — O(1) partition drop vs rebuild-style retirement.
+
+Before the partitioned static tier (PR 10), retiring aged-out rows from
+the middle of a node's static structure meant rebuilding the hash
+tables over the survivors — cost proportional to the *resident* corpus.
+With time-ranged partitions, ``retire_before`` drops wholly-cold
+partitions by unlinking them: no vector is read, no table is touched,
+and only the ragged boundary is tombstoned.
+
+This bench seals EPOCHS equal partitions on one node, retires them one
+cutoff at a time (every drop timed), and compares the drop-latency
+distribution against the honest baseline: building an index over the
+survivors, which is what retirement used to cost.  Shape to check: p99
+drop latency is orders of magnitude below one rebuild, and drop latency
+does not grow with the number of resident rows.
+
+Knobs: ``PLSH_BENCH_RETIRE_EPOCHS`` (partitions to seal and drop).
+Artifact: ``BENCH_retirement.json`` (drop p50/p99, rebuild mean,
+speedup) for EXPERIMENTS.md and CI diffing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench.artifacts import record_artifact
+from repro.bench.reporting import format_table, print_section
+from repro.bench.runner import measure
+from repro.streaming.node import StreamingPLSH
+
+EPOCHS = int(os.environ.get("PLSH_BENCH_RETIRE_EPOCHS", "12"))
+REBUILD_TRIALS = 3
+
+
+def _sealed_node(vectors, params, rows_per_epoch):
+    """One node with EPOCHS sealed partitions, one insert tick each, so
+    ``retire_before(e + 1)`` drops exactly partition ``e``."""
+    node = StreamingPLSH(
+        vectors.n_cols, params, vectors.n_rows,
+        delta_fraction=0.1, auto_merge=False,
+    )
+    for e in range(EPOCHS):
+        node.insert_batch(
+            vectors.slice_rows(e * rows_per_epoch, (e + 1) * rows_per_epoch)
+        )
+        node.merge_now()
+        if e < EPOCHS - 1:  # the last epoch stays in the open newest
+            node.roll_partition()
+    return node
+
+
+def test_retirement_drop_vs_rebuild(benchmark, twitter, scale):
+    params = scale.params()
+    vectors = twitter.vectors
+    rows_per_epoch = vectors.n_rows // EPOCHS
+    assert rows_per_epoch > 0, "corpus too small for the epoch count"
+
+    node = _sealed_node(vectors, params, rows_per_epoch)
+    try:
+        assert node.n_partitions == EPOCHS
+        total = node.n_total
+
+        # The new path: one timed O(1) drop per epoch, oldest first.
+        drop_times = []
+        for e in range(EPOCHS):
+            retired, secs = measure(lambda c=e + 1: node.retire_before(c))
+            assert retired.size == rows_per_epoch
+            drop_times.append(secs)
+        assert node.n_live == 0
+    finally:
+        node.close()
+
+    # The old path: retirement-by-rebuild — index the survivors from
+    # scratch (what dropping the oldest epoch used to cost).
+    survivors = vectors.slice_rows(rows_per_epoch, EPOCHS * rows_per_epoch)
+    rebuild_times = []
+    for _ in range(REBUILD_TRIALS):
+        def rebuild():
+            fresh = StreamingPLSH(
+                vectors.n_cols, params, vectors.n_rows,
+                delta_fraction=0.1, auto_merge=False,
+            )
+            fresh.insert_batch(survivors)
+            fresh.merge_now()
+            fresh.close()
+
+        _, secs = measure(rebuild)
+        rebuild_times.append(secs)
+
+    drop = np.asarray(drop_times)
+    drop_p50 = float(np.percentile(drop, 50))
+    drop_p99 = float(np.percentile(drop, 99))
+    rebuild_mean = float(np.mean(rebuild_times))
+    speedup = rebuild_mean / max(drop_p99, 1e-9)
+
+    print_section(
+        "Retirement latency — partition drop vs rebuild",
+        format_table(
+            ["path", "p50 (ms)", "p99 (ms)", "scales with"],
+            [
+                ["partition drop", f"{drop_p50 * 1e3:.3f}",
+                 f"{drop_p99 * 1e3:.3f}", "partitions dropped"],
+                ["rebuild survivors", f"{rebuild_mean * 1e3:.1f}",
+                 f"{max(rebuild_times) * 1e3:.1f}", "resident rows"],
+            ],
+        )
+        + f"\np99 drop vs mean rebuild: {speedup:.0f}x\n",
+    )
+
+    record_artifact(
+        "retirement",
+        "drop_vs_rebuild",
+        {
+            "epochs": EPOCHS,
+            "rows_per_epoch": rows_per_epoch,
+            "resident_rows": total,
+            "drop_p50_ms": drop_p50 * 1e3,
+            "drop_p99_ms": drop_p99 * 1e3,
+            "drop_ms": (drop * 1e3).tolist(),
+            "rebuild_mean_ms": rebuild_mean * 1e3,
+            "rebuild_ms": [t * 1e3 for t in rebuild_times],
+            "p99_speedup": speedup,
+        },
+    )
+
+    # The headline guarantee, asserted conservatively so tiny CI corpora
+    # pass honestly: a whole-partition drop must beat rebuilding the
+    # survivors by a wide margin.
+    assert drop_p99 * 10 < rebuild_mean, (
+        f"partition drop p99 {drop_p99 * 1e3:.3f} ms is not ≪ "
+        f"rebuild {rebuild_mean * 1e3:.1f} ms"
+    )
+
+    benchmark.pedantic(
+        lambda: _sealed_node(vectors, params, rows_per_epoch).close(),
+        rounds=1,
+        iterations=1,
+    )

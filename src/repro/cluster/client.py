@@ -414,22 +414,38 @@ class RemoteNodeHandle:
         except (ConnectionError, TimeoutError):
             return False
 
-    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+    def insert_batch(
+        self,
+        vectors: CSRMatrix,
+        global_ids: np.ndarray,
+        timestamps: np.ndarray | None = None,
+    ) -> None:
         ids = np.ascontiguousarray(global_ids, dtype=np.int64)
+        arrays = protocol.csr_to_arrays(vectors, compact=True) + [
+            protocol.compact_ids(ids)
+        ]
+        if timestamps is not None:
+            ts = np.ascontiguousarray(timestamps, dtype=np.int64)
+            arrays.append(protocol.compact_ids(ts))
         meta, _ = self._call(
-            protocol.OP_INSERT_BATCH,
-            {"n_cols": vectors.n_cols},
-            protocol.csr_to_arrays(vectors, compact=True)
-            + [protocol.compact_ids(ids)],
+            protocol.OP_INSERT_BATCH, {"n_cols": vectors.n_cols}, arrays
         )
         self._n_items = int(meta["n_items"])
 
     def query(
-        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> QueryResult:
+        meta = {"radius": radius}
+        if time_range is not None:
+            meta["time_range"] = [int(time_range[0]), int(time_range[1])]
         _, (ids, dists) = self._call(
             protocol.OP_QUERY,
-            {"radius": radius},
+            meta,
             [
                 np.ascontiguousarray(q_cols, dtype=np.int64),
                 np.ascontiguousarray(q_vals, dtype=np.float32),
@@ -446,6 +462,7 @@ class RemoteNodeHandle:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
         meta = {"n_cols": queries.n_cols, "radius": radius}
         # Omitted fields defer to the server's own defaults.
@@ -455,6 +472,8 @@ class RemoteNodeHandle:
             meta["workers"] = workers
         if backend is not None:
             meta["backend"] = backend
+        if time_range is not None:
+            meta["time_range"] = [int(time_range[0]), int(time_range[1])]
         if self.score_dtype != "float32":
             meta["score_dtype"] = self.score_dtype
         out_meta, (indptr, ids, dists) = self._call(
@@ -507,6 +526,40 @@ class RemoteNodeHandle:
         _, (dropped,) = self._call(protocol.OP_RETIRE)
         self._n_items = 0
         return dropped
+
+    def retire_window(self) -> np.ndarray:
+        _, (dropped,) = self._call(protocol.OP_RETIRE_WINDOW)
+        self._n_items = 0
+        return protocol.widen_ids(dropped)
+
+    def retire_before(self, cutoff: int) -> np.ndarray:
+        meta, (dropped,) = self._call(
+            protocol.OP_RETIRE_BEFORE, {"cutoff": int(cutoff)}
+        )
+        self._n_items = int(meta["n_items"])
+        return protocol.widen_ids(dropped)
+
+    def export_state(self) -> dict:
+        """Pull the server node's full state as ``{name: array}`` — the
+        replica-resync source side.  Uses the merge deadline: the server
+        drains any in-flight merge before snapshotting."""
+        meta, arrays = self._call(
+            protocol.OP_EXPORT_STATE, idempotent=True,
+            timeout=self.merge_timeout,
+        )
+        return dict(zip(meta["keys"], arrays))
+
+    def import_state(self, payload: dict) -> None:
+        """Push an exported sibling state into the server node wholesale —
+        the replica-resync target side."""
+        keys = sorted(payload)
+        meta, _ = self._call(
+            protocol.OP_IMPORT_STATE,
+            {"keys": keys},
+            [np.ascontiguousarray(payload[k]) for k in keys],
+            timeout=self.merge_timeout,
+        )
+        self._n_items = int(meta["n_items"])
 
     def shutdown(self, *, timeout: float = 2.0) -> None:
         """Ask the server process to exit cleanly (idempotent).  Bounded
@@ -573,7 +626,81 @@ class SpawnedLocalCluster(PLSHCluster):
     processes: list
     #: optional background heartbeat over the remote handles.
     monitor: HealthMonitor | None
+    #: spawn-time arguments kept for :meth:`respawn_node`.
+    _spawn_spec: dict
     _spawn_closed: bool
+
+    def respawn_node(self, index: int) -> RemoteNodeHandle:
+        """Fork a fresh, **empty** server process for node ``index`` and
+        return a new handle pointed at it (the replacement half of
+        replica resync: pass the handle to
+        :meth:`~repro.cluster.replication.ReplicaGroup.resync`, which
+        copies a surviving sibling's state into it).
+
+        The old process is reaped and its handle closed;
+        ``self.processes[index]`` / ``self.nodes[index]`` are swapped to
+        the new ones.  Replica groups in ``self.shards`` still reference
+        the old handle — ``resync(replica_index, replacement=handle)``
+        is what re-wires the shard."""
+        spec = self._spawn_spec
+        ctx = multiprocessing.get_context("fork")
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_node_server_main,
+            args=(
+                index, spec["dim"], spec["params"], spec["node_capacity"],
+                spec["hasher"], spec["delta_fraction"],
+                spec["overlap_merges"], spec["node_workers"],
+                spec["node_backend"], send_end,
+            ),
+            daemon=True,
+            name=f"plsh-node-{index}-respawn",
+        )
+        proc.start()
+        send_end.close()
+        try:
+            if not recv_end.poll(spec["connect_timeout"]):
+                raise TimeoutError(
+                    f"respawned node {index} did not report a port in time"
+                )
+            host, port = recv_end.recv()
+        except BaseException:
+            proc.terminate()
+            proc.join(timeout=5.0)
+            raise
+        finally:
+            recv_end.close()
+        old_proc = self.processes[index]
+        try:
+            os.kill(old_proc.pid, signal.SIGCONT)  # wake a paused child
+        except (OSError, TypeError):
+            pass
+        if old_proc.is_alive():
+            old_proc.terminate()
+        old_proc.join(timeout=5.0)
+        self.processes[index] = proc
+        handle = RemoteNodeHandle(
+            index, host, port, spec["node_capacity"],
+            connect_timeout=spec["connect_timeout"],
+            op_timeout=spec["op_timeout"],
+            merge_timeout=spec["merge_timeout"],
+            retries=spec["retries"],
+            probe_timeout=spec["probe_timeout"],
+            health=NodeHealth(
+                down_after=spec["health_down_after"],
+                cooldown=spec["health_cooldown"],
+            ),
+            shm=spec["shm"] if not isinstance(spec["shm"], dict) else "auto",
+            shm_size=spec["shm_size"],
+            score_dtype=spec["score_dtype"],
+        )
+        old_handle = self.nodes[index]
+        self.nodes[index] = handle
+        try:
+            old_handle.close()
+        except Exception:
+            pass
+        return handle
 
     def kill_node(self, index: int) -> None:
         """Hard-kill one node's process (crash injection).  The handle is
@@ -746,5 +873,25 @@ def spawn_local_cluster(
     )
     cluster.processes = processes
     cluster.monitor = monitor
+    cluster._spawn_spec = {
+        "dim": dim,
+        "params": params,
+        "node_capacity": node_capacity,
+        "hasher": hasher,
+        "delta_fraction": delta_fraction,
+        "overlap_merges": overlap_merges,
+        "node_workers": node_workers,
+        "node_backend": node_backend,
+        "connect_timeout": connect_timeout,
+        "op_timeout": op_timeout,
+        "merge_timeout": merge_timeout,
+        "retries": retries,
+        "probe_timeout": probe_timeout,
+        "health_down_after": health_down_after,
+        "health_cooldown": health_cooldown,
+        "shm": shm,
+        "shm_size": shm_size,
+        "score_dtype": score_dtype,
+    }
     cluster._spawn_closed = False
     return cluster

@@ -121,6 +121,11 @@ class PLSHCluster:
         #: round-robin cursor within the window
         self._window_cursor = 0
         self._next_global_id = 0
+        #: cluster logical clock — one tick per logical insert op; every
+        #: row of an op carries the same timestamp on every shard, so all
+        #: nodes share one timeline and ``retire_before``/time-filtered
+        #: queries mean the same instant cluster-wide.
+        self._clock = 0
         self.n_retirements = 0
         #: the last ``retired_retention`` retirement batches (newest last);
         #: ``n_retired_items`` keeps the running total beyond the window.
@@ -182,6 +187,7 @@ class PLSHCluster:
         self._window_start = 0
         self._window_cursor = 0
         self._next_global_id = 0
+        self._clock = 0
         self.n_retirements = 0
         self.retired_ids = []
         self.retired_retention = self._check_retention(retired_retention)
@@ -246,9 +252,10 @@ class PLSHCluster:
         drops) exactly the rows a serial execution would have.
         """
         with self._write_lock:
-            # shard index -> buffered (row blocks, id blocks, row count).
+            # shard index -> buffered (row/id/timestamp blocks, row count).
             buf_rows: dict[int, list[CSRMatrix]] = {}
             buf_ids: dict[int, list[np.ndarray]] = {}
+            buf_ts: dict[int, list[np.ndarray]] = {}
             buf_n: dict[int, int] = {}
 
             def flush_buffers() -> None:
@@ -256,9 +263,11 @@ class PLSHCluster:
                     self.shards[si].insert_batch(
                         CSRMatrix.vstack(buf_rows[si]),
                         np.concatenate(buf_ids[si]),
+                        np.concatenate(buf_ts[si]),
                     )
                 buf_rows.clear()
                 buf_ids.clear()
+                buf_ts.clear()
                 buf_n.clear()
 
             out: list[np.ndarray] = []
@@ -270,6 +279,10 @@ class PLSHCluster:
                     dtype=np.int64,
                 )
                 self._next_global_id += n
+                # Every row of this op shares one cluster-clock tick, on
+                # whichever shard it lands — the cluster-wide timeline.
+                op_ts = self._clock
+                self._clock += 1
                 # Round-robin sub-batches across the window, as in Figure 1.
                 per_node = max(1, -(-n // self.insert_window))
                 pos = 0
@@ -283,6 +296,9 @@ class PLSHCluster:
                         )
                         buf_ids.setdefault(si, []).append(
                             global_ids[pos : pos + take]
+                        )
+                        buf_ts.setdefault(si, []).append(
+                            np.full(take, op_ts, dtype=np.int64)
                         )
                         buf_n[si] = buf_n.get(si, 0) + take
                         pos += take
@@ -325,9 +341,12 @@ class PLSHCluster:
         incoming = self.window_nodes()
         if any(shard.n_items > 0 for shard in incoming):
             # Wrapped onto the oldest data: retire those shards (Figure 1),
-            # atomically with respect to query broadcasts.
+            # atomically with respect to query broadcasts.  retire_window
+            # drops the shard's partitions in O(1) each — no table rebuild,
+            # no node teardown; the global-id map stays aligned (dropped
+            # ranges become holes) so the shard keeps serving immediately.
             with self._retire_gate.write():
-                dropped = [shard.retire() for shard in incoming]
+                dropped = [shard.retire_window() for shard in incoming]
             retired = (
                 np.concatenate(dropped) if dropped else np.empty(0, dtype=np.int64)
             )
@@ -339,6 +358,52 @@ class PLSHCluster:
             # the rest (satellite fix for the unbounded-growth leak).
             if len(self.retired_ids) > self.retired_retention:
                 del self.retired_ids[: len(self.retired_ids) - self.retired_retention]
+
+    # -- time-based retirement ---------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The cluster-clock tick the next insert op will be stamped with."""
+        return self._clock
+
+    def retire_before(self, cutoff: int) -> np.ndarray:
+        """Retire every row inserted before cluster-clock tick ``cutoff``
+        across all shards; returns the retired global ids (sorted).
+
+        On each node, partitions wholly older than the cutoff are dropped
+        in O(1) per partition — no table is read or rebuilt — and only
+        the ragged edge (the boundary partition and delta rows) is
+        tombstoned.  Runs under the write lock (serialized with inserts)
+        and the retirement gate's exclusive side (atomic with respect to
+        broadcasts — a query sees the cluster entirely before or entirely
+        after the cutoff, never half-retired).  Repeating a cutoff is a
+        no-op: each node tracks its retirement watermark and never
+        double-reports.
+        """
+        cutoff = int(cutoff)
+        with self._write_lock:
+            with self._retire_gate.write():
+                dropped = [
+                    shard.retire_before(cutoff) for shard in self.shards
+                ]
+            retired = (
+                np.concatenate(dropped)
+                if dropped
+                else np.empty(0, dtype=np.int64)
+            )
+            retired.sort()
+            # Future inserts must not predate the watermark (the nodes
+            # enforce it; keep the cluster clock ahead of the cutoff).
+            self._clock = max(self._clock, cutoff)
+            if retired.size:
+                self.retired_ids.append(retired)
+                self.n_retired_items += int(retired.size)
+                self.n_retirements += 1
+                if len(self.retired_ids) > self.retired_retention:
+                    del self.retired_ids[
+                        : len(self.retired_ids) - self.retired_retention
+                    ]
+            return retired
 
     # -- deletes / queries ----------------------------------------------------
 
@@ -352,10 +417,17 @@ class PLSHCluster:
             return sum(shard.delete_global(global_ids) for shard in self.shards)
 
     def query(
-        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> BroadcastOutcome:
         with self._retire_gate.read():
-            return self.coordinator.query(q_cols, q_vals, radius=radius)
+            return self.coordinator.query(
+                q_cols, q_vals, radius=radius, time_range=time_range
+            )
 
     def query_batch(
         self,
@@ -365,15 +437,19 @@ class PLSHCluster:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[BroadcastOutcome]:
         """Broadcast a batch to all nodes (vectorized kernel by default;
         ``mode="loop"`` broadcasts query-by-query).  ``workers > 1`` also
         shards each node's batch across cores via per-node persistent
-        worker pools (see Coordinator)."""
+        worker pools (see Coordinator).  ``time_range=(t0, t1)`` restricts
+        answers to rows inserted at cluster-clock ticks in ``[t0, t1)`` —
+        every node prunes non-overlapping partitions and screens the rest
+        exactly."""
         with self._retire_gate.read():
             return self.coordinator.query_batch(
                 queries, radius=radius, mode=mode, workers=workers,
-                backend=backend,
+                backend=backend, time_range=time_range,
             )
 
     def merge_all(self) -> None:

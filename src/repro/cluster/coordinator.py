@@ -133,23 +133,25 @@ class BroadcastOutcome:
         return slowest + self.network_seconds
 
 
-def _query_node(_state, node, q_cols, q_vals, radius):
+def _query_node(_state, node, q_cols, q_vals, radius, time_range):
     """Fan-out task: one node's single-query answer, timed, errors caught."""
     start = time.perf_counter()
     try:
-        res = node.query(q_cols, q_vals, radius=radius)
+        res = node.query(q_cols, q_vals, radius=radius, time_range=time_range)
         return node, res, time.perf_counter() - start, None
     except Exception as exc:
         return node, None, time.perf_counter() - start, exc
 
 
-def _query_node_batch(_state, node, queries, radius, workers, backend, mode):
+def _query_node_batch(
+    _state, node, queries, radius, workers, backend, mode, time_range
+):
     """Fan-out task: one node's whole-batch answer, timed, errors caught."""
     start = time.perf_counter()
     try:
         results = node.query_batch(
             queries, radius=radius, workers=workers, backend=backend,
-            mode=mode,
+            mode=mode, time_range=time_range,
         )
         return node, results, time.perf_counter() - start, None
     except Exception as exc:
@@ -365,8 +367,13 @@ class Coordinator:
         q_vals: np.ndarray,
         *,
         radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> BroadcastOutcome:
-        """Broadcast one query and concatenate every node's answer."""
+        """Broadcast one query and concatenate every node's answer.
+
+        ``time_range=(t0, t1)`` forwards a half-open insert-time window to
+        every node; nodes prune non-overlapping partitions and screen the
+        rest exactly, so the merged answer equals the time-windowed oracle."""
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
         # The single-query op is not dtype-compacted: int64 col + f32 val.
@@ -378,7 +385,8 @@ class Coordinator:
 
         wall_start = time.perf_counter()
         rows = self._fan_out(
-            _query_node, [(node, q_cols, q_vals, radius) for node in live]
+            _query_node,
+            [(node, q_cols, q_vals, radius, time_range) for node in live],
         )
         wall = time.perf_counter() - wall_start
 
@@ -413,6 +421,7 @@ class Coordinator:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[BroadcastOutcome]:
         """Broadcast a whole query batch to every node **concurrently**.
 
@@ -436,7 +445,7 @@ class Coordinator:
             mode = "vectorized"
         if mode == "loop":
             return [
-                self.query(*queries.row(r), radius=radius)
+                self.query(*queries.row(r), radius=radius, time_range=time_range)
                 for r in range(queries.n_rows)
             ]
         if mode not in ("vectorized", "pipelined"):
@@ -470,7 +479,10 @@ class Coordinator:
         wall_start = time.perf_counter()
         rows = self._fan_out(
             _query_node_batch,
-            [(node, queries, radius, workers, backend, mode) for node in live],
+            [
+                (node, queries, radius, workers, backend, mode, time_range)
+                for node in live
+            ],
         )
         wall = time.perf_counter() - wall_start
 

@@ -4,7 +4,8 @@
 protocol** the coordinator and cluster drive: ``n_items`` / ``capacity`` /
 ``free_capacity`` / ``is_full``, ``insert_batch``, ``query``,
 ``query_batch``, ``delete_global``, ``begin_merge`` / ``commit_merge`` /
-``merge_now``, ``stats``, ``retire``, ``close``.  The in-process node here
+``merge_now``, ``stats``, ``retire`` / ``retire_window`` /
+``retire_before``, ``close``.  The in-process node here
 and :class:`repro.cluster.client.RemoteNodeHandle` (the same surface over
 a TCP connection to a :class:`repro.cluster.server.NodeServer` process)
 are interchangeable behind that protocol, which is how one coordinator
@@ -90,9 +91,13 @@ class ClusterNode:
         obj.plsh = plsh
         obj._op_lock = threading.Lock()
         obj._global_ids = np.ascontiguousarray(global_ids, dtype=np.int64)
-        if obj._global_ids.size != plsh.n_total:
+        # The map covers the whole local id *space*: dropped partitions
+        # leave holes whose (stale) entries are retained so later ids keep
+        # translating — so size is checked against id_space, not n_total.
+        if obj._global_ids.size != plsh.id_space:
             raise ValueError(
-                f"{obj._global_ids.size} global ids for {plsh.n_total} rows"
+                f"{obj._global_ids.size} global ids for id space of "
+                f"{plsh.id_space}"
             )
         return obj
 
@@ -119,6 +124,10 @@ class ClusterNode:
             "node_id": self.node_id,
             "n_items": self.n_items,
             "n_static": plsh.n_static,
+            "n_static_resident": plsh.n_static_resident,
+            "n_partitions": plsh.n_partitions,
+            "n_parts_probed": plsh.static.n_probed,
+            "n_parts_pruned": plsh.static.n_pruned,
             "n_frozen": plsh.n_frozen,
             "n_delta": plsh.n_delta,
             "n_deleted": plsh.deletions.n_deleted,
@@ -140,14 +149,24 @@ class ClusterNode:
     def is_full(self) -> bool:
         return self.plsh.is_full
 
-    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
-        """Insert rows carrying their cluster-wide ids."""
+    def insert_batch(
+        self,
+        vectors: CSRMatrix,
+        global_ids: np.ndarray,
+        timestamps: np.ndarray | None = None,
+    ) -> None:
+        """Insert rows carrying their cluster-wide ids.
+
+        ``timestamps`` optionally stamps each row with the cluster's
+        logical insert time (non-decreasing int64 per row) so every
+        shard's partitions share one timeline; without it the node's own
+        clock stamps the batch."""
         if vectors.n_rows != global_ids.size:
             raise ValueError(
                 f"{vectors.n_rows} rows but {global_ids.size} global ids"
             )
         with self._op_lock:
-            local = self.plsh.insert_batch(vectors)
+            local = self.plsh.insert_batch(vectors, timestamps=timestamps)
             # Local ids are dense and increasing (stable under merge), so
             # the map is a simple append.
             expected = np.arange(
@@ -174,16 +193,26 @@ class ClusterNode:
                 self._global_ids, np.asarray(global_ids, dtype=np.int64)
             )
             local = np.nonzero(mask)[0]
+            # The id map keeps stale entries for retired holes (see
+            # ``retire_window``); only resident rows are deletable.
+            local = local[self.plsh.resident_mask(local)]
             if local.size == 0:
                 return 0
             return self.plsh.delete(local)
 
     def query(
-        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> QueryResult:
         """Node-local query with results translated to global ids."""
         with self._op_lock:
-            res = self.plsh.query(q_cols, q_vals, radius=radius)
+            res = self.plsh.query(
+                q_cols, q_vals, radius=radius, time_range=time_range
+            )
             return QueryResult(self._global_ids[res.indices], res.distances)
 
     def query_batch(
@@ -194,6 +223,7 @@ class ClusterNode:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
         """Batch query through the node's vectorized kernel, translated to
         global ids (one gather per query result).
@@ -205,7 +235,7 @@ class ClusterNode:
         with self._op_lock:
             results = self.plsh.query_batch(
                 queries, radius=radius, mode=mode, workers=workers,
-                backend=backend,
+                backend=backend, time_range=time_range,
             )
             return [
                 QueryResult(self._global_ids[res.indices], res.distances)
@@ -237,6 +267,31 @@ class ClusterNode:
         with self._op_lock:
             self.plsh.merge_now()
 
+    # -- resync (replica rebuild) ------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the node's full state as a flat ``{name: array}``
+        payload (every partition, delta rows with cached hashes,
+        tombstones, clock, global-id map) — the replica-resync source
+        side.  A merge in flight is drained first so the payload is
+        settled."""
+        from repro.persistence import cluster_node_state
+
+        with self._op_lock:
+            return cluster_node_state(self)
+
+    def import_state(self, payload: dict) -> None:
+        """Adopt an exported sibling state wholesale — the replica-resync
+        target side.  Everything but the node id is replaced; afterwards
+        this node answers bit-identically to the export source."""
+        from repro.persistence import restore_cluster_node_state
+
+        fresh = restore_cluster_node_state(payload)
+        with self._op_lock:
+            self.plsh.close()
+            self.plsh = fresh.plsh
+            self._global_ids = fresh._global_ids
+
     def close(self) -> None:
         """Release the node's persistent worker pools.  Serialized with
         in-flight ops: closing mid-broadcast must not pull a warm pool
@@ -251,3 +306,22 @@ class ClusterNode:
             self.plsh.retire()
             self._global_ids = np.empty(0, dtype=np.int64)
             return dropped
+
+    def retire_window(self) -> np.ndarray:
+        """Drop every partition and delta row without tearing the node
+        down (O(1) per partition — no table rebuild); returns the global
+        ids that were resident.  The global-id map is *kept*: dropped
+        ranges become holes whose stale entries pad the map so later
+        local ids keep translating, and the next insert appends after
+        them."""
+        with self._op_lock:
+            local = self.plsh.retire_window()
+            return self._global_ids[local]
+
+    def retire_before(self, cutoff: int) -> np.ndarray:
+        """Retire rows with ``timestamp < cutoff``: wholly-cold partitions
+        are dropped in O(1), the ragged edge is tombstoned.  Returns the
+        global ids newly retired by this cutoff."""
+        with self._op_lock:
+            local = self.plsh.retire_before(cutoff)
+            return self._global_ids[local]

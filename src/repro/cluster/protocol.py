@@ -41,6 +41,10 @@ __all__ = [
     "OP_RETIRE",
     "OP_SHUTDOWN",
     "OP_HELLO",
+    "OP_RETIRE_WINDOW",
+    "OP_RETIRE_BEFORE",
+    "OP_EXPORT_STATE",
+    "OP_IMPORT_STATE",
     "STATUS_OK",
     "STATUS_ERROR",
     "OP_NAMES",
@@ -69,6 +73,14 @@ OP_SHUTDOWN = 11
 #: connection before any other op.  Servers that predate it answer
 #: STATUS_ERROR and the client degrades to plain framed TCP.
 OP_HELLO = 12
+#: partition-lifecycle retirement (PR 10): drop all partitions without a
+#: node teardown (window advance) / drop rows older than a cutoff.
+OP_RETIRE_WINDOW = 13
+OP_RETIRE_BEFORE = 14
+#: replica resync: ship a node's full state (flat named-array payload)
+#: from a surviving sibling to a rebuilt replacement.
+OP_EXPORT_STATE = 15
+OP_IMPORT_STATE = 16
 
 #: human-readable op names for errors and logs.
 OP_NAMES = {
@@ -84,6 +96,10 @@ OP_NAMES = {
     OP_RETIRE: "retire",
     OP_SHUTDOWN: "shutdown",
     OP_HELLO: "hello",
+    OP_RETIRE_WINDOW: "retire_window",
+    OP_RETIRE_BEFORE: "retire_before",
+    OP_EXPORT_STATE: "export_state",
+    OP_IMPORT_STATE: "import_state",
 }
 
 # -- status codes (responses) ----------------------------------------------

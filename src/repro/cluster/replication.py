@@ -18,13 +18,16 @@ Correctness contract (what the chaos suite asserts):
   falls through siblings on transport failure.  Because replicas are
   bit-identical, *which* replica answers is unobservable — answers stay
   exactly equal to the healthy cluster's so long as one replica lives.
-* **Divergence is forbidden, not repaired**: a replica that fails a
-  *data* mutation (crash or timeout mid-insert — the op may or may not
-  have been applied) is **evicted** permanently from the group rather
-  than left to answer queries from a diverged copy.  Re-syncing an
-  evicted replica is future work; serving exactness comes first.  Merge
-  ops are exempt: a missed merge leaves a replica with a larger delta,
-  which changes performance, never answers.
+* **Divergence is forbidden, then repaired online**: a replica that
+  fails a *data* mutation (crash or timeout mid-insert — the op may or
+  may not have been applied) is **evicted** from the group rather than
+  left to answer queries from a diverged copy.  :meth:`ReplicaGroup.resync`
+  re-admits it (or a fresh replacement handle) by copying a surviving
+  sibling's full state over the handle protocol (``export_state`` /
+  ``import_state``) — after which the rebuilt replica is bit-identical
+  to its siblings and serves again.  Merge ops are exempt from eviction:
+  a missed merge leaves a replica with a larger delta, which changes
+  performance, never answers.
 * **Query failures never evict**: a flaky read says nothing about the
   replica's data, and the handle's own circuit breaker already removes
   persistently-failing replicas from the rotation (recovery via the
@@ -165,9 +168,15 @@ class ReplicaGroup:
             )
         return results[0]
 
-    def insert_batch(self, vectors: CSRMatrix, global_ids: np.ndarray) -> None:
+    def insert_batch(
+        self,
+        vectors: CSRMatrix,
+        global_ids: np.ndarray,
+        timestamps: np.ndarray | None = None,
+    ) -> None:
         self._fan_write(
-            "insert_batch", lambda r: r.insert_batch(vectors, global_ids)
+            "insert_batch",
+            lambda r: r.insert_batch(vectors, global_ids, timestamps),
         )
 
     def delete_global(self, global_ids: np.ndarray) -> int:
@@ -179,6 +188,60 @@ class ReplicaGroup:
 
     def retire(self) -> np.ndarray:
         return self._fan_write("retire", lambda r: r.retire())
+
+    def retire_window(self) -> np.ndarray:
+        # Replicas are bit-identical, so every replica reports the same
+        # retired ids; the first successful result is the shard's answer.
+        return self._fan_write("retire_window", lambda r: r.retire_window())
+
+    def retire_before(self, cutoff: int) -> np.ndarray:
+        return self._fan_write(
+            "retire_before", lambda r: r.retire_before(cutoff)
+        )
+
+    # -- resync: rebuild a lost replica from a surviving sibling -----------
+
+    def resync(self, index: int, replacement=None) -> None:
+        """Rebuild replica ``index`` from a surviving sibling and re-admit
+        it to the write fan-out and read rotation.
+
+        ``replacement`` substitutes a fresh handle at that slot first —
+        the crash-recovery path, where the dead process's handle is
+        replaced by a stub talking to a newly spawned server.  The full
+        shard state (every partition, delta rows with cached hashes,
+        tombstones, clock, global-id map) is exported from the first
+        ready sibling and imported wholesale, so the rebuilt replica is
+        bit-identical to its source by construction.  Raises
+        :class:`ShardUnavailableError` when no sibling can serve as the
+        source."""
+        if not 0 <= index < len(self.replicas):
+            raise IndexError(
+                f"replica index {index} out of range "
+                f"(shard has {len(self.replicas)} replicas)"
+            )
+        if replacement is not None:
+            self.replicas[index] = replacement
+        target = self.replicas[index]
+        sources = [
+            r
+            for i, r in enumerate(self.replicas)
+            if i != index
+            and i not in self.evicted
+            and getattr(r, "broadcast_ready", True)
+        ]
+        last: Exception | None = None
+        for source in sources:
+            try:
+                target.import_state(source.export_state())
+                self.evicted.pop(index, None)
+                return
+            except _FAILOVER_ERRORS as exc:
+                last = exc
+        raise ShardUnavailableError(
+            f"shard {self.shard_id}: no surviving sibling to resync "
+            f"replica {index} from"
+            + (f" (last error: {last})" if last is not None else "")
+        )
 
     # -- maintenance: best effort, never evicts ----------------------------
 
@@ -226,10 +289,18 @@ class ReplicaGroup:
         return int(self._fan_read("ping", lambda r: r.ping()))
 
     def query(
-        self, q_cols: np.ndarray, q_vals: np.ndarray, *, radius: float | None = None
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> QueryResult:
         return self._fan_read(
-            "query", lambda r: r.query(q_cols, q_vals, radius=radius)
+            "query",
+            lambda r: r.query(
+                q_cols, q_vals, radius=radius, time_range=time_range
+            ),
         )
 
     def query_batch(
@@ -240,11 +311,14 @@ class ReplicaGroup:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
         def _run(replica):
             kwargs = {"radius": radius, "workers": workers, "backend": backend}
             if mode is not None:
                 kwargs["mode"] = mode
+            if time_range is not None:
+                kwargs["time_range"] = time_range
             results = replica.query_batch(queries, **kwargs)
             self.last_compute_seconds = getattr(
                 replica, "last_compute_seconds", None

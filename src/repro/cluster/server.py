@@ -175,15 +175,27 @@ class NodeServer:
         if code == protocol.OP_PING:
             return protocol.STATUS_OK, {"node_id": node.node_id}, []
         if code == protocol.OP_INSERT_BATCH:
-            indptr, indices, data, global_ids = arrays
+            # A fifth array carries optional per-row insert timestamps
+            # (the cluster clock); four-array messages stamp server-side.
+            indptr, indices, data, global_ids = arrays[:4]
+            timestamps = (
+                protocol.widen_ids(arrays[4]) if len(arrays) > 4 else None
+            )
             vectors = protocol.arrays_to_csr(
                 indptr, indices, data, int(meta["n_cols"])
             )
-            node.insert_batch(vectors, protocol.widen_ids(global_ids))
+            node.insert_batch(
+                vectors, protocol.widen_ids(global_ids), timestamps
+            )
             return protocol.STATUS_OK, {"n_items": node.n_items}, []
         if code == protocol.OP_QUERY:
             q_cols, q_vals = arrays
-            res = node.query(q_cols, q_vals, radius=meta.get("radius"))
+            res = node.query(
+                q_cols,
+                q_vals,
+                radius=meta.get("radius"),
+                time_range=_meta_time_range(meta),
+            )
             return protocol.STATUS_OK, {}, [res.indices, res.distances]
         if code == protocol.OP_QUERY_BATCH:
             return self._handle_query_batch(meta, arrays)
@@ -204,6 +216,36 @@ class NodeServer:
         if code == protocol.OP_RETIRE:
             dropped = node.retire()
             return protocol.STATUS_OK, {"n_items": node.n_items}, [dropped]
+        if code == protocol.OP_RETIRE_WINDOW:
+            dropped = node.retire_window()
+            return (
+                protocol.STATUS_OK,
+                {"n_items": node.n_items},
+                [protocol.compact_ids(dropped)],
+            )
+        if code == protocol.OP_RETIRE_BEFORE:
+            dropped = node.retire_before(int(meta["cutoff"]))
+            return (
+                protocol.STATUS_OK,
+                {"n_items": node.n_items},
+                [protocol.compact_ids(dropped)],
+            )
+        if code == protocol.OP_EXPORT_STATE:
+            payload = node.export_state()
+            keys = sorted(payload)
+            return (
+                protocol.STATUS_OK,
+                {"keys": keys},
+                [payload[k] for k in keys],
+            )
+        if code == protocol.OP_IMPORT_STATE:
+            keys = meta["keys"]
+            if len(keys) != len(arrays):
+                raise ValueError(
+                    f"{len(keys)} state keys but {len(arrays)} arrays"
+                )
+            node.import_state(dict(zip(keys, arrays)))
+            return protocol.STATUS_OK, {"n_items": node.n_items}, []
         if code == protocol.OP_SHUTDOWN:
             return protocol.STATUS_OK, {}, []
         raise ValueError(f"unknown op code {code}")
@@ -226,6 +268,7 @@ class NodeServer:
             mode=meta.get("mode"),
             workers=workers,
             backend=backend,
+            time_range=_meta_time_range(meta),
         )
         seconds = time.perf_counter() - start
         return (
@@ -233,6 +276,16 @@ class NodeServer:
             {"seconds": seconds},
             _pack_results(results, score_dtype=meta.get("score_dtype")),
         )
+
+
+def _meta_time_range(meta: dict) -> tuple[int, int] | None:
+    """Decode the optional ``time_range`` meta field (a 2-element list —
+    JSON has no tuples) back into the engine's half-open window."""
+    tr = meta.get("time_range")
+    if tr is None:
+        return None
+    t0, t1 = tr
+    return (int(t0), int(t1))
 
 
 def _pack_results(

@@ -9,6 +9,14 @@ A :class:`StaticTableSet` holds all ``L`` tables in two dense allocations:
 The single large allocations are the library's "large pages" analogue — one
 mapping per structure instead of per-bucket linked nodes.  Memory matches
 the paper's Equation 7.4: ``(L*N + 2^k * L) * 4`` bytes.
+
+Since PR 10 a streaming node holds one ``StaticTableSet`` **per time
+partition** (see :mod:`repro.streaming.partitions`), each built over
+its partition's rows with local (0-based) data indexes; the partition's
+``base`` offset translates them into the node-wide id space.  A table
+set is immutable after :meth:`StaticTableSet.build` — merges build a
+replacement for the newest partition only, and time-based retirement
+drops whole table sets without reading them.
 """
 
 from __future__ import annotations

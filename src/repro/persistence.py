@@ -8,12 +8,30 @@ including the hash functions, which are stored rather than re-drawn so a
 reloaded index agrees with peers built from the same seed.
 
 :func:`save_node` / :func:`load_node` round-trip a whole
-:class:`~repro.streaming.node.StreamingPLSH` — static structure, delta
-rows with their cached hash values (bins are rebuilt without re-hashing),
-deletion tombstones, and merge bookkeeping.  A node with a merge in
-flight is settled first: by default the pending build is *drained*
-(committed) so the archive captures the post-merge state; pass
+:class:`~repro.streaming.node.StreamingPLSH` — every static partition
+(tables, rows, cached hash values, timestamps), delta rows with their
+cached hash values (bins are rebuilt without re-hashing), deletion
+tombstones, the logical clock, and merge bookkeeping.  A node with a
+merge in flight is settled first: by default the pending build is
+*drained* (committed) so the archive captures the post-merge state; pass
 ``on_pending="refuse"`` to make saving such a node an error instead.
+
+Two layouts:
+
+* a single ``.npz`` archive (``path`` ends in ``.npz``) with one key
+  group per partition, or
+* a **directory** (any other path): ``manifest.json`` + one
+  ``partition_<seq>.npz`` per non-empty partition + ``head.npz`` (delta,
+  tombstones, clock).  Re-saving after retirement **never rewrites cold
+  partition files** — a partition file whose ``(seq, base, n_items)``
+  still matches the manifest is left untouched (partition content is
+  immutable once rows exist; only the newest partition grows, changing
+  its ``n_items``), and files for dropped partitions are removed.
+
+Pre-partition (format 1) archives load as a **single-partition** index:
+every row gets timestamp 0 and the logical clock resumes at 1, so a
+restored legacy node answers full-range queries bit-identically and can
+immediately participate in the partition lifecycle.
 
 :func:`save_cluster_node` / :func:`load_cluster_node` round-trip a whole
 :class:`~repro.cluster.node.ClusterNode`: the wrapped streaming node
@@ -55,12 +73,17 @@ __all__ = [
     "load_node",
     "save_cluster_node",
     "load_cluster_node",
+    "cluster_node_state",
+    "restore_cluster_node_state",
     "save_cluster",
     "load_cluster",
 ]
 
 _FORMAT_VERSION = 1
-_NODE_FORMAT_VERSION = 1
+#: format 2 added time-ranged partitions; format-1 archives are read as a
+#: single partition (see :func:`_restore_node`).
+_NODE_FORMAT_VERSION = 2
+_NODE_READABLE_VERSIONS = (1, 2)
 
 
 def save_index(index: PLSHIndex, path: str | Path) -> None:
@@ -145,11 +168,19 @@ def load_index(path: str | Path) -> PLSHIndex:
 def save_node(
     node, path: str | Path, *, on_pending: str = "drain"
 ) -> None:
-    """Serialize a :class:`StreamingPLSH` node to one ``.npz`` archive.
+    """Serialize a :class:`StreamingPLSH` node.
 
-    Captures the static structure, the live delta (rows + cached hash
-    values), the deletion tombstones, and the merge bookkeeping.  A merge
-    in flight is settled first according to ``on_pending``:
+    ``path`` ending in ``.npz`` writes one archive; any other path writes
+    the directory layout (``manifest.json`` + ``partition_<seq>.npz`` per
+    non-empty partition + ``head.npz``), in which cold partition files
+    that already match the manifest are **not rewritten** — so re-saving
+    after :meth:`~repro.streaming.node.StreamingPLSH.retire_before` costs
+    only the head, and retirement itself never touches cold archives.
+
+    Captures every static partition (tables, rows, cached hash values,
+    timestamps), the live delta, the deletion tombstones, the logical
+    clock, and the merge bookkeeping.  A merge in flight is settled first
+    according to ``on_pending``:
 
     * ``"drain"`` (default) — commit the pending build (waiting for it if
       still running), so the archive holds the post-merge state the node
@@ -157,32 +188,15 @@ def save_node(
     * ``"refuse"`` — raise :class:`ValueError`; the caller chose to keep
       save points off the merge window.
     """
-    np.savez_compressed(Path(path), **_node_payload(node, on_pending))
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(path, **_node_payload(node, on_pending))
+        return
+    _save_node_dir(node, path, on_pending)
 
 
-def _node_payload(node, on_pending: str) -> dict:
-    """The archive entries of one StreamingPLSH (shared by node and
-    cluster-node saving); settles a pending merge per ``on_pending``."""
-    if on_pending not in ("drain", "refuse"):
-        raise ValueError(
-            f"on_pending must be 'drain' or 'refuse', got {on_pending!r}"
-        )
-    if node.merge_in_flight:
-        if on_pending == "refuse":
-            raise ValueError(
-                "node has a merge in flight; commit it first or save with "
-                "on_pending='drain'"
-            )
-        node.commit_merge(wait=True)
-    static = node.static
-    assert static.data is not None and static.u_values is not None
-    assert static.tables is not None
-    delta_vectors = node.delta.vectors()
-    # Tombstones as explicit ids: small, and reapplying them on load
-    # restores both the bitvector and the deleted-count.
-    all_ids = np.arange(node.capacity, dtype=np.int64)
-    deleted = all_ids[node.deletions.is_deleted(all_ids)]
-    meta = {
+def _node_meta(node) -> dict:
+    return {
         "format_version": _NODE_FORMAT_VERSION,
         "dim": node.dim,
         "params": {
@@ -199,50 +213,272 @@ def _node_payload(node, on_pending: str) -> dict:
         "n_merges": node.n_merges,
         "n_static": node.n_static,
         "n_delta": node.n_delta,
-        "dedup": static._dedup,
-        "dots": static._dots,
+        "dedup": node.static._dedup,
+        "dots": node.static._dots,
+        "clock": int(node._clock),
+        "last_ts": None if node._last_ts is None else int(node._last_ts),
+        "retire_floor": (
+            None if node._retire_floor is None else int(node._retire_floor)
+        ),
+        "id_hi": int(node.static.id_hi),
+        "next_seq": int(node.static._next_seq),
+        "partitions": node.static.manifest(),
     }
+
+
+def _settle_pending(node, on_pending: str) -> None:
+    if on_pending not in ("drain", "refuse"):
+        raise ValueError(
+            f"on_pending must be 'drain' or 'refuse', got {on_pending!r}"
+        )
+    if node.merge_in_flight:
+        if on_pending == "refuse":
+            raise ValueError(
+                "node has a merge in flight; commit it first or save with "
+                "on_pending='drain'"
+            )
+        node.commit_merge(wait=True)
+
+
+def _partition_arrays(part) -> dict:
+    """The archive entries of one non-empty static partition."""
+    index = part.index
+    assert index.data is not None and index.u_values is not None
+    assert index.tables is not None
     return dict(
-        node_meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        static_indptr=static.data.indptr,
-        static_indices=static.data.indices,
-        static_values=static.data.data,
-        static_u=static.u_values,
-        static_entries=static.tables.entries,
-        static_offsets=static.tables.offsets,
-        hyperplanes=static.hasher.bank.planes,
+        indptr=index.data.indptr,
+        indices=index.data.indices,
+        values=index.data.data,
+        u=index.u_values,
+        entries=index.tables.entries,
+        offsets=index.tables.offsets,
+        ts=part.timestamps,
+    )
+
+
+def _head_arrays(node) -> dict:
+    """Non-partition archive entries (hyperplanes, delta, tombstones)."""
+    delta_vectors = node.delta.vectors()
+    # Tombstones as explicit ids: small, and reapplying them on load
+    # restores both the bitvector and the deleted-count.  The id space
+    # can exceed capacity once partitions were dropped (holes persist).
+    all_ids = np.arange(node.id_space, dtype=np.int64)
+    deleted = all_ids[node.deletions.is_deleted(all_ids)]
+    return dict(
+        hyperplanes=node.hasher.bank.planes,
         delta_indptr=delta_vectors.indptr,
         delta_indices=delta_vectors.indices,
         delta_values=delta_vectors.data,
         delta_u=node.delta.u_values(),
+        delta_ts=node._delta_ts,
         deleted_ids=deleted,
     )
 
 
+def _node_payload(node, on_pending: str) -> dict:
+    """The single-archive entries of one StreamingPLSH (shared by node and
+    cluster-node saving); settles a pending merge per ``on_pending``."""
+    _settle_pending(node, on_pending)
+    payload = dict(
+        node_meta=np.frombuffer(
+            json.dumps(_node_meta(node)).encode("utf-8"), dtype=np.uint8
+        ),
+        **_head_arrays(node),
+    )
+    for part in node.static.partitions:
+        if part.n_items == 0:
+            continue
+        for key, arr in _partition_arrays(part).items():
+            payload[f"p{part.seq}_{key}"] = arr
+    return payload
+
+
+def _save_node_dir(node, path: Path, on_pending: str) -> None:
+    """Directory layout: cold partition files are reused, not rewritten."""
+    _settle_pending(node, on_pending)
+    path.mkdir(parents=True, exist_ok=True)
+    meta = _node_meta(node)
+    manifest_file = path / "manifest.json"
+    old_parts: dict[int, dict] = {}
+    if manifest_file.exists():
+        try:
+            old = json.loads(manifest_file.read_text())
+            old_parts = {
+                int(row["seq"]): row for row in old.get("partitions", [])
+            }
+        except (ValueError, KeyError):
+            old_parts = {}
+    live_files = {"manifest.json", "head.npz"}
+    for part in node.static.partitions:
+        if part.n_items == 0:
+            continue
+        fname = f"partition_{part.seq}.npz"
+        live_files.add(fname)
+        prev = old_parts.get(part.seq)
+        fresh = (
+            prev is None
+            or prev.get("base") != part.base
+            or prev.get("n_items") != part.n_items
+            or not (path / fname).exists()
+        )
+        if fresh:
+            # Partition content is immutable once rows exist (only the
+            # newest grows, changing n_items), so a matching entry means
+            # the file on disk is byte-equivalent — skip the rewrite.
+            np.savez_compressed(path / fname, **_partition_arrays(part))
+    np.savez_compressed(path / "head.npz", **_head_arrays(node))
+    manifest_file.write_text(json.dumps(meta, indent=2))
+    # Drop files of retired partitions (and stale temporaries).
+    for f in path.glob("partition_*.npz"):
+        if f.name not in live_files:
+            f.unlink()
+
+
 def load_node(path: str | Path):
-    """Restore a node saved by :func:`save_node`.
+    """Restore a node saved by :func:`save_node` (either layout).
 
     The loaded node answers queries bit-identically to the saved one:
-    the static tables are restored verbatim, the delta bins are rebuilt
-    from the persisted rows and *cached* hash values (no re-hashing, same
-    bucket membership and order), and the tombstone bitvector is
-    reapplied.  No merge is pending on a loaded node by construction.
+    every partition's tables are restored verbatim, the delta bins are
+    rebuilt from the persisted rows and *cached* hash values (no
+    re-hashing, same bucket membership and order), and the tombstone
+    bitvector is reapplied.  Format-1 (pre-partition) archives load as a
+    single partition with all timestamps 0.  No merge is pending on a
+    loaded node by construction.
     """
-    with np.load(Path(path)) as archive:
+    path = Path(path)
+    if path.is_dir():
+        meta = json.loads((path / "manifest.json").read_text())
+        parts: dict[int, np.lib.npyio.NpzFile] = {}
+        try:
+            for row in meta.get("partitions", []):
+                if row["n_items"]:
+                    seq = int(row["seq"])
+                    parts[seq] = np.load(path / f"partition_{seq}.npz")
+            with np.load(path / "head.npz") as head:
+                archive = _DirArchive(meta, head, parts)
+                return _restore_node(archive)
+        finally:
+            for f in parts.values():
+                f.close()
+    with np.load(path) as archive:
         return _restore_node(archive)
+
+
+class _DirArchive:
+    """Adapter presenting the directory layout as one archive mapping."""
+
+    def __init__(self, meta: dict, head, parts: dict[int, object]) -> None:
+        self._meta = meta
+        self._head = head
+        self._parts = parts
+
+    def __getitem__(self, key: str):
+        if key == "node_meta":
+            return np.frombuffer(
+                json.dumps(self._meta).encode("utf-8"), dtype=np.uint8
+            )
+        if key.startswith("p"):
+            seq, _, field = key[1:].partition("_")
+            if seq.isdigit() and int(seq) in self._parts:
+                return self._parts[int(seq)][field]
+        return self._head[key]
+
+
+def _restore_partitions(node, meta, archive, hasher):
+    """Rebuild the PartitionedStatic facade from archive key groups."""
+    from repro.core.query import QueryEngine
+    from repro.streaming.partitions import PartitionedStatic, StaticPartition
+
+    params = node.params
+    dim = node.dim
+    dedup, dots = meta["dedup"], meta["dots"]
+    parts: list[StaticPartition] = []
+    for row in meta["partitions"]:
+        seq, base, n = int(row["seq"]), int(row["base"]), int(row["n_items"])
+        index = PLSHIndex(dim, params, hasher=hasher, dedup=dedup, dots=dots)
+        if n == 0:
+            index.build(CSRMatrix.empty(dim))
+            ts = np.empty(0, dtype=np.int64)
+        else:
+            data = CSRMatrix(
+                archive[f"p{seq}_indptr"],
+                archive[f"p{seq}_indices"],
+                archive[f"p{seq}_values"],
+                dim,
+                check=False,
+            )
+            index.data = data
+            index.u_values = np.ascontiguousarray(archive[f"p{seq}_u"])
+            index.tables = StaticTableSet(
+                np.ascontiguousarray(archive[f"p{seq}_entries"]),
+                np.ascontiguousarray(archive[f"p{seq}_offsets"]),
+                params,
+            )
+            index.engine = QueryEngine(
+                index.tables, data, hasher, params, dedup=dedup, dots=dots
+            )
+            ts = np.ascontiguousarray(archive[f"p{seq}_ts"], dtype=np.int64)
+        parts.append(StaticPartition(index, base, ts, seq))
+    node.static = PartitionedStatic.from_partitions(
+        dim,
+        params,
+        hasher,
+        parts,
+        id_hi=int(meta["id_hi"]),
+        next_seq=int(meta["next_seq"]),
+        dedup=dedup,
+        dots=dots,
+    )
+
+
+def _restore_legacy_static(node, meta, archive, hasher):
+    """Format-1 monolithic static → one partition, all timestamps 0."""
+    from repro.core.query import QueryEngine
+    from repro.streaming.partitions import PartitionedStatic, StaticPartition
+
+    params = node.params
+    dim = node.dim
+    dedup, dots = meta["dedup"], meta["dots"]
+    n_static = int(meta["n_static"])
+    if not n_static:
+        return
+    data = CSRMatrix(
+        archive["static_indptr"],
+        archive["static_indices"],
+        archive["static_values"],
+        dim,
+        check=False,
+    )
+    index = PLSHIndex(dim, params, hasher=hasher, dedup=dedup, dots=dots)
+    index.data = data
+    index.u_values = np.ascontiguousarray(archive["static_u"])
+    index.tables = StaticTableSet(
+        np.ascontiguousarray(archive["static_entries"]),
+        np.ascontiguousarray(archive["static_offsets"]),
+        params,
+    )
+    index.engine = QueryEngine(
+        index.tables, data, hasher, params, dedup=dedup, dots=dots
+    )
+    part = StaticPartition(
+        index, 0, np.zeros(n_static, dtype=np.int64), 0
+    )
+    node.static = PartitionedStatic.from_partitions(
+        dim, params, hasher, [part], dedup=dedup, dots=dots
+    )
 
 
 def _restore_node(archive):
     """Rebuild a StreamingPLSH from its archive entries."""
-    from repro.core.query import QueryEngine
     from repro.streaming.delta import DeltaTable
     from repro.streaming.node import StreamingPLSH
 
     meta = json.loads(bytes(archive["node_meta"]).decode("utf-8"))
-    if meta["format_version"] != _NODE_FORMAT_VERSION:
+    version = meta["format_version"]
+    if version not in _NODE_READABLE_VERSIONS:
         raise ValueError(
-            f"unsupported node format {meta['format_version']} "
-            f"(this build reads {_NODE_FORMAT_VERSION})"
+            f"unsupported node format {version} "
+            f"(this build reads {_NODE_READABLE_VERSIONS})"
         )
     params = PLSHParams(**meta["params"])
     dim = int(meta["dim"])
@@ -259,35 +495,12 @@ def _restore_node(archive):
         overlap_merges=bool(meta["overlap_merges"]),
         hasher=hasher,
     )
-    if int(meta["n_static"]):
-        data = CSRMatrix(
-            archive["static_indptr"],
-            archive["static_indices"],
-            archive["static_values"],
-            dim,
-            check=False,
-        )
-        static = PLSHIndex(
-            dim, params, hasher=hasher,
-            dedup=meta["dedup"], dots=meta["dots"],
-        )
-        static.data = data
-        static.u_values = np.ascontiguousarray(archive["static_u"])
-        static.tables = StaticTableSet(
-            np.ascontiguousarray(archive["static_entries"]),
-            np.ascontiguousarray(archive["static_offsets"]),
-            params,
-        )
-        static.engine = QueryEngine(
-            static.tables,
-            data,
-            hasher,
-            params,
-            dedup=meta["dedup"],
-            dots=meta["dots"],
-        )
-        node.static = static
-    if int(meta["n_delta"]):
+    if version == 1:
+        _restore_legacy_static(node, meta, archive, hasher)
+    else:
+        _restore_partitions(node, meta, archive, hasher)
+    n_delta = int(meta["n_delta"])
+    if n_delta:
         delta_vectors = CSRMatrix(
             archive["delta_indptr"],
             archive["delta_indices"],
@@ -299,11 +512,80 @@ def _restore_node(archive):
             dim, params, hasher, delta_vectors,
             np.ascontiguousarray(archive["delta_u"]),
         )
+    if version == 1:
+        # Legacy rows predate timestamps: stamp everything 0 and resume
+        # the logical clock at 1 so new inserts sort after them.
+        node._delta_ts = np.zeros(n_delta, dtype=np.int64)
+        if node.n_total:
+            node._last_ts = 0
+            node._clock = 1
+    else:
+        node._delta_ts = np.ascontiguousarray(
+            archive["delta_ts"], dtype=np.int64
+        )
+        node._clock = int(meta["clock"])
+        node._last_ts = (
+            None if meta["last_ts"] is None else int(meta["last_ts"])
+        )
+        node._retire_floor = (
+            None
+            if meta["retire_floor"] is None
+            else int(meta["retire_floor"])
+        )
     deleted = np.ascontiguousarray(archive["deleted_ids"])
+    node.deletions.ensure(node.id_space)
     if deleted.size:
         node.deletions.delete(deleted)
     node.n_merges = int(meta["n_merges"])
     return node
+
+
+def cluster_node_state(cluster_node, *, on_pending: str = "drain") -> dict:
+    """A :class:`~repro.cluster.node.ClusterNode`'s full state as a flat
+    ``{name: array}`` mapping — the :func:`save_cluster_node` payload kept
+    in memory.
+
+    This is the **replica-resync wire payload**: every entry is a numpy
+    array (metadata rides as a JSON-in-uint8 array), so the whole state
+    ships over the node RPC protocol unchanged and
+    :func:`restore_cluster_node_state` rebuilds a bit-identical node on
+    the other side.
+    """
+    payload = _node_payload(cluster_node.plsh, on_pending)
+    cluster_meta = {
+        "format_version": _NODE_FORMAT_VERSION,
+        "node_id": int(cluster_node.node_id),
+    }
+    payload["cluster_meta"] = np.frombuffer(
+        json.dumps(cluster_meta).encode("utf-8"), dtype=np.uint8
+    )
+    payload["cluster_global_ids"] = cluster_node._global_ids
+    return payload
+
+
+def restore_cluster_node_state(payload) -> "object":
+    """Rebuild a :class:`ClusterNode` from :func:`cluster_node_state`
+    output (or any archive-like mapping carrying the same keys)."""
+    from repro.cluster.node import ClusterNode
+
+    if "cluster_meta" not in payload:
+        raise ValueError(
+            "payload has no cluster node entries; use load_node for "
+            "plain StreamingPLSH archives"
+        )
+    cluster_meta = json.loads(bytes(payload["cluster_meta"]).decode("utf-8"))
+    if cluster_meta["format_version"] not in _NODE_READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported cluster node format "
+            f"{cluster_meta['format_version']} "
+            f"(this build reads {_NODE_READABLE_VERSIONS})"
+        )
+    plsh = _restore_node(payload)
+    return ClusterNode.restore(
+        cluster_meta["node_id"],
+        plsh,
+        np.ascontiguousarray(payload["cluster_global_ids"]),
+    )
 
 
 def save_cluster_node(
@@ -318,16 +600,9 @@ def save_cluster_node(
     ``on_pending`` settles an in-flight merge exactly as in
     :func:`save_node`.
     """
-    payload = _node_payload(cluster_node.plsh, on_pending)
-    cluster_meta = {
-        "format_version": _NODE_FORMAT_VERSION,
-        "node_id": int(cluster_node.node_id),
-    }
-    payload["cluster_meta"] = np.frombuffer(
-        json.dumps(cluster_meta).encode("utf-8"), dtype=np.uint8
+    np.savez_compressed(
+        Path(path), **cluster_node_state(cluster_node, on_pending=on_pending)
     )
-    payload["cluster_global_ids"] = cluster_node._global_ids
-    np.savez_compressed(Path(path), **payload)
 
 
 def load_cluster_node(path: str | Path):
@@ -336,30 +611,14 @@ def load_cluster_node(path: str | Path):
     The restored node answers queries bit-identically to the saved one —
     including the global ids its results carry.
     """
-    from repro.cluster.node import ClusterNode
-
     with np.load(Path(path)) as archive:
-        if "cluster_meta" not in archive:
-            raise ValueError(
-                "archive has no cluster node payload; use load_node for "
-                "plain StreamingPLSH archives"
-            )
-        cluster_meta = json.loads(bytes(archive["cluster_meta"]).decode("utf-8"))
-        if cluster_meta["format_version"] != _NODE_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported cluster node format "
-                f"{cluster_meta['format_version']} "
-                f"(this build reads {_NODE_FORMAT_VERSION})"
-            )
-        plsh = _restore_node(archive)
-        return ClusterNode.restore(
-            cluster_meta["node_id"],
-            plsh,
-            np.ascontiguousarray(archive["cluster_global_ids"]),
-        )
+        return restore_cluster_node_state(archive)
 
 
-_CLUSTER_FORMAT_VERSION = 1
+#: format 2 shards carry partitioned nodes; format-1 cluster directories
+#: (monolithic shard archives) load as single-partition shards.
+_CLUSTER_FORMAT_VERSION = 2
+_CLUSTER_READABLE_VERSIONS = (1, 2)
 
 
 def save_cluster(cluster, path: str | Path, *, on_pending: str = "drain") -> None:
@@ -404,6 +663,7 @@ def save_cluster(cluster, path: str | Path, *, on_pending: str = "drain") -> Non
         "window_start": cluster._window_start,
         "window_cursor": cluster._window_cursor,
         "next_global_id": cluster._next_global_id,
+        "clock": cluster._clock,
         "n_retirements": cluster.n_retirements,
         "n_retired_items": cluster.n_retired_items,
         "retired_retention": cluster.retired_retention,
@@ -430,10 +690,10 @@ def load_cluster(path: str | Path, *, network=None, replication: int | None = No
 
     path = Path(path)
     manifest = json.loads((path / "manifest.json").read_text())
-    if manifest["format_version"] != _CLUSTER_FORMAT_VERSION:
+    if manifest["format_version"] not in _CLUSTER_READABLE_VERSIONS:
         raise ValueError(
             f"unsupported cluster format {manifest['format_version']} "
-            f"(this build reads {_CLUSTER_FORMAT_VERSION})"
+            f"(this build reads {_CLUSTER_READABLE_VERSIONS})"
         )
     params = PLSHParams(**manifest["params"])
     R = int(replication if replication is not None else manifest["replication"])
@@ -454,6 +714,13 @@ def load_cluster(path: str | Path, *, network=None, replication: int | None = No
     cluster._window_start = int(manifest["window_start"])
     cluster._window_cursor = int(manifest["window_cursor"])
     cluster._next_global_id = int(manifest["next_global_id"])
+    # Format-1 manifests predate the cluster clock: resume it past every
+    # node's own clock so new inserts never predate restored rows.
+    cluster._clock = int(
+        manifest.get(
+            "clock", max((h.plsh.clock for h in handles), default=0)
+        )
+    )
     cluster.n_retirements = int(manifest["n_retirements"])
     cluster.retired_retention = int(manifest.get("retired_retention", 8))
     with np.load(path / "retired.npz") as retired:

@@ -58,6 +58,10 @@ class PendingQuery:
     #: resolved with this query's BroadcastOutcome (or an exception).
     future: asyncio.Future
     enqueued_at: float = 0.0
+    #: optional half-open ``[t0, t1)`` filter on the cluster's logical
+    #: insert clock; the gateway groups broadcasts by it so mixed-filter
+    #: queries coalesced into one batch never cross-contaminate.
+    time_range: tuple[int, int] | None = None
 
 
 @dataclass

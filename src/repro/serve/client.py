@@ -102,14 +102,18 @@ class GatewayClient:
         *,
         radius: float | None = None,
         tenant: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> GatewayAnswer:
         """One similarity query; raises :class:`GatewayRejected` on shed
-        load and :class:`GatewayError` on failure."""
+        load and :class:`GatewayError` on failure.  ``time_range``
+        restricts the answer to rows inserted in the half-open logical
+        window ``[t0, t1)``."""
         self._next_id += 1
         message = self._exchange(
             protocol.query_request(
                 cols, vals,
                 request_id=self._next_id, radius=radius, tenant=tenant,
+                time_range=time_range,
             )
         )
         return GatewayAnswer(_raise_for_status(message))
@@ -198,12 +202,14 @@ class AsyncGatewayClient:
         *,
         radius: float | None = None,
         tenant: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> GatewayAnswer:
         self._next_id += 1
         message = await self._exchange(
             protocol.query_request(
                 cols, vals,
                 request_id=self._next_id, radius=radius, tenant=tenant,
+                time_range=time_range,
             )
         )
         return GatewayAnswer(_raise_for_status(message))
@@ -215,6 +221,7 @@ class AsyncGatewayClient:
         *,
         radius: float | None = None,
         tenant: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> dict:
         """Like :meth:`query` but returns the raw response message
         without raising — the load generator classifies ok / rejected /
@@ -224,6 +231,7 @@ class AsyncGatewayClient:
             protocol.query_request(
                 cols, vals,
                 request_id=self._next_id, radius=radius, tenant=tenant,
+                time_range=time_range,
             )
         )
 

@@ -435,7 +435,7 @@ class Gateway:
         if self._try_reject(request_id, tenant, wlock, writer):
             return
         try:
-            cols, vals, radius = self._parse_query(message)
+            cols, vals, radius, time_range = self._parse_query(message)
         except ValueError as exc:
             self._counters["malformed"] += 1
             self._reply_soon(
@@ -444,7 +444,8 @@ class Gateway:
             return
         future = asyncio.get_running_loop().create_future()
         item = PendingQuery(
-            cols, vals, radius, tenant, future, time.perf_counter()
+            cols, vals, radius, tenant, future, time.perf_counter(),
+            time_range,
         )
         self._slot_acquire(tenant)
         self._counters["admitted"] += 1
@@ -473,7 +474,7 @@ class Gateway:
 
     def _parse_query(
         self, message: dict
-    ) -> tuple[np.ndarray, np.ndarray, float | None]:
+    ) -> tuple[np.ndarray, np.ndarray, float | None, tuple[int, int] | None]:
         cols = message.get("cols")
         vals = message.get("vals")
         if not isinstance(cols, list) or not isinstance(vals, list):
@@ -497,7 +498,18 @@ class Gateway:
         radius = message.get("radius", self.default_radius)
         if radius is not None:
             radius = float(radius)
-        return cols_arr, vals_arr, radius
+        time_range = message.get("time_range")
+        if time_range is not None:
+            if (
+                not isinstance(time_range, list)
+                or len(time_range) != 2
+                or not all(isinstance(t, int) for t in time_range)
+            ):
+                raise ValueError(
+                    "time_range must be a [t0, t1] list of two integers"
+                )
+            time_range = (int(time_range[0]), int(time_range[1]))
+        return cols_arr, vals_arr, radius, time_range
 
     # -- the write path ----------------------------------------------------
 
@@ -547,7 +559,7 @@ class Gateway:
         if op == "insert":
             # Same validation as a query row minus the radius — an insert
             # is a sparse row in the same space queries live in.
-            cols, vals, _ = self._parse_query(message)
+            cols, vals, _, _ = self._parse_query(message)
             return PendingWrite(
                 "insert", cols, vals, None, tenant, future, time.perf_counter()
             )
@@ -694,24 +706,32 @@ class Gateway:
                 item.future.set_result(value)
 
     def _broadcast(self, batch: list[PendingQuery]) -> list:
-        """Blocking: one coordinator broadcast per radius group.
+        """Blocking: one coordinator broadcast per (radius, time_range)
+        group.
 
-        Queries in a micro-batch may carry different radii, but one
-        broadcast carries one radius — the batch is partitioned into
-        per-radius sub-batches (in arrival order within each group, so
-        de-multiplexing is positional).  Runs on a dispatch-pool thread;
-        the coordinator below is thread-safe under overlapping calls.
+        Queries in a micro-batch may carry different radii or time
+        filters, but one broadcast carries one of each — the batch is
+        partitioned into per-group sub-batches (in arrival order within
+        each group, so de-multiplexing is positional) and a time-filtered
+        query never contaminates an unfiltered one coalesced beside it.
+        Runs on a dispatch-pool thread; the coordinator below is
+        thread-safe under overlapping calls.
         """
         out: list = [None] * len(batch)
-        groups: dict[float | None, list[int]] = {}
+        groups: dict[tuple, list[int]] = {}
         for i, item in enumerate(batch):
-            groups.setdefault(item.radius, []).append(i)
-        for radius, idxs in groups.items():
+            groups.setdefault((item.radius, item.time_range), []).append(i)
+        for (radius, time_range), idxs in groups.items():
             queries = CSRMatrix.from_rows(
                 [(batch[i].cols, batch[i].vals) for i in idxs], self.dim
             )
+            # The kwarg rides along only when a filter is set: providers
+            # that predate time filtering keep serving unfiltered load.
+            kwargs = {"radius": radius}
+            if time_range is not None:
+                kwargs["time_range"] = time_range
             try:
-                outcomes = self.cluster.query_batch(queries, radius=radius)
+                outcomes = self.cluster.query_batch(queries, **kwargs)
             except Exception as exc:
                 for i in idxs:
                     out[i] = exc

@@ -134,6 +134,8 @@ async def _client_loop(
     is_write: np.ndarray | None = None,
     insert_pool: CSRMatrix | None = None,
     insert_offsets: np.ndarray | None = None,
+    is_filtered: np.ndarray | None = None,
+    time_range: tuple[int, int] | None = None,
 ) -> None:
     client = await AsyncGatewayClient().connect(host, port)
     try:
@@ -157,8 +159,13 @@ async def _client_loop(
             if write:
                 message = await client.insert_raw(cols, vals, tenant=tenant)
             else:
+                tr = (
+                    time_range
+                    if is_filtered is not None and bool(is_filtered[served])
+                    else None
+                )
                 message = await client.query_raw(
-                    cols, vals, radius=radius, tenant=tenant
+                    cols, vals, radius=radius, tenant=tenant, time_range=tr
                 )
             status = message.get("status")
             if status == "ok":
@@ -196,6 +203,8 @@ async def _run(
     seed: int,
     write_fraction: float = 0.0,
     insert_pool: CSRMatrix | None = None,
+    time_filter_fraction: float = 0.0,
+    time_range: tuple[int, int] | None = None,
 ) -> LoadReport:
     # Reject an empty corpus HERE, on the path every entry point shares:
     # the old ``rng.permutation(max(n_rows, 1))`` fabricated index 0 for
@@ -227,12 +236,21 @@ async def _run(
             # is reproducible for a given (seed, n_clients).
             is_write = rng.random(requests_per_client) < write_fraction
             insert_offsets = rng.permutation(insert_pool.n_rows)
+        is_filtered = None
+        if time_filter_fraction:
+            # Same reproducibility story for the time-filter mix: the
+            # gateway then coalesces filtered and unfiltered queries into
+            # the same micro-batches and must keep them apart.
+            is_filtered = (
+                rng.random(requests_per_client) < time_filter_fraction
+            )
         tasks.append(
             asyncio.ensure_future(
                 _client_loop(
                     host, port, queries, offsets, requests_per_client,
                     radius, tenant, report, start_gate,
                     is_write, insert_pool, insert_offsets,
+                    is_filtered, time_range,
                 )
             )
         )
@@ -268,6 +286,8 @@ def run_closed_loop(
     seed: int = 0,
     write_fraction: float = 0.0,
     insert_pool: CSRMatrix | None = None,
+    time_filter_fraction: float = 0.0,
+    time_range: tuple[int, int] | None = None,
 ) -> LoadReport:
     """Drive the gateway with ``n_clients`` closed-loop clients.
 
@@ -275,9 +295,13 @@ def run_closed_loop(
     ``write_fraction > 0`` that fraction (per-request seeded coin) are
     single-row inserts drawn from ``insert_pool``, the rest queries
     drawn (shuffled, per-client seed) from ``queries``; the report
-    aggregates all clients, write metrics separate from reads.  Runs its
-    own event loop — call from ordinary sync code while the gateway
-    serves on its background thread.
+    aggregates all clients, write metrics separate from reads.  With
+    ``time_filter_fraction > 0`` that fraction of queries (per-request
+    seeded coin) carry ``time_range`` as a recency filter, so the
+    gateway's per-``(radius, time_range)`` broadcast grouping is
+    exercised by a realistic mixed stream.  Runs its own event loop —
+    call from ordinary sync code while the gateway serves on its
+    background thread.
     """
     if n_clients < 1:
         raise ValueError(f"n_clients must be >= 1, got {n_clients}")
@@ -285,9 +309,19 @@ def run_closed_loop(
         raise ValueError(
             f"write_fraction must be in [0, 1], got {write_fraction}"
         )
+    if not 0.0 <= time_filter_fraction <= 1.0:
+        raise ValueError(
+            f"time_filter_fraction must be in [0, 1], got "
+            f"{time_filter_fraction}"
+        )
+    if time_filter_fraction and time_range is None:
+        raise ValueError(
+            "time_filter_fraction > 0 needs a time_range to filter by"
+        )
     return asyncio.run(
         _run(
             host, port, queries, n_clients, requests_per_client,
             radius, tenants, seed, write_fraction, insert_pool,
+            time_filter_fraction, time_range,
         )
     )

@@ -112,8 +112,13 @@ def query_request(
     request_id: int | str | None = None,
     radius: float | None = None,
     tenant: str | None = None,
+    time_range: tuple[int, int] | None = None,
 ) -> dict:
-    """Build a query request message (client-side helper)."""
+    """Build a query request message (client-side helper).
+
+    ``time_range`` restricts the answer to rows whose insert timestamp
+    falls in the half-open window ``[t0, t1)`` of the cluster's logical
+    clock (one tick per insert op)."""
     message: dict = {
         "op": "query",
         "cols": [int(c) for c in np.asarray(cols).tolist()],
@@ -125,6 +130,9 @@ def query_request(
         message["radius"] = float(radius)
     if tenant is not None:
         message["tenant"] = tenant
+    if time_range is not None:
+        t0, t1 = time_range
+        message["time_range"] = [int(t0), int(t1)]
     return message
 
 

@@ -1,26 +1,37 @@
-"""Streaming PLSH (Section 6): delta tables, merge, deletion, node policy.
+"""Streaming PLSH (Section 6): partitions, delta tables, merge, deletion.
 
-New data is buffered in an insert-optimized **delta table**; queries consult
-both static and delta structures and combine answers.  When the delta
-reaches a fraction ``eta`` of node capacity it is merged into the static
-structure (a partition-bound rebuild over cached hash codes).  The merge is
-split into a prepare phase (:func:`prepare_merge`, runnable on a background
-thread while queries keep serving ``static + frozen delta + fresh delta``)
-and a short commit swap — see :class:`StreamingPLSH` for the non-blocking
-lifecycle.  Deletions are a bitvector consulted before the distance
-computation.  The node enforces a hard capacity; retirement (wholesale
-erase) is driven by the cluster layer.
+The static tier is an ordered list of **time-ranged partitions**
+(:class:`PartitionedStatic`), each owning its local tables and id range.
+New data is buffered in an insert-optimized **delta table**; queries
+consult every partition and the delta structures and combine answers.
+When the delta reaches a fraction ``eta`` of node capacity it is merged
+into the *newest partition only* (a partition-bound rebuild over cached
+hash codes).  The merge is split into a prepare phase
+(:func:`prepare_merge`, runnable on a background thread while queries
+keep serving ``partitions + frozen delta + fresh delta``) and a short
+commit swap — see :class:`StreamingPLSH` for the non-blocking lifecycle.
+Deletions are a bitvector consulted before the distance computation.
+
+The partition lifecycle is roll → merge-into-newest → drop:
+``roll_partition`` seals the newest partition, ``retire_before(ts)``
+drops wholly-cold partitions in O(1) (no rebuild; their id ranges become
+holes) and tombstones the ragged edge, and ``retire_window`` drops all
+partitions for the cluster's window advance — no node teardown.  The
+node enforces a hard capacity; retirement is driven by the cluster layer.
 """
 
 from repro.streaming.delta import DeltaTable
 from repro.streaming.deletion import DeletionFilter
 from repro.streaming.merge import PreparedMerge, merge_into_static, prepare_merge
 from repro.streaming.node import StreamingPLSH
+from repro.streaming.partitions import PartitionedStatic, StaticPartition
 
 __all__ = [
     "DeletionFilter",
     "DeltaTable",
+    "PartitionedStatic",
     "PreparedMerge",
+    "StaticPartition",
     "StreamingPLSH",
     "merge_into_static",
     "prepare_merge",

@@ -59,6 +59,35 @@ class DeletionFilter:
         idx = np.arange(n, dtype=np.int64)
         return self._bits.test(idx)
 
+    def mask_range(self, lo: int, hi: int) -> np.ndarray | None:
+        """Exclude-mask over local ids ``[lo, hi)`` or None if no deletions.
+
+        The per-partition slice of :meth:`mask` — ``None`` and an
+        all-False slice screen identically, so the no-deletions fast path
+        is preserved partition by partition."""
+        if self._n_deleted == 0:
+            return None
+        idx = np.arange(lo, hi, dtype=np.int64)
+        return self._bits.test(idx)
+
+    def clear_range(self, lo: int, hi: int) -> int:
+        """Forget tombstones in ``[lo, hi)`` (a dropped partition's id
+        range); returns how many were cleared.  Cost is proportional to
+        the range, not the whole vector."""
+        idx = self._bits.scan_range(lo, hi)
+        if idx.size:
+            self._bits.clear(idx)
+            self._n_deleted -= int(idx.size)
+        return int(idx.size)
+
+    def ensure(self, n: int) -> None:
+        """Grow the underlying bitvector to cover local ids ``[0, n)``.
+
+        Partition drops leave holes in the id space, so a node's id range
+        can outgrow the capacity the filter was sized for even though the
+        resident row count never does."""
+        self._bits.grow(n)
+
     def reset(self) -> None:
         """Forget all tombstones (node retirement)."""
         self._bits.reset()

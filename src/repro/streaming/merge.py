@@ -10,7 +10,10 @@ The implementation follows the paper exactly: concatenate the static rows
 with the delta rows, concatenate their *cached* hash-function values (so no
 re-hashing happens), and run the shared two-level table construction over
 the union.  The merge is therefore partition-bound, the quantity the
-paper's TI2/TI3 model prices.
+paper's TI2/TI3 model prices.  Since the static tier became
+time-partitioned (:mod:`repro.streaming.partitions`), ``static`` here is
+the **newest partition's** index — older partitions are never read or
+rebuilt, so merge cost tracks one partition instead of the whole corpus.
 
 The work is split into two phases so the streaming node can overlap it
 with query serving (Sections 4 & 6, Figure 11):

@@ -1,36 +1,74 @@
 """``StreamingPLSH`` — one node's full streaming stack (Sections 4 & 6).
 
-A node owns a static :class:`PLSHIndex`, a :class:`DeltaTable`, and a
-:class:`DeletionFilter`.  Inserts append to the delta; when the delta
-reaches ``eta x capacity`` it is merged into the static structure.
-Queries run against both structures and the answers are combined;
-candidates from either side are screened against the deletion bitvector
-before the distance computation.
+A node owns a time-partitioned static tier
+(:class:`~repro.streaming.partitions.PartitionedStatic` — an ordered
+list of time-ranged partitions, each with its own local tables), a
+:class:`DeltaTable`, and a :class:`DeletionFilter`.  Inserts append to
+the delta; when the delta reaches ``eta x capacity`` it is merged into
+the **newest partition only**, so merge cost tracks one partition
+instead of the whole corpus.  Queries run against every live partition
+plus the delta structures and the answers are combined; candidates from
+any side are screened against the deletion bitvector (and the optional
+time window) before the distance computation.
+
+**Partition lifecycle.**  Every inserted row carries a timestamp (an
+explicit non-decreasing value, or the node's logical clock — one tick
+per insert batch).  The lifecycle has three verbs:
+
+* **roll** (:meth:`roll_partition`) seals the newest partition and opens
+  an empty one at the id high-water mark; subsequent merges fold into
+  the new partition.  Rolling needs no drain — a merge already in
+  flight lands in the post-roll partition (its prepared build is
+  detected stale by object identity and rebuilt on the blocking commit
+  path), and delta rows always merge into whichever partition is newest
+  at commit time.
+* **merge** (:meth:`begin_merge` / :meth:`commit_merge` /
+  :meth:`merge_now`) compacts the frozen delta into the newest
+  partition; older partitions are never rebuilt.
+* **drop** (:meth:`retire_before`) retires every partition whose newest
+  row predates the cutoff in O(1) per partition — a pointer drop, no
+  table rebuild — and tombstones the ragged edge (boundary-partition and
+  delta rows older than the cutoff).  Dropped id ranges become *holes*
+  in the local id space: bases never shift, so local ids stay stable
+  under retirement exactly as they are stable under merge, and the
+  cluster's global-id map keeps translating.  :meth:`retire_window`
+  (the cluster's window-advance hook) drops *all* partitions the same
+  way; :meth:`retire` remains the wholesale erase that also resets the
+  id space.
+
+**Time-filtered queries.**  ``query``/``query_batch`` accept an optional
+half-open ``time_range=(t0, t1)``: partitions whose ``[t_min, t_max]``
+span does not overlap are pruned without being probed (counted on the
+facade), and rows of probed structures are screened exactly by their
+timestamps — so answers equal the time-windowed oracle, and a full-range
+query stays **bit-identical** to the monolithic static over the same
+rows (see :mod:`repro.streaming.partitions` for why the per-partition
+split commutes with every kernel stage).
 
 **Non-blocking merges.**  The paper's headline scenario is *concurrent*
 serving — the firehose keeps inserting and queries keep flowing while
-delta→static merges happen underneath (Figure 11).  The merge is
-therefore split into two phases:
+delta→newest-partition merges happen underneath (Figure 11).  The merge
+is split into two phases:
 
 * :meth:`begin_merge` *freezes* the current delta (a fresh, empty delta
   takes over for new inserts) and launches the expensive table build —
   :func:`repro.streaming.merge.prepare_merge` over the frozen
-  ``(static, delta)`` snapshot — on a background
+  ``(newest partition, delta)`` snapshot — on a background
   :class:`~repro.parallel.background.BackgroundTask`.  The call returns
   immediately; the node keeps answering queries against
-  ``static + frozen delta + fresh delta``.
+  ``partitions + frozen delta + fresh delta``.
 * :meth:`commit_merge` is the short critical section: join the build,
-  swap the prepared index in as the new static, drop the frozen delta,
-  and invalidate the worker pools.  Deletions need no replay — the
-  bitvector is keyed by node-local ids, which are stable under merge, so
-  tombstones set mid-build screen candidates of the new static the
-  instant it lands.
+  swap the prepared index into the newest partition, drop the frozen
+  delta, and invalidate the worker pools.  Deletions need no replay —
+  the bitvector is keyed by node-local ids, which are stable under
+  merge, so tombstones set mid-build screen candidates of the new
+  partition the instant it lands.
 
 The overlapped path returns query answers **bit-identical** to the
 synchronous one (:meth:`merge_now`): LSH candidate sets depend only on
 the rows and their cached hash values, not on which structure holds
-them, and the ``static → frozen → fresh`` concatenation preserves the
-ascending local-id order the merged layout produces.  The paper's
+them, and the ``partitions → frozen → fresh`` concatenation preserves
+the ascending local-id order the merged layout produces.  The paper's
 "insert visible by the next query" guarantee holds throughout: inserts
 go to the live fresh delta, which every query consults.
 
@@ -40,19 +78,21 @@ builds; a second threshold crossing while a merge is in flight drains it
 first — at most one merge is ever in flight).  The default remains the
 blocking merge, the reproduction's reference behavior.
 
-Local id space: static rows occupy ``[0, n_static)``; frozen-delta row
-``f`` is addressed as ``n_static + f`` and fresh-delta row ``d`` as
+Local id space: static partitions occupy ``[0, n_static)`` (``n_static``
+is the id high-water mark, *including* holes left by drops); frozen-delta
+row ``f`` is addressed as ``n_static + f`` and fresh-delta row ``d`` as
 ``n_static + n_frozen + d``.  A merge folds the frozen rows into the
-static range in insertion order, so local ids are *stable under merge* —
-a property the cluster's global-id mapping and the tests rely on.
+newest partition's range in insertion order, so local ids are *stable
+under merge and retirement* — a property the cluster's global-id mapping
+and the tests rely on.
 
 Worker-pool lifecycle: a fork pool snapshots the node copy-on-write, so
 any *visible* mutation (insert/commit/delete/retire) invalidates the
 cached executors and the next parallel batch re-forks.  ``begin_merge``
-deliberately does **not** invalidate: a pre-begin snapshot still holds
-the same rows under the old ``static + delta`` layout and answers
-bit-identically, so pools stay warm across merge *starts* and only pay
-the re-fork when the new static actually lands at commit.
+and ``roll_partition`` deliberately do **not** invalidate: a pre-begin
+(or pre-roll) snapshot still holds the same rows and answers
+bit-identically, so pools stay warm across merge *starts* and partition
+rolls and only pay the re-fork when visible content actually changes.
 """
 
 from __future__ import annotations
@@ -62,7 +102,6 @@ import numpy as np
 from repro.core.candidates import mask_segments, unique_segments
 from repro.core.distance import angular_distance
 from repro.core.hashing import AllPairsHasher
-from repro.core.index import PLSHIndex
 from repro.core.query import QueryResult
 from repro.parallel import (
     BackgroundTask,
@@ -77,6 +116,7 @@ from repro.sparse.ops import densify_query, row_dots_dense, row_dots_dense_batch
 from repro.streaming.deletion import DeletionFilter
 from repro.streaming.delta import DeltaTable
 from repro.streaming.merge import merge_into_static, prepare_merge
+from repro.streaming.partitions import PartitionedStatic
 from repro.utils.timing import StageTimes
 
 __all__ = ["StreamingPLSH", "CapacityError"]
@@ -86,8 +126,17 @@ class CapacityError(RuntimeError):
     """Raised when an insert would exceed the node's capacity."""
 
 
+def _normalize_time_range(
+    time_range: tuple[int, int] | list[int] | None,
+) -> tuple[int, int] | None:
+    if time_range is None:
+        return None
+    t0, t1 = time_range
+    return (int(t0), int(t1))
+
+
 class StreamingPLSH:
-    """A capacity-bounded streaming PLSH node."""
+    """A capacity-bounded streaming PLSH node over time-ranged partitions."""
 
     def __init__(
         self,
@@ -113,17 +162,30 @@ class StreamingPLSH:
         self.auto_merge = auto_merge
         self.overlap_merges = overlap_merges
         self.hasher = hasher if hasher is not None else AllPairsHasher(params, dim)
-        self.static = PLSHIndex(dim, params, hasher=self.hasher)
-        self.static.build(CSRMatrix.empty(dim))
+        self.static = PartitionedStatic(dim, params, self.hasher)
         self.delta = DeltaTable(dim, params, self.hasher)
         self.deletions = DeletionFilter(capacity)
         self.n_merges = 0
         self.times = StageTimes()
+        #: per-row insert timestamps of the fresh delta (parallel array).
+        self._delta_ts = np.empty(0, dtype=np.int64)
         #: the delta snapshot a pending merge is folding in (None when no
         #: merge is in flight); queried between begin and commit.
         self._frozen: DeltaTable | None = None
+        self._frozen_ts: np.ndarray | None = None
         #: the background build of the pending merge (None once joined).
         self._merge_task: BackgroundTask | None = None
+        #: the newest partition's index at ``begin_merge`` time — object
+        #: identity detects a roll/drop racing the background build.
+        self._merge_base = None
+        #: logical clock: the timestamp the next default-stamped insert
+        #: batch receives (one tick per batch).
+        self._clock = 0
+        #: newest timestamp ever assigned (inserts must not go backwards).
+        self._last_ts: int | None = None
+        #: high-water retirement cutoff (rows below it are already
+        #: reported retired; re-retiring must not double-report).
+        self._retire_floor: int | None = None
         #: persistent executors for parallel batch queries.  A fork pool
         #: snapshots the node copy-on-write, so any visible mutation
         #: (insert/commit/delete/retire) invalidates the cache and the next
@@ -176,15 +238,14 @@ class StreamingPLSH:
             self._executor(workers, backend)
 
     def close(self) -> None:
-        """Release persistent worker pools (idempotent); also closes the
-        static engine's pools.  Nodes queried only with ``workers == 1``
+        """Release persistent worker pools (idempotent); also closes every
+        partition engine's pools.  Nodes queried only with ``workers == 1``
         hold no pools and need no close.  A merge in flight is left alone
         (its daemon builder finishes in the background and the result can
         still be committed); call :meth:`commit_merge` or :meth:`retire`
         first to settle it."""
         self._invalidate_executors()
-        if self.static.engine is not None:
-            self.static.engine.close()
+        self.static.close()
 
     def __enter__(self) -> "StreamingPLSH":
         return self
@@ -196,7 +257,17 @@ class StreamingPLSH:
 
     @property
     def n_static(self) -> int:
+        """Static id-space high-water mark (includes holes from drops)."""
         return self.static.n_items
+
+    @property
+    def n_static_resident(self) -> int:
+        """Rows actually held in static partitions (excludes holes)."""
+        return self.static.n_resident
+
+    @property
+    def n_partitions(self) -> int:
+        return self.static.n_partitions
 
     @property
     def n_frozen(self) -> int:
@@ -210,6 +281,15 @@ class StreamingPLSH:
 
     @property
     def n_total(self) -> int:
+        """Resident rows (live partitions + frozen + fresh deltas).
+
+        Shrinks when partitions are dropped — retirement returns capacity."""
+        return self.n_static_resident + self.n_frozen + self.n_delta
+
+    @property
+    def id_space(self) -> int:
+        """Local ids ever assigned live in ``[0, id_space)``; the next
+        insert starts here.  Never shrinks (holes persist)."""
         return self.n_static + self.n_frozen + self.n_delta
 
     @property
@@ -224,6 +304,11 @@ class StreamingPLSH:
     def delta_threshold(self) -> int:
         """Delta size that triggers a merge: ``eta * capacity``."""
         return max(1, int(self.delta_fraction * self.capacity))
+
+    @property
+    def clock(self) -> int:
+        """The timestamp the next default-stamped insert batch receives."""
+        return self._clock
 
     # -- merge lifecycle -----------------------------------------------------
 
@@ -244,49 +329,60 @@ class StreamingPLSH:
         )
 
     def begin_merge(self) -> bool:
-        """Freeze the delta and start building the merged static off-path.
+        """Freeze the delta and start building the merged newest partition
+        off-path.
 
         Returns True if a merge is (now) in flight, False if there was
         nothing to merge.  The call itself is cheap: the current delta
         becomes the frozen snapshot, a fresh delta takes over for new
-        inserts, and the expensive table construction runs on a background
-        thread.  Queries keep serving ``static + frozen + fresh``
-        throughout; worker pools stay warm (see the module docstring —
-        invalidation happens at commit, when answers actually change
-        layout).
+        inserts, and the expensive table construction — scoped to the
+        newest partition plus the frozen rows, never the whole static —
+        runs on a background thread.  Queries keep serving
+        ``partitions + frozen + fresh`` throughout; worker pools stay warm
+        (see the module docstring — invalidation happens at commit, when
+        answers actually change layout).
         """
         if self._frozen is not None:
             return True
         if self.n_delta == 0:
             return False
         self._frozen = self.delta
+        self._frozen_ts = self._delta_ts
         self.delta = DeltaTable(self.dim, self.params, self.hasher)
-        # The build reads only the frozen snapshot + the current static,
+        self._delta_ts = np.empty(0, dtype=np.int64)
+        # The build reads only the frozen snapshot + the newest partition,
         # both immutable while the merge is in flight (inserts go to the
-        # fresh delta; deletions touch only the bitvector).
+        # fresh delta; deletions touch only the bitvector).  A partition
+        # roll or drop racing the build replaces the newest index object;
+        # commit detects that by identity and rebuilds against the new
+        # target on the blocking path.
+        self._merge_base = self.static.newest.index
         self._merge_task = BackgroundTask(
-            prepare_merge, self.static, self._frozen
+            prepare_merge, self._merge_base, self._frozen
         )
         return True
 
     def commit_merge(self, *, wait: bool = True) -> bool:
-        """Swap a pending merge's prepared index in (the critical section).
+        """Swap a pending merge into the newest partition (the critical
+        section).
 
         Returns True if a merge was committed.  ``wait=False`` turns the
         call into an opportunistic poll with a hard contract: it never
         blocks and never raises a background error — it commits only if
-        the build already finished successfully, otherwise returns False
-        immediately (the hook the insert path uses).  With ``wait=True``
-        the call drains the build first — this is where merge
-        backpressure lands when the fresh delta fills faster than builds
-        complete, and also where a *failed* background build is recovered:
-        the merge is rebuilt synchronously on the caller, so frozen rows
-        are never stranded and build errors only surface on the explicit
-        drain path (re-raised if the rebuild fails the same way).
+        the build already finished successfully *and* still targets the
+        current newest partition, otherwise returns False immediately
+        (the hook the insert path uses).  With ``wait=True`` the call
+        drains the build first — this is where merge backpressure lands
+        when the fresh delta fills faster than builds complete, and also
+        where a *failed* or *stale* background build is recovered: the
+        merge is rebuilt synchronously against the current newest
+        partition (a roll or retirement may have replaced it mid-build),
+        so frozen rows are never stranded and build errors only surface
+        on the explicit drain path.
 
         Deletions issued mid-build need no replay: the bitvector is keyed
         by node-local ids, which the merge preserves, and it is consulted
-        at query time — so tombstones screen the new static immediately.
+        at query time — so tombstones screen the new partition immediately.
         """
         frozen = self._frozen
         if frozen is None:
@@ -308,46 +404,60 @@ class StreamingPLSH:
                     return False  # poll: keep serving the frozen rows
                 prepared = None  # blocking recovery rebuilds below
             self._merge_task = None
+        if prepared is not None and self._merge_base is not self.static.newest.index:
+            # A roll or retirement replaced the newest partition while the
+            # build ran; the prepared index targets a sealed (or dropped)
+            # partition.  Rebuild against the current newest on the
+            # blocking path; polls give up (frozen rows keep serving).
+            prepared = None
+        if prepared is None and not wait:
+            return False
         with self.times.stage("merge_commit"):
             if prepared is None:
-                # Recovery path (failed or already-consumed build):
+                # Recovery path (failed, consumed, or stale build):
                 # rebuild synchronously so the frozen rows are never
                 # stranded; a deterministic failure re-raises here, on
                 # the blocking drain path where it belongs.  The rebuild
                 # counts under "merge_commit" only — it ran on the
                 # serving path, not the background thread.
-                prepared = prepare_merge(self.static, frozen)
+                prepared = prepare_merge(self.static.newest.index, frozen)
             else:
                 self.times.add("merge_build", prepared.build_seconds)
-            old = self.static
-            if prepared.index.n_items != old.n_items + len(frozen):
+            newest = self.static.newest
+            if prepared.index.n_items != newest.n_items + len(frozen):
                 raise AssertionError(
                     "prepared merge is stale: "
                     f"{prepared.index.n_items} rows != "
-                    f"{old.n_items} static + {len(frozen)} frozen"
+                    f"{newest.n_items} partition + {len(frozen)} frozen"
                 )
-            self.static = prepared.index
+            frozen_ts = self._frozen_ts
+            assert frozen_ts is not None
+            old_index = self.static.commit_newest(prepared.index, frozen_ts)
             self._frozen = None
+            self._frozen_ts = None
+            self._merge_base = None
             self.n_merges += 1
         self._invalidate_executors()
-        if old.engine is not None and old is not self.static:
-            old.engine.close()
+        if old_index.engine is not None and old_index is not prepared.index:
+            old_index.engine.close()
         return True
 
     def merge_now(self) -> None:
         """Merge synchronously: drain any pending merge, then fold the
-        live delta into the static structure on the calling thread."""
+        live delta into the newest partition on the calling thread."""
         self.commit_merge(wait=True)
         if self.n_delta == 0:
             return
         with self.times.stage("merge"):
-            old = self.static
-            self.static = merge_into_static(old, self.delta)
+            newest = self.static.newest
+            merged = merge_into_static(newest.index, self.delta)
+            old_index = self.static.commit_newest(merged, self._delta_ts)
             self.delta.clear()
+            self._delta_ts = np.empty(0, dtype=np.int64)
             self.n_merges += 1
         self._invalidate_executors()
-        if old.engine is not None and old is not self.static:
-            old.engine.close()
+        if old_index.engine is not None and old_index is not merged:
+            old_index.engine.close()
 
     def _abandon_merge(self) -> None:
         """Discard a pending merge (retirement): join the builder so its
@@ -357,15 +467,158 @@ class StreamingPLSH:
         if task is not None:
             task.wait()
         self._frozen = None
+        self._frozen_ts = None
+        self._merge_base = None
+
+    # -- partition lifecycle -------------------------------------------------
+
+    def roll_partition(self) -> int:
+        """Seal the newest partition and open an empty one; returns the
+        open partition's ``seq``.
+
+        Needs no drain and no pool invalidation: answers are unchanged
+        (same rows, same ids), and a merge in flight simply lands in the
+        post-roll partition (commit detects the stale build target and
+        rebuilds on the blocking path).  Fresh-delta rows inserted before
+        the roll also merge into the post-roll partition — partition time
+        ranges may therefore overlap at the boundary, which the overlap
+        test and per-row screens handle exactly."""
+        return self.static.roll().seq
+
+    def retire_before(self, cutoff: int) -> np.ndarray:
+        """Retire every row with ``timestamp < cutoff``; returns their
+        node-local ids (sorted), excluding rows already retired by an
+        earlier cutoff.
+
+        Partitions wholly older than the cutoff are **dropped in O(1)**
+        (a pointer drop — no table is read or rebuilt; their deletion
+        bits are cleared and their id ranges become permanent holes).
+        The ragged edge — rows older than the cutoff inside a partition
+        that also has newer rows, plus frozen/fresh delta rows older than
+        the cutoff — is tombstoned through the deletion filter, a cost
+        bounded by one partition plus the delta.  Subsequent inserts must
+        carry timestamps >= the cutoff (the logical clock is advanced),
+        so the retirement watermark is monotone.
+        """
+        cutoff = int(cutoff)
+        floor = self._retire_floor
+        if floor is not None and cutoff <= floor:
+            return np.empty(0, dtype=np.int64)
+        retired: list[np.ndarray] = []
+        dropped, ragged = self.static.drop_before(cutoff, floor=floor)
+        for part in dropped:
+            lo = (
+                int(np.searchsorted(part.timestamps, floor, side="left"))
+                if floor is not None
+                else 0
+            )
+            if part.n_items > lo:
+                retired.append(
+                    np.arange(
+                        part.base + lo,
+                        part.base + part.n_items,
+                        dtype=np.int64,
+                    )
+                )
+            self.deletions.clear_range(part.base, part.base + part.n_items)
+            if part.index.engine is not None:
+                part.index.engine.close()
+        if ragged.size:
+            retired.append(ragged)
+            self.deletions.delete(ragged)
+        n_frozen = self.n_frozen
+        if self._frozen_ts is not None and self._frozen_ts.size:
+            lo = (
+                int(np.searchsorted(self._frozen_ts, floor, side="left"))
+                if floor is not None
+                else 0
+            )
+            hi = int(np.searchsorted(self._frozen_ts, cutoff, side="left"))
+            if hi > lo:
+                ids = np.arange(
+                    self.n_static + lo, self.n_static + hi, dtype=np.int64
+                )
+                retired.append(ids)
+                self.deletions.delete(ids)
+        if self._delta_ts.size:
+            base = self.n_static + n_frozen
+            lo = (
+                int(np.searchsorted(self._delta_ts, floor, side="left"))
+                if floor is not None
+                else 0
+            )
+            hi = int(np.searchsorted(self._delta_ts, cutoff, side="left"))
+            if hi > lo:
+                ids = np.arange(base + lo, base + hi, dtype=np.int64)
+                retired.append(ids)
+                self.deletions.delete(ids)
+        self._retire_floor = cutoff
+        self._last_ts = (
+            cutoff if self._last_ts is None else max(self._last_ts, cutoff)
+        )
+        self._clock = max(self._clock, cutoff)
+        if dropped or retired:
+            self._invalidate_executors()
+        if not retired:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(retired)
+        out.sort()
+        return out
+
+    def retire_window(self) -> np.ndarray:
+        """Drop *every* partition and delta row (the cluster's
+        window-advance retirement); returns the node-local ids of all
+        rows that were resident.
+
+        Unlike :meth:`retire` the id space is **not** reset: dropped
+        ranges become holes and the next insert continues after them, so
+        the cluster's append-only global-id map stays aligned without a
+        node teardown.  Delta ids (frozen + fresh) are absorbed into the
+        id space the same way."""
+        n_extra = self.n_frozen + self.n_delta
+        self._abandon_merge()
+        ranges = [
+            np.arange(p.base, p.base + p.n_items, dtype=np.int64)
+            for p in self.static.partitions
+            if p.n_items
+        ]
+        if n_extra:
+            ranges.append(
+                np.arange(
+                    self.n_static, self.n_static + n_extra, dtype=np.int64
+                )
+            )
+        for part in self.static.reset_window(absorb=n_extra):
+            if part.index.engine is not None:
+                part.index.engine.close()
+        self.delta.clear()
+        self._delta_ts = np.empty(0, dtype=np.int64)
+        self.deletions.reset()
+        self._invalidate_executors()
+        if not ranges:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(ranges)
 
     # -- updates ------------------------------------------------------------
 
-    def insert_batch(self, vectors: CSRMatrix) -> np.ndarray:
+    def insert_batch(
+        self,
+        vectors: CSRMatrix,
+        *,
+        timestamps: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Insert rows; returns their node-local ids.
+
+        ``timestamps`` optionally stamps each row with an explicit int64
+        insert time — values must be non-decreasing within the batch and
+        not precede any previously assigned timestamp (time never goes
+        backwards; partition time ranges rely on it).  Without it, every
+        row gets the node's logical clock value and the clock ticks once
+        per batch.
 
         Raises :class:`CapacityError` if the batch does not fit — the
         cluster layer is responsible for advancing the insert window and
-        retiring old nodes (Section 6), a node never evicts by itself.
+        retiring old windows (Section 6), a node never evicts by itself.
 
         With ``auto_merge``: crossing the delta threshold triggers a
         blocking :meth:`merge_now`, or — with ``overlap_merges`` — a
@@ -375,16 +628,43 @@ class StreamingPLSH:
         opportunistically: the insert invalidates worker pools anyway, so
         the commit rides along for free.
         """
-        if self.n_total + vectors.n_rows > self.capacity:
+        n_rows = vectors.n_rows
+        if self.n_total + n_rows > self.capacity:
             raise CapacityError(
-                f"insert of {vectors.n_rows} rows exceeds capacity "
+                f"insert of {n_rows} rows exceeds capacity "
                 f"{self.capacity} (current {self.n_total})"
             )
+        if timestamps is None:
+            ts = np.full(n_rows, self._clock, dtype=np.int64)
+        else:
+            ts = np.ascontiguousarray(timestamps, dtype=np.int64)
+            if ts.shape != (n_rows,):
+                raise ValueError(
+                    f"{ts.size} timestamps for {n_rows} rows"
+                )
+            if n_rows > 1 and np.any(np.diff(ts) < 0):
+                raise ValueError(
+                    "timestamps must be non-decreasing within a batch"
+                )
+            if n_rows and self._last_ts is not None and int(ts[0]) < self._last_ts:
+                raise ValueError(
+                    f"timestamp {int(ts[0])} precedes the node clock "
+                    f"({self._last_ts}); time never goes backwards"
+                )
         if self.overlap_merges:
             self.commit_merge(wait=False)
         with self.times.stage("insert"):
             base = self.n_static + self.n_frozen
+            self.deletions.ensure(base + self.n_delta + n_rows)
             local = self.delta.insert_batch(vectors) + base
+            if n_rows:
+                self._delta_ts = (
+                    np.concatenate([self._delta_ts, ts])
+                    if self._delta_ts.size
+                    else ts
+                )
+                self._last_ts = int(ts[-1])
+                self._clock = max(self._clock, self._last_ts + 1)
         self._invalidate_executors()
         if self.auto_merge and self.n_delta >= self.delta_threshold:
             if self.overlap_merges:
@@ -394,37 +674,63 @@ class StreamingPLSH:
                 self.merge_now()
         return local
 
+    def resident_mask(self, local_ids: np.ndarray) -> np.ndarray:
+        """Which of ``local_ids`` address *resident* rows — i.e. not a
+        hole left by a dropped partition or an absorbed delta range.
+        Tombstoned rows count as resident (deletion is a query-time
+        screen, not a drop); callers translating stale id maps (the
+        cluster's global-id map keeps hole entries) use this to avoid
+        acting on rows that are already gone."""
+        ids = np.asarray(local_ids, dtype=np.int64)
+        mask = np.zeros(ids.shape, dtype=bool)
+        for part in self.static.partitions:
+            if part.n_items:
+                mask |= (ids >= part.base) & (ids < part.base + part.n_items)
+        extra = self.n_frozen + self.n_delta
+        if extra:
+            mask |= (ids >= self.n_static) & (ids < self.n_static + extra)
+        return mask
+
     def delete(self, local_ids: np.ndarray | int) -> int:
         """Tombstone rows by node-local id; returns newly deleted count.
 
         Safe at any point of the merge lifecycle: the filter is keyed by
         local ids, which are stable under merge, and is screened at query
-        time on every structure (static, frozen, fresh)."""
+        time on every structure (partitions, frozen, fresh)."""
         n = self.deletions.delete(local_ids)
         if n:
             self._invalidate_executors()
         return n
 
     def retire(self) -> None:
-        """Erase the node wholesale (the paper's expiration mechanism)."""
+        """Erase the node wholesale (the paper's expiration mechanism).
+
+        Unlike :meth:`retire_window` this also resets the local id space
+        and the logical clock — it is a teardown, not a window advance."""
         self._abandon_merge()
         self.close()
-        self.static = PLSHIndex(self.dim, self.params, hasher=self.hasher)
-        self.static.build(CSRMatrix.empty(self.dim))
+        self.static = PartitionedStatic(self.dim, self.params, self.hasher)
         self.delta.clear()
+        self._delta_ts = np.empty(0, dtype=np.int64)
         self.deletions.reset()
+        self._clock = 0
+        self._last_ts = None
+        self._retire_floor = None
 
     # -- queries -------------------------------------------------------------
 
-    def _delta_views(self) -> list[tuple[DeltaTable, int]]:
+    def _delta_views(self) -> list[tuple[DeltaTable, int, np.ndarray]]:
         """The delta structures a query must consult, with their local-id
-        offsets: the frozen snapshot (mid-merge) before the fresh delta,
-        preserving the ascending id order the merged layout produces."""
-        views: list[tuple[DeltaTable, int]] = []
+        offsets and timestamp columns: the frozen snapshot (mid-merge)
+        before the fresh delta, preserving the ascending id order the
+        merged layout produces."""
+        views: list[tuple[DeltaTable, int, np.ndarray]] = []
         if self._frozen is not None and len(self._frozen):
-            views.append((self._frozen, self.n_static))
+            views.append((self._frozen, self.n_static, self._frozen_ts))
         if len(self.delta):
-            views.append((self.delta, self.n_static + self.n_frozen))
+            views.append(
+                (self.delta, self.n_static + self.n_frozen, self._delta_ts)
+            )
         return views
 
     def query(
@@ -433,31 +739,35 @@ class StreamingPLSH:
         q_vals: np.ndarray,
         *,
         radius: float | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> QueryResult:
-        """R-near neighbors across static + frozen + fresh, minus deletions."""
+        """R-near neighbors across partitions + frozen + fresh, minus
+        deletions; ``time_range=(t0, t1)`` restricts answers to rows with
+        ``t0 <= timestamp < t1`` (cold partitions are pruned)."""
         radius = self.params.radius if radius is None else radius
+        time_range = _normalize_time_range(time_range)
         q_cols = np.asarray(q_cols, dtype=np.int64)
         q_vals = np.asarray(q_vals, dtype=np.float32)
         keys = self._query_keys(q_cols, q_vals)  # hash once, use everywhere
 
         with self.times.stage("query_static"):
-            exclude = self.deletions.mask(self.n_static) if self.n_static else None
-            static_res = (
-                self.static.query(
-                    q_cols, q_vals, radius=radius, exclude=exclude, keys=keys
-                )
-                if self.n_static
-                else QueryResult(
-                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
-                )
+            static_res = self.static.query(
+                q_cols,
+                q_vals,
+                radius=radius,
+                keys=keys,
+                deletions=self.deletions,
+                time_range=time_range,
             )
         with self.times.stage("query_delta"):
             views = self._delta_views()
             # Densify once; both views (frozen + fresh) share it.
             q_dense = densify_query(q_cols, q_vals, self.dim) if views else None
             delta_parts = [
-                self._query_delta(table, offset, q_dense, radius, keys)
-                for table, offset in views
+                self._query_delta(
+                    table, offset, ts, q_dense, radius, keys, time_range
+                )
+                for table, offset, ts in views
             ]
         parts = [static_res, *delta_parts]
         return QueryResult(
@@ -473,24 +783,31 @@ class StreamingPLSH:
         mode: str | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
-        """Batch R-near-neighbor queries across static + frozen + fresh.
+        """Batch R-near-neighbor queries across partitions + frozen + fresh.
 
         ``mode="vectorized"`` (the default) hashes the whole batch *once*
-        in the parent and shares the ``(B, L)`` key matrix between the
-        static and delta structures; the static side runs the batch kernel
-        and each delta side the segmented dedup / blocked-dot pipeline,
-        each with a single vectorized deletion-filter screen.
-        ``mode="pipelined"`` runs the static side through the
-        cache-blocked pipelined kernel (:mod:`repro.core.pipelined`,
-        bit-identical to vectorized and faster on memory-bound shards);
-        the delta structures are small and keep their segmented pipeline.
-        ``mode="loop"`` is the per-query path, kept for ablation (always
-        serial).
+        in the parent and shares the ``(B, L)`` key matrix between every
+        partition and the delta structures; each partition runs the batch
+        kernel and each delta side the segmented dedup / blocked-dot
+        pipeline, each with a single vectorized deletion-filter (and
+        optional time-window) screen.  ``mode="pipelined"`` runs the
+        partitions through the cache-blocked pipelined kernel
+        (:mod:`repro.core.pipelined`, bit-identical to vectorized and
+        faster on memory-bound shards); the delta structures are small and
+        keep their segmented pipeline.  ``mode="loop"`` is the per-query
+        path, kept for ablation (always serial).
+
+        ``time_range=(t0, t1)`` restricts answers to rows with
+        ``t0 <= timestamp < t1``; partitions that do not overlap the
+        window are pruned without being probed (the facade counts probes
+        and prunes), and probed structures are screened per row — answers
+        equal the time-windowed oracle exactly.
 
         ``workers > 1`` shards the batch over the :mod:`repro.parallel`
         layer: each worker answers a contiguous sub-block against *all*
-        structures with the same key slice, so the static/frozen/fresh
+        structures with the same key slice, so the partition/frozen/fresh
         split — and therefore every merge boundary — is identical in every
         shard and results are bit-identical to ``workers=1``.  ``backend``
         picks the executor (persistent fork pool on Linux by default,
@@ -505,7 +822,7 @@ class StreamingPLSH:
             mode = "vectorized"
         if mode == "loop":
             return [
-                self.query(*queries.row(r), radius=radius)
+                self.query(*queries.row(r), radius=radius, time_range=time_range)
                 for r in range(queries.n_rows)
             ]
         if mode not in ("vectorized", "pipelined"):
@@ -514,21 +831,34 @@ class StreamingPLSH:
                 f"'pipelined' or 'loop'"
             )
         radius = self.params.radius if radius is None else radius
+        time_range = _normalize_time_range(time_range)
         n = queries.n_rows
         if n == 0:
             return []
         if workers is None:
             workers = default_workers()
-        # Hash once, use everywhere (static + deltas + every shard share
-        # the key matrix).
+        # Hash once, use everywhere (every partition + deltas + every
+        # shard share the key matrix).
         u = self.hasher.hash_functions(queries)
         keys = self.hasher.table_keys_batch(u)
         if workers <= 1:
-            return self._query_batch_shard(queries, radius, keys, mode=mode)
+            return self._query_batch_shard(
+                queries, radius, keys, mode=mode, time_range=time_range
+            )
 
+        # Workers probe private facade copies, so book the (identical)
+        # probe/prune decision once in the parent — serial parity for
+        # the partition counters in stats rows.
+        self.static.count_scan(time_range)
         bounds = shard_bounds(n, workers)
         tasks = [
-            (queries.slice_rows(int(b0), int(b1)), keys[b0:b1], radius, mode)
+            (
+                queries.slice_rows(int(b0), int(b1)),
+                keys[b0:b1],
+                radius,
+                mode,
+                time_range,
+            )
             for b0, b1 in zip(bounds[:-1], bounds[1:])
         ]
         ex = self._executor(workers, backend)
@@ -558,39 +888,39 @@ class StreamingPLSH:
         radius: float,
         keys: np.ndarray,
         *,
-        engine=None,
+        engines: dict[int, object] | None = None,
         times: StageTimes | None = None,
         mode: str = "vectorized",
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
         """Answer one contiguous sub-block given precomputed keys.
 
-        This is the unit of work the parallel layer distributes: static
-        batch kernel + the delta pipelines (frozen, then fresh) + per-query
-        concatenation, all against the same key slice.  ``engine`` lets a
-        worker substitute a private clone of the static engine (private
-        dedup/buffers/stats); ``times`` likewise redirects stage accounting
-        to a private ``StageTimes`` the parent merges later.
+        This is the unit of work the parallel layer distributes: the
+        per-partition batch kernels + the delta pipelines (frozen, then
+        fresh) + per-query concatenation, all against the same key slice.
+        ``engines`` lets a worker substitute private clones of the
+        partition engines keyed by partition ``seq`` (private
+        dedup/buffers/stats); ``times`` likewise redirects stage
+        accounting to a private ``StageTimes`` the parent merges later.
         """
         n = queries.n_rows
         times = self.times if times is None else times
-        empty = QueryResult(
-            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
-        )
         with times.stage("query_static"):
-            if self.n_static:
-                if engine is None:
-                    engine = self.static.engine
-                exclude = self.deletions.mask(self.n_static)
-                static_res = engine.query_batch(
-                    queries, radius=radius, exclude=exclude, keys=keys,
-                    mode=mode, workers=1,
-                )
-            else:
-                static_res = [empty] * n
+            static_res = self.static.query_batch(
+                queries,
+                radius=radius,
+                keys=keys,
+                mode=mode,
+                deletions=self.deletions,
+                time_range=time_range,
+                engines=engines,
+            )
         with times.stage("query_delta"):
             delta_parts = [
-                self._query_delta_batch(table, offset, queries, radius, keys)
-                for table, offset in self._delta_views()
+                self._query_delta_batch(
+                    table, offset, ts, queries, radius, keys, time_range
+                )
+                for table, offset, ts in self._delta_views()
             ]
         if not delta_parts:
             return static_res
@@ -621,15 +951,19 @@ class StreamingPLSH:
         self,
         table: DeltaTable,
         offset: int,
+        ts: np.ndarray,
         q_dense: np.ndarray,
         radius: float,
         keys: np.ndarray,
+        time_range: tuple[int, int] | None = None,
     ) -> QueryResult:
         """Q2-Q4 against one delta structure (ids offset by ``offset``).
 
         ``q_dense`` is the densified query, built once by the caller and
         shared across views so a mid-merge query does not pay the
-        dim-sized scatter twice."""
+        dim-sized scatter twice.  ``ts`` is the structure's timestamp
+        column, screened alongside the deletion filter when a
+        ``time_range`` is given."""
         if len(table) == 0:
             return QueryResult(
                 np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
@@ -642,6 +976,10 @@ class StreamingPLSH:
         unique = np.unique(collisions)
         # Deletion screen (this structure's rows live at offset + local).
         live = ~self.deletions.is_deleted(unique + offset)
+        if time_range is not None:
+            t0, t1 = time_range
+            tvals = ts[unique]
+            live &= (tvals >= t0) & (tvals < t1)
         unique = unique[live]
         vectors = table.vectors()
         dots = row_dots_dense(vectors, unique, q_dense)
@@ -653,9 +991,11 @@ class StreamingPLSH:
         self,
         table: DeltaTable,
         offset: int,
+        ts: np.ndarray,
         queries: CSRMatrix,
         radius: float,
         keys: np.ndarray,
+        time_range: tuple[int, int] | None = None,
     ) -> list[QueryResult]:
         """Q2-Q4 against one delta structure for a whole batch (segmented)."""
         n = queries.n_rows
@@ -668,10 +1008,14 @@ class StreamingPLSH:
         if values.size == 0:
             return [empty] * n
         cand, offsets = unique_segments(values, raw_offsets, len(table))
-        # Vectorized deletion screen: one bitvector test over every
-        # candidate of the batch (rows live at offset + local).
+        # Vectorized deletion (and time-window) screen: one bitvector test
+        # over every candidate of the batch (rows live at offset + local).
         if cand.size:
             live = ~self.deletions.is_deleted(cand + offset)
+            if time_range is not None:
+                t0, t1 = time_range
+                tvals = ts[cand]
+                live &= (tvals >= t0) & (tvals < t1)
             offsets = mask_segments(offsets, live)
             cand = cand[live]
         dots = row_dots_dense_batch(table.vectors(), cand, offsets, queries)
@@ -695,30 +1039,40 @@ def _node_shard_worker(
     keys: np.ndarray,
     radius: float,
     mode: str = "vectorized",
+    time_range: tuple[int, int] | None = None,
 ):
     """Executor task: answer one shard against all node structures.
 
     ``node`` is the executor state (the fork()ed copy-on-write snapshot,
-    or the live node for in-process backends).  The static side runs on a
+    or the live node for in-process backends).  Every partition runs on a
     private engine clone and stage times go to a private ``StageTimes``,
     so concurrent shards never contend; both are returned as primitives
-    for the parent to merge.
+    for the parent to merge (partition counters are summed — the parent
+    folds them into the newest partition's engine stats).
     """
-    engine = node.static.engine
-    eng = engine._clone() if (node.n_static and engine is not None) else None
+    engines = node.static.clone_engines()
     times = StageTimes()
     results = node._query_batch_shard(
-        queries, radius, keys, engine=eng, times=times, mode=mode
+        queries,
+        radius,
+        keys,
+        engines=engines,
+        times=times,
+        mode=mode,
+        time_range=time_range,
     )
-    if eng is not None:
+    counters = [0, 0, 0, 0]
+    eng_stages: dict[str, float] = {}
+    for eng in engines.values():
         s = eng.stats
-        counters = (s.n_queries, s.n_collisions, s.n_unique, s.n_matches)
-        eng_stages = s.stage_times.as_dict()
-    else:
-        counters = (0, 0, 0, 0)
-        eng_stages = {}
+        counters[0] += s.n_queries
+        counters[1] += s.n_collisions
+        counters[2] += s.n_unique
+        counters[3] += s.n_matches
+        for name, secs in s.stage_times.as_dict().items():
+            eng_stages[name] = eng_stages.get(name, 0.0) + secs
     return (
         [(r.indices, r.distances) for r in results],
-        (counters, eng_stages),
+        (tuple(counters), eng_stages),
         times.as_dict(),
     )

@@ -1,0 +1,557 @@
+"""Time-ranged static partitions behind the monolithic-static contract.
+
+The static tier of a :class:`~repro.streaming.node.StreamingPLSH` used to
+be one monolithic :class:`~repro.core.index.PLSHIndex`; retiring old rows
+meant rebuilding the whole structure.  This module shards the static tier
+into an ordered list of **time-ranged partitions** — each owns its local
+tables, CSR slab, cached hash values and a sorted timestamp column — so:
+
+* **retirement is a pointer drop**: :meth:`PartitionedStatic.drop_before`
+  removes whole partitions whose newest row predates the cutoff in O(1)
+  per partition (no table is rebuilt; the ragged boundary partition is
+  tombstoned row-wise by the node), and
+* **time-filtered queries prune**: a partition whose ``[t_min, t_max]``
+  range does not overlap the query's half-open ``[t0, t1)`` window is
+  skipped entirely (counted in :attr:`PartitionedStatic.n_pruned`), and
+* **merges stay partition-scoped**: the frozen delta folds into the
+  *newest* partition only, so merge cost tracks one partition instead of
+  the whole corpus.
+
+**Bit-identity contract.**  A full-range query over N partitions answers
+bit-identically to the monolithic static over the same rows.  Why this
+holds: the batch kernel's Q2 dedup (:func:`repro.core.candidates.
+unique_segments`, and the pipelined kernel's equivalent) returns each
+query's candidates *sorted ascending by local id*, and partitions occupy
+disjoint ascending id ranges — so deduping per partition and
+concatenating in base order yields exactly the monolith's deduped,
+ascending candidate array (disjoint ranges mean no cross-partition
+duplicates exist to collapse).  Q3 dots are computed per candidate row
+from that row's CSR elements alone (same float64 widening, same
+segmented reduce), so scoring rows partition-by-partition performs the
+identical float ops per row.  Deletion and time screens apply before the
+dots, exactly like the monolith's exclude mask.  The per-partition
+deletion mask is the monolith mask's slice, and radius filtering is
+per-candidate — every stage commutes with the partition split.
+
+**Id space.**  Partition bases never shift: dropping a partition leaves a
+*hole* in local-id space (``id_hi`` — the id-space high-water mark — is
+unchanged), so local ids stay stable under retirement exactly as they are
+stable under merge, and the cluster's append-only global-id map keeps
+translating.  The newest partition always ends at ``id_hi``; frozen and
+fresh delta rows address ``id_hi + f`` and ``id_hi + n_frozen + d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import PLSHIndex
+from repro.core.query import QueryResult
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["StaticPartition", "PartitionedStatic"]
+
+
+def _empty_result() -> QueryResult:
+    return QueryResult(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32)
+    )
+
+
+class StaticPartition:
+    """One time-ranged slice of the static tier.
+
+    ``index`` is a fully-built :class:`PLSHIndex` over the partition's own
+    rows (local ids ``0..n_items`` inside the partition); ``base`` maps
+    partition-local id ``i`` to node-local id ``base + i``.  ``timestamps``
+    is the per-row insert-time column, non-decreasing (inserts are
+    timestamp-ordered), so the partition's time range is just its first
+    and last element and the ragged-retirement boundary is a
+    ``searchsorted``.
+    """
+
+    __slots__ = ("index", "base", "timestamps", "seq")
+
+    def __init__(
+        self,
+        index: PLSHIndex,
+        base: int,
+        timestamps: np.ndarray,
+        seq: int,
+    ) -> None:
+        timestamps = np.ascontiguousarray(timestamps, dtype=np.int64)
+        if timestamps.size != index.n_items:
+            raise ValueError(
+                f"{timestamps.size} timestamps for {index.n_items} rows"
+            )
+        if timestamps.size > 1 and np.any(np.diff(timestamps) < 0):
+            raise ValueError("partition timestamps must be non-decreasing")
+        self.index = index
+        self.base = int(base)
+        self.timestamps = timestamps
+        self.seq = int(seq)
+
+    @property
+    def n_items(self) -> int:
+        return self.index.n_items
+
+    @property
+    def t_min(self) -> int:
+        """Oldest row's timestamp (undefined on an empty partition)."""
+        return int(self.timestamps[0])
+
+    @property
+    def t_max(self) -> int:
+        """Newest row's timestamp (undefined on an empty partition)."""
+        return int(self.timestamps[-1])
+
+    def overlaps(self, t0: int, t1: int) -> bool:
+        """Whether any row's timestamp falls in half-open ``[t0, t1)``."""
+        return (
+            self.n_items > 0 and self.t_max >= t0 and self.t_min < t1
+        )
+
+    def manifest_row(self) -> dict:
+        """Stable description (stats rows, persistence manifests)."""
+        return {
+            "seq": self.seq,
+            "base": self.base,
+            "n_items": self.n_items,
+            "t_min": self.t_min if self.n_items else None,
+            "t_max": self.t_max if self.n_items else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.n_items:
+            rng = f"ts[{self.t_min}, {self.t_max}]"
+        else:
+            rng = "empty"
+        return (
+            f"StaticPartition(seq={self.seq}, base={self.base}, "
+            f"n={self.n_items}, {rng})"
+        )
+
+
+class PartitionedStatic:
+    """Ordered time-ranged partitions presenting the static-tier contract.
+
+    The facade the streaming node queries and merges through.  Partitions
+    are kept in ascending-``base`` order; the last one is the *open*
+    (newest) partition — the only one merges fold into — and always ends
+    at :attr:`id_hi`.  With a single partition and no drops the facade is
+    the monolithic static, byte for byte (the compat properties
+    ``tables`` / ``data`` / ``u_values`` delegate to it).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        params,
+        hasher,
+        *,
+        dedup: str = "bitvector",
+        dots: str = "batched",
+    ) -> None:
+        self.dim = dim
+        self.params = params
+        self.hasher = hasher
+        self._dedup = dedup
+        self._dots = dots
+        self.partitions: list[StaticPartition] = []
+        self._next_seq = 0
+        #: id-space high-water mark: static local ids live in ``[0, id_hi)``
+        #: (with holes where partitions were dropped); bases never shift.
+        self.id_hi = 0
+        #: partition-probe counters (time-filtered pruning evidence).
+        self.n_probed = 0
+        self.n_pruned = 0
+        self._open_partition()
+
+    # -- construction / restore ---------------------------------------------
+
+    def _new_index(self) -> PLSHIndex:
+        index = PLSHIndex(
+            self.dim,
+            self.params,
+            hasher=self.hasher,
+            dedup=self._dedup,
+            dots=self._dots,
+        )
+        return index.build(CSRMatrix.empty(self.dim))
+
+    def _open_partition(self) -> StaticPartition:
+        part = StaticPartition(
+            self._new_index(),
+            self.id_hi,
+            np.empty(0, dtype=np.int64),
+            self._next_seq,
+        )
+        self._next_seq += 1
+        self.partitions.append(part)
+        return part
+
+    @classmethod
+    def from_partitions(
+        cls,
+        dim: int,
+        params,
+        hasher,
+        partitions: list[StaticPartition],
+        *,
+        id_hi: int | None = None,
+        next_seq: int | None = None,
+        dedup: str = "bitvector",
+        dots: str = "batched",
+    ) -> "PartitionedStatic":
+        """Rebuild a facade from restored partitions (persistence path)."""
+        self = cls.__new__(cls)
+        self.dim = dim
+        self.params = params
+        self.hasher = hasher
+        self._dedup = dedup
+        self._dots = dots
+        self.partitions = list(partitions)
+        self.n_probed = 0
+        self.n_pruned = 0
+        if not self.partitions:
+            self.id_hi = int(id_hi or 0)
+            self._next_seq = int(next_seq or 0)
+            self._open_partition()
+            return self
+        last = self.partitions[-1]
+        end = last.base + last.n_items
+        self.id_hi = int(id_hi) if id_hi is not None else end
+        self._next_seq = (
+            int(next_seq)
+            if next_seq is not None
+            else max(p.seq for p in self.partitions) + 1
+        )
+        if end != self.id_hi:
+            raise ValueError(
+                f"newest partition ends at {end}, id_hi is {self.id_hi}"
+            )
+        return self
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        """Id-space size ``id_hi`` — what the monolithic ``n_static`` was.
+
+        Includes holes left by dropped partitions so local ids (and the
+        frozen/fresh delta bases above them) never shift."""
+        return self.id_hi
+
+    @property
+    def n_resident(self) -> int:
+        """Rows actually held in partitions (excludes dropped holes)."""
+        return sum(p.n_items for p in self.partitions)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def newest(self) -> StaticPartition:
+        return self.partitions[-1]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            p.index.nbytes + p.timestamps.nbytes for p in self.partitions
+        )
+
+    def manifest(self) -> list[dict]:
+        return [p.manifest_row() for p in self.partitions]
+
+    # -- monolith-compat views (single-partition facades only) ---------------
+
+    def _sole(self) -> StaticPartition:
+        if len(self.partitions) != 1:
+            raise ValueError(
+                "monolithic view unavailable: facade holds "
+                f"{len(self.partitions)} partitions"
+            )
+        return self.partitions[0]
+
+    @property
+    def tables(self):
+        return self._sole().index.tables
+
+    @property
+    def data(self):
+        return self._sole().index.data
+
+    @property
+    def u_values(self):
+        return self._sole().index.u_values
+
+    @property
+    def engine(self):
+        """The newest partition's query engine (stats accounting hook; the
+        exact monolithic engine when the facade holds one partition)."""
+        return self.partitions[-1].index.engine
+
+    @property
+    def build_times(self):
+        return self.partitions[-1].index.build_times
+
+    def close(self) -> None:
+        for p in self.partitions:
+            if p.index.engine is not None:
+                p.index.engine.close()
+
+    # -- lifecycle: roll / commit / drop -------------------------------------
+
+    def roll(self) -> StaticPartition:
+        """Seal the newest partition and open an empty one at ``id_hi``.
+
+        A no-op returning the already-open partition when the newest is
+        still empty (rolling twice creates no degenerate partitions)."""
+        if self.newest.n_items == 0:
+            return self.newest
+        return self._open_partition()
+
+    def commit_newest(
+        self, index: PLSHIndex, timestamps: np.ndarray
+    ) -> PLSHIndex:
+        """Swap a merged replacement into the newest partition.
+
+        ``index`` holds the newest partition's rows followed by the merged
+        frozen-delta rows; ``timestamps`` are the frozen rows' timestamps.
+        Returns the replaced index (caller closes its engine).  The id
+        space grows by the merged row count — exactly the ids the frozen
+        rows already occupied above ``id_hi``.
+        """
+        newest = self.partitions[-1]
+        timestamps = np.ascontiguousarray(timestamps, dtype=np.int64)
+        added = index.n_items - newest.n_items
+        if added != timestamps.size:
+            raise ValueError(
+                f"merged index adds {added} rows but {timestamps.size} "
+                "timestamps were supplied"
+            )
+        merged_ts = (
+            np.concatenate([newest.timestamps, timestamps])
+            if newest.timestamps.size
+            else timestamps
+        )
+        self.partitions[-1] = StaticPartition(
+            index, newest.base, merged_ts, newest.seq
+        )
+        self.id_hi += added
+        return newest.index
+
+    def drop_before(
+        self, cutoff: int, *, floor: int | None = None
+    ) -> tuple[list[StaticPartition], np.ndarray]:
+        """Drop partitions wholly older than ``cutoff``; find the ragged edge.
+
+        Returns ``(dropped, ragged)``: the partitions removed from the
+        list (an O(1) pointer drop each — no table is touched) and the
+        node-local ids of *boundary-partition* rows with
+        ``floor <= timestamp < cutoff`` (the caller tombstones those).
+        ``floor`` excludes rows a previous ``retire_before`` already
+        reported.  Keeps an open partition ending at ``id_hi`` so inserts
+        and merges always have a target.
+        """
+        dropped: list[StaticPartition] = []
+        kept: list[StaticPartition] = []
+        ragged: list[np.ndarray] = []
+        for p in self.partitions:
+            if p.n_items == 0:
+                kept.append(p)
+                continue
+            if p.t_max < cutoff:
+                dropped.append(p)
+                continue
+            if p.t_min < cutoff:
+                lo = (
+                    int(np.searchsorted(p.timestamps, floor, side="left"))
+                    if floor is not None
+                    else 0
+                )
+                hi = int(np.searchsorted(p.timestamps, cutoff, side="left"))
+                if hi > lo:
+                    ragged.append(
+                        np.arange(p.base + lo, p.base + hi, dtype=np.int64)
+                    )
+            kept.append(p)
+        self.partitions = kept
+        last_ends_at_hi = bool(self.partitions) and (
+            self.partitions[-1].base + self.partitions[-1].n_items
+            == self.id_hi
+        )
+        if not last_ends_at_hi:
+            self._open_partition()
+        out = (
+            np.concatenate(ragged)
+            if ragged
+            else np.empty(0, dtype=np.int64)
+        )
+        return dropped, out
+
+    def reset_window(self, *, absorb: int = 0) -> list[StaticPartition]:
+        """Drop every partition (window retirement) without resetting ids.
+
+        ``absorb`` extends the id space over delta rows the caller is
+        clearing alongside, so the next insert continues after them and
+        the cluster's append-only global-id map stays aligned.  A fresh
+        open partition is created at the new ``id_hi``.
+        """
+        dropped = [p for p in self.partitions if p.n_items]
+        self.partitions = []
+        self.id_hi += int(absorb)
+        self._open_partition()
+        return dropped
+
+    # -- queries --------------------------------------------------------------
+
+    def _exclude_mask(self, part, deletions, time_range):
+        """Partition-local exclude mask: deletions slice | time screen.
+
+        Exactly the monolith's dense mask restricted to the partition's id
+        range — an all-False mask and ``None`` screen identically, so the
+        ``None`` fast path for no-deletions/no-filter is preserved."""
+        excl = None
+        if deletions is not None:
+            excl = deletions.mask_range(part.base, part.base + part.n_items)
+        if time_range is not None:
+            t0, t1 = time_range
+            ts = part.timestamps
+            bad = (ts < t0) | (ts >= t1)
+            if bad.any():
+                excl = bad if excl is None else (excl | bad)
+        return excl
+
+    def count_scan(self, time_range=None) -> None:
+        """Book one batch's probe/prune decisions without querying.
+
+        The worker-sharded batch path probes private facade copies in
+        forked children, so their counters are discarded; the parent
+        calls this once per batch — the decision is identical in every
+        shard — to keep ``n_probed``/``n_pruned`` real under
+        parallelism (they feed the cluster ``stats`` rows)."""
+        self._active(time_range)
+
+    def _active(self, time_range, count=True):
+        """Partitions a query must consult, counting probes and prunes
+        (``count=False`` skips the tally — worker shards re-derive the
+        same decision but the parent already booked it)."""
+        active: list[StaticPartition] = []
+        for p in self.partitions:
+            if p.n_items == 0:
+                continue
+            if time_range is not None and not p.overlaps(*time_range):
+                if count:
+                    self.n_pruned += 1
+                continue
+            if count:
+                self.n_probed += 1
+            active.append(p)
+        return active
+
+    def query(
+        self,
+        q_cols: np.ndarray,
+        q_vals: np.ndarray,
+        *,
+        radius: float,
+        keys: np.ndarray | None = None,
+        deletions=None,
+        time_range: tuple[int, int] | None = None,
+    ) -> QueryResult:
+        """Single-query path: per-partition Q2-Q4 concatenated in base
+        order (ascending ids — the monolith's candidate order)."""
+        parts: list[tuple[int, QueryResult]] = []
+        for p in self._active(time_range):
+            excl = self._exclude_mask(p, deletions, time_range)
+            res = p.index.engine.query(
+                q_cols, q_vals, radius=radius, exclude=excl, keys=keys
+            )
+            parts.append((p.base, res))
+        if not parts:
+            return _empty_result()
+        if len(parts) == 1 and parts[0][0] == 0:
+            return parts[0][1]
+        return QueryResult(
+            np.concatenate(
+                [r.indices + base if base else r.indices for base, r in parts]
+            ),
+            np.concatenate([r.distances for _, r in parts]),
+        )
+
+    def query_batch(
+        self,
+        queries: CSRMatrix,
+        *,
+        radius: float,
+        keys: np.ndarray,
+        mode: str = "vectorized",
+        deletions=None,
+        time_range: tuple[int, int] | None = None,
+        engines: dict[int, object] | None = None,
+    ) -> list[QueryResult]:
+        """Batch path: each partition runs the batch kernel (vectorized or
+        pipelined) over the shared key matrix; per-query segments are
+        concatenated across partitions in base order.
+
+        ``engines`` optionally substitutes private engine clones keyed by
+        partition ``seq`` (worker threads/processes use this so scratch
+        state is never shared)."""
+        n = queries.n_rows
+        parts: list[tuple[int, list[QueryResult]]] = []
+        # Worker shards (identified by their private engine clones) must
+        # not tally probes: the parent books the batch's decision once
+        # (count_scan on the fork path, where child counters are
+        # discarded; here on the thread path, where the facade is
+        # shared), so counts match the serial run exactly.
+        for p in self._active(time_range, count=engines is None):
+            engine = (
+                engines.get(p.seq)
+                if engines is not None
+                else p.index.engine
+            )
+            if engine is None:  # clone map misses an unseen partition
+                engine = p.index.engine
+            excl = self._exclude_mask(p, deletions, time_range)
+            parts.append(
+                (
+                    p.base,
+                    engine.query_batch(
+                        queries,
+                        radius=radius,
+                        workers=1,
+                        exclude=excl,
+                        mode=mode,
+                        keys=keys,
+                    ),
+                )
+            )
+        if not parts:
+            empty = _empty_result()
+            return [empty] * n
+        if len(parts) == 1 and parts[0][0] == 0:
+            return parts[0][1]
+        out: list[QueryResult] = []
+        for b in range(n):
+            out.append(
+                QueryResult(
+                    np.concatenate(
+                        [
+                            r[b].indices + base if base else r[b].indices
+                            for base, r in parts
+                        ]
+                    ),
+                    np.concatenate([r[b].distances for _, r in parts]),
+                )
+            )
+        return out
+
+    def clone_engines(self) -> dict[int, object]:
+        """Private engine clones per partition (worker-shard path)."""
+        clones: dict[int, object] = {}
+        for p in self.partitions:
+            if p.n_items and p.index.engine is not None:
+                clones[p.seq] = p.index.engine._clone()
+        return clones

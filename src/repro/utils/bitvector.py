@@ -133,6 +133,19 @@ class BitVector:
         """Population count over the whole vector."""
         return int(np.unpackbits(self._words.view(np.uint8)).sum())
 
+    def grow(self, n: int) -> None:
+        """Extend the index range to ``n`` bits; existing bits are kept.
+
+        Never shrinks.  Partition retirement leaves holes in a node's
+        local-id space, so the id range can legitimately exceed the
+        capacity the vector was sized for."""
+        if n <= self._n:
+            return
+        words = np.zeros((n + 63) // 64, dtype=np.uint64)
+        words[: self._words.size] = self._words
+        self._words = words
+        self._n = n
+
     def reset(self) -> None:
         """Clear every bit (the paper resets the vector on node retirement)."""
         self._words.fill(0)

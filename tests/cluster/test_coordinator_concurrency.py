@@ -416,7 +416,7 @@ class TestWriteQueryHammer:
             retire_started = threading.Event()
             retire_calls: list[float] = []
             for shard in cluster.shards:
-                original = shard.retire
+                original = shard.retire_window
 
                 def slow_retire(_orig=original):
                     retire_started.set()
@@ -424,7 +424,7 @@ class TestWriteQueryHammer:
                     retire_calls.append(time.perf_counter())
                     return _orig()
 
-                shard.retire = slow_retire
+                shard.retire_window = slow_retire
 
             # Fill until the NEXT insert must retire a window.
             row = 0
@@ -511,3 +511,71 @@ class TestRemoteHandleFrameSafety:
             assert not thread.is_alive(), "handle hammer thread hung"
         if errors:
             raise errors[0]
+
+
+class TestRetireBeforeHammer:
+    """PR 10 chaos hammer: time-based retirement racing broadcasts.
+
+    ``retire_before`` drops whole partitions under the retirement
+    gate's exclusive side while query threads hammer ``query_batch``
+    through the read side.  Two guarantees under fire: no broadcast
+    ever errors or tears (the gate serializes it against the erase),
+    and a broadcast admitted *after* a retirement returned never
+    contains a retired id (read-your-retirements)."""
+
+    def test_retire_before_interleaved_with_broadcasts(self, small_vectors):
+        cluster = PLSHCluster(
+            N_NODES, 400, small_vectors.n_cols, PARAMS, insert_window=3
+        )
+        try:
+            tick_of: dict[int, int] = {}
+            for epoch in range(6):
+                ids = cluster.insert(
+                    small_vectors.slice_rows(epoch * 40, (epoch + 1) * 40)
+                )
+                for g in ids.tolist():
+                    tick_of[int(g)] = epoch
+            probe = small_vectors.slice_rows(0, 16)
+            errors: list[BaseException] = []
+            stop = threading.Event()
+
+            def bomber():
+                try:
+                    while not stop.is_set():
+                        for oc in cluster.query_batch(probe):
+                            assert not oc.node_errors
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=bomber)
+                for _ in range(HAMMER_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            gone: set[int] = set()
+            retired_total = 0
+            try:
+                for cutoff in range(1, 7):
+                    retired = cluster.retire_before(cutoff)
+                    retired_total += int(retired.size)
+                    gone.update(retired.tolist())
+                    assert all(tick_of[g] < cutoff for g in retired.tolist())
+                    # Admitted strictly after the retirement returned:
+                    # must observe the fully-retired state.
+                    for oc in cluster.query_batch(probe):
+                        assert not (set(oc.result.indices.tolist()) & gone)
+                    time.sleep(0.01)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+                    assert not thread.is_alive(), "retire hammer thread hung"
+            if errors:
+                raise errors[0]
+            assert retired_total == len(tick_of)
+            # Every row is retired; anything still resident is a
+            # tombstoned ragged-edge row, invisible to queries.
+            assert sum(s.plsh.n_live for s in cluster.shards) == 0
+        finally:
+            cluster.close()

@@ -53,7 +53,7 @@ class FakeReplica:
             exc, self.fail_next = self.fail_next, None
             raise exc
 
-    def insert_batch(self, vectors, global_ids):
+    def insert_batch(self, vectors, global_ids, timestamps=None):
         self._maybe_fail()
         self.inserted.append(np.asarray(global_ids))
         self.n_items += len(global_ids)
@@ -73,7 +73,7 @@ class FakeReplica:
         self.inserted, self.n_items = [], 0
         return dropped
 
-    def query(self, q_cols, q_vals, *, radius=None):
+    def query(self, q_cols, q_vals, *, radius=None, time_range=None):
         self._maybe_fail()
         from repro.core.query import QueryResult
 
@@ -82,7 +82,10 @@ class FakeReplica:
             np.asarray([0.5], dtype=np.float32),
         )
 
-    def query_batch(self, queries, *, radius=None, workers=None, backend=None):
+    def query_batch(
+        self, queries, *, radius=None, workers=None, backend=None,
+        time_range=None,
+    ):
         self._maybe_fail()
         return [self.query(None, None) for _ in range(queries.n_rows)]
 

@@ -1,0 +1,301 @@
+"""Cluster-level time semantics (PR 10 tentpole, cluster layer).
+
+Every insert *op* advances the cluster logical clock by one tick and
+stamps its rows with that tick on every shard, so all nodes share one
+timeline.  On top of that single clock:
+
+* ``time_range=(t0, t1)`` on ``query``/``query_batch`` restricts
+  answers to rows inserted at ticks in ``[t0, t1)``, pruning whole
+  non-overlapping partitions per node (probe counters asserted);
+* ``cluster.retire_before(cutoff)`` retires exactly the rows stamped
+  before the cutoff — wholly-cold partitions dropped O(1) with zero
+  table builds — and feeds the same retirement bookkeeping
+  (``retired_ids`` / ``n_retired_items``) as window retirement.
+
+The oracle throughout is a tick map recorded at insert time: filtered
+answers must equal unfiltered answers screened by the map.  A spawned
+section proves the same semantics over real node processes (timestamps
+on the wire, ``time_range`` in query meta, retirement by RPC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams
+from repro.cluster import spawn_local_cluster
+from repro.core.index import PLSHIndex
+from repro.parallel import fork_available
+
+PARAMS = PLSHParams(k=6, m=6, radius=0.9, seed=99)
+N_NODES = 3
+CAPACITY = 400
+EPOCHS = 4
+ROWS = 45
+
+
+def _feed_epochs(cluster, vectors, *, roll=False):
+    """EPOCHS insert ops (one clock tick each); returns {global_id: tick}.
+
+    With ``roll``, each epoch is sealed into its own static partition on
+    every shard (merge + roll), so partitions carry disjoint tick ranges
+    and time filters can prune whole partitions.
+    """
+    tick_of = {}
+    for e in range(EPOCHS):
+        block = vectors.slice_rows(e * ROWS, (e + 1) * ROWS)
+        for g in cluster.insert(block).tolist():
+            tick_of[g] = e
+        if roll:
+            cluster.merge_all()
+            for shard in cluster.shards:
+                shard.plsh.roll_partition()
+    return tick_of
+
+
+def _ids_in(tick_of, t0, t1):
+    return sorted(g for g, t in tick_of.items() if t0 <= t < t1)
+
+
+def _assert_screened(filtered, unfiltered, tick_of, window):
+    """Filtered outcome == unfiltered outcome screened by the tick map
+    (id set and per-id distances; merge order across shards may differ
+    from the screened order, so compare keyed by id)."""
+    t0, t1 = window
+    exp = {
+        int(g): float(d)
+        for g, d in zip(
+            unfiltered.result.indices, unfiltered.result.distances
+        )
+        if t0 <= tick_of[int(g)] < t1
+    }
+    got = {
+        int(g): float(d)
+        for g, d in zip(filtered.result.indices, filtered.result.distances)
+    }
+    assert got == exp
+
+
+@pytest.fixture
+def rolled_cluster(small_vectors):
+    cluster = PLSHCluster(
+        N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=3
+    )
+    try:
+        tick_of = _feed_epochs(cluster, small_vectors, roll=True)
+        yield cluster, tick_of
+    finally:
+        cluster.close()
+
+
+class TestClusterClock:
+    def test_one_tick_per_insert_op(self, small_vectors):
+        cluster = PLSHCluster(
+            N_NODES, CAPACITY, small_vectors.n_cols, PARAMS, insert_window=3
+        )
+        try:
+            assert cluster.clock == 0
+            tick_of = _feed_epochs(cluster, small_vectors)
+            assert cluster.clock == EPOCHS
+            # Rows really are stamped with their op's tick: a one-tick
+            # window returns only that op's ids.
+            for e in range(EPOCHS):
+                epoch_ids = set(_ids_in(tick_of, e, e + 1))
+                assert len(epoch_ids) == ROWS
+                out = cluster.query_batch(
+                    small_vectors.slice_rows(0, 12), time_range=(e, e + 1)
+                )
+                for oc in out:
+                    assert set(oc.result.indices.tolist()) <= epoch_ids
+        finally:
+            cluster.close()
+
+
+class TestTimeFilteredBroadcast:
+    WINDOWS = [(0, 1), (1, 3), (2, 4), (0, EPOCHS)]
+
+    def test_matches_time_windowed_oracle(self, rolled_cluster, small_vectors):
+        cluster, tick_of = rolled_cluster
+        probe = small_vectors.slice_rows(0, 20)
+        plain = cluster.query_batch(probe)
+        for window in self.WINDOWS:
+            filtered = cluster.query_batch(probe, time_range=window)
+            for f, u in zip(filtered, plain):
+                _assert_screened(f, u, tick_of, window)
+
+    def test_full_range_is_bit_identical_to_unfiltered(
+        self, rolled_cluster, small_vectors
+    ):
+        cluster, _ = rolled_cluster
+        probe = small_vectors.slice_rows(0, 20)
+        plain = cluster.query_batch(probe)
+        full = cluster.query_batch(probe, time_range=(0, cluster.clock))
+        for f, u in zip(full, plain):
+            np.testing.assert_array_equal(
+                f.result.indices, u.result.indices
+            )
+            np.testing.assert_array_equal(
+                f.result.distances, u.result.distances
+            )
+
+    def test_future_window_is_empty(self, rolled_cluster, small_vectors):
+        cluster, _ = rolled_cluster
+        out = cluster.query_batch(
+            small_vectors.slice_rows(0, 10), time_range=(100, 200)
+        )
+        for oc in out:
+            assert oc.result.indices.size == 0
+
+    def test_nonoverlapping_partitions_are_pruned(
+        self, rolled_cluster, small_vectors
+    ):
+        """The probe counters across all shards account for exactly the
+        partitions whose tick range overlaps the window."""
+        cluster, _ = rolled_cluster
+        window = (1, 2)
+        exp_probed = exp_pruned = 0
+        for shard in cluster.shards:
+            for part in shard.plsh.static.partitions:
+                if part.n_items == 0:
+                    continue
+                if part.overlaps(*window):
+                    exp_probed += 1
+                else:
+                    exp_pruned += 1
+        assert exp_pruned > 0  # the fixture really has cold partitions
+        before = [
+            (s.plsh.static.n_probed, s.plsh.static.n_pruned)
+            for s in cluster.shards
+        ]
+        cols, vals = small_vectors.row(0)
+        cluster.query(cols.astype(np.int64), vals, time_range=window)
+        after = [
+            (s.plsh.static.n_probed, s.plsh.static.n_pruned)
+            for s in cluster.shards
+        ]
+        probed = sum(a[0] - b[0] for a, b in zip(after, before))
+        pruned = sum(a[1] - b[1] for a, b in zip(after, before))
+        assert (probed, pruned) == (exp_probed, exp_pruned)
+
+
+class TestClusterRetireBefore:
+    def test_retires_exactly_pre_cutoff_rows(
+        self, rolled_cluster, small_vectors
+    ):
+        cluster, tick_of = rolled_cluster
+        total = len(tick_of)
+        expected = _ids_in(tick_of, 0, 2)
+        retired = cluster.retire_before(2)
+        assert retired.tolist() == expected
+        assert cluster.n_retirements == 1
+        assert cluster.n_retired_items == len(expected)
+        assert cluster.retired_ids[-1].tolist() == expected
+        # Partitions align with epochs here, so the cutoff drops whole
+        # partitions: the rows are gone, not just tombstoned.
+        assert cluster.n_items == total - len(expected)
+        survivors = set(_ids_in(tick_of, 2, EPOCHS))
+        for oc in cluster.query_batch(small_vectors.slice_rows(0, 20)):
+            assert set(oc.result.indices.tolist()) <= survivors
+
+    def test_repeat_cutoff_is_noop(self, rolled_cluster):
+        cluster, _ = rolled_cluster
+        first = cluster.retire_before(2)
+        assert first.size > 0
+        again = cluster.retire_before(2)
+        assert again.size == 0
+        assert cluster.n_retirements == 1
+
+    def test_cold_retirement_builds_no_tables(
+        self, rolled_cluster, monkeypatch
+    ):
+        """O(1) drop across the whole cluster: retirement at a partition
+        boundary never reads vectors or rebuilds a hash table."""
+        cluster, _ = rolled_cluster
+        builds = []
+        original = PLSHIndex.build
+
+        def counting_build(self, *args, **kwargs):
+            builds.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(PLSHIndex, "build", counting_build)
+        retired = cluster.retire_before(3)
+        assert retired.size > 0
+        assert builds == []
+
+    def test_clock_never_trails_the_cutoff(self, rolled_cluster):
+        cluster, _ = rolled_cluster
+        cutoff = cluster.clock + 5
+        cluster.retire_before(cutoff)
+        assert cluster.clock == cutoff
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="spawn_local_cluster requires fork()"
+)
+class TestSpawnedTimeParity:
+    """Same semantics over real node processes: timestamps ride the
+    insert wire op, ``time_range`` rides query meta, retirement is an
+    RPC — every answer bit-compared against an in-process shadow."""
+
+    def test_spawned_matches_inprocess(self, small_vectors, small_queries):
+        dim = small_vectors.n_cols
+        _, queries = small_queries
+        probe = queries.slice_rows(0, 10)
+        shadow = PLSHCluster(N_NODES, CAPACITY, dim, PARAMS, insert_window=3)
+        rpc = spawn_local_cluster(
+            N_NODES, CAPACITY, dim, PARAMS, insert_window=3, op_timeout=10.0
+        )
+        try:
+            for e in range(EPOCHS):
+                block = small_vectors.slice_rows(e * ROWS, (e + 1) * ROWS)
+                np.testing.assert_array_equal(
+                    shadow.insert(block), rpc.insert(block)
+                )
+            assert rpc.clock == shadow.clock == EPOCHS
+            for window in [(0, 1), (1, 3), (100, 200)]:
+                exp = shadow.query_batch(probe, time_range=window)
+                got = rpc.query_batch(probe, time_range=window)
+                for a, b in zip(exp, got):
+                    np.testing.assert_array_equal(
+                        a.result.indices, b.result.indices
+                    )
+                    np.testing.assert_array_equal(
+                        a.result.distances, b.result.distances
+                    )
+            # Retirement parity: same cutoff, same ids, same survivors.
+            np.testing.assert_array_equal(
+                shadow.retire_before(2), rpc.retire_before(2)
+            )
+            assert rpc.n_retired_items == shadow.n_retired_items
+            exp = shadow.query_batch(probe)
+            got = rpc.query_batch(probe)
+            for a, b in zip(exp, got):
+                np.testing.assert_array_equal(
+                    a.result.indices, b.result.indices
+                )
+        finally:
+            rpc.close()
+            shadow.close()
+
+    def test_partition_counters_cross_the_wire(self, small_vectors):
+        rpc = spawn_local_cluster(
+            2, CAPACITY, small_vectors.n_cols, PARAMS,
+            insert_window=2, op_timeout=10.0,
+        )
+        try:
+            rpc.insert(small_vectors.slice_rows(0, 80))
+            rpc.merge_all()
+            rpc.query_batch(
+                small_vectors.slice_rows(0, 5), time_range=(0, 1)
+            )
+            for row in rpc.stats():
+                for key in (
+                    "n_partitions", "n_static_resident",
+                    "n_parts_probed", "n_parts_pruned",
+                ):
+                    assert key in row
+                assert row["n_partitions"] >= 1
+        finally:
+            rpc.close()

@@ -5,10 +5,17 @@ delete / begin_merge / commit_merge / merge_now / snapshot — and replays
 each against two nodes in lockstep:
 
 * the **primary**, running the overlapped-merge pipeline
-  (``overlap_merges=True``, auto-merge on), queried with the harness'
+  (``overlap_merges=True``, auto-merge on) with random partition rolls
+  (``roll`` ops fragment its static tier), queried with the harness'
   ``workers`` setting;
-* a **shadow** reference with the synchronous blocking merge, queried
-  serially.
+* a **shadow** reference with the synchronous blocking merge and a
+  never-rolled (monolithic) static tier, queried serially.
+
+Since only the primary rolls, every sync-parity assertion is also the
+PR-10 tentpole property: a multi-partition static answers bit-identically
+to the monolith.  ``retire`` ops drive ``retire_before`` on both nodes
+(asserting they report identical retired-id sets), and queries randomly
+carry a ``time_range`` filter checked against a timestamp-aware oracle.
 
 After every query op the harness asserts
 
@@ -66,7 +73,17 @@ _OPS = [
     "commit_merge",
     "merge_now",
     "snapshot",
+    "roll", "roll",                      # weight 2: fragment the primary
+    "retire",
 ]
+
+
+def _maybe_window(rng) -> list[int] | None:
+    """A random half-open time window (1 in 3 queries carry one)."""
+    if rng.random() < 1 / 3:
+        t0 = int(rng.integers(0, 12))
+        return [t0, t0 + int(rng.integers(1, 8))]
+    return None
 
 
 def generate_ops(seed: int) -> list[dict]:
@@ -78,17 +95,28 @@ def generate_ops(seed: int) -> list[dict]:
         if kind == "insert":
             ops.append({"op": "insert", "count": int(rng.integers(1, 9))})
         elif kind == "query":
-            ops.append({"op": "query", "row": int(rng.integers(CAPACITY))})
+            ops.append(
+                {
+                    "op": "query",
+                    "row": int(rng.integers(CAPACITY)),
+                    "window": _maybe_window(rng),
+                }
+            )
         elif kind == "query_batch":
             ops.append(
                 {
                     "op": "query_batch",
                     "start": int(rng.integers(CAPACITY)),
                     "count": int(rng.integers(2, 9)),
+                    "window": _maybe_window(rng),
                 }
             )
         elif kind == "delete":
             ops.append({"op": "delete", "sel": int(rng.integers(1 << 30))})
+        elif kind == "retire":
+            # Cutoff relative to however far the clock got: ahead of it
+            # retires everything so far, 0 is a no-op.
+            ops.append({"op": "retire", "ticks": int(rng.integers(0, 8))})
         else:
             ops.append({"op": kind})
     # Every sequence ends by settling and checking one final batch, so a
@@ -102,11 +130,38 @@ class _Model:
     """Ground truth the nodes are checked against."""
 
     def __init__(self) -> None:
-        self.cursor = 0          # pool rows inserted so far == n_total
+        self.cursor = 0          # pool rows inserted so far
         self.deleted: set[int] = set()
+        self.retired: set[int] = set()
+        self.ts: list[int] = []  # per-row logical insert timestamp
+        self.clock = 0           # mirrors the nodes' default stamping
 
-    def truth(self, q_cols: np.ndarray, q_vals: np.ndarray) -> set[int]:
-        """Exhaustive R-near ids over live rows (the oracle)."""
+    def insert(self, count: int) -> None:
+        self.ts.extend([self.clock] * count)
+        self.cursor += count
+        self.clock += 1  # one tick per batch, like the node
+
+    def retire(self, cutoff: int) -> set[int]:
+        newly = {
+            r
+            for r in range(self.cursor)
+            if self.ts[r] < cutoff and r not in self.retired
+        }
+        self.retired |= newly
+        self.clock = max(self.clock, cutoff)
+        return newly
+
+    def visible(self, row: int, window) -> bool:
+        """Whether a row can appear in a (possibly filtered) answer."""
+        if row >= self.cursor or row in self.deleted or row in self.retired:
+            return False
+        if window is not None:
+            t0, t1 = window
+            return t0 <= self.ts[row] < t1
+        return True
+
+    def truth(self, q_cols, q_vals, window=None) -> set[int]:
+        """Exhaustive R-near ids over live, time-visible rows."""
         if self.cursor == 0:
             return set()
         rows = _POOL.slice_rows(0, self.cursor)
@@ -114,53 +169,57 @@ class _Model:
         dots = row_dots_dense(rows, np.arange(self.cursor), dense)
         dists = angular_distance(dots)
         within = np.nonzero(dists <= PARAMS.radius)[0]
-        return {int(i) for i in within if int(i) not in self.deleted}
+        return {int(i) for i in within if self.visible(int(i), window)}
 
 
-def _check_query(primary, shadow, model, row: int, workers) -> None:
+def _check_query(primary, shadow, model, row: int, workers, window) -> None:
     q_cols, q_vals = _POOL.row(row)
     q_cols = q_cols.astype(np.int64)
-    got = primary.query(q_cols, q_vals)
-    ref = shadow.query(q_cols, q_vals)
+    tr = tuple(window) if window is not None else None
+    got = primary.query(q_cols, q_vals, time_range=tr)
+    ref = shadow.query(q_cols, q_vals, time_range=tr)
     np.testing.assert_array_equal(
         got.indices, ref.indices,
-        err_msg="overlapped path diverged from synchronous path (ids)",
+        err_msg="partitioned path diverged from monolithic path (ids)",
     )
     np.testing.assert_array_equal(
         got.distances, ref.distances,
-        err_msg="overlapped path diverged from synchronous path (distances)",
+        err_msg="partitioned path diverged from monolithic path (distances)",
     )
-    truth = model.truth(q_cols, q_vals)
+    truth = model.truth(q_cols, q_vals, window)
     got_set = set(got.indices.tolist())
     assert got_set <= truth, f"query invented ids: {sorted(got_set - truth)}"
-    if row < model.cursor and row not in model.deleted:
+    if model.visible(row, window):
         assert row in got_set, f"self-row {row} missing from its own query"
 
 
-def _check_query_batch(primary, shadow, model, start, count, workers) -> None:
+def _check_query_batch(
+    primary, shadow, model, start, count, workers, window
+) -> None:
     lo = start % CAPACITY
     hi = min(lo + count, CAPACITY)
     queries = _POOL.slice_rows(lo, hi)
-    got = primary.query_batch(queries, workers=workers)
-    ref = shadow.query_batch(queries, workers=1)
+    tr = tuple(window) if window is not None else None
+    got = primary.query_batch(queries, workers=workers, time_range=tr)
+    ref = shadow.query_batch(queries, workers=1, time_range=tr)
     assert len(got) == len(ref) == hi - lo
     for b, (x, y) in enumerate(zip(got, ref)):
         np.testing.assert_array_equal(
             x.indices, y.indices,
-            err_msg=f"batch query {b} diverged from synchronous path (ids)",
+            err_msg=f"batch query {b} diverged from monolithic path (ids)",
         )
         np.testing.assert_array_equal(
             x.distances, y.distances,
             err_msg=f"batch query {b} diverged (distances)",
         )
         q_cols, q_vals = queries.row(b)
-        truth = model.truth(q_cols.astype(np.int64), q_vals)
+        truth = model.truth(q_cols.astype(np.int64), q_vals, window)
         got_set = set(x.indices.tolist())
         assert got_set <= truth, (
             f"batch query {b} invented ids: {sorted(got_set - truth)}"
         )
         row = lo + b
-        if row < model.cursor and row not in model.deleted:
+        if model.visible(row, window):
             assert row in got_set, f"self-row {row} missing from batch query"
 
 
@@ -196,20 +255,42 @@ def run_ops(ops: list[dict], workers, tmp_path) -> None:
                     f"primary local ids {got_ids.tolist()} != {expected}"
                 )
                 assert ref_ids.tolist() == expected
-                model.cursor += count
+                model.insert(count)
             elif kind == "query":
-                _check_query(primary, shadow, model, op["row"], workers)
+                _check_query(
+                    primary, shadow, model, op["row"], workers,
+                    op.get("window"),
+                )
             elif kind == "query_batch":
                 _check_query_batch(
-                    primary, shadow, model, op["start"], op["count"], workers
+                    primary, shadow, model, op["start"], op["count"],
+                    workers, op.get("window"),
                 )
             elif kind == "delete":
                 if model.cursor == 0:
                     continue
                 local = op["sel"] % model.cursor
+                if local in model.retired:
+                    continue  # deleting a retired row degrades to a no-op
                 primary.delete(np.asarray([local]))
                 shadow.delete(np.asarray([local]))
                 model.deleted.add(local)
+            elif kind == "roll":
+                primary.roll_partition()  # the shadow stays monolithic
+            elif kind == "retire":
+                cutoff = op["ticks"]
+                got_ids = primary.retire_before(cutoff)
+                ref_ids = shadow.retire_before(cutoff)
+                np.testing.assert_array_equal(
+                    got_ids, ref_ids,
+                    err_msg="partitioned and monolithic retirement "
+                    "reported different id sets",
+                )
+                newly = model.retire(cutoff)
+                assert set(got_ids.tolist()) == newly, (
+                    f"retire_before({cutoff}) reported "
+                    f"{got_ids.tolist()}, oracle expected {sorted(newly)}"
+                )
             elif kind == "begin_merge":
                 primary.begin_merge()
                 shadow.merge_now()  # the blocking counterpart
@@ -225,15 +306,23 @@ def run_ops(ops: list[dict], workers, tmp_path) -> None:
                 primary = load_node(path)
             else:  # pragma: no cover - generator/op-table mismatch
                 raise ValueError(f"unknown op {kind!r}")
-            # Bookkeeping invariants after every op.
-            assert primary.n_total == model.cursor, (
-                f"n_total {primary.n_total} != inserted {model.cursor}"
+            # Bookkeeping invariants after every op.  The id space counts
+            # every row ever inserted (holes included); residency shrinks
+            # only through partition drops, which differ by layout — but
+            # the live count must agree everywhere.
+            assert primary.id_space == model.cursor, (
+                f"id_space {primary.id_space} != inserted {model.cursor}"
             )
-            assert primary.n_live == model.cursor - len(model.deleted)
-            assert (
-                primary.n_static + primary.n_frozen + primary.n_delta
-                == model.cursor
+            assert shadow.id_space == model.cursor
+            expected_live = model.cursor - len(model.deleted | model.retired)
+            assert primary.n_live == expected_live, (
+                f"primary n_live {primary.n_live} != {expected_live}"
             )
+            assert shadow.n_live == expected_live
+            if not model.retired:
+                assert primary.n_total == model.cursor, (
+                    f"n_total {primary.n_total} != inserted {model.cursor}"
+                )
     finally:
         primary.close()
         shadow.close()

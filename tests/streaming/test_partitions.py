@@ -1,0 +1,601 @@
+"""The time-partitioned static tier (PR 10 tentpole).
+
+Four contracts, each tested directly:
+
+1. **Bit identity** — a node whose static tier was rolled into several
+   time-ranged partitions answers every query (single, vectorized batch,
+   pipelined batch; serial and sharded over 2 workers) bit-identically —
+   ids, distances, *and order* — to a monolithic node fed the same
+   stream.  Property-tested over seeded random roll/merge/delete
+   placements.
+2. **Time-filtered queries** — ``time_range=[t0, t1)`` answers exactly
+   match an exhaustive time-aware oracle, and partitions whose time
+   range misses the window are never probed (the facade's probe/prune
+   counters prove the skip).
+3. **O(1) retirement** — ``retire_before`` drops wholly-cold partitions
+   without building a single table (a build counter planted on
+   ``PLSHIndex.build`` stays at zero), tombstones the ragged edge only,
+   and is idempotent per cutoff.
+4. **Partition-scoped merges** — a frozen delta straddling a roll lands
+   in the post-roll partition and answers stay bit-identical to the
+   monolith throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import angular_distance
+from repro.core.index import PLSHIndex
+from repro.params import PLSHParams
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import densify_query, row_dots_dense
+from repro.streaming.node import StreamingPLSH
+from repro.streaming.partitions import PartitionedStatic, StaticPartition
+
+DIM = 48
+CAPACITY = 96
+PARAMS = PLSHParams(k=4, m=4, radius=1.1, seed=77)
+
+_RNG = np.random.default_rng(20260808)
+_POOL_DENSE = _RNG.standard_normal((CAPACITY, DIM)).astype(np.float32)
+_POOL_DENSE /= np.linalg.norm(_POOL_DENSE, axis=1, keepdims=True)
+_POOL = CSRMatrix.from_dense(_POOL_DENSE)
+
+
+def _new_node(**kwargs) -> StreamingPLSH:
+    kwargs.setdefault("delta_fraction", 0.25)
+    kwargs.setdefault("auto_merge", False)
+    return StreamingPLSH(DIM, PARAMS, CAPACITY, **kwargs)
+
+
+def _assert_identical(got, ref, msg=""):
+    np.testing.assert_array_equal(
+        got.indices, ref.indices, err_msg=f"{msg} (ids)"
+    )
+    np.testing.assert_array_equal(
+        got.distances, ref.distances, err_msg=f"{msg} (distances)"
+    )
+
+
+def _assert_batches_identical(got, ref, msg=""):
+    assert len(got) == len(ref)
+    for b, (x, y) in enumerate(zip(got, ref)):
+        _assert_identical(x, y, f"{msg} query {b}")
+
+
+class TestBitIdentity:
+    """Partitioned static == monolithic static, bit for bit."""
+
+    def _build_pair(self, seed: int):
+        """Feed one stream to a partitioned node (random rolls/merges)
+        and a monolithic shadow (same merges, never rolled)."""
+        rng = np.random.default_rng(seed)
+        primary = _new_node()
+        shadow = _new_node()
+        cursor = 0
+        while cursor < CAPACITY:
+            count = min(int(rng.integers(4, 13)), CAPACITY - cursor)
+            batch = _POOL.slice_rows(cursor, cursor + count)
+            primary.insert_batch(batch)
+            shadow.insert_batch(batch)
+            cursor += count
+            roll = rng.random()
+            if roll < 0.5:
+                primary.merge_now()
+                shadow.merge_now()
+            if roll < 0.35:
+                primary.roll_partition()  # the shadow stays monolithic
+            if rng.random() < 0.3:
+                doomed = int(rng.integers(cursor))
+                primary.delete(np.asarray([doomed]))
+                shadow.delete(np.asarray([doomed]))
+        primary.merge_now()
+        shadow.merge_now()
+        return primary, shadow
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_full_range_queries_bit_identical(self, workers):
+        """The tentpole property, over seeded random partition layouts."""
+        saw_multi = False
+        for seed in range(8):
+            primary, shadow = self._build_pair(seed)
+            try:
+                saw_multi = saw_multi or primary.n_partitions > 1
+                queries = _POOL.slice_rows(0, 16)
+                _assert_batches_identical(
+                    primary.query_batch(queries, workers=workers),
+                    shadow.query_batch(queries, workers=1),
+                    f"seed {seed} vectorized",
+                )
+                _assert_batches_identical(
+                    primary.query_batch(
+                        queries, workers=workers, mode="pipelined"
+                    ),
+                    shadow.query_batch(queries, workers=1, mode="pipelined"),
+                    f"seed {seed} pipelined",
+                )
+                for row in range(0, 16, 5):
+                    q_cols, q_vals = _POOL.row(row)
+                    _assert_identical(
+                        primary.query(q_cols.astype(np.int64), q_vals),
+                        shadow.query(q_cols.astype(np.int64), q_vals),
+                        f"seed {seed} single row {row}",
+                    )
+            finally:
+                primary.close()
+                shadow.close()
+        assert saw_multi, "no seed produced a multi-partition layout"
+
+    def test_roll_changes_layout_not_answers(self):
+        """An explicit roll between every merge: maximum fragmentation,
+        same bits."""
+        primary = _new_node()
+        shadow = _new_node()
+        try:
+            for lo in range(0, 60, 12):
+                batch = _POOL.slice_rows(lo, lo + 12)
+                primary.insert_batch(batch)
+                shadow.insert_batch(batch)
+                primary.merge_now()
+                shadow.merge_now()
+                primary.roll_partition()
+            assert primary.n_partitions >= 5
+            assert shadow.n_partitions == 1
+            queries = _POOL.slice_rows(0, 12)
+            _assert_batches_identical(
+                primary.query_batch(queries), shadow.query_batch(queries)
+            )
+        finally:
+            primary.close()
+            shadow.close()
+
+
+class TestTimeFilteredQueries:
+    """``time_range`` == the exhaustive time-aware oracle, with pruning."""
+
+    def _staged_node(self):
+        """Three sealed partitions with disjoint logical time ranges
+        (clock ticks once per insert batch: partitions cover ts 0..2,
+        3..5, 6..8) plus 6 delta rows at ts 9..10."""
+        node = _new_node()
+        ts_of_row = np.empty(CAPACITY, dtype=np.int64)
+        cursor = 0
+        for _ in range(3):
+            for _ in range(3):
+                ts = node.clock
+                node.insert_batch(_POOL.slice_rows(cursor, cursor + 8))
+                ts_of_row[cursor : cursor + 8] = ts
+                cursor += 8
+            node.merge_now()
+            node.roll_partition()
+        for _ in range(2):
+            ts = node.clock
+            node.insert_batch(_POOL.slice_rows(cursor, cursor + 3))
+            ts_of_row[cursor : cursor + 3] = ts
+            cursor += 3
+        return node, ts_of_row[:cursor], cursor
+
+    def _oracle(self, q_cols, q_vals, ts_of_row, n, t0, t1):
+        rows = _POOL.slice_rows(0, n)
+        dense = densify_query(q_cols.astype(np.int64), q_vals, DIM)
+        dots = row_dots_dense(rows, np.arange(n), dense)
+        dists = angular_distance(dots)
+        within = np.nonzero(dists <= PARAMS.radius)[0]
+        return {
+            int(i)
+            for i in within
+            if t0 <= int(ts_of_row[int(i)]) < t1
+        }
+
+    def test_filtered_answers_match_time_aware_oracle(self):
+        node, ts_of_row, n = self._staged_node()
+        try:
+            windows = [(0, 3), (3, 6), (2, 8), (0, 99), (9, 11), (4, 5)]
+            for t0, t1 in windows:
+                for row in (0, 7, 30, 55):
+                    q_cols, q_vals = _POOL.row(row)
+                    got = node.query(
+                        q_cols.astype(np.int64), q_vals, time_range=(t0, t1)
+                    )
+                    got_set = set(got.indices.tolist())
+                    truth = self._oracle(
+                        q_cols, q_vals, ts_of_row, n, t0, t1
+                    )
+                    assert got_set <= truth, (
+                        f"window [{t0},{t1}) invented ids: "
+                        f"{sorted(got_set - truth)}"
+                    )
+                    # The query's own row is its nearest neighbor: found
+                    # iff its timestamp is inside the window.
+                    if t0 <= int(ts_of_row[row]) < t1:
+                        assert row in got_set
+                    else:
+                        assert row not in got_set
+        finally:
+            node.close()
+
+    def test_filtered_batch_equals_filtered_singles(self):
+        node, _, _ = self._staged_node()
+        try:
+            queries = _POOL.slice_rows(0, 10)
+            for mode in (None, "pipelined"):
+                batch = node.query_batch(
+                    queries, time_range=(3, 7), mode=mode
+                )
+                for b in range(queries.n_rows):
+                    q_cols, q_vals = queries.row(b)
+                    single = node.query(
+                        q_cols.astype(np.int64), q_vals, time_range=(3, 7)
+                    )
+                    _assert_identical(batch[b], single, f"mode {mode}")
+        finally:
+            node.close()
+
+    def test_non_overlapping_partitions_are_pruned_not_probed(self):
+        node, _, _ = self._staged_node()
+        try:
+            static = node.static
+            assert static.n_partitions >= 4  # 3 sealed + open
+            q_cols, q_vals = _POOL.row(0)
+            q_cols = q_cols.astype(np.int64)
+
+            static.n_probed = static.n_pruned = 0
+            node.query(q_cols, q_vals, time_range=(0, 3))
+            # Window [0,3) hits only the first partition; the other two
+            # sealed partitions (ts 3..5 and 6..8) are pruned untouched.
+            assert static.n_probed == 1
+            assert static.n_pruned == 2
+
+            static.n_probed = static.n_pruned = 0
+            node.query(q_cols, q_vals, time_range=(100, 200))
+            assert static.n_probed == 0
+            assert static.n_pruned == 3
+
+            static.n_probed = static.n_pruned = 0
+            node.query(q_cols, q_vals)  # unfiltered: every partition probed
+            assert static.n_probed == 3
+            assert static.n_pruned == 0
+        finally:
+            node.close()
+
+    def test_worker_sharded_filter_matches_serial(self):
+        node, _, _ = self._staged_node()
+        try:
+            queries = _POOL.slice_rows(0, 12)
+            _assert_batches_identical(
+                node.query_batch(queries, workers=2, time_range=(2, 7)),
+                node.query_batch(queries, workers=1, time_range=(2, 7)),
+                "sharded vs serial filtered",
+            )
+        finally:
+            node.close()
+
+
+class TestRetirement:
+    """``retire_before`` drops cold partitions O(1), tombstones the edge."""
+
+    def _staged(self):
+        node = _new_node()
+        cursor = 0
+        for _ in range(3):
+            node.insert_batch(_POOL.slice_rows(cursor, cursor + 8))  # 1 tick
+            cursor += 8
+            node.merge_now()
+            node.roll_partition()
+        node.insert_batch(_POOL.slice_rows(cursor, cursor + 6))
+        cursor += 6
+        return node, cursor  # partitions at ts 0 / 1 / 2, delta at ts 3
+
+    def test_cold_partition_drop_builds_no_tables(self, monkeypatch):
+        node, _ = self._staged()
+        try:
+            builds = []
+            orig = PLSHIndex.build
+
+            def counting_build(self, vectors, **kwargs):
+                builds.append(vectors.n_rows)
+                return orig(self, vectors, **kwargs)
+
+            monkeypatch.setattr(PLSHIndex, "build", counting_build)
+            before = node.n_partitions
+            retired = node.retire_before(2)  # drops the ts-0 and ts-1 parts
+            assert retired.tolist() == list(range(16))
+            assert node.n_partitions == before - 2
+            assert builds == [], (
+                f"retirement rebuilt tables (build row counts: {builds})"
+            )
+            # Capacity actually came back (drop, not tombstone).
+            assert node.n_total == 14
+            assert node.deletions.n_deleted == 0
+        finally:
+            node.close()
+
+    def test_ragged_edge_is_tombstoned_not_dropped(self):
+        node = _new_node()
+        try:
+            node.insert_batch(_POOL.slice_rows(0, 8))    # ts 0
+            node.insert_batch(_POOL.slice_rows(8, 16))   # ts 1
+            node.merge_now()  # one partition spanning ts 0..1
+            retired = node.retire_before(1)
+            assert retired.tolist() == list(range(8))
+            assert node.n_partitions == 1  # nothing dropped...
+            assert node.n_total == 16      # ...rows still resident
+            assert node.deletions.n_deleted == 8  # ...but screened out
+            q_cols, q_vals = _POOL.row(2)
+            got = node.query(q_cols.astype(np.int64), q_vals)
+            assert 2 not in set(got.indices.tolist())
+        finally:
+            node.close()
+
+    def test_repeat_cutoff_is_a_noop_and_watermark_is_monotone(self):
+        node, _ = self._staged()
+        try:
+            first = node.retire_before(2)
+            assert first.size == 16
+            assert node.retire_before(2).size == 0
+            assert node.retire_before(1).size == 0  # never goes backwards
+            # Advancing the cutoff reports only the NEW retirees.
+            second = node.retire_before(3)
+            assert second.tolist() == list(range(16, 24))
+        finally:
+            node.close()
+
+    def test_retired_rows_vanish_from_answers_survivors_stay(self):
+        node, cursor = self._staged()
+        try:
+            survivors_before = {
+                r
+                for r in range(cursor)
+                if r
+                in set(
+                    np.concatenate(
+                        [
+                            node.query(
+                                *(lambda c, v: (c.astype(np.int64), v))(
+                                    *_POOL.row(r)
+                                )
+                            ).indices
+                            for r in range(cursor)
+                        ]
+                    ).tolist()
+                )
+            }
+            retired = set(node.retire_before(2).tolist())
+            for row in range(cursor):
+                q_cols, q_vals = _POOL.row(row)
+                got = set(
+                    node.query(q_cols.astype(np.int64), q_vals)
+                    .indices.tolist()
+                )
+                assert not (got & retired), (
+                    f"query {row} returned retired ids {got & retired}"
+                )
+                if row not in retired and row in survivors_before:
+                    assert row in got, f"survivor {row} lost its own query"
+        finally:
+            node.close()
+
+    def test_inserts_continue_after_retirement_with_stable_ids(self):
+        node, cursor = self._staged()
+        try:
+            node.retire_before(2)
+            fresh = node.insert_batch(_POOL.slice_rows(cursor, cursor + 4))
+            # Id space never reuses dropped holes.
+            assert fresh.tolist() == list(range(cursor, cursor + 4))
+            assert node.id_space == cursor + 4
+            q_cols, q_vals = _POOL.row(cursor)
+            got = node.query(q_cols.astype(np.int64), q_vals)
+            assert cursor in set(got.indices.tolist())
+        finally:
+            node.close()
+
+    def test_retire_window_drops_everything_keeps_id_space(self):
+        node, cursor = self._staged()
+        try:
+            dropped = node.retire_window()
+            assert dropped.tolist() == list(range(cursor))
+            assert node.n_total == 0
+            assert node.id_space == cursor
+            fresh = node.insert_batch(_POOL.slice_rows(0, 4))
+            assert fresh.tolist() == list(range(cursor, cursor + 4))
+        finally:
+            node.close()
+
+    def test_resident_mask_tracks_holes(self):
+        node, cursor = self._staged()
+        try:
+            ids = np.arange(cursor, dtype=np.int64)
+            assert node.resident_mask(ids).all()
+            node.retire_before(2)
+            mask = node.resident_mask(ids)
+            assert not mask[:16].any()   # dropped partitions: holes
+            assert mask[16:].all()       # survivors + delta: resident
+        finally:
+            node.close()
+
+
+class TestMergeAcrossRoll:
+    """A frozen delta straddling a partition roll lands exactly once, in
+    the post-roll partition, with answers bit-identical throughout."""
+
+    def test_frozen_straddling_a_roll_merges_into_new_partition(self):
+        primary = _new_node(overlap_merges=True)
+        shadow = _new_node()
+        try:
+            batch = _POOL.slice_rows(0, 24)
+            primary.insert_batch(batch)
+            shadow.insert_batch(batch)
+            primary.merge_now()
+            shadow.merge_now()
+            tail = _POOL.slice_rows(24, 36)
+            primary.insert_batch(tail)
+            shadow.insert_batch(tail)
+            assert primary.begin_merge()   # freeze 12 delta rows...
+            seq_before = primary.static.newest.seq
+            primary.roll_partition()       # ...then roll under the merge
+            shadow.merge_now()
+            # Mid-merge, post-roll: answers already bit-identical.
+            queries = _POOL.slice_rows(0, 10)
+            _assert_batches_identical(
+                primary.query_batch(queries), shadow.query_batch(queries),
+                "mid-merge post-roll",
+            )
+            assert primary.commit_merge(wait=True)
+            # The frozen rows merged into the post-roll partition, not the
+            # stale pre-roll build target.
+            newest = primary.static.newest
+            assert newest.seq != seq_before
+            assert newest.n_items == 12
+            assert primary.n_frozen == 0 and primary.n_delta == 0
+            _assert_batches_identical(
+                primary.query_batch(queries), shadow.query_batch(queries),
+                "post-commit",
+            )
+        finally:
+            primary.close()
+            shadow.close()
+
+    def test_merge_cost_scales_with_newest_partition_only(self, monkeypatch):
+        """The partition-scoped-merge guarantee: merging a delta rebuilds
+        a table over (newest partition + delta) rows — never the whole
+        corpus."""
+        node = _new_node()
+        try:
+            cursor = 0
+            for _ in range(3):
+                node.insert_batch(_POOL.slice_rows(cursor, cursor + 16))
+                cursor += 16
+                node.merge_now()
+                node.roll_partition()
+            node.insert_batch(_POOL.slice_rows(cursor, cursor + 8))
+            builds = []
+            orig = PLSHIndex.build
+
+            def counting_build(self, vectors, **kwargs):
+                builds.append(vectors.n_rows)
+                return orig(self, vectors, **kwargs)
+
+            monkeypatch.setattr(PLSHIndex, "build", counting_build)
+            node.merge_now()
+            assert builds == [8], (
+                f"merge rebuilt {builds} rows; expected the 8-row newest "
+                f"partition scope (corpus holds {node.n_total})"
+            )
+        finally:
+            node.close()
+
+
+class TestFacadeSurface:
+    """PartitionedStatic's own invariants and guard rails."""
+
+    def _facade(self) -> PartitionedStatic:
+        node = _new_node()
+        self._node = node
+        return node.static
+
+    def test_roll_on_empty_newest_is_a_noop(self):
+        static = self._facade()
+        try:
+            first = static.newest
+            assert static.roll() is first
+            assert static.n_partitions == 1
+        finally:
+            self._node.close()
+
+    def test_monolith_compat_views_guard_multi_partition(self):
+        node = _new_node()
+        try:
+            node.insert_batch(_POOL.slice_rows(0, 8))
+            node.merge_now()
+            assert node.static.tables is not None  # single partition: fine
+            node.roll_partition()
+            node.insert_batch(_POOL.slice_rows(8, 16))
+            node.merge_now()
+            with pytest.raises(ValueError, match="monolithic view"):
+                _ = node.static.tables
+        finally:
+            node.close()
+
+    def test_commit_newest_rejects_timestamp_mismatch(self):
+        static = self._facade()
+        try:
+            index = PLSHIndex(
+                DIM, PARAMS, hasher=static.hasher
+            ).build(_POOL.slice_rows(0, 4))
+            with pytest.raises(ValueError, match="timestamps"):
+                static.commit_newest(index, np.zeros(2, dtype=np.int64))
+        finally:
+            self._node.close()
+
+    def test_from_partitions_validates_id_hi(self):
+        static = self._facade()
+        try:
+            index = PLSHIndex(
+                DIM, PARAMS, hasher=static.hasher
+            ).build(_POOL.slice_rows(0, 4))
+            part = StaticPartition(
+                index, 0, np.zeros(4, dtype=np.int64), seq=0
+            )
+            with pytest.raises(ValueError, match="id_hi"):
+                PartitionedStatic.from_partitions(
+                    DIM, PARAMS, static.hasher, [part], id_hi=99
+                )
+            restored = PartitionedStatic.from_partitions(
+                DIM, PARAMS, static.hasher, [part]
+            )
+            assert restored.id_hi == 4
+            assert restored.n_partitions == 1
+        finally:
+            self._node.close()
+
+    def test_manifest_rows_describe_every_partition(self):
+        node = _new_node()
+        try:
+            node.insert_batch(_POOL.slice_rows(0, 8))   # ts 0
+            node.merge_now()
+            node.roll_partition()
+            node.insert_batch(_POOL.slice_rows(8, 12))  # ts 1
+            node.merge_now()
+            rows = node.static.manifest()
+            assert [r["base"] for r in rows] == [0, 8]
+            assert [r["n_items"] for r in rows] == [8, 4]
+            assert rows[0]["t_min"] == rows[0]["t_max"] == 0
+            assert rows[1]["t_min"] == rows[1]["t_max"] == 1
+            assert rows[0]["seq"] < rows[1]["seq"]
+        finally:
+            node.close()
+
+    def test_partition_rejects_decreasing_timestamps(self):
+        static = self._facade()
+        try:
+            index = PLSHIndex(
+                DIM, PARAMS, hasher=static.hasher
+            ).build(_POOL.slice_rows(0, 2))
+            with pytest.raises(ValueError, match="non-decreasing"):
+                StaticPartition(
+                    index, 0, np.asarray([5, 3], dtype=np.int64), seq=0
+                )
+        finally:
+            self._node.close()
+
+    def test_insert_rejects_time_going_backwards(self):
+        node = _new_node()
+        try:
+            node.insert_batch(
+                _POOL.slice_rows(0, 4),
+                timestamps=np.full(4, 10, dtype=np.int64),
+            )
+            with pytest.raises(ValueError, match="never goes backwards"):
+                node.insert_batch(
+                    _POOL.slice_rows(4, 6),
+                    timestamps=np.full(2, 3, dtype=np.int64),
+                )
+            with pytest.raises(ValueError, match="non-decreasing"):
+                node.insert_batch(
+                    _POOL.slice_rows(4, 6),
+                    timestamps=np.asarray([20, 15], dtype=np.int64),
+                )
+        finally:
+            node.close()

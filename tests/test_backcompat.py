@@ -1,0 +1,176 @@
+"""v1 (monolithic-static) archives load on the partitioned code (PR 10).
+
+The fixtures under ``tests/data/`` were written by the **pre-partition**
+persistence code (format version 1): ``legacy_v1_node.npz`` holds one
+streaming node with a monolithic static tier, ``legacy_v1_cluster/`` a
+3-shard cluster directory with one past window retirement.  The recipe
+that produced them is replayed here against the current code, so every
+assertion is against bits a real old deployment would hand us.
+
+Contract: a v1 archive loads as a **single-partition** node (timestamps
+zeroed, clock advanced past them) and answers unfiltered queries
+bit-identically to a fresh current-code build of the same stream; the
+partition lifecycle (time filters, ``retire_before``) works on the
+loaded node from that point forward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PLSHCluster, PLSHParams, SyntheticCorpus
+from repro.persistence import load_cluster, load_node
+from repro.streaming.node import StreamingPLSH
+from repro.text.corpus import CorpusSpec
+
+LEGACY_NODE = "tests/data/legacy_v1_node.npz"
+LEGACY_CLUSTER = "tests/data/legacy_v1_cluster"
+
+SEED = 4242
+PARAMS = PLSHParams(k=6, m=6, radius=0.9, delta=0.1, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def legacy_vectors():
+    spec = CorpusSpec(vocab_size=2000, mean_doc_length=7.2)
+    corpus = SyntheticCorpus.generate(500, spec, seed=SEED)
+    return corpus.vectors()
+
+
+def _fresh_node(vectors) -> StreamingPLSH:
+    """The exact stream the v1 node fixture archived, replayed on the
+    current (partitioned) code."""
+    node = StreamingPLSH(
+        vectors.n_cols, PARAMS, capacity=600,
+        delta_fraction=0.25, auto_merge=False, overlap_merges=True,
+    )
+    node.insert_batch(vectors.slice_rows(0, 250))
+    node.merge_now()
+    node.insert_batch(vectors.slice_rows(250, 310))
+    node.delete(np.asarray([3, 17, 255, 301]))
+    return node
+
+
+class TestLegacyNode:
+    def test_loads_as_single_partition(self):
+        node = load_node(LEGACY_NODE)
+        try:
+            assert node.n_partitions == 1
+            assert node.n_static == 250
+            assert node.n_static_resident == 250
+            assert node.n_delta == 60
+            assert node.n_total == 310
+            assert node.deletions.n_deleted == 4
+            # v1 predates timestamps: rows land at t=0, the clock just
+            # past them, so the next insert is strictly newer.
+            assert node.static.newest.t_min == 0
+            assert node.static.newest.t_max == 0
+            assert node.clock >= 1
+        finally:
+            node.close()
+
+    def test_answers_bit_identical_to_fresh_build(self, legacy_vectors):
+        loaded = load_node(LEGACY_NODE)
+        fresh = _fresh_node(legacy_vectors)
+        try:
+            queries = legacy_vectors.slice_rows(0, 20)
+            got = loaded.query_batch(queries)
+            ref = fresh.query_batch(queries)
+            for b, (x, y) in enumerate(zip(got, ref)):
+                np.testing.assert_array_equal(
+                    x.indices, y.indices,
+                    err_msg=f"legacy-loaded node diverged on query {b}",
+                )
+                np.testing.assert_array_equal(
+                    x.distances, y.distances,
+                    err_msg=f"legacy-loaded node diverged on query {b}",
+                )
+        finally:
+            loaded.close()
+            fresh.close()
+
+    def test_partition_lifecycle_works_from_v1_state(self, legacy_vectors):
+        """Time filters and retirement engage on a loaded v1 archive."""
+        node = load_node(LEGACY_NODE)
+        try:
+            q_cols, q_vals = legacy_vectors.row(0)
+            q_cols = q_cols.astype(np.int64)
+            # Everything in the archive lives at t=0 (static) or the
+            # load-time clock (delta rows keep their v1-era stamp of 0).
+            full = node.query(q_cols, q_vals)
+            old = node.query(q_cols, q_vals, time_range=(0, 1))
+            np.testing.assert_array_equal(full.indices, old.indices)
+            future = node.query(q_cols, q_vals, time_range=(50, 60))
+            assert future.indices.size == 0
+            # New inserts are strictly newer than the archived rows, so a
+            # cutoff at the load clock retires exactly the v1 corpus.
+            clk = node.clock
+            node.insert_batch(legacy_vectors.slice_rows(310, 320))
+            retired = node.retire_before(clk)
+            assert retired.size == 310
+            # The 250-row static partition dropped outright; the 60 delta
+            # rows are the ragged edge — tombstoned, still resident.
+            assert node.n_total == 70
+            assert node.n_live == 10
+            got = node.query(q_cols, q_vals)
+            assert got.indices.size == 0 or got.indices.min() >= 310
+        finally:
+            node.close()
+
+
+class TestLegacyCluster:
+    def _fresh_cluster(self, vectors) -> PLSHCluster:
+        cluster = PLSHCluster(
+            3, 120, vectors.n_cols, PARAMS,
+            insert_window=2, delta_fraction=0.25,
+        )
+        cluster.insert(vectors.slice_rows(0, 400))
+        cluster.delete(np.asarray([7, 31, 200]))
+        return cluster
+
+    def test_loads_with_derived_clock_and_exact_answers(
+        self, legacy_vectors
+    ):
+        loaded = load_cluster(LEGACY_CLUSTER)
+        fresh = self._fresh_cluster(legacy_vectors)
+        try:
+            assert loaded.n_items == 280
+            assert loaded.n_retirements == 1
+            # v1 manifests carry no cluster clock: it is rebuilt from the
+            # shards' node clocks, monotone past every archived row.
+            assert loaded.clock >= max(
+                shard.plsh.clock for shard in loaded.shards
+            )
+            queries = legacy_vectors.slice_rows(0, 10)
+            got = loaded.query_batch(queries)
+            ref = fresh.query_batch(queries)
+            for b, (x, y) in enumerate(zip(got, ref)):
+                # The fresh cluster re-ran window retirement, so resident
+                # ids match; distances are per-row float ops, identical.
+                np.testing.assert_array_equal(
+                    np.sort(x.result.indices), np.sort(y.result.indices),
+                    err_msg=f"legacy-loaded cluster diverged on query {b}",
+                )
+        finally:
+            loaded.close()
+            fresh.close()
+
+    def test_writes_and_retirement_continue_after_load(self, legacy_vectors):
+        cluster = load_cluster(LEGACY_CLUSTER)
+        try:
+            clk = cluster.clock
+            before = cluster.n_items
+            cluster.insert(legacy_vectors.slice_rows(400, 420))
+            assert cluster.n_items == before + 20
+            # Cluster-wide cutoff at the pre-insert clock retires every
+            # archived row but none of the fresh ones.
+            retired = cluster.retire_before(clk)
+            assert retired.size == before
+            assert cluster.n_items == 20
+            got = cluster.query_batch(legacy_vectors.slice_rows(400, 405))
+            for outcome in got:
+                ids = outcome.result.indices
+                assert ids.size == 0 or ids.min() >= 400
+        finally:
+            cluster.close()
